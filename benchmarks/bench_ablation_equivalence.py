@@ -1,0 +1,81 @@
+"""A3 — Ablation: the cost of simulatability.
+
+The paper argues refinement "makes the partitioned specification
+simulatable, allowing the designer to verify the system's functional
+correctness".  This ablation quantifies that: simulation step counts
+and wall cost of the original vs each refined model of the medical
+system, i.e. what the communication machinery adds to verification
+runs.
+"""
+
+import pytest
+
+from repro.apps.medical import MEDICAL_INPUTS, design1_partition
+from repro.experiments import render_table
+from repro.models import ALL_MODELS
+from repro.refine import Refiner
+from repro.sim import Simulator
+
+
+@pytest.fixture(scope="module")
+def refined_designs(medical_spec):
+    partition = design1_partition(medical_spec)
+    return {
+        model.name: Refiner(medical_spec, partition, model).run()
+        for model in ALL_MODELS
+    }
+
+
+def bench_equivalence_cost_table(benchmark, medical_spec, refined_designs,
+                                 write_artifact):
+    from repro.sim import Probe
+
+    class _Counter(Probe):
+        def __init__(self):
+            self.statements = 0
+
+        def on_statement(self, behavior, stmt, cost):
+            self.statements += 1
+
+    def run_counted(spec):
+        counter = _Counter()
+        run = Simulator(spec, probe=counter).run(inputs=MEDICAL_INPUTS)
+        return run, counter.statements
+
+    def measure():
+        rows = []
+        original_run, original_stmts = run_counted(medical_spec)
+        rows.append(["original", original_run.steps, original_stmts, "-"])
+        for name, design in refined_designs.items():
+            run, stmts = run_counted(design.spec)
+            rows.append(
+                [name, run.steps, stmts, f"{stmts / original_stmts:.1f}x"]
+            )
+        return rows
+
+    rows = benchmark(measure)
+    table = render_table(
+        ["model", "scheduler activations", "statements executed",
+         "work vs original"],
+        rows,
+        title="Ablation A3: simulation cost of the refined models "
+              "(medical system, Design1)",
+    )
+    write_artifact("ablation_equivalence_cost.txt", table)
+    # the refined models execute strictly more work than the pure
+    # functional model — that's the price of interface fidelity
+    original_stmts = rows[0][2]
+    for row in rows[1:]:
+        assert row[2] > original_stmts
+
+
+@pytest.mark.parametrize("model_name", [m.name for m in ALL_MODELS])
+def bench_simulate_refined(benchmark, refined_designs, model_name):
+    design = refined_designs[model_name]
+    result = benchmark(lambda: Simulator(design.spec).run(inputs=MEDICAL_INPUTS))
+    assert result.completed
+
+
+def bench_simulate_original(benchmark, medical_spec):
+    result = benchmark(lambda: Simulator(medical_spec).run(inputs=MEDICAL_INPUTS))
+    assert result.completed

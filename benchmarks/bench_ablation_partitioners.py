@@ -1,0 +1,101 @@
+"""A1 — Ablation: partitioner quality vs refinement outcome.
+
+The paper takes SpecSyn's partition as given; this ablation compares
+the baseline partitioners on the medical system — cut cost, balance,
+and the bus-rate consequences after refinement into Model2 — against
+the paper-style hand partitions.
+"""
+
+import pytest
+
+from repro.apps.medical import MEDICAL_INPUTS, all_designs
+from repro.estimate import bus_transfer_rates, channel_rates, profile_specification
+from repro.experiments import default_allocation, render_table
+from repro.graph import AccessGraph
+from repro.models import MODEL2
+from repro.partition import (
+    annealed_partition,
+    balance_penalty,
+    cut_weight,
+    greedy_partition,
+    kl_partition,
+    partition_cost,
+)
+
+
+@pytest.fixture(scope="module")
+def graph(medical_spec):
+    return AccessGraph.from_specification(medical_spec)
+
+
+def _candidates(medical_spec, graph):
+    components = ("PROC", "ASIC")
+    hand = all_designs(medical_spec)
+    out = dict(hand)
+    out["greedy"] = greedy_partition(medical_spec, components, graph=graph)
+    out["kl"] = kl_partition(
+        medical_spec, components, graph=graph,
+        seed_partition=out["greedy"],
+    )
+    out["annealed"] = annealed_partition(
+        medical_spec, components, graph=graph, steps=1500
+    )
+    return out
+
+
+def bench_partitioner_comparison(benchmark, medical_spec, graph, write_artifact):
+    candidates = benchmark(lambda: _candidates(medical_spec, graph))
+    allocation = default_allocation()
+    rows = []
+    for name, partition in candidates.items():
+        if partition.p < 2:
+            rows.append([name, "-", "-", "-", "collapsed to one component"])
+            continue
+        max_rate = "-"
+        try:
+            profile = profile_specification(
+                medical_spec, partition, allocation,
+                inputs=MEDICAL_INPUTS, graph=graph,
+            )
+            rates = channel_rates(graph, profile)
+            plan = MODEL2.build_plan(medical_spec, partition, graph=graph)
+            report = bus_transfer_rates(plan, graph, profile, rates=rates)
+            max_rate = f"{report.max_rate / 1e6:.0f}"
+        except Exception as error:  # degenerate partitions may not plan
+            max_rate = f"n/a ({type(error).__name__})"
+        rows.append(
+            [
+                name,
+                f"{cut_weight(graph, partition):.0f}",
+                f"{balance_penalty(partition):.2f}",
+                f"{partition_cost(graph, partition):.3f}",
+                max_rate,
+            ]
+        )
+    table = render_table(
+        ["partition", "cut weight", "imbalance", "cost", "Model2 max Mbit/s"],
+        rows,
+        title="Ablation A1: hand partitions vs automatic partitioners "
+              "(medical system)",
+    )
+    write_artifact("ablation_partitioners.txt", table)
+    # the automatic partitioners must not be worse than the adversarial
+    # hand partition (Design3 was built to maximise globals)
+    by_name = {row[0]: row for row in rows}
+    assert float(by_name["greedy"][3]) <= float(by_name["Design3"][3])
+
+
+def bench_greedy_on_medical(benchmark, medical_spec, graph):
+    partition = benchmark(
+        lambda: greedy_partition(medical_spec, ("PROC", "ASIC"), graph=graph)
+    )
+    assert partition.name == "greedy"
+
+
+def bench_annealing_on_medical(benchmark, medical_spec, graph):
+    partition = benchmark(
+        lambda: annealed_partition(
+            medical_spec, ("PROC", "ASIC"), graph=graph, steps=800
+        )
+    )
+    assert partition.name == "annealed"

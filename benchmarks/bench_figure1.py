@@ -1,0 +1,50 @@
+"""E3 — Figure 1: the introductory refinement walkthrough.
+
+Regenerates the paper's first example end to end: the A/B/C
+specification with variable x, the PROC+ASIC allocation, the Figure 1c
+partition, and the refined specification with ``B_CTRL``/``B_NEW`` and
+the memory-mapped x — then proves original and refined agree by
+co-simulation.
+"""
+
+import pytest
+
+from repro.apps.figures import figure1_partition, figure1_specification
+from repro.lang.printer import print_specification
+from repro.models import MODEL1
+from repro.refine import Refiner
+from repro.sim.equivalence import check_equivalence
+
+
+@pytest.fixture(scope="module")
+def figure1_design():
+    spec = figure1_specification()
+    spec.validate()
+    return Refiner(spec, figure1_partition(spec), MODEL1).run()
+
+
+def bench_regenerate_figure1(benchmark, figure1_design, write_artifact):
+    text = benchmark(lambda: print_specification(figure1_design.spec))
+    write_artifact(
+        "figure1_refined.spec",
+        "-- Figure 1(d): the refined specification for the chosen\n"
+        "-- allocation (PROC + ASIC1) and partition (A,C | B,x)\n" + text,
+    )
+    assert "B_CTRL" in text
+    assert "B_NEW" in text
+    assert "MST_receive" in text
+
+
+def bench_figure1_refinement(benchmark):
+    spec = figure1_specification()
+    partition = figure1_partition(spec)
+    design = benchmark(lambda: Refiner(spec, partition, MODEL1).run())
+    assert design.control.moved[0].original == "B"
+
+
+def bench_figure1_equivalence(benchmark, figure1_design):
+    """Co-simulation cost of verifying the walkthrough example."""
+    report = benchmark(
+        lambda: check_equivalence(figure1_design, inputs={"seed": 3})
+    )
+    assert report.equivalent

@@ -1,0 +1,57 @@
+"""E2/E9 — Figure 10: refined-spec size and refinement CPU time, plus
+the productivity-ratio claim.
+
+Regenerates the paper's second table and benchmarks the refiner on the
+medical system (the CPU-time column measured properly, via
+pytest-benchmark, rather than a single wall-clock sample).
+"""
+
+import pytest
+
+from repro.apps.medical import all_designs, design3_partition
+from repro.experiments import run_figure10
+from repro.models import ALL_MODELS, MODEL1, MODEL4
+from repro.refine import Refiner
+
+
+@pytest.fixture(scope="module")
+def figure10_result():
+    return run_figure10(check_equivalence=True)
+
+
+def bench_regenerate_figure10_table(benchmark, figure10_result, write_artifact):
+    text = benchmark(figure10_result.render)
+    write_artifact("figure10.txt", text)
+    # every refined model passed co-simulation against the original
+    for row in figure10_result.cells.values():
+        for cell in row.values():
+            assert cell.equivalent is True
+    # the productivity argument: refined specs are several times the input
+    assert figure10_result.min_ratio() > 3.0
+    # the paper's extreme cell
+    largest = max(
+        (cell.refined_lines, design, model)
+        for design, row in figure10_result.cells.items()
+        for model, cell in row.items()
+    )
+    assert (largest[1], largest[2]) == ("Design3", "Model4")
+
+
+def bench_refine_model1(benchmark, medical_spec):
+    """Refinement CPU time, Model1 (the paper's 37 s column)."""
+    partition = all_designs(medical_spec)["Design1"]
+    design = benchmark(lambda: Refiner(medical_spec, partition, MODEL1).run())
+    assert design.spec.line_count() > 3 * medical_spec.line_count()
+
+
+def bench_refine_model4_design3(benchmark, medical_spec):
+    """Refinement CPU time for the heaviest cell (Design3 x Model4)."""
+    partition = design3_partition(medical_spec)
+    design = benchmark(lambda: Refiner(medical_spec, partition, MODEL4).run())
+    assert design.netlist.interfaces  # message passing machinery exists
+
+
+def bench_full_figure10_sweep(benchmark):
+    """All 12 refinements, without the equivalence co-simulations."""
+    result = benchmark(lambda: run_figure10(check_equivalence=False))
+    assert len(result.cells) == 3

@@ -1,0 +1,48 @@
+"""E4 — Figures 2 and 3: the four implementation-model topologies.
+
+Regenerates, for the paper's B1-B4 / v1-v7 example, each model's
+planned topology (memories, ports, buses) and checks the bus-count
+formulas 1, p+1, p+p^2, 2p+1.
+"""
+
+import pytest
+
+from repro.apps.figures import figure2_partition, figure2_specification
+from repro.models import ALL_MODELS
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    spec = figure2_specification()
+    spec.validate()
+    return spec, figure2_partition(spec)
+
+
+def bench_regenerate_figure3_topologies(benchmark, fig2, write_artifact):
+    spec, partition = fig2
+
+    def build_all():
+        return [model.build_plan(spec, partition) for model in ALL_MODELS]
+
+    plans = benchmark(build_all)
+    lines = ["Figure 3: planned topologies for the Figure 2 example (p=2)", ""]
+    for model, plan in zip(ALL_MODELS, plans):
+        lines.append(f"== {model.name}: {model.description} "
+                     f"(max buses {model.max_buses(2)}) ==")
+        lines.append(plan.describe())
+        lines.append("")
+    write_artifact("figure3_topologies.txt", "\n".join(lines))
+
+    assert len(plans[0].buses) == 1            # Model1
+    assert len(plans[1].buses) <= 3            # Model2: p+1
+    assert len(plans[2].buses) <= 6            # Model3: p+p^2
+    assert len(plans[3].buses) <= 5            # Model4: 2p+1
+
+
+def bench_plan_construction_model3(benchmark, fig2):
+    """Model3 builds the most buses; measure its planning cost."""
+    spec, partition = fig2
+    from repro.models import MODEL3
+
+    plan = benchmark(lambda: MODEL3.build_plan(spec, partition))
+    assert plan.memories["Gmem1"].port_count == 2

@@ -1,0 +1,67 @@
+"""E5 — Figure 4: control-related refinement, both schemes.
+
+Regenerates the leaf scheme (4b) and the wrap scheme (4c) on the paper's
+A; B; C example and verifies the execution-order guarantee by
+co-simulation.
+"""
+
+import pytest
+
+from repro.apps.figures import (
+    figure4_nonleaf_specification,
+    figure4_specification,
+)
+from repro.lang.printer import print_behavior
+from repro.models import MODEL1
+from repro.partition import Partition
+from repro.refine import ControlScheme, Refiner
+from repro.sim.equivalence import check_equivalence
+
+
+def _partition(spec):
+    return Partition.from_mapping(
+        spec, {"A": "P1", "B": "P2", "C": "P1", "acc": "P1"}
+    )
+
+
+def bench_regenerate_figure4(benchmark, write_artifact):
+    spec = figure4_specification()
+    spec.validate()
+    partition = _partition(spec)
+
+    def both_schemes():
+        auto = Refiner(spec, partition, MODEL1).run()
+        wrap = Refiner(
+            spec, partition, MODEL1, control_scheme=ControlScheme.WRAP
+        ).run()
+        return auto, wrap
+
+    auto, wrap = benchmark(both_schemes)
+    lines = ["Figure 4: control-related refinement of B moved to P2", ""]
+    lines.append("-- (b) leaf scheme: B_NEW is a guarded server loop")
+    lines.append(print_behavior(auto.spec.find_behavior("B_NEW")))
+    lines.append("")
+    lines.append("-- (c) wrap scheme: [wait-start, B, set-done] loop")
+    lines.append(print_behavior(wrap.spec.find_behavior("B_NEW")))
+    lines.append("")
+    lines.append("-- B_CTRL inserted where B used to sit:")
+    lines.append(print_behavior(auto.spec.find_behavior("B_CTRL")))
+    write_artifact("figure4_control_refinement.txt", "\n".join(lines))
+
+    assert auto.control.moved[0].scheme == "leaf"
+    assert wrap.control.moved[0].scheme == "wrap"
+    check_equivalence(auto).raise_if_mismatched()
+    check_equivalence(wrap).raise_if_mismatched()
+
+
+def bench_nonleaf_forces_wrap_scheme(benchmark, write_artifact):
+    spec = figure4_nonleaf_specification()
+    spec.validate()
+    partition = _partition(spec)
+    design = benchmark(lambda: Refiner(spec, partition, MODEL1).run())
+    assert design.control.moved[0].scheme == "wrap"
+    write_artifact(
+        "figure4c_nonleaf.txt",
+        print_behavior(design.spec.find_behavior("B_NEW")),
+    )
+    check_equivalence(design).raise_if_mismatched()

@@ -1,0 +1,52 @@
+"""E8 — Figure 8: bus-interface insertion for message passing.
+
+Regenerates the example where B1 on Component1 reads variable y stored
+in Component2's local memory: the access crosses the interface bus, the
+interchange, and the owner's interface bus into the memory's second
+port — the paper's Bus1/Bus2/Bus3 chain.
+"""
+
+import pytest
+
+from repro.apps.figures import figure8_specification
+from repro.lang.printer import print_behavior
+from repro.models import MODEL4
+from repro.partition import Partition
+from repro.refine import Refiner
+from repro.sim.equivalence import check_equivalence
+
+
+@pytest.fixture(scope="module")
+def figure8_design():
+    spec = figure8_specification()
+    spec.validate()
+    partition = Partition.from_mapping(
+        spec, {"B1": "C1", "B2": "C2", "y": "C2"}
+    )
+    return Refiner(spec, partition, MODEL4).run()
+
+
+def bench_regenerate_figure8(benchmark, figure8_design, write_artifact):
+    def render():
+        parts = [
+            "Figure 8: bus interfaces for B1 (on C1) reading y in LM2 (on C2)",
+            "",
+            "-- outbound interface on C1 (slave on C1's iface bus,",
+            "-- master on the interchange):",
+            print_behavior(figure8_design.spec.find_behavior("BI_C1_out")),
+            "",
+            "-- inbound interface on C2 (slave on the interchange,",
+            "-- master on C2's iface bus into LM2's second port):",
+            print_behavior(figure8_design.spec.find_behavior("BI_C2_in")),
+        ]
+        return "\n".join(parts)
+
+    write_artifact("figure8_bus_interface.txt", benchmark(render))
+    assert "BI_C1_out" in figure8_design.netlist.interfaces
+    assert "BI_C2_in" in figure8_design.netlist.interfaces
+
+
+def bench_figure8_remote_access_simulation(benchmark, figure8_design):
+    """Cost of one full remote-read chain under co-simulation."""
+    report = benchmark(lambda: check_equivalence(figure8_design))
+    assert report.equivalent

@@ -1,0 +1,76 @@
+"""E1 — Figure 9: bus transfer rates for 3 designs x 4 models.
+
+Regenerates the paper's central table (who wins per design, where the
+hot spots are) and benchmarks the full estimation pipeline: profile the
+original medical specification under a partition, compute channel
+rates, and map them onto each model's bus topology.
+"""
+
+import pytest
+
+from repro.apps.medical import MEDICAL_INPUTS, design1_partition
+from repro.arch import Allocation
+from repro.estimate import bus_transfer_rates, channel_rates, profile_specification
+from repro.experiments import default_allocation, run_figure9
+from repro.graph import AccessGraph
+from repro.models import ALL_MODELS
+
+
+@pytest.fixture(scope="module")
+def figure9_result():
+    return run_figure9()
+
+
+def bench_regenerate_figure9_table(benchmark, figure9_result, write_artifact):
+    """Write the regenerated Figure 9 next to the paper's numbers."""
+    text = benchmark(figure9_result.render)
+    write_artifact("figure9.txt", text)
+    # headline shape: Model1's single bus is the system-wide hot spot
+    for design in figure9_result.cells:
+        m1 = figure9_result.cell(design, "Model1").max_mbits
+        m3 = figure9_result.cell(design, "Model3").max_mbits
+        assert m3 < m1
+
+
+def bench_full_figure9_sweep(benchmark):
+    """End-to-end cost of regenerating the entire Figure 9 grid."""
+    result = benchmark(run_figure9)
+    assert len(result.cells) == 3
+
+
+def bench_single_design_estimation(benchmark, medical_spec):
+    """One design's profile + 4 model mappings (the per-design inner
+    loop of the sweep)."""
+    allocation = default_allocation()
+    graph = AccessGraph.from_specification(medical_spec)
+    partition = design1_partition(medical_spec)
+
+    def run_one():
+        profile = profile_specification(
+            medical_spec, partition, allocation,
+            inputs=MEDICAL_INPUTS, graph=graph,
+        )
+        rates = channel_rates(graph, profile)
+        return [
+            bus_transfer_rates(
+                model.build_plan(medical_spec, partition, graph=graph),
+                graph, profile, rates=rates,
+            )
+            for model in ALL_MODELS
+        ]
+
+    reports = benchmark(run_one)
+    assert len(reports) == 4
+
+
+def bench_profiling_alone(benchmark, medical_spec):
+    """The dynamic profile (instrumented simulation) in isolation."""
+    allocation = default_allocation()
+    graph = AccessGraph.from_specification(medical_spec)
+    partition = design1_partition(medical_spec)
+    profile = benchmark(
+        profile_specification,
+        medical_spec, partition, allocation,
+        inputs=MEDICAL_INPUTS, graph=graph,
+    )
+    assert profile.lifetime("Filter") > 0

@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's figures or
+tables (see DESIGN.md's experiment index) and, where meaningful,
+benchmarks the computation behind it with pytest-benchmark.  Rendered
+tables are written to ``benchmarks/output/`` so a benchmark run leaves
+the full set of regenerated artifacts on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+#: Directory the regenerated tables/figures are written into.
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def write_artifact(output_dir):
+    """Write one regenerated artifact and echo it to the terminal."""
+
+    def write(name: str, text: str) -> None:
+        path = output_dir / name
+        path.write_text(text + "\n")
+        print(f"\n[{name}]\n{text}")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def medical_spec():
+    from repro.apps.medical import medical_specification
+
+    spec = medical_specification()
+    spec.validate()
+    return spec

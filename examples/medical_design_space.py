@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Design-space exploration of the medical system — the paper's §5 flow.
+
+For each of the three designs (partitions with different local/global
+variable ratios), estimate every implementation model's bus transfer
+rates and design cost, pick the most suitable model the way the paper's
+discussion does (lowest hot-spot rate, cost as tie-breaker), then
+refine the winner and verify it by co-simulation.
+
+Run:  python examples/medical_design_space.py
+"""
+
+from repro.apps.medical import MEDICAL_INPUTS, all_designs, medical_specification
+from repro.estimate import (
+    bus_transfer_rates,
+    channel_rates,
+    design_cost,
+    profile_specification,
+)
+from repro.experiments import default_allocation, render_table
+from repro.graph import AccessGraph, classify_variables
+from repro.models import ALL_MODELS
+from repro.refine import Refiner
+from repro.sim.equivalence import check_equivalence
+
+
+def main() -> None:
+    spec = medical_specification()
+    spec.validate()
+    allocation = default_allocation()
+    graph = AccessGraph.from_specification(spec)
+    print(
+        f"medical system: {spec.stats().behaviors} behaviors, "
+        f"{len(graph.variable_names)} partitionable variables, "
+        f"{graph.channel_count()} channels, {spec.line_count()} lines\n"
+    )
+
+    for design_name, partition in all_designs(spec).items():
+        classification = classify_variables(graph, partition)
+        print(f"==== {design_name}: {classification.ratio_label()} ====")
+        profile = profile_specification(
+            spec, partition, allocation, inputs=MEDICAL_INPUTS, graph=graph
+        )
+        rates = channel_rates(graph, profile)
+
+        rows = []
+        scored = []
+        for model in ALL_MODELS:
+            plan = model.build_plan(spec, partition, graph=graph)
+            report = bus_transfer_rates(plan, graph, profile, rates=rates)
+            cost = design_cost(plan, rates=report)
+            scored.append((report.max_rate, cost.total, model))
+            rows.append(
+                [
+                    model.name,
+                    len(plan.buses),
+                    len(plan.memories),
+                    f"{report.max_rate / 1e6:.0f}",
+                    f"{report.total_rate / 1e6:.0f}",
+                    f"{cost.total:.0f}",
+                ]
+            )
+        print(
+            render_table(
+                ["model", "buses", "memories", "max bus Mbit/s",
+                 "total Mbit/s", "cost"],
+                rows,
+            )
+        )
+
+        best = min(scored)[2]
+        print(f"-> selected {best.name} (lowest hot-spot rate)")
+        refined = Refiner(spec, partition, best, allocation=allocation).run()
+        report = check_equivalence(refined, inputs=MEDICAL_INPUTS)
+        sizes = refined.line_counts()
+        verdict = "equivalent" if report.equivalent else "MISMATCH"
+        print(
+            f"   refined: {sizes['refined']} lines ({sizes['ratio']}x), "
+            f"co-simulation {verdict}\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

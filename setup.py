@@ -1,0 +1,7 @@
+"""Legacy setup shim so ``pip install -e .`` works offline (the build
+environment has setuptools but no ``wheel`` package, which the PEP 517
+editable path would require)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — Model Refinement for Hardware-Software Codesign.
+
+A from-scratch Python reproduction of Gong, Gajski & Bakshi's model
+refinement system (UCI TR ICS-95-14 / DATE 1996): a SpecCharts-like
+specification model, access-graph analysis, allocation and partitioning,
+four communication implementation models, the control-, data- and
+architecture-related refinement procedures, a discrete-event simulator
+for functional-equivalence checking, and the paper's evaluation
+harness.
+
+Quickstart::
+
+    from repro import refine_specification
+    from repro.apps.figures import figure1_specification
+    from repro.models import MODEL1
+
+    spec = figure1_specification()
+    refined = refine_specification(
+        spec,
+        partition={"A": "PROC", "C": "PROC", "B": "ASIC1", "x": "ASIC1"},
+        model=MODEL1,
+    )
+    print(refined.spec.line_count(), "lines after refinement")
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    EquivalenceError,
+    ParseError,
+    PartitionError,
+    RefinementError,
+    ReproError,
+    ScopeError,
+    SimulationError,
+    SpecError,
+)
+
+__all__ = [
+    "__version__",
+    "EquivalenceError",
+    "ParseError",
+    "PartitionError",
+    "RefinementError",
+    "ReproError",
+    "ScopeError",
+    "SimulationError",
+    "SpecError",
+    "refine_specification",
+]
+
+
+def refine_specification(spec, partition, model, **kwargs):
+    """Convenience wrapper around :class:`repro.refine.Refiner`.
+
+    ``partition`` may be a :class:`repro.partition.Partition` or a plain
+    ``{object_name: component_name}`` mapping; ``model`` may be an
+    :class:`repro.models.ImplementationModel` or its name (``"Model1"``
+    .. ``"Model4"``).  Returns a :class:`repro.refine.RefinedDesign`.
+    """
+    from repro.models import resolve_model
+    from repro.partition import Partition
+    from repro.refine import Refiner
+
+    if isinstance(partition, dict):
+        partition = Partition.from_mapping(spec, partition)
+    return Refiner(spec, partition, resolve_model(model), **kwargs).run()

@@ -1,0 +1,36 @@
+"""Example applications: the paper's figures, the medical system and
+the answering machine."""
+
+from repro.apps.answering import (
+    TAM_INPUTS,
+    answering_machine_specification,
+    tam_partition,
+)
+from repro.apps.figures import (
+    figure1_partition,
+    figure1_specification,
+    figure2_partition,
+    figure2_specification,
+    figure4_nonleaf_specification,
+    figure4_specification,
+    figure5_specification,
+    figure6_specification,
+    figure7_specification,
+    figure8_specification,
+)
+
+__all__ = [
+    "TAM_INPUTS",
+    "answering_machine_specification",
+    "tam_partition",
+    "figure1_partition",
+    "figure1_specification",
+    "figure2_partition",
+    "figure2_specification",
+    "figure4_nonleaf_specification",
+    "figure4_specification",
+    "figure5_specification",
+    "figure6_specification",
+    "figure7_specification",
+    "figure8_specification",
+]

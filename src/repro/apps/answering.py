@@ -1,0 +1,294 @@
+"""A telephone answering machine — the canonical SpecCharts system.
+
+The SpecCharts language the paper builds on was designed around a
+telephone answering machine example (Narayan, Vahid & Gajski, ICCAD'91
+[12]; also the running example of the Specification and Design of
+Embedded Systems book [5]).  This module provides a synthetic answering
+machine in the same spirit as a second evaluation workload: a control-
+dominated counterpart to the medical system's dataflow pipeline,
+exercising deep behavior hierarchy, enum-typed state, and array
+buffers.
+
+Call handling per call::
+
+    TAM (top)
+      Init                 defaults, light off
+      CallLoop             one iteration per incoming call
+        WaitRing           count ring pulses until the answer threshold
+        Answer
+          PlayAnnounce     step through the announcement tones
+          RecordMsg        record caller audio until silence
+        CheckCode          compare dialled digits with the owner code
+        Playback           owner access: play back all recorded audio
+        UpdateLight        message-waiting light
+        Hangup             line release, next call
+
+Inputs synthesise the environment: ``line_profile`` shapes the ring
+pattern and caller audio; ``owner_code``/``dialled_code`` decide
+whether the caller may play back messages; ``num_calls`` bounds the
+run.  Outputs expose the message light, a playback checksum and a
+recording checksum.
+
+:func:`tam_partition` splits control (processor) from the audio path
+(ASIC), the split the SpecSyn papers use for this system.
+"""
+
+from __future__ import annotations
+
+from repro.partition.partition import Partition
+from repro.spec.builder import (
+    assign,
+    for_,
+    if_,
+    leaf,
+    on_complete,
+    seq,
+    spec,
+    transition,
+    while_,
+)
+from repro.spec.expr import var
+from repro.spec.specification import Specification
+from repro.spec.types import array_of, int_type
+from repro.spec.variable import Role, variable
+
+__all__ = ["answering_machine_specification", "tam_partition", "TAM_INPUTS"]
+
+_I16 = int_type(16)
+
+#: Recorded-audio buffer length (samples per call).
+REC_LEN = 6
+
+#: Default stimulus: two calls, a mid-range line profile, wrong code
+#: first (so both the record and the playback paths execute across a
+#: run with the owner code on the second call).
+TAM_INPUTS = {
+    "line_profile": 23,
+    "num_calls": 2,
+    "owner_code": 42,
+    "dialled_code": 42,
+}
+
+
+def answering_machine_specification() -> Specification:
+    """The answering machine (11 behaviors, 9 internal variables)."""
+
+    init = leaf(
+        "Init",
+        assign("msg_count", 0),
+        assign("rec_sum", 0),
+        assign("call_no", 0),
+        assign("light_out", 0),
+        assign("play_out", 0),
+        assign("rec_out", 0),
+        doc="power-on defaults, light off",
+    )
+
+    wait_ring = leaf(
+        "WaitRing",
+        assign("rings", 0),
+        while_(
+            var("rings") < 4,
+            [assign("rings", var("rings") + 1)],
+            expected=4,
+        ),
+        assign("answer_at", var("line_profile") % 3 + 2),
+        doc="count ring pulses up to the answer threshold",
+    )
+
+    play_announce = leaf(
+        "PlayAnnounce",
+        assign("ann_step", 0),
+        for_(
+            "i",
+            1,
+            3,
+            [
+                assign("ann_step", var("ann_step") + var("i") * 5),
+            ],
+        ),
+        doc="step through the announcement tones",
+    )
+
+    record_msg = leaf(
+        "RecordMsg",
+        assign("rec_idx", 0),
+        for_(
+            "i",
+            0,
+            REC_LEN - 1,
+            [
+                assign(
+                    var("rec_buf").index(var("i")),
+                    (var("line_profile") * (var("i") + 1) + var("call_no"))
+                    % 64,
+                ),
+                if_(
+                    var("rec_buf").index(var("i")) > 5,
+                    [assign("rec_idx", var("i") + 1)],
+                ),
+            ],
+        ),
+        if_(
+            var("rec_idx") > 0,
+            [assign("msg_count", var("msg_count") + 1)],
+        ),
+        doc="record caller audio until silence",
+    )
+
+    answer = seq(
+        "Answer",
+        [play_announce, record_msg],
+        transitions=[
+            transition("PlayAnnounce", None, "RecordMsg"),
+            on_complete("RecordMsg"),
+        ],
+        doc="announcement then recording",
+    )
+
+    check_code = leaf(
+        "CheckCode",
+        if_(
+            var("dialled_code").eq(var("owner_code")),
+            [assign("code_ok", 1)],
+            [assign("code_ok", 0)],
+        ),
+        doc="compare the dialled digits with the owner code",
+    )
+
+    playback = leaf(
+        "Playback",
+        if_(
+            (var("code_ok").eq(1)).and_(var("msg_count") > 0),
+            [
+                assign("play_sum", 0),
+                for_(
+                    "i",
+                    0,
+                    REC_LEN - 1,
+                    [
+                        assign(
+                            "play_sum",
+                            var("play_sum") + var("rec_buf").index(var("i")),
+                        ),
+                    ],
+                ),
+                assign("play_out", var("play_sum")),
+            ],
+        ),
+        doc="owner access: play back the recorded audio",
+    )
+
+    update_light = leaf(
+        "UpdateLight",
+        assign("light_out", var("msg_count")),
+        assign(
+            "rec_sum",
+            var("rec_sum") + var("rec_buf").index(0) + var("rec_idx"),
+        ),
+        assign("rec_out", var("rec_sum")),
+        doc="message-waiting light and recording checksum",
+    )
+
+    hangup = leaf(
+        "Hangup",
+        assign("call_no", var("call_no") + 1),
+        assign("rings", 0),
+        doc="release the line and arm for the next call",
+    )
+
+    call_loop = seq(
+        "CallLoop",
+        [wait_ring, answer, check_code, playback, update_light, hangup],
+        transitions=[
+            transition("WaitRing", var("rings") >= var("answer_at"),
+                       "Answer"),
+            transition("WaitRing", var("rings") < var("answer_at"),
+                       "Hangup"),
+            transition("Answer", None, "CheckCode"),
+            transition("CheckCode", var("code_ok").eq(1), "Playback"),
+            transition("CheckCode", var("code_ok").eq(0), "UpdateLight"),
+            transition("Playback", None, "UpdateLight"),
+            transition("UpdateLight", None, "Hangup"),
+            on_complete("Hangup"),
+        ],
+        doc="one incoming call",
+    )
+
+    top = seq(
+        "TAM",
+        [init, call_loop],
+        transitions=[
+            transition("Init", None, "CallLoop"),
+            transition("CallLoop", var("call_no") < var("num_calls"),
+                       "CallLoop"),
+            on_complete("CallLoop", var("call_no") >= var("num_calls")),
+        ],
+        doc="telephone answering machine top",
+    )
+
+    return spec(
+        "AnsweringMachine",
+        top,
+        variables=[
+            variable("line_profile", _I16, init=23, role=Role.INPUT,
+                     doc="shape of ring pulses and caller audio"),
+            variable("num_calls", _I16, init=2, role=Role.INPUT,
+                     doc="calls to process before the run ends"),
+            variable("owner_code", _I16, init=42, role=Role.INPUT,
+                     doc="the owner's remote-access code"),
+            variable("dialled_code", _I16, init=0, role=Role.INPUT,
+                     doc="digits the caller dialled"),
+            variable("light_out", _I16, init=0, role=Role.OUTPUT,
+                     doc="message-waiting light"),
+            variable("play_out", _I16, init=0, role=Role.OUTPUT,
+                     doc="playback checksum"),
+            variable("rec_out", _I16, init=0, role=Role.OUTPUT,
+                     doc="recording checksum"),
+            # internal state
+            variable("rings", _I16, init=0, doc="ring pulses this call"),
+            variable("answer_at", _I16, init=2, doc="answer threshold"),
+            variable("ann_step", _I16, init=0, doc="announcement position"),
+            variable("rec_buf", array_of(_I16, REC_LEN),
+                     doc="recorded audio"),
+            variable("rec_idx", _I16, init=0, doc="last recorded sample"),
+            variable("rec_sum", _I16, init=0, doc="recording checksum acc"),
+            variable("msg_count", _I16, init=0, doc="stored messages"),
+            variable("code_ok", _I16, init=0, doc="remote access granted"),
+            variable("play_sum", _I16, init=0, doc="playback accumulator"),
+            variable("call_no", _I16, init=0, doc="calls handled"),
+        ],
+        doc=(
+            "Telephone answering machine - the canonical SpecCharts "
+            "example, rebuilt as a control-dominated workload."
+        ),
+    )
+
+
+def tam_partition(spec_: Specification) -> Partition:
+    """Control on the processor, the audio path on the ASIC (the split
+    the SpecSyn papers use for this system)."""
+    return Partition.from_mapping(
+        spec_,
+        {
+            "Init": "PROC",
+            "WaitRing": "PROC",
+            "CheckCode": "PROC",
+            "UpdateLight": "PROC",
+            "Hangup": "PROC",
+            "PlayAnnounce": "ASIC",
+            "RecordMsg": "ASIC",
+            "Playback": "ASIC",
+            "rings": "PROC",
+            "answer_at": "PROC",
+            "code_ok": "PROC",
+            "msg_count": "PROC",
+            "call_no": "PROC",
+            "rec_sum": "PROC",
+            "ann_step": "ASIC",
+            "rec_buf": "ASIC",
+            "rec_idx": "ASIC",
+            "play_sum": "ASIC",
+        },
+        name="tam",
+    )

@@ -1,0 +1,373 @@
+"""The paper's illustrative example specifications (Figures 1–8).
+
+Each function reconstructs one of the small examples the paper uses to
+introduce model refinement, with enough concrete computation that the
+discrete-event simulator can execute them and the equivalence checker
+can compare original vs refined runs.
+
+* :func:`figure1_specification` — behaviors A, B, C and variable ``x``
+  with arcs ``A:(x>1,B)`` and ``A:(x<1,C)`` (Figure 1a);
+* :func:`figure1_partition` — A, C on PROC; B and ``x`` on ASIC1
+  (Figure 1c);
+* :func:`figure2_specification` — behaviors B1–B4 and variables v1–v7
+  (Figure 2), the example behind the four implementation models;
+* :func:`figure2_partition` — B1, B2, v1–v4 on PROC; B3, B4, v5–v7 on
+  ASIC;
+* :func:`figure4_specification` — the A; B; C sequence of the
+  control-related refinement example, with both leaf and non-leaf
+  variants of B;
+* :func:`figure5_specification` — the ``x := x + 5`` data-refinement
+  example (Figure 5a);
+* :func:`figure6_specification` — the non-leaf data-refinement example
+  with transition conditions ``x>1`` and ``x>5`` (Figure 6a);
+* :func:`figure7_specification` — B1 reading x and B2 reading y over a
+  shared bus (the arbiter example);
+* :func:`figure8_specification` — B1 on Component1 reading y in
+  Component2's local memory (the bus-interface example).
+"""
+
+from __future__ import annotations
+
+from repro.partition.partition import Partition
+from repro.spec.builder import (
+    assign,
+    conc,
+    for_,
+    leaf,
+    on_complete,
+    seq,
+    spec,
+    transition,
+)
+from repro.spec.expr import var
+from repro.spec.specification import Specification
+from repro.spec.types import int_type
+from repro.spec.variable import Role, variable
+
+__all__ = [
+    "figure1_specification",
+    "figure1_partition",
+    "figure2_specification",
+    "figure2_partition",
+    "figure4_specification",
+    "figure4_nonleaf_specification",
+    "figure5_specification",
+    "figure6_specification",
+    "figure7_specification",
+    "figure8_specification",
+]
+
+_INT = int_type(16)
+
+
+def figure1_specification() -> Specification:
+    """Figure 1(a): A, B, C and variable x.
+
+    After A, control moves to B when ``x > 1`` and to C when ``x < 1``
+    (when ``x = 1`` the composite completes).  B doubles x, C resets
+    it; ``result`` is the observable output.
+    """
+    a = leaf(
+        "A",
+        assign("x", var("seed") + 1),
+        doc="produce x from the input seed",
+    )
+    b = leaf(
+        "B",
+        assign("x", var("x") * 2),
+        assign("result", var("x")),
+        doc="taken when x > 1",
+    )
+    c = leaf(
+        "C",
+        assign("x", 0),
+        assign("result", var("x") - 1),
+        doc="taken when x < 1",
+    )
+    top = seq(
+        "Main",
+        [a, b, c],
+        transitions=[
+            transition("A", var("x") > 1, "B"),
+            transition("A", var("x") < 1, "C"),
+            on_complete("B"),
+            on_complete("C"),
+        ],
+    )
+    return spec(
+        "Figure1",
+        top,
+        variables=[
+            variable("seed", _INT, init=3, role=Role.INPUT),
+            variable("x", _INT, init=0),
+            variable("result", _INT, init=0, role=Role.OUTPUT),
+        ],
+        doc="Paper Figure 1(a): three behaviors sharing variable x.",
+    )
+
+
+def figure1_partition(spec_: Specification) -> Partition:
+    """Figure 1(c): A and C on PROC; B and x on ASIC1."""
+    return Partition.from_mapping(
+        spec_,
+        {
+            "A": "PROC",
+            "C": "PROC",
+            "B": "ASIC1",
+            "x": "ASIC1",
+        },
+        name="figure1",
+    )
+
+
+def figure2_specification() -> Specification:
+    """Figure 2: four behaviors B1–B4 and seven variables v1–v7.
+
+    The access pattern matches the paper's classification: v1, v2, v3
+    local to {B1, B2}; v6 local to {B3, B4}; v4, v5, v7 global
+    (accessed from both sides of the partition).
+    """
+    b1 = leaf(
+        "B1",
+        assign("v1", var("stimulus") + 2),
+        assign("v2", var("v1") * 3),
+        assign("v4", var("v1") + var("v2")),
+        assign("v2", var("v2") + var("v5")),
+        doc="produces v1/v2, publishes v4, consumes v5",
+    )
+    b2 = leaf(
+        "B2",
+        assign("v3", var("v2") - var("v1")),
+        assign("v4", var("v4") + var("v3")),
+        assign("v3", var("v3") + var("v7")),
+        doc="consumes v1/v2/v7, updates v3 and v4",
+    )
+    b3 = leaf(
+        "B3",
+        assign("v6", var("v4") * 2),
+        assign("v5", var("v6") - 1),
+        assign("v7", var("v6") + var("v5")),
+        doc="consumes v4, produces v5/v6/v7",
+    )
+    b4 = leaf(
+        "B4",
+        assign("v6", var("v6") + var("v7")),
+        assign("v5", var("v5") + var("v6")),
+        assign("observed", var("v5") + var("v6")),
+        doc="folds v6/v7 into v5; drives the output",
+    )
+    top = seq(
+        "System",
+        [b1, b2, b3, b4],
+        transitions=[
+            transition("B1", None, "B2"),
+            transition("B2", None, "B3"),
+            transition("B3", None, "B4"),
+            on_complete("B4"),
+        ],
+    )
+    return spec(
+        "Figure2",
+        top,
+        variables=[
+            variable("stimulus", _INT, init=1, role=Role.INPUT),
+            variable("v1", _INT, init=0),
+            variable("v2", _INT, init=0),
+            variable("v3", _INT, init=0),
+            variable("v4", _INT, init=0),
+            variable("v5", _INT, init=0),
+            variable("v6", _INT, init=0),
+            variable("v7", _INT, init=0),
+            variable("observed", _INT, init=0, role=Role.OUTPUT),
+        ],
+        doc="Paper Figure 2: the four-behavior seven-variable example.",
+    )
+
+
+def figure2_partition(spec_: Specification) -> Partition:
+    """Figure 2's split: B1, B2 and v1–v4 on PROC; B3, B4 and v5–v7 on
+    ASIC.  (``stimulus``/``observed``/``v3`` accesses keep v3 local.)"""
+    return Partition.from_mapping(
+        spec_,
+        {
+            "B1": "PROC",
+            "B2": "PROC",
+            "B3": "ASIC",
+            "B4": "ASIC",
+            "v1": "PROC",
+            "v2": "PROC",
+            "v3": "PROC",
+            "v4": "PROC",
+            "v5": "ASIC",
+            "v6": "ASIC",
+            "v7": "ASIC",
+        },
+        name="figure2",
+    )
+
+
+def figure4_specification() -> Specification:
+    """Figure 4(a): sequence A; B; C where B will move to partition P2.
+
+    B is a leaf here, so both refinement schemes (4b and 4c) apply.
+    """
+    a = leaf("A", assign("acc", var("acc") + 1))
+    b = leaf("B", assign("acc", var("acc") * 2))
+    c = leaf("C", assign("out", var("acc") + 10))
+    top = seq(
+        "P",
+        [a, b, c],
+        transitions=[
+            transition("A", None, "B"),
+            transition("B", None, "C"),
+            on_complete("C"),
+        ],
+    )
+    return spec(
+        "Figure4",
+        top,
+        variables=[
+            variable("acc", _INT, init=1),
+            variable("out", _INT, init=0, role=Role.OUTPUT),
+        ],
+        doc="Paper Figure 4: control-related refinement example.",
+    )
+
+
+def figure4_nonleaf_specification() -> Specification:
+    """Figure 4 variant where the moved behavior B is a *composite*
+    (forcing the non-leaf refinement scheme of Figure 4c)."""
+    a = leaf("A", assign("acc", var("acc") + 1))
+    b1 = leaf("B1", assign("acc", var("acc") * 2))
+    b2 = leaf("B2", assign("acc", var("acc") + 3))
+    b = seq(
+        "B",
+        [b1, b2],
+        transitions=[transition("B1", None, "B2"), on_complete("B2")],
+    )
+    c = leaf("C", assign("out", var("acc") + 10))
+    top = seq(
+        "P",
+        [a, b, c],
+        transitions=[
+            transition("A", None, "B"),
+            transition("B", None, "C"),
+            on_complete("C"),
+        ],
+    )
+    return spec(
+        "Figure4NonLeaf",
+        top,
+        variables=[
+            variable("acc", _INT, init=1),
+            variable("out", _INT, init=0, role=Role.OUTPUT),
+        ],
+        doc="Paper Figure 4(c): non-leaf control-related refinement.",
+    )
+
+
+def figure5_specification() -> Specification:
+    """Figure 5(a): behavior B computing ``x := x + 5``; x will be
+    mapped to a memory on the other partition."""
+    b = leaf(
+        "B",
+        assign("x", var("x") + 5),
+        assign("out", var("x")),
+    )
+    driver = leaf("Driver", assign("x", var("seed")))
+    top = seq(
+        "Sys",
+        [driver, b],
+        transitions=[transition("Driver", None, "B"), on_complete("B")],
+    )
+    return spec(
+        "Figure5",
+        top,
+        variables=[
+            variable("seed", _INT, init=7, role=Role.INPUT),
+            variable("x", _INT, init=0),
+            variable("out", _INT, init=0, role=Role.OUTPUT),
+        ],
+        doc="Paper Figure 5: data-related refinement of a leaf behavior.",
+    )
+
+
+def figure6_specification() -> Specification:
+    """Figure 6(a): non-leaf behavior B with sub-behaviors B1, B2, B3 and
+    transition conditions ``x > 1`` and ``x > 5`` reading a remote x."""
+    b1 = leaf("B1", assign("x", var("x") + 2))
+    b2 = leaf("B2", assign("x", var("x") * 3))
+    b3 = leaf("B3", assign("out", var("x")))
+    b = seq(
+        "B",
+        [b1, b2, b3],
+        transitions=[
+            transition("B1", var("x") > 1, "B2"),
+            transition("B2", var("x") > 5, "B3"),
+            on_complete("B3"),
+            on_complete("B1", var("x") <= 1),
+            on_complete("B2", var("x") <= 5),
+        ],
+    )
+    return spec(
+        "Figure6",
+        b,
+        variables=[
+            variable("x", _INT, init=1),
+            variable("out", _INT, init=0, role=Role.OUTPUT),
+        ],
+        doc="Paper Figure 6: data-related refinement of a non-leaf behavior.",
+    )
+
+
+def figure7_specification() -> Specification:
+    """Figure 7: B1 reads x, B2 reads y, both over the same bus — the
+    shared-bus contention that requires an arbiter."""
+    b1 = leaf(
+        "B1",
+        for_("i", 1, 3, [assign("r1", var("r1") + var("x"))]),
+    )
+    b2 = leaf(
+        "B2",
+        for_("j", 1, 3, [assign("r2", var("r2") + var("y"))]),
+    )
+    top = conc("Readers", [b1, b2])
+    return spec(
+        "Figure7",
+        top,
+        variables=[
+            variable("x", _INT, init=4),
+            variable("y", _INT, init=9),
+            variable("r1", _INT, init=0, role=Role.OUTPUT),
+            variable("r2", _INT, init=0, role=Role.OUTPUT),
+        ],
+        doc="Paper Figure 7: two masters sharing a bus (arbiter insertion).",
+    )
+
+
+def figure8_specification() -> Specification:
+    """Figure 8: B1 on Component1 needs y stored in Component2's local
+    memory LM2 — the message-passing/bus-interface example."""
+    b1 = leaf(
+        "B1",
+        assign("r", var("y") + 1),
+        assign("r", var("r") + var("y")),
+    )
+    b2 = leaf(
+        "B2",
+        assign("y", var("y") * 2),
+    )
+    top = seq(
+        "Sys",
+        [b2, b1],
+        transitions=[transition("B2", None, "B1"), on_complete("B1")],
+    )
+    return spec(
+        "Figure8",
+        top,
+        variables=[
+            variable("y", _INT, init=5),
+            variable("r", _INT, init=0, role=Role.OUTPUT),
+        ],
+        doc="Paper Figure 8: bus-interface insertion for message passing.",
+    )

@@ -1,0 +1,567 @@
+"""The real-time medical system of the paper's evaluation (§5).
+
+The authors evaluate model refinement on "a real-time embedded medical
+system used to measure a patient's bladder volume" [8], described in
+SpecCharts with **16 behaviors**, **14 variables** and **52 derived
+data-access channels**, an input specification of **226 lines**.  The
+original specification is not public, so this module reconstructs a
+synthetic equivalent with the same published statistics and the same
+overall shape: an ultrasound measure-process-report loop.
+
+System sketch (16 behaviors)::
+
+    BVM (top)
+      Init                  power-on defaults
+      Calibrate             probe calibration from the patient profile
+      MeasureCycle          repeated per measurement cycle
+        Acquire
+          Excite            shape and fire the ultrasound pulse
+          Sample            digitise the echo train into echo_buf
+        Filter              smoothing + gain compensation
+        Detect              threshold-crossing echo detection
+        Gain                adaptive gain control
+        Compute
+          Area              cross-section estimate
+          Volume            volume estimate, clamp and trend
+        Display             LCD output value
+        Alarm               overfill / fast-fill alarm
+        Log                 measurement log record
+
+The 14 internal variables: gain, threshold, pulse, echo_buf, filtered,
+echo_index, found, distance, depth_cal, area_est, volume_est,
+prev_volume, trend, cycle.  Environment ports (patient_profile,
+num_cycles in; display_out, alarm_out, log_out out) model the system
+boundary and are not partitionable.
+
+The three evaluation partitions split the behaviors between a processor
+and an ASIC so the local/global variable ratio matches the paper's
+three designs: ``Design1`` local = global (7/7), ``Design2`` local >
+global, ``Design3`` local < global.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.partition.partition import Partition
+from repro.spec.builder import (
+    assign,
+    for_,
+    if_,
+    leaf,
+    on_complete,
+    seq,
+    spec,
+    transition,
+)
+from repro.spec.expr import var
+from repro.spec.specification import Specification
+from repro.spec.types import array_of, int_type
+from repro.spec.variable import Role, variable
+
+__all__ = [
+    "medical_specification",
+    "design1_partition",
+    "design2_partition",
+    "design3_partition",
+    "all_designs",
+    "MEDICAL_INPUTS",
+]
+
+_I16 = int_type(16)
+
+#: Buffer length of the digitised echo train.
+ECHO_LEN = 8
+
+#: Default stimulus for simulations and profiling: a mid-range patient
+#: profile and two measurement cycles.
+MEDICAL_INPUTS: Dict[str, int] = {"patient_profile": 37, "num_cycles": 2}
+
+
+def medical_specification() -> Specification:
+    """The bladder-volume measurement system (16 behaviors,
+    14 variables, 52 data-access channels)."""
+
+    init = leaf(
+        "Init",
+        assign("gain", 4),
+        assign("threshold", 60),
+        assign("prev_volume", 0),
+        assign("cycle", 0),
+        assign("display_out", 0),
+        assign("alarm_out", 0),
+        assign("log_out", 0),
+        doc="power-on defaults and blanked indicators",
+    )
+
+    calibrate = leaf(
+        "Calibrate",
+        assign("depth_cal", var("patient_profile") / 8 + 3),
+        if_(
+            var("depth_cal") > 12,
+            [assign("depth_cal", 12)],
+        ),
+        if_(
+            var("depth_cal") < 4,
+            [assign("depth_cal", 4)],
+        ),
+        assign("threshold", var("threshold") + var("depth_cal")),
+        if_(
+            var("threshold") > 95,
+            [assign("threshold", 95)],
+        ),
+        assign("gain", var("gain") + var("depth_cal") / 4),
+        doc="probe calibration against the patient profile, clamped",
+    )
+
+    excite = leaf(
+        "Excite",
+        assign("pulse", var("gain") * 3 + var("cycle")),
+        assign("pulse", var("pulse") + var("threshold") / 16),
+        for_(
+            "step",
+            1,
+            2,
+            [assign("pulse", var("pulse") + var("gain") / (var("step") + 1))],
+        ),
+        if_(
+            var("pulse") > 48,
+            [assign("pulse", 48)],
+        ),
+        doc="shape the ultrasound excitation pulse",
+    )
+
+    sample = leaf(
+        "Sample",
+        for_(
+            "i",
+            0,
+            ECHO_LEN - 1,
+            [
+                assign(
+                    var("echo_buf").index(var("i")),
+                    var("patient_profile") / 4
+                    + var("i") * (var("patient_profile") % 13)
+                    + var("pulse") / 8,
+                ),
+            ],
+        ),
+        if_(
+            var("pulse") > 40,
+            [
+                for_(
+                    "i",
+                    0,
+                    ECHO_LEN - 1,
+                    [
+                        assign(
+                            var("echo_buf").index(var("i")),
+                            var("patient_profile") / 4
+                            + var("i") * (var("patient_profile") % 13)
+                            + var("pulse") / 16,
+                        ),
+                    ],
+                )
+            ],
+        ),
+        doc="digitise the echo train; strong pulses re-sample at half drive",
+    )
+
+    acquire = seq(
+        "Acquire",
+        [excite, sample],
+        transitions=[
+            transition("Excite", None, "Sample"),
+            on_complete("Sample"),
+        ],
+        doc="one ultrasound acquisition",
+    )
+
+    filter_ = leaf(
+        "Filter",
+        for_(
+            "i",
+            0,
+            ECHO_LEN - 1,
+            [assign(var("filtered").index(var("i")), var("echo_buf").index(var("i")))],
+        ),
+        assign(var("filtered").index(0), var("echo_buf").index(0)),
+        for_(
+            "i",
+            1,
+            ECHO_LEN - 2,
+            [
+                assign(
+                    var("filtered").index(var("i")),
+                    (
+                        var("echo_buf").index(var("i") - 1)
+                        + var("echo_buf").index(var("i"))
+                        + var("echo_buf").index(var("i") + 1)
+                    )
+                    / 3,
+                ),
+            ],
+        ),
+        assign(
+            var("filtered").index(ECHO_LEN - 1),
+            var("echo_buf").index(ECHO_LEN - 1),
+        ),
+        for_(
+            "i",
+            0,
+            ECHO_LEN - 1,
+            [
+                assign(
+                    var("filtered").index(var("i")),
+                    var("filtered").index(var("i")) + var("gain"),
+                ),
+                if_(
+                    var("filtered").index(var("i")) > 120,
+                    [assign(var("filtered").index(var("i")), 120)],
+                ),
+            ],
+        ),
+        doc="3-tap smoothing, gain compensation and saturation",
+    )
+
+    detect = leaf(
+        "Detect",
+        assign("echo_index", ECHO_LEN - 1),
+        assign("found", 0),
+        for_(
+            "i",
+            0,
+            ECHO_LEN - 1,
+            [
+                if_(
+                    (var("filtered").index(var("i")) > var("threshold")).and_(
+                        var("found").eq(0)
+                    ),
+                    [assign("echo_index", var("i")), assign("found", 1)],
+                ),
+            ],
+        ),
+        assign("distance", (var("echo_index") + 1) * var("depth_cal")),
+        if_(
+            var("found").eq(1),
+            [
+                if_(
+                    var("filtered").index(var("echo_index")) > var("threshold"),
+                    [
+                        assign(
+                            "distance",
+                            var("echo_index") * var("depth_cal")
+                            + var("depth_cal") / 2,
+                        )
+                    ],
+                    [assign("found", 0)],
+                )
+            ],
+        ),
+        doc="threshold-crossing echo detection with confirmation",
+    )
+
+    gain_ctl = leaf(
+        "Gain",
+        if_(
+            var("found").eq(0),
+            [assign("gain", var("gain") + 2)],
+            [
+                if_(
+                    var("gain") > var("threshold") / 24,
+                    [assign("gain", var("gain") - 1)],
+                )
+            ],
+        ),
+        if_(
+            var("gain") > 30,
+            [assign("gain", 30)],
+        ),
+        if_(
+            var("gain") < 1,
+            [assign("gain", 1)],
+        ),
+        doc="adaptive gain control, bounded both ways",
+    )
+
+    area = leaf(
+        "Area",
+        if_(
+            var("distance") > 60,
+            [assign("area_est", 600)],
+            [assign("area_est", var("distance") * var("distance") / 6)],
+        ),
+        doc="bladder cross-section estimate (clamped)",
+    )
+
+    volume = leaf(
+        "Volume",
+        assign("volume_est", var("area_est") * var("distance") / 16),
+        if_(
+            var("volume_est") > 999,
+            [assign("volume_est", 999)],
+        ),
+        assign(
+            "volume_est",
+            (var("volume_est") * 3 + var("prev_volume")) / 4,
+        ),
+        if_(
+            var("volume_est") < 0,
+            [assign("volume_est", 0)],
+        ),
+        assign("trend", var("volume_est") - var("prev_volume")),
+        assign("prev_volume", var("volume_est")),
+        doc="volume estimate, clamp, smoothing and trend",
+    )
+
+    compute = seq(
+        "Compute",
+        [area, volume],
+        transitions=[
+            transition("Area", None, "Volume"),
+            on_complete("Volume"),
+        ],
+        doc="geometry pipeline",
+    )
+
+    display = leaf(
+        "Display",
+        assign("display_out", var("volume_est") + var("trend") / 8),
+        if_(
+            var("display_out") > 999,
+            [assign("display_out", 999)],
+        ),
+        if_(
+            var("display_out") < 0,
+            [assign("display_out", 0)],
+        ),
+        doc="LCD output with trend smoothing and range clipping",
+    )
+
+    alarm = leaf(
+        "Alarm",
+        if_(
+            (var("volume_est") > 350).or_(var("trend") > 120),
+            [assign("alarm_out", var("volume_est"))],
+            [
+                if_(
+                    var("prev_volume") > 320,
+                    [assign("alarm_out", var("prev_volume"))],
+                    [assign("alarm_out", 0)],
+                )
+            ],
+        ),
+        doc="overfill / fast-fill alarm with hysteresis",
+    )
+
+    log = leaf(
+        "Log",
+        assign("cycle", var("cycle") + 1),
+        assign(
+            "log_out",
+            var("cycle") * 10000 + var("volume_est") * 10 + var("found"),
+        ),
+        if_(
+            var("log_out") < 0,
+            [assign("log_out", 0)],
+        ),
+        if_(
+            var("log_out") > 8000000,
+            [assign("log_out", 8000000)],
+        ),
+        doc="measurement log record",
+    )
+
+    measure_cycle = seq(
+        "MeasureCycle",
+        [acquire, filter_, detect, gain_ctl, compute, display, alarm, log],
+        transitions=[
+            transition("Acquire", None, "Filter"),
+            transition("Filter", None, "Detect"),
+            transition("Detect", None, "Gain"),
+            transition("Gain", None, "Compute"),
+            transition("Compute", None, "Display"),
+            transition("Display", None, "Alarm"),
+            transition("Alarm", None, "Log"),
+            on_complete("Log"),
+        ],
+        doc="one complete measurement cycle",
+    )
+
+    top = seq(
+        "BVM",
+        [init, calibrate, measure_cycle],
+        transitions=[
+            transition("Init", None, "Calibrate"),
+            transition("Calibrate", None, "MeasureCycle"),
+            transition("MeasureCycle", var("cycle") < var("num_cycles"),
+                       "MeasureCycle"),
+            on_complete("MeasureCycle", var("cycle") >= var("num_cycles")),
+        ],
+        doc="bladder volume measurement top",
+    )
+
+    return spec(
+        "MedicalBVM",
+        top,
+        variables=[
+            # environment interface (ports; not partitionable)
+            variable("patient_profile", _I16, init=37, role=Role.INPUT,
+                     doc="echo strength profile of the patient"),
+            variable("num_cycles", _I16, init=2, role=Role.INPUT,
+                     doc="measurement cycles to run"),
+            variable("display_out", _I16, init=0, role=Role.OUTPUT,
+                     doc="LCD value"),
+            variable("alarm_out", _I16, init=0, role=Role.OUTPUT,
+                     doc="alarm annunciator value"),
+            variable("log_out", int_type(24), init=0, role=Role.OUTPUT,
+                     doc="log record"),
+            # the 14 internal variables of the paper's system
+            variable("gain", _I16, init=4, doc="transducer gain"),
+            variable("threshold", _I16, init=60, doc="detection threshold"),
+            variable("pulse", _I16, init=0, doc="excitation pulse strength"),
+            variable("echo_buf", array_of(_I16, ECHO_LEN),
+                     doc="raw echo train"),
+            variable("filtered", array_of(_I16, ECHO_LEN),
+                     doc="smoothed echo train"),
+            variable("echo_index", _I16, init=0, doc="detected echo position"),
+            variable("found", _I16, init=0, doc="echo found flag"),
+            variable("distance", _I16, init=0, doc="wall distance"),
+            variable("depth_cal", _I16, init=0, doc="depth calibration factor"),
+            variable("area_est", _I16, init=0, doc="cross-section estimate"),
+            variable("volume_est", _I16, init=0, doc="volume estimate"),
+            variable("prev_volume", _I16, init=0, doc="previous volume"),
+            variable("trend", _I16, init=0, doc="volume trend"),
+            variable("cycle", _I16, init=0, doc="cycle counter"),
+        ],
+        doc=(
+            "Real-time bladder volume measurement system - synthetic "
+            "reconstruction of the paper's evaluation example [8]."
+        ),
+    )
+
+
+def design1_partition(spec_: Specification) -> Partition:
+    """Design1 — "Local = Global" (7 local / 7 global).
+
+    Acquisition and filtering on the ASIC but detection and reporting
+    on the processor, so the *filtered* echo train itself crosses the
+    cut — global traffic genuinely rivals local traffic, the defining
+    property of this design point.
+    """
+    return Partition.from_mapping(
+        spec_,
+        {
+            # processor: control, detection, geometry back half, report
+            "Init": "PROC",
+            "Calibrate": "PROC",
+            "Detect": "PROC",
+            "Volume": "PROC",
+            "Display": "PROC",
+            "Alarm": "PROC",
+            "Log": "PROC",
+            # ASIC: acquisition, filtering, gain control, area
+            "Acquire": "ASIC",
+            "Filter": "ASIC",
+            "Gain": "ASIC",
+            "Area": "ASIC",
+            # variables, homed near their main producer
+            "gain": "ASIC",
+            "threshold": "ASIC",
+            "pulse": "ASIC",
+            "echo_buf": "ASIC",
+            "filtered": "ASIC",
+            "area_est": "ASIC",
+            "echo_index": "PROC",
+            "found": "PROC",
+            "distance": "PROC",
+            "depth_cal": "PROC",
+            "volume_est": "PROC",
+            "prev_volume": "PROC",
+            "trend": "PROC",
+            "cycle": "PROC",
+        },
+        name="Design1",
+    )
+
+
+def design2_partition(spec_: Specification) -> Partition:
+    """Design2 — "Local > Global": the cut follows the natural pipeline
+    boundary — signal processing on the ASIC, geometry and reporting on
+    the processor — so each side keeps its working set local and only
+    the stage-boundary values cross."""
+    return Partition.from_mapping(
+        spec_,
+        {
+            "Init": "PROC",
+            "Calibrate": "PROC",
+            "Compute": "PROC",
+            "Display": "PROC",
+            "Alarm": "PROC",
+            "Log": "PROC",
+            "Acquire": "ASIC",
+            "Filter": "ASIC",
+            "Detect": "ASIC",
+            "Gain": "ASIC",
+            "gain": "ASIC",
+            "threshold": "ASIC",
+            "pulse": "ASIC",
+            "echo_buf": "ASIC",
+            "filtered": "ASIC",
+            "echo_index": "ASIC",
+            "found": "ASIC",
+            "distance": "ASIC",
+            "depth_cal": "PROC",
+            "area_est": "PROC",
+            "volume_est": "PROC",
+            "prev_volume": "PROC",
+            "trend": "PROC",
+            "cycle": "PROC",
+        },
+        name="Design2",
+    )
+
+
+def design3_partition(spec_: Specification) -> Partition:
+    """Design3 — "Local < Global": an adversarial interleaving that
+    separates producers from consumers at nearly every pipeline stage,
+    so almost every variable is accessed from both sides."""
+    return Partition.from_mapping(
+        spec_,
+        {
+            "Init": "PROC",
+            "Calibrate": "ASIC",
+            "Acquire": "PROC",
+            "Filter": "ASIC",
+            "Detect": "PROC",
+            "Gain": "ASIC",
+            "Compute": "ASIC",
+            "Display": "PROC",
+            "Alarm": "ASIC",
+            "Log": "PROC",
+            "gain": "PROC",
+            "threshold": "ASIC",
+            "pulse": "PROC",
+            "echo_buf": "PROC",
+            "filtered": "ASIC",
+            "echo_index": "PROC",
+            "found": "PROC",
+            "distance": "ASIC",
+            "depth_cal": "ASIC",
+            "area_est": "ASIC",
+            "volume_est": "ASIC",
+            "prev_volume": "PROC",
+            "trend": "ASIC",
+            "cycle": "PROC",
+        },
+        name="Design3",
+    )
+
+
+def all_designs(spec_: Specification) -> Dict[str, Partition]:
+    """The three evaluation partitions keyed by their paper name."""
+    return {
+        "Design1": design1_partition(spec_),
+        "Design2": design2_partition(spec_),
+        "Design3": design3_partition(spec_),
+    }

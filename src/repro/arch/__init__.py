@@ -1,0 +1,48 @@
+"""Architecture components, allocation and bus protocols."""
+
+from repro.arch.allocation import Allocation, default_allocation_for
+from repro.arch.components import (
+    ArbiterInst,
+    BusInterfaceInst,
+    BusNet,
+    Component,
+    ComponentKind,
+    MemoryKind,
+    MemoryModule,
+    MemoryPort,
+    Netlist,
+    asic,
+    processor,
+)
+from repro.arch.protocols import (
+    PROTOCOLS,
+    HandshakeProtocol,
+    Protocol,
+    StrobeProtocol,
+    bus_signal_names,
+    bus_signals,
+    resolve_protocol,
+)
+
+__all__ = [
+    "Allocation",
+    "default_allocation_for",
+    "ArbiterInst",
+    "BusInterfaceInst",
+    "BusNet",
+    "Component",
+    "ComponentKind",
+    "MemoryKind",
+    "MemoryModule",
+    "MemoryPort",
+    "Netlist",
+    "asic",
+    "processor",
+    "PROTOCOLS",
+    "HandshakeProtocol",
+    "Protocol",
+    "StrobeProtocol",
+    "bus_signal_names",
+    "bus_signals",
+    "resolve_protocol",
+]

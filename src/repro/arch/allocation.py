@@ -1,0 +1,87 @@
+"""Allocation: the set of system components available to a design.
+
+The paper's Figure 1(b) allocates "an ASIC of size 10,000 gates and 75
+pins, a processor of type Intel8086 and some buses".  An
+:class:`Allocation` carries exactly that — the execution components a
+partition may map to — plus defaults so a partition over unknown
+component names still refines (every unknown name becomes a default
+ASIC, which keeps small examples terse).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.arch.components import Component, ComponentKind, asic, processor
+from repro.errors import AllocationError
+
+__all__ = ["Allocation", "default_allocation_for"]
+
+#: Component-name prefixes that default to processors.
+_PROCESSOR_PREFIXES = ("proc", "cpu", "sw", "p86")
+
+
+class Allocation:
+    """A named set of execution components."""
+
+    def __init__(self, components: Iterable[Component] = (), name: str = "allocation"):
+        self.name = name
+        self.components: Dict[str, Component] = {}
+        for component in components:
+            self.add(component)
+
+    def add(self, component: Component) -> Component:
+        if component.name in self.components:
+            raise AllocationError(
+                f"{self.name}: duplicate component {component.name!r}"
+            )
+        self.components[component.name] = component
+        return component
+
+    def get(self, name: str) -> Component:
+        component = self.components.get(name)
+        if component is None:
+            raise AllocationError(f"{self.name}: unknown component {name!r}")
+        return component
+
+    def has(self, name: str) -> bool:
+        return name in self.components
+
+    def processors(self) -> List[Component]:
+        return [
+            c
+            for c in self.components.values()
+            if c.kind is ComponentKind.PROCESSOR
+        ]
+
+    def asics(self) -> List[Component]:
+        return [c for c in self.components.values() if c.kind is ComponentKind.ASIC]
+
+    def ensure(self, names: Iterable[str]) -> "Allocation":
+        """Return an allocation covering all ``names``, inventing default
+        components for any that are missing (processors for ``PROC``-like
+        names, ASICs otherwise)."""
+        out = Allocation(self.components.values(), name=self.name)
+        for name in names:
+            if not out.has(name):
+                out.add(_default_component(name))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __repr__(self) -> str:
+        return f"<Allocation {self.name!r}: {sorted(self.components)}>"
+
+
+def _default_component(name: str) -> Component:
+    lowered = name.lower()
+    if any(lowered.startswith(prefix) for prefix in _PROCESSOR_PREFIXES):
+        return processor(name)
+    return asic(name)
+
+
+def default_allocation_for(component_names: Iterable[str]) -> Allocation:
+    """The allocation used when the caller supplies none: one default
+    component per partition component name."""
+    return Allocation(name="default").ensure(component_names)

@@ -1,0 +1,343 @@
+"""Bus protocol library.
+
+Data-related refinement "substitutes the read and write operations of
+the variable with receive/send protocols" (paper §2) encapsulated in
+the subroutines ``MST_send``, ``MST_receive``, ``SLV_send`` and
+``SLV_receive`` (Figure 5d).  A :class:`Protocol` generates those four
+subroutines for a concrete bus; "when selecting a different bus
+protocol, the content in the subroutines will change correspondingly"
+— so each protocol is just a different subprogram-body generator, and
+the rest of the refiner is protocol-agnostic.
+
+Two protocols are provided:
+
+* :class:`HandshakeProtocol` — the paper's four-phase fully-interlocked
+  handshake of Figure 5d (control lines ``start``/``done``/``rd``/``wr``
+  plus address and data buses);
+* :class:`StrobeProtocol` — a two-phase timed strobe without the
+  ``done`` acknowledge, trading robustness for fewer bus-level
+  transfers (the protocol-choice ablation).
+
+Naming: for a bus ``b2`` the subroutines are ``MST_send_b2`` etc., and
+its signal bundle is ``b2_start``, ``b2_done``, ``b2_rd``, ``b2_wr``,
+``b2_addr``, ``b2_data``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.arch.components import BusNet
+from repro.errors import RefinementError
+from repro.spec.builder import (
+    assign,
+    sassign,
+    wait_for,
+    wait_until,
+)
+from repro.spec.expr import var
+from repro.spec.subprogram import Direction, Param, Subprogram
+from repro.spec.types import BIT, bits, int_type
+from repro.spec.variable import Variable, signal
+
+__all__ = [
+    "bus_signal_names",
+    "bus_signals",
+    "Protocol",
+    "HandshakeProtocol",
+    "StrobeProtocol",
+    "PROTOCOLS",
+    "resolve_protocol",
+    "master_send_name",
+    "master_receive_name",
+    "slave_send_name",
+    "slave_receive_name",
+]
+
+
+def bus_signal_names(bus_name: str) -> Dict[str, str]:
+    """The canonical signal names of a bus's bundle."""
+    return {
+        "start": f"{bus_name}_start",
+        "done": f"{bus_name}_done",
+        "rd": f"{bus_name}_rd",
+        "wr": f"{bus_name}_wr",
+        "addr": f"{bus_name}_addr",
+        "data": f"{bus_name}_data",
+    }
+
+
+def bus_signals(bus: BusNet) -> List[Variable]:
+    """Signal declarations for a bus's bundle.
+
+    The data bus carries integer values (signed, ``data_width`` bits)
+    so refined transfers preserve the original variables' values
+    exactly; the address bus is an unsigned vector.
+    """
+    names = bus_signal_names(bus.name)
+    return [
+        signal(names["start"], BIT, init=0, doc=f"{bus.name} transfer strobe"),
+        signal(names["done"], BIT, init=0, doc=f"{bus.name} slave acknowledge"),
+        signal(names["rd"], BIT, init=0, doc=f"{bus.name} read request"),
+        signal(names["wr"], BIT, init=0, doc=f"{bus.name} write request"),
+        signal(
+            names["addr"],
+            bits(max(1, bus.addr_width)),
+            init=0,
+            doc=f"{bus.name} address bus",
+        ),
+        signal(
+            names["data"],
+            int_type(max(2, bus.data_width)),
+            init=0,
+            doc=f"{bus.name} data bus",
+        ),
+    ]
+
+
+def master_send_name(bus_name: str) -> str:
+    return f"MST_send_{bus_name}"
+
+
+def master_receive_name(bus_name: str) -> str:
+    return f"MST_receive_{bus_name}"
+
+
+def slave_send_name(bus_name: str) -> str:
+    return f"SLV_send_{bus_name}"
+
+
+def slave_receive_name(bus_name: str) -> str:
+    return f"SLV_receive_{bus_name}"
+
+
+class Protocol:
+    """Generator of the four protocol subroutines for one bus."""
+
+    #: Registry key and the ``BusNet.protocol`` tag.
+    name: str = "abstract"
+
+    #: Bus-level transfers one word transaction costs (drives the bus
+    #: occupancy estimate and the cost model).
+    cycles_per_transfer: int = 0
+
+    #: Whether a slave may take unbounded time to respond (required for
+    #: Model4's message passing, where the serving "slave" is a bus
+    #: interface that forwards over further buses before answering).
+    #: Timed protocols with a fixed response window cannot provide this.
+    supports_multi_hop: bool = True
+
+    def subprograms(self, bus: BusNet) -> List[Subprogram]:
+        """All four subroutines for ``bus``."""
+        return [
+            self.master_send(bus),
+            self.master_receive(bus),
+            self.slave_send(bus),
+            self.slave_receive(bus),
+        ]
+
+    def extra_signals(self, bus: BusNet) -> List[Variable]:
+        """Additional bus lines this protocol needs beyond the standard
+        bundle (declared by the refiner alongside the bundle).  The
+        built-in protocols need none; custom protocols override this —
+        e.g. a parity line per bus."""
+        return []
+
+    def master_send(self, bus: BusNet) -> Subprogram:
+        raise NotImplementedError
+
+    def master_receive(self, bus: BusNet) -> Subprogram:
+        raise NotImplementedError
+
+    def slave_send(self, bus: BusNet) -> Subprogram:
+        raise NotImplementedError
+
+    def slave_receive(self, bus: BusNet) -> Subprogram:
+        raise NotImplementedError
+
+    # -- shared parameter shapes -----------------------------------------------
+
+    def _addr_param(self, bus: BusNet) -> Param:
+        return Param("addr", bits(max(1, bus.addr_width)), Direction.IN)
+
+    def _data_in_param(self, bus: BusNet) -> Param:
+        return Param("data", int_type(max(2, bus.data_width)), Direction.IN)
+
+    def _data_out_param(self, bus: BusNet) -> Param:
+        return Param("data", int_type(max(2, bus.data_width)), Direction.OUT)
+
+
+class HandshakeProtocol(Protocol):
+    """The paper's Figure 5d four-phase handshake.
+
+    Write:  master drives addr/data, raises ``wr`` then ``start``;
+    slave latches and raises ``done``; master drops ``start``/``wr``;
+    slave drops ``done``.  Read is symmetric with the slave driving
+    ``data`` before ``done``.
+    """
+
+    name = "handshake"
+    cycles_per_transfer = 4
+
+    def master_send(self, bus: BusNet) -> Subprogram:
+        s = bus_signal_names(bus.name)
+        return Subprogram(
+            master_send_name(bus.name),
+            params=[self._addr_param(bus), self._data_in_param(bus)],
+            stmt_body=[
+                sassign(s["addr"], var("addr")),
+                sassign(s["data"], var("data")),
+                sassign(s["wr"], 1),
+                sassign(s["start"], 1),
+                wait_until(var(s["done"]).eq(1)),
+                sassign(s["start"], 0),
+                sassign(s["wr"], 0),
+                wait_until(var(s["done"]).eq(0)),
+            ],
+            doc=f"write one word to a slave on {bus.name} (4-phase handshake)",
+        )
+
+    def master_receive(self, bus: BusNet) -> Subprogram:
+        s = bus_signal_names(bus.name)
+        return Subprogram(
+            master_receive_name(bus.name),
+            params=[self._addr_param(bus), self._data_out_param(bus)],
+            stmt_body=[
+                sassign(s["addr"], var("addr")),
+                sassign(s["rd"], 1),
+                sassign(s["start"], 1),
+                wait_until(var(s["done"]).eq(1)),
+                assign("data", var(s["data"])),
+                sassign(s["start"], 0),
+                sassign(s["rd"], 0),
+                wait_until(var(s["done"]).eq(0)),
+            ],
+            doc=f"read one word from a slave on {bus.name} (4-phase handshake)",
+        )
+
+    def slave_send(self, bus: BusNet) -> Subprogram:
+        s = bus_signal_names(bus.name)
+        return Subprogram(
+            slave_send_name(bus.name),
+            params=[self._data_in_param(bus)],
+            stmt_body=[
+                sassign(s["data"], var("data")),
+                sassign(s["done"], 1),
+                wait_until(var(s["start"]).eq(0)),
+                sassign(s["done"], 0),
+            ],
+            doc=f"serve a read request on {bus.name}",
+        )
+
+    def slave_receive(self, bus: BusNet) -> Subprogram:
+        s = bus_signal_names(bus.name)
+        return Subprogram(
+            slave_receive_name(bus.name),
+            params=[self._data_out_param(bus)],
+            stmt_body=[
+                assign("data", var(s["data"])),
+                sassign(s["done"], 1),
+                wait_until(var(s["start"]).eq(0)),
+                sassign(s["done"], 0),
+            ],
+            doc=f"serve a write request on {bus.name}",
+        )
+
+
+class StrobeProtocol(Protocol):
+    """A two-phase timed strobe: no ``done`` acknowledge.
+
+    The master holds ``start`` for a fixed window the slave is assumed
+    to meet (slaves respond within delta cycles in this simulator).
+    Fewer bus-level transfers per word than the handshake, but no
+    protection against a slow slave — exactly the trade the
+    protocol-selection experiment quantifies.
+    """
+
+    name = "strobe"
+    cycles_per_transfer = 2
+    #: a fixed hold window cannot wait for a bus interface that first
+    #: forwards the request over further buses
+    supports_multi_hop = False
+
+    #: Time units the strobe is held; slaves must respond within this.
+    strobe_hold = 2
+
+    def master_send(self, bus: BusNet) -> Subprogram:
+        s = bus_signal_names(bus.name)
+        return Subprogram(
+            master_send_name(bus.name),
+            params=[self._addr_param(bus), self._data_in_param(bus)],
+            stmt_body=[
+                sassign(s["addr"], var("addr")),
+                sassign(s["data"], var("data")),
+                sassign(s["wr"], 1),
+                sassign(s["start"], 1),
+                wait_for(self.strobe_hold),
+                sassign(s["start"], 0),
+                sassign(s["wr"], 0),
+                wait_for(self.strobe_hold),
+            ],
+            doc=f"write one word to a slave on {bus.name} (timed strobe)",
+        )
+
+    def master_receive(self, bus: BusNet) -> Subprogram:
+        s = bus_signal_names(bus.name)
+        return Subprogram(
+            master_receive_name(bus.name),
+            params=[self._addr_param(bus), self._data_out_param(bus)],
+            stmt_body=[
+                sassign(s["addr"], var("addr")),
+                sassign(s["rd"], 1),
+                sassign(s["start"], 1),
+                wait_for(self.strobe_hold),
+                assign("data", var(s["data"])),
+                sassign(s["start"], 0),
+                sassign(s["rd"], 0),
+                wait_for(self.strobe_hold),
+            ],
+            doc=f"read one word from a slave on {bus.name} (timed strobe)",
+        )
+
+    def slave_send(self, bus: BusNet) -> Subprogram:
+        s = bus_signal_names(bus.name)
+        return Subprogram(
+            slave_send_name(bus.name),
+            params=[self._data_in_param(bus)],
+            stmt_body=[
+                sassign(s["data"], var("data")),
+                wait_until(var(s["start"]).eq(0)),
+            ],
+            doc=f"serve a read request on {bus.name} (timed strobe)",
+        )
+
+    def slave_receive(self, bus: BusNet) -> Subprogram:
+        s = bus_signal_names(bus.name)
+        return Subprogram(
+            slave_receive_name(bus.name),
+            params=[self._data_out_param(bus)],
+            stmt_body=[
+                assign("data", var(s["data"])),
+                wait_until(var(s["start"]).eq(0)),
+            ],
+            doc=f"serve a write request on {bus.name} (timed strobe)",
+        )
+
+
+#: Registry of available protocols by name.
+PROTOCOLS: Dict[str, Protocol] = {
+    HandshakeProtocol.name: HandshakeProtocol(),
+    StrobeProtocol.name: StrobeProtocol(),
+}
+
+
+def resolve_protocol(protocol) -> Protocol:
+    """Accept a :class:`Protocol` or its registry name."""
+    if isinstance(protocol, Protocol):
+        return protocol
+    found = PROTOCOLS.get(protocol)
+    if found is None:
+        raise RefinementError(
+            f"unknown protocol {protocol!r}; available: {sorted(PROTOCOLS)}"
+        )
+    return found

@@ -1,0 +1,329 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands mirror the library's main flows:
+
+* ``repro stats [FILE]`` — structural statistics and the derived
+  channel count of a specification (the bundled medical system when no
+  file is given);
+* ``repro print [FILE]`` — pretty-print a specification (round-trips
+  the concrete syntax);
+* ``repro simulate [FILE] [--input name=value ...]`` — execute the
+  functional model and report outputs;
+* ``repro partition [FILE] --algorithm greedy|kl|annealed`` — run a
+  baseline partitioner and print the result;
+* ``repro refine [FILE] --design D --model M [-o OUT]`` — run model
+  refinement and (optionally) write the refined source;
+* ``repro figure9`` / ``repro figure10 [--check]`` — regenerate the
+  paper's evaluation tables;
+* ``repro verify --design D --model M`` — co-simulate original vs
+  refined (the equivalence check).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_spec(path: Optional[str]):
+    from repro.apps.medical import medical_specification
+    from repro.lang.parser import parse
+
+    if path is None:
+        spec = medical_specification()
+    else:
+        with open(path) as handle:
+            spec = parse(handle.read())
+    spec.validate()
+    return spec
+
+
+def _resolve_partition(spec, args):
+    """Partition from --design (medical only) or a mapping file."""
+    from repro.apps.medical import all_designs
+
+    if getattr(args, "design", None):
+        designs = all_designs(spec)
+        if args.design not in designs:
+            raise ReproError(
+                f"unknown design {args.design!r}; choose from {sorted(designs)}"
+            )
+        return designs[args.design]
+    raise ReproError("a --design is required (Design1, Design2 or Design3)")
+
+
+def _parse_inputs(pairs: List[str]) -> Dict[str, int]:
+    inputs: Dict[str, int] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise ReproError(f"--input expects name=value, got {pair!r}")
+        name, _, value = pair.partition("=")
+        inputs[name.strip()] = int(value)
+    return inputs
+
+
+# -- subcommand handlers -------------------------------------------------------
+
+
+def _cmd_stats(args) -> int:
+    from repro.graph import AccessGraph
+
+    spec = _load_spec(args.file)
+    stats = spec.stats()
+    graph = AccessGraph.from_specification(spec)
+    print(f"specification {spec.name}")
+    for key, value in stats.as_dict().items():
+        print(f"  {key}: {value}")
+    print(f"  data-access channels: {graph.channel_count()}")
+    print(f"  source lines: {spec.line_count()}")
+    return 0
+
+
+def _cmd_print(args) -> int:
+    from repro.lang.printer import print_specification
+
+    spec = _load_spec(args.file)
+    sys.stdout.write(print_specification(spec))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.sim import Simulator
+
+    spec = _load_spec(args.file)
+    result = Simulator(spec).run(inputs=_parse_inputs(args.input))
+    status = "completed" if result.completed else "DID NOT COMPLETE"
+    print(f"simulation {status} ({result.steps} scheduler steps)")
+    for name, value in result.output_values().items():
+        print(f"  {name} = {value}")
+    return 0 if result.completed else 1
+
+
+def _cmd_partition(args) -> int:
+    from repro.graph import AccessGraph, classify_variables
+    from repro.partition import (
+        annealed_partition,
+        greedy_partition,
+        kl_partition,
+        partition_cost,
+    )
+
+    spec = _load_spec(args.file)
+    graph = AccessGraph.from_specification(spec)
+    algorithms = {
+        "greedy": greedy_partition,
+        "kl": kl_partition,
+        "annealed": annealed_partition,
+    }
+    partition = algorithms[args.algorithm](spec, graph=graph)
+    print(partition.describe())
+    print(f"cost: {partition_cost(graph, partition):.3f}")
+    if partition.p >= 2:
+        print(classify_variables(graph, partition).describe())
+    return 0
+
+
+def _cmd_refine(args) -> int:
+    from repro.lang.printer import print_specification
+    from repro.models import resolve_model
+    from repro.refine import Refiner
+
+    spec = _load_spec(args.file)
+    partition = _resolve_partition(spec, args)
+    design = Refiner(
+        spec, partition, resolve_model(args.model), protocol=args.protocol
+    ).run()
+    print(design.describe())
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(print_specification(design.spec))
+        print(f"refined specification written to {args.output}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.models import resolve_model
+    from repro.refine import Refiner
+    from repro.sim.equivalence import check_equivalence
+
+    spec = _load_spec(args.file)
+    partition = _resolve_partition(spec, args)
+    design = Refiner(spec, partition, resolve_model(args.model)).run()
+    report = check_equivalence(design, inputs=_parse_inputs(args.input))
+    print(report.describe())
+    return 0 if report.equivalent else 1
+
+
+def _cmd_export_c(args) -> int:
+    from repro.export import export_c
+
+    spec = _load_spec(args.file)
+    source = export_c(spec, inputs=_parse_inputs(args.input))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(source)
+        print(f"C translation unit written to {args.output}")
+    else:
+        sys.stdout.write(source)
+    return 0
+
+
+def _cmd_export_vhdl(args) -> int:
+    from repro.export import export_vhdl
+
+    spec = _load_spec(args.file)
+    top = None
+    if getattr(args, "design", None):
+        from repro.models import resolve_model
+        from repro.refine import Refiner
+
+        partition = _resolve_partition(spec, args)
+        design = Refiner(spec, partition, resolve_model(args.model)).run()
+        spec = design.spec
+    source = export_vhdl(spec, entity_name=args.entity)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(source)
+        print(f"VHDL written to {args.output}")
+    else:
+        sys.stdout.write(source)
+    return 0
+
+
+def _cmd_figure9(args) -> int:
+    from repro.experiments import run_figure9
+
+    print(run_figure9().render(include_paper=not args.no_paper))
+    return 0
+
+
+def _cmd_figure10(args) -> int:
+    from repro.experiments import run_figure10
+
+    result = run_figure10(check_equivalence=args.check)
+    print(result.render(include_paper=not args.no_paper))
+    return 0
+
+
+# -- parser ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Model refinement for hardware-software codesign "
+            "(Gong, Gajski & Bakshi, DATE 1996) - reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_file(p):
+        p.add_argument(
+            "file",
+            nargs="?",
+            help="specification source file (default: the bundled medical system)",
+        )
+
+    p = sub.add_parser("stats", help="structural statistics and channel count")
+    add_file(p)
+    p.set_defaults(handler=_cmd_stats)
+
+    p = sub.add_parser("print", help="pretty-print a specification")
+    add_file(p)
+    p.set_defaults(handler=_cmd_print)
+
+    p = sub.add_parser("simulate", help="execute the functional model")
+    add_file(p)
+    p.add_argument("--input", action="append", metavar="NAME=VALUE")
+    p.set_defaults(handler=_cmd_simulate)
+
+    p = sub.add_parser("partition", help="run a baseline partitioner")
+    add_file(p)
+    p.add_argument(
+        "--algorithm",
+        choices=("greedy", "kl", "annealed"),
+        default="greedy",
+    )
+    p.set_defaults(handler=_cmd_partition)
+
+    p = sub.add_parser("refine", help="run model refinement")
+    add_file(p)
+    p.add_argument("--design", required=True,
+                   help="Design1, Design2 or Design3 (medical system)")
+    p.add_argument("--model", default="Model1",
+                   help="Model1..Model4 (default Model1)")
+    p.add_argument("--protocol", default="handshake",
+                   choices=("handshake", "strobe"))
+    p.add_argument("-o", "--output", help="write the refined source here")
+    p.set_defaults(handler=_cmd_refine)
+
+    p = sub.add_parser("verify", help="co-simulate original vs refined")
+    add_file(p)
+    p.add_argument("--design", required=True)
+    p.add_argument("--model", default="Model1")
+    p.add_argument("--input", action="append", metavar="NAME=VALUE")
+    p.set_defaults(handler=_cmd_verify)
+
+    p = sub.add_parser(
+        "export-c",
+        help="generate a standalone C program from the functional model",
+    )
+    add_file(p)
+    p.add_argument("--input", action="append", metavar="NAME=VALUE",
+                   help="bake an input port value into the program")
+    p.add_argument("-o", "--output", help="write the C source here")
+    p.set_defaults(handler=_cmd_export_c)
+
+    p = sub.add_parser(
+        "export-vhdl",
+        help="generate behavioral VHDL (optionally of a refined design)",
+    )
+    add_file(p)
+    p.add_argument("--design", help="refine first: Design1/2/3 (medical)")
+    p.add_argument("--model", default="Model1")
+    p.add_argument("--entity", help="override the entity name")
+    p.add_argument("-o", "--output", help="write the VHDL source here")
+    p.set_defaults(handler=_cmd_export_vhdl)
+
+    p = sub.add_parser("figure9", help="regenerate the Figure 9 table")
+    p.add_argument("--no-paper", action="store_true",
+                   help="omit the paper's reference rows")
+    p.set_defaults(handler=_cmd_figure9)
+
+    p = sub.add_parser("figure10", help="regenerate the Figure 10 table")
+    p.add_argument("--check", action="store_true",
+                   help="co-simulate every refined design (slower)")
+    p.add_argument("--no-paper", action="store_true")
+    p.set_defaults(handler=_cmd_figure10)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early: not an error
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

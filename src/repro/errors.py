@@ -1,0 +1,75 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single type at an API boundary.  Subsystems raise the most specific type
+below; nothing in the library raises a bare ``Exception``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SpecError(ReproError):
+    """A specification is structurally or semantically malformed."""
+
+
+class TypeMismatchError(SpecError):
+    """An expression or assignment violates the IR type rules."""
+
+
+class ScopeError(SpecError):
+    """A name could not be resolved in the scope it is used from."""
+
+
+class ParseError(ReproError):
+    """The textual SpecCharts front end rejected its input.
+
+    Carries the source position so tooling can point at the offending
+    token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class GraphError(ReproError):
+    """Access-graph construction or queries failed."""
+
+
+class PartitionError(ReproError):
+    """A partition is inconsistent with the specification or allocation."""
+
+
+class AllocationError(ReproError):
+    """An allocation (component set) is invalid or insufficient."""
+
+
+class EstimationError(ReproError):
+    """Quality-metric estimation could not be computed."""
+
+
+class RefinementError(ReproError):
+    """Model refinement could not transform the specification."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation failed or diverged."""
+
+
+class SimulationLimitExceeded(SimulationError):
+    """The simulation hit its step/time budget without completing.
+
+    Usually indicates a livelock in a refined protocol (e.g. a master
+    waiting for a slave that was never generated).
+    """
+
+
+class EquivalenceError(ReproError):
+    """Original and refined specifications disagree on observed state."""

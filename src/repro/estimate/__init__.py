@@ -1,0 +1,37 @@
+"""Quality-metric estimation: timing, profiling, transfer rates, cost."""
+
+from repro.estimate.cost import CostReport, CostWeights, design_cost
+from repro.estimate.profile import (
+    ProfileResult,
+    profile_specification,
+    static_profile,
+)
+from repro.estimate.rates import (
+    BusRateReport,
+    ChannelRate,
+    bus_transfer_rates,
+    channel_rates,
+)
+from repro.estimate.timing import (
+    HARDWARE_CYCLES,
+    SOFTWARE_CYCLES,
+    TimingModel,
+    cost_function,
+)
+
+__all__ = [
+    "CostReport",
+    "CostWeights",
+    "design_cost",
+    "ProfileResult",
+    "profile_specification",
+    "static_profile",
+    "BusRateReport",
+    "ChannelRate",
+    "bus_transfer_rates",
+    "channel_rates",
+    "HARDWARE_CYCLES",
+    "SOFTWARE_CYCLES",
+    "TimingModel",
+    "cost_function",
+]

@@ -1,0 +1,103 @@
+"""Design cost model for comparing implementation models.
+
+Paper §5: "when considering design cost, we need to take into account
+not only the number of buses, the bus transfer rate required for each
+bus, but also the cost of bus interfaces [... and] the number of
+memories and the sizes of the memories required in each model."
+
+This module turns a :class:`ModelPlan` plus a rate report into a
+comparable :class:`CostReport` with exactly those terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.estimate.rates import BusRateReport
+from repro.models.plan import BusRole, ModelPlan
+
+__all__ = ["CostWeights", "CostReport", "design_cost"]
+
+
+@dataclass
+class CostWeights:
+    """Relative prices of the cost terms (calibration constants).
+
+    ``bus_rate_per_mbit`` prices bus bandwidth (faster buses are more
+    expensive to engineer); ``port`` prices each extra memory port;
+    ``interface`` prices one bus-interface block; ``bit`` prices one
+    memory bit.
+    """
+
+    bus: float = 50.0
+    bus_rate_per_mbit: float = 1.0
+    memory: float = 100.0
+    port: float = 40.0
+    bit: float = 0.05
+    arbiter: float = 30.0
+    interface: float = 120.0
+
+
+class CostReport:
+    """Itemised cost of one (design, model) cell."""
+
+    def __init__(self, plan: ModelPlan, weights: CostWeights):
+        self.plan = plan
+        self.weights = weights
+        self.bus_count = len(plan.buses)
+        self.memory_count = len(plan.memories)
+        self.port_count = sum(m.port_count for m in plan.memories.values())
+        # one bus-interface block per component-side interface bus
+        self.interface_count = len(plan.buses_with_role(BusRole.IFACE))
+        self.memory_bits = self._memory_bits()
+        self.max_bus_mbits = 0.0
+        self.total_bus_mbits = 0.0
+
+    def _memory_bits(self) -> int:
+        total = 0
+        for memory in self.plan.memories.values():
+            for name in memory.variables:
+                total += self.plan.spec.global_variable(name).dtype.bit_width
+        return total
+
+    def apply_rates(self, report: BusRateReport) -> "CostReport":
+        self.max_bus_mbits = report.max_rate / 1e6
+        self.total_bus_mbits = report.total_rate / 1e6
+        return self
+
+    @property
+    def total(self) -> float:
+        w = self.weights
+        return (
+            w.bus * self.bus_count
+            + w.bus_rate_per_mbit * self.total_bus_mbits
+            + w.memory * self.memory_count
+            + w.port * self.port_count
+            + w.bit * self.memory_bits
+            + w.interface * self.interface_count
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "buses": self.bus_count,
+            "memories": self.memory_count,
+            "ports": self.port_count,
+            "interfaces": self.interface_count,
+            "memory_bits": self.memory_bits,
+            "max_bus_mbits": round(self.max_bus_mbits, 1),
+            "total_bus_mbits": round(self.total_bus_mbits, 1),
+            "total_cost": round(self.total, 1),
+        }
+
+
+def design_cost(
+    plan: ModelPlan,
+    rates: Optional[BusRateReport] = None,
+    weights: Optional[CostWeights] = None,
+) -> CostReport:
+    """Cost a planned topology, optionally including its bus rates."""
+    report = CostReport(plan, weights or CostWeights())
+    if rates is not None:
+        report.apply_rates(rates)
+    return report

@@ -1,0 +1,148 @@
+"""Channel and bus transfer rates — the Figure 9 metric.
+
+Paper §5: "The bus transfer rate is calculated as the sum of the
+channel transfer rate of all channels mapped to the bus.  The channel
+transfer rate is defined as the rate at which data is sent during the
+lifetime of the behaviors communicating over the channel."
+
+For a data channel (behavior B, variable v):
+
+    rate = accesses(B, v) * bits(v) / lifetime(B)      [bits/second]
+
+and a bus's rate sums the rates of every channel the implementation
+model routes over it (a cross-partition access in Model4 loads all
+three interface-path buses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import EstimationError
+from repro.estimate.profile import ProfileResult
+from repro.graph.access_graph import AccessGraph, ChannelKind
+from repro.models.plan import ModelPlan
+from repro.spec.types import ArrayType
+
+__all__ = ["ChannelRate", "BusRateReport", "channel_rates", "bus_transfer_rates"]
+
+
+@dataclass
+class ChannelRate:
+    """One channel's contribution, fully attributed."""
+
+    behavior: str
+    variable: str
+    kind: ChannelKind
+    accesses: float
+    bits_per_access: int
+    lifetime: float
+
+    @property
+    def bits_per_second(self) -> float:
+        return self.accesses * self.bits_per_access / self.lifetime
+
+    def __repr__(self) -> str:
+        return (
+            f"ChannelRate({self.behavior}-{self.kind.value}->{self.variable}: "
+            f"{self.bits_per_second / 1e6:.1f} Mbit/s)"
+        )
+
+
+class BusRateReport:
+    """Per-bus transfer-rate totals for one (design, model) cell."""
+
+    def __init__(self, plan: ModelPlan):
+        self.plan = plan
+        #: bus name -> bits/second
+        self.rates: Dict[str, float] = {name: 0.0 for name in plan.buses}
+        #: channels that contributed (for drill-down)
+        self.channels: List[ChannelRate] = []
+
+    @property
+    def model_name(self) -> str:
+        return self.plan.model_name
+
+    def rate_of(self, bus: str) -> float:
+        if bus not in self.rates:
+            raise EstimationError(f"no bus {bus!r} in {self.model_name}")
+        return self.rates[bus]
+
+    def mbits(self, bus: str) -> float:
+        """Rate in Mbit/s (the unit of Figure 9)."""
+        return self.rate_of(bus) / 1e6
+
+    @property
+    def max_rate(self) -> float:
+        """The hot-spot metric: the busiest bus's rate."""
+        return max(self.rates.values()) if self.rates else 0.0
+
+    @property
+    def total_rate(self) -> float:
+        return sum(self.rates.values())
+
+    def as_row(self) -> Dict[str, float]:
+        """Bus -> Mbit/s, in bus order (one Figure 9 table cell)."""
+        return {name: self.rates[name] / 1e6 for name in self.plan.buses}
+
+    def describe(self) -> str:
+        cells = ", ".join(
+            f"{name}={rate / 1e6:.0f}" for name, rate in self.rates.items()
+        )
+        return f"{self.model_name}: {cells} (Mbit/s)"
+
+
+def channel_rates(
+    graph: AccessGraph,
+    profile: ProfileResult,
+) -> List[ChannelRate]:
+    """Rate of every data channel under the given profile.
+
+    Dynamic profiles may record zero accesses for a channel the static
+    graph saw (a branch not taken); such channels contribute nothing,
+    mirroring the paper's simulation-based estimator.
+    """
+    spec = graph.spec
+    out: List[ChannelRate] = []
+    for channel in graph.data_channels():
+        accesses = profile.accesses(channel.behavior, channel.variable, channel.kind)
+        if profile.kind == "static" or accesses == 0.0:
+            # static profiles carry counts in the graph weights already;
+            # for dynamic profiles fall back to nothing (branch untaken)
+            if profile.kind == "static":
+                accesses = channel.weight
+        if accesses == 0.0:
+            continue
+        decl = spec.global_variable(channel.variable)
+        dtype = decl.dtype
+        if isinstance(dtype, ArrayType):
+            dtype = dtype.element  # one element moves per access
+        out.append(
+            ChannelRate(
+                behavior=channel.behavior,
+                variable=channel.variable,
+                kind=channel.kind,
+                accesses=accesses,
+                bits_per_access=dtype.bit_width,
+                lifetime=profile.lifetime(channel.behavior),
+            )
+        )
+    return out
+
+
+def bus_transfer_rates(
+    plan: ModelPlan,
+    graph: AccessGraph,
+    profile: ProfileResult,
+    rates: Optional[List[ChannelRate]] = None,
+) -> BusRateReport:
+    """Map channel rates onto the plan's buses (one Figure 9 cell)."""
+    report = BusRateReport(plan)
+    partition = plan.partition
+    for rate in rates if rates is not None else channel_rates(graph, profile):
+        component = partition.effective_component_of_behavior(rate.behavior)
+        for bus in plan.route(component, rate.variable):
+            report.rates[bus] += rate.bits_per_second
+        report.channels.append(rate)
+    return report

@@ -1,0 +1,34 @@
+"""The paper's evaluation harness (§5): Figures 9 and 10, reference
+data, and table rendering."""
+
+from repro.experiments.figure9 import (
+    Figure9Cell,
+    Figure9Result,
+    default_allocation,
+    run_figure9,
+)
+from repro.experiments.figure10 import Figure10Cell, Figure10Result, run_figure10
+from repro.experiments.paperdata import (
+    PAPER_FIGURE9,
+    PAPER_FIGURE10_LINES,
+    PAPER_FIGURE10_SECONDS,
+    PAPER_ORIGINAL_LINES,
+    PAPER_SPEC_STATS,
+)
+from repro.experiments.tables import render_table
+
+__all__ = [
+    "Figure9Cell",
+    "Figure9Result",
+    "default_allocation",
+    "run_figure9",
+    "Figure10Cell",
+    "Figure10Result",
+    "run_figure10",
+    "PAPER_FIGURE9",
+    "PAPER_FIGURE10_LINES",
+    "PAPER_FIGURE10_SECONDS",
+    "PAPER_ORIGINAL_LINES",
+    "PAPER_SPEC_STATS",
+    "render_table",
+]

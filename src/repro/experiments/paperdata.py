@@ -1,0 +1,64 @@
+"""The paper's published evaluation numbers (Figures 9 and 10).
+
+Kept verbatim so the reproduction can report paper-vs-measured side by
+side and check the *shape* claims (who wins, where the hot spots are)
+without asserting absolute equality — our substrate is a simulator and
+a synthetic reconstruction of the medical system, not the authors'
+SPARC5 toolchain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = [
+    "PAPER_FIGURE9",
+    "PAPER_FIGURE10_LINES",
+    "PAPER_FIGURE10_SECONDS",
+    "PAPER_ORIGINAL_LINES",
+    "PAPER_SPEC_STATS",
+]
+
+#: Figure 9 — bus transfer rates in Mbit/s, per design and model, in the
+#: bus order of Figure 3 (Model2: b1, b2, b3; Model3: b1..b6; Model4:
+#: b1, b2=b3=b4, b5 — the triple is one reported number).
+PAPER_FIGURE9: Dict[str, Dict[str, List[float]]] = {
+    "Design1": {
+        "Model1": [3636],
+        "Model2": [853, 2030, 753],
+        "Model3": [853, 480, 179, 640, 731, 753],
+        "Model4": [1333, 910, 1393],
+    },
+    "Design2": {
+        "Model1": [3636],
+        "Model2": [853, 1580, 1203],
+        "Model3": [853, 179, 480, 281, 640, 1202],
+        "Model4": [1352, 800, 1484],
+    },
+    "Design3": {
+        "Model1": [3636],
+        "Model2": [42, 3576, 18],
+        "Model3": [42, 480, 990, 640, 1466, 18],
+        "Model4": [522, 2456, 658],
+    },
+}
+
+#: Figure 10 — refined specification sizes in source lines.
+PAPER_FIGURE10_LINES: Dict[str, Dict[str, int]] = {
+    "Design1": {"Model1": 3057, "Model2": 2815, "Model3": 2630, "Model4": 3377},
+    "Design2": {"Model1": 3057, "Model2": 2743, "Model3": 2630, "Model4": 2985},
+    "Design3": {"Model1": 3057, "Model2": 3032, "Model3": 2635, "Model4": 4324},
+}
+
+#: Figure 10 — refinement CPU seconds on a SPARC5 workstation.
+PAPER_FIGURE10_SECONDS: Dict[str, Dict[str, int]] = {
+    "Design1": {"Model1": 37, "Model2": 35, "Model3": 33, "Model4": 37},
+    "Design2": {"Model1": 37, "Model2": 34, "Model3": 33, "Model4": 37},
+    "Design3": {"Model1": 37, "Model2": 37, "Model3": 37, "Model4": 39},
+}
+
+#: The medical system's input specification size (paper §5).
+PAPER_ORIGINAL_LINES = 226
+
+#: The medical system's published structural statistics.
+PAPER_SPEC_STATS = {"behaviors": 16, "variables": 14, "channels": 52}

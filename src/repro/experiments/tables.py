@@ -1,0 +1,41 @@
+"""Plain-text table rendering for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table (monospace, +-| borders)."""
+    cells = [[str(h) for h in headers]] + [
+        [str(value) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(row[column]) for row in cells)
+        for column in range(len(headers))
+    ]
+
+    def line(row: Sequence[str]) -> str:
+        return (
+            "| "
+            + " | ".join(value.ljust(width) for value, width in zip(row, widths))
+            + " |"
+        )
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(separator)
+    out.append(line(cells[0]))
+    out.append(separator)
+    for row in cells[1:]:
+        out.append(line(row))
+    out.append(separator)
+    return "\n".join(out)

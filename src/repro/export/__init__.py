@@ -1,0 +1,6 @@
+"""Back ends: hand-off of refined specifications to downstream tools."""
+
+from repro.export.c_backend import CExportError, export_c
+from repro.export.vhdl_backend import VhdlExportError, export_vhdl
+
+__all__ = ["CExportError", "export_c", "VhdlExportError", "export_vhdl"]

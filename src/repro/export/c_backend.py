@@ -1,0 +1,595 @@
+"""C code generation — the paper's "software compilation" hand-off.
+
+Paper §1: "since the refined specification is complete, it can serve as
+an input for functional verification, behavioral synthesis or software
+compilation tools that may follow hardware-software codesign".  This
+backend performs the software half of that hand-off: it compiles a
+*sequential* behavior tree (the functional model, or one processor
+partition of a refined design) into a standalone C translation unit.
+
+Mapping:
+
+=====================  ==========================================
+IR construct           C construct
+=====================  ==========================================
+IntType(w)             ``int8_t``/``int16_t``/``int32_t``/``int64_t``
+BitVectorType(w)       unsigned of the matching width
+BoolType               ``int`` (0/1)
+EnumType               ``enum`` with ``K_<enum>_<literal>`` constants
+ArrayType              C array
+variable               file-scope or block-scope object
+leaf behavior          ``static void <name>(void)``
+sequential composite   function with an explicit arc-following loop
+subprogram             ``static void`` function (out params by pointer)
+``x := e``             assignment (narrowing casts reproduce wrapping)
+``a mod b``            ``im_mod`` helper (VHDL mod follows the divisor)
+``a / b``              C ``/`` (both truncate toward zero)
+protocol calls         ``bus_read``/``bus_write`` against the bus API
+control handshakes     busy-waits on ``volatile`` externs
+``wait for n``         ``bus_idle(n)``
+=====================  ==========================================
+
+Two emission modes:
+
+* **standalone** (default) — inputs become initialised globals, outputs
+  are printed from ``main``; pure functional models compile and run
+  as-is, which is how the differential tests validate this backend
+  against the discrete-event simulator;
+* **partition** (``standalone=False``) — the bus API and handshake
+  signals are declared ``extern`` so the integrator links the partition
+  against a real bus driver.
+
+Concurrent composites have no sequential C equivalent and are rejected;
+export a refined design's *processor partition* (sequential by
+construction), not its whole system top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import RefinementError
+from repro.spec.behavior import (
+    Behavior,
+    CompositeBehavior,
+    LeafBehavior,
+)
+from repro.spec.expr import BinOp, Const, Expr, Index, UnaryOp, VarRef
+from repro.spec.specification import Specification
+from repro.spec.stmt import (
+    Assign,
+    Body,
+    CallStmt,
+    For,
+    If,
+    Null,
+    SignalAssign,
+    Stmt,
+    Wait,
+    While,
+)
+from repro.spec.subprogram import Direction, Subprogram
+from repro.spec.types import (
+    ArrayType,
+    BitVectorType,
+    BoolType,
+    DataType,
+    EnumType,
+    IntType,
+)
+from repro.spec.variable import Role, StorageClass, Variable
+
+__all__ = ["export_c", "CExportError"]
+
+
+class CExportError(RefinementError):
+    """The specification uses a construct the C backend cannot map."""
+
+
+_HELPERS = """\
+__attribute__((unused))
+static int64_t im_mod(int64_t a, int64_t b) {
+    /* VHDL 'mod': result takes the sign of the divisor */
+    int64_t r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0))) {
+        r += b;
+    }
+    return r;
+}
+"""
+
+_BUS_API_EXTERN = """\
+/* Bus API: provided by the platform's bus driver. */
+extern int32_t bus_read(uint32_t addr);
+extern void bus_write(uint32_t addr, int32_t value);
+extern void bus_idle(int cycles);
+"""
+
+_PROTOCOL_PREFIXES = ("MST_send_", "MST_receive_", "REMOTE_send_",
+                      "REMOTE_receive_")
+
+
+def _int_ctype(width: int, signed: bool) -> str:
+    for bound, name in ((8, "int8_t"), (16, "int16_t"), (32, "int32_t"),
+                        (64, "int64_t")):
+        if width <= bound:
+            return name if signed else "u" + name
+    raise CExportError(f"integer width {width} exceeds 64 bits")
+
+
+class _Emitter:
+    def __init__(self, spec: Specification, standalone: bool):
+        self.spec = spec
+        self.standalone = standalone
+        self.lines: List[str] = []
+        self._indent = 0
+        self._enums: Dict[str, EnumType] = {}
+        self._uses_bus = False
+        self._extern_signals: Set[str] = set()
+
+    # -- low-level emission --------------------------------------------------
+
+    def emit(self, text: str = "") -> None:
+        if text:
+            self.lines.append("    " * self._indent + text)
+        else:
+            self.lines.append("")
+
+    def block(self):
+        emitter = self
+
+        class _Block:
+            def __enter__(self):
+                emitter._indent += 1
+
+            def __exit__(self, *exc):
+                emitter._indent -= 1
+
+        return _Block()
+
+    # -- types ------------------------------------------------------------------
+
+    def ctype(self, dtype: DataType) -> str:
+        if isinstance(dtype, BoolType):
+            return "int"
+        if isinstance(dtype, IntType):
+            return _int_ctype(dtype.width, dtype.signed)
+        if isinstance(dtype, BitVectorType):
+            return _int_ctype(max(dtype.width, 8), signed=False)
+        if isinstance(dtype, EnumType):
+            self._enums[dtype.name] = dtype
+            return f"enum {dtype.name}"
+        raise CExportError(f"cannot map type {dtype} to C")
+
+    def literal(self, value, dtype: Optional[DataType] = None) -> str:
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        if isinstance(value, int):
+            return str(value)
+        if isinstance(value, str):
+            enum = dtype if isinstance(dtype, EnumType) else None
+            if enum is None:
+                for candidate in self._enums.values():
+                    if value in candidate.literals:
+                        enum = candidate
+                        break
+            if enum is None:
+                raise CExportError(f"enum literal {value!r} of unknown enum")
+            return f"K_{enum.name}_{value}"
+        raise CExportError(f"cannot emit literal {value!r}")
+
+    # -- declarations ----------------------------------------------------------------
+
+    def declare_variable(self, decl: Variable, storage: str = "static") -> None:
+        dtype = decl.dtype
+        comment = f"  /* {decl.doc} */" if decl.doc else ""
+        prefix = f"{storage} " if storage else ""
+        if isinstance(dtype, ArrayType):
+            element = self.ctype(dtype.element)
+            if decl.init is not None:
+                values = ", ".join(
+                    self.literal(v, dtype.element) for v in decl.init
+                )
+                init = f" = {{{values}}}"
+            else:
+                init = " = {0}"  # IR arrays start zeroed in every scope
+            self.emit(
+                f"{prefix}{element} {decl.name}[{dtype.length}]{init};{comment}"
+            )
+            return
+        ctype = self.ctype(dtype)
+        init = ""
+        if decl.init is not None:
+            init = f" = {self.literal(decl.init, dtype)}"
+        elif not storage:
+            # block-scope and file-scope objects both get explicit zero
+            # (block scope would otherwise be indeterminate)
+            init = f" = {self.literal(dtype.default_value(), dtype)}"
+        self.emit(f"{prefix}{ctype} {decl.name}{init};{comment}")
+
+    def declare_enums(self) -> None:
+        for enum in self._enums.values():
+            literals = ", ".join(
+                f"K_{enum.name}_{lit} = {i}"
+                for i, lit in enumerate(enum.literals)
+            )
+            self.emit(f"enum {enum.name} {{ {literals} }};")
+
+    # -- expressions --------------------------------------------------------------------
+
+    def expr(self, node: Expr) -> str:
+        if isinstance(node, Const):
+            return self.literal(node.value)
+        if isinstance(node, VarRef):
+            return node.name
+        if isinstance(node, Index):
+            return f"{self.expr(node.base)}[{self.expr(node.index_expr)}]"
+        if isinstance(node, UnaryOp):
+            operand = self.expr(node.operand)
+            if node.op == "not":
+                return f"(!{operand})"
+            if node.op == "abs":
+                return f"({operand} < 0 ? -({operand}) : ({operand}))"
+            return f"(-{operand})"
+        if isinstance(node, BinOp):
+            left = self.expr(node.left)
+            right = self.expr(node.right)
+            op = node.op
+            if op == "mod":
+                return f"im_mod({left}, {right})"
+            if op == "=":
+                op = "=="
+            elif op == "/=":
+                op = "!="
+            elif op == "and":
+                op = "&&"
+            elif op == "or":
+                op = "||"
+            return f"({left} {op} {right})"
+        raise CExportError(f"cannot emit expression {node!r}")
+
+    # -- statements -------------------------------------------------------------------------
+
+    def body(self, stmts: Body, out_params: Set[str]) -> None:
+        if not stmts:
+            self.emit(";")
+            return
+        for stmt in stmts:
+            self.stmt(stmt, out_params)
+
+    def stmt(self, node: Stmt, out_params: Set[str]) -> None:
+        if isinstance(node, Assign):
+            target = self.expr(node.target)
+            if isinstance(node.target, VarRef) and node.target.name in out_params:
+                target = f"*{node.target.name}"
+            self.emit(f"{target} = {self.expr(node.value)};")
+        elif isinstance(node, SignalAssign):
+            name = self.expr(node.target)
+            self._extern_signals.add(
+                node.target.name if isinstance(node.target, VarRef) else name
+            )
+            self.emit(f"{name} = {self.expr(node.value)};")
+        elif isinstance(node, If):
+            self.emit(f"if ({self.expr(node.cond)}) {{")
+            with self.block():
+                self.body(node.then_body, out_params)
+            for cond, arm in node.elifs:
+                self.emit(f"}} else if ({self.expr(cond)}) {{")
+                with self.block():
+                    self.body(arm, out_params)
+            if node.else_body:
+                self.emit("} else {")
+                with self.block():
+                    self.body(node.else_body, out_params)
+            self.emit("}")
+        elif isinstance(node, While):
+            self.emit(f"while ({self.expr(node.cond)}) {{")
+            with self.block():
+                self.body(node.loop_body, out_params)
+            self.emit("}")
+        elif isinstance(node, For):
+            variable = node.variable
+            self.emit(
+                f"for (int32_t {variable} = {self.expr(node.start)}; "
+                f"{variable} <= {self.expr(node.stop)}; {variable}++) {{"
+            )
+            with self.block():
+                self.body(node.loop_body, out_params)
+            self.emit("}")
+        elif isinstance(node, Wait):
+            self._emit_wait(node)
+        elif isinstance(node, CallStmt):
+            self._emit_call(node, out_params)
+        elif isinstance(node, Null):
+            self.emit(";")
+        else:
+            raise CExportError(f"cannot emit statement {node!r}")
+
+    def _emit_wait(self, node: Wait) -> None:
+        if node.delay is not None:
+            self._uses_bus = True
+            self.emit(f"bus_idle({node.delay});")
+            return
+        if node.until is not None:
+            for name in sorted(
+                n for n in _free_names(node.until) if self._is_signal(n)
+            ):
+                self._extern_signals.add(name)
+            self.emit(f"while (!({self.expr(node.until)})) {{ /* spin */ }}")
+            return
+        raise CExportError(
+            "'wait on' has no sequential-C equivalent; software partitions "
+            "synchronise through 'wait until' handshakes"
+        )
+
+    def _is_signal(self, name: str) -> bool:
+        found = self.spec.global_variable(name)
+        return found is not None and found.kind is StorageClass.SIGNAL
+
+    def _emit_call(self, node: CallStmt, out_params: Set[str]) -> None:
+        callee = node.callee
+        if callee.startswith(_PROTOCOL_PREFIXES):
+            self._uses_bus = True
+            addr = self.expr(node.args[0])
+            if "receive" in callee.split("_"):
+                target = self.expr(node.args[1])
+                if (
+                    isinstance(node.args[1], VarRef)
+                    and node.args[1].name in out_params
+                ):
+                    target = f"*{node.args[1].name}"
+                self.emit(f"{target} = bus_read((uint32_t)({addr}));")
+            else:
+                self.emit(
+                    f"bus_write((uint32_t)({addr}), "
+                    f"(int32_t)({self.expr(node.args[1])}));"
+                )
+            return
+        sub = self.spec.subprograms.get(callee)
+        if sub is None:
+            raise CExportError(f"call to unknown subprogram {callee!r}")
+        rendered = []
+        for param, arg in zip(sub.params, node.args):
+            if param.direction in (Direction.OUT, Direction.INOUT):
+                rendered.append(f"&{self.expr(arg)}")
+            else:
+                rendered.append(self.expr(arg))
+        self.emit(f"{callee}({', '.join(rendered)});")
+
+    # -- subprograms ------------------------------------------------------------------------------
+
+    def subprogram(self, sub: Subprogram) -> None:
+        params = []
+        out_params: Set[str] = set()
+        for param in sub.params:
+            ctype = self.ctype(param.dtype)
+            if param.direction in (Direction.OUT, Direction.INOUT):
+                params.append(f"{ctype} *{param.name}")
+                out_params.add(param.name)
+            else:
+                params.append(f"{ctype} {param.name}")
+        signature = ", ".join(params) or "void"
+        if sub.doc:
+            self.emit(f"/* {sub.doc} */")
+        self.emit(f"static void {sub.name}({signature}) {{")
+        with self.block():
+            for decl in sub.decls:
+                self.declare_variable(decl, storage="")
+            self.body(sub.stmt_body, out_params)
+        self.emit("}")
+        self.emit()
+
+    # -- behaviors ----------------------------------------------------------------------------------
+
+    def behavior(self, node: Behavior) -> None:
+        if isinstance(node, LeafBehavior):
+            if node.doc:
+                self.emit(f"/* {node.doc} */")
+            self.emit(f"static void beh_{node.name}(void) {{")
+            with self.block():
+                for decl in node.decls:
+                    if decl.kind is StorageClass.SIGNAL:
+                        raise CExportError(
+                            f"leaf {node.name!r} declares a signal; signals "
+                            "must be globals for the C hand-off"
+                        )
+                    self.declare_variable(decl, storage="")
+                self.body(node.stmt_body, set())
+            self.emit("}")
+            self.emit()
+            return
+        if not isinstance(node, CompositeBehavior):
+            raise CExportError(f"unknown behavior {node!r}")
+        if node.is_concurrent:
+            raise CExportError(
+                f"composite {node.name!r} is concurrent; export a single "
+                "sequential partition, not the system top"
+            )
+        for sub in node.subs:
+            self.behavior(sub)
+        self._sequential_driver(node)
+
+    def _sequential_driver(self, node: CompositeBehavior) -> None:
+        """The arc-following loop of a sequential composite."""
+        names = [sub.name for sub in node.subs]
+        if node.doc:
+            self.emit(f"/* {node.doc} */")
+        self.emit(f"static void beh_{node.name}(void) {{")
+        with self.block():
+            for decl in node.decls:
+                self.declare_variable(decl, storage="")
+            self.emit(f"int state = S_{node.initial};")
+            self.emit("for (;;) {")
+            with self.block():
+                self.emit("switch (state) {")
+                for name in names:
+                    self.emit(f"case S_{name}:")
+                    with self.block():
+                        self.emit(f"beh_{name}();")
+                        arcs = node.transitions_from(name)
+                        if not arcs:
+                            self.emit("return;")
+                            self.emit("break;")
+                            continue
+                        chain_open = False
+                        for arc in arcs:
+                            action = (
+                                "return;"
+                                if arc.target is None
+                                else f"state = S_{arc.target};"
+                            )
+                            if arc.condition is None:
+                                if chain_open:
+                                    self.emit(f"else {{ {action} }}")
+                                else:
+                                    self.emit(action)
+                                chain_open = False
+                                break
+                            keyword = "else if" if chain_open else "if"
+                            self.emit(
+                                f"{keyword} ({self.expr(arc.condition)}) "
+                                f"{{ {action} }}"
+                            )
+                            chain_open = True
+                        else:
+                            # no unconditional arc: completion when
+                            # nothing matches
+                            self.emit("else { return; }")
+                        self.emit("break;")
+                self.emit("default: return;")
+                self.emit("}")
+            self.emit("}")
+        self.emit("}")
+        self.emit()
+
+
+def _free_names(expr: Expr):
+    from repro.spec.expr import free_variables
+
+    return free_variables(expr)
+
+
+def _state_constants(top: Behavior) -> List[str]:
+    out: List[str] = []
+    seen: Set[str] = set()
+    for node in top.iter_tree():
+        if isinstance(node, CompositeBehavior):
+            for sub in node.subs:
+                if sub.name not in seen:
+                    seen.add(sub.name)
+                    out.append(sub.name)
+    return out
+
+
+def export_c(
+    spec: Specification,
+    top: Optional[Behavior] = None,
+    standalone: bool = True,
+    inputs: Optional[Dict[str, object]] = None,
+) -> str:
+    """Generate a C translation unit for ``spec``.
+
+    ``top`` selects the behavior tree to compile (default the
+    specification's top — use a component's partition subtree when
+    exporting one side of a refined design).  ``standalone=True`` emits
+    a runnable program: ports become initialised globals (``inputs``
+    overrides the initial values of role-INPUT ports) and ``main``
+    prints every output as ``name=value``.
+
+    Width caveat: integer widths map to the next standard C width
+    (e.g. 24-bit to ``int32_t``), so wrap-around behaviour differs at
+    the extremes for non-standard widths.
+    """
+    top = top or spec.top
+    inputs = dict(inputs or {})
+    if inputs:
+        spec = spec.copy()
+        top = spec.top if top is None else spec.find_behavior(top.name)
+        for name, value in inputs.items():
+            decl = spec.global_variable(name)
+            if decl is None or decl.role is not Role.INPUT:
+                raise CExportError(f"{name!r} is not an input port")
+            decl.init = decl.dtype.coerce(value)
+    emitter = _Emitter(spec, standalone)
+
+    # first pass over types so enum declarations come out before use
+    for _, decl in spec.all_declared_variables():
+        dtype = decl.dtype.element if isinstance(decl.dtype, ArrayType) else decl.dtype
+        if isinstance(dtype, EnumType):
+            emitter._enums[dtype.name] = dtype
+    for sub in spec.subprograms.values():
+        for param in sub.params:
+            if isinstance(param.dtype, EnumType):
+                emitter._enums[param.dtype.name] = param.dtype
+
+    body_emitter = _Emitter(spec, standalone)
+    body_emitter._enums = emitter._enums
+
+    # subprograms that are not intercepted protocol wrappers
+    for sub in spec.subprograms.values():
+        if sub.name.startswith(_PROTOCOL_PREFIXES) or sub.name.startswith(
+            ("SLV_send_", "SLV_receive_", "MST_send_b", "MST_receive_b")
+        ):
+            continue
+        body_emitter.subprogram(sub)
+    body_emitter.behavior(top)
+
+    # -- assemble the unit ---------------------------------------------------
+    out = _Emitter(spec, standalone)
+    out._enums = body_emitter._enums
+    out.emit(f"/* Generated by repro from specification {spec.name!r}.")
+    out.emit(f" * Behavior tree: {top.name} ({'standalone' if standalone else 'partition'} mode).")
+    out.emit(" */")
+    out.emit("#include <stdint.h>")
+    if standalone:
+        out.emit("#include <stdio.h>")
+    out.emit()
+    out.declare_enums()
+    if out._enums:
+        out.emit()
+
+    states = _state_constants(top)
+    if states:
+        for index, name in enumerate(states):
+            out.emit(f"#define S_{name} {index}")
+        out.emit()
+
+    out.emit(_HELPERS)
+    if body_emitter._uses_bus:
+        out.emit(_BUS_API_EXTERN)
+        out.emit()
+
+    for decl in spec.variables:
+        if decl.kind is StorageClass.SIGNAL:
+            if decl.name in body_emitter._extern_signals:
+                out.emit(
+                    f"extern volatile {out.ctype(decl.dtype)} {decl.name};"
+                )
+            continue
+        if not standalone and decl.role is not Role.INTERNAL:
+            out.emit(f"extern {out.ctype(decl.dtype)} {decl.name};")
+            continue
+        # file-scope definitions are deliberately non-static: ports stay
+        # linkable, and unused inputs don't trip -Wunused-variable
+        out.declare_variable(decl, storage="")
+    out.emit()
+
+    out.lines.extend(body_emitter.lines)
+
+    if standalone:
+        out.emit("int main(void) {")
+        with out.block():
+            out.emit(f"beh_{top.name}();")
+            for decl in spec.outputs():
+                out.emit(
+                    f'printf("{decl.name}=%lld\\n", (long long){decl.name});'
+                )
+            out.emit("return 0;")
+        out.emit("}")
+    else:
+        # the partition's linkable entry point (everything else is static)
+        out.emit(f"void run_{top.name}(void) {{")
+        with out.block():
+            out.emit(f"beh_{top.name}();")
+        out.emit("}")
+    return "\n".join(out.lines) + "\n"

@@ -1,0 +1,590 @@
+"""VHDL code generation — the "behavioral synthesis" hand-off.
+
+The paper positions the refined specification as "input for functional
+verification, behavioral synthesis or software compilation tools".
+This backend emits the hardware half: a behavioral VHDL-93 entity +
+architecture for a specification (the functional model, or one ASIC
+partition of a refined design).
+
+Mapping:
+
+======================  =============================================
+IR construct            VHDL construct
+======================  =============================================
+INPUT/OUTPUT variable   entity port (``in`` / ``buffer``)
+IntType(w)              ``signed(w-1 downto 0)`` semantics via
+                        ``integer range``-constrained subtypes
+BitVectorType(w)        ``integer range 0 to 2**w-1`` subtype
+BoolType                ``boolean``
+EnumType                VHDL enumeration type
+ArrayType               constrained array type
+signal                  architecture signal
+plain global variable   ``shared variable`` (VHDL-93)
+leaf behavior           one procedure called by its driver process
+sequential composite    an arc-following loop with a state variable
+concurrent composite    one process per child (top level only)
+subprogram              procedure declared in the process that calls it
+``x := e`` / ``s <= e`` variable / signal assignment
+``wait until`` / for    VHDL wait statements
+======================  =============================================
+
+Multi-driver note: a refined *system* drives bus signals from several
+processes and would need resolved/tri-state types; this backend targets
+the per-partition hand-off the paper describes (one ASIC partition =
+one process), where every signal has one driver inside the entity and
+handshake peers are ports.  Exporting a whole refined system top is
+supported for documentation purposes but flagged with a comment header
+listing the signals that would need resolution.
+
+There is no VHDL simulator in the test environment, so this backend is
+validated structurally (balanced constructs, declared-before-use,
+fidelity of the statement mapping) rather than by co-simulation — the
+C backend covers executable differential testing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.errors import RefinementError
+from repro.spec.behavior import (
+    Behavior,
+    CompositeBehavior,
+    LeafBehavior,
+)
+from repro.spec.expr import BinOp, Const, Expr, Index, UnaryOp, VarRef
+from repro.spec.specification import Specification
+from repro.spec.stmt import (
+    Assign,
+    Body,
+    CallStmt,
+    For,
+    If,
+    Null,
+    SignalAssign,
+    Stmt,
+    Wait,
+    While,
+)
+from repro.spec.subprogram import Direction, Subprogram
+from repro.spec.types import (
+    ArrayType,
+    BitVectorType,
+    BoolType,
+    DataType,
+    EnumType,
+    IntType,
+)
+from repro.spec.variable import Role, StorageClass
+
+__all__ = ["export_vhdl", "VhdlExportError"]
+
+
+class VhdlExportError(RefinementError):
+    """The specification uses a construct the VHDL backend cannot map."""
+
+
+_KEYWORDS = {
+    "in", "out", "signal", "variable", "process", "begin", "end", "entity",
+    "architecture", "is", "of", "wait", "loop", "if", "then", "else",
+    "case", "when", "others", "type", "range", "to", "downto", "shared",
+    "procedure", "buffer", "port", "map", "use", "library", "abs", "mod",
+}
+
+
+def _ident(name: str) -> str:
+    """Escape identifiers that collide with VHDL keywords."""
+    return f"\\{name}\\" if name.lower() in _KEYWORDS else name
+
+
+class _VhdlEmitter:
+    def __init__(self, spec: Specification):
+        self.spec = spec
+        self.lines: List[str] = []
+        self._indent = 0
+        self._array_types: Dict[str, ArrayType] = {}
+        self._enums: Dict[str, EnumType] = {}
+        #: output ports are VHDL signals whose writes would only land a
+        #: delta later, breaking the IR's immediate-update reads.  Each
+        #: written output port gets a shared-variable shadow: reads and
+        #: writes use the shadow, and every write also drives the port.
+        self.output_ports: Set[str] = {
+            v.name
+            for v in spec.variables
+            if v.role is Role.OUTPUT and v.kind is StorageClass.VARIABLE
+        }
+
+    def emit(self, text: str = "") -> None:
+        self.lines.append(("  " * self._indent + text) if text else "")
+
+    def block(self):
+        emitter = self
+
+        class _Block:
+            def __enter__(self):
+                emitter._indent += 1
+
+            def __exit__(self, *exc):
+                emitter._indent -= 1
+
+        return _Block()
+
+    # -- types -------------------------------------------------------------
+
+    def vhdl_type(self, dtype: DataType, owner: str = "") -> str:
+        if isinstance(dtype, BoolType):
+            return "boolean"
+        if isinstance(dtype, IntType):
+            return f"integer range {dtype.min_value} to {dtype.max_value}"
+        if isinstance(dtype, BitVectorType):
+            return f"integer range 0 to {(1 << dtype.width) - 1}"
+        if isinstance(dtype, EnumType):
+            self._enums[dtype.name] = dtype
+            return _ident(dtype.name)
+        if isinstance(dtype, ArrayType):
+            key = f"{owner}_array_t" if owner else f"arr{len(self._array_types)}_t"
+            existing = next(
+                (
+                    name
+                    for name, candidate in self._array_types.items()
+                    if candidate == dtype
+                ),
+                None,
+            )
+            if existing:
+                return existing
+            self._array_types[key] = dtype
+            return key
+        raise VhdlExportError(f"cannot map type {dtype} to VHDL")
+
+    def literal(self, value, dtype: Optional[DataType] = None) -> str:
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, int):
+            return str(value)
+        if isinstance(value, str):
+            return _ident(value)
+        if isinstance(value, tuple):
+            return "(" + ", ".join(self.literal(v) for v in value) + ")"
+        raise VhdlExportError(f"cannot emit literal {value!r}")
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, node: Expr) -> str:
+        if isinstance(node, Const):
+            return self.literal(node.value)
+        if isinstance(node, VarRef):
+            if node.name in self.output_ports:
+                return f"{_ident(node.name)}_var"
+            return _ident(node.name)
+        if isinstance(node, Index):
+            return f"{self.expr(node.base)}({self.expr(node.index_expr)})"
+        if isinstance(node, UnaryOp):
+            operand = self.expr(node.operand)
+            return f"({node.op} {operand})"
+        if isinstance(node, BinOp):
+            left = self.expr(node.left)
+            right = self.expr(node.right)
+            return f"({left} {node.op} {right})"
+        raise VhdlExportError(f"cannot emit expression {node!r}")
+
+    def _condition(self, node: Expr) -> str:
+        """Conditions comparing 1-bit bus lines read naturally because
+        bit vectors are integer subtypes here."""
+        return self.expr(node)
+
+    # -- statements --------------------------------------------------------------
+
+    def body(self, stmts: Body) -> None:
+        if not stmts:
+            self.emit("null;")
+            return
+        for stmt in stmts:
+            self.stmt(stmt)
+
+    def stmt(self, node: Stmt) -> None:
+        if isinstance(node, Assign):
+            from repro.spec.stmt import lvalue_name
+
+            target_name = lvalue_name(node.target)
+            self.emit(
+                f"{self.expr(node.target)} := {self.expr(node.value)};"
+            )
+            if target_name in self.output_ports:
+                # the shadow holds the immediate value; drive the port
+                self.emit(f"{_ident(target_name)} <= {_ident(target_name)}_var;")
+        elif isinstance(node, SignalAssign):
+            self.emit(f"{self.expr(node.target)} <= {self.expr(node.value)};")
+        elif isinstance(node, If):
+            self.emit(f"if {self._condition(node.cond)} then")
+            with self.block():
+                self.body(node.then_body)
+            for cond, arm in node.elifs:
+                self.emit(f"elsif {self._condition(cond)} then")
+                with self.block():
+                    self.body(arm)
+            if node.else_body:
+                self.emit("else")
+                with self.block():
+                    self.body(node.else_body)
+            self.emit("end if;")
+        elif isinstance(node, While):
+            self.emit(f"while {self._condition(node.cond)} loop")
+            with self.block():
+                self.body(node.loop_body)
+            self.emit("end loop;")
+        elif isinstance(node, For):
+            self.emit(
+                f"for {_ident(node.variable)} in {self.expr(node.start)} "
+                f"to {self.expr(node.stop)} loop"
+            )
+            with self.block():
+                self.body(node.loop_body)
+            self.emit("end loop;")
+        elif isinstance(node, Wait):
+            if node.until is not None:
+                self.emit(f"wait until {self._condition(node.until)};")
+            elif node.on:
+                self.emit(f"wait on {', '.join(_ident(n) for n in node.on)};")
+            else:
+                self.emit(f"wait for {node.delay} ns;")
+        elif isinstance(node, CallStmt):
+            args = ", ".join(self.expr(a) for a in node.args)
+            self.emit(f"{_ident(node.callee)}({args});")
+        elif isinstance(node, Null):
+            self.emit("null;")
+        else:
+            raise VhdlExportError(f"cannot emit statement {node!r}")
+
+    # -- subprograms ----------------------------------------------------------------
+
+    def subprogram(self, sub: Subprogram, signals: Set[str]) -> None:
+        """Emit a procedure.  Signals it assigns must be visible at the
+        declaration point (we declare procedures inside the process, so
+        architecture signals are assignable through the process's
+        drivers)."""
+        params = []
+        for param in sub.params:
+            mode = {
+                Direction.IN: "in",
+                Direction.OUT: "out",
+                Direction.INOUT: "inout",
+            }[param.direction]
+            params.append(
+                f"{_ident(param.name)} : {mode} {self.vhdl_type(param.dtype)}"
+            )
+        signature = f"({'; '.join(params)})" if params else ""
+        if sub.doc:
+            self.emit(f"-- {sub.doc}")
+        self.emit(f"procedure {_ident(sub.name)}{signature} is")
+        with self.block():
+            for decl in sub.decls:
+                self.emit(
+                    f"variable {_ident(decl.name)} : "
+                    f"{self.vhdl_type(decl.dtype, decl.name)};"
+                )
+        self.emit("begin")
+        with self.block():
+            self.body(sub.stmt_body)
+        self.emit(f"end procedure {_ident(sub.name)};")
+        self.emit()
+
+
+def _subprograms_used_by(spec: Specification, top: Behavior) -> List[Subprogram]:
+    """Transitive closure of subprogram calls reachable from ``top``."""
+    from repro.spec.visitor import walk_statements
+
+    used: List[str] = []
+    seen: Set[str] = set()
+
+    def visit_body(stmts):
+        for stmt in walk_statements(stmts):
+            if isinstance(stmt, CallStmt) and stmt.callee not in seen:
+                seen.add(stmt.callee)
+                sub = spec.subprograms.get(stmt.callee)
+                if sub is not None:
+                    visit_body(sub.stmt_body)
+                    used.append(stmt.callee)
+
+    for node in top.iter_tree():
+        if isinstance(node, LeafBehavior):
+            visit_body(node.stmt_body)
+    # dependency order: callees come out first because of post-order
+    return [spec.subprograms[name] for name in used]
+
+
+def _behavior_process(
+    emitter: _VhdlEmitter,
+    spec: Specification,
+    node: Behavior,
+    signals: Set[str],
+) -> None:
+    """One VHDL process executing ``node``'s tree sequentially."""
+    emitter.emit(f"{_ident(node.name)}_proc : process")
+    with emitter.block():
+        for sub in _subprograms_used_by(spec, node):
+            emitter.subprogram(sub, signals)
+        # every declaration in the subtree becomes a process variable
+        for behavior in node.iter_tree():
+            for decl in behavior.decls:
+                if decl.kind is StorageClass.SIGNAL:
+                    continue
+                init = (
+                    f" := {emitter.literal(decl.initial_value)}"
+                )
+                emitter.emit(
+                    f"variable {_ident(decl.name)} : "
+                    f"{emitter.vhdl_type(decl.dtype, decl.name)}{init};"
+                )
+        composites = [
+            b for b in node.iter_tree() if isinstance(b, CompositeBehavior)
+        ]
+        for composite in composites:
+            if composite.is_concurrent and composite is not node:
+                raise VhdlExportError(
+                    f"nested concurrency in {composite.name!r}: flatten or "
+                    "export per partition"
+                )
+        # leaf bodies become procedures so the sequencer can call them
+        for behavior in node.iter_tree():
+            if isinstance(behavior, LeafBehavior):
+                if behavior.doc:
+                    emitter.emit(f"-- {behavior.doc}")
+                emitter.emit(f"procedure beh_{_ident(behavior.name)} is")
+                emitter.emit("begin")
+                with emitter.block():
+                    emitter.body(behavior.stmt_body)
+                emitter.emit(f"end procedure beh_{_ident(behavior.name)};")
+                emitter.emit()
+        for composite in reversed(composites):
+            if composite.is_sequential:
+                _sequencer_procedure(emitter, composite)
+    emitter.emit("begin")
+    with emitter.block():
+        if isinstance(node, LeafBehavior):
+            emitter.emit(f"beh_{_ident(node.name)};")
+        else:
+            emitter.emit(f"beh_{_ident(node.name)};")
+        emitter.emit("wait;  -- behavior completed")
+    emitter.emit(f"end process {_ident(node.name)}_proc;")
+
+
+def _sequencer_procedure(
+    emitter: _VhdlEmitter, composite: CompositeBehavior
+) -> None:
+    """The arc-following loop of a sequential composite, as a procedure
+    calling its children's procedures."""
+    names = [sub.name for sub in composite.subs]
+    if composite.doc:
+        emitter.emit(f"-- {composite.doc}")
+    emitter.emit(f"procedure beh_{_ident(composite.name)} is")
+    with emitter.block():
+        emitter.emit(
+            "type state_t is (" + ", ".join(f"S_{n}" for n in names)
+            + ", S_done);"
+        )
+        emitter.emit(f"variable state : state_t := S_{composite.initial};")
+    emitter.emit("begin")
+    with emitter.block():
+        emitter.emit("while state /= S_done loop")
+        with emitter.block():
+            emitter.emit("case state is")
+            with emitter.block():
+                for name in names:
+                    emitter.emit(f"when S_{name} =>")
+                    with emitter.block():
+                        emitter.emit(f"beh_{_ident(name)};")
+                        arcs = composite.transitions_from(name)
+                        if not arcs:
+                            emitter.emit("state := S_done;")
+                            continue
+                        first = True
+                        closed = False
+                        for arc in arcs:
+                            target = (
+                                "S_done" if arc.target is None
+                                else f"S_{arc.target}"
+                            )
+                            if arc.condition is None:
+                                if first:
+                                    emitter.emit(f"state := {target};")
+                                else:
+                                    emitter.emit("else")
+                                    with emitter.block():
+                                        emitter.emit(f"state := {target};")
+                                    emitter.emit("end if;")
+                                closed = True
+                                break
+                            keyword = "if" if first else "elsif"
+                            emitter.emit(
+                                f"{keyword} {emitter.expr(arc.condition)} then"
+                            )
+                            with emitter.block():
+                                emitter.emit(f"state := {target};")
+                            first = False
+                        if not closed and not first:
+                            emitter.emit("else")
+                            with emitter.block():
+                                emitter.emit("state := S_done;")
+                            emitter.emit("end if;")
+                emitter.emit("when S_done =>")
+                with emitter.block():
+                    emitter.emit("null;")
+            emitter.emit("end case;")
+        emitter.emit("end loop;")
+    emitter.emit(f"end procedure beh_{_ident(composite.name)};")
+    emitter.emit()
+
+
+def export_vhdl(
+    spec: Specification,
+    top: Optional[Behavior] = None,
+    entity_name: Optional[str] = None,
+) -> str:
+    """Generate a behavioral VHDL-93 entity + architecture.
+
+    ``top`` selects the behavior tree (default the specification's
+    top).  A concurrent ``top`` maps each child to its own process —
+    appropriate for a refined system where single-driver discipline
+    holds per partition; a multi-driver warning header is emitted when
+    several processes assign the same signal.
+    """
+    top = top or spec.top
+    entity = entity_name or spec.name
+    emitter = _VhdlEmitter(spec)
+
+    # discover types up front
+    for _, decl in spec.all_declared_variables():
+        emitter.vhdl_type(decl.dtype, decl.name)
+    for sub in spec.subprograms.values():
+        for param in sub.params:
+            emitter.vhdl_type(param.dtype, param.name)
+        for decl in sub.decls:
+            emitter.vhdl_type(decl.dtype, decl.name)
+
+    processes: List[Behavior]
+    if isinstance(top, CompositeBehavior) and top.is_concurrent:
+        processes = list(top.subs)
+    else:
+        processes = [top]
+
+    multi_driver = _multi_driver_signals(spec, processes)
+
+    out = _VhdlEmitter(spec)
+    out._array_types = emitter._array_types
+    out._enums = emitter._enums
+    out.emit(f"-- Generated by repro from specification {spec.name!r}")
+    out.emit(f"-- Behavior tree: {top.name}")
+    if multi_driver:
+        out.emit("-- WARNING: the following signals are driven by more than")
+        out.emit("-- one process and need a resolved/tri-state realisation")
+        out.emit(f"-- before synthesis: {', '.join(sorted(multi_driver))}")
+    out.emit()
+
+    # -- entity -------------------------------------------------------------
+    ports = [v for v in spec.variables if v.role is not Role.INTERNAL
+             and v.kind is StorageClass.VARIABLE]
+    out.emit(f"entity {_ident(entity)} is")
+    if ports:
+        with out.block():
+            out.emit("port (")
+            with out.block():
+                rendered = []
+                for port in ports:
+                    mode = "in" if port.role is Role.INPUT else "buffer"
+                    rendered.append(
+                        f"{_ident(port.name)} : {mode} "
+                        f"{out.vhdl_type(port.dtype, port.name)}"
+                    )
+                for index, line in enumerate(rendered):
+                    suffix = ";" if index < len(rendered) - 1 else ""
+                    out.emit(line + suffix)
+            out.emit(");")
+    out.emit(f"end entity {_ident(entity)};")
+    out.emit()
+
+    # -- architecture ----------------------------------------------------------
+    out.emit(f"architecture behavioral of {_ident(entity)} is")
+    with out.block():
+        for name, enum in out._enums.items():
+            literals = ", ".join(_ident(lit) for lit in enum.literals)
+            out.emit(f"type {_ident(name)} is ({literals});")
+        for name, array_type in out._array_types.items():
+            out.emit(
+                f"type {name} is array (0 to {array_type.length - 1}) of "
+                f"{out.vhdl_type(array_type.element)};"
+            )
+        # shadow variables for written output ports
+        for decl in spec.variables:
+            if decl.name in out.output_ports:
+                out.emit(
+                    f"shared variable {_ident(decl.name)}_var : "
+                    f"{out.vhdl_type(decl.dtype, decl.name)}"
+                    f" := {out.literal(decl.initial_value)};"
+                )
+        for decl in spec.variables:
+            if decl.role is not Role.INTERNAL:
+                continue
+            type_text = out.vhdl_type(decl.dtype, decl.name)
+            init = f" := {out.literal(decl.initial_value)}"
+            if decl.kind is StorageClass.SIGNAL:
+                out.emit(
+                    f"signal {_ident(decl.name)} : {type_text}{init};"
+                )
+            else:
+                out.emit(
+                    f"shared variable {_ident(decl.name)} : {type_text}{init};"
+                )
+        # behavior-declared signals live at architecture level too
+        for behavior in top.iter_tree():
+            for decl in behavior.decls:
+                if decl.kind is StorageClass.SIGNAL:
+                    out.emit(
+                        f"signal {_ident(decl.name)} : "
+                        f"{out.vhdl_type(decl.dtype, decl.name)}"
+                        f" := {out.literal(decl.initial_value)};"
+                    )
+    out.emit("begin")
+    with out.block():
+        signal_names = {
+            v.name for v in spec.variables if v.kind is StorageClass.SIGNAL
+        }
+        for process in processes:
+            _behavior_process(out, spec, process, signal_names)
+            out.emit()
+    out.emit("end architecture behavioral;")
+    return "\n".join(out.lines) + "\n"
+
+
+def _multi_driver_signals(
+    spec: Specification, processes: Sequence[Behavior]
+) -> Set[str]:
+    """Signals assigned from more than one process (need resolution)."""
+    from repro.spec.expr import free_variables
+    from repro.spec.stmt import lvalue_name
+    from repro.spec.visitor import walk_statements
+
+    signal_names = {
+        v.name for v in spec.variables if v.kind is StorageClass.SIGNAL
+    }
+
+    def assigned_signals(node: Behavior) -> Set[str]:
+        out: Set[str] = set()
+        bodies = []
+        for behavior in node.iter_tree():
+            if isinstance(behavior, LeafBehavior):
+                bodies.append(behavior.stmt_body)
+        # calls may assign signals through subprograms
+        for sub in _subprograms_used_by(spec, node):
+            bodies.append(sub.stmt_body)
+        for stmts in bodies:
+            for stmt in walk_statements(stmts):
+                if isinstance(stmt, SignalAssign):
+                    out.add(lvalue_name(stmt.target))
+        return out & signal_names
+
+    drivers: Dict[str, int] = {}
+    for process in processes:
+        for name in assigned_signals(process):
+            drivers[name] = drivers.get(name, 0) + 1
+    return {name for name, count in drivers.items() if count > 1}

@@ -1,0 +1,25 @@
+"""Access-graph derivation and partition-aware analysis."""
+
+from repro.graph.access_graph import (
+    AccessGraph,
+    ChannelKind,
+    ControlChannel,
+    DataChannel,
+)
+from repro.graph.analysis import (
+    VariableClassification,
+    channel_matrix,
+    classify_variables,
+    cut_channels,
+)
+
+__all__ = [
+    "AccessGraph",
+    "ChannelKind",
+    "ControlChannel",
+    "DataChannel",
+    "VariableClassification",
+    "channel_matrix",
+    "classify_variables",
+    "cut_channels",
+]

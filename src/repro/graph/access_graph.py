@@ -1,0 +1,284 @@
+"""Access-graph construction — deriving the paper's implicit channels.
+
+Paper §2: "some functional objects such as behaviors and variables are
+explicitly defined while other functional objects such as channels are
+implicit and can only be derived from the specification".  This module
+performs that derivation:
+
+* **data-access channels** connect a behavior to a variable it reads or
+  writes.  They come from two places: statements inside leaf behaviors,
+  and *transition conditions* in sequential composites (the condition
+  ``x > 1`` of an arc ``A:(x>1,B)`` is evaluated right after ``A``
+  completes, so the access is attributed to the arc's source behavior —
+  this is what forces the non-leaf data refinement of Figure 6);
+* **control channels** represent execution sequencing between sibling
+  behaviors (the arcs themselves).
+
+Only *partitionable* variables appear in the graph: specification-scope
+plain variables.  Behavior-local declarations travel with their behavior
+during partitioning and signals are refinement artifacts, so neither is
+a node.
+
+Loop nesting multiplies the *static weight* of an access site by the
+loop's iteration estimate (``For`` bounds when constant, the ``expect``
+annotation on ``While``); the dynamic profile from simulation refines
+these weights later, but the static weights alone already order the
+designs of Figure 9 correctly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import GraphError
+from repro.spec.behavior import (
+    CompositeBehavior,
+    LeafBehavior,
+)
+from repro.spec.expr import Const, Expr, free_variables
+from repro.spec.specification import Specification
+from repro.spec.stmt import (
+    Body,
+    For,
+    Stmt,
+    While,
+)
+from repro.spec.variable import StorageClass
+from repro.spec.visitor import statement_reads, statement_writes
+
+__all__ = ["ChannelKind", "DataChannel", "ControlChannel", "AccessGraph"]
+
+#: Iteration estimate used for a While loop with no ``expect`` annotation.
+DEFAULT_LOOP_WEIGHT = 8
+
+
+class ChannelKind(enum.Enum):
+    """What a channel carries."""
+
+    READ = "read"
+    WRITE = "write"
+    CONTROL = "control"
+
+
+@dataclass
+class DataChannel:
+    """An implicit behavior <-> variable channel.
+
+    ``sites`` counts textual access sites; ``weight`` is the
+    loop-adjusted static access-count estimate used for transfer rates
+    until a dynamic profile replaces it.
+    """
+
+    behavior: str
+    variable: str
+    kind: ChannelKind
+    sites: int = 0
+    weight: float = 0.0
+
+    @property
+    def key(self) -> Tuple[str, str, "ChannelKind"]:
+        return (self.behavior, self.variable, self.kind)
+
+    def __repr__(self) -> str:
+        return (
+            f"DataChannel({self.behavior} -{self.kind.value}-> {self.variable}, "
+            f"sites={self.sites}, weight={self.weight:g})"
+        )
+
+
+@dataclass
+class ControlChannel:
+    """An execution-sequence channel between two sibling behaviors."""
+
+    composite: str
+    source: str
+    target: Optional[str]
+    condition: Optional[Expr]
+
+    def __repr__(self) -> str:
+        target = self.target if self.target is not None else "<complete>"
+        return f"ControlChannel({self.source} -> {target} in {self.composite})"
+
+
+class AccessGraph:
+    """The derived access graph of a specification.
+
+    Nodes are behavior names and (specification-scope) variable names;
+    edges are :class:`DataChannel` and :class:`ControlChannel` objects.
+    Build one with :meth:`from_specification`.
+    """
+
+    def __init__(self, spec: Specification):
+        self.spec = spec
+        self._data: Dict[Tuple[str, str, ChannelKind], DataChannel] = {}
+        self._control: List[ControlChannel] = []
+        #: Names of the partitionable variables (graph variable nodes).
+        self.variable_names: Set[str] = set()
+        #: Names of every behavior in the tree (graph behavior nodes).
+        self.behavior_names: Set[str] = set()
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_specification(cls, spec: Specification) -> "AccessGraph":
+        """Derive all channels from ``spec``."""
+        graph = cls(spec)
+        # partitionable variables: internal, specification-scope, plain
+        # storage.  INPUT/OUTPUT variables model the system's environment
+        # interface (pins); they stay directly accessible on every
+        # component and are never mapped to memories.
+        from repro.spec.variable import Role
+
+        graph.variable_names = {
+            v.name
+            for v in spec.variables
+            if v.kind is StorageClass.VARIABLE and v.role is Role.INTERNAL
+        }
+        for behavior in spec.behaviors():
+            graph.behavior_names.add(behavior.name)
+        for behavior in spec.behaviors():
+            if isinstance(behavior, LeafBehavior):
+                graph._scan_leaf(behavior)
+            elif isinstance(behavior, CompositeBehavior):
+                graph._scan_composite(behavior)
+        return graph
+
+    def _record(
+        self, behavior: str, variable: str, kind: ChannelKind, weight: float
+    ) -> None:
+        if variable not in self.variable_names:
+            return  # local declaration or signal: not a graph node
+        key = (behavior, variable, kind)
+        channel = self._data.get(key)
+        if channel is None:
+            channel = DataChannel(behavior, variable, kind)
+            self._data[key] = channel
+        channel.sites += 1
+        channel.weight += weight
+
+    def _scan_leaf(self, behavior: LeafBehavior) -> None:
+        self._scan_body(behavior, behavior.stmt_body, 1.0)
+
+    def _scan_body(self, behavior: LeafBehavior, stmts: Body, weight: float) -> None:
+        for stmt in stmts:
+            for name in statement_reads(stmt):
+                self._record(behavior.name, name, ChannelKind.READ, weight)
+            for name in statement_writes(stmt):
+                self._record(behavior.name, name, ChannelKind.WRITE, weight)
+            nested_weight = weight * _loop_multiplier(stmt)
+            for nested in stmt.child_bodies():
+                self._scan_body(behavior, nested, nested_weight)
+
+    def _scan_composite(self, behavior: CompositeBehavior) -> None:
+        for t in behavior.transitions:
+            self._control.append(
+                ControlChannel(behavior.name, t.source, t.target, t.condition)
+            )
+            if t.condition is not None:
+                # the condition is evaluated by the composite's
+                # sequencer when the source child completes; the
+                # *composite* is the accessing behavior.  (Refinement
+                # places the fetch at the end of the source child's
+                # slot — Figure 6 — but that slot always executes on
+                # the composite's home component, even when the source
+                # child itself was moved and replaced by a B_CTRL.)
+                for name in sorted(free_variables(t.condition)):
+                    self._record(behavior.name, name, ChannelKind.READ, 1.0)
+
+    # -- queries -----------------------------------------------------------------
+
+    def data_channels(self) -> List[DataChannel]:
+        """All data-access channels, deterministic order."""
+        return sorted(
+            self._data.values(),
+            key=lambda c: (c.behavior, c.variable, c.kind.value),
+        )
+
+    def control_channels(self) -> List[ControlChannel]:
+        """All control channels in declaration order."""
+        return list(self._control)
+
+    def channel_count(self) -> int:
+        """Number of data-access channels (the paper reports 52 for the
+        medical system)."""
+        return len(self._data)
+
+    def channels_of_behavior(self, behavior: str) -> List[DataChannel]:
+        """Data channels whose accessor is ``behavior``."""
+        if behavior not in self.behavior_names:
+            raise GraphError(f"unknown behavior {behavior!r}")
+        return [c for c in self.data_channels() if c.behavior == behavior]
+
+    def channels_of_variable(self, variable: str) -> List[DataChannel]:
+        """Data channels touching ``variable``."""
+        if variable not in self.variable_names:
+            raise GraphError(f"unknown variable {variable!r}")
+        return [c for c in self.data_channels() if c.variable == variable]
+
+    def accessors_of(self, variable: str) -> Set[str]:
+        """Names of all behaviors that access ``variable``."""
+        return {c.behavior for c in self.channels_of_variable(variable)}
+
+    def variables_accessed_by(self, behavior: str) -> Set[str]:
+        """Names of all variables ``behavior`` accesses."""
+        return {c.variable for c in self.data_channels() if c.behavior == behavior}
+
+    def total_weight(self, behavior: str, variable: str) -> float:
+        """Combined read+write static weight between a behavior and a
+        variable."""
+        total = 0.0
+        for kind in (ChannelKind.READ, ChannelKind.WRITE):
+            channel = self._data.get((behavior, variable, kind))
+            if channel is not None:
+                total += channel.weight
+        return total
+
+    def to_networkx(self):
+        """Export as a ``networkx.MultiDiGraph`` for ad-hoc analysis.
+
+        Behavior nodes carry ``kind='behavior'``, variable nodes
+        ``kind='variable'``; data edges carry the channel weight.
+        """
+        import networkx as nx
+
+        g = nx.MultiDiGraph(name=self.spec.name)
+        for name in sorted(self.behavior_names):
+            g.add_node(name, kind="behavior")
+        for name in sorted(self.variable_names):
+            g.add_node(name, kind="variable")
+        for channel in self.data_channels():
+            if channel.kind is ChannelKind.READ:
+                g.add_edge(
+                    channel.variable, channel.behavior,
+                    kind="read", weight=channel.weight,
+                )
+            else:
+                g.add_edge(
+                    channel.behavior, channel.variable,
+                    kind="write", weight=channel.weight,
+                )
+        for channel in self.control_channels():
+            if channel.target is not None:
+                g.add_edge(channel.source, channel.target, kind="control")
+        return g
+
+
+def _loop_multiplier(stmt: Stmt) -> float:
+    """Static iteration estimate for loop statements (1 for the rest)."""
+    if isinstance(stmt, For):
+        if isinstance(stmt.start, Const) and isinstance(stmt.stop, Const):
+            start, stop = stmt.start.value, stmt.stop.value
+            if isinstance(start, int) and isinstance(stop, int):
+                return float(max(0, stop - start + 1))
+        return float(DEFAULT_LOOP_WEIGHT)
+    if isinstance(stmt, While):
+        if stmt.expected_iterations is not None:
+            return float(stmt.expected_iterations)
+        if stmt.cond == Const(True):
+            # endless server loop: weight its body once; dynamic
+            # profiling owns the real count
+            return 1.0
+        return float(DEFAULT_LOOP_WEIGHT)
+    return 1.0

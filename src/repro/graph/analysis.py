@@ -1,0 +1,142 @@
+"""Partition-aware analysis of the access graph.
+
+Implements the paper's §3 variable classification:
+
+    "There are some variables which are accessed only by behaviors in
+    the same partition as themselves.  These variables are called
+    **local variables**. [...] There are some variables which are
+    accessed by behaviors residing in different partitions.  Those
+    variables are called **global variables**."
+
+plus the channel-cut queries the estimators and refiners share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.graph.access_graph import AccessGraph, DataChannel
+from repro.partition.partition import Partition
+
+__all__ = ["VariableClassification", "classify_variables", "cut_channels",
+           "channel_matrix"]
+
+
+@dataclass
+class VariableClassification:
+    """Local/global split of the partitionable variables.
+
+    ``local`` maps each component to the variables local to it;
+    ``global_vars`` lists variables accessed from more than one
+    partition, with their home component retained for memory placement.
+    """
+
+    local: Dict[str, List[str]]
+    global_vars: List[str]
+    home: Dict[str, str]
+    accessor_components: Dict[str, Set[str]]
+
+    def is_global(self, variable: str) -> bool:
+        return variable in self.global_vars
+
+    def is_local(self, variable: str) -> bool:
+        return variable in self.home and variable not in self.global_vars
+
+    def all_local(self) -> List[str]:
+        out: List[str] = []
+        for names in self.local.values():
+            out.extend(names)
+        return sorted(out)
+
+    @property
+    def local_count(self) -> int:
+        return sum(len(names) for names in self.local.values())
+
+    @property
+    def global_count(self) -> int:
+        return len(self.global_vars)
+
+    def ratio_label(self) -> str:
+        """The paper's Design1/2/3 axis: how locals compare to globals."""
+        if self.local_count == self.global_count:
+            return "Local = Global"
+        if self.local_count > self.global_count:
+            return "Local > Global"
+        return "Local < Global"
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.local_count} local / {self.global_count} global "
+            f"({self.ratio_label()})"
+        ]
+        for component in sorted(self.local):
+            names = ", ".join(sorted(self.local[component])) or "-"
+            lines.append(f"  local to {component}: {names}")
+        lines.append("  global: " + (", ".join(sorted(self.global_vars)) or "-"))
+        return "\n".join(lines)
+
+
+def classify_variables(
+    graph: AccessGraph, partition: Partition
+) -> VariableClassification:
+    """Split variables into local/global per the paper's definition.
+
+    A variable nobody accesses counts as local to its home component
+    (it occupies memory but generates no traffic).
+    """
+    local: Dict[str, List[str]] = {c: [] for c in partition.components()}
+    global_vars: List[str] = []
+    home: Dict[str, str] = {}
+    accessor_components: Dict[str, Set[str]] = {}
+
+    for variable in sorted(graph.variable_names):
+        home_component = partition.component_of_variable(variable)
+        home[variable] = home_component
+        components = {
+            partition.effective_component_of_behavior(behavior)
+            for behavior in graph.accessors_of(variable)
+        }
+        accessor_components[variable] = components
+        if components <= {home_component}:
+            local[home_component].append(variable)
+        else:
+            global_vars.append(variable)
+    return VariableClassification(
+        local=local,
+        global_vars=global_vars,
+        home=home,
+        accessor_components=accessor_components,
+    )
+
+
+def cut_channels(
+    graph: AccessGraph, partition: Partition
+) -> List[DataChannel]:
+    """Data channels whose behavior and variable live on different
+    components — the accesses data-related refinement must rewrite."""
+    out: List[DataChannel] = []
+    for channel in graph.data_channels():
+        behavior_component = partition.effective_component_of_behavior(channel.behavior)
+        variable_component = partition.component_of_variable(channel.variable)
+        if behavior_component != variable_component:
+            out.append(channel)
+    return out
+
+
+def channel_matrix(
+    graph: AccessGraph, partition: Partition
+) -> Dict[Tuple[str, str], float]:
+    """Aggregate static channel weight between component pairs.
+
+    Key ``(behavior_component, variable_component)``; the diagonal is
+    intra-partition traffic.  Used by the partitioners' cost function.
+    """
+    matrix: Dict[Tuple[str, str], float] = {}
+    for channel in graph.data_channels():
+        key = (
+            partition.effective_component_of_behavior(channel.behavior),
+            partition.component_of_variable(channel.variable),
+        )
+        matrix[key] = matrix.get(key, 0.0) + channel.weight
+    return matrix

@@ -1,0 +1,14 @@
+"""Textual SpecCharts-like front end: lexer, parser and pretty-printer."""
+
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse, parse_expression
+from repro.lang.printer import print_behavior, print_expr, print_specification
+
+__all__ = [
+    "tokenize",
+    "parse",
+    "parse_expression",
+    "print_behavior",
+    "print_expr",
+    "print_specification",
+]

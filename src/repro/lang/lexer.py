@@ -1,0 +1,117 @@
+"""Hand-written lexer for the SpecCharts-like concrete syntax.
+
+Comments run from ``--`` to end of line (VHDL style).  Identifiers are
+case-sensitive; keywords are recognised case-insensitively and
+canonicalised to lowercase.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ParseError
+from repro.lang.tokens import (
+    KEYWORDS,
+    MULTI_SYMBOLS,
+    SINGLE_SYMBOLS,
+    Token,
+    TokenKind,
+)
+
+__all__ = ["tokenize"]
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex ``source`` into a token list ending with one EOF token.
+
+    Raises :class:`ParseError` on any character outside the language.
+    """
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    length = len(source)
+
+    def error(message: str) -> ParseError:
+        return ParseError(message, line, column)
+
+    while i < length:
+        ch = source[i]
+
+        # -- whitespace ----------------------------------------------------
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+
+        # -- comments --------------------------------------------------------
+        if ch == "-" and i + 1 < length and source[i + 1] == "-":
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+
+        start_col = column
+
+        # -- identifiers / keywords -------------------------------------------
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            if text.lower() in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, text.lower(), line, start_col))
+            else:
+                tokens.append(Token(TokenKind.IDENT, text, line, start_col))
+            column += j - i
+            i = j
+            continue
+
+        # -- integers -----------------------------------------------------------
+        if ch.isdigit():
+            j = i
+            while j < length and source[j].isdigit():
+                j += 1
+            tokens.append(Token(TokenKind.INT, source[i:j], line, start_col))
+            column += j - i
+            i = j
+            continue
+
+        # -- character/enum literals ----------------------------------------------
+        if ch == "'":
+            j = source.find("'", i + 1)
+            if j < 0:
+                raise error("unterminated character literal")
+            text = source[i + 1 : j]
+            if not text:
+                raise error("empty character literal")
+            tokens.append(Token(TokenKind.CHAR, text, line, start_col))
+            column += (j + 1) - i
+            i = j + 1
+            continue
+
+        # -- symbols --------------------------------------------------------------
+        matched = False
+        for sym in MULTI_SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(Token(TokenKind.SYMBOL, sym, line, start_col))
+                i += len(sym)
+                column += len(sym)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in SINGLE_SYMBOLS:
+            tokens.append(Token(TokenKind.SYMBOL, ch, line, start_col))
+            i += 1
+            column += 1
+            continue
+
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,566 @@
+"""Recursive-descent parser: textual SpecCharts-like source -> IR.
+
+The grammar is exactly what :mod:`repro.lang.printer` emits, so
+``parse(print_specification(s))`` round-trips any valid specification.
+
+Grammar sketch (EBNF, ``{}`` repetition, ``[]`` optional)::
+
+    spec        = "specification" IDENT "is" {typedecl} {decl}
+                  {procedure} behavior "end" "specification" ";"
+    typedecl    = "type" IDENT "is" "(" CHAR {"," CHAR} ")" ";"
+    decl        = ["input"|"output"] ("variable"|"signal")
+                  IDENT ":" type [":=" literal] ";"
+    type        = "boolean" | ("integer"|"natural"|"bits") "<" INT ">"
+                | "array" "<" type "," INT ">" | IDENT
+    procedure   = "procedure" IDENT "(" [param {"," param}] ")" "is"
+                  {decl} "begin" {stmt} "end" "procedure" ";"
+    param       = IDENT ":" ("in"|"out"|"inout") type
+    behavior    = "behavior" IDENT "is"
+                  ( "leaf" {decl} "begin" {stmt} "end" "behavior" ";"
+                  | ("sequential"|"concurrent") {decl} ["initial" IDENT ";"]
+                    ["transitions" {trans}] {behavior} "end" "behavior" ";" )
+    trans       = IDENT [":" "(" expr ")"] "->" (IDENT|"complete") ";"
+    stmt        = lvalue ":=" expr ";" | lvalue "<=" expr ";"
+                | IDENT "(" [expr {"," expr}] ")" ";"
+                | "if" expr "then" {stmt} {"elsif" expr "then" {stmt}}
+                  ["else" {stmt}] "end" "if" ";"
+                | "while" expr ["expect" INT] "loop" {stmt} "end" "loop" ";"
+                | "for" IDENT "in" expr "to" expr "loop" {stmt}
+                  "end" "loop" ";"
+                | "wait" ("until" expr | "on" IDENT {"," IDENT}
+                          | "for" INT) ";"
+                | "null" ";"
+    expr        = or-expr with VHDL-ish precedence
+                  (or < and < comparison < additive < multiplicative
+                   < unary < primary)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenKind
+from repro.spec.behavior import (
+    Behavior,
+    CompositeBehavior,
+    CompositionMode,
+    LeafBehavior,
+    Transition,
+)
+from repro.spec.expr import BinOp, Const, Expr, Index, UnaryOp, VarRef
+from repro.spec.specification import Specification
+from repro.spec.stmt import (
+    Assign,
+    CallStmt,
+    For,
+    If,
+    Null,
+    SignalAssign,
+    Stmt,
+    Wait,
+    While,
+    body as make_body,
+)
+from repro.spec.subprogram import Direction, Param, Subprogram
+from repro.spec.types import (
+    ArrayType,
+    BitVectorType,
+    BoolType,
+    DataType,
+    EnumType,
+    IntType,
+)
+from repro.spec.variable import Role, StorageClass, Variable
+
+__all__ = ["parse", "parse_expression"]
+
+
+def parse(source: str) -> Specification:
+    """Parse a complete specification from source text."""
+    return _Parser(tokenize(source)).parse_specification()
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a standalone expression (handy in tests and the CLI)."""
+    parser = _Parser(tokenize(source))
+    expr = parser._expression()
+    parser._expect_eof()
+    return expr
+
+
+class _Parser:
+    """Token-stream cursor with one-token lookahead."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+        self._enums: Dict[str, EnumType] = {}
+
+    # -- cursor helpers ----------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self._current
+        return ParseError(f"{message}, found {token}", token.line, token.column)
+
+    def _accept(self, kind: TokenKind, text: str = None) -> Optional[Token]:
+        if self._current.matches(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, text: str = None) -> Token:
+        token = self._accept(kind, text)
+        if token is None:
+            wanted = text if text is not None else kind.value
+            raise self._error(f"expected {wanted!r}")
+        return token
+
+    def _keyword(self, word: str) -> Token:
+        return self._expect(TokenKind.KEYWORD, word)
+
+    def _symbol(self, sym: str) -> Token:
+        return self._expect(TokenKind.SYMBOL, sym)
+
+    def _at_keyword(self, *words: str) -> bool:
+        return self._current.kind is TokenKind.KEYWORD and self._current.text in words
+
+    def _expect_eof(self) -> None:
+        if self._current.kind is not TokenKind.EOF:
+            raise self._error("expected end of input")
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_specification(self) -> Specification:
+        self._keyword("specification")
+        name = self._expect(TokenKind.IDENT).text
+        self._keyword("is")
+
+        while self._at_keyword("type"):
+            self._type_declaration()
+
+        variables: List[Variable] = []
+        while self._at_keyword("variable", "signal", "input", "output"):
+            variables.append(self._declaration())
+
+        subprograms: List[Subprogram] = []
+        while self._at_keyword("procedure"):
+            subprograms.append(self._procedure())
+
+        top = self._behavior()
+        self._keyword("end")
+        self._keyword("specification")
+        self._symbol(";")
+        self._expect_eof()
+        return Specification(name, top, variables, subprograms)
+
+    def _type_declaration(self) -> None:
+        self._keyword("type")
+        name = self._expect(TokenKind.IDENT).text
+        self._keyword("is")
+        self._symbol("(")
+        literals = [self._expect(TokenKind.CHAR).text]
+        while self._accept(TokenKind.SYMBOL, ","):
+            literals.append(self._expect(TokenKind.CHAR).text)
+        self._symbol(")")
+        self._symbol(";")
+        if name in self._enums:
+            raise self._error(f"type {name!r} declared twice")
+        self._enums[name] = EnumType(name, tuple(literals))
+
+    # -- declarations ----------------------------------------------------------
+
+    def _declaration(self) -> Variable:
+        role = Role.INTERNAL
+        if self._accept(TokenKind.KEYWORD, "input"):
+            role = Role.INPUT
+        elif self._accept(TokenKind.KEYWORD, "output"):
+            role = Role.OUTPUT
+        if self._accept(TokenKind.KEYWORD, "signal"):
+            kind = StorageClass.SIGNAL
+        else:
+            self._keyword("variable")
+            kind = StorageClass.VARIABLE
+        name = self._expect(TokenKind.IDENT).text
+        self._symbol(":")
+        dtype = self._type()
+        init = None
+        if self._accept(TokenKind.SYMBOL, ":="):
+            init = self._literal()
+        self._symbol(";")
+        return Variable(name, dtype, init=init, kind=kind, role=role)
+
+    def _type(self) -> DataType:
+        if self._accept(TokenKind.KEYWORD, "boolean"):
+            return BoolType()
+        for keyword, signed in (("integer", True), ("natural", False)):
+            if self._accept(TokenKind.KEYWORD, keyword):
+                self._symbol("<")
+                width = self._expect(TokenKind.INT).value
+                self._symbol(">")
+                return IntType(width=width, signed=signed)
+        if self._accept(TokenKind.KEYWORD, "bits"):
+            self._symbol("<")
+            width = self._expect(TokenKind.INT).value
+            self._symbol(">")
+            return BitVectorType(width=width)
+        if self._accept(TokenKind.KEYWORD, "array"):
+            self._symbol("<")
+            element = self._type()
+            self._symbol(",")
+            length = self._expect(TokenKind.INT).value
+            self._symbol(">")
+            return ArrayType(element=element, length=length)
+        token = self._accept(TokenKind.IDENT)
+        if token is not None:
+            enum = self._enums.get(token.text)
+            if enum is None:
+                raise ParseError(
+                    f"unknown type {token.text!r}", token.line, token.column
+                )
+            return enum
+        raise self._error("expected a type")
+
+    def _literal(self):
+        if self._accept(TokenKind.KEYWORD, "true"):
+            return True
+        if self._accept(TokenKind.KEYWORD, "false"):
+            return False
+        minus = self._accept(TokenKind.SYMBOL, "-")
+        token = self._accept(TokenKind.INT)
+        if token is not None:
+            return -token.value if minus else token.value
+        if minus:
+            raise self._error("expected an integer after '-'")
+        token = self._accept(TokenKind.CHAR)
+        if token is not None:
+            return token.text
+        if self._accept(TokenKind.SYMBOL, "("):
+            items = [self._literal()]
+            while self._accept(TokenKind.SYMBOL, ","):
+                items.append(self._literal())
+            self._symbol(")")
+            return tuple(items)
+        raise self._error("expected a literal")
+
+    # -- subprograms ----------------------------------------------------------------
+
+    def _procedure(self) -> Subprogram:
+        self._keyword("procedure")
+        name = self._expect(TokenKind.IDENT).text
+        self._symbol("(")
+        params: List[Param] = []
+        if not self._current.matches(TokenKind.SYMBOL, ")"):
+            params.append(self._param())
+            while self._accept(TokenKind.SYMBOL, ","):
+                params.append(self._param())
+        self._symbol(")")
+        self._keyword("is")
+        decls: List[Variable] = []
+        while self._at_keyword("variable", "signal", "input", "output"):
+            decls.append(self._declaration())
+        self._keyword("begin")
+        stmts = self._statements_until(("end",))
+        self._keyword("end")
+        self._keyword("procedure")
+        self._symbol(";")
+        return Subprogram(name, params, stmts, decls)
+
+    def _param(self) -> Param:
+        name = self._expect(TokenKind.IDENT).text
+        self._symbol(":")
+        # direction words are contextual, not reserved (variables may
+        # legitimately be named "out" or "in")
+        if self._accept(TokenKind.IDENT, "inout"):
+            direction = Direction.INOUT
+        elif self._accept(TokenKind.IDENT, "out"):
+            direction = Direction.OUT
+        else:
+            self._expect(TokenKind.IDENT, "in")
+            direction = Direction.IN
+        dtype = self._type()
+        return Param(name, dtype, direction)
+
+    # -- behaviors ----------------------------------------------------------------------
+
+    def _behavior(self) -> Behavior:
+        self._keyword("behavior")
+        name = self._expect(TokenKind.IDENT).text
+        self._keyword("is")
+        daemon = self._accept(TokenKind.KEYWORD, "daemon") is not None
+        if self._accept(TokenKind.KEYWORD, "leaf"):
+            decls: List[Variable] = []
+            while self._at_keyword("variable", "signal", "input", "output"):
+                decls.append(self._declaration())
+            self._keyword("begin")
+            stmts = self._statements_until(("end",))
+            self._keyword("end")
+            self._keyword("behavior")
+            self._symbol(";")
+            leaf_behavior = LeafBehavior(name, stmts, decls)
+            leaf_behavior.daemon = daemon
+            return leaf_behavior
+
+        if self._accept(TokenKind.KEYWORD, "sequential"):
+            mode = CompositionMode.SEQUENTIAL
+        else:
+            self._keyword("concurrent")
+            mode = CompositionMode.CONCURRENT
+
+        decls = []
+        while self._at_keyword("variable", "signal", "input", "output"):
+            decls.append(self._declaration())
+
+        initial: Optional[str] = None
+        if self._accept(TokenKind.KEYWORD, "initial"):
+            initial = self._expect(TokenKind.IDENT).text
+            self._symbol(";")
+
+        transitions: List[Transition] = []
+        if self._accept(TokenKind.KEYWORD, "transitions"):
+            while self._current.kind is TokenKind.IDENT:
+                transitions.append(self._transition())
+
+        subs: List[Behavior] = []
+        while self._at_keyword("behavior"):
+            subs.append(self._behavior())
+        self._keyword("end")
+        self._keyword("behavior")
+        self._symbol(";")
+        composite = CompositeBehavior(
+            name, subs, mode=mode, transitions=transitions, initial=initial,
+            decls=decls,
+        )
+        composite.daemon = daemon
+        return composite
+
+    def _transition(self) -> Transition:
+        source = self._expect(TokenKind.IDENT).text
+        condition: Optional[Expr] = None
+        if self._accept(TokenKind.SYMBOL, ":"):
+            self._symbol("(")
+            condition = self._expression()
+            self._symbol(")")
+        self._symbol("->")
+        if self._accept(TokenKind.KEYWORD, "complete"):
+            target: Optional[str] = None
+        else:
+            target = self._expect(TokenKind.IDENT).text
+        self._symbol(";")
+        return Transition(source, condition, target)
+
+    # -- statements --------------------------------------------------------------------------
+
+    _STMT_TERMINATORS = ("end", "elsif", "else")
+
+    def _statements_until(self, stop_keywords: Tuple[str, ...]) -> tuple:
+        stmts: List[Stmt] = []
+        while not self._at_keyword(*stop_keywords):
+            if self._current.kind is TokenKind.EOF:
+                raise self._error(f"expected one of {stop_keywords}")
+            stmts.append(self._statement())
+        return make_body(stmts)
+
+    def _statement(self) -> Stmt:
+        if self._accept(TokenKind.KEYWORD, "null"):
+            self._symbol(";")
+            return Null()
+        if self._at_keyword("if"):
+            return self._if_statement()
+        if self._at_keyword("while"):
+            return self._while_statement()
+        if self._at_keyword("for"):
+            return self._for_statement()
+        if self._at_keyword("wait"):
+            return self._wait_statement()
+        return self._simple_statement()
+
+    def _if_statement(self) -> If:
+        self._keyword("if")
+        cond = self._expression()
+        self._keyword("then")
+        then_body = self._statements_until(self._STMT_TERMINATORS)
+        elifs: List[Tuple[Expr, tuple]] = []
+        while self._accept(TokenKind.KEYWORD, "elsif"):
+            arm_cond = self._expression()
+            self._keyword("then")
+            arm_body = self._statements_until(self._STMT_TERMINATORS)
+            elifs.append((arm_cond, arm_body))
+        else_body: tuple = ()
+        if self._accept(TokenKind.KEYWORD, "else"):
+            else_body = self._statements_until(("end",))
+        self._keyword("end")
+        self._keyword("if")
+        self._symbol(";")
+        return If(cond, then_body, tuple(elifs), else_body)
+
+    def _while_statement(self) -> While:
+        self._keyword("while")
+        cond = self._expression()
+        expected: Optional[int] = None
+        if self._accept(TokenKind.KEYWORD, "expect"):
+            expected = self._expect(TokenKind.INT).value
+        self._keyword("loop")
+        loop_body = self._statements_until(("end",))
+        self._keyword("end")
+        self._keyword("loop")
+        self._symbol(";")
+        return While(cond, loop_body, expected_iterations=expected)
+
+    def _for_statement(self) -> For:
+        self._keyword("for")
+        variable = self._expect(TokenKind.IDENT).text
+        self._expect(TokenKind.IDENT, "in")
+        start = self._expression()
+        self._keyword("to")
+        stop = self._expression()
+        self._keyword("loop")
+        loop_body = self._statements_until(("end",))
+        self._keyword("end")
+        self._keyword("loop")
+        self._symbol(";")
+        return For(variable, start, stop, loop_body)
+
+    def _wait_statement(self) -> Wait:
+        self._keyword("wait")
+        if self._accept(TokenKind.KEYWORD, "until"):
+            cond = self._expression()
+            self._symbol(";")
+            return Wait(until=cond)
+        if self._accept(TokenKind.IDENT, "on"):
+            names = [self._expect(TokenKind.IDENT).text]
+            while self._accept(TokenKind.SYMBOL, ","):
+                names.append(self._expect(TokenKind.IDENT).text)
+            self._symbol(";")
+            return Wait(on=tuple(names))
+        self._keyword("for")
+        delay = self._expect(TokenKind.INT).value
+        self._symbol(";")
+        return Wait(delay=delay)
+
+    def _simple_statement(self) -> Stmt:
+        name = self._expect(TokenKind.IDENT)
+        # call statement: IDENT '(' ... ') ;'
+        if self._current.matches(TokenKind.SYMBOL, "("):
+            self._advance()
+            args: List[Expr] = []
+            if not self._current.matches(TokenKind.SYMBOL, ")"):
+                args.append(self._expression())
+                while self._accept(TokenKind.SYMBOL, ","):
+                    args.append(self._expression())
+            self._symbol(")")
+            self._symbol(";")
+            return CallStmt(name.text, tuple(args))
+        # assignment: lvalue (':='|'<=') expr ';'
+        target: Expr = VarRef(name.text)
+        if self._accept(TokenKind.SYMBOL, "["):
+            index = self._expression()
+            self._symbol("]")
+            target = Index(target, index)
+        if self._accept(TokenKind.SYMBOL, ":="):
+            value = self._expression()
+            self._symbol(";")
+            return Assign(target, value)
+        if self._accept(TokenKind.SYMBOL, "<="):
+            value = self._expression()
+            self._symbol(";")
+            return SignalAssign(target, value)
+        raise self._error("expected ':=', '<=' or '(' after identifier")
+
+    # -- expressions ------------------------------------------------------------------------------
+
+    def _expression(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self._accept(TokenKind.KEYWORD, "or"):
+            left = BinOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._comparison()
+        while self._accept(TokenKind.KEYWORD, "and"):
+            left = BinOp("and", left, self._comparison())
+        return left
+
+    _COMPARISONS = ("=", "/=", "<", "<=", ">", ">=")
+
+    def _comparison(self) -> Expr:
+        left = self._additive()
+        if (
+            self._current.kind is TokenKind.SYMBOL
+            and self._current.text in self._COMPARISONS
+        ):
+            op = self._advance().text
+            return BinOp(op, left, self._additive())
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while (
+            self._current.kind is TokenKind.SYMBOL
+            and self._current.text in ("+", "-")
+        ):
+            op = self._advance().text
+            left = BinOp(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while (
+            self._current.matches(TokenKind.SYMBOL, "*")
+            or self._current.matches(TokenKind.SYMBOL, "/")
+            or self._current.matches(TokenKind.KEYWORD, "mod")
+        ):
+            op = self._advance().text
+            left = BinOp(op, left, self._unary())
+        return left
+
+    def _unary(self) -> Expr:
+        if self._accept(TokenKind.SYMBOL, "-"):
+            return UnaryOp("-", self._unary())
+        if self._accept(TokenKind.KEYWORD, "not"):
+            return UnaryOp("not", self._unary())
+        if self._accept(TokenKind.KEYWORD, "abs"):
+            return UnaryOp("abs", self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        if self._accept(TokenKind.KEYWORD, "true"):
+            return Const(True)
+        if self._accept(TokenKind.KEYWORD, "false"):
+            return Const(False)
+        token = self._accept(TokenKind.INT)
+        if token is not None:
+            return Const(token.value)
+        token = self._accept(TokenKind.CHAR)
+        if token is not None:
+            return Const(token.text)
+        token = self._accept(TokenKind.IDENT)
+        if token is not None:
+            expr: Expr = VarRef(token.text)
+            while self._accept(TokenKind.SYMBOL, "["):
+                index = self._expression()
+                self._symbol("]")
+                expr = Index(expr, index)
+            return expr
+        if self._accept(TokenKind.SYMBOL, "("):
+            expr = self._expression()
+            self._symbol(")")
+            return expr
+        raise self._error("expected an expression")

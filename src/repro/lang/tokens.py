@@ -1,0 +1,100 @@
+"""Token definitions for the SpecCharts-like concrete syntax."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["TokenKind", "Token", "KEYWORDS"]
+
+
+class TokenKind(enum.Enum):
+    """Lexical token categories."""
+
+    IDENT = "ident"
+    INT = "int"
+    CHAR = "char"  # 'literal' — enum literals
+    KEYWORD = "keyword"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+#: Reserved words of the language.  Identifiers may not collide with
+#: these; the lexer classifies them case-insensitively (keywords are
+#: canonicalised to lowercase).
+KEYWORDS = frozenset(
+    {
+        "specification",
+        "is",
+        "end",
+        "variable",
+        "signal",
+        "input",
+        "output",
+        "type",
+        "procedure",
+        "begin",
+        "behavior",
+        "daemon",
+        "leaf",
+        "sequential",
+        "concurrent",
+        "transitions",
+        "initial",
+        "complete",
+        "if",
+        "then",
+        "elsif",
+        "else",
+        "while",
+        "expect",
+        "loop",
+        "for",
+        "to",
+        "wait",
+        "until",
+        "null",
+        "and",
+        "or",
+        "not",
+        "abs",
+        "mod",
+        "true",
+        "false",
+        "integer",
+        "natural",
+        "bits",
+        "boolean",
+        "array",
+    }
+)
+
+#: Multi-character symbols, longest first so the lexer can match greedily.
+MULTI_SYMBOLS = (":=", "<=", ">=", "/=", "->")
+
+#: Single-character symbols.
+SINGLE_SYMBOLS = "()[]<>:;,+-*/="
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    @property
+    def value(self) -> int:
+        """Integer value of an INT token."""
+        return int(self.text)
+
+    def matches(self, kind: TokenKind, text: str = None) -> bool:
+        """Whether this token has the given kind (and text, if given)."""
+        return self.kind is kind and (text is None or self.text == text)
+
+    def __str__(self) -> str:
+        if self.kind is TokenKind.EOF:
+            return "<end of input>"
+        return repr(self.text)

@@ -1,0 +1,35 @@
+"""The four communication implementation models (paper §3)."""
+
+from repro.models.impl_models import (
+    ALL_MODELS,
+    MODEL1,
+    MODEL2,
+    MODEL3,
+    MODEL4,
+    ImplementationModel,
+    Model1,
+    Model2,
+    Model3,
+    Model4,
+    resolve_model,
+)
+from repro.models.plan import AddressRange, BusPlan, BusRole, MemoryPlan, ModelPlan
+
+__all__ = [
+    "ALL_MODELS",
+    "MODEL1",
+    "MODEL2",
+    "MODEL3",
+    "MODEL4",
+    "ImplementationModel",
+    "Model1",
+    "Model2",
+    "Model3",
+    "Model4",
+    "resolve_model",
+    "AddressRange",
+    "BusPlan",
+    "BusRole",
+    "MemoryPlan",
+    "ModelPlan",
+]

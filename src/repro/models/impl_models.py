@@ -1,0 +1,390 @@
+"""The four implementation models of paper §3 (Figure 3).
+
+Each model decides three things (the paper's three parameters): the
+number of memory ports, the mapping of variables to local or global
+memories, and — through the plan it emits — which buses exist and which
+buses each access traverses.
+
+========  =========================================  ==================
+Model     Topology (p partitions)                    Max buses
+========  =========================================  ==================
+Model1    single-port global memories on one bus     1
+Model2    local memories + single-port global        p + 1
+          memories on one shared global bus
+Model3    local memories + p-port global memories,   p + p*p
+          one dedicated bus per (component, global
+          memory) pair
+Model4    local memories + bus interfaces            2p + 1
+          (message passing)
+========  =========================================  ==================
+
+Bus numbering follows the paper's Figure 3 for two partitions:
+Model2 -> b1 local(P1), b2 global, b3 local(P2); Model3 -> b1 local(P1),
+b2..b5 dedicated (P1->G1, P1->G2, P2->G1, P2->G2), b6 local(P2);
+Model4 -> b1 local(P1), b2 iface(P1), b3 interchange, b4 iface(P2),
+b5 local(P2).
+
+Model4 routing note: a cross-partition access traverses the accessor's
+interface bus (behavior -> bus interface), the interchange (interface
+-> interface) and the *owner's* interface bus (interface -> local
+memory's second port).  Every cross access therefore loads all three
+interface-path buses equally — which is why the paper reports one
+number for ``b2=b3=b4``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import RefinementError
+from repro.graph.access_graph import AccessGraph
+from repro.graph.analysis import VariableClassification, classify_variables
+from repro.models.plan import BusPlan, BusRole, MemoryPlan, ModelPlan
+from repro.partition.partition import Partition
+from repro.spec.specification import Specification
+
+__all__ = [
+    "ImplementationModel",
+    "Model1",
+    "Model2",
+    "Model3",
+    "Model4",
+    "MODEL1",
+    "MODEL2",
+    "MODEL3",
+    "MODEL4",
+    "ALL_MODELS",
+    "resolve_model",
+]
+
+
+class ImplementationModel:
+    """Base class: builds a :class:`ModelPlan` for a partitioned spec."""
+
+    #: Registry name ("Model1" .. "Model4").
+    name: str = "abstract"
+    #: Human description (paper §3 headline).
+    description: str = ""
+
+    def max_buses(self, p: int) -> int:
+        """The paper's worst-case bus-count formula."""
+        raise NotImplementedError
+
+    def build_plan(
+        self,
+        spec: Specification,
+        partition: Partition,
+        classification: Optional[VariableClassification] = None,
+        graph: Optional[AccessGraph] = None,
+    ) -> ModelPlan:
+        """Plan memories, buses, placement and routing."""
+        if classification is None:
+            if graph is None:
+                graph = AccessGraph.from_specification(spec)
+            classification = classify_variables(graph, partition)
+        plan = ModelPlan(self.name, spec, partition, classification)
+        self._populate(plan)
+        plan.assign_addresses()
+        return plan
+
+    def _populate(self, plan: ModelPlan) -> None:
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------
+
+    @staticmethod
+    def _component_index(plan: ModelPlan) -> Dict[str, int]:
+        return {c: i + 1 for i, c in enumerate(plan.partition.components())}
+
+    @staticmethod
+    def _vars_homed(plan: ModelPlan, component: str) -> List[str]:
+        """All partitionable variables homed on ``component``, in
+        specification declaration order (stable addresses)."""
+        home = plan.classification.home
+        return [
+            v.name
+            for v in plan.spec.variables
+            if v.name in home and home[v.name] == component
+        ]
+
+    @staticmethod
+    def _locals_homed(plan: ModelPlan, component: str) -> List[str]:
+        local = set(plan.classification.local.get(component, ()))
+        return [
+            v.name for v in plan.spec.variables if v.name in local
+        ]
+
+    @staticmethod
+    def _globals_homed(plan: ModelPlan, component: str) -> List[str]:
+        home = plan.classification.home
+        global_set = set(plan.classification.global_vars)
+        return [
+            v.name
+            for v in plan.spec.variables
+            if v.name in global_set and home[v.name] == component
+        ]
+
+    def __repr__(self) -> str:
+        return f"<{self.name}: {self.description}>"
+
+
+class Model1(ImplementationModel):
+    """Single-port global memory only.
+
+    All variables live in global memories (one per home partition); all
+    behaviors reach them over one shared bus, which therefore carries
+    the design's entire data traffic (the 3636 Mbit/s column of
+    Figure 9).
+    """
+
+    name = "Model1"
+    description = "single-port global memory only"
+
+    def max_buses(self, p: int) -> int:
+        return 1
+
+    def _populate(self, plan: ModelPlan) -> None:
+        bus = plan.new_bus(BusRole.GLOBAL)
+        index = self._component_index(plan)
+        for component in plan.partition.components():
+            homed = self._vars_homed(plan, component)
+            if not homed:
+                continue
+            memory = plan.new_memory(
+                f"Gmem{index[component]}", "global", None, homed
+            )
+            memory.port_buses.append(bus.name)
+
+        def route(accessor_component: str, variable: str) -> List[str]:
+            return [bus.name]
+
+        plan.set_router(route)
+
+
+class Model2(ImplementationModel):
+    """Local memory + single-port global memory.
+
+    Local variables move into per-component local memories on private
+    buses; global variables stay in global memories on one shared
+    global bus — the shared-memory scheme whose global bus becomes the
+    hot spot when globals dominate (Design3 in Figure 9).
+    """
+
+    name = "Model2"
+    description = "local memory + single-port global memory"
+
+    def max_buses(self, p: int) -> int:
+        return p + 1
+
+    def _populate(self, plan: ModelPlan) -> None:
+        components = plan.partition.components()
+        index = self._component_index(plan)
+        local_bus: Dict[str, str] = {}
+        global_bus: Optional[BusPlan] = None
+        any_globals = bool(plan.classification.global_vars)
+
+        for position, component in enumerate(components):
+            locals_here = self._locals_homed(plan, component)
+            if locals_here:
+                bus = plan.new_bus(BusRole.LOCAL, component=component)
+                local_bus[component] = bus.name
+                memory = plan.new_memory(
+                    f"Lmem{index[component]}", "local", component, locals_here
+                )
+                memory.port_buses.append(bus.name)
+            if position == 0 and any_globals:
+                global_bus = plan.new_bus(BusRole.GLOBAL)
+
+        if any_globals and global_bus is None:
+            global_bus = plan.new_bus(BusRole.GLOBAL)
+        for component in components:
+            globals_here = self._globals_homed(plan, component)
+            if globals_here:
+                memory = plan.new_memory(
+                    f"Gmem{index[component]}", "global", None, globals_here
+                )
+                memory.port_buses.append(global_bus.name)
+
+        classification = plan.classification
+
+        def route(accessor_component: str, variable: str) -> List[str]:
+            if classification.is_global(variable):
+                return [global_bus.name]
+            return [local_bus[classification.home[variable]]]
+
+        plan.set_router(route)
+
+
+class Model3(ImplementationModel):
+    """Local memory + multiple-port global memory.
+
+    Like Model2 but every global memory gets one port (and one
+    dedicated bus) per partition, spreading global traffic across
+    p*p buses — the flattest profile in Figure 9.
+    """
+
+    name = "Model3"
+    description = "local memory + multiple-port global memory"
+
+    def max_buses(self, p: int) -> int:
+        return p + p * p
+
+    def _populate(self, plan: ModelPlan) -> None:
+        components = plan.partition.components()
+        index = self._component_index(plan)
+        local_bus: Dict[str, str] = {}
+        dedicated: Dict[tuple, str] = {}
+
+        # global memories exist per home partition holding globals
+        global_homes = [
+            c for c in components if self._globals_homed(plan, c)
+        ]
+        memories: Dict[str, MemoryPlan] = {}
+
+        # paper bus order for p=2: b1 = local(P1), b2..b5 dedicated,
+        # b6 = local(P2)
+        first = components[0]
+        locals_first = self._locals_homed(plan, first)
+        if locals_first:
+            bus = plan.new_bus(BusRole.LOCAL, component=first)
+            local_bus[first] = bus.name
+            memory = plan.new_memory(
+                f"Lmem{index[first]}", "local", first, locals_first
+            )
+            memory.port_buses.append(bus.name)
+
+        # dedicated buses in paper order: component-major, memory-minor
+        for home in global_homes:
+            memories[home] = plan.new_memory(
+                f"Gmem{index[home]}", "global", None,
+                self._globals_homed(plan, home),
+            )
+        for component in components:
+            for home in global_homes:
+                bus = plan.new_bus(
+                    BusRole.DEDICATED,
+                    component=component,
+                    memory=memories[home].name,
+                )
+                dedicated[(component, memories[home].name)] = bus.name
+                memories[home].port_buses.append(bus.name)
+
+        # trailing local buses for the remaining components (paper's b6)
+        for component in components[1:]:
+            locals_here = self._locals_homed(plan, component)
+            if locals_here:
+                bus = plan.new_bus(BusRole.LOCAL, component=component)
+                local_bus[component] = bus.name
+                memory = plan.new_memory(
+                    f"Lmem{index[component]}", "local", component, locals_here
+                )
+                memory.port_buses.append(bus.name)
+
+        classification = plan.classification
+        placement = plan.placement
+
+        def route(accessor_component: str, variable: str) -> List[str]:
+            if classification.is_global(variable):
+                return [dedicated[(accessor_component, placement[variable])]]
+            return [local_bus[classification.home[variable]]]
+
+        plan.set_router(route)
+
+
+class Model4(ImplementationModel):
+    """Local memory + bus interface (message passing).
+
+    Every variable lives in its home partition's local memory.
+    Resident accesses use the component's local bus; a remote access is
+    a message: accessor -> own bus interface (iface bus), interface ->
+    owner's interface (interchange), owner's interface -> local
+    memory's second port (owner's iface bus).  All three interface-path
+    buses therefore carry exactly the cross-partition traffic — the
+    paper's ``b2=b3=b4``.
+    """
+
+    name = "Model4"
+    description = "local memory + bus interface"
+
+    def max_buses(self, p: int) -> int:
+        return 2 * p + 1
+
+    def _populate(self, plan: ModelPlan) -> None:
+        components = plan.partition.components()
+        index = self._component_index(plan)
+        local_bus: Dict[str, str] = {}
+        iface_bus: Dict[str, str] = {}
+        interchange: Optional[BusPlan] = None
+        # remote traffic exists when any variable is global
+        any_cross = bool(plan.classification.global_vars)
+
+        # memories first (ports attached after the buses exist)
+        memories: Dict[str, MemoryPlan] = {}
+        for component in components:
+            homed = self._vars_homed(plan, component)
+            if homed:
+                memories[component] = plan.new_memory(
+                    f"Lmem{index[component]}", "local", component, homed
+                )
+
+        # paper bus order for p=2: b1 local(P1), b2 iface(P1),
+        # b3 interchange, b4 iface(P2), b5 local(P2)
+        for position, component in enumerate(components):
+            if position == 0 and component in memories:
+                local_bus[component] = plan.new_bus(
+                    BusRole.LOCAL, component=component
+                ).name
+            if any_cross:
+                iface_bus[component] = plan.new_bus(
+                    BusRole.IFACE, component=component
+                ).name
+            if position == 0 and any_cross:
+                interchange = plan.new_bus(BusRole.INTERCHANGE)
+            if position > 0 and component in memories:
+                local_bus[component] = plan.new_bus(
+                    BusRole.LOCAL, component=component
+                ).name
+
+        # port order: behaviors' port (local bus) first, then the bus
+        # interface's port (iface bus)
+        for component, memory in memories.items():
+            memory.port_buses.append(local_bus[component])
+            if any_cross:
+                memory.port_buses.append(iface_bus[component])
+
+        classification = plan.classification
+
+        def route(accessor_component: str, variable: str) -> List[str]:
+            home = classification.home[variable]
+            if home == accessor_component:
+                return [local_bus[home]]
+            return [
+                iface_bus[accessor_component],
+                interchange.name,
+                iface_bus[home],
+            ]
+
+        plan.set_router(route)
+
+
+#: Singleton instances, in paper order.
+MODEL1 = Model1()
+MODEL2 = Model2()
+MODEL3 = Model3()
+MODEL4 = Model4()
+
+ALL_MODELS = (MODEL1, MODEL2, MODEL3, MODEL4)
+
+_BY_NAME = {m.name: m for m in ALL_MODELS}
+
+
+def resolve_model(model) -> ImplementationModel:
+    """Accept an :class:`ImplementationModel` or its name."""
+    if isinstance(model, ImplementationModel):
+        return model
+    found = _BY_NAME.get(str(model))
+    if found is None:
+        raise RefinementError(
+            f"unknown implementation model {model!r}; available: {sorted(_BY_NAME)}"
+        )
+    return found

@@ -1,0 +1,281 @@
+"""Model plans: the bus/memory topology an implementation model implies.
+
+An :class:`ImplementationModel` (paper §3) turns a partitioned
+specification into a :class:`ModelPlan` — the declarative description
+of which memories exist, which buses connect what, where each variable
+lives, and which buses a given access traverses.  The refiner executes
+the plan (generates behaviors, protocols, signals); the estimator maps
+channel rates over :meth:`ModelPlan.route` to produce the Figure 9 bus
+transfer rates.  Keeping the plan separate from both is what makes the
+cross-model comparison apples-to-apples: same profile, same partition,
+different plan.
+
+Address map: every partitionable variable receives a *system-wide
+unique* address range (arrays occupy one slot per element) assigned
+memory-by-memory in canonical order.  System-wide uniqueness lets
+Model4's bus interfaces route by address range alone.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import RefinementError
+from repro.graph.analysis import VariableClassification
+from repro.partition.partition import Partition
+from repro.spec.specification import Specification
+from repro.spec.types import ArrayType
+
+__all__ = ["BusRole", "BusPlan", "MemoryPlan", "AddressRange", "ModelPlan"]
+
+
+class BusRole(enum.Enum):
+    """Why a bus exists in the topology."""
+
+    #: Component-private bus to a local memory.
+    LOCAL = "local"
+    #: Shared bus to the global memories (Model1, Model2).
+    GLOBAL = "global"
+    #: Dedicated component-to-global-memory bus (Model3).
+    DEDICATED = "dedicated"
+    #: Per-component interface bus: behaviors -> bus interface, and bus
+    #: interface -> local memory second port (Model4).
+    IFACE = "iface"
+    #: The interface-to-interface interchange bus (Model4).
+    INTERCHANGE = "interchange"
+
+
+@dataclass
+class BusPlan:
+    """One planned bus.
+
+    ``component`` is the owning component for LOCAL/IFACE/DEDICATED
+    buses (for DEDICATED it is the *master* side); ``memory`` is the
+    global memory a DEDICATED bus reaches.
+    """
+
+    name: str
+    role: BusRole
+    component: Optional[str] = None
+    memory: Optional[str] = None
+    data_width: int = 16
+    addr_width: int = 8
+
+
+@dataclass
+class MemoryPlan:
+    """One planned memory module.
+
+    ``port_buses`` lists the buses its ports sit on, in port order.
+    """
+
+    name: str
+    kind: str  # "local" | "global"
+    host: Optional[str]
+    variables: List[str] = field(default_factory=list)
+    port_buses: List[str] = field(default_factory=list)
+
+    @property
+    def port_count(self) -> int:
+        return len(self.port_buses)
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """Address slot(s) of one variable: ``[base, base+size)``."""
+
+    base: int
+    size: int
+
+    @property
+    def last(self) -> int:
+        return self.base + self.size - 1
+
+
+class ModelPlan:
+    """The planned topology for (specification, partition, model)."""
+
+    def __init__(
+        self,
+        model_name: str,
+        spec: Specification,
+        partition: Partition,
+        classification: VariableClassification,
+    ):
+        self.model_name = model_name
+        self.spec = spec
+        self.partition = partition
+        self.classification = classification
+        self.buses: Dict[str, BusPlan] = {}
+        self.memories: Dict[str, MemoryPlan] = {}
+        #: variable -> memory name
+        self.placement: Dict[str, str] = {}
+        #: variable -> address range (system-wide unique)
+        self.addresses: Dict[str, AddressRange] = {}
+        self._bus_counter = 0
+        self._router = None
+
+    # -- construction helpers (used by the concrete models) ------------------
+
+    def new_bus(self, role: BusRole, component: str = None, memory: str = None) -> BusPlan:
+        """Create the next bus in canonical order (named b1, b2, ...)."""
+        self._bus_counter += 1
+        bus = BusPlan(f"b{self._bus_counter}", role, component=component, memory=memory)
+        self.buses[bus.name] = bus
+        return bus
+
+    def new_memory(
+        self, name: str, kind: str, host: Optional[str], variables: Sequence[str]
+    ) -> MemoryPlan:
+        memory = MemoryPlan(name, kind, host, list(variables))
+        self.memories[name] = memory
+        for variable in variables:
+            self.placement[variable] = name
+        return memory
+
+    def assign_addresses(self) -> None:
+        """Assign a system-wide unique address range to every placed
+        variable, memory by memory in creation order."""
+        next_addr = 0
+        for memory in self.memories.values():
+            for name in memory.variables:
+                decl = self.spec.global_variable(name)
+                if decl is None:
+                    raise RefinementError(f"placed unknown variable {name!r}")
+                size = (
+                    decl.dtype.length if isinstance(decl.dtype, ArrayType) else 1
+                )
+                self.addresses[name] = AddressRange(next_addr, size)
+                next_addr += size
+        self._size_buses(next_addr)
+
+    def _size_buses(self, address_space: int) -> None:
+        addr_width = max(1, (max(1, address_space - 1)).bit_length())
+        for bus in self.buses.values():
+            bus.addr_width = addr_width
+            bus.data_width = self._data_width_for(bus)
+
+    def _data_width_for(self, bus: BusPlan) -> int:
+        widths = [8]
+        for memory in self.memories.values():
+            if bus.name not in memory.port_buses and not self._routes_through(
+                bus, memory
+            ):
+                continue
+            for name in memory.variables:
+                decl = self.spec.global_variable(name)
+                dtype = decl.dtype
+                if isinstance(dtype, ArrayType):
+                    dtype = dtype.element
+                widths.append(dtype.bit_width)
+        return max(widths)
+
+    def _routes_through(self, bus: BusPlan, memory: MemoryPlan) -> bool:
+        # interchange / iface buses carry every remotely accessible word
+        return bus.role in (BusRole.IFACE, BusRole.INTERCHANGE)
+
+    # -- queries ----------------------------------------------------------------
+
+    def memory_of(self, variable: str) -> MemoryPlan:
+        name = self.placement.get(variable)
+        if name is None:
+            raise RefinementError(f"variable {variable!r} was not placed")
+        return self.memories[name]
+
+    def address_of(self, variable: str) -> AddressRange:
+        addr = self.addresses.get(variable)
+        if addr is None:
+            raise RefinementError(f"variable {variable!r} has no address")
+        return addr
+
+    def memory_address_span(self, memory: str) -> Tuple[int, int]:
+        """Inclusive [lo, hi] address span of one memory's variables."""
+        ranges = [
+            self.addresses[name] for name in self.memories[memory].variables
+        ]
+        if not ranges:
+            raise RefinementError(f"memory {memory!r} holds no variables")
+        return (
+            min(r.base for r in ranges),
+            max(r.last for r in ranges),
+        )
+
+    def component_address_span(self, component: str) -> Tuple[int, int]:
+        """Inclusive address span of every variable resident on
+        ``component`` (Model4 routing)."""
+        ranges = [
+            self.addresses[name]
+            for name, memory_name in self.placement.items()
+            if self.memories[memory_name].host == component
+        ]
+        if not ranges:
+            return (0, -1)  # empty span: no resident variables
+        return (
+            min(r.base for r in ranges),
+            max(r.last for r in ranges),
+        )
+
+    def buses_with_role(self, role: BusRole) -> List[BusPlan]:
+        return [b for b in self.buses.values() if b.role is role]
+
+    def bus_for(
+        self, role: BusRole, component: str = None, memory: str = None
+    ) -> BusPlan:
+        for bus in self.buses.values():
+            if bus.role is not role:
+                continue
+            if component is not None and bus.component != component:
+                continue
+            if memory is not None and bus.memory != memory:
+                continue
+            return bus
+        raise RefinementError(
+            f"{self.model_name}: no bus with role={role.value} "
+            f"component={component} memory={memory}"
+        )
+
+    def has_bus(self, role: BusRole, component: str = None, memory: str = None) -> bool:
+        try:
+            self.bus_for(role, component, memory)
+            return True
+        except RefinementError:
+            return False
+
+    # -- routing -----------------------------------------------------------------------
+
+    def set_router(self, router) -> None:
+        """Install the model's access-to-buses mapping (called once by
+        the concrete model during plan building)."""
+        self._router = router
+
+    def route(self, accessor_component: str, variable: str) -> List[str]:
+        """Bus names one access to ``variable`` from a behavior on
+        ``accessor_component`` traverses, in path order.
+
+        This is the mapping Figure 9's bus transfer rates sum over.
+        """
+        if self._router is None:
+            raise RefinementError(f"{self.model_name}: route() not configured")
+        return self._router(accessor_component, variable)
+
+    def describe(self) -> str:
+        lines = [f"plan for {self.model_name} on {self.partition.name}"]
+        for bus in self.buses.values():
+            owner = f" ({bus.role.value}"
+            if bus.component:
+                owner += f" of {bus.component}"
+            if bus.memory:
+                owner += f" -> {bus.memory}"
+            owner += ")"
+            lines.append(
+                f"  {bus.name}{owner}: data {bus.data_width}b, addr {bus.addr_width}b"
+            )
+        for memory in self.memories.values():
+            where = f" on {memory.host}" if memory.host else ""
+            lines.append(
+                f"  {memory.name} [{memory.kind}]{where}: "
+                f"{', '.join(memory.variables) or '-'}"
+            )
+        return "\n".join(lines)

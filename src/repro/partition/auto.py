@@ -1,0 +1,188 @@
+"""Automatic partitioners — baselines standing in for SpecSyn's [5].
+
+Three algorithms over the same move space (reassign one leaf behavior
+or one variable to another component) and the same objective
+(:func:`repro.partition.metrics.partition_cost`):
+
+* :func:`greedy_partition` — constructive: start with everything on the
+  first component, repeatedly take the single move that most reduces
+  the cost until no move helps;
+* :func:`kl_partition` — Kernighan-Lin-flavoured passes: within a pass
+  every object moves exactly once (always the currently best move, even
+  if locally worsening), then the best prefix of the pass is kept;
+* :func:`annealed_partition` — simulated annealing with a geometric
+  cooling schedule and a seeded RNG (runs are reproducible).
+
+All three return a valid :class:`Partition` covering every leaf and
+every partitionable variable.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import PartitionError
+from repro.graph.access_graph import AccessGraph
+from repro.partition.metrics import partition_cost
+from repro.partition.partition import Partition
+from repro.spec.specification import Specification
+
+__all__ = ["movable_objects", "greedy_partition", "kl_partition",
+           "annealed_partition"]
+
+
+def movable_objects(spec: Specification, graph: Optional[AccessGraph] = None):
+    """The move space: every leaf behavior and partitionable variable."""
+    graph = graph or AccessGraph.from_specification(spec)
+    leaves = [leaf.name for leaf in spec.leaf_behaviors()]
+    variables = sorted(graph.variable_names)
+    return leaves + variables
+
+
+def _initial(spec: Specification, objects: Sequence[str], components) -> Partition:
+    """Round-robin start: balanced, so descent spends its moves
+    reducing the cut instead of fixing a lopsided load."""
+    assignment = {
+        obj: components[index % len(components)]
+        for index, obj in enumerate(objects)
+    }
+    return Partition(spec, assignment, name="auto")
+
+
+def _cost(graph, partition, balance_weight, expected_components):
+    return partition_cost(
+        graph,
+        partition,
+        balance_weight=balance_weight,
+        expected_components=expected_components,
+    )
+
+
+def greedy_partition(
+    spec: Specification,
+    components: Sequence[str] = ("SW", "HW"),
+    graph: Optional[AccessGraph] = None,
+    balance_weight: float = 0.35,
+    max_rounds: int = 200,
+) -> Partition:
+    """Steepest-descent constructive partitioning."""
+    if len(components) < 2:
+        raise PartitionError("need at least two components to partition")
+    graph = graph or AccessGraph.from_specification(spec)
+    objects = movable_objects(spec, graph)
+    current = _initial(spec, objects, components)
+    current_cost = _cost(graph, current, balance_weight, len(components))
+
+    for _ in range(max_rounds):
+        best_move: Optional[Tuple[str, str]] = None
+        best_cost = current_cost
+        for obj in objects:
+            here = current.assignment[obj]
+            for component in components:
+                if component == here:
+                    continue
+                candidate = current.moved(obj, component)
+                cost = _cost(graph, candidate, balance_weight, len(components))
+                if cost < best_cost - 1e-12:
+                    best_cost = cost
+                    best_move = (obj, component)
+        if best_move is None:
+            break
+        current = current.moved(*best_move)
+        current_cost = best_cost
+    current.name = "greedy"
+    return current
+
+
+def kl_partition(
+    spec: Specification,
+    components: Sequence[str] = ("SW", "HW"),
+    graph: Optional[AccessGraph] = None,
+    balance_weight: float = 0.35,
+    max_passes: int = 8,
+    seed_partition: Optional[Partition] = None,
+) -> Partition:
+    """Kernighan-Lin-style iterative improvement with per-pass locking
+    and best-prefix rollback."""
+    if len(components) < 2:
+        raise PartitionError("need at least two components to partition")
+    graph = graph or AccessGraph.from_specification(spec)
+    objects = movable_objects(spec, graph)
+    current = seed_partition or _initial(spec, objects, components)
+    current_cost = _cost(graph, current, balance_weight, len(components))
+
+    for _ in range(max_passes):
+        locked: set = set()
+        trail: List[Tuple[Partition, float]] = []
+        working = current
+        working_cost = current_cost
+        while len(locked) < len(objects):
+            best_move = None
+            best_cost = math.inf
+            for obj in objects:
+                if obj in locked:
+                    continue
+                here = working.assignment[obj]
+                for component in components:
+                    if component == here:
+                        continue
+                    candidate = working.moved(obj, component)
+                    cost = _cost(graph, candidate, balance_weight, len(components))
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_move = (obj, component, candidate)
+            if best_move is None:
+                break
+            obj, component, working = best_move[0], best_move[1], best_move[2]
+            working_cost = best_cost
+            locked.add(obj)
+            trail.append((working, working_cost))
+        if not trail:
+            break
+        prefix_best = min(trail, key=lambda item: item[1])
+        if prefix_best[1] < current_cost - 1e-12:
+            current, current_cost = prefix_best
+        else:
+            break
+    current.name = "kl"
+    return current
+
+
+def annealed_partition(
+    spec: Specification,
+    components: Sequence[str] = ("SW", "HW"),
+    graph: Optional[AccessGraph] = None,
+    balance_weight: float = 0.35,
+    seed: int = 1996,
+    steps: int = 2000,
+    start_temperature: float = 0.25,
+    cooling: float = 0.995,
+) -> Partition:
+    """Simulated annealing over the same move space (seeded,
+    reproducible)."""
+    if len(components) < 2:
+        raise PartitionError("need at least two components to partition")
+    graph = graph or AccessGraph.from_specification(spec)
+    objects = movable_objects(spec, graph)
+    rng = random.Random(seed)
+    current = _initial(spec, objects, components)
+    current_cost = _cost(graph, current, balance_weight, len(components))
+    best, best_cost = current, current_cost
+    temperature = start_temperature
+
+    for _ in range(steps):
+        obj = rng.choice(objects)
+        here = current.assignment[obj]
+        target = rng.choice([c for c in components if c != here])
+        candidate = current.moved(obj, target)
+        cost = _cost(graph, candidate, balance_weight, len(components))
+        delta = cost - current_cost
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+            current, current_cost = candidate, cost
+            if cost < best_cost:
+                best, best_cost = candidate, cost
+        temperature *= cooling
+    best.name = "annealed"
+    return best

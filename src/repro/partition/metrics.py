@@ -1,0 +1,75 @@
+"""Cost metrics for automatic partitioning.
+
+The paper takes the partition as an input (SpecSyn [5] produced it);
+these metrics give the baseline partitioners an objective in the same
+spirit: minimise the *cut* (cross-partition channel weight, which is
+precisely the traffic data-related refinement will turn into bus
+transactions) while keeping the computational load balanced across
+components.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.graph.access_graph import AccessGraph
+from repro.partition.partition import Partition
+from repro.spec.visitor import count_statements
+
+__all__ = ["cut_weight", "load_by_component", "balance_penalty", "partition_cost"]
+
+
+def cut_weight(graph: AccessGraph, partition: Partition) -> float:
+    """Total static weight of channels whose behavior and variable live
+    on different components."""
+    total = 0.0
+    for channel in graph.data_channels():
+        behavior_side = partition.effective_component_of_behavior(channel.behavior)
+        variable_side = partition.component_of_variable(channel.variable)
+        if behavior_side != variable_side:
+            total += channel.weight
+    return total
+
+
+def load_by_component(partition: Partition) -> Dict[str, int]:
+    """Statement count each component executes (a crude area/time
+    proxy)."""
+    load: Dict[str, int] = {c: 0 for c in partition.components()}
+    for leaf in partition.spec.leaf_behaviors():
+        component = partition.effective_component_of_behavior(leaf.name)
+        load[component] = load.get(component, 0) + count_statements(leaf.stmt_body)
+    return load
+
+
+def balance_penalty(
+    partition: Partition, expected_components: Optional[int] = None
+) -> float:
+    """Imbalance of the computational load: 0 for perfect balance,
+    approaching 1 when one component does everything.
+
+    ``expected_components`` is the number of components the partitioner
+    *wants* to use; without it a partition that collapsed everything
+    onto one component would score perfect balance (its fair share
+    would be computed over the single surviving component)."""
+    load = load_by_component(partition)
+    total = sum(load.values())
+    if total == 0:
+        return 0.0
+    biggest = max(load.values())
+    fair_share = total / max(expected_components or len(load), 1)
+    return (biggest - fair_share) / total
+
+
+def partition_cost(
+    graph: AccessGraph,
+    partition: Partition,
+    balance_weight: float = 0.35,
+    expected_components: Optional[int] = None,
+) -> float:
+    """The partitioners' objective: normalised cut plus weighted
+    imbalance.  Lower is better."""
+    total_weight = sum(c.weight for c in graph.data_channels()) or 1.0
+    return (
+        cut_weight(graph, partition) / total_weight
+        + balance_weight * balance_penalty(partition, expected_components)
+    )

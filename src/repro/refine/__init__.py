@@ -1,0 +1,33 @@
+"""Model refinement: the paper's contribution (control-, data- and
+architecture-related refinement procedures plus the orchestrator)."""
+
+from repro.refine.arbiter import build_arbiter
+from repro.refine.businterface import build_bus_interfaces
+from repro.refine.control import (
+    ControlResult,
+    ControlScheme,
+    MovedBehavior,
+    control_refine,
+)
+from repro.refine.data import DataResult, data_refine
+from repro.refine.emitter import ProtocolEmitter, arbiter_signal_names
+from repro.refine.memory import build_memory_behavior
+from repro.refine.naming import NamePool
+from repro.refine.refiner import RefinedDesign, Refiner
+
+__all__ = [
+    "build_arbiter",
+    "build_bus_interfaces",
+    "ControlResult",
+    "ControlScheme",
+    "MovedBehavior",
+    "control_refine",
+    "DataResult",
+    "data_refine",
+    "ProtocolEmitter",
+    "arbiter_signal_names",
+    "build_memory_behavior",
+    "NamePool",
+    "RefinedDesign",
+    "Refiner",
+]

@@ -1,0 +1,70 @@
+"""Bus arbiter insertion (paper §4.3, Figure 7).
+
+"A bus arbiter is required when more than one behavior want to use the
+bus at the same time."  The arbiter is a daemon leaf with one
+``Req``/``Ack`` line pair per master, granting in fixed priority order
+(declaration order = priority, exactly the paper's example where B2 is
+granted "only when B1 is not simultaneously requesting").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import RefinementError
+from repro.refine.emitter import arbiter_signal_names
+from repro.refine.naming import NamePool
+from repro.spec.behavior import LeafBehavior
+from repro.spec.builder import loop_forever, sassign, wait_until
+from repro.spec.expr import Expr, var
+from repro.spec.stmt import If, body as make_body
+
+__all__ = ["build_arbiter"]
+
+
+def build_arbiter(
+    bus: str,
+    masters: List[str],
+    pool: NamePool,
+) -> LeafBehavior:
+    """The priority arbiter daemon for ``bus`` over ``masters``
+    (earlier = higher priority).  The Req/Ack signals themselves are
+    declared by the emitter.
+
+    A single-master arbiter is a plain granter — it exists for the
+    Model4 interchange lock, whose Req/Ack handshake is required even
+    when only one behavior ever takes the lock."""
+    if not masters:
+        raise RefinementError(f"bus {bus!r}: an arbiter needs at least one master")
+
+    reqs = [var(arbiter_signal_names(bus, master)[0]) for master in masters]
+    acks = [var(arbiter_signal_names(bus, master)[1]) for master in masters]
+
+    any_request: Expr = reqs[0].eq(1)
+    for req in reqs[1:]:
+        any_request = any_request.or_(req.eq(1))
+
+    def grant(req: Expr, ack: Expr) -> list:
+        return [
+            sassign(ack, 1),
+            wait_until(req.eq(0)),
+            sassign(ack, 0),
+        ]
+
+    first = (reqs[0].eq(1), make_body(grant(reqs[0], acks[0])))
+    elifs = tuple(
+        (req.eq(1), make_body(grant(req, ack)))
+        for req, ack in zip(reqs[1:], acks[1:])
+    )
+    decide = If(first[0], first[1], elifs)
+
+    arbiter = LeafBehavior(
+        pool.fresh(f"{bus}_arbiter"),
+        [loop_forever([wait_until(any_request), decide])],
+        doc=(
+            f"priority arbiter for {bus}; order: "
+            + " > ".join(masters)
+        ),
+    )
+    arbiter.daemon = True
+    return arbiter

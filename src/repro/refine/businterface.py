@@ -1,0 +1,213 @@
+"""Bus interface insertion (paper §4.3, Figure 8) — Model4's message
+passing.
+
+Each component with an interface bus gets up to two daemon leaves:
+
+* ``BI_<comp>_out`` — the outbound half: slave on the component's
+  interface bus for *non-resident* addresses (a behavior asking for a
+  variable stored in another partition's local memory), master on the
+  interchange bus.  It runs under the originating behavior's
+  interchange lock, so it drives the interchange unarbitrated.
+* ``BI_<comp>_in`` — the inbound half: slave on the interchange for the
+  component's *resident* address range, arbitrated master on the
+  component's interface bus, where the local memory's second port
+  answers.
+
+This is the paper's Figure 8 chain — ``B1 -> Bus1 -> Bus_interface_1 ->
+Bus2 -> Bus_interface_2 -> Bus3 -> LM2`` — with Bus1 and Bus3 realised
+as the two components' interface buses and Bus2 as the interchange.
+
+Write forwarding completes *before* the upstream handshake finishes
+(the data is sampled off the still-held bus), so the originator's lock
+release strictly follows the last interchange transfer: no two remote
+transactions ever overlap on the interchange.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arch.protocols import bus_signal_names
+from repro.errors import RefinementError
+from repro.graph.analysis import VariableClassification
+from repro.models.plan import BusRole, ModelPlan
+from repro.refine.emitter import ProtocolEmitter
+from repro.refine.naming import NamePool
+from repro.spec.behavior import LeafBehavior
+from repro.spec.builder import assign, if_, loop_forever, wait_until
+from repro.spec.expr import Expr, var
+from repro.spec.types import int_type
+from repro.spec.variable import variable as make_variable
+
+__all__ = ["build_bus_interfaces"]
+
+
+def build_bus_interfaces(
+    plan: ModelPlan,
+    emitter: ProtocolEmitter,
+    pool: NamePool,
+) -> List[LeafBehavior]:
+    """All bus-interface daemons the plan's traffic requires."""
+    interchanges = plan.buses_with_role(BusRole.INTERCHANGE)
+    if not interchanges:
+        return []
+    interchange = interchanges[0]
+    classification = plan.classification
+    out: List[LeafBehavior] = []
+
+    for component in plan.partition.components():
+        if not plan.has_bus(BusRole.IFACE, component=component):
+            continue
+        iface = plan.bus_for(BusRole.IFACE, component=component)
+        if _needs_outbound(classification, emitter, component):
+            out.append(
+                _outbound(plan, emitter, pool, component, iface.name,
+                          interchange.name)
+            )
+        if _needs_inbound(classification, emitter, component):
+            out.append(
+                _inbound(plan, emitter, pool, component, iface.name,
+                         interchange.name)
+            )
+    return out
+
+
+def _needs_outbound(
+    cls: VariableClassification, emitter: ProtocolEmitter, component: str
+) -> bool:
+    """Some behavior on ``component`` accesses a variable homed
+    elsewhere.  The emitter's record of actually-issued remote calls is
+    authoritative (it covers fetches refinement itself placed, e.g.
+    transition-condition reads on the composite's home side); the
+    classification provides the static view."""
+    if component in emitter.remote_sources:
+        return True
+    return any(
+        cls.home[variable] != component and component in accessors
+        for variable, accessors in cls.accessor_components.items()
+    )
+
+
+def _needs_inbound(
+    cls: VariableClassification, emitter: ProtocolEmitter, component: str
+) -> bool:
+    """Some other component accesses a variable homed here."""
+    if component in emitter.remote_targets:
+        return True
+    return any(
+        cls.home[variable] == component and bool(accessors - {component})
+        for variable, accessors in cls.accessor_components.items()
+    )
+
+
+def _resident_span(plan: ModelPlan, component: str):
+    lo, hi = plan.component_address_span(component)
+    if lo > hi:
+        raise RefinementError(
+            f"component {component!r} serves remote requests but has no "
+            "resident variables"
+        )
+    return lo, hi
+
+
+def _outbound(
+    plan: ModelPlan,
+    emitter: ProtocolEmitter,
+    pool: NamePool,
+    component: str,
+    iface: str,
+    interchange: str,
+) -> LeafBehavior:
+    ifc = bus_signal_names(iface)
+    lo, hi = plan.component_address_span(component)
+    width = max(2, plan.buses[iface].data_width)
+    name = pool.fresh(f"BI_{component}_out")
+    tmp = pool.fresh(f"{name}_tmp")
+    scratch = pool.fresh(f"{name}_scratch")
+
+    addr = var(ifc["addr"])
+    if lo > hi:  # no resident variables: every address is remote
+        remote: Expr = var(ifc["start"]).eq(1)
+    else:
+        remote = var(ifc["start"]).eq(1).and_((addr < lo).or_(addr > hi))
+
+    read_path = [
+        emitter.core_master_call(interchange, addr, var(tmp), send=False),
+        emitter.slave_call(iface, var(tmp), send=True),
+    ]
+    write_path = [
+        assign(tmp, var(ifc["data"])),  # sample the still-held write data
+        emitter.core_master_call(interchange, addr, var(tmp), send=True),
+        emitter.slave_call(iface, var(scratch), send=False),
+    ]
+    behavior = LeafBehavior(
+        name,
+        [
+            loop_forever(
+                [
+                    wait_until(remote),
+                    if_(var(ifc["rd"]).eq(1), read_path, write_path),
+                ]
+            )
+        ],
+        decls=[
+            make_variable(tmp, int_type(width), doc="forwarded word"),
+            make_variable(scratch, int_type(width), doc="handshake discard"),
+        ],
+        doc=(
+            f"outbound bus interface of {component}: forwards non-resident "
+            f"accesses from {iface} onto {interchange} (Figure 8)"
+        ),
+    )
+    behavior.daemon = True
+    return behavior
+
+
+def _inbound(
+    plan: ModelPlan,
+    emitter: ProtocolEmitter,
+    pool: NamePool,
+    component: str,
+    iface: str,
+    interchange: str,
+) -> LeafBehavior:
+    x = bus_signal_names(interchange)
+    lo, hi = _resident_span(plan, component)
+    width = max(2, plan.buses[iface].data_width)
+    name = pool.fresh(f"BI_{component}_in")
+    tmp = pool.fresh(f"{name}_tmp")
+    scratch = pool.fresh(f"{name}_scratch")
+
+    addr = var(x["addr"])
+    mine = var(x["start"]).eq(1).and_((addr >= lo).and_(addr <= hi))
+
+    read_path = [
+        emitter.arbitrated_master_call(iface, name, addr, var(tmp), send=False),
+        emitter.slave_call(interchange, var(tmp), send=True),
+    ]
+    write_path = [
+        assign(tmp, var(x["data"])),
+        emitter.arbitrated_master_call(iface, name, addr, var(tmp), send=True),
+        emitter.slave_call(interchange, var(scratch), send=False),
+    ]
+    behavior = LeafBehavior(
+        name,
+        [
+            loop_forever(
+                [
+                    wait_until(mine),
+                    if_(var(x["rd"]).eq(1), read_path, write_path),
+                ]
+            )
+        ],
+        decls=[
+            make_variable(tmp, int_type(width), doc="forwarded word"),
+            make_variable(scratch, int_type(width), doc="handshake discard"),
+        ],
+        doc=(
+            f"inbound bus interface of {component}: serves resident "
+            f"addresses {lo}..{hi} from {interchange} via {iface}"
+        ),
+    )
+    behavior.daemon = True
+    return behavior

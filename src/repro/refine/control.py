@@ -1,0 +1,292 @@
+"""Control-related refinement (paper §4.1, Figure 4).
+
+When a behavior ``B`` is partitioned away from the component its
+enclosing composite runs on, the execution sequence must survive the
+split.  Two signals are introduced — ``B_start`` and ``B_done`` — plus:
+
+* ``B_CTRL``: a new leaf inserted where ``B`` used to sit; it raises
+  ``B_start``, waits for ``B_done``, and completes the four-phase
+  handshake, so the original sequencing (``B`` after ``A``, ``C`` after
+  ``B``) is preserved on the home component;
+* ``B_NEW``: the original behavior wrapped in an endless server loop on
+  the other component, guarding each execution of ``B`` with the
+  ``B_start``/``B_done`` handshake.
+
+Two wrapper schemes exist.  The *leaf scheme* (Figure 4b) inlines the
+loop around the statement body — only possible when ``B`` is a leaf.
+The *wrap scheme* (Figure 4c) builds a sequential composite
+``[wait-start, B, set-done]`` looping forever — required for non-leaf
+``B`` and optionally usable for leaves (the paper prefers 4b for leaves
+because it has one level of hierarchy fewer; we follow that default and
+expose the choice for the ablation study).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import RefinementError
+from repro.partition.partition import Partition
+from repro.refine.naming import NamePool
+from repro.spec.behavior import (
+    Behavior,
+    CompositeBehavior,
+    LeafBehavior,
+)
+from repro.spec.builder import (
+    leaf,
+    loop_forever,
+    sassign,
+    seq,
+    transition,
+    wait_until,
+)
+from repro.spec.expr import var
+from repro.spec.specification import Specification
+from repro.spec.types import BIT
+from repro.spec.variable import Variable, signal
+
+__all__ = ["ControlScheme", "MovedBehavior", "ControlResult", "control_refine"]
+
+
+class ControlScheme(enum.Enum):
+    """Which Figure 4 wrapper to use for moved *leaf* behaviors
+    (composites always use WRAP)."""
+
+    #: Figure 4b for leaves, Figure 4c for composites (paper's choice).
+    AUTO = "auto"
+    #: Figure 4c for everything (the ablation variant).
+    WRAP = "wrap"
+
+
+@dataclass
+class MovedBehavior:
+    """Record of one control-refined behavior."""
+
+    original: str
+    ctrl: str
+    wrapper: str
+    component: str
+    start_signal: str
+    done_signal: str
+    scheme: str
+
+
+@dataclass
+class ControlResult:
+    """Everything control refinement produced."""
+
+    moved: List[MovedBehavior] = field(default_factory=list)
+    #: server wrappers to attach to the system top (daemons)
+    daemons: List[Behavior] = field(default_factory=list)
+    #: control handshake signals to declare globally
+    signals: List[Variable] = field(default_factory=list)
+    #: every leaf (by name) -> executing component, for data refinement
+    leaf_component: Dict[str, str] = field(default_factory=dict)
+    #: every composite (by name) -> home component
+    composite_component: Dict[str, str] = field(default_factory=dict)
+
+
+def control_refine(
+    refined: Specification,
+    partition: Partition,
+    pool: NamePool,
+    scheme: ControlScheme = ControlScheme.AUTO,
+) -> ControlResult:
+    """Apply control-related refinement to ``refined`` in place.
+
+    ``refined`` must be a copy of the partition's specification (same
+    behavior names).  Returns the bookkeeping the later refinement
+    stages need.
+    """
+    result = ControlResult()
+    home = partition.effective_component_of_behavior(refined.top.name)
+    _process(refined.top, home, partition, pool, scheme, result)
+    refined.variables.extend(result.signals)
+    refined.link()
+    return result
+
+
+def _assigned_component(
+    partition: Partition, behavior: Behavior, inherited: str
+) -> str:
+    """Component of a direct child: its own assignment if present (in
+    the original partition, matched by name), else the enclosing home."""
+    direct = partition.assignment.get(behavior.name)
+    if direct is not None:
+        return direct
+    if isinstance(behavior, CompositeBehavior):
+        # an unassigned composite inherits, but a deeper assignment may
+        # still move its descendants — handled by recursion
+        return inherited
+    return inherited
+
+
+def _process(
+    behavior: Behavior,
+    home: str,
+    partition: Partition,
+    pool: NamePool,
+    scheme: ControlScheme,
+    result: ControlResult,
+) -> None:
+    """Recursively split ``behavior``'s subtree at assignment
+    boundaries."""
+    if isinstance(behavior, LeafBehavior):
+        result.leaf_component[behavior.name] = home
+        return
+    if not isinstance(behavior, CompositeBehavior):
+        raise RefinementError(f"unknown behavior type {behavior!r}")
+    result.composite_component[behavior.name] = home
+
+    for child in list(behavior.subs):
+        child_component = _assigned_component(partition, child, home)
+        if child_component == home:
+            _process(child, home, partition, pool, scheme, result)
+            continue
+        moved = _move_child(
+            behavior, child, home, child_component, pool, scheme, result
+        )
+        result.moved.append(moved)
+        # continue splitting inside the moved subtree relative to its
+        # new component (nested assignments may move parts back)
+        wrapper = next(
+            d for d in result.daemons if d.name == moved.wrapper
+        )
+        _process_moved(wrapper, child_component, partition, pool, scheme, result)
+
+
+def _process_moved(
+    wrapper: Behavior,
+    component: str,
+    partition: Partition,
+    pool: NamePool,
+    scheme: ControlScheme,
+    result: ControlResult,
+) -> None:
+    """Record components inside a freshly created wrapper and keep
+    splitting nested assignment boundaries."""
+    if isinstance(wrapper, LeafBehavior):
+        result.leaf_component[wrapper.name] = component
+        return
+    result.composite_component[wrapper.name] = component
+    for child in list(wrapper.subs):
+        child_component = _assigned_component(partition, child, component)
+        if child_component == component:
+            _process(child, component, partition, pool, scheme, result)
+        else:
+            moved = _move_child(
+                wrapper, child, component, child_component, pool, scheme, result
+            )
+            result.moved.append(moved)
+            inner = next(d for d in result.daemons if d.name == moved.wrapper)
+            _process_moved(inner, child_component, partition, pool, scheme, result)
+
+
+def _move_child(
+    composite: CompositeBehavior,
+    child: Behavior,
+    home: str,
+    target_component: str,
+    pool: NamePool,
+    scheme: ControlScheme,
+    result: ControlResult,
+) -> MovedBehavior:
+    """Replace ``child`` with a ``B_CTRL`` leaf and wrap it as a
+    ``B_NEW`` daemon on ``target_component``."""
+    start = pool.fresh(f"{child.name}_start")
+    done = pool.fresh(f"{child.name}_done")
+    result.signals.append(
+        signal(start, BIT, init=0, doc=f"start handshake for moved {child.name}")
+    )
+    result.signals.append(
+        signal(done, BIT, init=0, doc=f"done handshake for moved {child.name}")
+    )
+
+    ctrl_name = pool.fresh(f"{child.name}_CTRL")
+    ctrl = leaf(
+        ctrl_name,
+        sassign(start, 1),
+        wait_until(var(done).eq(1)),
+        sassign(start, 0),
+        wait_until(var(done).eq(0)),
+        doc=f"starts {child.name} on {target_component} and awaits completion",
+    )
+    composite.replace_child(child.name, ctrl)
+    result.leaf_component[ctrl_name] = home
+
+    use_leaf_scheme = (
+        scheme is ControlScheme.AUTO and isinstance(child, LeafBehavior)
+    )
+    wrapper_name = pool.fresh(f"{child.name}_NEW")
+    if use_leaf_scheme:
+        wrapper: Behavior = _leaf_wrapper(wrapper_name, child, start, done)
+        scheme_used = "leaf"
+    else:
+        wrapper = _wrap_wrapper(wrapper_name, child, start, done, pool)
+        scheme_used = "wrap"
+    wrapper.daemon = True
+    result.daemons.append(wrapper)
+    return MovedBehavior(
+        original=child.name,
+        ctrl=ctrl_name,
+        wrapper=wrapper_name,
+        component=target_component,
+        start_signal=start,
+        done_signal=done,
+        scheme=scheme_used,
+    )
+
+
+def _leaf_wrapper(
+    name: str, child: LeafBehavior, start: str, done: str
+) -> LeafBehavior:
+    """Figure 4b: the original statements inside a guarded server loop."""
+    body = (
+        [wait_until(var(start).eq(1))]
+        + list(child.stmt_body)
+        + [
+            sassign(done, 1),
+            wait_until(var(start).eq(0)),
+            sassign(done, 0),
+        ]
+    )
+    return LeafBehavior(
+        name,
+        [loop_forever(body)],
+        decls=[decl.copy() for decl in child.decls],
+        doc=f"moved {child.name} (leaf scheme, Figure 4b)",
+    )
+
+
+def _wrap_wrapper(
+    name: str,
+    child: Behavior,
+    start: str,
+    done: str,
+    pool: NamePool,
+) -> CompositeBehavior:
+    """Figure 4c: [wait-start, B, set-done] sequenced in an endless
+    loop."""
+    wait_leaf = leaf(
+        pool.fresh(f"{child.name}_wait_start"),
+        wait_until(var(start).eq(1)),
+    )
+    done_leaf = leaf(
+        pool.fresh(f"{child.name}_set_done"),
+        sassign(done, 1),
+        wait_until(var(start).eq(0)),
+        sassign(done, 0),
+    )
+    return seq(
+        name,
+        [wait_leaf, child, done_leaf],
+        transitions=[
+            transition(wait_leaf.name, None, child.name),
+            transition(child.name, None, done_leaf.name),
+            transition(done_leaf.name, None, wait_leaf.name),  # loop forever
+        ],
+        doc=f"moved {child.name} (wrap scheme, Figure 4c)",
+    )

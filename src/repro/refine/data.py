@@ -1,0 +1,508 @@
+"""Data-related refinement (paper §4.2, Figures 5 and 6).
+
+Once a variable is mapped to a memory module, its name is no longer
+visible to the behaviors that used it; every access must become a
+protocol transaction over the bus the implementation model routes it
+to.  Concretely:
+
+* a **read** of ``x`` inside a statement becomes
+  ``MST_receive(x_addr, tmp)`` prepended to the statement, with the
+  occurrence of ``x`` replaced by ``tmp`` (Figure 5c);
+* a **write** ``x := e`` becomes ``MST_send(x_addr, e')``;
+* an **array access** ``a[i]`` addresses ``a_addr + i'``;
+* a **loop condition** reading ``x`` re-fetches at the end of every
+  iteration (the condition is re-evaluated each pass);
+* a **transition condition** in a composite reading ``x`` is refined by
+  declaring a ``tmp`` on the composite and fetching into it *at the end
+  of the arc's source sub-behavior* (Figure 6b) — that is where the
+  comparison happens ("the comparisons x>1 and x>5 are done after B1
+  and B2 finish").
+
+All protocol-call names come from the :class:`ProtocolEmitter`, which
+also learns who masters which bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.errors import RefinementError
+from repro.models.plan import ModelPlan
+from repro.refine.emitter import ProtocolEmitter
+from repro.refine.naming import NamePool
+from repro.spec.behavior import Behavior, CompositeBehavior, LeafBehavior
+from repro.spec.builder import leaf as make_leaf, seq, transition as make_transition
+from repro.spec.expr import (
+    BinOp,
+    Const,
+    Expr,
+    Index,
+    UnaryOp,
+    VarRef,
+    free_variables,
+    var,
+)
+from repro.spec.specification import Specification
+from repro.spec.stmt import (
+    Assign,
+    Body,
+    CallStmt,
+    For,
+    If,
+    Null,
+    SignalAssign,
+    Stmt,
+    Wait,
+    While,
+    body as make_body,
+)
+from repro.spec.types import ArrayType
+from repro.spec.variable import variable as make_variable
+
+__all__ = ["DataResult", "data_refine"]
+
+
+@dataclass
+class DataResult:
+    """Bookkeeping from data-related refinement."""
+
+    #: leaves whose bodies were rewritten
+    rewritten_leaves: List[str] = field(default_factory=list)
+    #: composites whose transition conditions were refined
+    rewritten_composites: List[str] = field(default_factory=list)
+    #: total protocol calls inserted
+    calls_inserted: int = 0
+
+
+class _LeafRewriter:
+    """Rewrites one leaf behavior's statements."""
+
+    def __init__(
+        self,
+        refined: Specification,
+        plan: ModelPlan,
+        emitter: ProtocolEmitter,
+        pool: NamePool,
+        leaf: LeafBehavior,
+        component: str,
+        result: DataResult,
+    ):
+        self.refined = refined
+        self.plan = plan
+        self.emitter = emitter
+        self.pool = pool
+        self.leaf = leaf
+        self.component = component
+        self.result = result
+        self._tmp_names: Dict[str, str] = {}
+
+    # -- temporaries ----------------------------------------------------------
+
+    def _tmp_for(self, variable: str) -> str:
+        """The leaf-local temporary holding fetched values of
+        ``variable`` (element values for arrays)."""
+        name = self._tmp_names.get(variable)
+        if name is not None:
+            return name
+        decl = self.plan.spec.global_variable(variable)
+        dtype = decl.dtype
+        if isinstance(dtype, ArrayType):
+            dtype = dtype.element
+        name = self.pool.fresh(f"tmp_{variable}")
+        self.leaf.add_decl(
+            make_variable(name, dtype, doc=f"fetched copy of {variable}")
+        )
+        self._tmp_names[variable] = name
+        return name
+
+    # -- protocol calls ----------------------------------------------------------
+
+    def _addr_expr(self, variable: str, index: Optional[Expr]) -> Expr:
+        base = self.plan.address_of(variable).base
+        if index is None:
+            return Const(base)
+        return BinOp("+", Const(base), index)
+
+    def _receive(self, variable: str, index: Optional[Expr], target: Expr) -> CallStmt:
+        self.result.calls_inserted += 1
+        return self.emitter.master_call(
+            self.leaf.name,
+            self.component,
+            variable,
+            self._addr_expr(variable, index),
+            target,
+            send=False,
+        )
+
+    def _send(self, variable: str, index: Optional[Expr], value: Expr) -> CallStmt:
+        self.result.calls_inserted += 1
+        return self.emitter.master_call(
+            self.leaf.name,
+            self.component,
+            variable,
+            self._addr_expr(variable, index),
+            value,
+            send=True,
+        )
+
+    # -- expression rewriting --------------------------------------------------------
+
+    def _is_placed(self, name: str) -> bool:
+        return name in self.plan.placement
+
+    def rewrite_expr(self, expr: Expr, prelude: List[Stmt]) -> Expr:
+        """Replace placed-variable reads with temporaries, appending the
+        fetches to ``prelude``.  Scalars fetch once per statement; each
+        array-element occurrence fetches individually (indices may
+        differ)."""
+        if isinstance(expr, Const):
+            return expr
+        if isinstance(expr, VarRef):
+            if not self._is_placed(expr.name):
+                return expr
+            tmp = self._tmp_for(expr.name)
+            fetch = self._receive(expr.name, None, var(tmp))
+            if not _contains_same_fetch(prelude, fetch):
+                prelude.append(fetch)
+            return var(tmp)
+        if isinstance(expr, Index):
+            if isinstance(expr.base, VarRef) and self._is_placed(expr.base.name):
+                index = self.rewrite_expr(expr.index_expr, prelude)
+                tmp = self.pool.fresh(f"tmp_{expr.base.name}")
+                decl = self.plan.spec.global_variable(expr.base.name)
+                element = decl.dtype.element if isinstance(
+                    decl.dtype, ArrayType
+                ) else decl.dtype
+                self.leaf.add_decl(
+                    make_variable(tmp, element, doc=f"element of {expr.base.name}")
+                )
+                prelude.append(self._receive(expr.base.name, index, var(tmp)))
+                return var(tmp)
+            return Index(
+                self.rewrite_expr(expr.base, prelude),
+                self.rewrite_expr(expr.index_expr, prelude),
+            )
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(expr.op, self.rewrite_expr(expr.operand, prelude))
+        if isinstance(expr, BinOp):
+            left = self.rewrite_expr(expr.left, prelude)
+            right = self.rewrite_expr(expr.right, prelude)
+            return BinOp(expr.op, left, right)
+        raise RefinementError(f"cannot rewrite expression {expr!r}")
+
+    # -- statement rewriting --------------------------------------------------------------
+
+    def rewrite_body(self, stmts: Body) -> Body:
+        out: List[Stmt] = []
+        for stmt in stmts:
+            out.extend(self.rewrite_stmt(stmt))
+        return make_body(out)
+
+    def rewrite_stmt(self, stmt: Stmt) -> List[Stmt]:
+        prelude: List[Stmt] = []
+        if isinstance(stmt, Assign):
+            value = self.rewrite_expr(stmt.value, prelude)
+            target = stmt.target
+            if isinstance(target, VarRef) and self._is_placed(target.name):
+                return prelude + [self._send(target.name, None, value)]
+            if (
+                isinstance(target, Index)
+                and isinstance(target.base, VarRef)
+                and self._is_placed(target.base.name)
+            ):
+                index = self.rewrite_expr(target.index_expr, prelude)
+                return prelude + [self._send(target.base.name, index, value)]
+            if isinstance(target, Index):
+                index = self.rewrite_expr(target.index_expr, prelude)
+                return prelude + [Assign(Index(target.base, index), value)]
+            return prelude + [Assign(target, value)]
+        if isinstance(stmt, SignalAssign):
+            value = self.rewrite_expr(stmt.value, prelude)
+            return prelude + [SignalAssign(stmt.target, value)]
+        if isinstance(stmt, If):
+            cond = self.rewrite_expr(stmt.cond, prelude)
+            elifs = tuple(
+                (self.rewrite_expr(c, prelude), self.rewrite_body(b))
+                for c, b in stmt.elifs
+            )
+            return prelude + [
+                If(
+                    cond,
+                    self.rewrite_body(stmt.then_body),
+                    elifs,
+                    self.rewrite_body(stmt.else_body),
+                )
+            ]
+        if isinstance(stmt, While):
+            cond_prelude: List[Stmt] = []
+            cond = self.rewrite_expr(stmt.cond, cond_prelude)
+            new_body = list(self.rewrite_body(stmt.loop_body))
+            # the condition re-evaluates each pass: refresh its fetches
+            new_body.extend(_copy_stmts(cond_prelude))
+            return cond_prelude + [
+                While(cond, make_body(new_body), stmt.expected_iterations)
+            ]
+        if isinstance(stmt, For):
+            start = self.rewrite_expr(stmt.start, prelude)
+            stop = self.rewrite_expr(stmt.stop, prelude)
+            return prelude + [
+                For(stmt.variable, start, stop, self.rewrite_body(stmt.loop_body))
+            ]
+        if isinstance(stmt, Wait):
+            if stmt.until is not None:
+                touched = free_variables(stmt.until) & set(self.plan.placement)
+                if touched:
+                    raise RefinementError(
+                        f"leaf {self.leaf.name!r} waits on memory-mapped "
+                        f"variable(s) {sorted(touched)}; wait conditions must "
+                        "use signals"
+                    )
+            return [stmt]
+        if isinstance(stmt, CallStmt):
+            return self._rewrite_call(stmt, prelude)
+        if isinstance(stmt, Null):
+            return [stmt]
+        raise RefinementError(f"cannot rewrite statement {stmt!r}")
+
+    def _rewrite_call(self, stmt: CallStmt, prelude: List[Stmt]) -> List[Stmt]:
+        callee = self.refined.subprograms.get(stmt.callee)
+        out_indices = set(callee.out_param_indices()) if callee else set()
+        postlude: List[Stmt] = []
+        new_args: List[Expr] = []
+        for position, arg in enumerate(stmt.args):
+            if position in out_indices:
+                if isinstance(arg, VarRef) and self._is_placed(arg.name):
+                    tmp = self._tmp_for(arg.name)
+                    new_args.append(var(tmp))
+                    postlude.append(self._send(arg.name, None, var(tmp)))
+                elif (
+                    isinstance(arg, Index)
+                    and isinstance(arg.base, VarRef)
+                    and self._is_placed(arg.base.name)
+                ):
+                    index = self.rewrite_expr(arg.index_expr, prelude)
+                    tmp = self._tmp_for(arg.base.name)
+                    new_args.append(var(tmp))
+                    postlude.append(self._send(arg.base.name, index, var(tmp)))
+                else:
+                    new_args.append(arg)
+            else:
+                new_args.append(self.rewrite_expr(arg, prelude))
+        return prelude + [CallStmt(stmt.callee, tuple(new_args))] + postlude
+
+
+def _copy_stmts(stmts: Sequence[Stmt]) -> List[Stmt]:
+    """Statements are immutable, so re-using them is safe."""
+    return list(stmts)
+
+
+def _contains_same_fetch(prelude: Sequence[Stmt], fetch: CallStmt) -> bool:
+    return any(
+        isinstance(s, CallStmt) and s.callee == fetch.callee and s.args == fetch.args
+        for s in prelude
+    )
+
+
+def data_refine(
+    refined: Specification,
+    plan: ModelPlan,
+    emitter: ProtocolEmitter,
+    pool: NamePool,
+    leaf_component: Dict[str, str],
+    composite_component: Dict[str, str],
+    extra_roots: Sequence[Behavior] = (),
+) -> DataResult:
+    """Apply data-related refinement to every behavior of ``refined``'s
+    tree and the detached ``extra_roots`` (the ``B_NEW`` daemons not yet
+    attached to the system top)."""
+    result = DataResult()
+    roots = [refined.top] + list(extra_roots)
+    for root in roots:
+        for behavior in root.iter_tree():
+            if isinstance(behavior, LeafBehavior):
+                _refine_leaf(
+                    refined, plan, emitter, pool, behavior,
+                    leaf_component, result,
+                )
+    # transition conditions second: the fetch statements they append to
+    # source children must not be re-processed by the leaf pass
+    for root in roots:
+        for behavior in list(root.iter_tree()):
+            if isinstance(behavior, CompositeBehavior):
+                _refine_composite_transitions(
+                    refined, plan, emitter, pool, behavior,
+                    composite_component, leaf_component, result,
+                )
+    return result
+
+
+def _refine_leaf(
+    refined: Specification,
+    plan: ModelPlan,
+    emitter: ProtocolEmitter,
+    pool: NamePool,
+    behavior: LeafBehavior,
+    leaf_component: Dict[str, str],
+    result: DataResult,
+) -> None:
+    component = leaf_component.get(behavior.name)
+    if component is None:
+        raise RefinementError(
+            f"no component recorded for leaf {behavior.name!r}"
+        )
+    touched = _touches_placed(behavior, plan)
+    if not touched:
+        return
+    rewriter = _LeafRewriter(
+        refined, plan, emitter, pool, behavior, component, result
+    )
+    behavior.stmt_body = rewriter.rewrite_body(behavior.stmt_body)
+    result.rewritten_leaves.append(behavior.name)
+
+
+def _touches_placed(behavior: LeafBehavior, plan: ModelPlan) -> bool:
+    from repro.spec.visitor import walk_statements
+    from repro.spec.visitor import statement_reads, statement_writes
+
+    placed = set(plan.placement)
+    for stmt in walk_statements(behavior.stmt_body):
+        if set(statement_reads(stmt)) & placed:
+            return True
+        if set(statement_writes(stmt)) & placed:
+            return True
+    return False
+
+
+def _refine_composite_transitions(
+    refined: Specification,
+    plan: ModelPlan,
+    emitter: ProtocolEmitter,
+    pool: NamePool,
+    composite: CompositeBehavior,
+    composite_component: Dict[str, str],
+    leaf_component: Dict[str, str],
+    result: DataResult,
+) -> None:
+    placed = set(plan.placement)
+    needy: Dict[str, Set[str]] = {}
+    for arc in composite.transitions:
+        if arc.condition is None:
+            continue
+        remote = free_variables(arc.condition) & placed
+        if remote:
+            needy.setdefault(arc.source, set()).update(remote)
+    if not needy:
+        return
+
+    home = composite_component.get(composite.name)
+    if home is None:
+        raise RefinementError(
+            f"no component recorded for composite {composite.name!r}"
+        )
+
+    # one tmp per variable, declared on the composite so both the
+    # fetch statements (inside children) and the conditions can see it
+    tmp_of: Dict[str, str] = {}
+    for variable in sorted({v for group in needy.values() for v in group}):
+        decl = plan.spec.global_variable(variable)
+        dtype = decl.dtype
+        if isinstance(dtype, ArrayType):
+            raise RefinementError(
+                f"transition condition on array variable {variable!r} "
+                "is not supported"
+            )
+        tmp = pool.fresh(f"tmp_{variable}")
+        composite.add_decl(
+            make_variable(tmp, dtype, doc=f"fetched copy of {variable} "
+                                          f"for {composite.name}'s transitions")
+        )
+        tmp_of[variable] = tmp
+
+    for source, variables in sorted(needy.items()):
+        fetches = []
+        for variable in sorted(variables):
+            base = plan.address_of(variable).base
+            fetch_target = var(tmp_of[variable])
+            # the fetch executes at the end of the source child, on the
+            # composite's home component
+            fetches.append((variable, Const(base), fetch_target))
+        _append_fetches(
+            refined, plan, emitter, pool, composite, source, fetches,
+            home, leaf_component, result, composite_component,
+        )
+
+    # rewrite the conditions to use the temporaries
+    from repro.spec.expr import substitute
+
+    mapping = {name: var(tmp) for name, tmp in tmp_of.items()}
+    for arc in composite.transitions:
+        if arc.condition is not None:
+            arc.condition = substitute(arc.condition, mapping)
+
+    result.rewritten_composites.append(composite.name)
+
+
+def _append_fetches(
+    refined: Specification,
+    plan: ModelPlan,
+    emitter: ProtocolEmitter,
+    pool: NamePool,
+    composite: CompositeBehavior,
+    source: str,
+    fetches,
+    home: str,
+    leaf_component: Dict[str, str],
+    result: DataResult,
+    composite_component: Dict[str, str] = None,
+) -> None:
+    """Insert the MST_receive fetches at the end of ``source``.
+
+    Leaf sources get the calls appended to their body (Figure 6b);
+    composite sources are wrapped so a trailing fetch leaf runs after
+    them."""
+    child = composite.child(source)
+    if isinstance(child, LeafBehavior):
+        calls = [
+            emitter.master_call(child.name, home, variable, addr, target, send=False)
+            for variable, addr, target in fetches
+        ]
+        result.calls_inserted += len(calls)
+        child.stmt_body = make_body(list(child.stmt_body) + calls)
+        return
+
+    original_name = child.name
+    child.name = pool.fresh(f"{original_name}_body")
+    if composite_component is not None and original_name in composite_component:
+        # the renamed composite keeps its home; the wrapper inherits it
+        composite_component[child.name] = composite_component[original_name]
+    fetch_leaf_name = pool.fresh(f"{original_name}_fetch")
+    calls = [
+        emitter.master_call(fetch_leaf_name, home, variable, addr, target, send=False)
+        for variable, addr, target in fetches
+    ]
+    result.calls_inserted += len(calls)
+    fetch_leaf = make_leaf(
+        fetch_leaf_name,
+        *calls,
+        doc=f"fetches transition-condition variables after {original_name}",
+    )
+    leaf_component[fetch_leaf_name] = home
+    wrapper = seq(
+        original_name,
+        [child, fetch_leaf],
+        transitions=[make_transition(child.name, None, fetch_leaf_name)],
+        doc=f"{original_name} plus its trailing condition fetch",
+    )
+    for position, sub in enumerate(composite.subs):
+        if sub is child:
+            composite.subs[position] = wrapper
+            break
+    else:
+        # child was re-named; find by identity failed means it was the
+        # renamed object still in subs — locate by name
+        for position, sub in enumerate(composite.subs):
+            if sub.name == child.name:
+                composite.subs[position] = wrapper
+                break
+    refined.link()

@@ -1,0 +1,311 @@
+"""Protocol-call emission and master bookkeeping.
+
+Data-related refinement, the memory generators and the bus interfaces
+all need to *call* protocol subroutines on specific buses; which exact
+subprogram that is depends on information only known at the end of
+refinement (does the bus need an arbiter?  is the access remote in
+Model4?).  The :class:`ProtocolEmitter` hands out stable call names up
+front, records who masters which bus, and materialises all subprogram
+bodies in :meth:`finalize`:
+
+* per used bus: the four core protocol subroutines
+  (``MST_send_b2`` ... ``SLV_receive_b2``);
+* per (bus, master leaf): a master wrapper
+  (``MST_send_b2_B1``) that either forwards directly to the core
+  routine (single master) or brackets it with the ``Req``/``Ack``
+  arbitration handshake of Figure 7 (several masters);
+* per leaf doing Model4 cross-partition accesses: a remote wrapper
+  (``REMOTE_send_B1``) that first acquires the interchange arbiter
+  (the system-wide remote-transaction lock that makes the two-hop
+  message path deadlock-free) and then runs the arbitrated interface-
+  bus transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.arch.protocols import (
+    Protocol,
+    master_receive_name,
+    master_send_name,
+)
+from repro.errors import RefinementError
+from repro.models.plan import BusPlan, BusRole, ModelPlan
+from repro.refine.naming import NamePool
+from repro.spec.builder import call, sassign, wait_until
+from repro.spec.expr import Expr, var
+from repro.spec.specification import Specification
+from repro.spec.stmt import CallStmt
+from repro.spec.subprogram import Direction, Param, Subprogram
+from repro.spec.types import BIT, bits, int_type
+from repro.spec.variable import Variable, signal
+
+__all__ = ["ProtocolEmitter", "arbiter_signal_names"]
+
+
+def arbiter_signal_names(bus: str, master: str) -> Tuple[str, str]:
+    """(req, ack) signal names of one master's arbitration lines."""
+    return (f"{bus}_req_{master}", f"{bus}_ack_{master}")
+
+
+@dataclass
+class _MasterUse:
+    """Directions a master leaf uses on one bus."""
+
+    send: bool = False
+    receive: bool = False
+
+
+class ProtocolEmitter:
+    """Allocates protocol call names; generates bodies at finalize."""
+
+    def __init__(self, plan: ModelPlan, protocol: Protocol, pool: NamePool):
+        self.plan = plan
+        self.protocol = protocol
+        self.pool = pool
+        #: bus -> ordered master leaf names (arbitration priority order)
+        self.masters: Dict[str, List[str]] = {}
+        self._uses: Dict[Tuple[str, str], _MasterUse] = {}
+        #: buses whose core subroutines are required
+        self._core_used: Set[str] = set()
+        #: leaves needing remote wrappers -> directions
+        self._remote_uses: Dict[str, _MasterUse] = {}
+        #: interchange lock clients in priority order
+        self.lock_clients: List[str] = []
+        #: components whose leaves actually issued remote accesses
+        self.remote_sources: Set[str] = set()
+        #: components whose resident variables are remotely accessed
+        self.remote_targets: Set[str] = set()
+
+    # -- name handout ------------------------------------------------------
+
+    def _register_master(self, bus: str, leaf: str, send: bool) -> _MasterUse:
+        order = self.masters.setdefault(bus, [])
+        if leaf not in order:
+            order.append(leaf)
+        use = self._uses.setdefault((bus, leaf), _MasterUse())
+        if send:
+            use.send = True
+        else:
+            use.receive = True
+        self._core_used.add(bus)
+        return use
+
+    def master_call(
+        self,
+        leaf: str,
+        component: str,
+        variable: str,
+        addr_expr: Expr,
+        payload: Expr,
+        send: bool,
+    ) -> CallStmt:
+        """A protocol call moving one word for ``variable`` from leaf
+        ``leaf`` on ``component``; ``payload`` is the value expression
+        (send) or the destination lvalue (receive)."""
+        route = self.plan.route(component, variable)
+        first_bus = route[0]
+        if len(route) == 1:
+            self._register_master(first_bus, leaf, send)
+            name = self._wrapper_name(first_bus, leaf, send)
+        else:
+            # Model4 cross access: lock + arbitrated iface transaction
+            self._register_master(first_bus, leaf, send)
+            self._register_remote(leaf, send)
+            self.remote_sources.add(component)
+            self.remote_targets.add(
+                self.plan.classification.home[variable]
+            )
+            name = self._remote_name(leaf, send)
+        return call(name, addr_expr, payload)
+
+    def slave_call(self, bus: str, payload: Expr, send: bool) -> CallStmt:
+        """A slave-side protocol call on ``bus`` (memory/interface
+        servers)."""
+        self._core_used.add(bus)
+        from repro.arch.protocols import slave_receive_name, slave_send_name
+
+        name = slave_send_name(bus) if send else slave_receive_name(bus)
+        return call(name, payload)
+
+    def core_master_call(
+        self, bus: str, addr_expr: Expr, payload: Expr, send: bool
+    ) -> CallStmt:
+        """An *unarbitrated* master transaction on ``bus`` — used by the
+        outbound bus interface on the interchange, which runs under the
+        originator's interchange lock."""
+        self._core_used.add(bus)
+        name = master_send_name(bus) if send else master_receive_name(bus)
+        return call(name, addr_expr, payload)
+
+    def arbitrated_master_call(
+        self, bus: str, leaf: str, addr_expr: Expr, payload: Expr, send: bool
+    ) -> CallStmt:
+        """An arbitrated master transaction for a refinement-inserted
+        leaf (the inbound bus interface mastering its iface bus)."""
+        self._register_master(bus, leaf, send)
+        return call(self._wrapper_name(bus, leaf, send), addr_expr, payload)
+
+    def register_lock_client(self, leaf: str) -> None:
+        if leaf not in self.lock_clients:
+            self.lock_clients.append(leaf)
+
+    def _register_remote(self, leaf: str, send: bool) -> None:
+        use = self._remote_uses.setdefault(leaf, _MasterUse())
+        if send:
+            use.send = True
+        else:
+            use.receive = True
+        self.register_lock_client(leaf)
+        interchange = self._interchange_bus()
+        self._core_used.add(interchange.name)
+
+    def _interchange_bus(self) -> BusPlan:
+        buses = self.plan.buses_with_role(BusRole.INTERCHANGE)
+        if not buses:
+            raise RefinementError(
+                f"{self.plan.model_name}: remote access without an interchange bus"
+            )
+        return buses[0]
+
+    @staticmethod
+    def _wrapper_name(bus: str, leaf: str, send: bool) -> str:
+        op = "send" if send else "receive"
+        return f"MST_{op}_{bus}_{leaf}"
+
+    @staticmethod
+    def _remote_name(leaf: str, send: bool) -> str:
+        op = "send" if send else "receive"
+        return f"REMOTE_{op}_{leaf}"
+
+    # -- queries ------------------------------------------------------------------
+
+    def arbitrated_buses(self) -> List[str]:
+        """Buses that need an arbiter (>= 2 masters, Figure 7)."""
+        return [bus for bus, masters in self.masters.items() if len(masters) > 1]
+
+    def arbitration_signals(self) -> List[Variable]:
+        """All Req/Ack signal declarations for the arbitrated buses and
+        the interchange lock clients."""
+        out: List[Variable] = []
+        for bus in self.arbitrated_buses():
+            for master in self.masters[bus]:
+                req, ack = arbiter_signal_names(bus, master)
+                out.append(signal(req, BIT, init=0, doc=f"{master} requests {bus}"))
+                out.append(signal(ack, BIT, init=0, doc=f"{bus} granted to {master}"))
+        if self.lock_clients:
+            interchange = self._interchange_bus().name
+            for client in self.lock_clients:
+                req, ack = arbiter_signal_names(interchange, client)
+                out.append(
+                    signal(req, BIT, init=0, doc=f"{client} requests remote lock")
+                )
+                out.append(
+                    signal(ack, BIT, init=0, doc=f"remote lock granted to {client}")
+                )
+        return out
+
+    # -- finalisation ---------------------------------------------------------------
+
+    def finalize(self, refined: Specification) -> None:
+        """Materialise every required subprogram into ``refined``."""
+        from repro.arch.components import BusNet
+
+        for bus_name in sorted(self._core_used, key=_bus_sort_key):
+            bus_plan = self.plan.buses[bus_name]
+            net = BusNet(
+                bus_name,
+                data_width=bus_plan.data_width,
+                addr_width=bus_plan.addr_width,
+                protocol=self.protocol.name,
+            )
+            for sub in self.protocol.subprograms(net):
+                refined.ensure_subprogram(sub)
+
+        arbitrated = set(self.arbitrated_buses())
+        for (bus, leaf), use in sorted(self._uses.items()):
+            for send in (True, False):
+                if (use.send if send else use.receive):
+                    refined.ensure_subprogram(
+                        self._make_wrapper(bus, leaf, send, bus in arbitrated)
+                    )
+        for leaf, use in sorted(self._remote_uses.items()):
+            for send in (True, False):
+                if (use.send if send else use.receive):
+                    refined.ensure_subprogram(self._make_remote(leaf, send))
+
+    def _params(self, bus: str, send: bool) -> List[Param]:
+        bus_plan = self.plan.buses[bus]
+        direction = Direction.IN if send else Direction.OUT
+        return [
+            Param("addr", bits(max(1, bus_plan.addr_width)), Direction.IN),
+            Param("data", int_type(max(2, bus_plan.data_width)), direction),
+        ]
+
+    def _make_wrapper(
+        self, bus: str, leaf: str, send: bool, arbitrated: bool
+    ) -> Subprogram:
+        core = master_send_name(bus) if send else master_receive_name(bus)
+        inner = call(core, var("addr"), var("data"))
+        if not arbitrated:
+            stmts = [inner]
+            doc = f"{leaf}'s unarbitrated access to {bus}"
+        else:
+            req, ack = arbiter_signal_names(bus, leaf)
+            stmts = [
+                sassign(req, 1),
+                wait_until(var(ack).eq(1)),
+                inner,
+                sassign(req, 0),
+                wait_until(var(ack).eq(0)),
+            ]
+            doc = f"{leaf}'s arbitrated access to {bus} (Req/Ack, Figure 7)"
+        return Subprogram(
+            self._wrapper_name(bus, leaf, send),
+            params=self._params(bus, send),
+            stmt_body=stmts,
+            doc=doc,
+        )
+
+    def _make_remote(self, leaf: str, send: bool) -> Subprogram:
+        """Cross-partition access: interchange lock around the interface
+        transaction (deadlock-freedom: lock > iface in the global
+        resource order)."""
+        interchange = self._interchange_bus().name
+        req, ack = arbiter_signal_names(interchange, leaf)
+        # the iface wrapper this leaf already registered is found by name
+        iface_bus = None
+        for bus, masters in self.masters.items():
+            if leaf in masters and self.plan.buses[bus].role is BusRole.IFACE:
+                iface_bus = bus
+                break
+        if iface_bus is None:
+            raise RefinementError(
+                f"remote wrapper for {leaf!r}: no interface bus registered"
+            )
+        inner = call(
+            self._wrapper_name(iface_bus, leaf, send), var("addr"), var("data")
+        )
+        return Subprogram(
+            self._remote_name(leaf, send),
+            params=self._params(iface_bus, send),
+            stmt_body=[
+                sassign(req, 1),
+                wait_until(var(ack).eq(1)),
+                inner,
+                sassign(req, 0),
+                wait_until(var(ack).eq(0)),
+            ],
+            doc=(
+                f"{leaf}'s cross-partition access: global remote lock, then "
+                f"the {iface_bus} transaction (message passing, Figure 8)"
+            ),
+        )
+
+
+def _bus_sort_key(name: str):
+    """b2 before b10 (numeric suffix sort)."""
+    digits = "".join(ch for ch in name if ch.isdigit())
+    return (int(digits) if digits else 0, name)

@@ -1,0 +1,151 @@
+"""Memory behavior generation.
+
+Data-related refinement inserts "a slave memory behavior [...] to serve
+the data transfer upon the request from a master behavior" (paper §4.2,
+Figure 5c).  This module builds those servers:
+
+* a **single-port** memory is one daemon leaf: an endless loop waiting
+  for a bus transaction, decoding the address against its resident
+  variables, and answering with ``SLV_send``/``SLV_receive``;
+* a **multi-port** memory (Model3's global memories, Model4's
+  dual-ported local memories) is a concurrent composite whose children
+  are one port server per bus, sharing the variable storage declared on
+  the composite.
+
+Variables keep their original declarations (type *and* initial value),
+which is what makes the refined design functionally equivalent at time
+zero.  Address decoding uses the plan's system-wide map: scalars match
+one address, arrays match a range with the element selected by
+``addr - base``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.arch.protocols import bus_signal_names
+from repro.errors import RefinementError
+from repro.models.plan import MemoryPlan, ModelPlan
+from repro.refine.emitter import ProtocolEmitter
+from repro.refine.naming import NamePool
+from repro.spec.behavior import Behavior, LeafBehavior
+from repro.spec.builder import conc, if_, loop_forever, wait_until
+from repro.spec.expr import BinOp, Const, Expr, Index, VarRef, var
+from repro.spec.stmt import If, Stmt, body as make_body
+from repro.spec.types import ArrayType
+
+__all__ = ["build_memory_behavior"]
+
+
+def build_memory_behavior(
+    memory: MemoryPlan,
+    plan: ModelPlan,
+    emitter: ProtocolEmitter,
+    pool: NamePool,
+) -> Behavior:
+    """The daemon behavior serving ``memory`` on all its ports."""
+    decls = [
+        plan.spec.global_variable(name).copy() for name in memory.variables
+    ]
+    if not memory.port_buses:
+        raise RefinementError(f"memory {memory.name!r} has no ports")
+
+    if len(memory.port_buses) == 1:
+        server = _port_server(
+            memory.name, memory, memory.port_buses[0], plan, emitter, pool
+        )
+        server.decls = decls + server.decls
+        server.daemon = True
+        server.doc = (
+            f"{memory.kind} memory {memory.name} "
+            f"({len(memory.variables)} variable(s), 1 port)"
+        )
+        return server
+
+    ports = [
+        _port_server(
+            pool.fresh(f"{memory.name}_port{position + 1}"),
+            memory,
+            bus,
+            plan,
+            emitter,
+            pool,
+        )
+        for position, bus in enumerate(memory.port_buses)
+    ]
+    for port in ports:
+        port.daemon = True
+    composite = conc(
+        memory.name,
+        ports,
+        decls=decls,
+        doc=(
+            f"{memory.kind} memory {memory.name} "
+            f"({len(memory.variables)} variable(s), {len(ports)} ports)"
+        ),
+    )
+    composite.daemon = True
+    return composite
+
+
+def _port_server(
+    name: str,
+    memory: MemoryPlan,
+    bus: str,
+    plan: ModelPlan,
+    emitter: ProtocolEmitter,
+    pool: NamePool,
+) -> LeafBehavior:
+    """One endless port-server loop on ``bus``."""
+    signals = bus_signal_names(bus)
+    start = var(signals["start"])
+    addr = var(signals["addr"])
+    rd = var(signals["rd"])
+    lo, hi = plan.memory_address_span(memory.name)
+
+    read_chain = _decode_chain(memory, plan, emitter, bus, addr, send=True)
+    write_chain = _decode_chain(memory, plan, emitter, bus, addr, send=False)
+
+    mine: Expr = (addr >= lo).and_(addr <= hi)
+    body = [
+        wait_until(start.eq(1)),
+        if_(
+            mine,
+            [if_(rd.eq(1), [read_chain], [write_chain])],
+            # not addressed to this memory: let the transaction pass
+            [wait_until(start.eq(0))],
+        ),
+    ]
+    return LeafBehavior(
+        name,
+        [loop_forever(body)],
+        doc=f"serves addresses {lo}..{hi} on {bus}",
+    )
+
+
+def _decode_chain(
+    memory: MemoryPlan,
+    plan: ModelPlan,
+    emitter: ProtocolEmitter,
+    bus: str,
+    addr: Expr,
+    send: bool,
+) -> Stmt:
+    """``if addr = a1 then serve x1 elsif ... end if`` over the
+    memory's variables (``send`` = serving a read request)."""
+    arms: List[Tuple[Expr, Stmt]] = []
+    for variable in memory.variables:
+        rng = plan.address_of(variable)
+        decl = plan.spec.global_variable(variable)
+        if isinstance(decl.dtype, ArrayType):
+            cond: Expr = (addr >= rng.base).and_(addr <= rng.last)
+            element = Index(VarRef(variable), BinOp("-", addr, Const(rng.base)))
+            serve = emitter.slave_call(bus, element, send=send)
+        else:
+            cond = addr.eq(rng.base)
+            serve = emitter.slave_call(bus, VarRef(variable), send=send)
+        arms.append((cond, serve))
+
+    first_cond, first_serve = arms[0]
+    elifs = tuple((cond, make_body([serve])) for cond, serve in arms[1:])
+    return If(first_cond, make_body([first_serve]), elifs)

@@ -1,0 +1,56 @@
+"""Fresh-name generation for refinement-inserted objects.
+
+Refinement introduces many named objects (``B_CTRL``, ``B_NEW``,
+``B_start``/``B_done`` signals, ``tmp`` variables, memory/arbiter/
+interface behaviors).  A :class:`NamePool` guarantees they never
+collide with user names or each other while keeping the paper's
+naming conventions readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.spec.specification import Specification
+
+__all__ = ["NamePool"]
+
+
+class NamePool:
+    """Allocates unique identifiers against a taken-set."""
+
+    def __init__(self, taken: Iterable[str] = ()):
+        self._taken: Set[str] = set(taken)
+
+    @classmethod
+    def for_specification(cls, spec: Specification) -> "NamePool":
+        """Seed with every name visible anywhere in ``spec``."""
+        taken: Set[str] = set()
+        taken.update(b.name for b in spec.behaviors())
+        taken.update(v.name for v in spec.variables)
+        taken.update(spec.subprograms)
+        for _, decl in spec.all_declared_variables():
+            taken.add(decl.name)
+        for sub in spec.subprograms.values():
+            taken.update(p.name for p in sub.params)
+            taken.update(d.name for d in sub.decls)
+        return cls(taken)
+
+    def fresh(self, base: str) -> str:
+        """``base`` if free, else ``base_2``, ``base_3``, ..."""
+        if base not in self._taken:
+            self._taken.add(base)
+            return base
+        counter = 2
+        while f"{base}_{counter}" in self._taken:
+            counter += 1
+        name = f"{base}_{counter}"
+        self._taken.add(name)
+        return name
+
+    def reserve(self, name: str) -> None:
+        """Mark an externally chosen name as taken."""
+        self._taken.add(name)
+
+    def is_taken(self, name: str) -> bool:
+        return name in self._taken

@@ -1,0 +1,385 @@
+"""The model-refinement orchestrator (paper §4, §5).
+
+``Refiner.run`` transforms a partitioned specification into the chosen
+implementation model by composing the three refinement classes:
+
+1. **control-related** — split the behavior tree at partition
+   boundaries with ``B_CTRL``/``B_NEW`` handshakes (§4.1);
+2. **data-related** — map every partitionable variable into a memory
+   module and substitute all accesses with bus protocol calls (§4.2);
+3. **architecture-related** — generate the memory servers, insert bus
+   arbiters where buses have several masters, and insert bus
+   interfaces for Model4's message passing (§4.3).
+
+The output, :class:`RefinedDesign`, bundles the new *simulatable*
+specification (its top is a concurrent composition of the home
+partition, the moved-behavior servers, memories, interfaces and
+arbiters), the structural netlist, and the bookkeeping needed for
+equivalence checking and the Figure 9/10 experiments.  The refined
+specification is validated before being returned — refinement never
+emits an inconsistent model.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.arch.allocation import Allocation, default_allocation_for
+from repro.arch.components import (
+    ArbiterInst,
+    BusInterfaceInst,
+    BusNet,
+    MemoryKind,
+    MemoryModule,
+    MemoryPort,
+    Netlist,
+)
+from repro.arch.protocols import Protocol, bus_signals, resolve_protocol
+from repro.errors import RefinementError
+from repro.graph.access_graph import AccessGraph
+from repro.graph.analysis import classify_variables
+from repro.models.impl_models import ImplementationModel
+from repro.models.plan import BusRole, ModelPlan
+from repro.partition.partition import Partition
+from repro.refine.arbiter import build_arbiter
+from repro.refine.businterface import build_bus_interfaces
+from repro.refine.control import ControlResult, ControlScheme, control_refine
+from repro.refine.data import DataResult, data_refine
+from repro.refine.emitter import ProtocolEmitter
+from repro.refine.memory import build_memory_behavior
+from repro.refine.naming import NamePool
+from repro.spec.behavior import Behavior, CompositeBehavior, CompositionMode
+from repro.spec.specification import Specification
+
+__all__ = ["RefinedDesign", "Refiner"]
+
+
+class RefinedDesign:
+    """Everything model refinement produced for one (spec, partition,
+    model) triple."""
+
+    def __init__(
+        self,
+        original: Specification,
+        spec: Specification,
+        partition: Partition,
+        model: ImplementationModel,
+        plan: ModelPlan,
+        netlist: Netlist,
+        control: ControlResult,
+        data: DataResult,
+        observation_map: Dict[str, str],
+        refinement_seconds: float,
+    ):
+        self.original = original
+        self.spec = spec
+        self.partition = partition
+        self.model = model
+        self.plan = plan
+        self.netlist = netlist
+        self.control = control
+        self.data = data
+        #: original variable name -> refined behavior whose frame holds it
+        self.observation_map = observation_map
+        #: wall-clock CPU time of the refinement itself (Figure 10)
+        self.refinement_seconds = refinement_seconds
+
+    def line_counts(self) -> Dict[str, int]:
+        """Original vs refined size in printed source lines (the
+        Figure 10 metric) and their ratio."""
+        original = self.original.line_count()
+        refined = self.spec.line_count()
+        return {
+            "original": original,
+            "refined": refined,
+            "ratio": round(refined / max(original, 1), 1),
+        }
+
+    def describe(self) -> str:
+        sizes = self.line_counts()
+        lines = [
+            f"refined {self.original.name} with {self.model.name} "
+            f"on partition {self.partition.name!r}",
+            f"  {sizes['original']} -> {sizes['refined']} lines "
+            f"({sizes['ratio']}x) in {self.refinement_seconds * 1e3:.1f} ms",
+            f"  moved behaviors: "
+            + (", ".join(m.original for m in self.control.moved) or "none"),
+            f"  protocol calls inserted: {self.data.calls_inserted}",
+        ]
+        lines.append(self.netlist.describe())
+        return "\n".join(lines)
+
+
+class Refiner:
+    """Runs the full refinement pipeline.
+
+    Parameters
+    ----------
+    spec:
+        The functional specification (validated on entry).
+    partition:
+        Behavior/variable to component assignment.
+    model:
+        Which of the four implementation models to refine into.
+    allocation:
+        Available components; defaults invent a processor/ASIC per
+        partition component name.
+    protocol:
+        Bus protocol (name or instance); default the Figure 5d
+        handshake.
+    control_scheme:
+        Figure 4b vs 4c for moved leaf behaviors.
+    """
+
+    def __init__(
+        self,
+        spec: Specification,
+        partition: Partition,
+        model: ImplementationModel,
+        allocation: Optional[Allocation] = None,
+        protocol="handshake",
+        control_scheme: ControlScheme = ControlScheme.AUTO,
+    ):
+        self.spec = spec
+        self.partition = partition
+        self.model = model
+        self.allocation = (
+            allocation or default_allocation_for(partition.components())
+        ).ensure(partition.components())
+        self.protocol: Protocol = resolve_protocol(protocol)
+        self.control_scheme = control_scheme
+
+    def run(self) -> RefinedDesign:
+        started = time.perf_counter()
+        self.spec.validate()
+        graph = AccessGraph.from_specification(self.spec)
+        classification = classify_variables(graph, self.partition)
+        plan = self.model.build_plan(
+            self.spec, self.partition, classification=classification, graph=graph
+        )
+
+        if (
+            plan.buses_with_role(BusRole.INTERCHANGE)
+            and not self.protocol.supports_multi_hop
+        ):
+            raise RefinementError(
+                f"protocol {self.protocol.name!r} has a fixed response "
+                "window and cannot serve Model4's bus-interface message "
+                "passing (the slave forwards over further buses before "
+                "answering); use the handshake protocol"
+            )
+        self._reject_subprogram_accesses(plan)
+        refined = self.spec.copy()
+        refined.name = f"{self.spec.name}_{self.model.name}"
+        pool = NamePool.for_specification(refined)
+        self._reserve_generated_names(plan, pool)
+
+        # 1. control-related refinement (§4.1)
+        control = control_refine(
+            refined, self.partition, pool, scheme=self.control_scheme
+        )
+
+        # 2. data-related refinement (§4.2)
+        emitter = ProtocolEmitter(plan, self.protocol, pool)
+        data = data_refine(
+            refined,
+            plan,
+            emitter,
+            pool,
+            control.leaf_component,
+            control.composite_component,
+            extra_roots=control.daemons,
+        )
+
+        # 3. architecture-related refinement (§4.3)
+        memories = [
+            build_memory_behavior(memory, plan, emitter, pool)
+            for memory in plan.memories.values()
+        ]
+        interfaces = build_bus_interfaces(plan, emitter, pool)
+        arbiters = []
+        for bus in sorted(emitter.arbitrated_buses()):
+            arbiters.append(build_arbiter(bus, emitter.masters[bus], pool))
+        if emitter.lock_clients:
+            interchange = plan.buses_with_role(BusRole.INTERCHANGE)[0]
+            arbiters.append(
+                build_arbiter(interchange.name, emitter.lock_clients, pool)
+            )
+
+        # materialise protocol subprograms, signals, and storage moves
+        emitter.finalize(refined)
+        for bus_plan in plan.buses.values():
+            net = BusNet(
+                bus_plan.name,
+                data_width=bus_plan.data_width,
+                addr_width=bus_plan.addr_width,
+                protocol=self.protocol.name,
+            )
+            refined.variables.extend(bus_signals(net))
+            refined.variables.extend(self.protocol.extra_signals(net))
+        refined.variables.extend(emitter.arbitration_signals())
+        placed = set(plan.placement)
+        refined.variables = [
+            v for v in refined.variables if v.name not in placed
+        ]
+
+        # assemble the simulatable system top
+        system_children: List[Behavior] = [refined.top]
+        system_children.extend(control.daemons)
+        system_children.extend(memories)
+        system_children.extend(interfaces)
+        system_children.extend(arbiters)
+        system = CompositeBehavior(
+            pool.fresh(f"{self.spec.name}_system"),
+            system_children,
+            mode=CompositionMode.CONCURRENT,
+            doc=(
+                "refined system: home partition, moved-behavior servers, "
+                "memories, bus interfaces and arbiters"
+            ),
+        )
+        refined.top = system
+        refined.link()
+        refined.validate()
+
+        netlist = self._build_netlist(plan, emitter, memories, interfaces, arbiters)
+        observation_map = {
+            variable: memory_name
+            for variable, memory_name in plan.placement.items()
+        }
+        elapsed = time.perf_counter() - started
+        return RefinedDesign(
+            original=self.spec,
+            spec=refined,
+            partition=self.partition,
+            model=self.model,
+            plan=plan,
+            netlist=netlist,
+            control=control,
+            data=data,
+            observation_map=observation_map,
+            refinement_seconds=elapsed,
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _reject_subprogram_accesses(self, plan: ModelPlan) -> None:
+        """User subprograms are shared across call sites that may live on
+        different components, so an access to a partitioned variable
+        inside one has no single bus to route over.  Fail early with a
+        clear message (the alternative would be a confusing scope error
+        from the refined model's validator)."""
+        from repro.spec.expr import free_variables
+        from repro.spec.stmt import lvalue_name
+        from repro.spec.visitor import walk_statements
+
+        placed = set(plan.placement)
+        for sub in self.spec.subprograms.values():
+            local_names = {p.name for p in sub.params}
+            local_names.update(d.name for d in sub.decls)
+            for stmt in walk_statements(sub.stmt_body):
+                touched = set()
+                for expr in stmt.expressions():
+                    touched |= free_variables(expr)
+                offending = (touched - local_names) & placed
+                if offending:
+                    raise RefinementError(
+                        f"subprogram {sub.name!r} accesses partitioned "
+                        f"variable(s) {sorted(offending)}; inline the "
+                        "access into the calling behavior so refinement "
+                        "can route it over a bus"
+                    )
+
+    def _reserve_generated_names(self, plan: ModelPlan, pool: NamePool) -> None:
+        """Bus signal bundles use fixed names; refuse user collisions."""
+        from repro.arch.protocols import bus_signal_names
+
+        for bus in plan.buses:
+            for name in bus_signal_names(bus).values():
+                if pool.is_taken(name):
+                    raise RefinementError(
+                        f"specification already uses the name {name!r}, "
+                        f"which refinement needs for bus {bus!r}"
+                    )
+                pool.reserve(name)
+        for memory in plan.memories:
+            if pool.is_taken(memory):
+                raise RefinementError(
+                    f"specification already uses the name {memory!r}, "
+                    "which refinement needs for a memory module"
+                )
+            pool.reserve(memory)
+
+    def _build_netlist(
+        self,
+        plan: ModelPlan,
+        emitter: ProtocolEmitter,
+        memories: List[Behavior],
+        interfaces: List[Behavior],
+        arbiters: List[Behavior],
+    ) -> Netlist:
+        netlist = Netlist()
+        for component_name in self.partition.components():
+            netlist.add_component(self.allocation.get(component_name))
+        for memory_plan in plan.memories.values():
+            netlist.add_memory(
+                MemoryModule(
+                    name=memory_plan.name,
+                    kind=(
+                        MemoryKind.LOCAL
+                        if memory_plan.kind == "local"
+                        else MemoryKind.GLOBAL
+                    ),
+                    ports=[
+                        MemoryPort(f"{memory_plan.name}_p{i + 1}", bus)
+                        for i, bus in enumerate(memory_plan.port_buses)
+                    ],
+                    variables=list(memory_plan.variables),
+                    host=memory_plan.host,
+                )
+            )
+        for bus_plan in plan.buses.values():
+            netlist.add_bus(
+                BusNet(
+                    bus_plan.name,
+                    data_width=bus_plan.data_width,
+                    addr_width=bus_plan.addr_width,
+                    protocol=self.protocol.name,
+                    masters=list(emitter.masters.get(bus_plan.name, [])),
+                    slaves=[
+                        memory.name
+                        for memory in plan.memories.values()
+                        if bus_plan.name in memory.port_buses
+                    ],
+                )
+            )
+        for arbiter in arbiters:
+            bus = arbiter.name.rsplit("_arbiter", 1)[0]
+            netlist.add_arbiter(
+                ArbiterInst(
+                    arbiter.name,
+                    bus,
+                    masters=list(emitter.masters.get(bus, emitter.lock_clients)),
+                )
+            )
+        interchange_buses = plan.buses_with_role(BusRole.INTERCHANGE)
+        for interface in interfaces:
+            component = next(
+                c
+                for c in self.partition.components()
+                if interface.name.startswith(f"BI_{c}_")
+            )
+            iface = plan.bus_for(BusRole.IFACE, component=component)
+            netlist.add_interface(
+                BusInterfaceInst(
+                    name=interface.name,
+                    component=component,
+                    request_bus=iface.name,
+                    interchange_bus=(
+                        interchange_buses[0].name if interchange_buses else ""
+                    ),
+                    memory_bus=iface.name,
+                )
+            )
+        return netlist

@@ -1,0 +1,21 @@
+"""Discrete-event simulation: kernel, interpreter, equivalence checking."""
+
+from repro.sim.eval import Env, Frame, evaluate, truthy
+from repro.sim.interpreter import Probe, SimulationResult, Simulator, TraceEvent
+from repro.sim.kernel import Join, Kernel, Process, WaitCondition, WaitDelay
+
+__all__ = [
+    "Env",
+    "Frame",
+    "evaluate",
+    "truthy",
+    "Probe",
+    "SimulationResult",
+    "Simulator",
+    "TraceEvent",
+    "Join",
+    "Kernel",
+    "Process",
+    "WaitCondition",
+    "WaitDelay",
+]

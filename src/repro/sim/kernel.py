@@ -1,0 +1,276 @@
+"""Discrete-event simulation kernel with VHDL-style delta cycles.
+
+The kernel knows nothing about the IR; it schedules *processes*
+(Python generators) that yield :class:`WaitCondition`,
+:class:`WaitDelay` or :class:`Join` requests, and it owns the *signal*
+store: signal assignments are deferred and take effect between process
+activations (a delta cycle), so concurrently executing behaviors see a
+consistent snapshot — the property the refined handshake protocols rely
+on.
+
+Scheduling loop:
+
+1. run every ready process until it suspends or finishes;
+2. apply pending signal updates; signals that changed wake processes
+   whose sensitivity lists them (a *delta cycle* — time does not
+   advance);
+3. when no delta activity remains, advance time to the earliest timed
+   wait;
+4. when neither delta nor timed work remains, the simulation is
+   *quiescent* and :meth:`Kernel.run` returns.  Refined designs contain
+   endless server behaviors (memories, arbiters, bus interfaces), so
+   quiescence with the application processes finished is the normal
+   termination; the caller decides which processes were required to
+   finish.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError, SimulationLimitExceeded
+
+__all__ = [
+    "WaitCondition",
+    "WaitDelay",
+    "Join",
+    "Process",
+    "Kernel",
+]
+
+
+class WaitCondition:
+    """Suspend until ``predicate()`` is true; re-evaluated whenever one
+    of the named signals changes.  The predicate is checked immediately
+    on suspension (level-sensitive), so a condition that already holds
+    does not deadlock the process."""
+
+    __slots__ = ("predicate", "sensitivity")
+
+    def __init__(self, predicate: Callable[[], bool], sensitivity: Iterable[str]):
+        self.predicate = predicate
+        self.sensitivity = frozenset(sensitivity)
+
+
+class WaitDelay:
+    """Suspend for ``delay`` time units (>= 0; zero yields one delta)."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.delay = delay
+
+
+class Join:
+    """Suspend until every process in ``processes`` has finished."""
+
+    __slots__ = ("processes",)
+
+    def __init__(self, processes: Iterable["Process"]):
+        self.processes = tuple(processes)
+
+
+class Process:
+    """One schedulable coroutine."""
+
+    __slots__ = ("name", "generator", "finished", "failed", "_waiting_on")
+
+    def __init__(self, name: str, generator: Iterator):
+        self.name = name
+        self.generator = generator
+        self.finished = False
+        self.failed: Optional[BaseException] = None
+        self._waiting_on: Optional[object] = None
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else (
+            "blocked" if self._waiting_on is not None else "ready"
+        )
+        return f"<Process {self.name} {state}>"
+
+
+class Kernel:
+    """The event-driven scheduler and signal store."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._signals: Dict[str, object] = {}
+        self._pending: Dict[str, object] = {}
+        self._processes: List[Process] = []
+        self._ready: List[Process] = []
+        #: processes blocked on a WaitCondition, by process
+        self._cond_waiters: Dict[Process, WaitCondition] = {}
+        #: processes blocked on a Join
+        self._join_waiters: Dict[Process, Join] = {}
+        #: timed queue of (wake_time, seq, process)
+        self._timed: List[Tuple[float, int, Process]] = []
+        self._seq = itertools.count()
+        self.steps: int = 0
+
+    # -- signals ------------------------------------------------------------
+
+    def register_signal(self, name: str, initial) -> None:
+        """Declare a signal; duplicate names are an error (refinement
+        generates globally unique signal names)."""
+        if name in self._signals:
+            raise SimulationError(f"signal {name!r} registered twice")
+        self._signals[name] = initial
+
+    def has_signal(self, name: str) -> bool:
+        return name in self._signals
+
+    def read_signal(self, name: str):
+        try:
+            return self._signals[name]
+        except KeyError:
+            raise SimulationError(f"unknown signal {name!r}") from None
+
+    def write_signal(self, name: str, value) -> None:
+        """Schedule a signal update for the next delta cycle."""
+        if name not in self._signals:
+            raise SimulationError(f"unknown signal {name!r}")
+        self._pending[name] = value
+
+    def signal_names(self) -> Set[str]:
+        return set(self._signals)
+
+    # -- processes -------------------------------------------------------------
+
+    def spawn(self, name: str, generator: Iterator) -> Process:
+        """Create a process and mark it ready."""
+        process = Process(name, generator)
+        self._processes.append(process)
+        self._ready.append(process)
+        return process
+
+    @property
+    def processes(self) -> List[Process]:
+        return list(self._processes)
+
+    def blocked_processes(self) -> List[Process]:
+        """Processes still suspended when the simulation went quiescent."""
+        return [
+            p
+            for p in self._processes
+            if not p.finished and p.failed is None
+        ]
+
+    # -- the event loop -----------------------------------------------------------
+
+    def run(self, max_steps: int = 2_000_000) -> None:
+        """Run to quiescence.
+
+        ``max_steps`` bounds the total number of process activations;
+        exceeding it raises :class:`SimulationLimitExceeded` (a livelock
+        in a refined protocol, e.g. a master with no matching slave).
+        """
+        while True:
+            while self._ready:
+                process = self._ready.pop()
+                self.steps += 1
+                if self.steps > max_steps:
+                    raise SimulationLimitExceeded(
+                        f"simulation exceeded {max_steps} steps at t={self.now}"
+                    )
+                self._activate(process)
+            if self._apply_delta():
+                continue
+            if self._advance_time():
+                continue
+            return  # quiescent
+
+    def _activate(self, process: Process) -> None:
+        try:
+            request = next(process.generator)
+        except StopIteration:
+            process.finished = True
+            self._notify_joiners(process)
+            return
+        except SimulationError:
+            raise
+        except Exception as exc:  # surface interpreter bugs with context
+            process.failed = exc
+            raise SimulationError(
+                f"process {process.name!r} failed at t={self.now}: {exc}"
+            ) from exc
+        self._suspend(process, request)
+
+    def _suspend(self, process: Process, request) -> None:
+        if isinstance(request, WaitCondition):
+            # level-sensitive: continue immediately if already true
+            if request.predicate():
+                self._ready.append(process)
+                return
+            process._waiting_on = request
+            self._cond_waiters[process] = request
+        elif isinstance(request, WaitDelay):
+            process._waiting_on = request
+            heapq.heappush(
+                self._timed, (self.now + request.delay, next(self._seq), process)
+            )
+        elif isinstance(request, Join):
+            if all(p.finished for p in request.processes):
+                self._ready.append(process)
+                return
+            process._waiting_on = request
+            self._join_waiters[process] = request
+        else:
+            raise SimulationError(
+                f"process {process.name!r} yielded unknown request {request!r}"
+            )
+
+    def _notify_joiners(self, finished: Process) -> None:
+        woken = [
+            waiter
+            for waiter, join in self._join_waiters.items()
+            if finished in join.processes
+            and all(p.finished for p in join.processes)
+        ]
+        for waiter in woken:
+            del self._join_waiters[waiter]
+            waiter._waiting_on = None
+            self._ready.append(waiter)
+
+    def _apply_delta(self) -> bool:
+        """Apply pending signal updates; wake sensitive waiters.
+        Returns True when anything happened."""
+        if not self._pending:
+            return False
+        changed: Set[str] = set()
+        for name, value in self._pending.items():
+            if self._signals[name] != value:
+                self._signals[name] = value
+                changed.add(name)
+        self._pending.clear()
+        if not changed:
+            return False
+        woken = [
+            process
+            for process, cond in self._cond_waiters.items()
+            if cond.sensitivity & changed and cond.predicate()
+        ]
+        for process in woken:
+            del self._cond_waiters[process]
+            process._waiting_on = None
+            self._ready.append(process)
+        return True
+
+    def _advance_time(self) -> bool:
+        """Jump to the earliest timed wake-up.  Returns True when a
+        process was woken."""
+        if not self._timed:
+            return False
+        wake_time, _, process = heapq.heappop(self._timed)
+        self.now = max(self.now, wake_time)
+        process._waiting_on = None
+        self._ready.append(process)
+        # release everything scheduled for the same instant
+        while self._timed and self._timed[0][0] <= self.now:
+            _, _, other = heapq.heappop(self._timed)
+            other._waiting_on = None
+            self._ready.append(other)
+        return True

@@ -1,0 +1,108 @@
+"""SpecCharts-like specification IR.
+
+Public surface of the specification model: data types, expressions,
+statements, behaviors, subprograms and the :class:`Specification`
+container, plus the builder DSL.
+"""
+
+from repro.spec.behavior import (
+    Behavior,
+    CompositeBehavior,
+    CompositionMode,
+    LeafBehavior,
+    Transition,
+)
+from repro.spec.expr import (
+    BinOp,
+    Const,
+    Expr,
+    Index,
+    UnaryOp,
+    VarRef,
+    const,
+    free_variables,
+    substitute,
+    var,
+)
+from repro.spec.specification import Specification, SpecStats
+from repro.spec.stmt import (
+    Assign,
+    CallStmt,
+    For,
+    If,
+    Null,
+    SignalAssign,
+    Stmt,
+    Wait,
+    While,
+)
+from repro.spec.subprogram import Direction, Param, Subprogram
+from repro.spec.types import (
+    ArrayType,
+    BitVectorType,
+    BoolType,
+    DataType,
+    EnumType,
+    IntType,
+    BIT,
+    BOOL,
+    array_of,
+    bits,
+    int_type,
+)
+from repro.spec.variable import Role, StorageClass, Variable, signal, variable
+
+__all__ = [
+    # behaviors
+    "Behavior",
+    "CompositeBehavior",
+    "CompositionMode",
+    "LeafBehavior",
+    "Transition",
+    # expressions
+    "BinOp",
+    "Const",
+    "Expr",
+    "Index",
+    "UnaryOp",
+    "VarRef",
+    "const",
+    "free_variables",
+    "substitute",
+    "var",
+    # statements
+    "Assign",
+    "CallStmt",
+    "For",
+    "If",
+    "Null",
+    "SignalAssign",
+    "Stmt",
+    "Wait",
+    "While",
+    # subprograms
+    "Direction",
+    "Param",
+    "Subprogram",
+    # container
+    "Specification",
+    "SpecStats",
+    # types
+    "ArrayType",
+    "BitVectorType",
+    "BoolType",
+    "DataType",
+    "EnumType",
+    "IntType",
+    "BIT",
+    "BOOL",
+    "array_of",
+    "bits",
+    "int_type",
+    # variables
+    "Role",
+    "StorageClass",
+    "Variable",
+    "signal",
+    "variable",
+]

@@ -1,0 +1,308 @@
+"""Hierarchical behaviors — the SpecCharts program structure.
+
+A specification is a tree of behaviors (paper §2):
+
+* **leaf behaviors** hold a sequential statement body (the VHDL subset);
+* **composite behaviors** hold sub-behaviors composed either
+  *sequentially* (exactly one child active at a time, control moves
+  along *transitions* ``src:(cond,dst)`` when the active child
+  completes) or *concurrently* (all children active, the composite
+  completes when every child completes).
+
+Transitions are the paper's implicit control channels: ``A:(x>1,B)``
+means "after A completes, if ``x>1`` then B executes".  A transition
+with target ``None`` is a *transition-on-completion* of the whole
+composite.  When a child completes and **no** transition condition
+holds, the composite completes (the common terminal case) — unless the
+child has a ``None``-target arc, which makes completion explicit.
+
+Behaviors are mutable containers (refinement rewrites the tree in a
+cloned specification) while statements/expressions inside them are
+immutable.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SpecError
+from repro.spec.expr import Expr
+from repro.spec.stmt import Body, Stmt, body as make_body
+from repro.spec.variable import Variable
+
+__all__ = [
+    "CompositionMode",
+    "Transition",
+    "Behavior",
+    "LeafBehavior",
+    "CompositeBehavior",
+]
+
+
+class CompositionMode(enum.Enum):
+    """How a composite behavior schedules its children."""
+
+    SEQUENTIAL = "sequential"
+    CONCURRENT = "concurrent"
+
+
+class Transition:
+    """A control arc ``source:(condition, target)`` inside a sequential
+    composite.
+
+    ``condition`` of ``None`` means unconditional; ``target`` of ``None``
+    means "complete the enclosing composite".
+    """
+
+    __slots__ = ("source", "condition", "target")
+
+    def __init__(self, source: str, condition: Optional[Expr], target: Optional[str]):
+        if not source:
+            raise SpecError("transition needs a source behavior name")
+        if condition is not None and not isinstance(condition, Expr):
+            raise SpecError(f"transition condition must be an Expr, got {condition!r}")
+        self.source = source
+        self.condition = condition
+        self.target = target
+
+    @property
+    def is_completion(self) -> bool:
+        """True when this arc completes the enclosing composite."""
+        return self.target is None
+
+    def copy(self) -> "Transition":
+        return Transition(self.source, self.condition, self.target)
+
+    def __repr__(self) -> str:
+        cond = str(self.condition) if self.condition is not None else "true"
+        target = self.target if self.target is not None else "<complete>"
+        return f"{self.source}:({cond},{target})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Transition)
+            and self.source == other.source
+            and self.condition == other.condition
+            and self.target == other.target
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.source, self.condition, self.target))
+
+
+class Behavior:
+    """Base class of leaf and composite behaviors."""
+
+    def __init__(self, name: str, decls: Sequence[Variable] = (), doc: str = ""):
+        if not name or not name.isidentifier():
+            raise SpecError(f"invalid behavior name {name!r}")
+        self.name = name
+        self.decls: List[Variable] = list(decls)
+        self.doc = doc
+        #: Set by Specification.link(); None for an unlinked tree or root.
+        self.parent: Optional["CompositeBehavior"] = None
+        #: Daemon behaviors are endless servers inserted by refinement
+        #: (memories, arbiters, bus interfaces, B_NEW wrappers); a
+        #: concurrent composite completes without waiting for them.
+        self.daemon: bool = False
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Behavior", ...]:
+        return ()
+
+    def iter_tree(self) -> Iterator["Behavior"]:
+        """This behavior and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.iter_tree()
+
+    def find(self, name: str) -> Optional["Behavior"]:
+        """First behavior named ``name`` in this subtree, or None."""
+        for node in self.iter_tree():
+            if node.name == name:
+                return node
+        return None
+
+    def ancestors(self) -> Iterator["CompositeBehavior"]:
+        """Enclosing composites from the immediate parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def depth(self) -> int:
+        """Distance from the root (root is depth 0)."""
+        return sum(1 for _ in self.ancestors())
+
+    def declared(self, name: str) -> Optional[Variable]:
+        """The variable declared *directly* on this behavior, if any."""
+        for decl in self.decls:
+            if decl.name == name:
+                return decl
+        return None
+
+    def add_decl(self, decl: Variable) -> Variable:
+        """Declare a variable on this behavior; rejects duplicates."""
+        if self.declared(decl.name) is not None:
+            raise SpecError(
+                f"behavior {self.name!r} already declares {decl.name!r}"
+            )
+        self.decls.append(decl)
+        return decl
+
+    def copy(self) -> "Behavior":
+        """Deep copy of this subtree (parent links left unset)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "composite"
+        return f"<{kind} behavior {self.name!r}>"
+
+
+class LeafBehavior(Behavior):
+    """A behavior whose functionality is a sequential statement body."""
+
+    def __init__(
+        self,
+        name: str,
+        stmt_body: Sequence[Stmt] = (),
+        decls: Sequence[Variable] = (),
+        doc: str = "",
+    ):
+        super().__init__(name, decls, doc)
+        self.stmt_body: Body = make_body(stmt_body)
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def copy(self) -> "LeafBehavior":
+        clone = LeafBehavior(
+            self.name,
+            self.stmt_body,
+            [decl.copy() for decl in self.decls],
+            self.doc,
+        )
+        clone.daemon = self.daemon
+        return clone
+
+
+class CompositeBehavior(Behavior):
+    """A behavior composed of sub-behaviors.
+
+    For sequential composition, execution starts at ``initial`` (the
+    first child by default) and follows transitions; for concurrent
+    composition all children run and transitions must be empty.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        subs: Sequence[Behavior],
+        mode: CompositionMode = CompositionMode.SEQUENTIAL,
+        transitions: Sequence[Transition] = (),
+        initial: Optional[str] = None,
+        decls: Sequence[Variable] = (),
+        doc: str = "",
+    ):
+        super().__init__(name, decls, doc)
+        if not subs:
+            raise SpecError(f"composite behavior {name!r} needs at least one child")
+        names = [sub.name for sub in subs]
+        if len(set(names)) != len(names):
+            raise SpecError(f"composite {name!r} has duplicate child names: {names}")
+        if mode is CompositionMode.CONCURRENT and transitions:
+            raise SpecError(
+                f"concurrent composite {name!r} cannot carry transitions"
+            )
+        self.subs: List[Behavior] = list(subs)
+        self.mode = mode
+        self.transitions: List[Transition] = list(transitions)
+        self.initial = initial if initial is not None else names[0]
+        if self.initial not in names:
+            raise SpecError(
+                f"initial behavior {self.initial!r} is not a child of {name!r}"
+            )
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.mode is CompositionMode.SEQUENTIAL
+
+    @property
+    def is_concurrent(self) -> bool:
+        return self.mode is CompositionMode.CONCURRENT
+
+    def children(self) -> Tuple[Behavior, ...]:
+        return tuple(self.subs)
+
+    def child(self, name: str) -> Behavior:
+        """Direct child named ``name`` (raises if absent)."""
+        for sub in self.subs:
+            if sub.name == name:
+                return sub
+        raise SpecError(f"composite {self.name!r} has no child {name!r}")
+
+    def has_child(self, name: str) -> bool:
+        return any(sub.name == name for sub in self.subs)
+
+    def transitions_from(self, source: str) -> List[Transition]:
+        """Arcs leaving ``source``, in declaration (priority) order."""
+        return [t for t in self.transitions if t.source == source]
+
+    def transitions_into(self, target: str) -> List[Transition]:
+        """Arcs entering ``target``."""
+        return [t for t in self.transitions if t.target == target]
+
+    def replace_child(self, name: str, replacement: Behavior) -> None:
+        """Swap the direct child ``name`` for ``replacement`` in place,
+        keeping transition arcs pointed at the replacement's name.
+
+        Control-related refinement uses this to substitute ``B_CTRL``
+        where ``B`` used to sit (Figure 4); arcs are renamed so the
+        sequencing structure survives.
+        """
+        for i, sub in enumerate(self.subs):
+            if sub.name == name:
+                self.subs[i] = replacement
+                replacement.parent = self
+                if replacement.name != name:
+                    for t in self.transitions:
+                        if t.source == name:
+                            t.source = replacement.name
+                        if t.target == name:
+                            t.target = replacement.name
+                    if self.initial == name:
+                        self.initial = replacement.name
+                return
+        raise SpecError(f"composite {self.name!r} has no child {name!r}")
+
+    def add_child(self, sub: Behavior) -> Behavior:
+        """Append a child (rejects duplicate names)."""
+        if self.has_child(sub.name):
+            raise SpecError(f"composite {self.name!r} already has child {sub.name!r}")
+        self.subs.append(sub)
+        sub.parent = self
+        return sub
+
+    def copy(self) -> "CompositeBehavior":
+        clone = CompositeBehavior(
+            self.name,
+            [sub.copy() for sub in self.subs],
+            self.mode,
+            [t.copy() for t in self.transitions],
+            self.initial,
+            [decl.copy() for decl in self.decls],
+            self.doc,
+        )
+        clone.daemon = self.daemon
+        return clone

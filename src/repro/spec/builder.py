@@ -1,0 +1,197 @@
+"""Fluent construction helpers for specifications.
+
+The example specifications (Figures 1–8 and the medical system) are
+built in Python; these helpers keep that code close to the paper's
+notation::
+
+    from repro.spec.builder import assign, leaf, seq, spec, transition
+    from repro.spec.expr import var
+
+    a = leaf("A", assign("x", var("x") + 1))
+    b = leaf("B", assign("x", var("x") * 2))
+    c = leaf("C", assign("x", 0))
+    top = seq("Main", [a, b, c],
+              transitions=[transition("A", var("x") > 1, "B"),
+                           transition("A", var("x") < 1, "C")])
+    design = spec("Example", top, variables=[...])
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.spec.behavior import (
+    Behavior,
+    CompositeBehavior,
+    CompositionMode,
+    LeafBehavior,
+    Transition,
+)
+from repro.spec.expr import Expr, VarRef, _lift
+from repro.spec.specification import Specification
+from repro.spec.stmt import (
+    Assign,
+    CallStmt,
+    For,
+    If,
+    Null,
+    SignalAssign,
+    Stmt,
+    Wait,
+    While,
+    body as make_body,
+)
+from repro.spec.subprogram import Subprogram
+from repro.spec.variable import Variable
+
+__all__ = [
+    "assign",
+    "sassign",
+    "if_",
+    "while_",
+    "loop_forever",
+    "for_",
+    "wait_until",
+    "wait_on",
+    "wait_for",
+    "call",
+    "skip",
+    "leaf",
+    "seq",
+    "conc",
+    "transition",
+    "on_complete",
+    "spec",
+]
+
+
+def _target(name_or_expr) -> Expr:
+    if isinstance(name_or_expr, Expr):
+        return name_or_expr
+    return VarRef(name_or_expr)
+
+
+def assign(target, value) -> Assign:
+    """``target := value`` — target may be a name or an lvalue expression."""
+    return Assign(_target(target), _lift(value))
+
+
+def sassign(target, value) -> SignalAssign:
+    """``target <= value`` — signal assignment."""
+    return SignalAssign(_target(target), _lift(value))
+
+
+def if_(cond, then, orelse: Sequence[Stmt] = ()) -> If:
+    """``if cond then ... [else ...] end if``."""
+    return If(_lift(cond), make_body(then), else_body=make_body(orelse))
+
+
+def while_(cond, body: Sequence[Stmt], expected: Optional[int] = None) -> While:
+    """``while cond loop ... end loop`` with an optional static
+    iteration-count annotation for the estimator."""
+    return While(_lift(cond), make_body(body), expected_iterations=expected)
+
+
+def loop_forever(body: Sequence[Stmt]) -> While:
+    """An endless loop, the shape of every refined server behavior
+    (memory slaves, arbiters, bus interfaces, ``B_NEW`` wrappers)."""
+    from repro.spec.expr import TRUE
+
+    return While(TRUE, make_body(body))
+
+
+def for_(variable: str, start, stop, body: Sequence[Stmt]) -> For:
+    """``for variable in start to stop loop ... end loop`` (inclusive)."""
+    return For(variable, _lift(start), _lift(stop), make_body(body))
+
+
+def wait_until(cond) -> Wait:
+    """``wait until cond``."""
+    return Wait(until=_lift(cond))
+
+
+def wait_on(*signals: str) -> Wait:
+    """``wait on s1, s2, ...``."""
+    return Wait(on=tuple(signals))
+
+
+def wait_for(delay: int) -> Wait:
+    """``wait for delay`` time units."""
+    return Wait(delay=delay)
+
+
+def call(callee: str, *args) -> CallStmt:
+    """Procedure call; names lift to variable references."""
+    return CallStmt(callee, tuple(_target(a) if isinstance(a, str) else _lift(a) for a in args))
+
+
+def skip() -> Null:
+    """The null statement."""
+    return Null()
+
+
+def leaf(
+    name: str,
+    *stmts: Stmt,
+    decls: Sequence[Variable] = (),
+    doc: str = "",
+) -> LeafBehavior:
+    """A leaf behavior from a statement list."""
+    return LeafBehavior(name, make_body(stmts), decls=decls, doc=doc)
+
+
+def seq(
+    name: str,
+    subs: Sequence[Behavior],
+    transitions: Sequence[Transition] = (),
+    initial: Optional[str] = None,
+    decls: Sequence[Variable] = (),
+    doc: str = "",
+) -> CompositeBehavior:
+    """A sequential composite behavior."""
+    return CompositeBehavior(
+        name,
+        subs,
+        mode=CompositionMode.SEQUENTIAL,
+        transitions=transitions,
+        initial=initial,
+        decls=decls,
+        doc=doc,
+    )
+
+
+def conc(
+    name: str,
+    subs: Sequence[Behavior],
+    decls: Sequence[Variable] = (),
+    doc: str = "",
+) -> CompositeBehavior:
+    """A concurrent composite behavior."""
+    return CompositeBehavior(
+        name, subs, mode=CompositionMode.CONCURRENT, decls=decls, doc=doc
+    )
+
+
+def transition(source: str, condition, target: Optional[str]) -> Transition:
+    """An arc ``source:(condition, target)``; condition ``None`` means
+    unconditional, bools/ints lift to constants."""
+    cond = None if condition is None else _lift(condition)
+    return Transition(source, cond, target)
+
+
+def on_complete(source: str, condition=None) -> Transition:
+    """An arc that completes the enclosing composite when taken."""
+    cond = None if condition is None else _lift(condition)
+    return Transition(source, cond, None)
+
+
+def spec(
+    name: str,
+    top: Behavior,
+    variables: Sequence[Variable] = (),
+    subprograms: Sequence[Subprogram] = (),
+    doc: str = "",
+) -> Specification:
+    """Assemble and return a :class:`Specification` (unvalidated; call
+    ``.validate()`` once construction is complete)."""
+    return Specification(name, top, variables, subprograms, doc)

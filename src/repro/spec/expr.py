@@ -1,0 +1,294 @@
+"""Expression AST for the SpecCharts-like IR.
+
+Expressions appear in three places the refinement procedures care about:
+
+* right-hand sides of assignments inside leaf behaviors,
+* branch/loop conditions inside leaf behaviors, and
+* transition conditions between sub-behaviors (the ``A:(x>1,B)`` arcs of
+  the paper), which is why data-related refinement of *non-leaf*
+  behaviors (Figure 6) must hoist protocol calls in front of condition
+  evaluation.
+
+Nodes are immutable (frozen dataclasses) so rewrites always build new
+trees; :mod:`repro.spec.visitor` provides the generic walkers and
+transformers used by the refiners.
+
+Python operator overloading gives a small construction DSL::
+
+    from repro.spec.expr import var, const
+    cond = (var("x") + 1) > const(5)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.errors import SpecError
+
+__all__ = [
+    "Expr",
+    "Const",
+    "VarRef",
+    "Index",
+    "UnaryOp",
+    "BinOp",
+    "BINARY_OPS",
+    "UNARY_OPS",
+    "COMPARISON_OPS",
+    "LOGICAL_OPS",
+    "ARITHMETIC_OPS",
+    "var",
+    "const",
+    "TRUE",
+    "FALSE",
+]
+
+#: Arithmetic operators (integer semantics; ``/`` truncates toward zero
+#: like VHDL integer division).
+ARITHMETIC_OPS = ("+", "-", "*", "/", "mod")
+
+#: Comparison operators, VHDL spellings (``=`` equality, ``/=`` inequality).
+COMPARISON_OPS = ("=", "/=", "<", "<=", ">", ">=")
+
+#: Short-circuiting logical operators.
+LOGICAL_OPS = ("and", "or")
+
+#: All recognised binary operators.
+BINARY_OPS = ARITHMETIC_OPS + COMPARISON_OPS + LOGICAL_OPS
+
+#: All recognised unary operators.
+UNARY_OPS = ("-", "not", "abs")
+
+
+class Expr:
+    """Base class of all expression nodes.
+
+    The operator overloads below let callers compose expressions with
+    ordinary Python syntax; plain ints and bools on either side are
+    lifted to :class:`Const` automatically.
+    """
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Direct sub-expressions, left to right."""
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and every descendant, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    # -- construction DSL -------------------------------------------------
+
+    def __add__(self, other) -> "BinOp":
+        return BinOp("+", self, _lift(other))
+
+    def __radd__(self, other) -> "BinOp":
+        return BinOp("+", _lift(other), self)
+
+    def __sub__(self, other) -> "BinOp":
+        return BinOp("-", self, _lift(other))
+
+    def __rsub__(self, other) -> "BinOp":
+        return BinOp("-", _lift(other), self)
+
+    def __mul__(self, other) -> "BinOp":
+        return BinOp("*", self, _lift(other))
+
+    def __rmul__(self, other) -> "BinOp":
+        return BinOp("*", _lift(other), self)
+
+    def __truediv__(self, other) -> "BinOp":
+        return BinOp("/", self, _lift(other))
+
+    def __floordiv__(self, other) -> "BinOp":
+        return BinOp("/", self, _lift(other))
+
+    def __mod__(self, other) -> "BinOp":
+        return BinOp("mod", self, _lift(other))
+
+    def __lt__(self, other) -> "BinOp":
+        return BinOp("<", self, _lift(other))
+
+    def __le__(self, other) -> "BinOp":
+        return BinOp("<=", self, _lift(other))
+
+    def __gt__(self, other) -> "BinOp":
+        return BinOp(">", self, _lift(other))
+
+    def __ge__(self, other) -> "BinOp":
+        return BinOp(">=", self, _lift(other))
+
+    def __neg__(self) -> "UnaryOp":
+        return UnaryOp("-", self)
+
+    # ``==``/``!=`` must stay Python equality for dataclasses and dict
+    # keys, so IR equality comparisons use named methods instead.
+
+    def eq(self, other) -> "BinOp":
+        """IR equality test (VHDL ``=``)."""
+        return BinOp("=", self, _lift(other))
+
+    def ne(self, other) -> "BinOp":
+        """IR inequality test (VHDL ``/=``)."""
+        return BinOp("/=", self, _lift(other))
+
+    def and_(self, other) -> "BinOp":
+        """Logical conjunction."""
+        return BinOp("and", self, _lift(other))
+
+    def or_(self, other) -> "BinOp":
+        """Logical disjunction."""
+        return BinOp("or", self, _lift(other))
+
+    def not_(self) -> "UnaryOp":
+        """Logical negation."""
+        return UnaryOp("not", self)
+
+    def index(self, idx) -> "Index":
+        """Array element access ``self[idx]``."""
+        return Index(self, _lift(idx))
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant: int, bool, or enum literal string."""
+
+    value: object
+
+    def __post_init__(self):
+        if not isinstance(self.value, (int, bool, str, tuple)):
+            raise SpecError(f"unsupported constant {self.value!r}")
+
+    def __str__(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        return repr(self.value) if isinstance(self.value, str) else str(self.value)
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """A reference to a variable or signal by name."""
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise SpecError(f"invalid variable name {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """Array element access ``base[index]``.
+
+    ``base`` is an expression but in practice always a :class:`VarRef`;
+    validation enforces that so array accesses have a nameable target
+    for the access graph.
+    """
+
+    base: Expr
+    index_expr: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.base, self.index_expr)
+
+    def __str__(self) -> str:
+        return f"{self.base}[{self.index_expr}]"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """A unary operator application."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self):
+        if self.op not in UNARY_OPS:
+            raise SpecError(f"unknown unary operator {self.op!r}")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        if self.op.isalpha():
+            return f"{self.op} ({self.operand})"
+        return f"{self.op}({self.operand})"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary operator application."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in BINARY_OPS:
+            raise SpecError(f"unknown binary operator {self.op!r}")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+def _lift(value) -> Expr:
+    """Lift a Python scalar to a :class:`Const`; pass :class:`Expr` through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, bool, str)):
+        return Const(value)
+    raise SpecError(f"cannot use {value!r} as an expression")
+
+
+def var(name: str) -> VarRef:
+    """Shorthand constructor for :class:`VarRef`."""
+    return VarRef(name)
+
+
+def const(value) -> Const:
+    """Shorthand constructor for :class:`Const`."""
+    return Const(value)
+
+
+#: Canonical true/false constants.
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+def free_variables(expr: Expr) -> set:
+    """Names of all variables referenced anywhere inside ``expr``."""
+    return {node.name for node in expr.walk() if isinstance(node, VarRef)}
+
+
+def substitute(expr: Expr, mapping: dict) -> Expr:
+    """Return ``expr`` with every :class:`VarRef` whose name is a key of
+    ``mapping`` replaced by the mapped expression.
+
+    Used by data-related refinement to redirect accesses of a remote
+    variable ``x`` to the local temporary ``tmp`` that the protocol call
+    filled in (Figure 5c of the paper).
+    """
+    if isinstance(expr, VarRef):
+        replacement = mapping.get(expr.name)
+        return replacement if replacement is not None else expr
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Index):
+        return Index(
+            substitute(expr.base, mapping), substitute(expr.index_expr, mapping)
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, substitute(expr.operand, mapping))
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op, substitute(expr.left, mapping), substitute(expr.right, mapping)
+        )
+    raise SpecError(f"unknown expression node {expr!r}")

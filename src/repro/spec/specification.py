@@ -1,0 +1,254 @@
+"""The top-level specification container.
+
+A :class:`Specification` bundles the behavior tree, globally declared
+variables/signals and subprograms — everything the paper calls "the
+specification".  It owns name resolution: a variable reference inside a
+behavior resolves to the innermost declaration on the behavior, one of
+its ancestors, or the global scope (SpecCharts/VHDL lexical scoping).
+
+Refinement never mutates the input specification; it works on
+``spec.copy()`` and returns the transformed copy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ScopeError, SpecError
+from repro.spec.behavior import Behavior, CompositeBehavior, LeafBehavior
+from repro.spec.subprogram import Subprogram
+from repro.spec.variable import Role, Variable
+
+__all__ = ["Specification", "SpecStats"]
+
+
+class SpecStats:
+    """Structural statistics of a specification (the numbers §5 quotes
+    for the medical system: behavior/variable/channel/line counts)."""
+
+    def __init__(
+        self,
+        behaviors: int,
+        leaf_behaviors: int,
+        variables: int,
+        signals: int,
+        subprograms: int,
+        transitions: int,
+        statements: int,
+    ):
+        self.behaviors = behaviors
+        self.leaf_behaviors = leaf_behaviors
+        self.variables = variables
+        self.signals = signals
+        self.subprograms = subprograms
+        self.transitions = transitions
+        self.statements = statements
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"SpecStats({fields})"
+
+
+class Specification:
+    """A complete SpecCharts-like specification."""
+
+    def __init__(
+        self,
+        name: str,
+        top: Behavior,
+        variables: Sequence[Variable] = (),
+        subprograms: Sequence[Subprogram] = (),
+        doc: str = "",
+    ):
+        if not name or not name.isidentifier():
+            raise SpecError(f"invalid specification name {name!r}")
+        self.name = name
+        self.top = top
+        self.variables: List[Variable] = list(variables)
+        self.subprograms: Dict[str, Subprogram] = {}
+        for sub in subprograms:
+            self.add_subprogram(sub)
+        self.doc = doc
+        self.link()
+
+    # -- structure maintenance ----------------------------------------------
+
+    def link(self) -> None:
+        """(Re)establish parent links throughout the behavior tree.
+
+        Must be called after structural surgery that bypasses the
+        mutator methods on :class:`CompositeBehavior`.
+        """
+        self.top.parent = None
+        for node in self.top.iter_tree():
+            if isinstance(node, CompositeBehavior):
+                for sub in node.subs:
+                    sub.parent = node
+
+    def copy(self) -> "Specification":
+        """Deep copy; the result shares no mutable state with the original."""
+        return Specification(
+            self.name,
+            self.top.copy(),
+            [v.copy() for v in self.variables],
+            [s.copy() for s in self.subprograms.values()],
+            self.doc,
+        )
+
+    # -- name resolution ------------------------------------------------------
+
+    def global_variable(self, name: str) -> Optional[Variable]:
+        """The globally declared variable/signal named ``name``, if any."""
+        for var in self.variables:
+            if var.name == name:
+                return var
+        return None
+
+    def add_global(self, var: Variable) -> Variable:
+        """Declare a variable/signal at specification scope."""
+        if self.global_variable(var.name) is not None:
+            raise SpecError(f"specification already declares global {var.name!r}")
+        self.variables.append(var)
+        return var
+
+    def add_subprogram(self, sub: Subprogram) -> Subprogram:
+        """Register a subprogram; duplicate names are rejected."""
+        if sub.name in self.subprograms:
+            raise SpecError(f"specification already declares subprogram {sub.name!r}")
+        self.subprograms[sub.name] = sub
+        return sub
+
+    def ensure_subprogram(self, sub: Subprogram) -> Subprogram:
+        """Register ``sub`` unless an identically named one already exists.
+
+        Refinement instantiates one protocol subroutine set per bus; the
+        same subroutine may be requested by several refiners.
+        """
+        existing = self.subprograms.get(sub.name)
+        if existing is not None:
+            return existing
+        return self.add_subprogram(sub)
+
+    def resolve(self, name: str, scope: Behavior) -> Variable:
+        """Resolve ``name`` from inside ``scope`` following lexical scoping.
+
+        Raises :class:`ScopeError` when the name is not visible — which
+        is exactly the situation data-related refinement creates when a
+        variable moves to another partition's memory (the paper:
+        "the definition of x is no longer visible to behavior B").
+        """
+        node: Optional[Behavior] = scope
+        while node is not None:
+            found = node.declared(name)
+            if found is not None:
+                return found
+            node = node.parent
+        found = self.global_variable(name)
+        if found is not None:
+            return found
+        raise ScopeError(
+            f"name {name!r} is not visible from behavior {scope.name!r}"
+        )
+
+    def declaring_behavior(self, name: str, scope: Behavior) -> Optional[Behavior]:
+        """The behavior whose declaration of ``name`` is visible from
+        ``scope``; ``None`` when the declaration is global."""
+        node: Optional[Behavior] = scope
+        while node is not None:
+            if node.declared(name) is not None:
+                return node
+            node = node.parent
+        if self.global_variable(name) is not None:
+            return None
+        raise ScopeError(
+            f"name {name!r} is not visible from behavior {scope.name!r}"
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    def find_behavior(self, name: str) -> Behavior:
+        """The unique behavior named ``name`` (raises if absent)."""
+        found = self.top.find(name)
+        if found is None:
+            raise SpecError(f"specification has no behavior named {name!r}")
+        return found
+
+    def has_behavior(self, name: str) -> bool:
+        return self.top.find(name) is not None
+
+    def behaviors(self) -> Iterator[Behavior]:
+        """All behaviors, pre-order from the root."""
+        return self.top.iter_tree()
+
+    def leaf_behaviors(self) -> Iterator[LeafBehavior]:
+        """All leaf behaviors."""
+        for node in self.behaviors():
+            if isinstance(node, LeafBehavior):
+                yield node
+
+    def all_declared_variables(self) -> Iterator[Tuple[Optional[Behavior], Variable]]:
+        """Every declaration as ``(declaring_behavior, variable)``;
+        global declarations carry ``None`` as the behavior."""
+        for var in self.variables:
+            yield None, var
+        for node in self.behaviors():
+            for decl in node.decls:
+                yield node, decl
+
+    def inputs(self) -> List[Variable]:
+        """Globally declared input variables (stimulus points)."""
+        return [v for v in self.variables if v.role is Role.INPUT]
+
+    def outputs(self) -> List[Variable]:
+        """Globally declared output variables (observation points)."""
+        return [v for v in self.variables if v.role is Role.OUTPUT]
+
+    def stats(self) -> SpecStats:
+        """Structural statistics (see :class:`SpecStats`)."""
+        behaviors = 0
+        leaves = 0
+        transitions = 0
+        statements = 0
+        variables = sum(1 for v in self.variables if not v.is_signal)
+        signals = sum(1 for v in self.variables if v.is_signal)
+        from repro.spec.visitor import count_statements
+
+        for node in self.behaviors():
+            behaviors += 1
+            variables += sum(1 for d in node.decls if not d.is_signal)
+            signals += sum(1 for d in node.decls if d.is_signal)
+            if isinstance(node, LeafBehavior):
+                leaves += 1
+                statements += count_statements(node.stmt_body)
+            elif isinstance(node, CompositeBehavior):
+                transitions += len(node.transitions)
+        for sub in self.subprograms.values():
+            statements += count_statements(sub.stmt_body)
+        return SpecStats(
+            behaviors=behaviors,
+            leaf_behaviors=leaves,
+            variables=variables,
+            signals=signals,
+            subprograms=len(self.subprograms),
+            transitions=transitions,
+            statements=statements,
+        )
+
+    def validate(self) -> None:
+        """Run the full semantic checker (see :mod:`repro.spec.validate`)."""
+        from repro.spec.validate import validate_specification
+
+        validate_specification(self)
+
+    def line_count(self) -> int:
+        """Number of lines of the printed textual form — the size metric
+        of the paper's Figure 10."""
+        from repro.lang.printer import print_specification
+
+        return len(print_specification(self).splitlines())
+
+    def __repr__(self) -> str:
+        return f"<Specification {self.name!r} top={self.top.name!r}>"

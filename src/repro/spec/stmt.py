@@ -1,0 +1,260 @@
+"""Statement AST for leaf behaviors and subprograms.
+
+The statement set matches the VHDL sequential subset the paper's leaf
+behaviors use (assignments, branching, loops) plus the synchronisation
+statements the refinement procedures *introduce*: signal assignment and
+``wait`` (the ``wait until B_start = '1'`` / ``B_done <= '1'`` pairs of
+Figure 4, and the bus-level transfers of Figure 5d).
+
+Statement bodies are stored as tuples so a statement list is immutable
+once built; transformers in :mod:`repro.spec.visitor` produce new
+tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import SpecError
+from repro.spec.expr import Expr, Index, VarRef
+
+__all__ = [
+    "Stmt",
+    "Body",
+    "Assign",
+    "SignalAssign",
+    "If",
+    "While",
+    "For",
+    "Wait",
+    "CallStmt",
+    "Null",
+    "body",
+    "lvalue_name",
+]
+
+#: A statement body: an immutable sequence of statements.
+Body = Tuple["Stmt", ...]
+
+
+def body(statements: Sequence["Stmt"]) -> Body:
+    """Normalise a statement sequence into a :data:`Body` tuple."""
+    out = tuple(statements)
+    for stmt in out:
+        if not isinstance(stmt, Stmt):
+            raise SpecError(f"{stmt!r} is not a statement")
+    return out
+
+
+class Stmt:
+    """Base class of all statement nodes."""
+
+    def child_bodies(self) -> Tuple[Body, ...]:
+        """Nested statement bodies, for generic tree walks."""
+        return ()
+
+    def expressions(self) -> Tuple[Expr, ...]:
+        """Expressions evaluated directly by this statement (not by
+        statements nested inside it)."""
+        return ()
+
+
+def _check_lvalue(target: Expr) -> None:
+    if isinstance(target, VarRef):
+        return
+    if isinstance(target, Index) and isinstance(target.base, VarRef):
+        return
+    raise SpecError(f"{target} is not assignable (need a variable or array element)")
+
+
+def lvalue_name(target: Expr) -> str:
+    """The variable name an lvalue ultimately writes to."""
+    if isinstance(target, VarRef):
+        return target.name
+    if isinstance(target, Index) and isinstance(target.base, VarRef):
+        return target.base.name
+    raise SpecError(f"{target} is not an lvalue")
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """Variable assignment ``target := value`` (immediate update)."""
+
+    target: Expr
+    value: Expr
+
+    def __post_init__(self):
+        _check_lvalue(self.target)
+
+    def expressions(self) -> Tuple[Expr, ...]:
+        return (self.target, self.value)
+
+    def __str__(self) -> str:
+        return f"{self.target} := {self.value};"
+
+
+@dataclass(frozen=True)
+class SignalAssign(Stmt):
+    """Signal assignment ``target <= value`` (takes effect at the next
+    delta cycle, VHDL style).
+
+    Refinement uses signals for everything visible across partitions:
+    ``B_start``/``B_done`` control handshakes and all bus lines.
+    """
+
+    target: Expr
+    value: Expr
+
+    def __post_init__(self):
+        _check_lvalue(self.target)
+
+    def expressions(self) -> Tuple[Expr, ...]:
+        return (self.target, self.value)
+
+    def __str__(self) -> str:
+        return f"{self.target} <= {self.value};"
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """Conditional with optional ``elsif`` arms and ``else`` body."""
+
+    cond: Expr
+    then_body: Body
+    elifs: Tuple[Tuple[Expr, Body], ...] = ()
+    else_body: Body = ()
+
+    def child_bodies(self) -> Tuple[Body, ...]:
+        bodies = [self.then_body]
+        bodies.extend(arm_body for _, arm_body in self.elifs)
+        if self.else_body:
+            bodies.append(self.else_body)
+        return tuple(bodies)
+
+    def expressions(self) -> Tuple[Expr, ...]:
+        return (self.cond,) + tuple(cond for cond, _ in self.elifs)
+
+    def __str__(self) -> str:
+        return f"if {self.cond} then ... end if;"
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    """Pre-tested loop.
+
+    ``expected_iterations`` is an optional annotation consumed by the
+    static estimator when no simulation profile is available; it has no
+    effect on semantics.
+    """
+
+    cond: Expr
+    loop_body: Body
+    expected_iterations: Optional[int] = None
+
+    def child_bodies(self) -> Tuple[Body, ...]:
+        return (self.loop_body,)
+
+    def expressions(self) -> Tuple[Expr, ...]:
+        return (self.cond,)
+
+    def __str__(self) -> str:
+        return f"while {self.cond} loop ... end loop;"
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """Counted loop over the inclusive range ``start .. stop`` (VHDL
+    ``for i in start to stop``).
+
+    The loop variable is implicitly declared and scoped to the body.
+    """
+
+    variable: str
+    start: Expr
+    stop: Expr
+    loop_body: Body
+
+    def __post_init__(self):
+        if not self.variable:
+            raise SpecError("for-loop needs a loop variable name")
+
+    def child_bodies(self) -> Tuple[Body, ...]:
+        return (self.loop_body,)
+
+    def expressions(self) -> Tuple[Expr, ...]:
+        return (self.start, self.stop)
+
+    def __str__(self) -> str:
+        return f"for {self.variable} in {self.start} to {self.stop} loop ... end loop;"
+
+
+@dataclass(frozen=True)
+class Wait(Stmt):
+    """Suspend the executing behavior.
+
+    Exactly one of the three forms is used:
+
+    * ``Wait(until=cond)``   — resume when ``cond`` becomes true
+      (re-evaluated whenever a referenced signal changes);
+    * ``Wait(on=(s1, s2))``  — resume on any event on the named signals;
+    * ``Wait(delay=n)``      — resume after ``n`` time units.
+    """
+
+    until: Optional[Expr] = None
+    on: Tuple[str, ...] = ()
+    delay: Optional[int] = None
+
+    def __post_init__(self):
+        forms = sum((self.until is not None, bool(self.on), self.delay is not None))
+        if forms != 1:
+            raise SpecError(
+                "wait statement needs exactly one of until=/on=/delay=, "
+                f"got until={self.until}, on={self.on}, delay={self.delay}"
+            )
+        if self.delay is not None and self.delay < 0:
+            raise SpecError(f"wait delay must be >= 0, got {self.delay}")
+
+    def expressions(self) -> Tuple[Expr, ...]:
+        return (self.until,) if self.until is not None else ()
+
+    def __str__(self) -> str:
+        if self.until is not None:
+            return f"wait until {self.until};"
+        if self.on:
+            return f"wait on {', '.join(self.on)};"
+        return f"wait for {self.delay};"
+
+
+@dataclass(frozen=True)
+class CallStmt(Stmt):
+    """Subprogram (procedure) call.
+
+    Arguments bind positionally to the callee's parameters; arguments
+    bound to ``out``/``inout`` parameters must be lvalues.  The protocol
+    subroutines the data-related refinement generates (``MST_send``,
+    ``MST_receive``, ``SLV_send``, ``SLV_receive`` — Figure 5d) are
+    called through this node.
+    """
+
+    callee: str
+    args: Tuple[Expr, ...] = ()
+
+    def __post_init__(self):
+        if not self.callee:
+            raise SpecError("call statement needs a callee name")
+
+    def expressions(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(arg) for arg in self.args)
+        return f"{self.callee}({rendered});"
+
+
+@dataclass(frozen=True)
+class Null(Stmt):
+    """The empty statement (placeholder body)."""
+
+    def __str__(self) -> str:
+        return "null;"

@@ -1,0 +1,106 @@
+"""Subprograms (VHDL-style procedures).
+
+Data-related refinement encapsulates bus protocols in subroutines —
+``MST_send``, ``MST_receive``, ``SLV_send``, ``SLV_receive`` in the
+paper's Figure 5d — so the IR needs procedures with directed parameters.
+Parameters bind positionally; ``out``/``inout`` arguments copy back into
+the caller's lvalue when the call returns (copy-in/copy-out semantics,
+which is sufficient because protocol bodies never alias parameters).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import SpecError
+from repro.spec.stmt import Body, body as make_body
+from repro.spec.types import DataType
+from repro.spec.variable import Variable
+
+__all__ = ["Direction", "Param", "Subprogram"]
+
+
+class Direction(enum.Enum):
+    """Parameter passing direction."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+
+@dataclass(frozen=True)
+class Param:
+    """A formal parameter of a subprogram."""
+
+    name: str
+    dtype: DataType
+    direction: Direction = Direction.IN
+
+    def __post_init__(self):
+        if not self.name or not self.name.isidentifier():
+            raise SpecError(f"invalid parameter name {self.name!r}")
+
+    def __str__(self) -> str:
+        return f"{self.name} : {self.direction.value} {self.dtype}"
+
+
+@dataclass
+class Subprogram:
+    """A named procedure with directed parameters and local declarations."""
+
+    name: str
+    params: Tuple[Param, ...]
+    stmt_body: Body
+    decls: Tuple[Variable, ...] = ()
+    doc: str = ""
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[Param] = (),
+        stmt_body: Sequence = (),
+        decls: Sequence[Variable] = (),
+        doc: str = "",
+    ):
+        if not name or not name.isidentifier():
+            raise SpecError(f"invalid subprogram name {name!r}")
+        seen = set()
+        for param in params:
+            if param.name in seen:
+                raise SpecError(
+                    f"duplicate parameter {param.name!r} in subprogram {name!r}"
+                )
+            seen.add(param.name)
+        self.name = name
+        self.params = tuple(params)
+        self.stmt_body = make_body(stmt_body)
+        self.decls = tuple(decls)
+        self.doc = doc
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+    def out_param_indices(self) -> Tuple[int, ...]:
+        """Positions whose arguments must be lvalues at every call site."""
+        return tuple(
+            i
+            for i, param in enumerate(self.params)
+            if param.direction in (Direction.OUT, Direction.INOUT)
+        )
+
+    def copy(self) -> "Subprogram":
+        """An independent copy (bodies are immutable and shared)."""
+        return Subprogram(
+            self.name,
+            self.params,
+            self.stmt_body,
+            tuple(decl.copy() for decl in self.decls),
+            self.doc,
+        )
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(param) for param in self.params)
+        return f"procedure {self.name}({rendered})"

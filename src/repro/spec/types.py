@@ -1,0 +1,287 @@
+"""Data types for the SpecCharts-like intermediate representation.
+
+The paper's specifications are written in SpecCharts whose leaf behaviors
+are VHDL sequential statements, so the type system here mirrors the small
+VHDL subset the refinement procedures need: booleans, bounded integers,
+bit vectors, enumerations and one-dimensional arrays.
+
+Bit widths matter because the channel transfer rate of the evaluation
+(Figure 9) is measured in bits per second: every access to a variable
+moves ``variable.dtype.bit_width`` bits over a channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import TypeMismatchError
+
+__all__ = [
+    "DataType",
+    "BoolType",
+    "IntType",
+    "BitVectorType",
+    "EnumType",
+    "ArrayType",
+    "BOOL",
+    "BIT",
+    "int_type",
+    "bits",
+    "array_of",
+]
+
+
+class DataType:
+    """Base class of all IR data types.
+
+    Subclasses are immutable value objects: equality is structural and
+    instances are hashable, so types can be used as dict keys and
+    compared freely during validation.
+    """
+
+    @property
+    def bit_width(self) -> int:
+        """Number of bits one value of this type occupies."""
+        raise NotImplementedError
+
+    def default_value(self):
+        """The value a variable of this type holds before initialisation."""
+        raise NotImplementedError
+
+    def contains(self, value) -> bool:
+        """Whether ``value`` is representable by this type."""
+        raise NotImplementedError
+
+    def coerce(self, value):
+        """Return ``value`` normalised into this type's domain.
+
+        Raises :class:`TypeMismatchError` when the value cannot be
+        represented at all (wrong Python kind, unknown enum literal,
+        wrong array length).  Out-of-range integers wrap modulo the
+        representable range, mimicking fixed-width hardware registers.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BoolType(DataType):
+    """A single-bit boolean (VHDL ``boolean``/``std_logic`` collapsed)."""
+
+    @property
+    def bit_width(self) -> int:
+        return 1
+
+    def default_value(self) -> bool:
+        return False
+
+    def contains(self, value) -> bool:
+        return isinstance(value, bool) or value in (0, 1)
+
+    def coerce(self, value) -> bool:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+        raise TypeMismatchError(f"cannot coerce {value!r} to boolean")
+
+    def __str__(self) -> str:
+        return "boolean"
+
+
+@dataclass(frozen=True)
+class IntType(DataType):
+    """A bounded two's-complement (or unsigned) integer.
+
+    ``width`` is the register width; signed integers cover
+    ``[-2**(w-1), 2**(w-1) - 1]`` and unsigned ``[0, 2**w - 1]``.
+    """
+
+    width: int = 16
+    signed: bool = True
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise TypeMismatchError(f"integer width must be >= 1, got {self.width}")
+
+    @property
+    def bit_width(self) -> int:
+        return self.width
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.width - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.width - 1)) - 1 if self.signed else (1 << self.width) - 1
+
+    def default_value(self) -> int:
+        return 0
+
+    def contains(self, value) -> bool:
+        return (
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and self.min_value <= value <= self.max_value
+        )
+
+    def coerce(self, value) -> int:
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, int):
+            raise TypeMismatchError(f"cannot coerce {value!r} to {self}")
+        span = 1 << self.width
+        wrapped = value % span
+        if self.signed and wrapped >= span // 2:
+            wrapped -= span
+        return wrapped
+
+    def __str__(self) -> str:
+        sign = "integer" if self.signed else "natural"
+        return f"{sign}<{self.width}>"
+
+
+@dataclass(frozen=True)
+class BitVectorType(DataType):
+    """An unsigned bit vector of fixed width (VHDL ``bit_vector``).
+
+    Values are plain non-negative Python ints; the width only bounds the
+    range and defines the bus footprint.
+    """
+
+    width: int = 8
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise TypeMismatchError(f"vector width must be >= 1, got {self.width}")
+
+    @property
+    def bit_width(self) -> int:
+        return self.width
+
+    def default_value(self) -> int:
+        return 0
+
+    def contains(self, value) -> bool:
+        return (
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and 0 <= value < (1 << self.width)
+        )
+
+    def coerce(self, value) -> int:
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, int):
+            raise TypeMismatchError(f"cannot coerce {value!r} to {self}")
+        return value % (1 << self.width)
+
+    def __str__(self) -> str:
+        return f"bits<{self.width}>"
+
+
+@dataclass(frozen=True)
+class EnumType(DataType):
+    """An enumeration type; values are its literal strings."""
+
+    name: str
+    literals: Tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.literals:
+            raise TypeMismatchError(f"enum {self.name!r} needs at least one literal")
+        if len(set(self.literals)) != len(self.literals):
+            raise TypeMismatchError(f"enum {self.name!r} has duplicate literals")
+
+    @property
+    def bit_width(self) -> int:
+        count = len(self.literals)
+        return max(1, (count - 1).bit_length())
+
+    def default_value(self) -> str:
+        return self.literals[0]
+
+    def contains(self, value) -> bool:
+        return value in self.literals
+
+    def coerce(self, value) -> str:
+        if value in self.literals:
+            return value
+        if isinstance(value, int) and 0 <= value < len(self.literals):
+            return self.literals[value]
+        raise TypeMismatchError(f"{value!r} is not a literal of enum {self.name!r}")
+
+    def index_of(self, literal: str) -> int:
+        """Ordinal of ``literal``, used for comparisons between enums."""
+        try:
+            return self.literals.index(literal)
+        except ValueError:
+            raise TypeMismatchError(
+                f"{literal!r} is not a literal of enum {self.name!r}"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArrayType(DataType):
+    """A one-dimensional array with integer indices ``0 .. length-1``."""
+
+    element: DataType
+    length: int
+
+    def __post_init__(self):
+        if self.length < 1:
+            raise TypeMismatchError(f"array length must be >= 1, got {self.length}")
+        if isinstance(self.element, ArrayType):
+            raise TypeMismatchError("nested array types are not supported")
+
+    @property
+    def bit_width(self) -> int:
+        return self.element.bit_width * self.length
+
+    def default_value(self) -> tuple:
+        return tuple(self.element.default_value() for _ in range(self.length))
+
+    def contains(self, value) -> bool:
+        return (
+            isinstance(value, (tuple, list))
+            and len(value) == self.length
+            and all(self.element.contains(item) for item in value)
+        )
+
+    def coerce(self, value) -> tuple:
+        if not isinstance(value, (tuple, list)):
+            raise TypeMismatchError(f"cannot coerce {value!r} to {self}")
+        if len(value) != self.length:
+            raise TypeMismatchError(
+                f"array length mismatch: expected {self.length}, got {len(value)}"
+            )
+        return tuple(self.element.coerce(item) for item in value)
+
+    def __str__(self) -> str:
+        return f"array<{self.element}, {self.length}>"
+
+
+#: Shared singleton for the boolean type.
+BOOL = BoolType()
+
+#: A one-bit vector, used for bus control lines such as ``bus_start``.
+BIT = BitVectorType(1)
+
+
+def int_type(width: int = 16, signed: bool = True) -> IntType:
+    """Convenience constructor for :class:`IntType`."""
+    return IntType(width=width, signed=signed)
+
+
+def bits(width: int) -> BitVectorType:
+    """Convenience constructor for :class:`BitVectorType`."""
+    return BitVectorType(width=width)
+
+
+def array_of(element: DataType, length: int) -> ArrayType:
+    """Convenience constructor for :class:`ArrayType`."""
+    return ArrayType(element=element, length=length)

@@ -1,0 +1,181 @@
+"""Generic walkers and transformers over statement/expression trees.
+
+Refinement is tree surgery; these helpers keep each refiner focused on
+*what* to rewrite rather than on recursion plumbing.  Statements and
+expressions are immutable, so every transformer returns new nodes and
+leaves inputs untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+from repro.errors import SpecError
+from repro.spec.expr import Expr
+from repro.spec.stmt import (
+    Assign,
+    Body,
+    CallStmt,
+    For,
+    If,
+    Null,
+    SignalAssign,
+    Stmt,
+    Wait,
+    While,
+    body as make_body,
+)
+
+__all__ = [
+    "walk_statements",
+    "walk_expressions",
+    "count_statements",
+    "transform_body",
+    "map_expressions",
+    "statement_reads",
+    "statement_writes",
+    "body_variable_accesses",
+]
+
+
+def walk_statements(stmts: Body) -> Iterator[Stmt]:
+    """Yield every statement in ``stmts``, recursing into nested bodies,
+    pre-order."""
+    for stmt in stmts:
+        yield stmt
+        for nested in stmt.child_bodies():
+            yield from walk_statements(nested)
+
+
+def walk_expressions(stmts: Body) -> Iterator[Expr]:
+    """Yield every expression evaluated anywhere inside ``stmts``,
+    including sub-expressions."""
+    for stmt in walk_statements(stmts):
+        for expr in stmt.expressions():
+            yield from expr.walk()
+
+
+def count_statements(stmts: Body) -> int:
+    """Total statement count including nested bodies."""
+    return sum(1 for _ in walk_statements(stmts))
+
+
+def transform_body(
+    stmts: Body, fn: Callable[[Stmt], Sequence[Stmt]]
+) -> Body:
+    """Rebuild ``stmts`` bottom-up, replacing each statement by the
+    sequence ``fn(stmt)`` returns.
+
+    ``fn`` receives statements whose nested bodies have *already* been
+    transformed, and returns a sequence so a single statement may expand
+    into several — the shape of data-related refinement, where one
+    remote read becomes ``MST_receive`` plus a temporary assignment.
+    Returning ``[stmt]`` unchanged keeps the statement.
+    """
+    out: List[Stmt] = []
+    for stmt in stmts:
+        rebuilt = _rebuild_children(stmt, fn)
+        replacement = fn(rebuilt)
+        out.extend(replacement)
+    return make_body(out)
+
+
+def _rebuild_children(stmt: Stmt, fn: Callable[[Stmt], Sequence[Stmt]]) -> Stmt:
+    if isinstance(stmt, If):
+        return If(
+            cond=stmt.cond,
+            then_body=transform_body(stmt.then_body, fn),
+            elifs=tuple(
+                (cond, transform_body(arm, fn)) for cond, arm in stmt.elifs
+            ),
+            else_body=transform_body(stmt.else_body, fn),
+        )
+    if isinstance(stmt, While):
+        return While(
+            cond=stmt.cond,
+            loop_body=transform_body(stmt.loop_body, fn),
+            expected_iterations=stmt.expected_iterations,
+        )
+    if isinstance(stmt, For):
+        return For(
+            variable=stmt.variable,
+            start=stmt.start,
+            stop=stmt.stop,
+            loop_body=transform_body(stmt.loop_body, fn),
+        )
+    return stmt
+
+
+def map_expressions(stmt: Stmt, fn: Callable[[Expr], Expr]) -> Stmt:
+    """Rebuild ``stmt`` with every *directly evaluated* expression mapped
+    through ``fn`` (nested bodies are not touched — combine with
+    :func:`transform_body` for deep rewrites)."""
+    if isinstance(stmt, Assign):
+        return Assign(fn(stmt.target), fn(stmt.value))
+    if isinstance(stmt, SignalAssign):
+        return SignalAssign(fn(stmt.target), fn(stmt.value))
+    if isinstance(stmt, If):
+        return If(
+            cond=fn(stmt.cond),
+            then_body=stmt.then_body,
+            elifs=tuple((fn(cond), arm) for cond, arm in stmt.elifs),
+            else_body=stmt.else_body,
+        )
+    if isinstance(stmt, While):
+        return While(fn(stmt.cond), stmt.loop_body, stmt.expected_iterations)
+    if isinstance(stmt, For):
+        return For(stmt.variable, fn(stmt.start), fn(stmt.stop), stmt.loop_body)
+    if isinstance(stmt, Wait):
+        if stmt.until is not None:
+            return Wait(until=fn(stmt.until))
+        return stmt
+    if isinstance(stmt, CallStmt):
+        return CallStmt(stmt.callee, tuple(fn(arg) for arg in stmt.args))
+    if isinstance(stmt, Null):
+        return stmt
+    raise SpecError(f"unknown statement node {stmt!r}")
+
+
+# -- access extraction --------------------------------------------------------
+
+
+def statement_reads(stmt: Stmt) -> List[str]:
+    """Variable names this statement reads directly (its own expressions,
+    excluding write targets but including array write indices)."""
+    from repro.spec.expr import Index, free_variables
+
+    reads: List[str] = []
+    if isinstance(stmt, (Assign, SignalAssign)):
+        reads.extend(sorted(free_variables(stmt.value)))
+        if isinstance(stmt.target, Index):
+            reads.extend(sorted(free_variables(stmt.target.index_expr)))
+        return reads
+    for expr in stmt.expressions():
+        reads.extend(sorted(free_variables(expr)))
+    return reads
+
+
+def statement_writes(stmt: Stmt) -> List[str]:
+    """Variable names this statement writes directly."""
+    from repro.spec.stmt import lvalue_name
+
+    if isinstance(stmt, (Assign, SignalAssign)):
+        return [lvalue_name(stmt.target)]
+    return []
+
+
+def body_variable_accesses(stmts: Body) -> Tuple[dict, dict]:
+    """Aggregate static access counts of a body.
+
+    Returns ``(reads, writes)`` dictionaries mapping variable name to
+    the number of *textual* access sites (loop multiplicities are the
+    estimator's job, not this function's).
+    """
+    reads: dict = {}
+    writes: dict = {}
+    for stmt in walk_statements(stmts):
+        for name in statement_reads(stmt):
+            reads[name] = reads.get(name, 0) + 1
+        for name in statement_writes(stmt):
+            writes[name] = writes.get(name, 0) + 1
+    return reads, writes

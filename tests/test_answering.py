@@ -1,0 +1,97 @@
+"""Tests for the answering machine — the control-dominated second
+workload (canonical SpecCharts example)."""
+
+import pytest
+
+from repro.apps.answering import (
+    TAM_INPUTS,
+    answering_machine_specification,
+    tam_partition,
+)
+from repro.graph import AccessGraph, classify_variables
+from repro.models import ALL_MODELS
+from repro.refine import Refiner
+from repro.sim import Simulator
+from repro.sim.equivalence import check_equivalence
+
+
+@pytest.fixture(scope="module")
+def tam():
+    spec = answering_machine_specification()
+    spec.validate()
+    return spec
+
+
+class TestFunctionalBehaviour:
+    def test_default_run(self, tam):
+        result = Simulator(tam).run(inputs=TAM_INPUTS)
+        assert result.completed
+        outputs = result.output_values()
+        assert outputs["light_out"] == 2  # both calls left a message
+        assert outputs["play_out"] > 0  # owner code matched: playback ran
+
+    def test_wrong_code_blocks_playback(self, tam):
+        inputs = dict(TAM_INPUTS, dialled_code=7)
+        result = Simulator(tam).run(inputs=inputs)
+        assert result.value_of("play_out") == 0
+        # but recording still happened
+        assert result.value_of("light_out") == 2
+
+    def test_num_calls_bounds_the_run(self, tam):
+        one = Simulator(tam).run(inputs=dict(TAM_INPUTS, num_calls=1))
+        three = Simulator(tam).run(inputs=dict(TAM_INPUTS, num_calls=3))
+        assert one.value_of("call_no") == 1
+        assert three.value_of("call_no") == 3
+
+    def test_line_profile_changes_recordings(self, tam):
+        checksums = {
+            Simulator(tam).run(
+                inputs=dict(TAM_INPUTS, line_profile=profile)
+            ).value_of("rec_out")
+            for profile in (5, 23, 40)
+        }
+        assert len(checksums) == 3
+
+
+class TestPartitionShape:
+    def test_balanced_control_vs_audio_split(self, tam):
+        graph = AccessGraph.from_specification(tam)
+        cls = classify_variables(graph, tam_partition(tam))
+        assert cls.ratio_label() == "Local = Global"
+        assert "rec_buf" in cls.global_vars  # the audio buffer crosses
+
+
+class TestRefinementEquivalence:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_all_models_equivalent(self, tam, model):
+        refined = Refiner(tam, tam_partition(tam), model).run()
+        report = check_equivalence(refined, inputs=TAM_INPUTS)
+        report.raise_if_mismatched()
+
+    def test_wrong_code_path_equivalent(self, tam):
+        refined = Refiner(tam, tam_partition(tam), ALL_MODELS[3]).run()
+        report = check_equivalence(
+            refined, inputs=dict(TAM_INPUTS, dialled_code=9)
+        )
+        report.raise_if_mismatched()
+
+
+class TestExports:
+    def test_c_differential(self, tam, tmp_path):
+        import shutil
+
+        if not (shutil.which("gcc") or shutil.which("cc")):
+            pytest.skip("no C compiler")
+        from test_export_c import compile_and_run, simulate
+        from repro.export import export_c
+
+        expected = simulate(tam, inputs=TAM_INPUTS)
+        got = compile_and_run(export_c(tam, inputs=TAM_INPUTS), tmp_path)
+        assert got == expected
+
+    def test_vhdl_exports(self, tam):
+        from repro.export import export_vhdl
+
+        text = export_vhdl(tam)
+        assert "entity AnsweringMachine is" in text
+        assert "type state_t is" in text

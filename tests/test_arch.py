@@ -1,0 +1,187 @@
+"""Tests for the architecture layer: components, allocation, bus
+signal bundles and the protocol library."""
+
+import pytest
+
+from repro.arch import (
+    Allocation,
+    BusNet,
+    Component,
+    ComponentKind,
+    HandshakeProtocol,
+    MemoryKind,
+    MemoryModule,
+    MemoryPort,
+    Netlist,
+    PROTOCOLS,
+    StrobeProtocol,
+    asic,
+    bus_signal_names,
+    bus_signals,
+    default_allocation_for,
+    processor,
+    resolve_protocol,
+)
+from repro.errors import AllocationError, RefinementError
+from repro.spec.stmt import SignalAssign, Wait
+from repro.spec.subprogram import Direction
+
+
+class TestComponents:
+    def test_processor_constructor(self):
+        cpu = processor("P1", cpu="Intel8086", clock_hz=10e6)
+        assert cpu.kind is ComponentKind.PROCESSOR
+        assert cpu.is_software
+        assert cpu.attrs["cpu"] == "Intel8086"
+
+    def test_asic_constructor(self):
+        hw = asic("A1", gates=10000, pins=75)
+        assert hw.kind is ComponentKind.ASIC
+        assert not hw.is_software
+        assert hw.attrs == {"gates": 10000, "pins": 75}
+
+    def test_invalid_clock(self):
+        with pytest.raises(AllocationError):
+            Component("X", ComponentKind.ASIC, 0)
+
+    def test_str_mentions_clock(self):
+        assert "10MHz" in str(processor("P"))
+
+
+class TestAllocation:
+    def test_add_and_get(self):
+        allocation = Allocation([processor("P"), asic("A")])
+        assert allocation.get("P").is_software
+        assert len(allocation) == 2
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(AllocationError):
+            Allocation([processor("P"), asic("P")])
+
+    def test_unknown_lookup(self):
+        with pytest.raises(AllocationError):
+            Allocation().get("ghost")
+
+    def test_ensure_invents_defaults(self):
+        allocation = Allocation().ensure(["PROC_MAIN", "ASIC7", "cpu_b"])
+        assert allocation.get("PROC_MAIN").is_software
+        assert allocation.get("cpu_b").is_software
+        assert not allocation.get("ASIC7").is_software
+
+    def test_ensure_keeps_existing(self):
+        base = Allocation([asic("PROC_odd")])  # explicitly an ASIC
+        out = base.ensure(["PROC_odd"])
+        assert not out.get("PROC_odd").is_software
+
+    def test_default_allocation_for(self):
+        allocation = default_allocation_for(["SW1", "HW1"])
+        assert allocation.has("SW1") and allocation.has("HW1")
+
+    def test_processors_and_asics_lists(self):
+        allocation = Allocation([processor("P"), asic("A"), asic("B")])
+        assert len(allocation.processors()) == 1
+        assert len(allocation.asics()) == 2
+
+
+class TestNetlist:
+    def test_memory_holding(self):
+        netlist = Netlist()
+        netlist.add_memory(
+            MemoryModule("M", MemoryKind.LOCAL, variables=["x", "y"],
+                         ports=[MemoryPort("p1", "b1")])
+        )
+        assert netlist.memory_holding("x").name == "M"
+        with pytest.raises(AllocationError):
+            netlist.memory_holding("ghost")
+
+    def test_duplicates_rejected(self):
+        netlist = Netlist()
+        netlist.add_bus(BusNet("b1", 16, 4))
+        with pytest.raises(AllocationError):
+            netlist.add_bus(BusNet("b1", 16, 4))
+
+    def test_needs_arbiter(self):
+        bus = BusNet("b1", 16, 4, masters=["A", "B"])
+        assert bus.needs_arbiter
+        assert not BusNet("b2", 16, 4, masters=["A"]).needs_arbiter
+
+
+class TestBusSignals:
+    def test_bundle_names(self):
+        names = bus_signal_names("b3")
+        assert names["start"] == "b3_start"
+        assert names["data"] == "b3_data"
+        assert len(names) == 6
+
+    def test_bundle_declarations(self):
+        bus = BusNet("b1", data_width=16, addr_width=5)
+        bundle = bus_signals(bus)
+        by_name = {s.name: s for s in bundle}
+        assert by_name["b1_addr"].dtype.bit_width == 5
+        assert by_name["b1_data"].dtype.bit_width == 16
+        assert all(s.is_signal for s in bundle)
+        assert all(s.initial_value == 0 for s in bundle)
+
+
+class TestProtocols:
+    @pytest.mark.parametrize("protocol", [HandshakeProtocol(), StrobeProtocol()])
+    def test_four_subroutines(self, protocol):
+        bus = BusNet("b1", 16, 4)
+        subs = protocol.subprograms(bus)
+        names = {s.name for s in subs}
+        assert names == {
+            "MST_send_b1",
+            "MST_receive_b1",
+            "SLV_send_b1",
+            "SLV_receive_b1",
+        }
+
+    def test_master_receive_has_out_param(self):
+        bus = BusNet("b1", 16, 4)
+        receive = HandshakeProtocol().master_receive(bus)
+        assert receive.params[1].direction is Direction.OUT
+
+    def test_handshake_is_four_phase(self):
+        """Two waits per transaction: done-high then done-low."""
+        bus = BusNet("b1", 16, 4)
+        send = HandshakeProtocol().master_send(bus)
+        waits = [s for s in send.stmt_body if isinstance(s, Wait)]
+        assert len(waits) == 2
+        assert all(w.until is not None for w in waits)
+
+    def test_strobe_uses_timed_waits(self):
+        bus = BusNet("b1", 16, 4)
+        send = StrobeProtocol().master_send(bus)
+        waits = [s for s in send.stmt_body if isinstance(s, Wait)]
+        assert all(w.delay is not None for w in waits)
+
+    def test_cycles_per_transfer_ordering(self):
+        assert (
+            StrobeProtocol.cycles_per_transfer
+            < HandshakeProtocol.cycles_per_transfer
+        )
+
+    def test_registry(self):
+        assert resolve_protocol("handshake").name == "handshake"
+        hs = HandshakeProtocol()
+        assert resolve_protocol(hs) is hs
+        with pytest.raises(RefinementError):
+            resolve_protocol("carrier-pigeon")
+        assert set(PROTOCOLS) >= {"handshake", "strobe"}
+
+    def test_extra_signals_default_empty(self):
+        assert HandshakeProtocol().extra_signals(BusNet("b1", 16, 4)) == []
+
+    def test_subroutine_bodies_only_touch_their_bus(self):
+        from repro.spec.expr import free_variables
+        from repro.spec.visitor import walk_expressions, walk_statements
+
+        bus = BusNet("b7", 16, 4)
+        for sub in HandshakeProtocol().subprograms(bus):
+            for stmt in walk_statements(sub.stmt_body):
+                for expr in stmt.expressions():
+                    for name in free_variables(expr):
+                        assert name.startswith("b7_") or name in (
+                            "addr",
+                            "data",
+                        )

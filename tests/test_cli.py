@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def medical_file(tmp_path):
+    from repro.apps.medical import medical_specification
+    from repro.lang.printer import print_specification
+
+    path = tmp_path / "medical.spec"
+    path.write_text(print_specification(medical_specification()))
+    return str(path)
+
+
+class TestStats:
+    def test_default_medical(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "behaviors: 16" in out
+        assert "data-access channels: 52" in out
+
+    def test_from_file(self, capsys, medical_file):
+        assert main(["stats", medical_file]) == 0
+        assert "MedicalBVM" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["stats", "/no/such/file.spec"]) == 2
+
+
+class TestPrint:
+    def test_print_parses_back(self, capsys):
+        from repro.lang.parser import parse
+
+        assert main(["print"]) == 0
+        text = capsys.readouterr().out
+        parse(text).validate()
+
+
+class TestSimulate:
+    def test_default(self, capsys):
+        assert main(["simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+        assert "display_out" in out
+
+    def test_with_inputs(self, capsys):
+        assert main(["simulate", "--input", "patient_profile=12",
+                     "--input", "num_cycles=1"]) == 0
+        assert "alarm_out = 0" in capsys.readouterr().out
+
+    def test_bad_input_format(self, capsys):
+        assert main(["simulate", "--input", "oops"]) == 2
+        assert "name=value" in capsys.readouterr().err
+
+
+class TestPartition:
+    @pytest.mark.parametrize("algorithm", ["greedy", "kl", "annealed"])
+    def test_algorithms(self, capsys, algorithm):
+        assert main(["partition", "--algorithm", algorithm]) == 0
+        out = capsys.readouterr().out
+        assert "cost:" in out
+
+
+class TestRefine:
+    def test_refine_writes_output(self, capsys, tmp_path):
+        out_file = tmp_path / "refined.spec"
+        assert main([
+            "refine", "--design", "Design1", "--model", "Model2",
+            "-o", str(out_file),
+        ]) == 0
+        assert out_file.exists()
+        from repro.lang.parser import parse
+
+        parse(out_file.read_text()).validate()
+
+    def test_unknown_design(self, capsys):
+        assert main(["refine", "--design", "Design9"]) == 2
+        assert "unknown design" in capsys.readouterr().err
+
+    def test_refine_from_file(self, capsys, medical_file, tmp_path):
+        assert main([
+            "refine", medical_file, "--design", "Design3",
+            "--model", "Model4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Model4" in out
+
+
+class TestVerify:
+    def test_equivalent(self, capsys):
+        assert main(["verify", "--design", "Design2", "--model", "Model1"]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+
+class TestExportC:
+    def test_to_stdout(self, capsys):
+        assert main(["export-c"]) == 0
+        out = capsys.readouterr().out
+        assert "int main(void)" in out
+        assert "beh_BVM" in out
+
+    def test_to_file_with_inputs(self, capsys, tmp_path):
+        out_file = tmp_path / "bvm.c"
+        assert main(["export-c", "--input", "patient_profile=12",
+                     "-o", str(out_file)]) == 0
+        assert "patient_profile = 12" in out_file.read_text()
+
+
+class TestExportVhdl:
+    def test_functional_model(self, capsys):
+        assert main(["export-vhdl"]) == 0
+        out = capsys.readouterr().out
+        assert "entity MedicalBVM is" in out
+
+    def test_refined_design(self, capsys, tmp_path):
+        out_file = tmp_path / "asic.vhd"
+        assert main(["export-vhdl", "--design", "Design2",
+                     "--model", "Model2", "-o", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "entity MedicalBVM_Model2 is" in text
+        assert "procedure MST_send_b" in text
+
+
+class TestFigures:
+    def test_figure9(self, capsys):
+        assert main(["figure9"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "paper" in out
+
+    def test_figure9_no_paper(self, capsys):
+        assert main(["figure9", "--no-paper"]) == 0
+        assert "(paper)" not in capsys.readouterr().out
+
+    def test_figure10(self, capsys):
+        assert main(["figure10"]) == 0
+        assert "Figure 10" in capsys.readouterr().out

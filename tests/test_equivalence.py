@@ -1,0 +1,95 @@
+"""Tests for the equivalence checker itself — including that it
+actually *detects* divergence, not just confirms agreement."""
+
+import pytest
+
+from repro.apps.figures import figure1_partition, figure1_specification
+from repro.errors import EquivalenceError
+from repro.models import MODEL1
+from repro.refine import Refiner
+from repro.sim.equivalence import Mismatch, check_equivalence
+from repro.spec.builder import assign
+from repro.spec.expr import var
+from repro.spec.stmt import body
+
+
+@pytest.fixture()
+def design():
+    spec = figure1_specification()
+    spec.validate()
+    return Refiner(spec, figure1_partition(spec), MODEL1).run()
+
+
+class TestAgreement:
+    def test_equivalent_report(self, design):
+        report = check_equivalence(design, inputs={"seed": 3})
+        assert report.equivalent
+        assert report.mismatches == []
+        assert "EQUIVALENT" in report.describe()
+
+    def test_raise_if_mismatched_passes_through(self, design):
+        report = check_equivalence(design, inputs={"seed": 3})
+        assert report.raise_if_mismatched() is report
+
+    def test_runs_are_exposed(self, design):
+        report = check_equivalence(design, inputs={"seed": 3})
+        assert report.original_run.completed
+        assert report.refined_run.completed
+        assert report.original_run.value_of("result") == 8
+
+
+class TestDivergenceDetection:
+    def _corrupt_memory(self, design):
+        """Sabotage the refined design: C's protocol write of x sends a
+        wrong value, so the memory ends up holding garbage."""
+        from repro.spec.expr import Const
+        from repro.spec.stmt import CallStmt
+
+        c = design.spec.find_behavior("C")
+        new_stmts = []
+        for stmt in c.stmt_body:
+            if isinstance(stmt, CallStmt) and "MST_send" in stmt.callee:
+                stmt = CallStmt(stmt.callee, (stmt.args[0], Const(55)))
+            new_stmts.append(stmt)
+        c.stmt_body = body(new_stmts)
+        return design
+
+    def test_detects_memory_value_mismatch(self, design):
+        self._corrupt_memory(design)
+        # seed=-5 takes the C branch, whose write is corrupted
+        report = check_equivalence(design, inputs={"seed": -5})
+        assert not report.equivalent
+        kinds = {m.kind for m in report.mismatches}
+        assert "memory-value" in kinds
+
+    def test_detects_output_divergence(self, design):
+        # corrupt B_NEW: it now writes result+1
+        b_new = design.spec.find_behavior("B_NEW")
+        loop = b_new.stmt_body[0]
+        sabotage = assign("result", var("result") + 1)
+        new_body = body(list(loop.loop_body) + [sabotage])
+        from repro.spec.stmt import While
+
+        b_new.stmt_body = body([While(loop.cond, new_body)])
+        report = check_equivalence(design, inputs={"seed": 3})
+        assert not report.equivalent
+        kinds = {m.kind for m in report.mismatches}
+        assert "output-trace" in kinds or "output-value" in kinds
+
+    def test_raise_if_mismatched_raises(self, design):
+        self._corrupt_memory(design)
+        report = check_equivalence(design, inputs={"seed": -5})
+        with pytest.raises(EquivalenceError):
+            report.raise_if_mismatched()
+
+    def test_mismatch_str_mentions_both_values(self):
+        mismatch = Mismatch("output-value", "result", 8, 9)
+        text = str(mismatch)
+        assert "result" in text
+        assert "8" in text and "9" in text
+
+    def test_describe_lists_mismatches(self, design):
+        self._corrupt_memory(design)
+        report = check_equivalence(design, inputs={"seed": -5})
+        assert "MISMATCH" in report.describe()
+        assert "memory-value" in report.describe()

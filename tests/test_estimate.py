@@ -1,0 +1,240 @@
+"""Tests for timing, profiling, channel/bus rates and the cost model."""
+
+import pytest
+
+from repro.apps.figures import figure2_partition, figure2_specification
+from repro.arch import Allocation, asic, processor
+from repro.estimate import (
+    CostWeights,
+    TimingModel,
+    bus_transfer_rates,
+    channel_rates,
+    cost_function,
+    design_cost,
+    profile_specification,
+    static_profile,
+)
+from repro.graph import AccessGraph, ChannelKind
+from repro.models import ALL_MODELS, MODEL1, MODEL2, MODEL3, MODEL4
+from repro.spec.builder import assign, leaf
+from repro.spec.stmt import Assign, Null
+from repro.spec.expr import var
+
+
+@pytest.fixture(scope="module")
+def setting():
+    spec = figure2_specification()
+    spec.validate()
+    partition = figure2_partition(spec)
+    allocation = Allocation(
+        [processor("PROC"), asic("ASIC")], name="fig2"
+    )
+    graph = AccessGraph.from_specification(spec)
+    return spec, partition, allocation, graph
+
+
+class TestTimingModel:
+    def test_software_slower_than_hardware(self):
+        timing = TimingModel()
+        sw = processor("P", clock_hz=10e6)
+        hw = asic("A", clock_hz=10e6)
+        stmt = assign("x", var("x"))
+        assert timing.seconds(sw, stmt) > timing.seconds(hw, stmt)
+
+    def test_clock_scales_cost(self):
+        timing = TimingModel()
+        slow = asic("A1", clock_hz=10e6)
+        fast = asic("A2", clock_hz=20e6)
+        stmt = assign("x", 1)
+        assert timing.seconds(slow, stmt) == pytest.approx(
+            2 * timing.seconds(fast, stmt)
+        )
+
+    def test_null_is_cheapest_hw(self):
+        timing = TimingModel()
+        hw = asic("A")
+        assert timing.seconds(hw, Null()) == 0.0
+
+    def test_cost_function_uses_partition(self, setting):
+        spec, partition, allocation, _ = setting
+        fn = cost_function(partition, allocation)
+        stmt = assign("v1", 1)
+        # B1 runs on the processor (slow), B3 on the ASIC (fast)
+        assert fn("B1", stmt) > fn("B3", stmt)
+
+
+class TestDynamicProfile:
+    def test_profile_counts_accesses(self, setting):
+        spec, partition, allocation, graph = setting
+        profile = profile_specification(spec, partition, allocation, graph=graph)
+        assert profile.kind == "dynamic"
+        # B1 reads v5 once (v2 := v2 + v5)
+        assert profile.accesses("B1", "v5", ChannelKind.READ) == 1
+        # B1 writes v2 twice
+        assert profile.accesses("B1", "v2", ChannelKind.WRITE) == 2
+
+    def test_lifetimes_positive_for_executed(self, setting):
+        spec, partition, allocation, graph = setting
+        profile = profile_specification(spec, partition, allocation, graph=graph)
+        for behavior in ("B1", "B2", "B3", "B4"):
+            assert profile.lifetime(behavior) > 0
+
+    def test_software_behaviors_live_longer(self, setting):
+        """B1 (processor) runs the same statement count as B3 (ASIC) but
+        the processor's cycles-per-statement dominate."""
+        spec, partition, allocation, graph = setting
+        profile = profile_specification(spec, partition, allocation, graph=graph)
+        assert profile.lifetime("B1") > profile.lifetime("B3")
+
+    def test_activations(self, setting):
+        spec, partition, allocation, graph = setting
+        profile = profile_specification(spec, partition, allocation, graph=graph)
+        assert profile.activations["B1"] == 1
+
+
+class TestStaticProfile:
+    def test_counts_match_graph_weights(self, setting):
+        spec, partition, allocation, graph = setting
+        profile = static_profile(spec, partition, allocation, graph=graph)
+        assert profile.kind == "static"
+        assert profile.accesses("B1", "v5", ChannelKind.READ) == 1.0
+
+    def test_lifetimes_positive(self, setting):
+        spec, partition, allocation, graph = setting
+        profile = static_profile(spec, partition, allocation, graph=graph)
+        assert profile.lifetime("B2") > 0
+
+    def test_static_close_to_dynamic_for_loop_free_spec(self, setting):
+        spec, partition, allocation, graph = setting
+        dynamic = profile_specification(spec, partition, allocation, graph=graph)
+        static = static_profile(spec, partition, allocation, graph=graph)
+        for behavior in ("B1", "B2", "B3", "B4"):
+            # loop-free bodies: identical statement counts -> equal times
+            assert static.lifetime(behavior) == pytest.approx(
+                dynamic.lifetime(behavior), rel=0.01
+            )
+
+
+class TestChannelRates:
+    def test_rates_positive_and_finite(self, setting):
+        spec, partition, allocation, graph = setting
+        profile = profile_specification(spec, partition, allocation, graph=graph)
+        rates = channel_rates(graph, profile)
+        assert rates
+        for rate in rates:
+            assert rate.bits_per_second > 0
+
+    def test_rate_formula(self, setting):
+        spec, partition, allocation, graph = setting
+        profile = profile_specification(spec, partition, allocation, graph=graph)
+        rates = channel_rates(graph, profile)
+        sample = next(r for r in rates if r.behavior == "B1" and r.variable == "v5")
+        expected = sample.accesses * 16 / profile.lifetime("B1")
+        assert sample.bits_per_second == pytest.approx(expected)
+
+
+class TestBusRates:
+    @pytest.fixture()
+    def reports(self, setting):
+        spec, partition, allocation, graph = setting
+        profile = profile_specification(spec, partition, allocation, graph=graph)
+        rates = channel_rates(graph, profile)
+        return {
+            model.name: bus_transfer_rates(
+                model.build_plan(spec, partition, graph=graph), graph, profile,
+                rates=rates,
+            )
+            for model in ALL_MODELS
+        }
+
+    def test_model1_single_bus_carries_everything(self, reports):
+        model1 = reports["Model1"]
+        assert set(model1.rates) == {"b1"}
+        total_all = sum(c.bits_per_second for c in model1.channels)
+        assert model1.rate_of("b1") == pytest.approx(total_all)
+
+    def test_model1_is_sum_of_model2_buses(self, reports):
+        """Internal consistency of Figure 9: Model1's single bus carries
+        what Model2 splits over local+global buses."""
+        assert reports["Model1"].total_rate == pytest.approx(
+            reports["Model2"].total_rate
+        )
+
+    def test_model2_global_bus_equals_model3_dedicated_sum(self, reports):
+        model2 = reports["Model2"]
+        model3 = reports["Model3"]
+        global_bus = model2.rate_of("b2")
+        dedicated = sum(model3.rate_of(f"b{i}") for i in (2, 3, 4, 5))
+        assert global_bus == pytest.approx(dedicated)
+
+    def test_model3_max_rate_is_lowest(self, reports):
+        """Spreading globals over dedicated buses lowers the hot spot."""
+        assert reports["Model3"].max_rate <= reports["Model2"].max_rate
+        assert reports["Model3"].max_rate <= reports["Model1"].max_rate
+
+    def test_model4_interface_buses_equal(self, reports):
+        """The paper's b2=b3=b4: all carry exactly the cross traffic."""
+        model4 = reports["Model4"]
+        assert model4.rate_of("b2") == pytest.approx(model4.rate_of("b3"))
+        assert model4.rate_of("b3") == pytest.approx(model4.rate_of("b4"))
+
+    def test_model4_local_includes_resident_globals(self, reports):
+        """Model4's local bus carries local + resident-global accesses,
+        so it exceeds Model2's purely-local bus."""
+        assert reports["Model4"].rate_of("b1") > reports["Model2"].rate_of("b1")
+
+    def test_model1_dominates_every_other_max(self, reports):
+        m1 = reports["Model1"].max_rate
+        for name in ("Model2", "Model3", "Model4"):
+            assert m1 >= reports[name].max_rate
+
+    def test_as_row_unit_is_mbits(self, reports):
+        row = reports["Model1"].as_row()
+        assert row["b1"] == pytest.approx(reports["Model1"].rate_of("b1") / 1e6)
+
+
+class TestCostModel:
+    def test_model3_ports_cost_more_than_model2(self, setting):
+        spec, partition, allocation, graph = setting
+        plan2 = MODEL2.build_plan(spec, partition, graph=graph)
+        plan3 = MODEL3.build_plan(spec, partition, graph=graph)
+        cost2 = design_cost(plan2)
+        cost3 = design_cost(plan3)
+        assert cost3.port_count > cost2.port_count
+        assert cost3.bus_count > cost2.bus_count
+
+    def test_model4_has_interfaces(self, setting):
+        spec, partition, allocation, graph = setting
+        plan = MODEL4.build_plan(spec, partition, graph=graph)
+        report = design_cost(plan)
+        assert report.interface_count == 2
+
+    def test_model1_fewest_buses(self, setting):
+        spec, partition, _, graph = setting
+        counts = {
+            m.name: design_cost(m.build_plan(spec, partition, graph=graph)).bus_count
+            for m in ALL_MODELS
+        }
+        assert counts["Model1"] == 1
+        assert counts["Model1"] == min(counts.values())
+
+    def test_memory_bits_constant_across_models(self, setting):
+        spec, partition, _, graph = setting
+        bits = {
+            design_cost(m.build_plan(spec, partition, graph=graph)).memory_bits
+            for m in ALL_MODELS
+        }
+        assert len(bits) == 1  # same variables stored everywhere
+
+    def test_weights_scale_total(self, setting):
+        spec, partition, _, graph = setting
+        plan = MODEL2.build_plan(spec, partition, graph=graph)
+        cheap = design_cost(plan, weights=CostWeights(bus=1.0))
+        pricey = design_cost(plan, weights=CostWeights(bus=1000.0))
+        assert pricey.total > cheap.total
+
+    def test_as_dict_keys(self, setting):
+        spec, partition, _, graph = setting
+        plan = MODEL1.build_plan(spec, partition, graph=graph)
+        d = design_cost(plan).as_dict()
+        assert {"buses", "memories", "ports", "total_cost"} <= set(d)

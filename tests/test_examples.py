@@ -1,0 +1,34 @@
+"""Every example script must run cleanly — the examples double as
+integration tests of the public API."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "MISMATCH" not in result.stdout
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "medical_design_space",
+        "custom_protocol_refinement",
+        "partitioning_playground",
+    } <= names

@@ -1,0 +1,270 @@
+"""Tests for the C backend, including differential testing: the
+generated C program must print exactly the outputs the discrete-event
+simulator computes for the same specification and inputs."""
+
+import pathlib
+import shutil
+import subprocess
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps.figures import figure1_specification, figure2_specification
+from repro.apps.medical import medical_specification
+from repro.export import CExportError, export_c
+from repro.models import MODEL2
+from repro.partition import Partition
+from repro.refine import Refiner
+from repro.sim import Simulator
+from repro.spec.builder import (
+    assign,
+    conc,
+    for_,
+    if_,
+    leaf,
+    on_complete,
+    seq,
+    spec,
+    transition,
+    while_,
+)
+from repro.spec.expr import var
+from repro.spec.types import EnumType, int_type
+from repro.spec.variable import Role, variable
+
+GCC = shutil.which("gcc") or shutil.which("cc")
+
+needs_gcc = pytest.mark.skipif(GCC is None, reason="no C compiler available")
+
+
+def compile_and_run(source: str, tmp_path: pathlib.Path) -> dict:
+    c_file = tmp_path / "prog.c"
+    binary = tmp_path / "prog"
+    c_file.write_text(source)
+    compile_result = subprocess.run(
+        [GCC, "-Wall", "-Wextra", "-Werror", "-O1", "-o", str(binary),
+         str(c_file)],
+        capture_output=True,
+        text=True,
+    )
+    assert compile_result.returncode == 0, compile_result.stderr
+    run_result = subprocess.run(
+        [str(binary)], capture_output=True, text=True, timeout=30
+    )
+    assert run_result.returncode == 0
+    outputs = {}
+    for line in run_result.stdout.splitlines():
+        name, _, value = line.partition("=")
+        outputs[name] = int(value)
+    return outputs
+
+
+def simulate(specification, inputs=None) -> dict:
+    result = Simulator(specification).run(inputs=inputs)
+    assert result.completed
+    return {k: int(v) for k, v in result.output_values().items()}
+
+
+class TestGeneratedSource:
+    def test_contains_helpers_and_main(self):
+        source = export_c(figure1_specification())
+        assert "im_mod" in source
+        assert "int main(void)" in source
+        assert "beh_Main" in source
+
+    def test_state_constants_for_sequential_composites(self):
+        source = export_c(figure1_specification())
+        for name in ("S_A", "S_B", "S_C"):
+            assert name in source
+
+    def test_concurrent_top_rejected(self):
+        design = spec(
+            "Conc",
+            conc("Top", [leaf("A", assign("x", 1)), leaf("B", assign("x", 2))]),
+            variables=[variable("x", int_type())],
+        )
+        with pytest.raises(CExportError):
+            export_c(design)
+
+    def test_inputs_override(self):
+        source = export_c(figure1_specification(), inputs={"seed": -5})
+        assert "seed = -5" in source
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(CExportError):
+            export_c(figure1_specification(), inputs={"x": 3})
+
+    def test_enum_constants(self):
+        state = EnumType("mode_t", ("idle", "busy"))
+        design = spec(
+            "E",
+            leaf("A", assign("m", "busy")),
+            variables=[variable("m", state, init="idle")],
+        )
+        design.validate()
+        source = export_c(design)
+        assert "enum mode_t { K_mode_t_idle = 0, K_mode_t_busy = 1 };" in source
+        assert "m = K_mode_t_busy;" in source
+
+
+@needs_gcc
+class TestDifferential:
+    @pytest.mark.parametrize("seed", [3, -5, 0, 7])
+    def test_figure1(self, tmp_path, seed):
+        design = figure1_specification()
+        design.validate()
+        expected = simulate(design, inputs={"seed": seed})
+        got = compile_and_run(
+            export_c(design, inputs={"seed": seed}), tmp_path
+        )
+        assert got == expected
+
+    @pytest.mark.parametrize("stimulus", [1, 7, -4])
+    def test_figure2(self, tmp_path, stimulus):
+        design = figure2_specification()
+        design.validate()
+        expected = simulate(design, inputs={"stimulus": stimulus})
+        got = compile_and_run(
+            export_c(design, inputs={"stimulus": stimulus}), tmp_path
+        )
+        assert got == expected
+
+    @pytest.mark.parametrize("profile,cycles", [(12, 2), (37, 2), (55, 1),
+                                                (25, 3)])
+    def test_medical(self, tmp_path, profile, cycles):
+        design = medical_specification()
+        design.validate()
+        inputs = {"patient_profile": profile, "num_cycles": cycles}
+        expected = simulate(design, inputs=inputs)
+        got = compile_and_run(export_c(design, inputs=inputs), tmp_path)
+        assert got == expected
+
+    def test_division_and_mod_semantics(self, tmp_path):
+        """VHDL '/' truncates toward zero; 'mod' follows the divisor."""
+        body = leaf(
+            "A",
+            assign("q", var("a") / var("b")),
+            assign("r", var("a") % var("b")),
+            assign("out", var("q") * 1000 + var("r")),
+        )
+        design = spec(
+            "DivMod",
+            body,
+            variables=[
+                variable("a", int_type(), init=-7, role=Role.INPUT),
+                variable("b", int_type(), init=3, role=Role.INPUT),
+                variable("q", int_type()),
+                variable("r", int_type()),
+                variable("out", int_type(), init=0, role=Role.OUTPUT),
+            ],
+        )
+        design.validate()
+        for a, b in ((-7, 3), (7, -3), (-7, -3), (7, 3)):
+            expected = simulate(design, inputs={"a": a, "b": b})
+            got = compile_and_run(
+                export_c(design, inputs={"a": a, "b": b}), tmp_path
+            )
+            assert got == expected, f"a={a} b={b}"
+
+
+@needs_gcc
+class TestPartitionMode:
+    def test_software_partition_compiles_against_bus_stub(self, tmp_path):
+        """Export the processor side of a refined design; link against a
+        stub bus driver that backs the address space with an array."""
+        design_spec = figure2_specification()
+        design_spec.validate()
+        partition = Partition.from_mapping(
+            design_spec,
+            {
+                "B1": "PROC", "B2": "PROC", "B3": "ASIC", "B4": "ASIC",
+                "v1": "PROC", "v2": "PROC", "v3": "PROC", "v4": "PROC",
+                "v5": "ASIC", "v6": "ASIC", "v7": "ASIC",
+            },
+        )
+        refined = Refiner(design_spec, partition, MODEL2).run()
+        # the processor partition: the refined home tree (B1, B2 chain)
+        sw_top = refined.spec.find_behavior("System")
+        source = export_c(refined.spec, top=sw_top, standalone=False)
+        assert "extern int32_t bus_read" in source
+        (tmp_path / "partition.c").write_text(source)
+        (tmp_path / "stub.c").write_text(
+            """
+#include <stdint.h>
+#include <stdio.h>
+static int32_t mem[256];
+int32_t bus_read(uint32_t addr) { return mem[addr & 255]; }
+void bus_write(uint32_t addr, int32_t value) { mem[addr & 255] = value; }
+void bus_idle(int cycles) { (void)cycles; }
+extern int16_t stimulus, observed;
+int16_t stimulus = 1, observed;
+extern volatile uint8_t B3_start, B3_done, B4_start, B4_done;
+volatile uint8_t B3_start, B3_done = 1, B4_start, B4_done = 1;
+extern void run_System(void);
+int main(void) { run_System(); printf("ok\\n"); return 0; }
+"""
+        )
+        result = subprocess.run(
+            [GCC, "-O1", "-o", str(tmp_path / "part"),
+             str(tmp_path / "partition.c"), str(tmp_path / "stub.c")],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+
+
+_names = ["w0", "w1", "w2"]
+
+
+@st.composite
+def straightline_programs(draw):
+    stmts = []
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        target = draw(st.sampled_from(_names))
+        kind = draw(st.integers(min_value=0, max_value=3))
+        operand = draw(st.sampled_from(_names + ["inp"]))
+        const = draw(st.integers(min_value=-9, max_value=9))
+        if kind == 0:
+            stmts.append(assign(target, var(operand) + const))
+        elif kind == 1:
+            stmts.append(assign(target, var(operand) * const))
+        elif kind == 2:
+            stmts.append(
+                if_(var(operand) > const,
+                    [assign(target, var(operand) - const)],
+                    [assign(target, const)])
+            )
+        else:
+            stmts.append(
+                for_("i", 0, draw(st.integers(min_value=0, max_value=4)),
+                     [assign(target, var(target) + var("i"))])
+            )
+    stmts.append(assign("out", var("w0") + var("w1") - var("w2")))
+    body = leaf("P", *stmts)
+    design = spec(
+        "Rand",
+        body,
+        variables=[
+            variable("inp", int_type(), init=draw(
+                st.integers(min_value=-50, max_value=50)), role=Role.INPUT),
+            variable("out", int_type(), init=0, role=Role.OUTPUT),
+        ]
+        + [variable(name, int_type(), init=1) for name in _names],
+    )
+    design.validate()
+    return design
+
+
+@needs_gcc
+class TestDifferentialProperty:
+    @given(design=straightline_programs())
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_c_matches_simulator(self, tmp_path_factory, design):
+        tmp_path = tmp_path_factory.mktemp("cdiff")
+        expected = simulate(design)
+        got = compile_and_run(export_c(design), tmp_path)
+        assert got == expected

@@ -1,0 +1,76 @@
+"""Error-path coverage for the export backends."""
+
+import pytest
+
+from repro.export import CExportError, VhdlExportError, export_c, export_vhdl
+from repro.spec.builder import (
+    assign,
+    conc,
+    leaf,
+    sassign,
+    seq,
+    spec,
+    transition,
+    wait_on,
+    wait_until,
+)
+from repro.spec.expr import var
+from repro.spec.types import BIT, int_type
+from repro.spec.variable import signal, variable
+
+
+def _wrap(behavior, variables=(), **kw):
+    design = spec("T", behavior, variables=variables, **kw)
+    design.validate()
+    return design
+
+
+class TestCExportErrors:
+    def test_wait_on_rejected(self):
+        design = _wrap(
+            leaf("A", wait_on("clk")),
+            variables=[signal("clk", BIT)],
+        )
+        with pytest.raises(CExportError, match="wait on"):
+            export_c(design)
+
+    def test_wait_until_on_signal_becomes_spin_loop(self):
+        design = _wrap(
+            leaf("A", wait_until(var("go").eq(1)), assign("x", 1)),
+            variables=[signal("go", BIT), variable("x", int_type())],
+        )
+        source = export_c(design, standalone=False)
+        assert "while (!((go == 1))) { /* spin */ }" in source
+        assert "extern volatile" in source
+
+    def test_leaf_declared_signal_rejected(self):
+        bad = leaf("A", sassign("s", 1))
+        bad.add_decl(signal("s", BIT))
+        design = _wrap(bad)
+        with pytest.raises(CExportError, match="signal"):
+            export_c(design)
+
+    def test_wide_integer_rejected(self):
+        design = _wrap(
+            leaf("A", assign("big", 1)),
+            variables=[variable("big", int_type(80))],
+        )
+        with pytest.raises(CExportError, match="64"):
+            export_c(design)
+
+
+class TestVhdlExportErrors:
+    def test_nested_concurrency_rejected(self):
+        inner = conc("Inner", [leaf("X", assign("v", 1)),
+                               leaf("Y", assign("w", 1))])
+        top = seq(
+            "Outer",
+            [leaf("Pre", assign("v", 0)), inner],
+            transitions=[transition("Pre", None, "Inner")],
+        )
+        design = _wrap(
+            top,
+            variables=[variable("v", int_type()), variable("w", int_type())],
+        )
+        with pytest.raises(VhdlExportError, match="concurrency"):
+            export_vhdl(design)

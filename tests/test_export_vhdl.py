@@ -1,0 +1,148 @@
+"""Structural tests for the VHDL backend (no VHDL simulator is
+available offline, so the C backend carries the executable differential
+testing; here we verify construct balance, declarations-before-use and
+the statement mapping's fidelity)."""
+
+import re
+
+import pytest
+
+from repro.apps.figures import figure1_specification, figure7_specification
+from repro.apps.medical import design1_partition, medical_specification
+from repro.export import VhdlExportError, export_vhdl
+from repro.models import MODEL2
+from repro.refine import Refiner
+from repro.spec.builder import assign, conc, leaf, spec
+from repro.spec.expr import var
+from repro.spec.types import EnumType, int_type
+from repro.spec.variable import Role, variable
+
+
+@pytest.fixture(scope="module")
+def medical_vhdl():
+    return export_vhdl(medical_specification())
+
+
+class TestEntity:
+    def test_ports_from_roles(self, medical_vhdl):
+        assert "patient_profile : in integer" in medical_vhdl
+        assert "display_out : buffer integer" in medical_vhdl
+
+    def test_entity_architecture_pair(self, medical_vhdl):
+        assert "entity MedicalBVM is" in medical_vhdl
+        assert "end entity MedicalBVM;" in medical_vhdl
+        assert "architecture behavioral of MedicalBVM is" in medical_vhdl
+        assert "end architecture behavioral;" in medical_vhdl
+
+    def test_custom_entity_name(self):
+        text = export_vhdl(figure1_specification(), entity_name="fig1_core")
+        assert "entity fig1_core is" in text
+
+
+class TestDeclarations:
+    def test_array_type_declared_before_use(self, medical_vhdl):
+        type_pos = medical_vhdl.find("type echo_buf_array_t is array")
+        use_pos = medical_vhdl.find("echo_buf : echo_buf_array_t")
+        assert 0 <= type_pos < use_pos
+
+    def test_internal_variables_are_shared(self, medical_vhdl):
+        assert "shared variable gain :" in medical_vhdl
+
+    def test_integer_ranges_match_widths(self, medical_vhdl):
+        assert "integer range -32768 to 32767" in medical_vhdl
+        assert "integer range -8388608 to 8388607" in medical_vhdl  # 24-bit
+
+    def test_enum_type_declaration(self):
+        state = EnumType("mode_t", ("idle", "busy"))
+        design = spec(
+            "E",
+            leaf("A", assign("m", "busy")),
+            variables=[variable("m", state, init="idle")],
+        )
+        design.validate()
+        text = export_vhdl(design)
+        assert "type mode_t is (idle, busy);" in text
+        assert "m := busy;" in text
+
+
+class TestOutputPortShadows:
+    def test_written_output_gets_shadow(self, medical_vhdl):
+        assert "shared variable display_out_var :" in medical_vhdl
+        assert "display_out <= display_out_var;" in medical_vhdl
+
+    def test_reads_of_output_use_shadow(self, medical_vhdl):
+        # Display clamps its own output: the comparison must read the
+        # shadow, not the delta-delayed port
+        assert "(display_out_var > 999)" in medical_vhdl
+
+
+class TestStructureBalance:
+    @pytest.mark.parametrize(
+        "opener,closer",
+        [
+            ("process", "end process"),
+            ("procedure ", "end procedure"),
+            (" loop", "end loop;"),
+            ("case ", "end case;"),
+        ],
+    )
+    def test_balanced(self, medical_vhdl, opener, closer):
+        opened = sum(
+            1
+            for line in medical_vhdl.splitlines()
+            if opener in line and not line.strip().startswith("--")
+            and "end" not in line.split(opener)[0].split()[-1:]
+        )
+        closed = medical_vhdl.count(closer)
+        assert closed > 0
+        # every closer closes an opener (procedure/process/loop counts
+        # include the closers' own lines, so compare conservatively)
+        assert closed * 2 >= opened
+
+    def test_if_balance_exact(self, medical_vhdl):
+        if_count = len(re.findall(r"^\s*if .* then$", medical_vhdl, re.M))
+        end_if = medical_vhdl.count("end if;")
+        assert if_count == end_if
+
+
+class TestSequencer:
+    def test_state_machine_for_sequential_composite(self, medical_vhdl):
+        assert "type state_t is (S_Init, S_Calibrate, S_MeasureCycle, S_done);" in medical_vhdl
+        assert "state := S_Calibrate;" in medical_vhdl
+
+    def test_conditional_arcs_emitted(self, medical_vhdl):
+        assert "if (cycle < num_cycles) then" in medical_vhdl
+
+
+class TestConcurrentTops:
+    def test_one_process_per_child(self):
+        text = export_vhdl(figure7_specification())
+        assert "B1_proc : process" in text
+        assert "B2_proc : process" in text
+
+    def test_refined_system_exports_with_multidriver_warning(self):
+        medical = medical_specification()
+        refined = Refiner(medical, design1_partition(medical), MODEL2).run()
+        text = export_vhdl(refined.spec)
+        assert "WARNING" in text
+        assert "resolved/tri-state" in text
+        # protocol procedures present inside the processes
+        assert "procedure MST_send_b" in text
+        # handshake signals declared at architecture level
+        assert re.search(r"signal b\d+_start :", text)
+
+    def test_single_partition_has_no_warning(self):
+        text = export_vhdl(figure1_specification())
+        assert "WARNING" not in text
+
+
+class TestKeywordEscaping:
+    def test_colliding_identifier_escaped(self):
+        design = spec(
+            "K",
+            leaf("A", assign("map", var("map") + 1)),
+            variables=[variable("map", int_type(), init=0)],
+        )
+        design.validate()
+        text = export_vhdl(design)
+        assert "\\map\\" in text

@@ -1,0 +1,216 @@
+"""Unit tests for access-graph derivation and analysis."""
+
+import pytest
+
+from repro.apps.figures import (
+    figure1_partition,
+    figure1_specification,
+    figure2_partition,
+    figure2_specification,
+)
+from repro.errors import GraphError
+from repro.graph import (
+    AccessGraph,
+    ChannelKind,
+    classify_variables,
+    channel_matrix,
+    cut_channels,
+)
+from repro.spec.builder import (
+    assign,
+    for_,
+    leaf,
+    sassign,
+    seq,
+    spec,
+    transition,
+    while_,
+)
+from repro.spec.expr import var
+from repro.spec.types import BIT, int_type
+from repro.spec.variable import signal, variable
+
+
+class TestFigure1Graph:
+    def setup_method(self):
+        self.spec = figure1_specification()
+        self.graph = AccessGraph.from_specification(self.spec)
+
+    def test_nodes(self):
+        assert {"A", "B", "C", "Main"} <= self.graph.behavior_names
+        # ports (seed: INPUT, result: OUTPUT) are not partitionable and
+        # therefore not variable nodes; only internal x is
+        assert {"x"} == self.graph.variable_names
+
+    def test_transition_condition_attributed_to_composite(self):
+        # A:(x>1,B) and A:(x<1,C): the arcs' conditions are evaluated
+        # by Main's sequencer, so Main is the accessing behavior (that
+        # is also where refinement's condition fetches execute)
+        channels = self.graph.channels_of_behavior("Main")
+        kinds = {(c.variable, c.kind) for c in channels}
+        assert ("x", ChannelKind.READ) in kinds
+
+    def test_b_reads_and_writes_x(self):
+        kinds = {
+            (c.variable, c.kind) for c in self.graph.channels_of_behavior("B")
+        }
+        assert ("x", ChannelKind.READ) in kinds
+        assert ("x", ChannelKind.WRITE) in kinds
+
+    def test_accessors_of_x(self):
+        assert self.graph.accessors_of("x") == {"A", "B", "C", "Main"}
+
+    def test_unknown_queries_raise(self):
+        with pytest.raises(GraphError):
+            self.graph.channels_of_behavior("nope")
+        with pytest.raises(GraphError):
+            self.graph.channels_of_variable("nope")
+
+    def test_control_channels(self):
+        arcs = self.graph.control_channels()
+        pairs = {(c.source, c.target) for c in arcs}
+        assert ("A", "B") in pairs
+        assert ("A", "C") in pairs
+
+    def test_networkx_export(self):
+        g = self.graph.to_networkx()
+        assert g.nodes["x"]["kind"] == "variable"
+        assert g.nodes["B"]["kind"] == "behavior"
+        assert g.has_edge("B", "x")  # write edge
+        assert g.has_edge("x", "B")  # read edge
+
+
+class TestFigure2Classification:
+    def setup_method(self):
+        self.spec = figure2_specification()
+        self.graph = AccessGraph.from_specification(self.spec)
+        self.partition = figure2_partition(self.spec)
+
+    def test_paper_local_global_split(self):
+        cls = classify_variables(self.graph, self.partition)
+        assert {"v1", "v2", "v3"} <= set(cls.local["PROC"])
+        assert {"v6"} <= set(cls.local["ASIC"])
+        assert set(cls.global_vars) == {"v4", "v5", "v7"}
+
+    def test_home_components(self):
+        cls = classify_variables(self.graph, self.partition)
+        assert cls.home["v4"] == "PROC"
+        assert cls.home["v5"] == "ASIC"
+
+    def test_is_global_is_local(self):
+        cls = classify_variables(self.graph, self.partition)
+        assert cls.is_global("v4")
+        assert cls.is_local("v1")
+        assert not cls.is_local("v4")
+
+    def test_cut_channels_cross_partitions_only(self):
+        for channel in cut_channels(self.graph, self.partition):
+            behavior_comp = self.partition.component_of_behavior(channel.behavior)
+            variable_comp = self.partition.component_of_variable(channel.variable)
+            assert behavior_comp != variable_comp
+
+    def test_cut_contains_b1_reads_v5(self):
+        cut = cut_channels(self.graph, self.partition)
+        assert any(
+            c.behavior == "B1" and c.variable == "v5" and c.kind is ChannelKind.READ
+            for c in cut
+        )
+
+    def test_channel_matrix_totals(self):
+        matrix = channel_matrix(self.graph, self.partition)
+        total = sum(matrix.values())
+        assert total == sum(c.weight for c in self.graph.data_channels())
+        assert matrix[("PROC", "ASIC")] > 0
+        assert matrix[("ASIC", "PROC")] > 0
+
+    def test_ratio_label(self):
+        cls = classify_variables(self.graph, self.partition)
+        assert cls.ratio_label() == "Local > Global"
+
+
+class TestLoopWeights:
+    def test_for_loop_multiplies_weight(self):
+        b = leaf("L", for_("i", 0, 9, [assign("acc", var("acc") + var("d"))]))
+        design = spec(
+            "S",
+            b,
+            variables=[variable("acc", int_type()), variable("d", int_type())],
+        )
+        graph = AccessGraph.from_specification(design)
+        read_d = next(
+            c
+            for c in graph.channels_of_behavior("L")
+            if c.variable == "d" and c.kind is ChannelKind.READ
+        )
+        assert read_d.weight == 10.0
+        assert read_d.sites == 1
+
+    def test_while_expect_annotation(self):
+        b = leaf(
+            "L",
+            while_(var("x") < 5, [assign("x", var("x") + 1)], expected=5),
+        )
+        design = spec("S", b, variables=[variable("x", int_type())])
+        graph = AccessGraph.from_specification(design)
+        write_x = next(
+            c
+            for c in graph.channels_of_behavior("L")
+            if c.kind is ChannelKind.WRITE
+        )
+        assert write_x.weight == 5.0
+
+    def test_nested_loops_multiply(self):
+        b = leaf(
+            "L",
+            for_("i", 0, 1, [for_("j", 0, 2, [assign("a", var("a") + 1)])]),
+        )
+        design = spec("S", b, variables=[variable("a", int_type())])
+        graph = AccessGraph.from_specification(design)
+        write_a = next(
+            c for c in graph.channels_of_behavior("L") if c.kind is ChannelKind.WRITE
+        )
+        assert write_a.weight == 6.0  # 2 * 3
+
+    def test_loop_bound_reads_counted_once(self):
+        b = leaf("L", for_("i", 0, var("n"), [assign("a", 1)]))
+        design = spec(
+            "S", b, variables=[variable("a", int_type()), variable("n", int_type())]
+        )
+        graph = AccessGraph.from_specification(design)
+        read_n = next(
+            c for c in graph.channels_of_behavior("L") if c.variable == "n"
+        )
+        assert read_n.weight == 1.0
+
+
+class TestSignalsAndLocalsExcluded:
+    def test_signals_are_not_nodes(self):
+        b = leaf("A", sassign("s", 1))
+        design = spec("S", b, variables=[signal("s", BIT)])
+        graph = AccessGraph.from_specification(design)
+        assert graph.variable_names == set()
+        assert graph.data_channels() == []
+
+    def test_behavior_locals_are_not_nodes(self):
+        b = leaf("A", assign("t", 1))
+        b.add_decl(variable("t", int_type()))
+        design = spec("S", b)
+        graph = AccessGraph.from_specification(design)
+        assert graph.variable_names == set()
+
+    def test_array_index_read_counts(self):
+        b = leaf("A", assign(var("buf").index(var("i")), var("i")))
+        from repro.spec.types import array_of
+
+        design = spec(
+            "S",
+            b,
+            variables=[
+                variable("buf", array_of(int_type(8), 4)),
+                variable("i", int_type()),
+            ],
+        )
+        graph = AccessGraph.from_specification(design)
+        kinds = {(c.variable, c.kind) for c in graph.data_channels()}
+        assert ("buf", ChannelKind.WRITE) in kinds
+        assert ("i", ChannelKind.READ) in kinds

@@ -1,0 +1,90 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_gives_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        token = tokenize("B_start")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "B_start"
+
+    def test_keyword_case_insensitive(self):
+        assert tokenize("BEGIN")[0].kind is TokenKind.KEYWORD
+        assert tokenize("Begin")[0].text == "begin"
+
+    def test_integer(self):
+        token = tokenize("12345")[0]
+        assert token.kind is TokenKind.INT
+        assert token.value == 12345
+
+    def test_char_literal(self):
+        token = tokenize("'idle'")[0]
+        assert token.kind is TokenKind.CHAR
+        assert token.text == "idle"
+
+    def test_comment_skipped(self):
+        assert texts("x -- this is a comment\ny") == ["x", "y"]
+
+    def test_comment_to_eof(self):
+        assert texts("x -- trailing") == ["x"]
+
+
+class TestSymbols:
+    def test_multi_char_symbols(self):
+        assert texts(":= <= >= /= ->") == [":=", "<=", ">=", "/=", "->"]
+
+    def test_multi_before_single(self):
+        # '<=' must not lex as '<' '='
+        tokens = tokenize("a<=b")
+        assert [t.text for t in tokens[:-1]] == ["a", "<=", "b"]
+
+    def test_single_symbols(self):
+        assert texts("( ) [ ] ; , : + - * / = < >") == list("()[];,:+-*/=<>")
+
+    def test_arrow_vs_minus(self):
+        assert texts("a - > b -> c") == ["a", "-", ">", "b", "->", "c"]
+
+
+class TestPositions:
+    def test_line_column_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("ok\n  @")
+        assert err.value.line == 2
+        assert err.value.column == 3
+
+
+class TestErrors:
+    def test_unterminated_char(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_empty_char(self):
+        with pytest.raises(ParseError):
+            tokenize("''")
+
+    def test_illegal_character(self):
+        with pytest.raises(ParseError):
+            tokenize("x # y")

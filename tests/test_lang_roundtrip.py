@@ -1,0 +1,263 @@
+"""Parser/printer tests, including full round-trip properties.
+
+The printed concrete syntax is the Figure 10 size metric, so the
+printer must be deterministic and the parser must accept everything the
+printer emits.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParseError
+from repro.lang.parser import parse, parse_expression
+from repro.lang.printer import print_expr, print_specification
+from repro.spec.behavior import CompositionMode
+from repro.spec.builder import (
+    assign,
+    call,
+    conc,
+    for_,
+    if_,
+    leaf,
+    sassign,
+    seq,
+    spec,
+    transition,
+    wait_for,
+    wait_on,
+    wait_until,
+    while_,
+)
+from repro.spec.expr import BinOp, Const, Index, UnaryOp, VarRef, var
+from repro.spec.stmt import Assign, SignalAssign, Wait
+from repro.spec.subprogram import Direction, Param, Subprogram
+from repro.spec.types import (
+    BIT,
+    BOOL,
+    EnumType,
+    array_of,
+    bits,
+    int_type,
+)
+from repro.spec.variable import Role, signal, variable
+
+
+class TestExpressionParsing:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == BinOp("+", Const(1), BinOp("*", Const(2), Const(3)))
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expression("a or b and c")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_comparison_binds_tighter_than_and(self):
+        expr = parse_expression("x > 1 and y < 2")
+        assert expr.op == "and"
+        assert expr.left.op == ">"
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary(self):
+        assert parse_expression("-x") == UnaryOp("-", VarRef("x"))
+        assert parse_expression("not p") == UnaryOp("not", VarRef("p"))
+        assert parse_expression("abs x") == UnaryOp("abs", VarRef("x"))
+
+    def test_index(self):
+        expr = parse_expression("a[i + 1]")
+        assert isinstance(expr, Index)
+
+    def test_enum_literal(self):
+        assert parse_expression("'busy'") == Const("busy")
+
+    def test_left_associativity(self):
+        expr = parse_expression("1 - 2 - 3")
+        assert expr == BinOp("-", BinOp("-", Const(1), Const(2)), Const(3))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + 2 extra")
+
+
+def example_specification():
+    """A specification exercising every construct the printer knows."""
+    state = EnumType("state_t", ("idle", "run", "halt"))
+    init = leaf(
+        "Init",
+        assign("x", 0),
+        assign("mode", "idle"),
+        sassign("ready", 1),
+    )
+    work = leaf(
+        "Work",
+        if_(
+            var("x") > 1,
+            [assign("x", var("x") - 1)],
+            [assign("x", var("x") + 2)],
+        ),
+        while_(var("x") < 10, [assign("x", var("x") + 3)], expected=4),
+        for_("i", 0, 7, [assign("buf", var("buf"))]),
+        wait_until(var("go").eq(1)),
+        wait_on("clk"),
+        wait_for(5),
+        call("helper", var("x"), "x"),
+    )
+    done = leaf("Done", assign("mode", "halt"))
+    stage = seq(
+        "Stage",
+        [init, work, done],
+        transitions=[
+            transition("Init", None, "Work"),
+            transition("Work", var("x") >= 10, "Done"),
+            transition("Work", var("x") < 0, "Init"),
+        ],
+    )
+    monitor = leaf("Monitor", wait_until(var("ready").eq(1)))
+    top = conc("Top", [stage, monitor])
+    helper = Subprogram(
+        "helper",
+        params=[
+            Param("a", int_type(16)),
+            Param("b", int_type(16), Direction.OUT),
+        ],
+        stmt_body=[assign("b", var("a") * 2)],
+        decls=[variable("scratch", int_type(16))],
+    )
+    return spec(
+        "Everything",
+        top,
+        variables=[
+            variable("x", int_type(16), init=0),
+            variable("mode", state, init="idle"),
+            variable("buf", array_of(int_type(8), 8)),
+            signal("ready", BIT, init=0),
+            signal("clk", BIT, init=0),
+            signal("go", bits(1), init=0),
+            variable("sensor", int_type(12), role=Role.INPUT),
+            variable("result", int_type(24), role=Role.OUTPUT),
+            variable("flag", BOOL, init=True),
+        ],
+        subprograms=[helper],
+    )
+
+
+class TestRoundTrip:
+    def test_full_roundtrip_reprints_identically(self):
+        original = example_specification()
+        original.validate()
+        text1 = print_specification(original)
+        reparsed = parse(text1)
+        reparsed.validate()
+        text2 = print_specification(reparsed)
+        assert text1 == text2
+
+    def test_roundtrip_preserves_stats(self):
+        original = example_specification()
+        reparsed = parse(print_specification(original))
+        assert original.stats().as_dict() == reparsed.stats().as_dict()
+
+    def test_roundtrip_preserves_structure(self):
+        original = example_specification()
+        reparsed = parse(print_specification(original))
+        assert [b.name for b in original.behaviors()] == [
+            b.name for b in reparsed.behaviors()
+        ]
+        top = reparsed.top
+        assert top.mode is CompositionMode.CONCURRENT
+        stage = reparsed.find_behavior("Stage")
+        assert len(stage.transitions) == 3
+        assert stage.transitions[1].condition == (var("x") >= 10)
+
+    def test_roundtrip_preserves_roles(self):
+        reparsed = parse(print_specification(example_specification()))
+        assert reparsed.global_variable("sensor").role is Role.INPUT
+        assert reparsed.global_variable("result").role is Role.OUTPUT
+
+    def test_roundtrip_preserves_enum(self):
+        reparsed = parse(print_specification(example_specification()))
+        mode = reparsed.global_variable("mode")
+        assert isinstance(mode.dtype, EnumType)
+        assert mode.dtype.literals == ("idle", "run", "halt")
+        assert mode.init == "idle"
+
+    def test_roundtrip_preserves_subprogram(self):
+        reparsed = parse(print_specification(example_specification()))
+        helper = reparsed.subprograms["helper"]
+        assert helper.params[1].direction is Direction.OUT
+        assert len(helper.decls) == 1
+
+    def test_nondefault_initial_roundtrips(self):
+        top = seq("T", [leaf("A"), leaf("B")], initial="B")
+        design = spec("S", top)
+        reparsed = parse(print_specification(design))
+        assert reparsed.top.initial == "B"
+
+
+class TestParseErrors:
+    def test_missing_end(self):
+        with pytest.raises(ParseError):
+            parse("specification S is behavior A is leaf begin null;")
+
+    def test_unknown_type_name(self):
+        with pytest.raises(ParseError):
+            parse(
+                "specification S is variable x : mystery_t;\n"
+                "behavior A is leaf begin null; end behavior;\n"
+                "end specification;"
+            )
+
+    def test_duplicate_type_decl(self):
+        with pytest.raises(ParseError):
+            parse(
+                "specification S is type t is ('a'); type t is ('b');\n"
+                "behavior A is leaf begin null; end behavior;\n"
+                "end specification;"
+            )
+
+    def test_statement_needs_terminator(self):
+        with pytest.raises(ParseError):
+            parse(
+                "specification S is variable x : integer<8>;\n"
+                "behavior A is leaf begin x := 1 end behavior;\n"
+                "end specification;"
+            )
+
+
+_expr_leaves = st.one_of(
+    st.integers(min_value=0, max_value=999).map(Const),
+    st.sampled_from(["a", "b", "c"]).map(VarRef),
+    st.booleans().map(Const),
+)
+
+
+@st.composite
+def _exprs(draw, depth=3):
+    if depth == 0:
+        return draw(_expr_leaves)
+    kind = draw(st.integers(min_value=0, max_value=5))
+    if kind <= 1:
+        return draw(_expr_leaves)
+    if kind <= 3:
+        op = draw(
+            st.sampled_from(
+                ["+", "-", "*", "/", "mod", "=", "/=", "<", "<=", ">", ">=",
+                 "and", "or"]
+            )
+        )
+        return BinOp(op, draw(_exprs(depth=depth - 1)), draw(_exprs(depth=depth - 1)))
+    if kind == 4:
+        op = draw(st.sampled_from(["-", "not", "abs"]))
+        return UnaryOp(op, draw(_exprs(depth=depth - 1)))
+    return Index(VarRef(draw(st.sampled_from(["arr", "mem"]))),
+                 draw(_exprs(depth=depth - 1)))
+
+
+class TestExpressionRoundTripProperty:
+    @given(_exprs())
+    @settings(max_examples=200)
+    def test_print_parse_is_identity(self, expr):
+        assert parse_expression(print_expr(expr)) == expr

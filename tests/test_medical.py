@@ -1,0 +1,147 @@
+"""Tests for the medical bladder-volume system — the paper's evaluation
+workload — and its three design partitions."""
+
+import pytest
+
+from repro.apps.medical import (
+    MEDICAL_INPUTS,
+    all_designs,
+    design1_partition,
+    design2_partition,
+    design3_partition,
+    medical_specification,
+)
+from repro.experiments.paperdata import PAPER_SPEC_STATS
+from repro.graph import AccessGraph, classify_variables
+from repro.lang.parser import parse
+from repro.lang.printer import print_specification
+from repro.models import ALL_MODELS
+from repro.refine import Refiner
+from repro.sim import Simulator
+from repro.sim.equivalence import check_equivalence
+from repro.spec.variable import Role
+
+
+@pytest.fixture(scope="module")
+def medical():
+    spec = medical_specification()
+    spec.validate()
+    return spec
+
+
+@pytest.fixture(scope="module")
+def graph(medical):
+    return AccessGraph.from_specification(medical)
+
+
+class TestPaperStatistics:
+    """The published §5 statistics of the medical system."""
+
+    def test_sixteen_behaviors(self, medical):
+        assert medical.stats().behaviors == PAPER_SPEC_STATS["behaviors"]
+
+    def test_fourteen_variables(self, medical):
+        internal = [
+            v for v in medical.variables if v.role is Role.INTERNAL
+        ]
+        assert len(internal) == PAPER_SPEC_STATS["variables"]
+
+    def test_fiftytwo_channels(self, graph):
+        assert graph.channel_count() == PAPER_SPEC_STATS["channels"]
+
+    def test_line_count_near_paper(self, medical):
+        # paper: 226 lines; our concrete syntax is denser, so allow a band
+        assert 180 <= medical.line_count() <= 260
+
+
+class TestDesignRatios:
+    """The local/global variable ratios that define Design1/2/3."""
+
+    def test_design1_equal(self, medical, graph):
+        cls = classify_variables(graph, design1_partition(medical))
+        assert cls.ratio_label() == "Local = Global"
+        assert cls.local_count == cls.global_count == 7
+
+    def test_design2_more_local(self, medical, graph):
+        cls = classify_variables(graph, design2_partition(medical))
+        assert cls.ratio_label() == "Local > Global"
+
+    def test_design3_more_global(self, medical, graph):
+        cls = classify_variables(graph, design3_partition(medical))
+        assert cls.ratio_label() == "Local < Global"
+
+    def test_all_designs_are_two_way(self, medical):
+        for partition in all_designs(medical).values():
+            assert partition.p == 2
+            assert set(partition.components()) == {"PROC", "ASIC"}
+
+
+class TestFunctionalBehaviour:
+    def test_default_run_completes(self, medical):
+        result = Simulator(medical).run(inputs=MEDICAL_INPUTS)
+        assert result.completed
+        outputs = result.output_values()
+        assert outputs["display_out"] > 0
+        assert outputs["log_out"] > 0
+
+    def test_cycles_input_controls_iterations(self, medical):
+        one = Simulator(medical).run(
+            inputs={"patient_profile": 37, "num_cycles": 1}
+        )
+        three = Simulator(medical).run(
+            inputs={"patient_profile": 37, "num_cycles": 3}
+        )
+        assert one.value_of("cycle") == 1
+        assert three.value_of("cycle") == 3
+
+    def test_alarm_triggers_for_deep_echo(self, medical):
+        quiet = Simulator(medical).run(
+            inputs={"patient_profile": 12, "num_cycles": 2}
+        )
+        loud = Simulator(medical).run(
+            inputs={"patient_profile": 55, "num_cycles": 2}
+        )
+        assert quiet.value_of("alarm_out") == 0
+        assert loud.value_of("alarm_out") > 0
+
+    def test_outputs_depend_on_profile(self, medical):
+        values = {
+            Simulator(medical).run(
+                inputs={"patient_profile": profile, "num_cycles": 2}
+            ).value_of("display_out")
+            for profile in (10, 25, 40, 55)
+        }
+        assert len(values) >= 3  # genuinely input-dependent
+
+
+class TestTextRoundTrip:
+    def test_medical_spec_roundtrips_through_the_language(self, medical):
+        # comments (doc strings) are lexed away, so the fixpoint is the
+        # second-generation print: parse(print(x)) prints identically
+        text = print_specification(medical)
+        reparsed = parse(text)
+        reparsed.validate()
+        stable = print_specification(reparsed)
+        assert print_specification(parse(stable)) == stable
+        assert reparsed.stats().as_dict() == medical.stats().as_dict()
+
+
+class TestMedicalRefinementEquivalence:
+    """The paper's headline: every (design, model) refinement preserves
+    functionality — 12 co-simulations."""
+
+    @pytest.mark.parametrize("design_name", ["Design1", "Design2", "Design3"])
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_refined_is_equivalent(self, medical, design_name, model):
+        partition = all_designs(medical)[design_name]
+        refined = Refiner(medical, partition, model).run()
+        report = check_equivalence(refined, inputs=MEDICAL_INPUTS)
+        report.raise_if_mismatched()
+
+    def test_refinement_under_alternate_stimulus(self, medical):
+        partition = design1_partition(medical)
+        refined = Refiner(medical, partition, ALL_MODELS[3]).run()
+        report = check_equivalence(
+            refined, inputs={"patient_profile": 55, "num_cycles": 1}
+        )
+        report.raise_if_mismatched()

@@ -1,0 +1,252 @@
+"""Tests for the four implementation models' topology plans
+(paper §3, Figure 3)."""
+
+import pytest
+
+from repro.apps.figures import figure2_partition, figure2_specification
+from repro.errors import RefinementError
+from repro.graph import AccessGraph, classify_variables
+from repro.models import (
+    ALL_MODELS,
+    MODEL1,
+    MODEL2,
+    MODEL3,
+    MODEL4,
+    BusRole,
+    resolve_model,
+)
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    spec = figure2_specification()
+    spec.validate()
+    partition = figure2_partition(spec)
+    return spec, partition
+
+
+def build(model, fig2):
+    spec, partition = fig2
+    return model.build_plan(spec, partition)
+
+
+class TestBusCountFormulas:
+    """The paper's maximum-bus formulas for p partitions."""
+
+    @pytest.mark.parametrize(
+        "model,expected",
+        [(MODEL1, 1), (MODEL2, 3), (MODEL3, 6), (MODEL4, 5)],
+    )
+    def test_p2(self, model, expected):
+        assert model.max_buses(2) == expected
+
+    @pytest.mark.parametrize(
+        "model,expected",
+        [(MODEL1, 1), (MODEL2, 4), (MODEL3, 12), (MODEL4, 7)],
+    )
+    def test_p3(self, model, expected):
+        assert model.max_buses(3) == expected
+
+
+class TestModel1Plan:
+    def test_single_bus(self, fig2):
+        plan = build(MODEL1, fig2)
+        assert plan.model_name == "Model1"
+        assert list(plan.buses) == ["b1"]
+        assert plan.buses["b1"].role is BusRole.GLOBAL
+
+    def test_two_global_memories(self, fig2):
+        """Paper §5: 'in Model1 and Model4, two memory modules'."""
+        plan = build(MODEL1, fig2)
+        assert sorted(plan.memories) == ["Gmem1", "Gmem2"]
+        assert all(m.kind == "global" for m in plan.memories.values())
+
+    def test_all_variables_placed(self, fig2):
+        spec, partition = fig2
+        plan = build(MODEL1, fig2)
+        graph = AccessGraph.from_specification(spec)
+        assert set(plan.placement) == graph.variable_names
+
+    def test_every_route_is_b1(self, fig2):
+        plan = build(MODEL1, fig2)
+        assert plan.route("PROC", "v5") == ["b1"]
+        assert plan.route("ASIC", "v1") == ["b1"]
+        assert plan.route("PROC", "v1") == ["b1"]
+
+
+class TestModel2Plan:
+    def test_paper_bus_layout(self, fig2):
+        plan = build(MODEL2, fig2)
+        roles = {name: bus.role for name, bus in plan.buses.items()}
+        assert roles["b1"] is BusRole.LOCAL
+        assert roles["b2"] is BusRole.GLOBAL
+        assert roles["b3"] is BusRole.LOCAL
+        assert plan.buses["b1"].component == "PROC"
+        assert plan.buses["b3"].component == "ASIC"
+
+    def test_four_memories(self, fig2):
+        """Paper §5: 'in Model2 and Model3, four memory modules'."""
+        plan = build(MODEL2, fig2)
+        assert sorted(plan.memories) == ["Gmem1", "Gmem2", "Lmem1", "Lmem2"]
+
+    def test_local_route(self, fig2):
+        plan = build(MODEL2, fig2)
+        assert plan.route("PROC", "v1") == ["b1"]
+        assert plan.route("ASIC", "v6") == ["b3"]
+
+    def test_global_route(self, fig2):
+        plan = build(MODEL2, fig2)
+        assert plan.route("PROC", "v5") == ["b2"]
+        assert plan.route("ASIC", "v4") == ["b2"]
+        assert plan.route("PROC", "v4") == ["b2"]  # globals always on b2
+
+
+class TestModel3Plan:
+    def test_paper_bus_layout(self, fig2):
+        plan = build(MODEL3, fig2)
+        roles = [plan.buses[f"b{i}"].role for i in range(1, 7)]
+        assert roles == [
+            BusRole.LOCAL,
+            BusRole.DEDICATED,
+            BusRole.DEDICATED,
+            BusRole.DEDICATED,
+            BusRole.DEDICATED,
+            BusRole.LOCAL,
+        ]
+
+    def test_global_memory_ports(self, fig2):
+        plan = build(MODEL3, fig2)
+        # each global memory has one port per partition
+        assert plan.memories["Gmem1"].port_count == 2
+        assert plan.memories["Gmem2"].port_count == 2
+
+    def test_dedicated_routing(self, fig2):
+        plan = build(MODEL3, fig2)
+        # v4 homed PROC -> Gmem1; v5, v7 homed ASIC -> Gmem2
+        proc_to_g1 = plan.route("PROC", "v4")
+        proc_to_g2 = plan.route("PROC", "v5")
+        asic_to_g1 = plan.route("ASIC", "v4")
+        asic_to_g2 = plan.route("ASIC", "v7")
+        assert proc_to_g1 == ["b2"]
+        assert proc_to_g2 == ["b3"]
+        assert asic_to_g1 == ["b4"]
+        assert asic_to_g2 == ["b5"]
+
+    def test_local_routing(self, fig2):
+        plan = build(MODEL3, fig2)
+        assert plan.route("PROC", "v2") == ["b1"]
+        assert plan.route("ASIC", "v6") == ["b6"]
+
+
+class TestModel4Plan:
+    def test_paper_bus_layout(self, fig2):
+        plan = build(MODEL4, fig2)
+        roles = [plan.buses[f"b{i}"].role for i in range(1, 6)]
+        assert roles == [
+            BusRole.LOCAL,
+            BusRole.IFACE,
+            BusRole.INTERCHANGE,
+            BusRole.IFACE,
+            BusRole.LOCAL,
+        ]
+
+    def test_two_local_memories_dual_ported(self, fig2):
+        plan = build(MODEL4, fig2)
+        assert sorted(plan.memories) == ["Lmem1", "Lmem2"]
+        for memory in plan.memories.values():
+            assert memory.port_count == 2  # behaviors port + interface port
+
+    def test_resident_route_uses_local_bus(self, fig2):
+        plan = build(MODEL4, fig2)
+        assert plan.route("PROC", "v1") == ["b1"]
+        assert plan.route("PROC", "v4") == ["b1"]  # global but PROC-resident
+        assert plan.route("ASIC", "v5") == ["b5"]
+
+    def test_cross_route_traverses_three_buses(self, fig2):
+        """The b2=b3=b4 of the paper: every cross access loads the
+        accessor's iface bus, the interchange and the owner's iface."""
+        plan = build(MODEL4, fig2)
+        assert plan.route("PROC", "v5") == ["b2", "b3", "b4"]
+        assert plan.route("ASIC", "v4") == ["b4", "b3", "b2"]
+
+    def test_all_variables_in_home_memory(self, fig2):
+        plan = build(MODEL4, fig2)
+        assert "v4" in plan.memories["Lmem1"].variables
+        assert "v5" in plan.memories["Lmem2"].variables
+
+
+class TestAddressing:
+    def test_addresses_unique_and_contiguous(self, fig2):
+        for model in ALL_MODELS:
+            plan = build(model, fig2)
+            slots = set()
+            for name, rng in plan.addresses.items():
+                for a in range(rng.base, rng.base + rng.size):
+                    assert a not in slots, f"{model.name}: address clash at {a}"
+                    slots.add(a)
+            assert slots == set(range(len(slots)))
+
+    def test_memory_span_covers_its_variables(self, fig2):
+        plan = build(MODEL4, fig2)
+        lo, hi = plan.memory_address_span("Lmem1")
+        for name in plan.memories["Lmem1"].variables:
+            rng = plan.address_of(name)
+            assert lo <= rng.base <= rng.last <= hi
+
+    def test_component_span(self, fig2):
+        plan = build(MODEL4, fig2)
+        lo, hi = plan.component_address_span("PROC")
+        assert lo <= plan.address_of("v4").base <= hi
+        v5 = plan.address_of("v5")
+        assert not (lo <= v5.base <= hi)
+
+    def test_addr_width_covers_space(self, fig2):
+        plan = build(MODEL1, fig2)
+        space = sum(r.size for r in plan.addresses.values())
+        for bus in plan.buses.values():
+            assert (1 << bus.addr_width) >= space
+
+
+class TestResolveModel:
+    def test_by_name(self):
+        assert resolve_model("Model3") is MODEL3
+
+    def test_passthrough(self):
+        assert resolve_model(MODEL2) is MODEL2
+
+    def test_unknown(self):
+        with pytest.raises(RefinementError):
+            resolve_model("Model9")
+
+
+class TestDegenerateCases:
+    def test_no_globals_model2_has_no_global_bus(self):
+        """A partition where every variable is local."""
+        from repro.partition import Partition
+        from repro.spec.builder import assign, leaf, seq, spec, transition
+        from repro.spec.expr import var
+        from repro.spec.types import int_type
+        from repro.spec.variable import variable
+
+        a = leaf("A", assign("x", var("x") + 1))
+        b = leaf("B", assign("y", var("y") + 1))
+        top = seq("T", [a, b], transitions=[transition("A", None, "B")])
+        design = spec(
+            "S",
+            top,
+            variables=[
+                variable("x", int_type(), init=0),
+                variable("y", int_type(), init=0),
+            ],
+        )
+        design.validate()
+        partition = Partition.from_mapping(
+            design, {"A": "P1", "B": "P2", "x": "P1", "y": "P2"}
+        )
+        plan = MODEL2.build_plan(design, partition)
+        assert not plan.buses_with_role(BusRole.GLOBAL)
+        assert sorted(plan.memories) == ["Lmem1", "Lmem2"]
+
+        plan4 = MODEL4.build_plan(design, partition)
+        assert not plan4.buses_with_role(BusRole.INTERCHANGE)
+        assert len(plan4.buses) == 2  # just the two local buses

@@ -1,0 +1,106 @@
+"""Generality beyond the paper's two-way examples: three-component
+partitions across all four implementation models.
+
+Exercises Model3's p + p*p dedicated-bus grid and Model4's interchange
+shared by three bus interfaces (with the global remote-transaction
+lock keeping the two-hop message paths deadlock-free).
+"""
+
+import pytest
+
+from repro.models import ALL_MODELS, MODEL3, MODEL4, BusRole
+from repro.partition import Partition
+from repro.refine import Refiner
+from repro.sim.equivalence import check_equivalence
+from repro.spec.builder import (
+    assign,
+    leaf,
+    on_complete,
+    seq,
+    spec,
+    transition,
+)
+from repro.spec.expr import var
+from repro.spec.types import int_type
+from repro.spec.variable import Role, variable
+
+
+@pytest.fixture(scope="module")
+def three_way():
+    a = leaf("A", assign("x", var("inp") + 1), assign("y", var("x") * 2))
+    b = leaf("B", assign("y", var("y") + var("x")), assign("z", var("y") - 3))
+    c = leaf("C", assign("out", var("z") + var("x") + var("y")))
+    top = seq(
+        "T",
+        [a, b, c],
+        transitions=[
+            transition("A", None, "B"),
+            transition("B", None, "C"),
+            on_complete("C"),
+        ],
+    )
+    design = spec(
+        "ThreeWay",
+        top,
+        variables=[
+            variable("inp", int_type(), init=5, role=Role.INPUT),
+            variable("out", int_type(), init=0, role=Role.OUTPUT),
+            variable("x", int_type(), init=0),
+            variable("y", int_type(), init=0),
+            variable("z", int_type(), init=0),
+        ],
+    )
+    design.validate()
+    partition = Partition.from_mapping(
+        design,
+        {"A": "P1", "B": "P2", "C": "P3", "x": "P1", "y": "P2", "z": "P3"},
+        name="threeway",
+    )
+    return design, partition
+
+
+class TestThreeWayRefinement:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    @pytest.mark.parametrize("inp", [5, -2, 0])
+    def test_equivalent(self, three_way, model, inp):
+        design, partition = three_way
+        refined = Refiner(design, partition, model).run()
+        check_equivalence(refined, inputs={"inp": inp}).raise_if_mismatched()
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_bus_counts_within_formula(self, three_way, model):
+        design, partition = three_way
+        refined = Refiner(design, partition, model).run()
+        assert refined.netlist.bus_count <= model.max_buses(3)
+
+    def test_model3_has_dedicated_grid(self, three_way):
+        design, partition = three_way
+        plan = MODEL3.build_plan(design, partition)
+        # every variable is global here (each is read downstream), so:
+        # 3 global memories, each with 3 ports, 9 dedicated buses
+        dedicated = plan.buses_with_role(BusRole.DEDICATED)
+        assert len(dedicated) == 9
+        for memory in plan.memories.values():
+            assert memory.port_count == 3
+
+    def test_model4_three_interfaces_one_interchange(self, three_way):
+        design, partition = three_way
+        refined = Refiner(design, partition, MODEL4).run()
+        interchange = refined.plan.buses_with_role(BusRole.INTERCHANGE)
+        assert len(interchange) == 1
+        iface = refined.plan.buses_with_role(BusRole.IFACE)
+        assert len(iface) == 3
+        # every component both requests remotely and serves residents
+        names = set(refined.netlist.interfaces)
+        for component in ("P1", "P2", "P3"):
+            assert f"BI_{component}_out" in names or (
+                f"BI_{component}_in" in names
+            )
+
+    def test_model4_cross_route_spans_exactly_three_buses(self, three_way):
+        design, partition = three_way
+        plan = MODEL4.build_plan(design, partition)
+        route = plan.route("P1", "z")  # z homed on P3
+        assert len(route) == 3
+        roles = [plan.buses[name].role for name in route]
+        assert roles == [BusRole.IFACE, BusRole.INTERCHANGE, BusRole.IFACE]

@@ -1,0 +1,130 @@
+"""Unit tests for the partition model."""
+
+import pytest
+
+from repro.apps.figures import (
+    figure1_partition,
+    figure1_specification,
+    figure2_partition,
+    figure2_specification,
+)
+from repro.errors import PartitionError
+from repro.partition import Partition
+from repro.spec.builder import assign, leaf, seq, spec, transition
+from repro.spec.expr import var
+from repro.spec.types import int_type
+from repro.spec.variable import variable
+
+
+class TestFigurePartitions:
+    def test_figure1_components_in_order(self):
+        s = figure1_specification()
+        p = figure1_partition(s)
+        assert p.components() == ["PROC", "ASIC1"]
+        assert p.p == 2
+
+    def test_component_of_behavior(self):
+        s = figure1_specification()
+        p = figure1_partition(s)
+        assert p.component_of_behavior("A") == "PROC"
+        assert p.component_of_behavior("B") == "ASIC1"
+
+    def test_component_of_variable(self):
+        s = figure1_specification()
+        p = figure1_partition(s)
+        assert p.component_of_variable("x") == "ASIC1"
+
+    def test_leaves_of(self):
+        s = figure2_specification()
+        p = figure2_partition(s)
+        assert sorted(p.leaves_of("PROC")) == ["B1", "B2"]
+        assert sorted(p.leaves_of("ASIC")) == ["B3", "B4"]
+
+    def test_variables_of(self):
+        s = figure2_specification()
+        p = figure2_partition(s)
+        assert set(p.variables_of("ASIC")) == {"v5", "v6", "v7"}
+
+    def test_port_variables_are_not_partitionable(self):
+        s = figure2_specification()
+        mapping = dict(figure2_partition(s).assignment)
+        mapping["stimulus"] = "PROC"  # INPUT port: rejected
+        with pytest.raises(PartitionError):
+            Partition.from_mapping(s, mapping)
+
+
+class TestAncestorResolution:
+    def make(self):
+        inner = leaf("Leaf1", assign("x", 1))
+        mid = seq("Mid", [inner])
+        other = leaf("Leaf2", assign("x", 2))
+        top = seq(
+            "Top",
+            [mid, other],
+            transitions=[transition("Mid", None, "Leaf2")],
+        )
+        return spec("S", top, variables=[variable("x", int_type())])
+
+    def test_leaf_resolves_through_assigned_ancestor(self):
+        s = self.make()
+        p = Partition.from_mapping(
+            s, {"Mid": "HW", "Leaf2": "SW", "x": "SW"}
+        )
+        assert p.component_of_behavior("Leaf1") == "HW"
+
+    def test_direct_assignment_beats_ancestor(self):
+        s = self.make()
+        p = Partition.from_mapping(
+            s, {"Top": "SW", "Leaf1": "HW", "x": "SW"}
+        )
+        assert p.component_of_behavior("Leaf1") == "HW"
+        assert p.component_of_behavior("Leaf2") == "SW"
+
+    def test_whole_tree_assignment(self):
+        s = self.make()
+        p = Partition.from_mapping(s, {"Top": "SW", "x": "SW"})
+        assert p.component_of_behavior("Leaf1") == "SW"
+        assert p.p == 1
+
+
+class TestValidation:
+    def test_unknown_object_rejected(self):
+        s = figure1_specification()
+        with pytest.raises(PartitionError):
+            Partition.from_mapping(s, {"Ghost": "PROC"})
+
+    def test_uncovered_leaf_rejected(self):
+        s = figure1_specification()
+        with pytest.raises(PartitionError):
+            Partition.from_mapping(
+                s, {"A": "PROC", "B": "ASIC", "x": "ASIC"}
+            )  # C unassigned
+
+    def test_unassigned_variable_rejected(self):
+        s = figure1_specification()
+        with pytest.raises(PartitionError):
+            Partition.from_mapping(s, {"Main": "PROC"})  # x unassigned
+
+    def test_signals_need_no_assignment(self):
+        from repro.spec.builder import sassign, wait_on
+        from repro.spec.types import BIT
+        from repro.spec.variable import signal
+
+        b = leaf("A", sassign("s", 1))
+        s = spec("S", b, variables=[signal("s", BIT)])
+        Partition.from_mapping(s, {"A": "HW"})  # must not raise
+
+
+class TestMoved:
+    def test_moved_returns_new_partition(self):
+        s = figure2_specification()
+        p = figure2_partition(s)
+        q = p.moved("v4", "ASIC")
+        assert p.component_of_variable("v4") == "PROC"
+        assert q.component_of_variable("v4") == "ASIC"
+
+    def test_describe_mentions_components(self):
+        s = figure2_specification()
+        p = figure2_partition(s)
+        text = p.describe()
+        assert "PROC" in text and "ASIC" in text

@@ -1,0 +1,99 @@
+"""Property tests over the model plans: for random partitions of the
+medical system, every model must plan a consistent topology — unique
+addresses, routes that stay within the planned buses, bus counts within
+the paper's formulas, and placements covering every variable."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps.medical import medical_specification
+from repro.graph import AccessGraph
+from repro.models import ALL_MODELS
+from repro.partition import Partition
+
+SPEC = medical_specification()
+SPEC.validate()
+GRAPH = AccessGraph.from_specification(SPEC)
+LEAVES = [leaf.name for leaf in SPEC.leaf_behaviors()]
+VARIABLES = sorted(GRAPH.variable_names)
+
+
+@st.composite
+def random_partitions(draw):
+    components = draw(
+        st.sampled_from([("PROC", "ASIC"), ("P1", "P2", "P3")])
+    )
+    assignment = {}
+    for name in LEAVES + VARIABLES:
+        assignment[name] = draw(st.sampled_from(components))
+    # force every component to be populated so p matches
+    for index, component in enumerate(components):
+        assignment[LEAVES[index % len(LEAVES)]] = component
+    return Partition.from_mapping(SPEC, assignment, name="fuzz")
+
+
+class TestPlanProperties:
+    @given(random_partitions())
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_every_model_plans_consistently(self, partition):
+        for model in ALL_MODELS:
+            plan = model.build_plan(SPEC, partition, graph=GRAPH)
+
+            # bus count within the paper's formula
+            assert len(plan.buses) <= model.max_buses(partition.p)
+
+            # every variable placed exactly once
+            placed = [
+                name
+                for memory in plan.memories.values()
+                for name in memory.variables
+            ]
+            assert sorted(placed) == VARIABLES
+            assert set(plan.placement) == set(VARIABLES)
+
+            # addresses unique and gap-free
+            slots = set()
+            for name in VARIABLES:
+                rng = plan.address_of(name)
+                for addr in range(rng.base, rng.base + rng.size):
+                    assert addr not in slots
+                    slots.add(addr)
+            assert slots == set(range(len(slots)))
+
+            # every (accessor component, variable) pair routes over
+            # buses that exist in the plan
+            for channel in GRAPH.data_channels():
+                component = partition.effective_component_of_behavior(
+                    channel.behavior
+                )
+                for bus in plan.route(component, channel.variable):
+                    assert bus in plan.buses
+
+    @given(random_partitions())
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_model4_cross_routes_are_symmetric_triples(self, partition):
+        from repro.models import MODEL4
+
+        plan = MODEL4.build_plan(SPEC, partition, graph=GRAPH)
+        classification = plan.classification
+        for variable in VARIABLES:
+            home = classification.home[variable]
+            for component in partition.components():
+                route = plan.route(component, variable)
+                if component == home:
+                    assert len(route) == 1
+                else:
+                    assert len(route) == 3
+                    # middle hop is always the interchange
+                    from repro.models import BusRole
+
+                    assert (
+                        plan.buses[route[1]].role is BusRole.INTERCHANGE
+                    )

@@ -1,0 +1,99 @@
+"""Drill-down coverage for the rate reports and netlist queries that
+the harnesses use but earlier tests only touched indirectly."""
+
+import pytest
+
+from repro.apps.figures import figure2_partition, figure2_specification
+from repro.arch import Allocation, asic, processor
+from repro.errors import EstimationError
+from repro.estimate import (
+    bus_transfer_rates,
+    channel_rates,
+    profile_specification,
+    static_profile,
+)
+from repro.graph import AccessGraph
+from repro.models import MODEL2, MODEL3
+
+
+@pytest.fixture(scope="module")
+def setting():
+    spec = figure2_specification()
+    spec.validate()
+    partition = figure2_partition(spec)
+    allocation = Allocation([processor("PROC"), asic("ASIC")])
+    graph = AccessGraph.from_specification(spec)
+    profile = profile_specification(spec, partition, allocation, graph=graph)
+    return spec, partition, graph, profile
+
+
+class TestBusRateReport:
+    def test_channels_recorded_for_drilldown(self, setting):
+        spec, partition, graph, profile = setting
+        plan = MODEL2.build_plan(spec, partition, graph=graph)
+        report = bus_transfer_rates(plan, graph, profile)
+        assert report.channels
+        assert all(c.bits_per_second > 0 for c in report.channels)
+
+    def test_unknown_bus_raises(self, setting):
+        spec, partition, graph, profile = setting
+        plan = MODEL2.build_plan(spec, partition, graph=graph)
+        report = bus_transfer_rates(plan, graph, profile)
+        with pytest.raises(EstimationError):
+            report.rate_of("b99")
+
+    def test_mbits_helper(self, setting):
+        spec, partition, graph, profile = setting
+        plan = MODEL2.build_plan(spec, partition, graph=graph)
+        report = bus_transfer_rates(plan, graph, profile)
+        assert report.mbits("b1") == pytest.approx(report.rate_of("b1") / 1e6)
+
+    def test_describe_lists_every_bus(self, setting):
+        spec, partition, graph, profile = setting
+        plan = MODEL3.build_plan(spec, partition, graph=graph)
+        report = bus_transfer_rates(plan, graph, profile)
+        text = report.describe()
+        for bus in plan.buses:
+            assert bus in text
+
+    def test_channel_rate_repr(self, setting):
+        spec, partition, graph, profile = setting
+        rate = channel_rates(graph, profile)[0]
+        assert "Mbit/s" in repr(rate)
+
+
+class TestProfileIntrospection:
+    def test_describe_mentions_busiest_behavior(self, setting):
+        spec, partition, graph, profile = setting
+        text = profile.describe(top=3)
+        assert "dynamic profile" in text
+        assert "us active" in text
+
+    def test_total_accesses(self, setting):
+        spec, partition, graph, profile = setting
+        assert profile.total_accesses("v4") >= 3  # B1, B2, B3 touch v4
+
+    def test_static_profile_describe(self, setting):
+        spec, partition, graph, _ = setting
+        static = static_profile(spec, partition, graph=graph)
+        assert "static profile" in static.describe()
+
+
+class TestNetlistQueries:
+    def test_bus_of_memory_port(self, setting):
+        from repro.refine import Refiner
+
+        spec, partition, graph, _ = setting
+        refined = Refiner(spec, partition, MODEL3).run()
+        netlist = refined.netlist
+        bus = netlist.bus_of_memory_port("Gmem1", 0)
+        assert bus.name in refined.plan.memories["Gmem1"].port_buses
+
+    def test_netlist_describe_sections(self, setting):
+        from repro.refine import Refiner
+
+        spec, partition, graph, _ = setting
+        refined = Refiner(spec, partition, MODEL3).run()
+        text = refined.netlist.describe()
+        assert "memory" in text
+        assert "bus " in text

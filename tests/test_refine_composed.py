@@ -1,0 +1,110 @@
+"""Integration of all three refinement classes at once: a *moved
+composite* behavior whose internal transition conditions read a
+variable homed on the other partition — control-related refinement
+(wrap scheme), transition-condition data refinement inside the moved
+wrapper, and the architecture machinery all have to compose."""
+
+import pytest
+
+from repro.models import ALL_MODELS
+from repro.partition import Partition
+from repro.refine import Refiner
+from repro.sim.equivalence import check_equivalence
+from repro.spec.builder import (
+    assign,
+    leaf,
+    on_complete,
+    seq,
+    spec,
+    transition,
+)
+from repro.spec.expr import var
+from repro.spec.types import int_type
+from repro.spec.variable import Role, variable
+
+
+@pytest.fixture(scope="module")
+def moved_composite_design():
+    """A on P1; composite B (with conditional internal arcs on shared
+    ``x``) moved to P2; C back on P1."""
+    a = leaf("A", assign("x", var("inp") + 2))
+    b1 = leaf("B1", assign("x", var("x") * 2), assign("y", var("y") + 1))
+    b2 = leaf("B2", assign("y", var("y") * 10))
+    b3 = leaf("B3", assign("y", var("y") - 1))
+    b = seq(
+        "B",
+        [b1, b2, b3],
+        transitions=[
+            transition("B1", var("x") > 5, "B2"),
+            transition("B1", var("x") <= 5, "B3"),
+            on_complete("B2"),
+            on_complete("B3"),
+        ],
+    )
+    c = leaf("C", assign("out", var("x") + var("y")))
+    top = seq(
+        "Main",
+        [a, b, c],
+        transitions=[
+            transition("A", None, "B"),
+            transition("B", None, "C"),
+            on_complete("C"),
+        ],
+    )
+    design = spec(
+        "MovedComposite",
+        top,
+        variables=[
+            variable("inp", int_type(), init=3, role=Role.INPUT),
+            variable("out", int_type(), init=0, role=Role.OUTPUT),
+            variable("x", int_type(), init=0),
+            variable("y", int_type(), init=1),
+        ],
+    )
+    design.validate()
+    partition = Partition.from_mapping(
+        design,
+        {"A": "P1", "B": "P2", "C": "P1", "x": "P1", "y": "P2"},
+        name="moved-composite",
+    )
+    return design, partition
+
+
+class TestMovedCompositeWithRemoteConditions:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    @pytest.mark.parametrize("inp", [3, 0, -6, 10])
+    def test_equivalent(self, moved_composite_design, model, inp):
+        design, partition = moved_composite_design
+        refined = Refiner(design, partition, model).run()
+        report = check_equivalence(refined, inputs={"inp": inp})
+        report.raise_if_mismatched()
+
+    def test_structure(self, moved_composite_design):
+        design, partition = moved_composite_design
+        refined = Refiner(design, partition, ALL_MODELS[0]).run()
+        # the moved composite got the wrap scheme
+        assert refined.control.moved[0].scheme == "wrap"
+        wrapper = refined.spec.find_behavior("B_NEW")
+        assert wrapper.daemon
+        # the inner composite's conditions were rewritten to a tmp
+        inner = refined.spec.find_behavior("B")
+        from repro.spec.expr import free_variables
+
+        for arc in inner.transitions:
+            if arc.condition is not None:
+                assert "x" not in free_variables(arc.condition)
+        # and B declares the tmp the fetches fill
+        assert any(d.name.startswith("tmp_x") for d in inner.decls)
+
+    def test_fetch_runs_on_the_moved_side(self, moved_composite_design):
+        """The condition fetch appended to B1 executes on P2 (B's new
+        home), so the protocol call must route from P2."""
+        design, partition = moved_composite_design
+        refined = Refiner(design, partition, ALL_MODELS[3]).run()  # Model4
+        b1 = refined.spec.find_behavior("B1")
+        from repro.spec.stmt import CallStmt
+
+        trailing = [s for s in b1.stmt_body if isinstance(s, CallStmt)]
+        assert trailing, "B1 should end with the condition fetch"
+        # x is homed on P1, fetched from P2: a REMOTE access in Model4
+        assert trailing[-1].callee.startswith("REMOTE_receive")

@@ -1,0 +1,152 @@
+"""Tests for control-related refinement (paper §4.1, Figure 4)."""
+
+import pytest
+
+from repro.apps.figures import (
+    figure4_nonleaf_specification,
+    figure4_specification,
+)
+from repro.partition import Partition
+from repro.refine import ControlScheme, NamePool, control_refine
+from repro.spec.behavior import CompositeBehavior, LeafBehavior
+from repro.spec.stmt import SignalAssign, Wait, While
+from repro.spec.variable import StorageClass
+
+
+def refine_figure4(scheme=ControlScheme.AUTO, nonleaf=False):
+    spec = (
+        figure4_nonleaf_specification() if nonleaf else figure4_specification()
+    )
+    spec.validate()
+    partition = Partition.from_mapping(
+        spec, {"A": "P1", "B": "P2", "C": "P1", "acc": "P1"}
+    )
+    refined = spec.copy()
+    pool = NamePool.for_specification(refined)
+    result = control_refine(refined, partition, pool, scheme=scheme)
+    return spec, refined, result
+
+
+class TestLeafScheme:
+    def test_moved_record(self):
+        _, _, result = refine_figure4()
+        assert len(result.moved) == 1
+        moved = result.moved[0]
+        assert moved.original == "B"
+        assert moved.ctrl == "B_CTRL"
+        assert moved.wrapper == "B_NEW"
+        assert moved.component == "P2"
+        assert moved.scheme == "leaf"
+
+    def test_ctrl_replaces_b_in_sequence(self):
+        _, refined, _ = refine_figure4()
+        top = refined.top
+        assert top.has_child("B_CTRL")
+        assert not top.has_child("B")
+        # arcs now route through B_CTRL: A -> B_CTRL -> C
+        assert top.transitions_from("A")[0].target == "B_CTRL"
+        assert top.transitions_from("B_CTRL")[0].target == "C"
+
+    def test_ctrl_body_is_four_phase_handshake(self):
+        _, refined, _ = refine_figure4()
+        ctrl = refined.find_behavior("B_CTRL")
+        kinds = [type(s) for s in ctrl.stmt_body]
+        assert kinds == [SignalAssign, Wait, SignalAssign, Wait]
+
+    def test_signals_declared_globally(self):
+        _, refined, result = refine_figure4()
+        names = {v.name for v in refined.variables if v.kind is StorageClass.SIGNAL}
+        assert {"B_start", "B_done"} <= names
+        assert {s.name for s in result.signals} == {"B_start", "B_done"}
+
+    def test_wrapper_is_daemon_loop(self):
+        _, _, result = refine_figure4()
+        wrapper = result.daemons[0]
+        assert isinstance(wrapper, LeafBehavior)
+        assert wrapper.daemon
+        assert isinstance(wrapper.stmt_body[0], While)  # endless server loop
+
+    def test_wrapper_contains_original_statements(self):
+        spec, _, result = refine_figure4()
+        wrapper = result.daemons[0]
+        loop_body = wrapper.stmt_body[0].loop_body
+        original_stmts = spec.find_behavior("B").stmt_body
+        assert original_stmts[0] in loop_body
+
+    def test_leaf_component_map(self):
+        _, _, result = refine_figure4()
+        assert result.leaf_component["A"] == "P1"
+        assert result.leaf_component["C"] == "P1"
+        assert result.leaf_component["B_CTRL"] == "P1"
+        assert result.leaf_component["B_NEW"] == "P2"
+
+
+class TestWrapScheme:
+    def test_forced_wrap_for_leaf(self):
+        _, _, result = refine_figure4(scheme=ControlScheme.WRAP)
+        moved = result.moved[0]
+        assert moved.scheme == "wrap"
+        wrapper = result.daemons[0]
+        assert isinstance(wrapper, CompositeBehavior)
+
+    def test_wrap_structure(self):
+        _, _, result = refine_figure4(scheme=ControlScheme.WRAP)
+        wrapper = result.daemons[0]
+        names = [c.name for c in wrapper.subs]
+        assert names == ["B_wait_start", "B", "B_set_done"]
+        # the loop arc: set_done -> wait_start
+        arcs = {(t.source, t.target) for t in wrapper.transitions}
+        assert ("B_set_done", "B_wait_start") in arcs
+
+    def test_composite_child_always_wraps(self):
+        _, _, result = refine_figure4(nonleaf=True)
+        moved = result.moved[0]
+        assert moved.scheme == "wrap"
+        wrapper = result.daemons[0]
+        assert isinstance(wrapper, CompositeBehavior)
+        # original composite B kept whole inside
+        inner = wrapper.child("B")
+        assert isinstance(inner, CompositeBehavior)
+        assert [c.name for c in inner.subs] == ["B1", "B2"]
+
+    def test_nonleaf_inner_leaves_recorded(self):
+        _, _, result = refine_figure4(nonleaf=True)
+        assert result.leaf_component["B1"] == "P2"
+        assert result.leaf_component["B2"] == "P2"
+
+
+class TestNoMovement:
+    def test_single_component_partition_moves_nothing(self):
+        spec = figure4_specification()
+        partition = Partition.from_mapping(spec, {"P": "SW", "acc": "SW"})
+        refined = spec.copy()
+        result = control_refine(
+            refined, partition, NamePool.for_specification(refined)
+        )
+        assert result.moved == []
+        assert result.daemons == []
+        assert refined.top.has_child("B")
+        assert result.leaf_component["B"] == "SW"
+
+    def test_refined_spec_still_validates(self):
+        _, refined, _ = refine_figure4()
+        refined.validate()
+
+
+class TestNameCollisions:
+    def test_fresh_names_when_taken(self):
+        spec = figure4_specification()
+        # pre-declare a behavior named B_CTRL to force suffixing
+        from repro.spec.builder import leaf as make_leaf, skip
+
+        spec.top.add_child(make_leaf("B_CTRL", skip()))
+        spec.link()
+        partition = Partition.from_mapping(
+            spec, {"A": "P1", "B": "P2", "C": "P1", "B_CTRL": "P1", "acc": "P1"}
+        )
+        refined = spec.copy()
+        result = control_refine(
+            refined, partition, NamePool.for_specification(refined)
+        )
+        assert result.moved[0].ctrl == "B_CTRL_2"
+        refined.validate()

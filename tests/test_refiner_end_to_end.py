@@ -1,0 +1,258 @@
+"""End-to-end refiner tests: full pipeline over the paper's figures,
+every implementation model, equivalence and structural invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import refine_specification
+from repro.apps.figures import (
+    figure1_partition,
+    figure1_specification,
+    figure2_partition,
+    figure2_specification,
+)
+from repro.errors import RefinementError
+from repro.models import ALL_MODELS, MODEL1, MODEL2, MODEL4, resolve_model
+from repro.partition import Partition
+from repro.refine import ControlScheme, Refiner
+from repro.sim.equivalence import check_equivalence
+
+
+@pytest.fixture(scope="module", params=[m.name for m in ALL_MODELS])
+def fig2_design(request):
+    spec = figure2_specification()
+    spec.validate()
+    partition = figure2_partition(spec)
+    return Refiner(spec, partition, resolve_model(request.param)).run()
+
+
+class TestStructuralInvariants:
+    def test_refined_spec_validates(self, fig2_design):
+        fig2_design.spec.validate()
+
+    def test_bus_count_within_model_maximum(self, fig2_design):
+        p = fig2_design.partition.p
+        assert fig2_design.netlist.bus_count <= fig2_design.model.max_buses(p)
+
+    def test_memory_counts_match_paper(self, fig2_design):
+        """Paper §5: Model1/Model4 need two memories, Model2/Model3
+        four."""
+        expected = {"Model1": 2, "Model2": 4, "Model3": 4, "Model4": 2}
+        assert (
+            fig2_design.netlist.memory_count
+            == expected[fig2_design.model.name]
+        )
+
+    def test_every_placed_variable_has_a_holder(self, fig2_design):
+        for variable, holder in fig2_design.observation_map.items():
+            behavior = fig2_design.spec.find_behavior(holder)
+            assert any(d.name == variable for d in behavior.decls)
+
+    def test_placed_variables_removed_from_globals(self, fig2_design):
+        for variable in fig2_design.observation_map:
+            assert fig2_design.spec.global_variable(variable) is None
+
+    def test_refined_is_larger(self, fig2_design):
+        sizes = fig2_design.line_counts()
+        assert sizes["refined"] > 3 * sizes["original"]
+
+    def test_system_top_is_concurrent(self, fig2_design):
+        assert fig2_design.spec.top.is_concurrent
+
+    def test_refinement_time_recorded(self, fig2_design):
+        assert 0 < fig2_design.refinement_seconds < 10
+
+
+class TestEquivalenceAcrossModels:
+    @pytest.mark.parametrize("stimulus", [1, 7, -4, 0])
+    def test_figure2_equivalent(self, fig2_design, stimulus):
+        report = check_equivalence(fig2_design, inputs={"stimulus": stimulus})
+        report.raise_if_mismatched()
+
+    def test_original_untouched_by_refinement(self, fig2_design):
+        """Refinement must not mutate its input specification."""
+        fresh = figure2_specification()
+        assert (
+            fig2_design.original.line_count() == fresh.line_count()
+        )
+        assert fig2_design.original.stats().as_dict() == fresh.stats().as_dict()
+
+
+class TestFigure1AllModels:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    @pytest.mark.parametrize("seed", [3, -5, 0])
+    def test_equivalent(self, model, seed):
+        spec = figure1_specification()
+        partition = figure1_partition(spec)
+        design = Refiner(spec, partition, model).run()
+        check_equivalence(design, inputs={"seed": seed}).raise_if_mismatched()
+
+
+class TestControlSchemeAblation:
+    @pytest.mark.parametrize("scheme", [ControlScheme.AUTO, ControlScheme.WRAP])
+    def test_both_schemes_equivalent(self, scheme):
+        spec = figure1_specification()
+        partition = figure1_partition(spec)
+        design = Refiner(
+            spec, partition, MODEL1, control_scheme=scheme
+        ).run()
+        check_equivalence(design, inputs={"seed": 3}).raise_if_mismatched()
+
+    def test_wrap_scheme_is_larger(self):
+        spec = figure1_specification()
+        partition = figure1_partition(spec)
+        auto = Refiner(spec, partition, MODEL1).run()
+        wrap = Refiner(
+            spec, partition, MODEL1, control_scheme=ControlScheme.WRAP
+        ).run()
+        assert (
+            wrap.line_counts()["refined"] > auto.line_counts()["refined"]
+        )
+
+
+class TestProtocolAblation:
+    @pytest.mark.parametrize("protocol", ["handshake", "strobe"])
+    def test_both_protocols_equivalent(self, protocol):
+        spec = figure2_specification()
+        partition = figure2_partition(spec)
+        design = Refiner(spec, partition, MODEL2, protocol=protocol).run()
+        check_equivalence(design, inputs={"stimulus": 2}).raise_if_mismatched()
+
+    def test_unknown_protocol_rejected(self):
+        spec = figure1_specification()
+        partition = figure1_partition(spec)
+        with pytest.raises(RefinementError):
+            Refiner(spec, partition, MODEL1, protocol="smoke-signals")
+
+    def test_strobe_advances_time(self):
+        """The strobe protocol burns wall-clock hold times; the
+        handshake completes in delta cycles."""
+        spec = figure1_specification()
+        partition = figure1_partition(spec)
+        from repro.sim import Simulator
+
+        strobe = Refiner(spec, partition, MODEL1, protocol="strobe").run()
+        handshake = Refiner(spec, partition, MODEL1).run()
+        t_strobe = Simulator(strobe.spec).run(inputs={"seed": 3}).time
+        t_handshake = Simulator(handshake.spec).run(inputs={"seed": 3}).time
+        assert t_strobe > t_handshake
+
+
+class TestConvenienceApi:
+    def test_refine_specification_wrapper(self):
+        spec = figure1_specification()
+        design = refine_specification(
+            spec,
+            partition={"A": "PROC", "C": "PROC", "B": "ASIC1", "x": "ASIC1"},
+            model="Model1",
+        )
+        assert design.model.name == "Model1"
+        check_equivalence(design).raise_if_mismatched()
+
+
+class TestNameCollisionGuard:
+    def test_bus_signal_collision_rejected(self):
+        from repro.spec.builder import assign, leaf, spec
+        from repro.spec.expr import var
+        from repro.spec.types import int_type
+        from repro.spec.variable import variable
+
+        bad = spec(
+            "Bad",
+            leaf("A", assign("b1_start", 1), assign("x", 1)),
+            variables=[
+                variable("b1_start", int_type()),  # collides with bus bundle
+                variable("x", int_type()),
+            ],
+        )
+        partition = Partition.from_mapping(
+            bad, {"A": "P1", "x": "P1", "b1_start": "P1"}
+        )
+        with pytest.raises(RefinementError, match="b1_start"):
+            Refiner(bad, partition, MODEL1).run()
+
+
+@st.composite
+def random_seeds(draw):
+    return draw(st.integers(min_value=-100, max_value=100))
+
+
+class TestPropertyEquivalence:
+    @given(random_seeds())
+    @settings(max_examples=15, deadline=None)
+    def test_figure1_model4_equivalent_for_any_seed(self, seed):
+        """Property: for any input seed, the Model4 refinement observes
+        the same outputs as the functional model."""
+        spec = figure1_specification()
+        partition = figure1_partition(spec)
+        design = Refiner(spec, partition, MODEL4).run()
+        check_equivalence(design, inputs={"seed": seed}).raise_if_mismatched()
+
+
+class TestSubprogramAccessGuard:
+    def test_subprogram_touching_partitioned_variable_rejected(self):
+        from repro.spec.builder import assign, call, leaf, spec
+        from repro.spec.expr import var
+        from repro.spec.subprogram import Param, Subprogram
+        from repro.spec.types import int_type
+        from repro.spec.variable import variable
+
+        bump = Subprogram(
+            "bump",
+            params=[Param("amount", int_type())],
+            stmt_body=[assign("x", var("x") + var("amount"))],
+        )
+        design = spec(
+            "SubAccess",
+            leaf("A", call("bump", 2)),
+            variables=[variable("x", int_type(), init=0)],
+            subprograms=[bump],
+        )
+        design.validate()
+        partition = Partition.from_mapping(design, {"A": "P1", "x": "P2"})
+        with pytest.raises(RefinementError, match="bump"):
+            Refiner(design, partition, MODEL1).run()
+
+
+class TestProtocolCapabilities:
+    def test_strobe_rejected_for_model4(self):
+        """A fixed-response-window protocol cannot serve the bus
+        interfaces' store-and-forward path; the refiner must say so
+        instead of producing a design that samples stale data."""
+        from repro.apps.figures import figure8_specification
+
+        spec = figure8_specification()
+        spec.validate()
+        partition = Partition.from_mapping(
+            spec, {"B1": "C1", "B2": "C2", "y": "C2"}
+        )
+        with pytest.raises(RefinementError, match="multi|window|handshake"):
+            Refiner(spec, partition, MODEL4, protocol="strobe").run()
+
+    def test_strobe_fine_for_model4_without_cross_traffic(self):
+        """No interchange bus is planned when nothing crosses, so the
+        strobe remains usable."""
+        from repro.spec.builder import assign, leaf, seq, spec as make_spec
+        from repro.spec.builder import transition as arc
+        from repro.spec.expr import var
+        from repro.spec.types import int_type
+        from repro.spec.variable import variable
+
+        a = leaf("A", assign("p", var("p") + 1))
+        b = leaf("B", assign("q", var("q") + 1))
+        top = seq("T", [a, b], transitions=[arc("A", None, "B")])
+        design = make_spec(
+            "Iso",
+            top,
+            variables=[
+                variable("p", int_type(), init=0),
+                variable("q", int_type(), init=0),
+            ],
+        )
+        design.validate()
+        partition = Partition.from_mapping(
+            design, {"A": "P1", "B": "P2", "p": "P1", "q": "P2"}
+        )
+        design_out = Refiner(design, partition, MODEL4,
+                             protocol="strobe").run()
+        check_equivalence(design_out).raise_if_mismatched()

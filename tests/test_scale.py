@@ -1,0 +1,105 @@
+"""Scaling behaviour: a specification an order of magnitude larger than
+the medical system must still refine, validate and co-simulate in
+reasonable time (guards against accidental quadratic blow-ups in the
+refiner or simulator)."""
+
+import time
+
+import pytest
+
+from repro.graph import AccessGraph
+from repro.models import MODEL2, MODEL4
+from repro.partition import Partition
+from repro.refine import Refiner
+from repro.sim.equivalence import check_equivalence
+from repro.spec.builder import (
+    assign,
+    leaf,
+    on_complete,
+    seq,
+    spec,
+    transition,
+)
+from repro.spec.expr import var
+from repro.spec.types import int_type
+from repro.spec.variable import Role, variable
+
+STAGES = 40
+
+
+@pytest.fixture(scope="module")
+def big_spec():
+    """A 40-stage pipeline over 40 variables (≈120 statements)."""
+    leaves = []
+    variables = [
+        variable("inp", int_type(), init=3, role=Role.INPUT),
+        variable("final", int_type(), init=0, role=Role.OUTPUT),
+    ]
+    previous = "inp"
+    for index in range(STAGES):
+        name = f"v{index}"
+        variables.append(variable(name, int_type(), init=0))
+        stmts = [
+            assign(name, var(previous) + index),
+            assign(name, var(name) * 2 - index),
+        ]
+        if index % 5 == 0:
+            stmts.append(assign(name, var(name) + var(previous)))
+        leaves.append(leaf(f"Stage{index}", *stmts))
+        previous = name
+    leaves.append(leaf("Emit", assign("final", var(previous))))
+    names = [b.name for b in leaves]
+    transitions = [
+        transition(source, None, target)
+        for source, target in zip(names, names[1:])
+    ]
+    transitions.append(on_complete(names[-1]))
+    design = spec(
+        "BigPipeline",
+        seq("Pipe", leaves, transitions=transitions),
+        variables=variables,
+    )
+    design.validate()
+    return design
+
+
+@pytest.fixture(scope="module")
+def big_partition(big_spec):
+    assignment = {}
+    for index in range(STAGES):
+        side = "CPU" if index % 2 == 0 else "HW"
+        assignment[f"Stage{index}"] = side
+        assignment[f"v{index}"] = side
+    assignment["Emit"] = "CPU"
+    return Partition.from_mapping(big_spec, assignment, name="interleaved")
+
+
+class TestScaling:
+    def test_graph_derivation_is_fast(self, big_spec):
+        started = time.perf_counter()
+        graph = AccessGraph.from_specification(big_spec)
+        assert graph.channel_count() > 100
+        assert time.perf_counter() - started < 1.0
+
+    @pytest.mark.parametrize("model", [MODEL2, MODEL4], ids=lambda m: m.name)
+    def test_refine_and_verify_in_bounded_time(
+        self, big_spec, big_partition, model
+    ):
+        started = time.perf_counter()
+        refined = Refiner(big_spec, big_partition, model).run()
+        refine_seconds = time.perf_counter() - started
+        assert refine_seconds < 10.0
+
+        # every odd stage moved: ~20 B_CTRL/B_NEW pairs
+        assert len(refined.control.moved) >= STAGES // 2 - 1
+
+        started = time.perf_counter()
+        report = check_equivalence(refined, inputs={"inp": 3})
+        assert report.equivalent, report.describe()
+        assert time.perf_counter() - started < 30.0
+
+    def test_refined_size_scales_linearly_ish(self, big_spec, big_partition):
+        refined = Refiner(big_spec, big_partition, MODEL2).run()
+        sizes = refined.line_counts()
+        # growth stays within an order of magnitude of the input
+        assert sizes["ratio"] < 15

@@ -1,0 +1,231 @@
+"""Unit tests for the DES kernel."""
+
+import pytest
+
+from repro.errors import SimulationError, SimulationLimitExceeded
+from repro.sim.kernel import Join, Kernel, WaitCondition, WaitDelay
+
+
+class TestSignals:
+    def test_register_and_read(self):
+        k = Kernel()
+        k.register_signal("s", 0)
+        assert k.read_signal("s") == 0
+
+    def test_duplicate_registration(self):
+        k = Kernel()
+        k.register_signal("s", 0)
+        with pytest.raises(SimulationError):
+            k.register_signal("s", 1)
+
+    def test_unknown_signal(self):
+        k = Kernel()
+        with pytest.raises(SimulationError):
+            k.read_signal("nope")
+        with pytest.raises(SimulationError):
+            k.write_signal("nope", 1)
+
+    def test_write_is_deferred_until_delta(self):
+        k = Kernel()
+        k.register_signal("s", 0)
+        seen = []
+
+        def proc():
+            k.write_signal("s", 1)
+            seen.append(("before", k.read_signal("s")))
+            yield WaitDelay(1)
+            seen.append(("after", k.read_signal("s")))
+
+        k.spawn("p", proc())
+        k.run()
+        assert seen == [("before", 0), ("after", 1)]
+
+
+class TestScheduling:
+    def test_process_runs_to_completion(self):
+        k = Kernel()
+        log = []
+
+        def proc():
+            log.append("a")
+            yield WaitDelay(5)
+            log.append("b")
+
+        p = k.spawn("p", proc())
+        k.run()
+        assert log == ["a", "b"]
+        assert p.finished
+        assert k.now == 5
+
+    def test_two_timed_processes_order(self):
+        k = Kernel()
+        log = []
+
+        def slow():
+            yield WaitDelay(10)
+            log.append("slow")
+
+        def fast():
+            yield WaitDelay(1)
+            log.append("fast")
+
+        k.spawn("slow", slow())
+        k.spawn("fast", fast())
+        k.run()
+        assert log == ["fast", "slow"]
+        assert k.now == 10
+
+    def test_wait_condition_wakes_on_change(self):
+        k = Kernel()
+        k.register_signal("go", 0)
+        log = []
+
+        def waiter():
+            yield WaitCondition(lambda: k.read_signal("go") == 1, {"go"})
+            log.append("woken")
+
+        def driver():
+            yield WaitDelay(3)
+            k.write_signal("go", 1)
+
+        k.spawn("waiter", waiter())
+        k.spawn("driver", driver())
+        k.run()
+        assert log == ["woken"]
+
+    def test_wait_condition_already_true_does_not_block(self):
+        k = Kernel()
+        k.register_signal("go", 1)
+        log = []
+
+        def waiter():
+            yield WaitCondition(lambda: k.read_signal("go") == 1, {"go"})
+            log.append("done")
+
+        k.spawn("w", waiter())
+        k.run()
+        assert log == ["done"]
+
+    def test_blocked_process_reported(self):
+        k = Kernel()
+        k.register_signal("never", 0)
+
+        def waiter():
+            yield WaitCondition(lambda: k.read_signal("never") == 1, {"never"})
+
+        p = k.spawn("w", waiter())
+        k.run()  # quiescent with w blocked
+        assert not p.finished
+        assert p in k.blocked_processes()
+
+    def test_join(self):
+        k = Kernel()
+        log = []
+
+        def child(tag, delay):
+            yield WaitDelay(delay)
+            log.append(tag)
+
+        def parent():
+            kids = [k.spawn("c1", child("c1", 5)), k.spawn("c2", child("c2", 2))]
+            yield Join(kids)
+            log.append("parent")
+
+        k.spawn("parent", parent())
+        k.run()
+        assert log == ["c2", "c1", "parent"]
+
+    def test_join_already_finished(self):
+        k = Kernel()
+        log = []
+
+        def quick():
+            log.append("q")
+            return
+            yield  # pragma: no cover
+
+        def parent():
+            child = k.spawn("q", quick())
+            yield WaitDelay(1)
+            yield Join([child])
+            log.append("p")
+
+        k.spawn("p", parent())
+        k.run()
+        assert log == ["q", "p"]
+
+    def test_max_steps_guard(self):
+        k = Kernel()
+
+        def spinner():
+            while True:
+                yield WaitDelay(1)
+
+        k.spawn("spin", spinner())
+        with pytest.raises(SimulationLimitExceeded):
+            k.run(max_steps=100)
+
+    def test_failed_process_raises_simulation_error(self):
+        k = Kernel()
+
+        def bad():
+            yield WaitDelay(1)
+            raise ValueError("boom")
+
+        k.spawn("bad", bad())
+        with pytest.raises(SimulationError, match="boom"):
+            k.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            WaitDelay(-1)
+
+
+class TestDeltaCycles:
+    def test_no_change_write_does_not_wake(self):
+        k = Kernel()
+        k.register_signal("s", 0)
+        log = []
+
+        def waiter():
+            yield WaitCondition(lambda: k.read_signal("s") == 1, {"s"})
+            log.append("woken")
+
+        def writer():
+            k.write_signal("s", 0)  # no actual change
+            yield WaitDelay(1)
+
+        k.spawn("waiter", waiter())
+        k.spawn("writer", writer())
+        k.run()
+        assert log == []
+
+    def test_handshake_between_processes(self):
+        """Two processes complete a 4-phase handshake entirely in delta
+        cycles (no time passes)."""
+        k = Kernel()
+        k.register_signal("req", 0)
+        k.register_signal("ack", 0)
+        log = []
+
+        def master():
+            k.write_signal("req", 1)
+            yield WaitCondition(lambda: k.read_signal("ack") == 1, {"ack"})
+            log.append("master saw ack")
+            k.write_signal("req", 0)
+            yield WaitCondition(lambda: k.read_signal("ack") == 0, {"ack"})
+            log.append("master done")
+
+        def slave():
+            yield WaitCondition(lambda: k.read_signal("req") == 1, {"req"})
+            k.write_signal("ack", 1)
+            yield WaitCondition(lambda: k.read_signal("req") == 0, {"req"})
+            k.write_signal("ack", 0)
+            log.append("slave done")
+
+        k.spawn("master", master())
+        k.spawn("slave", slave())
+        k.run()
+        assert "master done" in log
+        assert "slave done" in log
+        assert k.now == 0.0

@@ -1,0 +1,230 @@
+"""Unit tests for the behavior hierarchy and specification container."""
+
+import pytest
+
+from repro.errors import ScopeError, SpecError
+from repro.spec.behavior import CompositionMode, Transition
+from repro.spec.builder import (
+    assign,
+    conc,
+    leaf,
+    on_complete,
+    seq,
+    spec,
+    transition,
+)
+from repro.spec.expr import var
+from repro.spec.types import int_type
+from repro.spec.variable import Role, variable, signal
+
+
+def simple_abc():
+    """The paper's Figure 1(a): behaviors A, B, C and variable x with
+    conditional arcs A:(x>1,B) and A:(x<1,C)."""
+    a = leaf("A", assign("x", var("x") + 1))
+    b = leaf("B", assign("x", var("x") * 2))
+    c = leaf("C", assign("x", 0))
+    top = seq(
+        "Main",
+        [a, b, c],
+        transitions=[
+            transition("A", var("x") > 1, "B"),
+            transition("A", var("x") < 1, "C"),
+        ],
+    )
+    return spec("Example", top, variables=[variable("x", int_type(16), init=0)])
+
+
+class TestBehaviorTree:
+    def test_iter_tree_preorder(self):
+        design = simple_abc()
+        names = [b.name for b in design.behaviors()]
+        assert names == ["Main", "A", "B", "C"]
+
+    def test_find(self):
+        design = simple_abc()
+        assert design.find_behavior("B").name == "B"
+        with pytest.raises(SpecError):
+            design.find_behavior("Z")
+
+    def test_parent_links(self):
+        design = simple_abc()
+        b = design.find_behavior("B")
+        assert b.parent is design.top
+        assert design.top.parent is None
+
+    def test_ancestors_and_depth(self):
+        inner = leaf("X", assign("v", 1))
+        mid = seq("Mid", [inner])
+        top = seq("Top", [mid])
+        design = spec("S", top, variables=[variable("v", int_type())])
+        x = design.find_behavior("X")
+        assert [a.name for a in x.ancestors()] == ["Mid", "Top"]
+        assert x.depth() == 2
+        assert design.top.depth() == 0
+
+    def test_duplicate_child_names_rejected(self):
+        with pytest.raises(SpecError):
+            seq("T", [leaf("A"), leaf("A")])
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(SpecError):
+            seq("T", [])
+
+    def test_concurrent_cannot_have_transitions(self):
+        from repro.spec.behavior import CompositeBehavior
+
+        with pytest.raises(SpecError):
+            CompositeBehavior(
+                "T",
+                [leaf("A")],
+                mode=CompositionMode.CONCURRENT,
+                transitions=[Transition("A", None, None)],
+            )
+
+
+class TestTransitions:
+    def test_transitions_from_priority_order(self):
+        design = simple_abc()
+        arcs = design.top.transitions_from("A")
+        assert len(arcs) == 2
+        assert arcs[0].target == "B"
+        assert arcs[1].target == "C"
+
+    def test_transitions_into(self):
+        design = simple_abc()
+        assert [t.source for t in design.top.transitions_into("B")] == ["A"]
+
+    def test_completion_arc(self):
+        arc = on_complete("B")
+        assert arc.is_completion
+
+    def test_initial_defaults_to_first_child(self):
+        design = simple_abc()
+        assert design.top.initial == "A"
+
+    def test_bad_initial_rejected(self):
+        with pytest.raises(SpecError):
+            seq("T", [leaf("A")], initial="Q")
+
+
+class TestReplaceChild:
+    def test_replace_keeps_arcs(self):
+        design = simple_abc()
+        b_ctrl = leaf("B_CTRL", assign("x", var("x")))
+        design.top.replace_child("B", b_ctrl)
+        design.link()
+        arcs = design.top.transitions_from("A")
+        assert arcs[0].target == "B_CTRL"
+        assert design.top.child("B_CTRL") is b_ctrl
+        assert not design.top.has_child("B")
+
+    def test_replace_renames_initial(self):
+        design = simple_abc()
+        design.top.replace_child("A", leaf("A_CTRL"))
+        assert design.top.initial == "A_CTRL"
+
+    def test_replace_missing_child(self):
+        design = simple_abc()
+        with pytest.raises(SpecError):
+            design.top.replace_child("Q", leaf("R"))
+
+
+class TestScoping:
+    def make(self):
+        inner = leaf("In", assign("loc", var("glob") + var("mid")))
+        inner.add_decl(variable("loc", int_type()))
+        middle = seq("Mid", [inner])
+        middle.add_decl(variable("mid", int_type()))
+        design = spec(
+            "S", seq("Top", [middle]), variables=[variable("glob", int_type())]
+        )
+        return design
+
+    def test_resolve_local(self):
+        design = self.make()
+        inner = design.find_behavior("In")
+        assert design.resolve("loc", inner).name == "loc"
+
+    def test_resolve_ancestor(self):
+        design = self.make()
+        inner = design.find_behavior("In")
+        assert design.resolve("mid", inner).name == "mid"
+
+    def test_resolve_global(self):
+        design = self.make()
+        inner = design.find_behavior("In")
+        assert design.resolve("glob", inner).name == "glob"
+
+    def test_resolve_missing(self):
+        design = self.make()
+        inner = design.find_behavior("In")
+        with pytest.raises(ScopeError):
+            design.resolve("nope", inner)
+
+    def test_declaring_behavior(self):
+        design = self.make()
+        inner = design.find_behavior("In")
+        assert design.declaring_behavior("loc", inner).name == "In"
+        assert design.declaring_behavior("mid", inner).name == "Mid"
+        assert design.declaring_behavior("glob", inner) is None
+
+    def test_shadowing_resolves_innermost(self):
+        inner = leaf("In", assign("v", 1))
+        inner.add_decl(variable("v", int_type(8)))
+        design = spec(
+            "S", seq("Top", [inner]), variables=[variable("v", int_type(32))]
+        )
+        resolved = design.resolve("v", design.find_behavior("In"))
+        assert resolved.dtype.width == 8
+
+    def test_duplicate_decl_rejected(self):
+        b = leaf("A")
+        b.add_decl(variable("v", int_type()))
+        with pytest.raises(SpecError):
+            b.add_decl(variable("v", int_type()))
+
+
+class TestSpecificationContainer:
+    def test_copy_is_deep(self):
+        design = simple_abc()
+        clone = design.copy()
+        clone.find_behavior("A").name = "A2"
+        assert design.find_behavior("A").name == "A"
+        clone.variables[0].init = 99
+        assert design.variables[0].init == 0
+
+    def test_stats(self):
+        design = simple_abc()
+        stats = design.stats()
+        assert stats.behaviors == 4
+        assert stats.leaf_behaviors == 3
+        assert stats.variables == 1
+        assert stats.transitions == 2
+        assert stats.statements == 3
+
+    def test_inputs_outputs(self):
+        design = spec(
+            "S",
+            leaf("A", assign("o", var("i"))),
+            variables=[
+                variable("i", int_type(), role=Role.INPUT),
+                variable("o", int_type(), role=Role.OUTPUT),
+            ],
+        )
+        assert [v.name for v in design.inputs()] == ["i"]
+        assert [v.name for v in design.outputs()] == ["o"]
+
+    def test_add_global_duplicate(self):
+        design = simple_abc()
+        with pytest.raises(SpecError):
+            design.add_global(variable("x", int_type()))
+
+    def test_ensure_subprogram_idempotent(self):
+        from repro.spec.subprogram import Subprogram
+
+        design = simple_abc()
+        first = design.ensure_subprogram(Subprogram("p"))
+        second = design.ensure_subprogram(Subprogram("p"))
+        assert first is second
+        assert len(design.subprograms) == 1

@@ -1,0 +1,178 @@
+"""Unit tests for the expression AST and its construction DSL."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SpecError
+from repro.spec.expr import (
+    BinOp,
+    Const,
+    Index,
+    TRUE,
+    FALSE,
+    UnaryOp,
+    VarRef,
+    const,
+    free_variables,
+    substitute,
+    var,
+)
+
+
+class TestConstruction:
+    def test_var(self):
+        assert var("x") == VarRef("x")
+
+    def test_const(self):
+        assert const(5) == Const(5)
+
+    def test_invalid_const(self):
+        with pytest.raises(SpecError):
+            Const(3.14)
+
+    def test_invalid_var_name(self):
+        with pytest.raises(SpecError):
+            VarRef("")
+
+    def test_unknown_binop(self):
+        with pytest.raises(SpecError):
+            BinOp("xor", TRUE, FALSE)
+
+    def test_unknown_unary(self):
+        with pytest.raises(SpecError):
+            UnaryOp("~", TRUE)
+
+
+class TestOperatorDsl:
+    def test_add_lifts_int(self):
+        expr = var("x") + 5
+        assert expr == BinOp("+", VarRef("x"), Const(5))
+
+    def test_radd(self):
+        assert 5 + var("x") == BinOp("+", Const(5), VarRef("x"))
+
+    def test_comparison(self):
+        assert (var("x") > 1) == BinOp(">", VarRef("x"), Const(1))
+
+    def test_chained_arithmetic(self):
+        expr = (var("a") + var("b")) * 2
+        assert expr == BinOp("*", BinOp("+", VarRef("a"), VarRef("b")), Const(2))
+
+    def test_eq_method(self):
+        assert var("x").eq(0) == BinOp("=", VarRef("x"), Const(0))
+
+    def test_ne_method(self):
+        assert var("x").ne(1) == BinOp("/=", VarRef("x"), Const(1))
+
+    def test_logic(self):
+        expr = (var("a") > 0).and_(var("b") < 1).or_(var("c").eq(2))
+        assert expr.op == "or"
+        assert expr.left.op == "and"
+
+    def test_not(self):
+        assert var("p").not_() == UnaryOp("not", VarRef("p"))
+
+    def test_neg(self):
+        assert -var("x") == UnaryOp("-", VarRef("x"))
+
+    def test_mod(self):
+        assert var("x") % 4 == BinOp("mod", VarRef("x"), Const(4))
+
+    def test_div(self):
+        assert var("x") / 4 == BinOp("/", VarRef("x"), Const(4))
+        assert var("x") // 4 == BinOp("/", VarRef("x"), Const(4))
+
+    def test_index(self):
+        expr = var("a").index(var("i") + 1)
+        assert isinstance(expr, Index)
+        assert expr.base == VarRef("a")
+
+
+class TestWalk:
+    def test_walk_order(self):
+        expr = (var("x") + 1) > var("y")
+        nodes = list(expr.walk())
+        assert nodes[0] is expr
+        assert VarRef("x") in nodes
+        assert VarRef("y") in nodes
+        assert Const(1) in nodes
+
+    def test_free_variables(self):
+        expr = (var("x") + var("y")) * var("x")
+        assert free_variables(expr) == {"x", "y"}
+
+    def test_free_variables_in_index(self):
+        expr = var("a").index(var("i"))
+        assert free_variables(expr) == {"a", "i"}
+
+
+class TestSubstitute:
+    def test_simple(self):
+        expr = var("x") + 1
+        result = substitute(expr, {"x": var("tmp")})
+        assert result == BinOp("+", VarRef("tmp"), Const(1))
+
+    def test_untouched(self):
+        expr = var("y") + 1
+        assert substitute(expr, {"x": var("tmp")}) == expr
+
+    def test_nested(self):
+        expr = (var("x") > 1).and_((-var("x")).eq(var("z")))
+        result = substitute(expr, {"x": var("t")})
+        assert free_variables(result) == {"t", "z"}
+
+    def test_index_both_sides(self):
+        expr = var("a").index(var("i"))
+        result = substitute(expr, {"a": var("b"), "i": var("j")})
+        assert result == Index(VarRef("b"), VarRef("j"))
+
+    def test_replacement_can_be_complex(self):
+        expr = var("x") + 1
+        result = substitute(expr, {"x": var("u") * 2})
+        assert result == BinOp("+", BinOp("*", VarRef("u"), Const(2)), Const(1))
+
+
+_names = st.sampled_from(["a", "b", "c", "x", "y"])
+
+
+@st.composite
+def expressions(draw, depth=3):
+    if depth == 0:
+        if draw(st.booleans()):
+            return VarRef(draw(_names))
+        return Const(draw(st.integers(min_value=-100, max_value=100)))
+    choice = draw(st.integers(min_value=0, max_value=3))
+    if choice == 0:
+        return VarRef(draw(_names))
+    if choice == 1:
+        return Const(draw(st.integers(min_value=-100, max_value=100)))
+    if choice == 2:
+        op = draw(st.sampled_from(["+", "-", "*", "<", "=", "and", "or"]))
+        return BinOp(
+            op,
+            draw(expressions(depth=depth - 1)),
+            draw(expressions(depth=depth - 1)),
+        )
+    op = draw(st.sampled_from(["-", "not", "abs"]))
+    return UnaryOp(op, draw(expressions(depth=depth - 1)))
+
+
+class TestProperties:
+    @given(expressions())
+    def test_identity_substitution(self, expr):
+        assert substitute(expr, {}) == expr
+
+    @given(expressions())
+    def test_substitute_removes_name(self, expr):
+        result = substitute(expr, {"x": var("fresh_name")})
+        assert "x" not in free_variables(result)
+
+    @given(expressions())
+    def test_walk_includes_all_free_variables(self, expr):
+        walked_names = {n.name for n in expr.walk() if isinstance(n, VarRef)}
+        assert walked_names == free_variables(expr)
+
+    @given(expressions())
+    def test_expressions_are_hashable(self, expr):
+        assert hash(expr) == hash(expr)
+        assert expr in {expr}

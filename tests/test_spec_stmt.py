@@ -1,0 +1,158 @@
+"""Unit tests for the statement AST and builder helpers."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.spec.builder import (
+    assign,
+    call,
+    for_,
+    if_,
+    loop_forever,
+    sassign,
+    skip,
+    wait_for,
+    wait_on,
+    wait_until,
+    while_,
+)
+from repro.spec.expr import Const, Index, VarRef, var
+from repro.spec.stmt import (
+    Assign,
+    CallStmt,
+    For,
+    If,
+    Null,
+    SignalAssign,
+    Wait,
+    While,
+    body,
+    lvalue_name,
+)
+
+
+class TestAssign:
+    def test_builder(self):
+        stmt = assign("x", var("x") + 5)
+        assert isinstance(stmt, Assign)
+        assert stmt.target == VarRef("x")
+
+    def test_array_target(self):
+        stmt = assign(var("a").index(2), 7)
+        assert isinstance(stmt.target, Index)
+        assert lvalue_name(stmt.target) == "a"
+
+    def test_invalid_target(self):
+        with pytest.raises(SpecError):
+            Assign(Const(5), Const(6))
+
+    def test_expressions(self):
+        stmt = assign("x", var("y"))
+        assert VarRef("y") in stmt.expressions()
+
+    def test_str(self):
+        assert str(assign("x", var("x") + 5)) == "x := (x + 5);"
+
+
+class TestSignalAssign:
+    def test_builder(self):
+        stmt = sassign("bus_start", 1)
+        assert isinstance(stmt, SignalAssign)
+        assert str(stmt) == "bus_start <= 1;"
+
+
+class TestIf:
+    def test_builder(self):
+        stmt = if_(var("x") > 1, [assign("y", 1)], [assign("y", 2)])
+        assert len(stmt.then_body) == 1
+        assert len(stmt.else_body) == 1
+
+    def test_child_bodies(self):
+        stmt = If(
+            var("a").eq(0),
+            body([skip()]),
+            elifs=((var("a").eq(1), body([skip()])),),
+            else_body=body([skip(), skip()]),
+        )
+        bodies = stmt.child_bodies()
+        assert len(bodies) == 3
+        assert len(bodies[2]) == 2
+
+    def test_expressions_include_elif_conditions(self):
+        stmt = If(
+            var("a").eq(0),
+            body([]),
+            elifs=((var("b").eq(1), body([])),),
+        )
+        assert len(stmt.expressions()) == 2
+
+
+class TestLoops:
+    def test_while(self):
+        stmt = while_(var("i") < 10, [assign("i", var("i") + 1)], expected=10)
+        assert isinstance(stmt, While)
+        assert stmt.expected_iterations == 10
+
+    def test_loop_forever_condition_is_true(self):
+        stmt = loop_forever([skip()])
+        assert stmt.cond == Const(True)
+
+    def test_for(self):
+        stmt = for_("i", 0, 7, [assign("s", var("s") + var("i"))])
+        assert isinstance(stmt, For)
+        assert stmt.variable == "i"
+
+    def test_for_needs_name(self):
+        with pytest.raises(SpecError):
+            For("", Const(0), Const(1), body([]))
+
+
+class TestWait:
+    def test_until(self):
+        stmt = wait_until(var("b_start").eq(1))
+        assert stmt.until is not None
+
+    def test_on(self):
+        stmt = wait_on("clk", "rst")
+        assert stmt.on == ("clk", "rst")
+
+    def test_for(self):
+        assert wait_for(5).delay == 5
+
+    def test_exactly_one_form(self):
+        with pytest.raises(SpecError):
+            Wait()
+        with pytest.raises(SpecError):
+            Wait(until=Const(True), delay=1)
+
+    def test_negative_delay(self):
+        with pytest.raises(SpecError):
+            Wait(delay=-1)
+
+    def test_str(self):
+        assert str(wait_for(3)) == "wait for 3;"
+        assert str(wait_on("s")) == "wait on s;"
+
+
+class TestCall:
+    def test_builder_lifts_names_to_refs(self):
+        stmt = call("MST_receive", "x_addr", "tmp")
+        assert stmt.args == (VarRef("x_addr"), VarRef("tmp"))
+
+    def test_builder_lifts_ints(self):
+        stmt = call("MST_send", 3, var("v"))
+        assert stmt.args[0] == Const(3)
+
+    def test_needs_name(self):
+        with pytest.raises(SpecError):
+            CallStmt("")
+
+
+class TestBody:
+    def test_rejects_non_statements(self):
+        with pytest.raises(SpecError):
+            body([assign("x", 1), "oops"])
+
+    def test_is_tuple(self):
+        b = body([skip()])
+        assert isinstance(b, tuple)

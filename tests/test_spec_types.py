@@ -1,0 +1,178 @@
+"""Unit tests for the IR data-type system."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TypeMismatchError
+from repro.spec.types import (
+    ArrayType,
+    BitVectorType,
+    BoolType,
+    EnumType,
+    IntType,
+    BIT,
+    BOOL,
+    array_of,
+    bits,
+    int_type,
+)
+
+
+class TestBoolType:
+    def test_bit_width(self):
+        assert BOOL.bit_width == 1
+
+    def test_default(self):
+        assert BOOL.default_value() is False
+
+    def test_contains(self):
+        assert BOOL.contains(True)
+        assert BOOL.contains(0)
+        assert not BOOL.contains(2)
+        assert not BOOL.contains("x")
+
+    def test_coerce(self):
+        assert BOOL.coerce(1) is True
+        assert BOOL.coerce(False) is False
+
+    def test_coerce_rejects_strings(self):
+        with pytest.raises(TypeMismatchError):
+            BOOL.coerce("yes")
+
+    def test_equality_and_hash(self):
+        assert BoolType() == BOOL
+        assert hash(BoolType()) == hash(BOOL)
+
+
+class TestIntType:
+    def test_signed_range(self):
+        t = int_type(8)
+        assert t.min_value == -128
+        assert t.max_value == 127
+
+    def test_unsigned_range(self):
+        t = int_type(8, signed=False)
+        assert t.min_value == 0
+        assert t.max_value == 255
+
+    def test_bit_width(self):
+        assert int_type(12).bit_width == 12
+
+    def test_contains_excludes_bool(self):
+        assert not int_type(8).contains(True)
+        assert int_type(8).contains(5)
+
+    def test_coerce_wraps_signed(self):
+        t = int_type(8)
+        assert t.coerce(130) == -126
+        assert t.coerce(-129) == 127
+        assert t.coerce(127) == 127
+
+    def test_coerce_wraps_unsigned(self):
+        t = int_type(8, signed=False)
+        assert t.coerce(256) == 0
+        assert t.coerce(-1) == 255
+
+    def test_invalid_width(self):
+        with pytest.raises(TypeMismatchError):
+            IntType(width=0)
+
+    def test_str(self):
+        assert str(int_type(16)) == "integer<16>"
+        assert str(int_type(4, signed=False)) == "natural<4>"
+
+    @given(st.integers(), st.integers(min_value=1, max_value=64))
+    def test_coerce_always_in_range(self, value, width):
+        t = int_type(width)
+        coerced = t.coerce(value)
+        assert t.min_value <= coerced <= t.max_value
+
+    @given(st.integers(min_value=1, max_value=64), st.integers())
+    def test_coerce_is_idempotent(self, width, value):
+        t = int_type(width)
+        once = t.coerce(value)
+        assert t.coerce(once) == once
+
+    @given(st.integers(min_value=1, max_value=32), st.integers())
+    def test_coerce_preserves_congruence(self, width, value):
+        t = int_type(width)
+        assert (t.coerce(value) - value) % (1 << width) == 0
+
+
+class TestBitVectorType:
+    def test_bit_width(self):
+        assert bits(9).bit_width == 9
+
+    def test_coerce_wraps(self):
+        assert bits(4).coerce(17) == 1
+        assert bits(4).coerce(-1) == 15
+
+    def test_bit_singleton(self):
+        assert BIT.width == 1
+        assert BIT.coerce(3) == 1
+
+    def test_invalid(self):
+        with pytest.raises(TypeMismatchError):
+            BitVectorType(0)
+
+
+class TestEnumType:
+    def setup_method(self):
+        self.enum = EnumType("state_t", ("idle", "busy", "done"))
+
+    def test_bit_width_log2(self):
+        assert self.enum.bit_width == 2
+        assert EnumType("one", ("a",)).bit_width == 1
+        assert EnumType("five", tuple("abcde")).bit_width == 3
+
+    def test_default_is_first(self):
+        assert self.enum.default_value() == "idle"
+
+    def test_coerce_literal(self):
+        assert self.enum.coerce("busy") == "busy"
+
+    def test_coerce_ordinal(self):
+        assert self.enum.coerce(2) == "done"
+
+    def test_coerce_unknown(self):
+        with pytest.raises(TypeMismatchError):
+            self.enum.coerce("sleeping")
+
+    def test_index_of(self):
+        assert self.enum.index_of("done") == 2
+        with pytest.raises(TypeMismatchError):
+            self.enum.index_of("nope")
+
+    def test_duplicate_literals_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            EnumType("bad", ("a", "a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            EnumType("bad", ())
+
+
+class TestArrayType:
+    def test_bit_width(self):
+        assert array_of(int_type(8), 4).bit_width == 32
+
+    def test_default(self):
+        assert array_of(BOOL, 3).default_value() == (False, False, False)
+
+    def test_coerce_list(self):
+        t = array_of(int_type(8), 2)
+        assert t.coerce([300, -1]) == (44, -1)
+
+    def test_coerce_wrong_length(self):
+        with pytest.raises(TypeMismatchError):
+            array_of(BOOL, 2).coerce([True])
+
+    def test_nested_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            array_of(array_of(BOOL, 2), 2)
+
+    def test_contains(self):
+        t = array_of(int_type(8), 2)
+        assert t.contains((1, 2))
+        assert not t.contains((1, 999))
+        assert not t.contains(5)

@@ -1,0 +1,243 @@
+"""Unit tests for the semantic validator."""
+
+import pytest
+
+from repro.errors import ScopeError, SpecError, TypeMismatchError
+from repro.spec.builder import (
+    assign,
+    call,
+    for_,
+    if_,
+    leaf,
+    sassign,
+    seq,
+    spec,
+    transition,
+    wait_on,
+    wait_until,
+    while_,
+)
+from repro.spec.behavior import Transition
+from repro.spec.expr import Const, Index, var
+from repro.spec.stmt import body
+from repro.spec.subprogram import Direction, Param, Subprogram
+from repro.spec.types import BIT, array_of, int_type
+from repro.spec.variable import signal, variable
+
+
+def valid_design():
+    a = leaf("A", assign("x", var("x") + 1), sassign("done", 1))
+    design = spec(
+        "S",
+        seq("Top", [a]),
+        variables=[
+            variable("x", int_type(), init=0),
+            signal("done", BIT, init=0),
+        ],
+    )
+    return design
+
+
+class TestHappyPath:
+    def test_valid_design_passes(self):
+        valid_design().validate()
+
+    def test_loop_variable_is_visible_in_body(self):
+        a = leaf("A", for_("i", 0, 3, [assign("s", var("s") + var("i"))]))
+        design = spec("S", a, variables=[variable("s", int_type())])
+        design.validate()
+
+    def test_wait_on_signal_ok(self):
+        a = leaf("A", wait_on("clk"))
+        design = spec("S", a, variables=[signal("clk", BIT)])
+        design.validate()
+
+    def test_call_with_out_lvalue_ok(self):
+        sub = Subprogram(
+            "get",
+            params=[Param("result", int_type(), Direction.OUT)],
+            stmt_body=[assign("result", 42)],
+        )
+        a = leaf("A", call("get", "dst"))
+        design = spec(
+            "S", a, variables=[variable("dst", int_type())], subprograms=[sub]
+        )
+        design.validate()
+
+
+class TestScopeViolations:
+    def test_unresolved_name_in_statement(self):
+        a = leaf("A", assign("x", var("ghost")))
+        design = spec("S", a, variables=[variable("x", int_type())])
+        with pytest.raises(ScopeError):
+            design.validate()
+
+    def test_unresolved_name_in_transition_condition(self):
+        a, b = leaf("A"), leaf("B")
+        top = seq("T", [a, b], transitions=[transition("A", var("ghost") > 1, "B")])
+        design = spec("S", top)
+        with pytest.raises(ScopeError):
+            design.validate()
+
+    def test_local_not_visible_to_sibling(self):
+        a = leaf("A")
+        a.add_decl(variable("priv", int_type()))
+        b = leaf("B", assign("x", var("priv")))
+        design = spec("S", seq("T", [a, b]), variables=[variable("x", int_type())])
+        with pytest.raises(ScopeError):
+            design.validate()
+
+    def test_wait_on_unknown_signal(self):
+        a = leaf("A", wait_on("ghost"))
+        design = spec("S", a)
+        with pytest.raises(ScopeError):
+            design.validate()
+
+
+class TestKindViolations:
+    def test_variable_assign_to_signal(self):
+        a = leaf("A", assign("done", 1))
+        design = spec("S", a, variables=[signal("done", BIT)])
+        with pytest.raises(TypeMismatchError):
+            design.validate()
+
+    def test_signal_assign_to_variable(self):
+        a = leaf("A", sassign("x", 1))
+        design = spec("S", a, variables=[variable("x", int_type())])
+        with pytest.raises(TypeMismatchError):
+            design.validate()
+
+    def test_wait_on_variable(self):
+        a = leaf("A", wait_on("x"))
+        design = spec("S", a, variables=[variable("x", int_type())])
+        with pytest.raises(TypeMismatchError):
+            design.validate()
+
+    def test_assign_to_loop_variable(self):
+        a = leaf("A", for_("i", 0, 3, [assign("i", 0)]))
+        design = spec("S", a)
+        with pytest.raises(SpecError):
+            design.validate()
+
+
+class TestStructureViolations:
+    def test_duplicate_behavior_names_across_tree(self):
+        inner = seq("Mid", [leaf("A")])
+        top = seq("Top", [inner, leaf("A2")])
+        design = spec("S", top)
+        design.top.subs[1].name = "Mid"  # force a duplicate
+        with pytest.raises(SpecError):
+            design.validate()
+
+    def test_transition_source_not_child(self):
+        a, b = leaf("A"), leaf("B")
+        top = seq("T", [a, b])
+        top.transitions.append(Transition("Q", None, "B"))
+        design = spec("S", top)
+        with pytest.raises(SpecError):
+            design.validate()
+
+    def test_transition_target_not_child(self):
+        a, b = leaf("A"), leaf("B")
+        top = seq("T", [a, b])
+        top.transitions.append(Transition("A", None, "Q"))
+        design = spec("S", top)
+        with pytest.raises(SpecError):
+            design.validate()
+
+    def test_duplicate_global_declarations(self):
+        design = valid_design()
+        design.variables.append(variable("x", int_type()))
+        with pytest.raises(SpecError):
+            design.validate()
+
+    def test_duplicate_local_declarations(self):
+        design = valid_design()
+        a = design.find_behavior("A")
+        a.decls.append(variable("d", int_type()))
+        a.decls.append(variable("d", int_type()))
+        with pytest.raises(SpecError):
+            design.validate()
+
+    def test_index_base_must_be_varref(self):
+        bad = Index(Const(5) + Const(1), Const(0))
+        a = leaf("A", assign("x", bad))
+        design = spec(
+            "S", a, variables=[variable("x", int_type())]
+        )
+        with pytest.raises(SpecError):
+            design.validate()
+
+
+class TestCallViolations:
+    def make(self, stmt, subprograms=()):
+        a = leaf("A", stmt)
+        return spec(
+            "S",
+            a,
+            variables=[variable("dst", int_type())],
+            subprograms=subprograms,
+        )
+
+    def test_unknown_callee(self):
+        design = self.make(call("nope"))
+        with pytest.raises(SpecError):
+            design.validate()
+
+    def test_arity_mismatch(self):
+        sub = Subprogram("p", params=[Param("a", int_type())])
+        design = self.make(call("p"), subprograms=[sub])
+        with pytest.raises(SpecError):
+            design.validate()
+
+    def test_out_param_needs_lvalue(self):
+        sub = Subprogram(
+            "get",
+            params=[Param("result", int_type(), Direction.OUT)],
+            stmt_body=[assign("result", 1)],
+        )
+        design = self.make(call("get", 5), subprograms=[sub])
+        with pytest.raises(SpecError):
+            design.validate()
+
+
+class TestSubprogramBodies:
+    def test_body_sees_params_and_globals(self):
+        sub = Subprogram(
+            "p",
+            params=[Param("a", int_type())],
+            stmt_body=[assign("g", var("a"))],
+        )
+        design = spec(
+            "S", leaf("A", call("p", 1)), variables=[variable("g", int_type())],
+            subprograms=[sub],
+        )
+        design.validate()
+
+    def test_body_cannot_see_behavior_locals(self):
+        sub = Subprogram("p", stmt_body=[assign("hidden", 1)])
+        a = leaf("A", call("p"))
+        a.add_decl(variable("hidden", int_type()))
+        design = spec("S", a, subprograms=[sub])
+        with pytest.raises(ScopeError):
+            design.validate()
+
+    def test_signal_assign_in_body_checked(self):
+        sub = Subprogram("p", stmt_body=[sassign("g", 1)])
+        design = spec(
+            "S",
+            leaf("A", call("p")),
+            variables=[variable("g", int_type())],
+            subprograms=[sub],
+        )
+        with pytest.raises(TypeMismatchError):
+            design.validate()
+
+    def test_nested_call_arity_checked(self):
+        inner = Subprogram("inner", params=[Param("a", int_type())])
+        outer = Subprogram("outer", stmt_body=[call("inner")])
+        design = spec(
+            "S", leaf("A", call("outer")), subprograms=[inner, outer]
+        )
+        with pytest.raises(SpecError):
+            design.validate()

@@ -1,0 +1,156 @@
+"""Unit tests for the generic statement/expression walkers and
+transformers the refiners are built on."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.spec.builder import (
+    assign,
+    call,
+    for_,
+    if_,
+    sassign,
+    skip,
+    wait_until,
+    while_,
+)
+from repro.spec.expr import Const, VarRef, substitute, var
+from repro.spec.stmt import Assign, CallStmt, If, Null, While, body
+from repro.spec.visitor import (
+    body_variable_accesses,
+    count_statements,
+    map_expressions,
+    statement_reads,
+    statement_writes,
+    transform_body,
+    walk_expressions,
+    walk_statements,
+)
+
+
+@pytest.fixture()
+def nested_body():
+    return body(
+        [
+            assign("a", var("b") + 1),
+            if_(
+                var("a") > 0,
+                [while_(var("c") < 5, [assign("c", var("c") + var("a"))])],
+                [skip()],
+            ),
+            for_("i", 0, 3, [assign("d", var("i"))]),
+        ]
+    )
+
+
+class TestWalkers:
+    def test_walk_statements_counts_nested(self, nested_body):
+        kinds = [type(s).__name__ for s in walk_statements(nested_body)]
+        assert kinds.count("Assign") == 3
+        assert "While" in kinds and "For" in kinds and "Null" in kinds
+        assert count_statements(nested_body) == len(kinds)
+
+    def test_walk_expressions_reaches_loop_bodies(self, nested_body):
+        names = {
+            n.name for n in walk_expressions(nested_body)
+            if isinstance(n, VarRef)
+        }
+        assert {"a", "b", "c", "d", "i"} <= names
+
+
+class TestTransformBody:
+    def test_identity(self, nested_body):
+        result = transform_body(nested_body, lambda s: [s])
+        assert count_statements(result) == count_statements(nested_body)
+
+    def test_expansion(self):
+        stmts = body([assign("x", 1), assign("y", 2)])
+        result = transform_body(
+            stmts, lambda s: [s, skip()] if isinstance(s, Assign) else [s]
+        )
+        kinds = [type(s).__name__ for s in result]
+        assert kinds == ["Assign", "Null", "Assign", "Null"]
+
+    def test_deletion(self):
+        stmts = body([assign("x", 1), skip(), assign("y", 2)])
+        result = transform_body(
+            stmts, lambda s: [] if isinstance(s, Null) else [s]
+        )
+        assert len(result) == 2
+
+    def test_transforms_nested_bodies_first(self):
+        stmts = body([if_(var("p") > 0, [skip()])])
+        seen = []
+        def fn(s):
+            seen.append(type(s).__name__)
+            return [s]
+        transform_body(stmts, fn)
+        assert seen == ["Null", "If"]  # bottom-up
+
+    def test_while_annotation_preserved(self):
+        stmts = body([while_(var("x") > 0, [skip()], expected=7)])
+        result = transform_body(stmts, lambda s: [s])
+        assert result[0].expected_iterations == 7
+
+
+class TestMapExpressions:
+    def test_assign(self):
+        stmt = assign("x", var("y"))
+        mapped = map_expressions(stmt, lambda e: substitute(e, {"y": var("z")}))
+        assert mapped.value == VarRef("z")
+
+    def test_if_maps_all_conditions(self):
+        stmt = If(
+            var("a") > 0,
+            body([skip()]),
+            elifs=((var("b") > 0, body([skip()])),),
+        )
+        mapped = map_expressions(
+            stmt, lambda e: substitute(e, {"a": var("p"), "b": var("q")})
+        )
+        from repro.spec.expr import free_variables
+
+        assert free_variables(mapped.cond) == {"p"}
+        assert free_variables(mapped.elifs[0][0]) == {"q"}
+
+    def test_nested_bodies_untouched(self):
+        inner = assign("x", var("y"))
+        stmt = If(var("a") > 0, body([inner]))
+        mapped = map_expressions(stmt, lambda e: substitute(e, {"y": var("z")}))
+        assert mapped.then_body[0] is inner
+
+    def test_call_args_mapped(self):
+        stmt = call("p", var("a"), 3)
+        mapped = map_expressions(stmt, lambda e: substitute(e, {"a": var("b")}))
+        assert mapped.args[0] == VarRef("b")
+
+    def test_wait_until_mapped(self):
+        stmt = wait_until(var("s").eq(1))
+        mapped = map_expressions(stmt, lambda e: substitute(e, {"s": var("t")}))
+        from repro.spec.expr import free_variables
+
+        assert free_variables(mapped.until) == {"t"}
+
+
+class TestAccessExtraction:
+    def test_reads_exclude_write_target(self):
+        stmt = assign("x", var("y") + var("z"))
+        assert set(statement_reads(stmt)) == {"y", "z"}
+        assert statement_writes(stmt) == ["x"]
+
+    def test_array_write_index_is_a_read(self):
+        stmt = assign(var("a").index(var("i")), var("v"))
+        assert set(statement_reads(stmt)) == {"i", "v"}
+        assert statement_writes(stmt) == ["a"]
+
+    def test_signal_assign_tracked(self):
+        stmt = sassign("s", var("x"))
+        assert statement_reads(stmt) == ["x"]
+        assert statement_writes(stmt) == ["s"]
+
+    def test_body_variable_accesses_aggregates(self, nested_body):
+        reads, writes = body_variable_accesses(nested_body)
+        assert reads["b"] == 1
+        assert writes["a"] == 1
+        assert writes["c"] == 1
+        assert reads["c"] >= 2  # loop condition + body read
