@@ -1,0 +1,22 @@
+"""R1 — Robustness: the fault-injection campaign.
+
+Sweeps the default fault-scenario catalog over the 3 medical designs x
+4 implementation models under the timeout-and-retry handshake, checking
+that protocol-absorbable faults recover (the refined design stays
+functionally equivalent under injection) and unabsorbable faults are
+detected.  Regenerates ``robustness_campaign.txt`` — the same table
+``repro robustness`` writes, byte-identical for the same seed.
+"""
+
+from repro.experiments.robustness import run_robustness
+
+
+def bench_robustness_campaign(benchmark, write_artifact):
+    result = benchmark.pedantic(run_robustness, rounds=1, iterations=1)
+    table = result.render()
+    write_artifact("robustness_campaign.txt", table)
+    assert result.unexpected() == []
+    for design in sorted(result.cells):
+        assert result.recovered_scenarios(design), (
+            f"{design}: no recovering fault scenario"
+        )

@@ -9,43 +9,56 @@ protocol, the content in the subroutines will change correspondingly"
 — so each protocol is just a different subprogram-body generator, and
 the rest of the refiner is protocol-agnostic.
 
-Two protocols are provided:
+Three protocols are provided:
 
 * :class:`HandshakeProtocol` — the paper's four-phase fully-interlocked
   handshake of Figure 5d (control lines ``start``/``done``/``rd``/``wr``
   plus address and data buses);
 * :class:`StrobeProtocol` — a two-phase timed strobe without the
   ``done`` acknowledge, trading robustness for fewer bus-level
-  transfers (the protocol-choice ablation).
+  transfers (the protocol-choice ablation);
+* :class:`TimeoutHandshakeProtocol` — the opt-in *timeout-and-retry*
+  variant of the handshake: masters bound every acknowledge wait by a
+  tick budget, retry the transfer up to :class:`RecoveryPolicy` limits,
+  and degrade gracefully by raising the bus's ``err`` line when retries
+  are exhausted.  Refined specs built with it survive lost handshake
+  edges instead of deadlocking (the robustness campaign's recovery
+  path).
 
 Naming: for a bus ``b2`` the subroutines are ``MST_send_b2`` etc., and
 its signal bundle is ``b2_start``, ``b2_done``, ``b2_rd``, ``b2_wr``,
-``b2_addr``, ``b2_data``.
+``b2_addr``, ``b2_data`` (plus ``b2_err`` for the timeout variant).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.arch.components import BusNet
 from repro.errors import RefinementError
 from repro.spec.builder import (
     assign,
+    if_,
     sassign,
     wait_for,
     wait_until,
+    while_,
 )
 from repro.spec.expr import var
 from repro.spec.subprogram import Direction, Param, Subprogram
 from repro.spec.types import BIT, bits, int_type
-from repro.spec.variable import Variable, signal
+from repro.spec.variable import Variable, signal, variable
 
 __all__ = [
     "bus_signal_names",
+    "bus_error_name",
     "bus_signals",
+    "RecoveryPolicy",
     "Protocol",
     "HandshakeProtocol",
     "StrobeProtocol",
+    "TimeoutHandshakeProtocol",
     "PROTOCOLS",
     "resolve_protocol",
     "master_send_name",
@@ -95,6 +108,34 @@ def bus_signals(bus: BusNet) -> List[Variable]:
     ]
 
 
+def bus_error_name(bus_name: str) -> str:
+    """The graceful-degradation error line of a recovery-capable bus."""
+    return f"{bus_name}_err"
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Timeout-and-retry parameters of a recovery-capable protocol.
+
+    ``timeout_ticks`` bounds each acknowledge wait (in ``wait for 1``
+    polling ticks); ``max_retries`` is how many times a timed-out
+    transfer is re-attempted before the master gives up and raises the
+    bus error line; ``backoff_ticks`` is the idle gap between attempts.
+    ``grant_timeout_ticks`` bounds an arbitration grant wait — it must
+    comfortably exceed the longest legitimate bus tenure (a Model4
+    multi-hop transaction with retries), so it defaults to a generous
+    multiple of the transfer timeout.
+    """
+
+    timeout_ticks: int = 16
+    max_retries: int = 3
+    backoff_ticks: int = 1
+
+    @property
+    def grant_timeout_ticks(self) -> int:
+        return self.timeout_ticks * (self.max_retries + 1) * 8
+
+
 def master_send_name(bus_name: str) -> str:
     return f"MST_send_{bus_name}"
 
@@ -126,6 +167,12 @@ class Protocol:
     #: interface that forwards over further buses before answering).
     #: Timed protocols with a fixed response window cannot provide this.
     supports_multi_hop: bool = True
+
+    #: Timeout-and-retry parameters, or ``None`` for protocols without
+    #: recovery.  A non-None policy also makes the refiner emit bounded
+    #: arbitration waits (emitter wrappers, arbiters) with the same
+    #: graceful degradation.
+    recovery: Optional[RecoveryPolicy] = None
 
     def subprograms(self, bus: BusNet) -> List[Subprogram]:
         """All four subroutines for ``bus``."""
@@ -244,6 +291,134 @@ class HandshakeProtocol(Protocol):
         )
 
 
+class TimeoutHandshakeProtocol(HandshakeProtocol):
+    """The handshake of Figure 5d with timeout-and-retry masters.
+
+    The slave side is the plain handshake (an endless server loses
+    nothing by waiting), but every master-side acknowledge wait is
+    bounded: the master polls ``done`` for ``timeout_ticks`` one-unit
+    waits, aborts and re-drives the transfer up to ``max_retries``
+    times, and finally degrades gracefully — it raises the bus's
+    ``err`` line and returns instead of deadlocking.  Transfers are
+    idempotent (a word write/read to an addressed slave), so a retry
+    after a lost ``done`` edge re-serves the same request.
+
+    Multi-hop (Model4) stays supported: the response window is bounded
+    per attempt but generous, and retries cover a forwarding slave that
+    answers late.
+    """
+
+    name = "handshake-timeout"
+    cycles_per_transfer = 4
+    supports_multi_hop = True
+
+    def __init__(self, recovery: Optional[RecoveryPolicy] = None):
+        self.recovery = recovery or RecoveryPolicy()
+
+    def extra_signals(self, bus: BusNet) -> List[Variable]:
+        return [
+            signal(
+                bus_error_name(bus.name),
+                BIT,
+                init=0,
+                doc=f"{bus.name} unrecovered-transfer error flag",
+            )
+        ]
+
+    def master_send(self, bus: BusNet) -> Subprogram:
+        return self._master(bus, send=True)
+
+    def master_receive(self, bus: BusNet) -> Subprogram:
+        return self._master(bus, send=False)
+
+    def _master(self, bus: BusNet, send: bool) -> Subprogram:
+        s = bus_signal_names(bus.name)
+        err = bus_error_name(bus.name)
+        policy = self.recovery
+        strobe = s["wr"] if send else s["rd"]
+
+        drive = [sassign(s["addr"], var("addr"))]
+        if send:
+            drive.append(sassign(s["data"], var("data")))
+        drive += [sassign(strobe, 1), sassign(s["start"], 1)]
+
+        poll_rise = [
+            assign("mst_seen", 0),
+            assign("mst_ticks", 0),
+            while_(
+                var("mst_seen").eq(0).and_(
+                    var("mst_ticks") < policy.timeout_ticks
+                ),
+                [
+                    wait_for(1),
+                    if_(
+                        var(s["done"]).eq(1),
+                        [assign("mst_seen", 1)],
+                        [assign("mst_ticks", var("mst_ticks") + 1)],
+                    ),
+                ],
+            ),
+        ]
+        on_ack = [assign("mst_ok", 1)]
+        if not send:
+            # sample while the slave still drives the bus (start held)
+            on_ack.insert(0, assign("data", var(s["data"])))
+        release = [sassign(s["start"], 0), sassign(strobe, 0)]
+        poll_fall = [
+            assign("mst_ticks", 0),
+            while_(
+                var(s["done"]).eq(1).and_(
+                    var("mst_ticks") < policy.timeout_ticks
+                ),
+                [wait_for(1), assign("mst_ticks", var("mst_ticks") + 1)],
+            ),
+        ]
+
+        body = [
+            assign("mst_ok", 0),
+            assign("mst_try", 0),
+            while_(
+                var("mst_ok").eq(0).and_(
+                    var("mst_try") < policy.max_retries
+                ),
+                [
+                    assign("mst_try", var("mst_try") + 1),
+                    *drive,
+                    *poll_rise,
+                    if_(var("mst_seen").eq(1), on_ack),
+                    *release,
+                    *poll_fall,
+                    if_(
+                        var("mst_ok").eq(0),
+                        [wait_for(policy.backoff_ticks)],
+                    ),
+                ],
+                expected=1,
+            ),
+            if_(var("mst_ok").eq(0), [sassign(err, 1)]),
+        ]
+        op = "write one word to" if send else "read one word from"
+        return Subprogram(
+            master_send_name(bus.name) if send else master_receive_name(bus.name),
+            params=[
+                self._addr_param(bus),
+                self._data_in_param(bus) if send else self._data_out_param(bus),
+            ],
+            stmt_body=body,
+            decls=[
+                variable("mst_ok", BIT, init=0, doc="transfer acknowledged"),
+                variable("mst_seen", BIT, init=0, doc="done edge observed"),
+                variable("mst_try", int_type(8), init=0, doc="attempt counter"),
+                variable("mst_ticks", int_type(16), init=0, doc="poll counter"),
+            ],
+            doc=(
+                f"{op} a slave on {bus.name} "
+                f"(4-phase handshake, timeout {policy.timeout_ticks} ticks, "
+                f"{policy.max_retries} retries, err fallback)"
+            ),
+        )
+
+
 class StrobeProtocol(Protocol):
     """A two-phase timed strobe: no ``done`` acknowledge.
 
@@ -328,6 +503,7 @@ class StrobeProtocol(Protocol):
 PROTOCOLS: Dict[str, Protocol] = {
     HandshakeProtocol.name: HandshakeProtocol(),
     StrobeProtocol.name: StrobeProtocol(),
+    TimeoutHandshakeProtocol.name: TimeoutHandshakeProtocol(),
 }
 
 

@@ -16,7 +16,9 @@ Subcommands mirror the library's main flows:
 * ``repro figure9`` / ``repro figure10 [--check]`` — regenerate the
   paper's evaluation tables;
 * ``repro verify --design D --model M`` — co-simulate original vs
-  refined (the equivalence check).
+  refined (the equivalence check);
+* ``repro robustness`` — the fault-injection campaign (scenarios x
+  designs x models) against the timeout-and-retry protocol.
 """
 
 from __future__ import annotations
@@ -67,6 +69,21 @@ def _parse_inputs(pairs: List[str]) -> Dict[str, int]:
     return inputs
 
 
+def _parse_limits(args):
+    """--max-steps / --max-delta into a KernelLimits (or None)."""
+    max_steps = getattr(args, "max_steps", None)
+    max_delta = getattr(args, "max_delta", None)
+    if max_steps is None and max_delta is None:
+        return None
+    from repro.sim import KernelLimits
+
+    defaults = KernelLimits()
+    return KernelLimits(
+        max_steps=max_steps if max_steps is not None else defaults.max_steps,
+        max_delta=max_delta if max_delta is not None else defaults.max_delta,
+    )
+
+
 # -- subcommand handlers -------------------------------------------------------
 
 
@@ -96,7 +113,9 @@ def _cmd_simulate(args) -> int:
     from repro.sim import Simulator
 
     spec = _load_spec(args.file)
-    result = Simulator(spec).run(inputs=_parse_inputs(args.input))
+    result = Simulator(spec).run(
+        inputs=_parse_inputs(args.input), limits=_parse_limits(args)
+    )
     status = "completed" if result.completed else "DID NOT COMPLETE"
     print(f"simulation {status} ({result.steps} scheduler steps)")
     for name, value in result.output_values().items():
@@ -120,7 +139,10 @@ def _cmd_partition(args) -> int:
         "kl": kl_partition,
         "annealed": annealed_partition,
     }
-    partition = algorithms[args.algorithm](spec, graph=graph)
+    kwargs = {}
+    if args.algorithm == "annealed" and args.seed is not None:
+        kwargs["seed"] = args.seed
+    partition = algorithms[args.algorithm](spec, graph=graph, **kwargs)
     print(partition.describe())
     print(f"cost: {partition_cost(graph, partition):.3f}")
     if partition.p >= 2:
@@ -153,8 +175,12 @@ def _cmd_verify(args) -> int:
 
     spec = _load_spec(args.file)
     partition = _resolve_partition(spec, args)
-    design = Refiner(spec, partition, resolve_model(args.model)).run()
-    report = check_equivalence(design, inputs=_parse_inputs(args.input))
+    design = Refiner(
+        spec, partition, resolve_model(args.model), protocol=args.protocol
+    ).run()
+    report = check_equivalence(
+        design, inputs=_parse_inputs(args.input), limits=_parse_limits(args)
+    )
     print(report.describe())
     return 0 if report.equivalent else 1
 
@@ -210,6 +236,27 @@ def _cmd_figure10(args) -> int:
     return 0
 
 
+def _cmd_robustness(args) -> int:
+    from repro.experiments.robustness import run_robustness
+
+    result = run_robustness(
+        seed=args.seed,
+        protocol=args.protocol,
+        designs=args.design or None,
+        models=args.model or None,
+    )
+    rendered = result.render()
+    print(rendered)
+    if args.output:
+        import os
+
+        os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"\ncampaign table written to {args.output}")
+    return 1 if result.unexpected() else 0
+
+
 # -- parser ----------------------------------------------------------------------
 
 
@@ -238,9 +285,16 @@ def build_parser() -> argparse.ArgumentParser:
     add_file(p)
     p.set_defaults(handler=_cmd_print)
 
+    def add_limits(p):
+        p.add_argument("--max-steps", type=int, metavar="N",
+                       help="scheduler step budget (default 2000000)")
+        p.add_argument("--max-delta", type=int, metavar="N",
+                       help="consecutive delta-cycle budget (default unlimited)")
+
     p = sub.add_parser("simulate", help="execute the functional model")
     add_file(p)
     p.add_argument("--input", action="append", metavar="NAME=VALUE")
+    add_limits(p)
     p.set_defaults(handler=_cmd_simulate)
 
     p = sub.add_parser("partition", help="run a baseline partitioner")
@@ -250,6 +304,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("greedy", "kl", "annealed"),
         default="greedy",
     )
+    p.add_argument("--seed", type=int, default=None,
+                   help="RNG seed for the annealed partitioner (default 1996)")
     p.set_defaults(handler=_cmd_partition)
 
     p = sub.add_parser("refine", help="run model refinement")
@@ -259,7 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="Model1",
                    help="Model1..Model4 (default Model1)")
     p.add_argument("--protocol", default="handshake",
-                   choices=("handshake", "strobe"))
+                   choices=("handshake", "strobe", "handshake-timeout"))
     p.add_argument("-o", "--output", help="write the refined source here")
     p.set_defaults(handler=_cmd_refine)
 
@@ -267,7 +323,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_file(p)
     p.add_argument("--design", required=True)
     p.add_argument("--model", default="Model1")
+    p.add_argument("--protocol", default="handshake",
+                   choices=("handshake", "strobe", "handshake-timeout"))
     p.add_argument("--input", action="append", metavar="NAME=VALUE")
+    add_limits(p)
     p.set_defaults(handler=_cmd_verify)
 
     p = sub.add_parser(
@@ -301,6 +360,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="co-simulate every refined design (slower)")
     p.add_argument("--no-paper", action="store_true")
     p.set_defaults(handler=_cmd_figure10)
+
+    p = sub.add_parser(
+        "robustness",
+        help="fault-injection campaign: scenarios x designs x models",
+    )
+    p.add_argument("--seed", type=int, default=1996,
+                   help="fault-injector RNG seed (default 1996)")
+    p.add_argument("--protocol", default="handshake-timeout",
+                   choices=("handshake", "strobe", "handshake-timeout"),
+                   help="bus protocol the refined designs use")
+    p.add_argument("--design", action="append",
+                   help="restrict to a design (repeatable; default all)")
+    p.add_argument("--model", action="append",
+                   help="restrict to a model (repeatable; default all)")
+    p.add_argument("-o", "--output",
+                   default="benchmarks/output/robustness_campaign.txt",
+                   help="write the campaign table here ('' to skip)")
+    p.set_defaults(handler=_cmd_robustness)
 
     return parser
 

@@ -64,11 +64,87 @@ class SimulationError(ReproError):
 
 
 class SimulationLimitExceeded(SimulationError):
-    """The simulation hit its step/time budget without completing.
+    """The simulation hit a kernel budget without completing.
 
     Usually indicates a livelock in a refined protocol (e.g. a master
-    waiting for a slave that was never generated).
+    waiting for a slave that was never generated).  ``limit`` names the
+    budget that tripped (``"max_steps"``, ``"max_delta"`` or
+    ``"wall_clock"``) and ``trace`` carries the kernel's most recent
+    scheduler events (see :meth:`repro.sim.kernel.Kernel.format_trace`).
     """
+
+    def __init__(self, message: str, limit: str = "", trace=()):
+        self.limit = limit
+        self.trace = tuple(trace)
+        super().__init__(message)
+
+
+class BlockedProcessInfo:
+    """Diagnostic snapshot of one process still suspended at deadlock.
+
+    ``wait`` is the suspension kind (``"condition"``, ``"delay"``,
+    ``"join"`` or ``"ready"``), ``sensitivity`` the signals whose change
+    re-evaluates the wait, and ``detail`` a human-readable rendering of
+    the wait condition (the source expression when the interpreter
+    created it).
+    """
+
+    __slots__ = ("name", "wait", "sensitivity", "detail")
+
+    def __init__(self, name: str, wait: str, sensitivity=(), detail: str = ""):
+        self.name = name
+        self.wait = wait
+        self.sensitivity = tuple(sorted(sensitivity))
+        self.detail = detail
+
+    def __str__(self) -> str:
+        text = f"{self.name}: {self.wait}"
+        if self.detail:
+            text += f" {self.detail}"
+        if self.sensitivity:
+            text += f" sensitivity={list(self.sensitivity)}"
+        return text
+
+    def __repr__(self) -> str:
+        return f"<BlockedProcessInfo {self}>"
+
+
+class DeadlockError(SimulationError):
+    """The simulation went quiescent with required processes unfinished.
+
+    A structured deadlock report: ``blocked`` is a tuple of
+    :class:`BlockedProcessInfo` (every process still suspended),
+    ``required`` the names of the required-but-unfinished processes,
+    ``time`` the simulation time of quiescence, and ``trace`` the last
+    scheduler events before the deadlock (most recent last).
+    """
+
+    def __init__(
+        self,
+        blocked=(),
+        required=(),
+        time: float = 0.0,
+        trace=(),
+    ):
+        self.blocked = tuple(blocked)
+        self.required = tuple(required)
+        self.time = time
+        self.trace = tuple(trace)
+        lines = [
+            f"deadlock at t={time}: required process(es) "
+            f"{list(self.required)} never finished"
+        ]
+        if self.blocked:
+            lines.append("blocked processes:")
+            lines.extend(f"  {info}" for info in self.blocked)
+        if self.trace:
+            lines.append("last scheduler events (most recent last):")
+            lines.extend(f"  {event}" for event in self.trace)
+        super().__init__("\n".join(lines))
+
+
+class FaultConfigError(SimulationError):
+    """A fault-injection scenario is malformed."""
 
 
 class EquivalenceError(ReproError):

@@ -15,9 +15,19 @@ from repro.experiments.paperdata import (
     PAPER_ORIGINAL_LINES,
     PAPER_SPEC_STATS,
 )
+from repro.experiments.robustness import (
+    RobustnessCell,
+    RobustnessResult,
+    default_scenarios,
+    run_robustness,
+)
 from repro.experiments.tables import render_table
 
 __all__ = [
+    "RobustnessCell",
+    "RobustnessResult",
+    "default_scenarios",
+    "run_robustness",
     "Figure9Cell",
     "Figure9Result",
     "default_allocation",

@@ -83,7 +83,13 @@ def tokenize(source: str) -> List[Token]:
 
         # -- character/enum literals ----------------------------------------------
         if ch == "'":
-            j = source.find("'", i + 1)
+            # a literal never spans lines: searching past the newline
+            # would silently desynchronise line/column tracking for
+            # every later token, so an unclosed quote is an error here,
+            # reported at the opening quote (the token's start)
+            newline = source.find("\n", i + 1)
+            line_end = newline if newline >= 0 else length
+            j = source.find("'", i + 1, line_end)
             if j < 0:
                 raise error("unterminated character literal")
             text = source[i + 1 : j]

@@ -5,19 +5,28 @@ bus at the same time."  The arbiter is a daemon leaf with one
 ``Req``/``Ack`` line pair per master, granting in fixed priority order
 (declaration order = priority, exactly the paper's example where B2 is
 granted "only when B1 is not simultaneously requesting").
+
+With a :class:`repro.arch.protocols.RecoveryPolicy` (timeout-capable
+protocols), the grant tenure is bounded too: a granted master that
+never releases its request — a killed process, a wedged protocol —
+only wedges the arbiter for ``grant_timeout_ticks`` before the grant is
+revoked and the remaining masters are served again.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from repro.arch.protocols import RecoveryPolicy
 from repro.errors import RefinementError
 from repro.refine.emitter import arbiter_signal_names
 from repro.refine.naming import NamePool
 from repro.spec.behavior import LeafBehavior
-from repro.spec.builder import loop_forever, sassign, wait_until
+from repro.spec.builder import assign, loop_forever, sassign, wait_for, wait_until, while_
 from repro.spec.expr import Expr, var
 from repro.spec.stmt import If, body as make_body
+from repro.spec.types import int_type
+from repro.spec.variable import variable
 
 __all__ = ["build_arbiter"]
 
@@ -26,6 +35,7 @@ def build_arbiter(
     bus: str,
     masters: List[str],
     pool: NamePool,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> LeafBehavior:
     """The priority arbiter daemon for ``bus`` over ``masters``
     (earlier = higher priority).  The Req/Ack signals themselves are
@@ -44,12 +54,35 @@ def build_arbiter(
     for req in reqs[1:]:
         any_request = any_request.or_(req.eq(1))
 
-    def grant(req: Expr, ack: Expr) -> list:
-        return [
-            sassign(ack, 1),
-            wait_until(req.eq(0)),
-            sassign(ack, 0),
-        ]
+    decls = []
+    if recovery is None:
+
+        def grant(req: Expr, ack: Expr) -> list:
+            return [
+                sassign(ack, 1),
+                wait_until(req.eq(0)),
+                sassign(ack, 0),
+            ]
+
+    else:
+        ticks = pool.fresh(f"{bus}_arb_ticks")
+        decls.append(
+            variable(ticks, int_type(16), init=0, doc="grant tenure counter")
+        )
+        bound = recovery.grant_timeout_ticks
+
+        def grant(req: Expr, ack: Expr) -> list:
+            # bounded tenure: revoke the grant if the master never
+            # releases its request (e.g. it was killed mid-transaction)
+            return [
+                sassign(ack, 1),
+                assign(ticks, 0),
+                while_(
+                    req.eq(1).and_(var(ticks) < bound),
+                    [wait_for(1), assign(ticks, var(ticks) + 1)],
+                ),
+                sassign(ack, 0),
+            ]
 
     first = (reqs[0].eq(1), make_body(grant(reqs[0], acks[0])))
     elifs = tuple(
@@ -61,9 +94,12 @@ def build_arbiter(
     arbiter = LeafBehavior(
         pool.fresh(f"{bus}_arbiter"),
         [loop_forever([wait_until(any_request), decide])],
+        decls=decls,
         doc=(
             f"priority arbiter for {bus}; order: "
             + " > ".join(masters)
+            + ("" if recovery is None else
+               f" (grant tenure bounded to {recovery.grant_timeout_ticks} ticks)")
         ),
     )
     arbiter.daemon = True

@@ -21,20 +21,26 @@ Write forwarding completes *before* the upstream handshake finishes
 (the data is sampled off the still-held bus), so the originator's lock
 release strictly follows the last interchange transfer: no two remote
 transactions ever overlap on the interchange.
+
+With a recovery-capable protocol (timeout-and-retry), each interface
+additionally propagates the downstream bus's error line onto its own
+bus after every forwarded transaction, so an unrecoverable fault deep
+in the Figure 8 chain surfaces on the bus the originating behavior can
+observe.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from repro.arch.protocols import bus_signal_names
+from repro.arch.protocols import bus_error_name, bus_signal_names
 from repro.errors import RefinementError
 from repro.graph.analysis import VariableClassification
 from repro.models.plan import BusRole, ModelPlan
 from repro.refine.emitter import ProtocolEmitter
 from repro.refine.naming import NamePool
 from repro.spec.behavior import LeafBehavior
-from repro.spec.builder import assign, if_, loop_forever, wait_until
+from repro.spec.builder import assign, if_, loop_forever, sassign, wait_until
 from repro.spec.expr import Expr, var
 from repro.spec.types import int_type
 from repro.spec.variable import variable as make_variable
@@ -100,6 +106,22 @@ def _needs_inbound(
     )
 
 
+def _error_propagation(
+    emitter: ProtocolEmitter, downstream: str, own_bus: str
+) -> list:
+    """After a forwarded transaction: copy the downstream bus's error
+    line onto this interface's own bus.  Empty without a
+    recovery-capable protocol (no error lines exist then)."""
+    if getattr(emitter.protocol, "recovery", None) is None:
+        return []
+    return [
+        if_(
+            var(bus_error_name(downstream)).eq(1),
+            [sassign(var(bus_error_name(own_bus)), 1)],
+        )
+    ]
+
+
 def _resident_span(plan: ModelPlan, component: str):
     lo, hi = plan.component_address_span(component)
     if lo > hi:
@@ -140,16 +162,14 @@ def _outbound(
         emitter.core_master_call(interchange, addr, var(tmp), send=True),
         emitter.slave_call(iface, var(scratch), send=False),
     ]
+    loop_body = [
+        wait_until(remote),
+        if_(var(ifc["rd"]).eq(1), read_path, write_path),
+    ]
+    loop_body.extend(_error_propagation(emitter, interchange, iface))
     behavior = LeafBehavior(
         name,
-        [
-            loop_forever(
-                [
-                    wait_until(remote),
-                    if_(var(ifc["rd"]).eq(1), read_path, write_path),
-                ]
-            )
-        ],
+        [loop_forever(loop_body)],
         decls=[
             make_variable(tmp, int_type(width), doc="forwarded word"),
             make_variable(scratch, int_type(width), doc="handshake discard"),
@@ -190,16 +210,14 @@ def _inbound(
         emitter.arbitrated_master_call(iface, name, addr, var(tmp), send=True),
         emitter.slave_call(interchange, var(scratch), send=False),
     ]
+    loop_body = [
+        wait_until(mine),
+        if_(var(x["rd"]).eq(1), read_path, write_path),
+    ]
+    loop_body.extend(_error_propagation(emitter, iface, interchange))
     behavior = LeafBehavior(
         name,
-        [
-            loop_forever(
-                [
-                    wait_until(mine),
-                    if_(var(x["rd"]).eq(1), read_path, write_path),
-                ]
-            )
-        ],
+        [loop_forever(loop_body)],
         decls=[
             make_variable(tmp, int_type(width), doc="forwarded word"),
             make_variable(scratch, int_type(width), doc="handshake discard"),

@@ -28,19 +28,20 @@ from typing import Dict, List, Set, Tuple
 
 from repro.arch.protocols import (
     Protocol,
+    bus_error_name,
     master_receive_name,
     master_send_name,
 )
 from repro.errors import RefinementError
 from repro.models.plan import BusPlan, BusRole, ModelPlan
 from repro.refine.naming import NamePool
-from repro.spec.builder import call, sassign, wait_until
+from repro.spec.builder import assign, call, if_, sassign, wait_for, wait_until, while_
 from repro.spec.expr import Expr, var
 from repro.spec.specification import Specification
 from repro.spec.stmt import CallStmt
 from repro.spec.subprogram import Direction, Param, Subprogram
 from repro.spec.types import BIT, bits, int_type
-from repro.spec.variable import Variable, signal
+from repro.spec.variable import Variable, signal, variable
 
 __all__ = ["ProtocolEmitter", "arbiter_signal_names"]
 
@@ -244,28 +245,93 @@ class ProtocolEmitter:
             Param("data", int_type(max(2, bus_plan.data_width)), direction),
         ]
 
+    def _acquire_release(self, bus: str, req: str, ack: str, inner: CallStmt):
+        """The Req/Ack bracket around ``inner``.
+
+        Without a recovery policy this is the unbounded Figure 7
+        handshake.  With one (timeout-capable protocols), the grant
+        wait is bounded: the master polls ``ack`` for
+        ``grant_timeout_ticks``, re-requests up to ``max_retries``
+        times, and finally raises the bus error line and skips the
+        transaction (graceful degradation).  Returns (stmts, decls).
+        """
+        policy = getattr(self.protocol, "recovery", None)
+        if policy is None:
+            return (
+                [
+                    sassign(req, 1),
+                    wait_until(var(ack).eq(1)),
+                    inner,
+                    sassign(req, 0),
+                    wait_until(var(ack).eq(0)),
+                ],
+                [],
+            )
+        bound = policy.grant_timeout_ticks
+        attempt = [
+            assign("arb_try", var("arb_try") + 1),
+            sassign(req, 1),
+            assign("arb_seen", 0),
+            assign("arb_ticks", 0),
+            while_(
+                var("arb_seen").eq(0).and_(var("arb_ticks") < bound),
+                [
+                    wait_for(1),
+                    if_(
+                        var(ack).eq(1),
+                        [assign("arb_seen", 1)],
+                        [assign("arb_ticks", var("arb_ticks") + 1)],
+                    ),
+                ],
+            ),
+            if_(var("arb_seen").eq(1), [inner, assign("arb_ok", 1)]),
+            sassign(req, 0),
+            assign("arb_ticks", 0),
+            while_(
+                var(ack).eq(1).and_(var("arb_ticks") < bound),
+                [wait_for(1), assign("arb_ticks", var("arb_ticks") + 1)],
+            ),
+            if_(
+                var("arb_ok").eq(0),
+                [wait_for(policy.backoff_ticks)],
+            ),
+        ]
+        stmts = [
+            assign("arb_ok", 0),
+            assign("arb_try", 0),
+            while_(
+                var("arb_ok").eq(0).and_(var("arb_try") < policy.max_retries),
+                attempt,
+                expected=1,
+            ),
+            if_(var("arb_ok").eq(0), [sassign(bus_error_name(bus), 1)]),
+        ]
+        decls = [
+            variable("arb_ok", BIT, init=0, doc="transaction completed"),
+            variable("arb_seen", BIT, init=0, doc="grant observed"),
+            variable("arb_try", int_type(8), init=0, doc="attempt counter"),
+            variable("arb_ticks", int_type(16), init=0, doc="poll counter"),
+        ]
+        return stmts, decls
+
     def _make_wrapper(
         self, bus: str, leaf: str, send: bool, arbitrated: bool
     ) -> Subprogram:
         core = master_send_name(bus) if send else master_receive_name(bus)
         inner = call(core, var("addr"), var("data"))
+        decls = []
         if not arbitrated:
             stmts = [inner]
             doc = f"{leaf}'s unarbitrated access to {bus}"
         else:
             req, ack = arbiter_signal_names(bus, leaf)
-            stmts = [
-                sassign(req, 1),
-                wait_until(var(ack).eq(1)),
-                inner,
-                sassign(req, 0),
-                wait_until(var(ack).eq(0)),
-            ]
+            stmts, decls = self._acquire_release(bus, req, ack, inner)
             doc = f"{leaf}'s arbitrated access to {bus} (Req/Ack, Figure 7)"
         return Subprogram(
             self._wrapper_name(bus, leaf, send),
             params=self._params(bus, send),
             stmt_body=stmts,
+            decls=decls,
             doc=doc,
         )
 
@@ -288,16 +354,12 @@ class ProtocolEmitter:
         inner = call(
             self._wrapper_name(iface_bus, leaf, send), var("addr"), var("data")
         )
+        stmts, decls = self._acquire_release(interchange, req, ack, inner)
         return Subprogram(
             self._remote_name(leaf, send),
             params=self._params(iface_bus, send),
-            stmt_body=[
-                sassign(req, 1),
-                wait_until(var(ack).eq(1)),
-                inner,
-                sassign(req, 0),
-                wait_until(var(ack).eq(0)),
-            ],
+            stmt_body=stmts,
+            decls=decls,
             doc=(
                 f"{leaf}'s cross-partition access: global remote lock, then "
                 f"the {iface_bus} transaction (message passing, Figure 8)"

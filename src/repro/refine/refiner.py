@@ -198,13 +198,23 @@ class Refiner:
             for memory in plan.memories.values()
         ]
         interfaces = build_bus_interfaces(plan, emitter, pool)
+        recovery = getattr(self.protocol, "recovery", None)
         arbiters = []
         for bus in sorted(emitter.arbitrated_buses()):
-            arbiters.append(build_arbiter(bus, emitter.masters[bus], pool))
+            arbiters.append(
+                build_arbiter(
+                    bus, emitter.masters[bus], pool, recovery=recovery
+                )
+            )
         if emitter.lock_clients:
             interchange = plan.buses_with_role(BusRole.INTERCHANGE)[0]
             arbiters.append(
-                build_arbiter(interchange.name, emitter.lock_clients, pool)
+                build_arbiter(
+                    interchange.name,
+                    emitter.lock_clients,
+                    pool,
+                    recovery=recovery,
+                )
             )
 
         # materialise protocol subprograms, signals, and storage moves

@@ -1,20 +1,33 @@
-"""Discrete-event simulation: kernel, interpreter, equivalence checking."""
+"""Discrete-event simulation: kernel, interpreter, fault injection,
+equivalence checking."""
 
 from repro.sim.eval import Env, Frame, evaluate, truthy
+from repro.sim.faults import FaultEvent, FaultInjector, FaultScenario
 from repro.sim.interpreter import Probe, SimulationResult, Simulator, TraceEvent
-from repro.sim.kernel import Join, Kernel, Process, WaitCondition, WaitDelay
+from repro.sim.kernel import (
+    Join,
+    Kernel,
+    KernelLimits,
+    Process,
+    WaitCondition,
+    WaitDelay,
+)
 
 __all__ = [
     "Env",
     "Frame",
     "evaluate",
     "truthy",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultScenario",
     "Probe",
     "SimulationResult",
     "Simulator",
     "TraceEvent",
     "Join",
     "Kernel",
+    "KernelLimits",
     "Process",
     "WaitCondition",
     "WaitDelay",

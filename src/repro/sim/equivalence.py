@@ -88,14 +88,33 @@ class EquivalenceReport:
 def check_equivalence(
     design: RefinedDesign,
     inputs: Optional[Dict[str, object]] = None,
-    max_steps: int = 2_000_000,
+    max_steps: Optional[int] = None,
+    limits=None,
+    injector=None,
+    require_completion: bool = False,
 ) -> EquivalenceReport:
-    """Co-simulate and compare original vs refined."""
+    """Co-simulate and compare original vs refined.
+
+    ``limits`` (a :class:`repro.sim.kernel.KernelLimits`) bounds both
+    runs; ``max_steps`` is a shorthand overriding ``limits.max_steps``.
+    ``injector`` attaches a fault injector to the *refined* run only
+    (the original is the golden reference), and with
+    ``require_completion=True`` a refined run that goes quiescent
+    without finishing raises :class:`repro.errors.DeadlockError`
+    instead of reporting a completion mismatch — the fault-injection
+    campaign's detection path.
+    """
     inputs = dict(inputs or {})
     original_run = Simulator(design.original).run(
-        inputs=inputs, max_steps=max_steps
+        inputs=inputs, max_steps=max_steps, limits=limits
     )
-    refined_run = Simulator(design.spec).run(inputs=inputs, max_steps=max_steps)
+    refined_run = Simulator(design.spec).run(
+        inputs=inputs,
+        max_steps=max_steps,
+        limits=limits,
+        injector=injector,
+        require_completion=require_completion,
+    )
     report = EquivalenceReport(design, inputs, original_run, refined_run)
 
     if original_run.completed != refined_run.completed:

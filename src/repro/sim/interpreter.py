@@ -33,7 +33,14 @@ from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.errors import SimulationError
 from repro.sim.eval import Env, Frame, evaluate, truthy
-from repro.sim.kernel import Join, Kernel, Process, WaitCondition, WaitDelay
+from repro.sim.kernel import (
+    Join,
+    Kernel,
+    KernelLimits,
+    Process,
+    WaitCondition,
+    WaitDelay,
+)
 from repro.spec.behavior import Behavior, CompositeBehavior, LeafBehavior
 from repro.spec.expr import Expr, Index, VarRef, free_variables
 from repro.spec.specification import Specification
@@ -52,7 +59,18 @@ from repro.spec.stmt import (
 from repro.spec.subprogram import Direction
 from repro.spec.variable import Role, StorageClass
 
-__all__ = ["Probe", "TraceEvent", "SimulationResult", "Simulator"]
+__all__ = [
+    "DEFAULT_TIME_UNIT",
+    "Probe",
+    "TraceEvent",
+    "SimulationResult",
+    "Simulator",
+]
+
+#: Seconds represented by one ``wait for 1`` tick — the scale fault
+#: scenarios expressed in protocol ticks must be multiplied by
+#: (:meth:`repro.sim.faults.FaultScenario.scaled`).
+DEFAULT_TIME_UNIT = 1e-9
 
 
 class Probe:
@@ -186,7 +204,7 @@ class Simulator:
         spec: Specification,
         cost_fn: Optional[Callable[[str, Stmt], float]] = None,
         probe: Optional[Probe] = None,
-        time_unit: float = 1e-9,
+        time_unit: float = DEFAULT_TIME_UNIT,
     ):
         self.spec = spec
         self.cost_fn = cost_fn
@@ -205,15 +223,26 @@ class Simulator:
     def run(
         self,
         inputs: Optional[Dict[str, object]] = None,
-        max_steps: int = 2_000_000,
+        max_steps: Optional[int] = None,
+        limits: Optional[KernelLimits] = None,
+        injector=None,
+        require_completion: bool = False,
     ) -> SimulationResult:
         """Execute the specification to quiescence.
 
         ``inputs`` overrides initial values of role-INPUT globals.
         The run *completes* when the root behavior's process finishes;
         daemon/server processes may remain blocked.
+
+        ``limits`` bounds the run (see :class:`KernelLimits`;
+        ``max_steps`` is a shorthand overriding ``limits.max_steps``);
+        ``injector`` attaches a :class:`repro.sim.faults.FaultInjector`;
+        with ``require_completion=True`` a quiescent run whose root
+        process never finished raises a structured
+        :class:`repro.errors.DeadlockError` instead of returning an
+        incomplete result.
         """
-        kernel = Kernel()
+        kernel = Kernel(injector=injector)
         self._kernel = kernel
         self._frames = {}
         self._trace = []
@@ -255,7 +284,11 @@ class Simulator:
             self.spec.top.name,
             self._run_behavior(self.spec.top, root_env),
         )
-        kernel.run(max_steps=max_steps)
+        kernel.run(
+            max_steps=max_steps,
+            limits=limits,
+            required=(root,) if require_completion else (),
+        )
         return SimulationResult(
             self.spec, kernel, self._frames, self._trace, root.finished
         )
@@ -415,7 +448,9 @@ class Simulator:
                 name for name in free_variables(cond) if env.is_signal(name)
             }
             return WaitCondition(
-                lambda: truthy(evaluate(cond, env)), sensitivity
+                lambda: truthy(evaluate(cond, env)),
+                sensitivity,
+                label=f"until {cond}",
             )
         # wait on s1, s2: edge-sensitive — wake on any change
         snapshot = {name: kernel.read_signal(name) for name in stmt.on}
@@ -424,6 +459,7 @@ class Simulator:
                 kernel.read_signal(name) != old for name, old in snapshot.items()
             ),
             set(stmt.on),
+            label="on " + ", ".join(stmt.on),
         )
 
     # -- subprogram calls ----------------------------------------------------------------

@@ -21,37 +21,71 @@ Scheduling loop:
    endless server behaviors (memories, arbiters, bus interfaces), so
    quiescence with the application processes finished is the normal
    termination; the caller decides which processes were required to
-   finish.
+   finish (pass them as ``required`` to get a structured
+   :class:`DeadlockError` instead of a silent incomplete run).
+
+Robustness machinery (all opt-in, zero-cost when unused):
+
+* :class:`KernelLimits` — configurable budgets (total activations,
+  delta cycles per timestep, wall-clock seconds); a breach raises
+  :class:`SimulationLimitExceeded` naming the limit that tripped;
+* a ring buffer of the last scheduler events, attached to limit and
+  deadlock errors so a wedged protocol can be diagnosed post mortem;
+* a narrow fault-injection interface: an *injector* (see
+  :mod:`repro.sim.faults`) may intercept every signal write
+  (drop/delay/corrupt) and every process activation (stall/kill).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import time as _time
+from collections import deque
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
-from repro.errors import SimulationError, SimulationLimitExceeded
+from repro.errors import (
+    BlockedProcessInfo,
+    DeadlockError,
+    SimulationError,
+    SimulationLimitExceeded,
+)
 
 __all__ = [
     "WaitCondition",
     "WaitDelay",
     "Join",
     "Process",
+    "KernelLimits",
     "Kernel",
 ]
+
+#: Default bound on total process activations (the historical constant).
+DEFAULT_MAX_STEPS = 2_000_000
+
+#: How many scheduler events the diagnostic ring buffer keeps.
+DEFAULT_TRACE_DEPTH = 32
 
 
 class WaitCondition:
     """Suspend until ``predicate()`` is true; re-evaluated whenever one
     of the named signals changes.  The predicate is checked immediately
     on suspension (level-sensitive), so a condition that already holds
-    does not deadlock the process."""
+    does not deadlock the process.  ``label`` is a human-readable
+    rendering of the condition used in deadlock reports."""
 
-    __slots__ = ("predicate", "sensitivity")
+    __slots__ = ("predicate", "sensitivity", "label")
 
-    def __init__(self, predicate: Callable[[], bool], sensitivity: Iterable[str]):
+    def __init__(
+        self,
+        predicate: Callable[[], bool],
+        sensitivity: Iterable[str],
+        label: str = "",
+    ):
         self.predicate = predicate
         self.sensitivity = frozenset(sensitivity)
+        self.label = label
 
 
 class WaitDelay:
@@ -77,26 +111,52 @@ class Join:
 class Process:
     """One schedulable coroutine."""
 
-    __slots__ = ("name", "generator", "finished", "failed", "_waiting_on")
+    __slots__ = ("name", "generator", "finished", "failed", "killed", "_waiting_on")
 
     def __init__(self, name: str, generator: Iterator):
         self.name = name
         self.generator = generator
         self.finished = False
         self.failed: Optional[BaseException] = None
+        #: set when a fault injector terminated the process
+        self.killed = False
         self._waiting_on: Optional[object] = None
 
     def __repr__(self) -> str:
         state = "finished" if self.finished else (
             "blocked" if self._waiting_on is not None else "ready"
         )
+        if self.killed:
+            state = "killed"
         return f"<Process {self.name} {state}>"
 
 
-class Kernel:
-    """The event-driven scheduler and signal store."""
+@dataclass(frozen=True)
+class KernelLimits:
+    """Configurable simulation budgets.
 
-    def __init__(self):
+    ``max_steps`` bounds total process activations; ``max_delta`` bounds
+    consecutive delta cycles without time advancing (a delta-cycle storm
+    — two processes toggling a signal forever); ``wall_clock`` bounds
+    real elapsed seconds of :meth:`Kernel.run`.  ``None`` disables a
+    limit.
+    """
+
+    max_steps: Optional[int] = DEFAULT_MAX_STEPS
+    max_delta: Optional[int] = None
+    wall_clock: Optional[float] = None
+
+
+class Kernel:
+    """The event-driven scheduler and signal store.
+
+    ``injector`` is an optional fault injector implementing the narrow
+    interface of :class:`repro.sim.faults.FaultInjector`
+    (``on_signal_write`` / ``on_activation``); ``trace_depth`` sizes the
+    diagnostic ring buffer of recent scheduler events.
+    """
+
+    def __init__(self, injector=None, trace_depth: int = DEFAULT_TRACE_DEPTH):
         self.now: float = 0.0
         self._signals: Dict[str, object] = {}
         self._pending: Dict[str, object] = {}
@@ -108,8 +168,15 @@ class Kernel:
         self._join_waiters: Dict[Process, Join] = {}
         #: timed queue of (wake_time, seq, process)
         self._timed: List[Tuple[float, int, Process]] = []
+        #: fault-delayed signal updates: (apply_time, seq, name, value)
+        self._delayed_writes: List[Tuple[float, int, str, object]] = []
         self._seq = itertools.count()
         self.steps: int = 0
+        self.injector = injector
+        #: ring buffer of (kind, detail, time) scheduler events
+        self._trace: deque = deque(maxlen=max(1, trace_depth))
+        #: delta cycles since time last advanced (storm detection)
+        self._delta_streak: int = 0
 
     # -- signals ------------------------------------------------------------
 
@@ -130,9 +197,27 @@ class Kernel:
             raise SimulationError(f"unknown signal {name!r}") from None
 
     def write_signal(self, name: str, value) -> None:
-        """Schedule a signal update for the next delta cycle."""
+        """Schedule a signal update for the next delta cycle.
+
+        An attached fault injector may drop the update, corrupt the
+        value, or defer it by some simulated time."""
         if name not in self._signals:
             raise SimulationError(f"unknown signal {name!r}")
+        if self.injector is not None:
+            action, value = self.injector.on_signal_write(self.now, name, value)
+            if action == "drop":
+                self._record("fault", f"dropped write {name}")
+                return
+            if action == "delay":
+                value, delay = value
+                self._record("fault", f"delayed write {name} by {delay}")
+                heapq.heappush(
+                    self._delayed_writes,
+                    (self.now + delay, next(self._seq), name, value),
+                )
+                return
+            if action == "corrupt":
+                self._record("fault", f"corrupted write {name} -> {value!r}")
         self._pending[name] = value
 
     def signal_names(self) -> Set[str]:
@@ -159,31 +244,150 @@ class Kernel:
             if not p.finished and p.failed is None
         ]
 
+    def blocked_report(self) -> List[BlockedProcessInfo]:
+        """Structured wait-state snapshot of every blocked process."""
+        out: List[BlockedProcessInfo] = []
+        for process in self.blocked_processes():
+            request = process._waiting_on
+            if isinstance(request, WaitCondition):
+                out.append(
+                    BlockedProcessInfo(
+                        process.name,
+                        "condition",
+                        sensitivity=request.sensitivity,
+                        detail=request.label,
+                    )
+                )
+            elif isinstance(request, WaitDelay):
+                out.append(
+                    BlockedProcessInfo(
+                        process.name, "delay", detail=f"for {request.delay}"
+                    )
+                )
+            elif isinstance(request, Join):
+                pending = [p.name for p in request.processes if not p.finished]
+                out.append(
+                    BlockedProcessInfo(
+                        process.name, "join", detail=f"on {pending}"
+                    )
+                )
+            else:
+                out.append(BlockedProcessInfo(process.name, "ready"))
+        return out
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def _record(self, kind: str, detail) -> None:
+        self._trace.append((kind, detail, self.now))
+
+    def format_trace(self) -> List[str]:
+        """The ring buffer rendered as short human-readable lines."""
+        return [
+            f"t={when:g} {kind}: {detail}" for kind, detail, when in self._trace
+        ]
+
     # -- the event loop -----------------------------------------------------------
 
-    def run(self, max_steps: int = 2_000_000) -> None:
+    def run(
+        self,
+        max_steps: Optional[int] = None,
+        limits: Optional[KernelLimits] = None,
+        required: Iterable[Process] = (),
+    ) -> None:
         """Run to quiescence.
 
-        ``max_steps`` bounds the total number of process activations;
-        exceeding it raises :class:`SimulationLimitExceeded` (a livelock
-        in a refined protocol, e.g. a master with no matching slave).
+        ``limits`` bounds the run (see :class:`KernelLimits`);
+        ``max_steps`` is a shorthand overriding ``limits.max_steps``.
+        Breaching a budget raises :class:`SimulationLimitExceeded`
+        naming the limit that tripped.
+
+        ``required`` lists processes that must have finished by
+        quiescence; when any is still blocked, the kernel raises a
+        :class:`DeadlockError` carrying every blocked process, its wait
+        condition and sensitivity list, and the most recent scheduler
+        events.
         """
+        if limits is None:
+            limits = KernelLimits()
+        if max_steps is not None:
+            limits = KernelLimits(
+                max_steps=max_steps,
+                max_delta=limits.max_delta,
+                wall_clock=limits.wall_clock,
+            )
+        required = tuple(required)
+        started = _time.monotonic() if limits.wall_clock is not None else 0.0
         while True:
             while self._ready:
                 process = self._ready.pop()
                 self.steps += 1
-                if self.steps > max_steps:
+                if limits.max_steps is not None and self.steps > limits.max_steps:
                     raise SimulationLimitExceeded(
-                        f"simulation exceeded {max_steps} steps at t={self.now}"
+                        f"simulation exceeded max_steps={limits.max_steps} "
+                        f"at t={self.now}",
+                        limit="max_steps",
+                        trace=self.format_trace(),
+                    )
+                if (
+                    limits.wall_clock is not None
+                    and self.steps % 1024 == 0
+                    and _time.monotonic() - started > limits.wall_clock
+                ):
+                    raise SimulationLimitExceeded(
+                        f"simulation exceeded wall_clock={limits.wall_clock}s "
+                        f"after {self.steps} steps at t={self.now}",
+                        limit="wall_clock",
+                        trace=self.format_trace(),
                     )
                 self._activate(process)
             if self._apply_delta():
+                self._delta_streak += 1
+                if (
+                    limits.max_delta is not None
+                    and self._delta_streak > limits.max_delta
+                ):
+                    raise SimulationLimitExceeded(
+                        f"delta-cycle storm: more than "
+                        f"max_delta={limits.max_delta} delta cycles without "
+                        f"time advancing at t={self.now}",
+                        limit="max_delta",
+                        trace=self.format_trace(),
+                    )
                 continue
             if self._advance_time():
+                self._delta_streak = 0
                 continue
-            return  # quiescent
+            break  # quiescent
+        unfinished = [
+            p.name for p in required if not p.finished and p.failed is None
+        ]
+        if unfinished:
+            raise DeadlockError(
+                blocked=self.blocked_report(),
+                required=unfinished,
+                time=self.now,
+                trace=self.format_trace(),
+            )
 
     def _activate(self, process: Process) -> None:
+        if self.injector is not None:
+            action, arg = self.injector.on_activation(self.now, process.name)
+            if action == "kill":
+                self._record("fault", f"killed process {process.name}")
+                process.finished = True
+                process.killed = True
+                process.generator.close()
+                self._notify_joiners(process)
+                return
+            if action == "stall":
+                self._record(
+                    "fault", f"stalled process {process.name} for {arg}"
+                )
+                heapq.heappush(
+                    self._timed, (self.now + arg, next(self._seq), process)
+                )
+                return
+        self._record("run", process.name)
         try:
             request = next(process.generator)
         except StopIteration:
@@ -248,6 +452,7 @@ class Kernel:
         self._pending.clear()
         if not changed:
             return False
+        self._record("delta", ",".join(sorted(changed)))
         woken = [
             process
             for process, cond in self._cond_waiters.items()
@@ -260,17 +465,21 @@ class Kernel:
         return True
 
     def _advance_time(self) -> bool:
-        """Jump to the earliest timed wake-up.  Returns True when a
-        process was woken."""
-        if not self._timed:
+        """Jump to the earliest timed wake-up or fault-delayed signal
+        update.  Returns True when anything became runnable/pending."""
+        next_proc = self._timed[0][0] if self._timed else None
+        next_write = self._delayed_writes[0][0] if self._delayed_writes else None
+        if next_proc is None and next_write is None:
             return False
-        wake_time, _, process = heapq.heappop(self._timed)
-        self.now = max(self.now, wake_time)
-        process._waiting_on = None
-        self._ready.append(process)
-        # release everything scheduled for the same instant
+        candidates = [t for t in (next_proc, next_write) if t is not None]
+        self.now = max(self.now, min(candidates))
+        self._record("advance", f"{self.now:g}")
+        while self._delayed_writes and self._delayed_writes[0][0] <= self.now:
+            _, _, name, value = heapq.heappop(self._delayed_writes)
+            self._pending[name] = value
+        # release everything scheduled for this instant
         while self._timed and self._timed[0][0] <= self.now:
-            _, _, other = heapq.heappop(self._timed)
-            other._waiting_on = None
-            self._ready.append(other)
+            _, _, process = heapq.heappop(self._timed)
+            process._waiting_on = None
+            self._ready.append(process)
         return True

@@ -138,3 +138,45 @@ class TestFigures:
     def test_figure10(self, capsys):
         assert main(["figure10"]) == 0
         assert "Figure 10" in capsys.readouterr().out
+
+
+class TestKernelLimitFlags:
+    def test_simulate_accepts_limit_flags(self, capsys):
+        assert main(["simulate", "--max-steps", "1000",
+                     "--max-delta", "500"]) == 0
+        assert "completed" in capsys.readouterr().out
+
+    def test_verify_limit_breach_names_the_limit(self, capsys):
+        assert main(["verify", "--design", "Design1", "--model", "Model4",
+                     "--max-steps", "500"]) == 2
+        assert "max_steps=500" in capsys.readouterr().err
+
+
+class TestVerifyProtocol:
+    def test_timeout_protocol_is_equivalent(self, capsys):
+        assert main(["verify", "--design", "Design1", "--model", "Model2",
+                     "--protocol", "handshake-timeout"]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+
+class TestPartitionSeed:
+    def test_annealed_seed_flag(self, capsys):
+        assert main(["partition", "--algorithm", "annealed",
+                     "--seed", "7"]) == 0
+        assert "cost:" in capsys.readouterr().out
+
+
+class TestRobustness:
+    def test_single_cell_campaign(self, capsys, tmp_path):
+        out_file = tmp_path / "campaign.txt"
+        assert main(["robustness", "--design", "Design1",
+                     "--model", "Model2", "-o", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Robustness campaign" in out
+        assert "unexpected: 0" in out
+        assert out_file.read_text().startswith("Robustness campaign")
+
+    def test_no_output_file(self, capsys):
+        assert main(["robustness", "--design", "Design1",
+                     "--model", "Model1", "-o", ""]) == 0
+        assert "written to" not in capsys.readouterr().out

@@ -88,3 +88,27 @@ class TestErrors:
     def test_illegal_character(self):
         with pytest.raises(ParseError):
             tokenize("x # y")
+
+
+class TestMultiLineLiterals:
+    """Regression: a quote left open used to scan past the newline to
+    the next quote in the file, silently desynchronising line/column
+    tracking for every subsequent token (and pointing errors at the
+    wrong place).  A character literal never spans lines."""
+
+    def test_unterminated_char_does_not_eat_the_next_line(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("x = 'a\ny = 'b'")
+        assert err.value.line == 1
+        assert err.value.column == 5  # the opening quote, not the next line
+
+    def test_positions_after_literal_stay_correct(self):
+        tokens = tokenize("'a' b\nc")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (1, 5)
+        assert (tokens[2].line, tokens[2].column) == (2, 1)
+
+    def test_unterminated_at_eof(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("'oops")
+        assert (err.value.line, err.value.column) == (1, 1)

@@ -229,3 +229,120 @@ class TestDeltaCycles:
         assert "master done" in log
         assert "slave done" in log
         assert k.now == 0.0
+
+
+class TestWatchdog:
+    """KernelLimits, the deadlock reporter, and the diagnostic trace."""
+
+    def test_deadlock_error_for_unfinished_required(self):
+        from repro.errors import DeadlockError
+
+        k = Kernel()
+        k.register_signal("never", 0)
+
+        def stuck():
+            yield WaitCondition(
+                lambda: k.read_signal("never") == 1, {"never"}, label="until never=1"
+            )
+
+        p = k.spawn("stuck", stuck())
+        with pytest.raises(DeadlockError) as excinfo:
+            k.run(required=(p,))
+        err = excinfo.value
+        assert "stuck" in str(err)
+        assert "never" in str(err)  # sensitivity list is named
+        assert err.required == ("stuck",)
+        assert any(info.name == "stuck" for info in err.blocked)
+
+    def test_quiescence_without_required_is_not_an_error(self):
+        k = Kernel()
+        k.register_signal("never", 0)
+
+        def daemon():
+            yield WaitCondition(lambda: k.read_signal("never") == 1, {"never"})
+
+        k.spawn("daemon", daemon())
+        k.run()  # no required processes: plain quiescence
+
+    def test_wait_condition_true_at_suspension_resumes_same_delta(self):
+        k = Kernel()
+        k.register_signal("go", 1)
+        log = []
+
+        def waiter():
+            log.append(("before", k.now))
+            yield WaitCondition(lambda: k.read_signal("go") == 1, {"go"})
+            log.append(("after", k.now))
+
+        k.spawn("w", waiter())
+        k.run()
+        assert log == [("before", 0.0), ("after", 0.0)]
+
+    def test_zero_delay_wait_runs_in_same_timestep(self):
+        k = Kernel()
+        log = []
+
+        def proc():
+            yield WaitDelay(0)
+            log.append(k.now)
+
+        k.spawn("p", proc())
+        k.run()
+        assert log == [0.0]
+
+    def test_delta_cycle_storm_trips_max_delta(self):
+        from repro.sim.kernel import KernelLimits
+
+        k = Kernel()
+        k.register_signal("a", 0)
+        k.register_signal("b", 0)
+
+        def ping():
+            val = 0
+            while True:
+                val = 1 - val
+                k.write_signal("a", val)
+                yield WaitCondition(
+                    lambda want=val: k.read_signal("b") == want, {"b"}
+                )
+
+        def pong():
+            seen = 0
+            while True:
+                yield WaitCondition(
+                    lambda old=seen: k.read_signal("a") != old, {"a"}
+                )
+                seen = k.read_signal("a")
+                k.write_signal("b", seen)
+
+        k.spawn("ping", ping())
+        k.spawn("pong", pong())
+        with pytest.raises(SimulationLimitExceeded) as excinfo:
+            k.run(limits=KernelLimits(max_delta=50))
+        assert excinfo.value.limit == "max_delta"
+        assert "max_delta" in str(excinfo.value)
+
+    def test_limit_error_names_max_steps_and_carries_trace(self):
+        k = Kernel()
+
+        def spinner():
+            while True:
+                yield WaitDelay(1)
+
+        k.spawn("spin", spinner())
+        with pytest.raises(SimulationLimitExceeded) as excinfo:
+            k.run(max_steps=10)
+        assert excinfo.value.limit == "max_steps"
+        assert "max_steps=10" in str(excinfo.value)
+        assert excinfo.value.trace  # ring buffer contents attached
+
+    def test_trace_ring_buffer_is_bounded(self):
+        k = Kernel(trace_depth=4)
+
+        def proc():
+            for _ in range(20):
+                yield WaitDelay(1)
+
+        k.spawn("p", proc())
+        k.run()
+        assert len(k.format_trace()) <= 4
