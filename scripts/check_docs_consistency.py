@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Fail if the public API has drifted from the docs.
+
+Walks every ``repro`` package with an ``__all__`` and checks that each
+exported name is mentioned in ``docs/API.md``.  The check is textual on
+purpose: the reference is a curated prose document, not generated
+stubs, so "mentioned anywhere in the file" is the contract — a name can
+be documented in a table row, a sentence, or a grouped entry like
+``MODEL1..MODEL4``.
+
+Run from the repo root (CI does)::
+
+    PYTHONPATH=src python scripts/check_docs_consistency.py
+
+Exits non-zero listing the undocumented names, if any.  Names can be
+grouped with ``..`` ranges only if every member is spelled out
+somewhere; add the literal name to the doc instead of widening this
+check.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+API_DOC = REPO_ROOT / "docs" / "API.md"
+
+#: Exported names that are intentionally undocumented.
+ALLOWED_UNDOCUMENTED = {
+    "repro": {"__version__"},
+}
+
+
+def public_packages():
+    """Yield ``repro`` and each of its immediate subpackages."""
+    import repro
+
+    yield "repro", repro
+    for info in pkgutil.iter_modules(repro.__path__, prefix="repro."):
+        if info.ispkg:
+            yield info.name, importlib.import_module(info.name)
+
+
+def undocumented_names(doc_text: str):
+    """Return ``[(package, name), ...]`` for exports missing from the doc."""
+    missing = []
+    for pkg_name, module in public_packages():
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            missing.append((pkg_name, "<no __all__ defined>"))
+            continue
+        allowed = ALLOWED_UNDOCUMENTED.get(pkg_name, set())
+        for name in exported:
+            if name in allowed:
+                continue
+            if name not in doc_text:
+                missing.append((pkg_name, name))
+    return missing
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    doc_text = API_DOC.read_text(encoding="utf-8")
+    missing = undocumented_names(doc_text)
+    if missing:
+        print(f"{API_DOC.relative_to(REPO_ROOT)} is missing {len(missing)} public name(s):")
+        for pkg_name, name in missing:
+            print(f"  {pkg_name}: {name}")
+        print("\nDocument them in docs/API.md (or add to ALLOWED_UNDOCUMENTED")
+        print("in scripts/check_docs_consistency.py with a justification).")
+        return 1
+    total = sum(len(getattr(m, "__all__", ())) for _, m in public_packages())
+    print(f"docs/API.md covers all {total} exported names. OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,10 @@ Subcommands mirror the library's main flows:
 * ``repro verify --design D --model M`` — co-simulate original vs
   refined (the equivalence check);
 * ``repro robustness`` — the fault-injection campaign (scenarios x
-  designs x models) against the timeout-and-retry protocol.
+  designs x models) against the timeout-and-retry protocol;
+* ``repro profile --design D --model M`` — the instrumented
+  refine → simulate → verify pipeline: kernel counters and per-phase
+  wall-clock as a table plus JSON under ``benchmarks/output/``.
 """
 
 from __future__ import annotations
@@ -257,6 +260,32 @@ def _cmd_robustness(args) -> int:
     return 1 if result.unexpected() else 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.experiments.profiling import run_profile
+
+    spec = _load_spec(args.file)
+    partition = _resolve_partition(spec, args)
+    report = run_profile(
+        spec,
+        partition,
+        model=args.model,
+        protocol=args.protocol,
+        design=args.design,
+        inputs=_parse_inputs(args.input) or None,
+        limits=_parse_limits(args),
+        verify=not args.no_verify,
+    )
+    print(report.render())
+    if args.output:
+        import os
+
+        os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+        with open(args.output, "w") as handle:
+            handle.write(report.as_json() + "\n")
+        print(f"\nprofile JSON written to {args.output}")
+    return 0 if report.equivalent in (True, None) else 1
+
+
 # -- parser ----------------------------------------------------------------------
 
 
@@ -378,6 +407,26 @@ def build_parser() -> argparse.ArgumentParser:
                    default="benchmarks/output/robustness_campaign.txt",
                    help="write the campaign table here ('' to skip)")
     p.set_defaults(handler=_cmd_robustness)
+
+    p = sub.add_parser(
+        "profile",
+        help="instrumented refine/simulate/verify pipeline with kernel counters",
+    )
+    add_file(p)
+    p.add_argument("--design", required=True,
+                   help="Design1, Design2 or Design3 (medical system)")
+    p.add_argument("--model", default="Model1",
+                   help="Model1..Model4 (default Model1)")
+    p.add_argument("--protocol", default="handshake",
+                   choices=("handshake", "strobe", "handshake-timeout"))
+    p.add_argument("--input", action="append", metavar="NAME=VALUE")
+    add_limits(p)
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the co-simulation (verify) phase")
+    p.add_argument("-o", "--output",
+                   default="benchmarks/output/profile.json",
+                   help="write the profile JSON here ('' to skip)")
+    p.set_defaults(handler=_cmd_profile)
 
     return parser
 

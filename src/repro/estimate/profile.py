@@ -47,6 +47,9 @@ class ProfileResult:
         self.writes: Dict[Tuple[str, str], float] = {}
         #: total modelled run time
         self.total_time: float = 0.0
+        #: kernel counters from the profiling run (dynamic only) — a
+        #: :class:`repro.sim.metrics.SimMetrics`, or None
+        self.kernel_metrics = None
         self._lifetime_cache: Dict[str, float] = {}
 
     def lifetime(self, behavior: str) -> float:
@@ -130,12 +133,17 @@ def profile_specification(
     inputs: Optional[Dict[str, object]] = None,
     graph: Optional[AccessGraph] = None,
     max_steps: int = 2_000_000,
+    metrics=None,
 ) -> ProfileResult:
     """Profile by simulating the original specification once.
 
     The partition supplies the component (and hence the clock) each
     behavior runs at, so Design1/2/3 produce different lifetimes for
     the same spec — as in the paper, where the rates differ per design.
+
+    ``metrics`` optionally attaches a
+    :class:`repro.sim.metrics.SimMetrics` to the profiling run's kernel;
+    it is also stored as :attr:`ProfileResult.kernel_metrics`.
     """
     allocation = (allocation or default_allocation_for(partition.components())).ensure(
         partition.components()
@@ -148,7 +156,8 @@ def profile_specification(
         cost_fn=cost_function(partition, allocation, timing),
         probe=probe,
     )
-    run = simulator.run(inputs=inputs, max_steps=max_steps)
+    run = simulator.run(inputs=inputs, max_steps=max_steps, metrics=metrics)
+    result.kernel_metrics = metrics
     if not run.completed:
         raise EstimationError(
             f"profiling run of {spec.name!r} did not complete "

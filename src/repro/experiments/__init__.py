@@ -15,6 +15,7 @@ from repro.experiments.paperdata import (
     PAPER_ORIGINAL_LINES,
     PAPER_SPEC_STATS,
 )
+from repro.experiments.profiling import ProfileReport, run_profile
 from repro.experiments.robustness import (
     RobustnessCell,
     RobustnessResult,
@@ -24,6 +25,8 @@ from repro.experiments.robustness import (
 from repro.experiments.tables import render_table
 
 __all__ = [
+    "ProfileReport",
+    "run_profile",
     "RobustnessCell",
     "RobustnessResult",
     "default_scenarios",

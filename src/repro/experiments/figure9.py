@@ -12,11 +12,18 @@ Pipeline per design (exactly the paper's §5 procedure):
 The result object renders the paper's table (Mbit/s per bus, Model4's
 equal interface triple reported once as ``b2=b3=b4``) and carries the
 raw per-bus numbers for the shape assertions in the test suite.
+
+Each cell is additionally *measured*, not just estimated: the refined
+design is executed with a :class:`repro.sim.metrics.SimMetrics`
+attached, so every bus transaction the kernel actually scheduled is
+counted (``Figure9Cell.counted_transfers``).  The activity table
+(:meth:`Figure9Result.render_activity`) reports those counts next to
+the kernel's activation/delta-cycle totals.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.apps.medical import MEDICAL_INPUTS, all_designs, medical_specification
@@ -29,6 +36,7 @@ from repro.graph.analysis import classify_variables
 from repro.models.impl_models import ALL_MODELS
 from repro.experiments.paperdata import PAPER_FIGURE9
 from repro.experiments.tables import render_table
+from repro.sim.metrics import SimMetrics
 from repro.spec.specification import Specification
 
 __all__ = ["Figure9Result", "run_figure9", "default_allocation"]
@@ -53,10 +61,19 @@ class Figure9Cell:
     design: str
     model: str
     report: BusRateReport
+    #: kernel counters from executing the refined design (None when the
+    #: sweep ran with ``count_transfers=False``)
+    metrics: Optional[SimMetrics] = field(default=None, compare=False)
 
     @property
     def rates_mbits(self) -> Dict[str, float]:
         return self.report.as_row()
+
+    @property
+    def counted_transfers(self) -> Optional[int]:
+        """Bus transactions the kernel actually scheduled while
+        executing this cell's refined design (``None`` if unmeasured)."""
+        return self.metrics.bus_transactions if self.metrics else None
 
     @property
     def max_mbits(self) -> float:
@@ -101,6 +118,36 @@ class Figure9Result:
     def cell(self, design: str, model: str) -> Figure9Cell:
         return self.cells[design][model]
 
+    def counted_transfers(self, design: str) -> Dict[str, Optional[int]]:
+        """Measured bus transactions per model for ``design``."""
+        return {
+            model: cell.counted_transfers
+            for model, cell in self.cells[design].items()
+        }
+
+    def render_activity(self) -> str:
+        """Measured kernel activity per cell: counted bus transactions,
+        process activations and delta cycles from executing each refined
+        design (blank when the sweep ran ``count_transfers=False``)."""
+        headers = ["Design", "Model", "bus transfers", "activations", "delta cycles"]
+        rows: List[List[str]] = []
+        for design, by_model in self.cells.items():
+            for model, cell in by_model.items():
+                m = cell.metrics
+                rows.append(
+                    [design, model]
+                    + (
+                        [str(m.bus_transactions), str(m.activations), str(m.delta_cycles)]
+                        if m is not None
+                        else ["-", "-", "-"]
+                    )
+                )
+        return render_table(
+            headers,
+            rows,
+            title="Figure 9 activity: counted kernel events per refined design",
+        )
+
     def render(self, include_paper: bool = True) -> str:
         """The Figure 9 table, optionally with the paper's numbers."""
         headers = ["Design", "Model1", "Model2", "Model3", "Model4"]
@@ -129,9 +176,20 @@ def run_figure9(
     spec: Optional[Specification] = None,
     inputs: Optional[Dict[str, int]] = None,
     allocation: Optional[Allocation] = None,
+    count_transfers: bool = True,
 ) -> Figure9Result:
     """Run the full Figure 9 sweep on the medical system (or another
-    spec exposing the same design set)."""
+    spec exposing the same design set).
+
+    With ``count_transfers`` (the default) each cell's refined design is
+    also *executed* with a :class:`repro.sim.metrics.SimMetrics`
+    attached, so the table is backed by counted bus transactions rather
+    than bookkeeping alone; pass ``False`` to skip the twelve extra
+    simulations.
+    """
+    from repro.refine.refiner import Refiner
+    from repro.sim.interpreter import Simulator
+
     spec = spec or medical_specification()
     spec.validate()
     inputs = dict(inputs or MEDICAL_INPUTS)
@@ -153,7 +211,14 @@ def run_figure9(
         for model in ALL_MODELS:
             plan = model.build_plan(spec, partition, graph=graph)
             report = bus_transfer_rates(plan, graph, profile, rates=rates)
+            metrics: Optional[SimMetrics] = None
+            if count_transfers:
+                refined = Refiner(spec, partition, model).run()
+                metrics = SimMetrics()
+                Simulator(refined.spec).run(
+                    inputs=dict(inputs), metrics=metrics
+                )
             result.cells[design_name][model.name] = Figure9Cell(
-                design_name, model.name, report
+                design_name, model.name, report, metrics
             )
     return result

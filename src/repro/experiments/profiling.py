@@ -1,0 +1,178 @@
+"""The instrumented refine → simulate → verify pipeline (``repro profile``).
+
+Runtime-validation work (Jain & Manolios, PAPERS.md) treats the
+simulator as a measurement instrument: kernel counters are evidence
+about a refined design, not just progress indicators.  This module runs
+the full pipeline for one (design, model) cell with
+:class:`repro.sim.metrics.SimMetrics` attached to each run and a
+:class:`repro.sim.metrics.PhaseTimer` around each phase, and renders the
+result as a human table or JSON — the backing for the ``repro profile``
+CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.apps.medical import MEDICAL_INPUTS
+from repro.experiments.tables import render_table
+from repro.models import resolve_model
+from repro.refine.refiner import Refiner
+from repro.sim.equivalence import check_equivalence
+from repro.sim.interpreter import Simulator
+from repro.sim.metrics import PhaseTimer, SimMetrics
+from repro.spec.specification import Specification
+
+__all__ = ["ProfileReport", "run_profile"]
+
+#: Phase names in pipeline order.
+PHASES = ("refine", "simulate-original", "simulate-refined", "verify")
+
+
+class ProfileReport:
+    """Everything one instrumented pipeline run measured.
+
+    ``original_metrics`` / ``refined_metrics`` are the kernel counters
+    of the two simulation phases; ``phases`` carries wall-clock per
+    pipeline phase; ``equivalent`` is the verify phase's verdict.
+    """
+
+    def __init__(
+        self,
+        spec: Specification,
+        design: str,
+        model: str,
+        protocol: str,
+        inputs: Dict[str, object],
+    ):
+        self.spec = spec
+        self.design = design
+        self.model = model
+        self.protocol = protocol
+        self.inputs = dict(inputs)
+        self.phases = PhaseTimer()
+        self.original_metrics = SimMetrics()
+        self.refined_metrics = SimMetrics()
+        self.equivalent: Optional[bool] = None
+        #: source lines of the original / refined specification
+        self.original_lines: int = 0
+        self.refined_lines: int = 0
+        #: simulated seconds of the refined run
+        self.simulated_time: float = 0.0
+
+    # -- reporting ------------------------------------------------------------
+
+    def render(self) -> str:
+        """Counters and phase timings as aligned text tables."""
+        rows: List[List[str]] = [
+            [label, str(getattr(self.original_metrics, name)),
+             str(getattr(self.refined_metrics, name))]
+            for name, label in SimMetrics.FIELDS
+        ]
+        counters = render_table(
+            ["counter", "original", "refined"],
+            rows,
+            title=(
+                f"repro profile: {self.spec.name} {self.design} "
+                f"{self.model} ({self.protocol})"
+            ),
+        )
+        timing = render_table(
+            ["phase", "seconds"],
+            [
+                [name, f"{seconds:.4f}"]
+                for name, seconds in self.phases.as_dict().items()
+            ]
+            + [["total", f"{self.phases.total:.4f}"]],
+        )
+        verdict = (
+            "verify: not run"
+            if self.equivalent is None
+            else f"verify: {'EQUIVALENT' if self.equivalent else 'MISMATCH'}"
+        )
+        growth = (
+            f"lines: {self.original_lines} -> {self.refined_lines}  "
+            f"simulated time: {self.simulated_time:g}s"
+        )
+        return "\n".join([counters, "", timing, "", verdict, growth])
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (what ``repro profile -o`` writes)."""
+        return {
+            "spec": self.spec.name,
+            "design": self.design,
+            "model": self.model,
+            "protocol": self.protocol,
+            "inputs": self.inputs,
+            "equivalent": self.equivalent,
+            "original_lines": self.original_lines,
+            "refined_lines": self.refined_lines,
+            "simulated_time": self.simulated_time,
+            "phases_seconds": self.phases.as_dict(),
+            "original_metrics": self.original_metrics.as_dict(),
+            "refined_metrics": self.refined_metrics.as_dict(),
+        }
+
+    def as_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+
+def run_profile(
+    spec: Specification,
+    partition,
+    model: str = "Model1",
+    protocol: str = "handshake",
+    design: str = "",
+    inputs: Optional[Dict[str, object]] = None,
+    limits=None,
+    max_steps: Optional[int] = None,
+    verify: bool = True,
+) -> ProfileReport:
+    """Run refine → simulate → verify once, fully instrumented.
+
+    ``spec`` must already be validated; ``partition`` assigns behaviors
+    to components (``design`` is just the label reported).  ``inputs``
+    defaults to the medical stimulus when the spec defines those ports,
+    else to no inputs.  ``verify=False`` skips the co-simulation phase.
+    """
+    if inputs is None:
+        input_names = {v.name for v in spec.variables}
+        inputs = {
+            name: value
+            for name, value in MEDICAL_INPUTS.items()
+            if name in input_names
+        }
+    report = ProfileReport(spec, design, model, protocol, inputs)
+    report.original_lines = spec.line_count()
+    phases = report.phases
+
+    with phases.phase("refine"):
+        refined = Refiner(
+            spec, partition, resolve_model(model), protocol=protocol
+        ).run()
+    report.refined_lines = refined.spec.line_count()
+
+    with phases.phase("simulate-original"):
+        Simulator(spec).run(
+            inputs=dict(inputs),
+            limits=limits,
+            max_steps=max_steps,
+            metrics=report.original_metrics,
+        )
+    with phases.phase("simulate-refined"):
+        run = Simulator(refined.spec).run(
+            inputs=dict(inputs),
+            limits=limits,
+            max_steps=max_steps,
+            metrics=report.refined_metrics,
+        )
+    report.simulated_time = run.time
+
+    if verify:
+        with phases.phase("verify"):
+            outcome = check_equivalence(
+                refined, inputs=dict(inputs), limits=limits, max_steps=max_steps
+            )
+        report.equivalent = outcome.equivalent
+    return report

@@ -1,7 +1,7 @@
 """Discrete-event simulation: kernel, interpreter, fault injection,
-equivalence checking."""
+metrics/tracing, equivalence checking."""
 
-from repro.sim.eval import Env, Frame, evaluate, truthy
+from repro.sim.eval import Env, ExprCompiler, Frame, evaluate, truthy
 from repro.sim.faults import FaultEvent, FaultInjector, FaultScenario
 from repro.sim.interpreter import Probe, SimulationResult, Simulator, TraceEvent
 from repro.sim.kernel import (
@@ -12,9 +12,17 @@ from repro.sim.kernel import (
     WaitCondition,
     WaitDelay,
 )
+from repro.sim.metrics import (
+    DEFAULT_BUS_SIGNAL_PATTERNS,
+    PhaseTimer,
+    SimMetrics,
+    TraceRecord,
+    Tracer,
+)
 
 __all__ = [
     "Env",
+    "ExprCompiler",
     "Frame",
     "evaluate",
     "truthy",
@@ -31,4 +39,9 @@ __all__ = [
     "Process",
     "WaitCondition",
     "WaitDelay",
+    "DEFAULT_BUS_SIGNAL_PATTERNS",
+    "PhaseTimer",
+    "SimMetrics",
+    "TraceRecord",
+    "Tracer",
 ]

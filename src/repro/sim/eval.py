@@ -6,6 +6,17 @@ tuple for arrays).  An :class:`Env` resolves names through a chain of
 back to the kernel's signal store, so the same evaluator serves leaf
 bodies, transition conditions and subprogram bodies.
 
+Two evaluation strategies share these semantics:
+
+* :func:`evaluate` — the reference tree walker, re-dispatching on node
+  type every call; and
+* :class:`ExprCompiler` — the hot-path variant: each AST node is
+  *compiled once* into a Python closure (keyed by node identity), so
+  repeated activations of the same statement skip all dispatch.  The
+  interpreter uses a per-:class:`~repro.sim.interpreter.Simulator`
+  compiler by default; the two strategies are equivalence-tested
+  against each other.
+
 Semantics follow the VHDL subset: ``/`` truncates toward zero, ``mod``
 follows the right operand's sign (Python's ``%``), comparisons other
 than ``=``/``/=`` require numeric operands, and ``and``/``or``
@@ -23,7 +34,7 @@ from repro.spec.expr import BinOp, Const, Expr, Index, UnaryOp, VarRef
 from repro.spec.types import DataType
 from repro.spec.variable import Variable
 
-__all__ = ["Frame", "Env", "evaluate", "truthy"]
+__all__ = ["Frame", "Env", "ExprCompiler", "evaluate", "truthy"]
 
 
 class Frame:
@@ -67,7 +78,7 @@ class Env:
     channels).
     """
 
-    __slots__ = ("kernel", "frames", "on_read", "on_write")
+    __slots__ = ("kernel", "frames", "on_read", "on_write", "_resolve")
 
     def __init__(
         self,
@@ -80,6 +91,11 @@ class Env:
         self.frames = frames  # innermost first
         self.on_read = on_read
         self.on_write = on_write
+        #: name -> binding Frame (None = kernel signal store); filled
+        #: lazily by the compiled fast path.  Safe because a name's
+        #: binding frame never changes within one env's lifetime:
+        #: frames gain names only before the env is handed out.
+        self._resolve: Dict[str, Optional[Frame]] = {}
 
     def child(self, frame: Frame) -> "Env":
         """A new environment with ``frame`` innermost."""
@@ -235,3 +251,282 @@ def _require_number(value, expr: Expr) -> None:
         raise SimulationError(
             f"runtime: arithmetic on non-integer {value!r} in {expr}"
         )
+
+
+def _is_number(value) -> bool:
+    """Compile-time mirror of :func:`_require_number`'s acceptance."""
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _static_bool(expr: Expr) -> bool:
+    """Whether ``expr`` is structurally guaranteed to evaluate to a
+    Python bool (so ``truthy`` would be the identity on it)."""
+    if isinstance(expr, BinOp):
+        return expr.op in ("and", "or", "=", "/=", "<", "<=", ">", ">=")
+    if isinstance(expr, UnaryOp):
+        return expr.op == "not"
+    return False
+
+
+#: sentinel distinguishing "not yet resolved" from "resolves to the
+#: kernel signal store (None)" in Env._resolve
+_UNRESOLVED = object()
+
+#: A compiled expression: call with an :class:`Env`, get the value.
+CompiledExpr = Callable[[Env], object]
+
+
+class ExprCompiler:
+    """Compiles expression ASTs into Python closures, once per node.
+
+    The cache is keyed by node identity (``id``); each entry keeps a
+    strong reference to its node so an id can never be recycled while
+    the cache lives.  Shared subtrees (refinement reuses condition
+    nodes freely) compile exactly once.  Compiled closures reproduce
+    :func:`evaluate`'s semantics and error messages exactly — the
+    equivalence suite runs both strategies and compares.
+
+    One compiler instance is intended to live as long as the simulator
+    that owns it; do not share a compiler across threads.
+    """
+
+    __slots__ = ("_cache",)
+
+    def __init__(self):
+        self._cache: Dict[int, Tuple[Expr, CompiledExpr]] = {}
+
+    def compile(self, expr: Expr) -> CompiledExpr:
+        """The compiled form of ``expr`` (cached by node identity)."""
+        key = id(expr)
+        hit = self._cache.get(key)
+        if hit is not None and hit[0] is expr:
+            return hit[1]
+        fn = self._build(expr)
+        self._cache[key] = (expr, fn)
+        return fn
+
+    def evaluate(self, expr: Expr, env: Env):
+        """Compile (or fetch) and evaluate in one call."""
+        return self.compile(expr)(env)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    # -- node builders --------------------------------------------------------
+
+    def _build(self, expr: Expr) -> CompiledExpr:
+        if isinstance(expr, Const):
+            value = expr.value
+            return lambda env: value
+        if isinstance(expr, VarRef):
+            return self._build_varref(expr)
+        if isinstance(expr, Index):
+            return self._build_index(expr)
+        if isinstance(expr, UnaryOp):
+            return self._build_unary(expr)
+        if isinstance(expr, BinOp):
+            return self._build_binop(expr)
+        return self._raiser(f"runtime: cannot evaluate {expr!r}")
+
+    @staticmethod
+    def _raiser(message: str) -> CompiledExpr:
+        def fail(env):
+            raise SimulationError(message)
+
+        return fail
+
+    @staticmethod
+    def _build_varref(expr: VarRef) -> CompiledExpr:
+        # Inlines Env.read's frame walk (hottest closure by call
+        # count) and memoises the binding frame in the env's own
+        # ``_resolve`` map (``None`` = the kernel signal store), so
+        # the steady state is two dict probes and the cache dies with
+        # the env — no retention of dead call frames.
+        name = expr.name
+        message = f"runtime: name {name!r} is not bound"
+
+        def read_var(env):
+            frame = env._resolve.get(name, _UNRESOLVED)
+            if frame is not _UNRESOLVED:
+                if frame is None:
+                    return env.kernel._signals[name]
+                if env.on_read is not None:
+                    env.on_read(name)
+                return frame.slots[name][1]
+            for frame in env.frames:
+                slot = frame.slots.get(name)
+                if slot is not None:
+                    env._resolve[name] = frame
+                    if env.on_read is not None:
+                        env.on_read(name)
+                    return slot[1]
+            signals = env.kernel._signals
+            if name in signals:
+                env._resolve[name] = None
+                return signals[name]
+            raise SimulationError(message)
+
+        return read_var
+
+    def _build_index(self, expr: Index) -> CompiledExpr:
+        base_fn = self.compile(expr.base)
+        index_fn = self.compile(expr.index_expr)
+        base_node = expr.base
+
+        def run(env):
+            base = base_fn(env)
+            index = index_fn(env)
+            if not isinstance(base, tuple):
+                raise SimulationError(f"runtime: {base_node} is not an array")
+            if not isinstance(index, int) or isinstance(index, bool):
+                raise SimulationError(
+                    f"runtime: array index {index!r} is not an integer"
+                )
+            if not 0 <= index < len(base):
+                raise SimulationError(
+                    f"runtime: index {index} out of range for {base_node} "
+                    f"(length {len(base)})"
+                )
+            return base[index]
+
+        return run
+
+    def _build_unary(self, expr: UnaryOp) -> CompiledExpr:
+        operand_fn = self.compile(expr.operand)
+        if expr.op == "not":
+            if _static_bool(expr.operand):
+                return lambda env: not operand_fn(env)
+            return lambda env: not truthy(operand_fn(env))
+        if expr.op == "-":
+
+            def negate(env):
+                operand = operand_fn(env)
+                _require_number(operand, expr)
+                return -operand
+
+            return negate
+        if expr.op == "abs":
+
+            def absolute(env):
+                operand = operand_fn(env)
+                _require_number(operand, expr)
+                return abs(operand)
+
+            return absolute
+        return self._raiser(f"runtime: unknown unary operator {expr.op!r}")
+
+    def _build_binop(self, expr: BinOp) -> CompiledExpr:
+        op = expr.op
+        left_fn = self.compile(expr.left)
+        right_fn = self.compile(expr.right)
+        if op in ("and", "or"):
+            # skip the truthy() coercion for operands that are
+            # structurally boolean (comparisons / not / and / or)
+            left_bool = _static_bool(expr.left)
+            right_bool = _static_bool(expr.right)
+            if op == "and":
+                if left_bool and right_bool:
+                    return lambda env: left_fn(env) and right_fn(env)
+                if left_bool:
+                    return lambda env: left_fn(env) and truthy(right_fn(env))
+                if right_bool:
+                    return lambda env: truthy(left_fn(env)) and right_fn(env)
+                return lambda env: truthy(left_fn(env)) and truthy(
+                    right_fn(env)
+                )
+            if left_bool and right_bool:
+                return lambda env: left_fn(env) or right_fn(env)
+            if left_bool:
+                return lambda env: left_fn(env) or truthy(right_fn(env))
+            if right_bool:
+                return lambda env: truthy(left_fn(env)) or right_fn(env)
+            return lambda env: truthy(left_fn(env)) or truthy(right_fn(env))
+        if op == "=":
+            if isinstance(expr.right, Const):
+                rconst = expr.right.value
+                return lambda env: left_fn(env) == rconst
+            return lambda env: left_fn(env) == right_fn(env)
+        if op == "/=":
+            if isinstance(expr.right, Const):
+                rconst = expr.right.value
+                return lambda env: left_fn(env) != rconst
+            return lambda env: left_fn(env) != right_fn(env)
+        if op in ("<", "<=", ">", ">="):
+            compare = {
+                "<": lambda a, b: a < b,
+                "<=": lambda a, b: a <= b,
+                ">": lambda a, b: a > b,
+                ">=": lambda a, b: a >= b,
+            }[op]
+            if isinstance(expr.right, Const) and _is_number(
+                expr.right.value
+            ):
+                rconst = expr.right.value
+
+                def comparison_const(env):
+                    left = left_fn(env)
+                    _require_number(left, expr)
+                    return compare(left, rconst)
+
+                return comparison_const
+
+            def comparison(env):
+                left = left_fn(env)
+                right = right_fn(env)
+                _require_number(left, expr)
+                _require_number(right, expr)
+                return compare(left, right)
+
+            return comparison
+        if op in ("+", "-", "*"):
+            combine = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+            }[op]
+            if isinstance(expr.right, Const) and _is_number(
+                expr.right.value
+            ):
+                rconst = expr.right.value
+
+                def arithmetic_const(env):
+                    left = left_fn(env)
+                    _require_number(left, expr)
+                    return combine(left, rconst)
+
+                return arithmetic_const
+
+            def arithmetic(env):
+                left = left_fn(env)
+                right = right_fn(env)
+                _require_number(left, expr)
+                _require_number(right, expr)
+                return combine(left, right)
+
+            return arithmetic
+        if op == "/":
+
+            def divide(env):
+                left = left_fn(env)
+                right = right_fn(env)
+                _require_number(left, expr)
+                _require_number(right, expr)
+                if right == 0:
+                    raise SimulationError(f"runtime: division by zero in {expr}")
+                quotient = abs(left) // abs(right)  # VHDL '/': truncate toward zero
+                return -quotient if (left < 0) != (right < 0) else quotient
+
+            return divide
+        if op == "mod":
+
+            def modulo(env):
+                left = left_fn(env)
+                right = right_fn(env)
+                _require_number(left, expr)
+                _require_number(right, expr)
+                if right == 0:
+                    raise SimulationError(f"runtime: mod by zero in {expr}")
+                return left % right
+
+            return modulo
+        return self._raiser(f"runtime: unknown binary operator {op!r}")

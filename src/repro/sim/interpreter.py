@@ -25,14 +25,41 @@ An optional ``cost_fn(behavior_name, stmt) -> seconds`` charges
 execution time per statement (the estimation timing model); an optional
 :class:`Probe` receives every variable access and statement execution
 for profiling.
+
+Execution strategies
+--------------------
+
+The interpreter has two paths over the same IR:
+
+* the **compiled fast path** (default, ``compile_cache=True``): every
+  statement and expression node is compiled *once* into a Python
+  closure, cached by node identity for the life of the simulator.
+  Statement subtrees that cannot suspend (no ``wait``, no subprogram
+  call) and carry no instrumentation collapse into plain function
+  calls — no generator frame per statement; wait conditions get their
+  sensitivity sets and labels precomputed at compile time.
+* the **reference tree walker** (``compile_cache=False``): the
+  historical re-dispatching interpreter, kept as the semantic oracle —
+  the equivalence suite runs both paths and compares traces.
+
+When a ``cost_fn`` or ``probe`` is attached, compiled statements are
+wrapped so every execution still charges time and fires the probe; the
+closure cache then saves dispatch, not instrumentation.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.sim.eval import Env, Frame, evaluate, truthy
+from repro.sim.eval import (
+    Env,
+    ExprCompiler,
+    Frame,
+    _static_bool,
+    evaluate,
+    truthy,
+)
 from repro.sim.kernel import (
     Join,
     Kernel,
@@ -42,7 +69,7 @@ from repro.sim.kernel import (
     WaitDelay,
 )
 from repro.spec.behavior import Behavior, CompositeBehavior, LeafBehavior
-from repro.spec.expr import Expr, Index, VarRef, free_variables
+from repro.spec.expr import Const, Expr, Index, VarRef, free_variables
 from repro.spec.specification import Specification
 from repro.spec.stmt import (
     Assign,
@@ -197,6 +224,11 @@ class Simulator:
     time_unit:
         Seconds represented by one ``wait for 1`` delay (refined
         protocol strobes use small integer delays); default 1e-9.
+    compile_cache:
+        Use the compiled fast path (statements/expressions closed into
+        Python closures once, keyed by node identity).  ``False``
+        selects the reference tree walker; results are identical —
+        the flag exists for benchmarking and differential testing.
     """
 
     def __init__(
@@ -205,18 +237,30 @@ class Simulator:
         cost_fn: Optional[Callable[[str, Stmt], float]] = None,
         probe: Optional[Probe] = None,
         time_unit: float = DEFAULT_TIME_UNIT,
+        compile_cache: bool = True,
     ):
         self.spec = spec
         self.cost_fn = cost_fn
         self.probe = probe
         self.time_unit = time_unit
+        self.compile_cache = compile_cache
         self._kernel: Optional[Kernel] = None
         self._frames: Dict[str, Frame] = {}
         self._trace: List[TraceEvent] = []
-        self._output_names: set = set()
+        self._output_names = {v.name for v in spec.outputs()}
         self._signal_types: Dict[str, object] = {}
         self._trace_step = 0
         self._current_behavior = ""
+        #: True when every statement must charge time / fire the probe
+        self._instrumented = cost_fn is not None or probe is not None
+        #: expression compiler (shared by both instrumentation modes)
+        self._expr = ExprCompiler()
+        #: id(stmt) -> (stmt, plain, fn) — compiled statement closures
+        self._stmt_cache: Dict[int, Tuple[Stmt, bool, Callable]] = {}
+        #: id(body) -> (body, plain, fn) — compiled statement sequences
+        self._body_cache: Dict[int, Tuple[tuple, bool, Callable]] = {}
+        #: callee names currently being compiled (recursion guard)
+        self._compiling_calls: set = set()
 
     # -- public API -----------------------------------------------------------
 
@@ -227,6 +271,8 @@ class Simulator:
         limits: Optional[KernelLimits] = None,
         injector=None,
         require_completion: bool = False,
+        metrics=None,
+        tracer=None,
     ) -> SimulationResult:
         """Execute the specification to quiescence.
 
@@ -237,18 +283,20 @@ class Simulator:
         ``limits`` bounds the run (see :class:`KernelLimits`;
         ``max_steps`` is a shorthand overriding ``limits.max_steps``);
         ``injector`` attaches a :class:`repro.sim.faults.FaultInjector`;
-        with ``require_completion=True`` a quiescent run whose root
-        process never finished raises a structured
+        ``metrics`` / ``tracer`` attach a
+        :class:`repro.sim.metrics.SimMetrics` counter bag / a
+        :class:`repro.sim.metrics.Tracer` event recorder to the run's
+        kernel; with ``require_completion=True`` a quiescent run whose
+        root process never finished raises a structured
         :class:`repro.errors.DeadlockError` instead of returning an
         incomplete result.
         """
-        kernel = Kernel(injector=injector)
+        kernel = Kernel(injector=injector, metrics=metrics, tracer=tracer)
         self._kernel = kernel
         self._frames = {}
         self._trace = []
         self._trace_step = 0
         self._signal_types = {}
-        self._output_names = {v.name for v in self.spec.outputs()}
 
         global_frame = Frame("")
         self._frames[""] = global_frame
@@ -318,7 +366,16 @@ class Simulator:
         if self.probe is not None:
             self.probe.on_behavior_start(behavior.name, kernel.now)
         if isinstance(behavior, LeafBehavior):
-            yield from self._exec_body(behavior.stmt_body, behavior.name, inner)
+            if self.compile_cache:
+                plain, fn = self._compiled_body(behavior.stmt_body)
+                if plain:
+                    fn(behavior.name, inner)
+                else:
+                    yield from fn(behavior.name, inner)
+            else:
+                yield from self._exec_body(
+                    behavior.stmt_body, behavior.name, inner
+                )
         elif isinstance(behavior, CompositeBehavior):
             if behavior.is_sequential:
                 yield from self._run_sequential(behavior, inner)
@@ -342,7 +399,9 @@ class Simulator:
             # evaluates them (matches the access graph's attribution)
             self._current_behavior = behavior.name
             for arc in arcs:
-                if arc.condition is None or truthy(evaluate(arc.condition, env)):
+                if arc.condition is None or truthy(
+                    self._eval(arc.condition, env)
+                ):
                     chosen = arc
                     break
             if chosen is None or chosen.target is None:
@@ -360,6 +419,12 @@ class Simulator:
             yield Join(waited)
 
     # -- statements -----------------------------------------------------------------
+
+    def _eval(self, expr: Expr, env: Env):
+        """Evaluate through the closure cache (or the reference walker)."""
+        if self.compile_cache:
+            return self._expr.compile(expr)(env)
+        return evaluate(expr, env)
 
     def _exec_body(self, stmts: Body, behavior: str, env: Env) -> Iterator:
         for stmt in stmts:
@@ -500,3 +565,461 @@ class Simulator:
         for param, arg in zip(callee.params, stmt.args):
             if param.direction in (Direction.OUT, Direction.INOUT):
                 self._do_assign(arg, frame.read(param.name), behavior, env)
+
+    # -- the compiled fast path --------------------------------------------------
+    #
+    # Each statement compiles once into either a *plain* closure
+    # ``fn(behavior, env) -> None`` (statement subtree cannot suspend:
+    # no Wait, no CallStmt, no instrumentation) or a *generator* closure
+    # ``fn(behavior, env) -> Iterator`` yielding kernel requests.  Plain
+    # spans execute without a generator frame per statement — the bulk
+    # of the interpreter's historical dispatch cost.  Caches are keyed
+    # by node identity and keep a strong reference to the node, so ids
+    # cannot be recycled while the simulator lives.
+
+    def _compiled_stmt(self, stmt: Stmt) -> Tuple[bool, Callable]:
+        key = id(stmt)
+        hit = self._stmt_cache.get(key)
+        if hit is not None and hit[0] is stmt:
+            return hit[1], hit[2]
+        plain, fn = self._build_stmt(stmt)
+        if self._instrumented:
+            plain, fn = False, self._instrument(stmt, plain, fn)
+        self._stmt_cache[key] = (stmt, plain, fn)
+        return plain, fn
+
+    def _instrument(self, stmt: Stmt, plain: bool, fn: Callable) -> Callable:
+        """Wrap a compiled statement so each execution charges time and
+        fires the probe (mirrors the reference path's ``_charge``)."""
+
+        def run(behavior: str, env: Env) -> Iterator:
+            self._current_behavior = behavior
+            cost = 0.0
+            if self.cost_fn is not None:
+                cost = self.cost_fn(behavior, stmt)
+            if self.probe is not None:
+                self.probe.on_statement(behavior, stmt, cost)
+            if cost > 0:
+                yield WaitDelay(cost)
+            if plain:
+                fn(behavior, env)
+            else:
+                yield from fn(behavior, env)
+
+        return run
+
+    def _compiled_body(self, body: Body) -> Tuple[bool, Callable]:
+        key = id(body)
+        hit = self._body_cache.get(key)
+        if hit is not None and hit[0] is body:
+            return hit[1], hit[2]
+        steps = tuple(self._compiled_stmt(stmt) for stmt in body)
+        if len(steps) == 1:
+            # single-statement body: reuse its closure directly (saves
+            # one generator frame per execution on the non-plain path)
+            plain, fn = steps[0]
+            self._body_cache[key] = (body, plain, fn)
+            return plain, fn
+        if all(plain for plain, _ in steps):
+            if len(steps) == 1:
+                plain, fn = True, steps[0][1]
+            else:
+                fns = tuple(fn for _, fn in steps)
+
+                def run_plain(behavior: str, env: Env) -> None:
+                    for step in fns:
+                        step(behavior, env)
+
+                plain, fn = True, run_plain
+        else:
+
+            def run_gen(behavior: str, env: Env) -> Iterator:
+                for step_plain, step in steps:
+                    if step_plain:
+                        step(behavior, env)
+                    else:
+                        yield from step(behavior, env)
+
+            plain, fn = False, run_gen
+        self._body_cache[key] = (body, plain, fn)
+        return plain, fn
+
+    @staticmethod
+    def _raising(message: str) -> Callable:
+        def fail(behavior: str, env: Env) -> None:
+            raise SimulationError(message)
+
+        return fail
+
+    def _build_stmt(self, stmt: Stmt) -> Tuple[bool, Callable]:
+        if isinstance(stmt, Assign):
+            return self._build_assign(stmt)
+        if isinstance(stmt, SignalAssign):
+            return self._build_signal_assign(stmt)
+        if isinstance(stmt, If):
+            return self._build_if(stmt)
+        if isinstance(stmt, While):
+            return self._build_while(stmt)
+        if isinstance(stmt, For):
+            return self._build_for(stmt)
+        if isinstance(stmt, Wait):
+            return False, self._build_wait(stmt)
+        if isinstance(stmt, CallStmt):
+            return self._build_call(stmt)
+        if isinstance(stmt, Null):
+            return True, lambda behavior, env: None
+        return True, self._raising(f"unknown statement {stmt!r}")
+
+    def _build_assign(self, stmt: Assign) -> Tuple[bool, Callable]:
+        target = stmt.target
+        value_fn = self._expr.compile(stmt.value)
+        if isinstance(target, VarRef):
+            name = target.name
+            if name in self._output_names:
+
+                def run(behavior: str, env: Env) -> None:
+                    env.write(name, value_fn(env))
+                    self._observe_write(name, env)
+
+            else:
+
+                def run(behavior: str, env: Env) -> None:
+                    env.write(name, value_fn(env))
+
+            return True, run
+        if isinstance(target, Index) and isinstance(target.base, VarRef):
+            base = target.base.name
+            index_fn = self._expr.compile(target.index_expr)
+            if base in self._output_names:
+
+                def run(behavior: str, env: Env) -> None:
+                    value = value_fn(env)
+                    env.write_array_element(base, index_fn(env), value)
+                    self._observe_write(base, env)
+
+            else:
+
+                def run(behavior: str, env: Env) -> None:
+                    value = value_fn(env)
+                    env.write_array_element(base, index_fn(env), value)
+
+            return True, run
+        return True, self._raising(f"invalid assignment target {target}")
+
+    def _build_signal_assign(self, stmt: SignalAssign) -> Tuple[bool, Callable]:
+        target = stmt.target
+        if not isinstance(target, VarRef):
+            return True, self._raising(
+                f"signal assignment target must be a signal name, got {target}"
+            )
+        name = target.name
+        value_fn = self._expr.compile(stmt.value)
+
+        def run(behavior: str, env: Env) -> None:
+            value = value_fn(env)
+            # self._signal_types is rebuilt per run(); resolve late
+            dtype = self._signal_types.get(name)
+            if dtype is not None:
+                value = dtype.coerce(value)
+            env.kernel.write_signal(name, value)
+
+        return True, run
+
+    def _build_if(self, stmt: If) -> Tuple[bool, Callable]:
+        cond_fn = self._expr.compile(stmt.cond)
+        then = self._compiled_body(stmt.then_body)
+        elifs = tuple(
+            (self._expr.compile(cond), self._compiled_body(arm))
+            for cond, arm in stmt.elifs
+        )
+        orelse = self._compiled_body(stmt.else_body)
+        if then[0] and orelse[0] and all(arm[0] for _, arm in elifs):
+            then_fn = then[1]
+            else_fn = orelse[1]
+            arms = tuple((arm_cond, arm[1]) for arm_cond, arm in elifs)
+
+            def run(behavior: str, env: Env) -> None:
+                if truthy(cond_fn(env)):
+                    then_fn(behavior, env)
+                    return
+                for arm_cond, arm_fn in arms:
+                    if truthy(arm_cond(env)):
+                        arm_fn(behavior, env)
+                        return
+                else_fn(behavior, env)
+
+            return True, run
+
+        def run_gen(behavior: str, env: Env) -> Iterator:
+            branch = None
+            if truthy(cond_fn(env)):
+                branch = then
+            else:
+                for arm_cond, arm in elifs:
+                    if truthy(arm_cond(env)):
+                        branch = arm
+                        break
+                else:
+                    branch = orelse
+            plain, fn = branch
+            if plain:
+                fn(behavior, env)
+            else:
+                yield from fn(behavior, env)
+
+        return False, run_gen
+
+    def _build_while(self, stmt: While) -> Tuple[bool, Callable]:
+        cond_fn = self._expr.compile(stmt.cond)
+        plain, body_fn = self._compiled_body(stmt.loop_body)
+        if isinstance(stmt.cond, Const) and isinstance(
+            stmt.cond.value, (bool, int)
+        ):
+            # ``while 1`` server loops: drop the per-iteration test
+            if not truthy(stmt.cond.value):
+                return True, lambda behavior, env: None
+            if plain:
+                # a plain infinite loop can never yield: surface the
+                # hang as the reference path would (by running it), so
+                # fall through to the generic closure below
+                pass
+            else:
+
+                def run_forever(behavior: str, env: Env) -> Iterator:
+                    while True:
+                        yield from body_fn(behavior, env)
+
+                return False, run_forever
+        if plain:
+
+            def run(behavior: str, env: Env) -> None:
+                while truthy(cond_fn(env)):
+                    body_fn(behavior, env)
+
+            return True, run
+
+        def run_gen(behavior: str, env: Env) -> Iterator:
+            while truthy(cond_fn(env)):
+                yield from body_fn(behavior, env)
+
+        return False, run_gen
+
+    def _build_for(self, stmt: For) -> Tuple[bool, Callable]:
+        start_fn = self._expr.compile(stmt.start)
+        stop_fn = self._expr.compile(stmt.stop)
+        variable = stmt.variable
+        plain, body_fn = self._compiled_body(stmt.loop_body)
+        if plain:
+
+            def run(behavior: str, env: Env) -> None:
+                start = start_fn(env)
+                stop = stop_fn(env)
+                loop_frame = Frame(f"{behavior}.{variable}")
+                loop_frame.declare_raw(variable, start)
+                loop_env = env.child(loop_frame)
+                for value in range(start, stop + 1):
+                    loop_frame.declare_raw(variable, value)
+                    body_fn(behavior, loop_env)
+
+            return True, run
+
+        def run_gen(behavior: str, env: Env) -> Iterator:
+            start = start_fn(env)
+            stop = stop_fn(env)
+            loop_frame = Frame(f"{behavior}.{variable}")
+            loop_frame.declare_raw(variable, start)
+            loop_env = env.child(loop_frame)
+            for value in range(start, stop + 1):
+                loop_frame.declare_raw(variable, value)
+                yield from body_fn(behavior, loop_env)
+
+        return False, run_gen
+
+    def _build_wait(self, stmt: Wait) -> Callable:
+        """Compile a wait: the request shape, the condition closure, the
+        sensitivity name set and the diagnostic label are all fixed at
+        compile time; only signal membership and snapshots are taken per
+        execution."""
+        if stmt.delay is not None:
+            request = WaitDelay(stmt.delay * self.time_unit)
+
+            def run_delay(behavior: str, env: Env) -> Iterator:
+                yield request
+
+            return run_delay
+        if stmt.until is not None:
+            cond = stmt.until
+            cond_fn = self._expr.compile(cond)
+            cond_bool = _static_bool(cond)
+            names = tuple(free_variables(cond))
+            label = f"until {cond}"
+            # Which free names are signals depends only on the names
+            # bound by each frame in the chain — static per frame
+            # *owner* — so the sensitivity set is memoised by the
+            # owner chain (stable across e.g. repeated subprogram
+            # calls, whose envs are fresh objects each time).  The
+            # whole WaitCondition (whose predicate closes over the
+            # env) is reused via the env's own resolution map: a
+            # long-lived behavior env hits forever, a churning call
+            # env rebuilds one request per call and then dies with it.
+            sens_cache: Dict[tuple, frozenset] = {}
+            # "\x00" keeps the key out of the variable-name namespace
+            wait_key = f"\x00wait:{id(stmt)}"
+
+            def run_until(behavior: str, env: Env) -> Iterator:
+                request = env._resolve.get(wait_key)
+                if request is None:
+                    chain = tuple(frame.owner for frame in env.frames)
+                    sensitivity = sens_cache.get(chain)
+                    if sensitivity is None:
+                        sensitivity = frozenset(
+                            name for name in names if env.is_signal(name)
+                        )
+                        sens_cache[chain] = sensitivity
+                    if cond_bool:
+                        predicate = lambda: cond_fn(env)  # noqa: E731
+                    else:
+                        predicate = lambda: truthy(  # noqa: E731
+                            cond_fn(env)
+                        )
+                    request = WaitCondition(
+                        predicate, sensitivity, label=label
+                    )
+                    env._resolve[wait_key] = request
+                yield request
+
+            return run_until
+        # wait on s1, s2: edge-sensitive — wake on any change
+        names = tuple(stmt.on)
+        sensitivity = frozenset(names)
+        label = "on " + ", ".join(names)
+
+        def run_on(behavior: str, env: Env) -> Iterator:
+            kernel = self._kernel
+            snapshot = [(name, kernel.read_signal(name)) for name in names]
+            yield WaitCondition(
+                lambda: any(
+                    kernel.read_signal(name) != old for name, old in snapshot
+                ),
+                sensitivity,
+                label=label,
+            )
+
+        return run_on
+
+    def _build_call(self, stmt: CallStmt) -> Tuple[bool, Callable]:
+        callee = self.spec.subprograms.get(stmt.callee)
+        if callee is None:
+            return False, self._raising_gen(
+                f"call to unknown subprogram {stmt.callee!r}"
+            )
+        if len(stmt.args) != callee.arity:
+            return False, self._raising_gen(
+                f"{stmt.callee!r} expects {callee.arity} args, "
+                f"got {len(stmt.args)}"
+            )
+        arg_fns = tuple(self._expr.compile(arg) for arg in stmt.args)
+        params = callee.params
+        frame_name = f"call:{callee.name}"
+        # everything shape-dependent is fixed at compile time: the
+        # copy-in plan (OUT params get the dtype default — values are
+        # immutable, so the default is safe to share), the local decls,
+        # and the copy-out pairs
+        copy_in = tuple(
+            (
+                param.name,
+                param.dtype,
+                param.dtype.default_value()
+                if param.direction is Direction.OUT
+                else None,
+                None if param.direction is Direction.OUT else arg_fn,
+            )
+            for param, arg_fn in zip(params, arg_fns)
+        )
+        signal_decl = any(
+            decl.kind is StorageClass.SIGNAL for decl in callee.decls
+        )
+        decls = tuple(callee.decls)
+        copy_out = tuple(
+            (param.name, arg)
+            for param, arg in zip(params, stmt.args)
+            if param.direction in (Direction.OUT, Direction.INOUT)
+        )
+
+        # compile the callee body eagerly when not recursive, so a
+        # wait-free subprogram collapses into a *plain* call (no
+        # generator frame); recursive callees compile lazily at first
+        # execution instead
+        body_plain = False
+        body_fn: Optional[Callable] = None
+        if (
+            callee.name not in self._compiling_calls
+            and not signal_decl
+        ):
+            self._compiling_calls.add(callee.name)
+            try:
+                body_plain, body_fn = self._compiled_body(callee.stmt_body)
+            finally:
+                self._compiling_calls.discard(callee.name)
+
+        def enter(env: Env) -> Tuple[Frame, Env]:
+            frame = Frame(frame_name)
+            slots = frame.slots
+            for name, dtype, default, arg_fn in copy_in:
+                if arg_fn is None:
+                    slots[name] = [dtype, default]
+                else:
+                    slots[name] = [dtype, dtype.coerce(arg_fn(env))]
+            for decl in decls:
+                frame.declare(decl)
+            # subprogram bodies see globals + their own frame, not the
+            # caller's locals (mirrors the validator's scope rule)
+            call_env = Env(
+                self._kernel,
+                (frame, self._frames[""]),
+                on_read=env.on_read,
+                on_write=env.on_write,
+            )
+            return frame, call_env
+
+        if body_plain:
+
+            def run_plain(behavior: str, env: Env) -> None:
+                frame, call_env = enter(env)
+                body_fn(behavior, call_env)
+                for name, arg in copy_out:
+                    self._do_assign(
+                        arg, frame.slots[name][1], behavior, env
+                    )
+
+            return True, run_plain
+
+        def run(behavior: str, env: Env) -> Iterator:
+            if signal_decl:
+                raise SimulationError(
+                    f"subprogram {callee.name!r} declares a signal; "
+                    f"unsupported"
+                )
+            frame, call_env = enter(env)
+            plain, fn = (
+                (body_plain, body_fn)
+                if body_fn is not None
+                else self._compiled_body(callee.stmt_body)
+            )
+            if plain:
+                fn(behavior, call_env)
+            else:
+                yield from fn(behavior, call_env)
+            # copy-out
+            for name, arg in copy_out:
+                self._do_assign(arg, frame.slots[name][1], behavior, env)
+
+        return False, run
+
+    @staticmethod
+    def _raising_gen(message: str) -> Callable:
+        def fail(behavior: str, env: Env) -> Iterator:
+            raise SimulationError(message)
+            yield  # pragma: no cover — generator shape only
+
+        return fail

@@ -11,9 +11,9 @@ on.
 Scheduling loop:
 
 1. run every ready process until it suspends or finishes;
-2. apply pending signal updates; signals that changed wake processes
-   whose sensitivity lists them (a *delta cycle* — time does not
-   advance);
+2. apply pending signal updates; signals that changed wake the
+   processes indexed under them in the *sensitivity index* (a *delta
+   cycle* — time does not advance);
 3. when no delta activity remains, advance time to the earliest timed
    wait;
 4. when neither delta nor timed work remains, the simulation is
@@ -24,8 +24,22 @@ Scheduling loop:
    finish (pass them as ``required`` to get a structured
    :class:`DeadlockError` instead of a silent incomplete run).
 
-Robustness machinery (all opt-in, zero-cost when unused):
+The sensitivity index (``signal name -> processes waiting on it``) is
+maintained incrementally as processes suspend and wake, so a delta
+cycle touches only the waiters of the signals that actually changed —
+the kernel never rescans the whole suspended set.  Wake order is the
+order the processes suspended in (each waiter carries a monotonically
+increasing sequence number), which keeps scheduling deterministic and
+identical to the historical scan-based behavior.
 
+Observability and robustness machinery (all opt-in, zero-cost when
+unused):
+
+* :class:`repro.sim.metrics.SimMetrics` — inline counters (process
+  activations, delta cycles, signal updates, bus transactions, ...)
+  attached via ``Kernel(metrics=...)``;
+* :class:`repro.sim.metrics.Tracer` — a structured recorder of the
+  scheduler event stream, attached via ``Kernel(tracer=...)``;
 * :class:`KernelLimits` — configurable budgets (total activations,
   delta cycles per timestep, wall-clock seconds); a breach raises
   :class:`SimulationLimitExceeded` naming the limit that tripped;
@@ -40,10 +54,22 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import operator
 import time as _time
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Container,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import (
     BlockedProcessInfo,
@@ -68,6 +94,23 @@ DEFAULT_MAX_STEPS = 2_000_000
 DEFAULT_TRACE_DEPTH = 32
 
 
+#: sort key for deterministic (suspension-order) candidate wakeup
+_wait_seq_of = operator.attrgetter("_wait_seq")
+
+
+def _format_detail(detail) -> str:
+    """Render a trace-record detail.
+
+    The hot recording sites (delta cycles, time advances) store raw
+    values — a name collection, the new time — and formatting happens
+    only when a human-facing trace is actually produced."""
+    if isinstance(detail, str):
+        return detail
+    if isinstance(detail, (int, float)):
+        return f"{detail:g}"
+    return ",".join(sorted(detail))
+
+
 class WaitCondition:
     """Suspend until ``predicate()`` is true; re-evaluated whenever one
     of the named signals changes.  The predicate is checked immediately
@@ -75,7 +118,7 @@ class WaitCondition:
     does not deadlock the process.  ``label`` is a human-readable
     rendering of the condition used in deadlock reports."""
 
-    __slots__ = ("predicate", "sensitivity", "label")
+    __slots__ = ("predicate", "sensitivity", "label", "_index_sets", "_index_kernel")
 
     def __init__(
         self,
@@ -86,6 +129,11 @@ class WaitCondition:
         self.predicate = predicate
         self.sensitivity = frozenset(sensitivity)
         self.label = label
+        #: cached sensitivity-index buckets of ``_index_kernel``
+        #: (filled on first suspension; buckets are never replaced, so
+        #: they stay valid for that kernel's whole run)
+        self._index_sets: Optional[Tuple[Set["Process"], ...]] = None
+        self._index_kernel: Optional["Kernel"] = None
 
 
 class WaitDelay:
@@ -109,18 +157,37 @@ class Join:
 
 
 class Process:
-    """One schedulable coroutine."""
+    """One schedulable coroutine.
 
-    __slots__ = ("name", "generator", "finished", "failed", "killed", "_waiting_on")
+    ``finished`` is set when the generator completed (or the process
+    was killed); ``failed`` carries the exception of a crashed process;
+    ``killed`` marks termination through :meth:`Kernel.kill` (directly
+    or via a fault injector's ``kill`` action).
+    """
+
+    __slots__ = (
+        "name",
+        "generator",
+        "finished",
+        "failed",
+        "killed",
+        "_waiting_on",
+        "_wait_seq",
+        "_step",
+    )
 
     def __init__(self, name: str, generator: Iterator):
         self.name = name
         self.generator = generator
+        #: bound ``__next__`` — the activation fast path
+        self._step = generator.__next__
         self.finished = False
         self.failed: Optional[BaseException] = None
-        #: set when a fault injector terminated the process
+        #: set when the process was terminated via :meth:`Kernel.kill`
         self.killed = False
         self._waiting_on: Optional[object] = None
+        #: suspension sequence number (orders condition wakeups)
+        self._wait_seq: int = 0
 
     def __repr__(self) -> str:
         state = "finished" if self.finished else (
@@ -153,10 +220,20 @@ class Kernel:
     ``injector`` is an optional fault injector implementing the narrow
     interface of :class:`repro.sim.faults.FaultInjector`
     (``on_signal_write`` / ``on_activation``); ``trace_depth`` sizes the
-    diagnostic ring buffer of recent scheduler events.
+    diagnostic ring buffer of recent scheduler events; ``metrics``
+    attaches a :class:`repro.sim.metrics.SimMetrics` counter bag and
+    ``tracer`` a :class:`repro.sim.metrics.Tracer` event recorder —
+    both cost one ``is not None`` check per scheduler event when
+    absent.
     """
 
-    def __init__(self, injector=None, trace_depth: int = DEFAULT_TRACE_DEPTH):
+    def __init__(
+        self,
+        injector=None,
+        trace_depth: int = DEFAULT_TRACE_DEPTH,
+        metrics=None,
+        tracer=None,
+    ):
         self.now: float = 0.0
         self._signals: Dict[str, object] = {}
         self._pending: Dict[str, object] = {}
@@ -164,6 +241,9 @@ class Kernel:
         self._ready: List[Process] = []
         #: processes blocked on a WaitCondition, by process
         self._cond_waiters: Dict[Process, WaitCondition] = {}
+        #: the sensitivity index: signal name -> processes whose wait
+        #: condition lists it (maintained incrementally on suspend/wake)
+        self._sensitivity: Dict[str, Set[Process]] = {}
         #: processes blocked on a Join
         self._join_waiters: Dict[Process, Join] = {}
         #: timed queue of (wake_time, seq, process)
@@ -173,6 +253,8 @@ class Kernel:
         self._seq = itertools.count()
         self.steps: int = 0
         self.injector = injector
+        self.metrics = metrics
+        self.tracer = tracer
         #: ring buffer of (kind, detail, time) scheduler events
         self._trace: deque = deque(maxlen=max(1, trace_depth))
         #: delta cycles since time last advanced (storm detection)
@@ -203,14 +285,19 @@ class Kernel:
         value, or defer it by some simulated time."""
         if name not in self._signals:
             raise SimulationError(f"unknown signal {name!r}")
+        metrics = self.metrics
         if self.injector is not None:
             action, value = self.injector.on_signal_write(self.now, name, value)
             if action == "drop":
                 self._record("fault", f"dropped write {name}")
+                if metrics is not None:
+                    metrics.faults += 1
                 return
             if action == "delay":
                 value, delay = value
                 self._record("fault", f"delayed write {name} by {delay}")
+                if metrics is not None:
+                    metrics.faults += 1
                 heapq.heappush(
                     self._delayed_writes,
                     (self.now + delay, next(self._seq), name, value),
@@ -218,6 +305,10 @@ class Kernel:
                 return
             if action == "corrupt":
                 self._record("fault", f"corrupted write {name} -> {value!r}")
+                if metrics is not None:
+                    metrics.faults += 1
+        if metrics is not None:
+            metrics.signal_writes += 1
         self._pending[name] = value
 
     def signal_names(self) -> Set[str]:
@@ -230,7 +321,38 @@ class Kernel:
         process = Process(name, generator)
         self._processes.append(process)
         self._ready.append(process)
+        if self.metrics is not None:
+            self.metrics.processes_spawned += 1
         return process
+
+    def kill(self, process: Process, reason: str = "killed") -> None:
+        """Terminate ``process`` immediately, whatever it is doing.
+
+        The process is marked finished+killed, its generator is closed,
+        and it is removed from every wait structure it occupies — the
+        ready queue, the condition-waiter map *and the sensitivity
+        index*, the join-waiter map; entries already queued in the
+        timed heap are skipped lazily when they surface.  Joiners
+        waiting on the process are notified (a killed process counts as
+        finished, matching the fault injector's historical behavior).
+        Killing an already-finished process is a no-op.
+        """
+        if process.finished:
+            return
+        process.finished = True
+        process.killed = True
+        process.generator.close()
+        condition = self._cond_waiters.pop(process, None)
+        if condition is not None:
+            self._unindex(process, condition)
+        self._join_waiters.pop(process, None)
+        process._waiting_on = None
+        if process in self._ready:
+            self._ready.remove(process)
+        self._record("kill", f"{process.name} ({reason})")
+        if self.metrics is not None:
+            self.metrics.processes_killed += 1
+        self._notify_joiners(process)
 
     @property
     def processes(self) -> List[Process]:
@@ -279,11 +401,14 @@ class Kernel:
 
     def _record(self, kind: str, detail) -> None:
         self._trace.append((kind, detail, self.now))
+        if self.tracer is not None:
+            self.tracer.record(kind, _format_detail(detail), self.now)
 
     def format_trace(self) -> List[str]:
         """The ring buffer rendered as short human-readable lines."""
         return [
-            f"t={when:g} {kind}: {detail}" for kind, detail, when in self._trace
+            f"t={when:g} {kind}: {_format_detail(detail)}"
+            for kind, detail, when in self._trace
         ]
 
     # -- the event loop -----------------------------------------------------------
@@ -316,48 +441,14 @@ class Kernel:
                 wall_clock=limits.wall_clock,
             )
         required = tuple(required)
-        started = _time.monotonic() if limits.wall_clock is not None else 0.0
-        while True:
-            while self._ready:
-                process = self._ready.pop()
-                self.steps += 1
-                if limits.max_steps is not None and self.steps > limits.max_steps:
-                    raise SimulationLimitExceeded(
-                        f"simulation exceeded max_steps={limits.max_steps} "
-                        f"at t={self.now}",
-                        limit="max_steps",
-                        trace=self.format_trace(),
-                    )
-                if (
-                    limits.wall_clock is not None
-                    and self.steps % 1024 == 0
-                    and _time.monotonic() - started > limits.wall_clock
-                ):
-                    raise SimulationLimitExceeded(
-                        f"simulation exceeded wall_clock={limits.wall_clock}s "
-                        f"after {self.steps} steps at t={self.now}",
-                        limit="wall_clock",
-                        trace=self.format_trace(),
-                    )
-                self._activate(process)
-            if self._apply_delta():
-                self._delta_streak += 1
-                if (
-                    limits.max_delta is not None
-                    and self._delta_streak > limits.max_delta
-                ):
-                    raise SimulationLimitExceeded(
-                        f"delta-cycle storm: more than "
-                        f"max_delta={limits.max_delta} delta cycles without "
-                        f"time advancing at t={self.now}",
-                        limit="max_delta",
-                        trace=self.format_trace(),
-                    )
-                continue
-            if self._advance_time():
-                self._delta_streak = 0
-                continue
-            break  # quiescent
+        metrics = self.metrics
+        wall_started = _time.perf_counter() if metrics is not None else 0.0
+        try:
+            self._run_loop(limits)
+        finally:
+            if metrics is not None:
+                metrics.wall_seconds += _time.perf_counter() - wall_started
+                metrics.note_streak(self._delta_streak)
         unfinished = [
             p.name for p in required if not p.finished and p.failed is None
         ]
@@ -369,27 +460,238 @@ class Kernel:
                 trace=self.format_trace(),
             )
 
+    def _run_loop(self, limits: KernelLimits) -> None:
+        # The scheduler's innermost loop.  Limits, collaborators and the
+        # fault-free activation sequence are all hoisted into locals:
+        # with no injector attached, a process resume costs one trace
+        # append and one generator ``send`` — no method dispatch.
+        max_steps = limits.max_steps
+        wall_clock = limits.wall_clock
+        max_delta = limits.max_delta
+        started = _time.monotonic() if wall_clock is not None else 0.0
+        metrics = self.metrics
+        injector = self.injector
+        tracer = self.tracer
+        ready = self._ready
+        trace_append = self._trace.append
+        suspend = self._suspend
+        pending = self._pending
+        signals = self._signals
+        sensitivity = self._sensitivity
+        cond_waiters = self._cond_waiters
+        seq = self._seq
+        steps = self.steps
+        delta_streak = self._delta_streak
+        # all signals are registered before the loop starts, so the bus
+        # strobe subset can be resolved once instead of per delta cycle
+        strobes: Container[str] = (
+            {name for name in signals if metrics.is_bus_strobe(name)}
+            if metrics is not None
+            else ()
+        )
+        # metrics accumulate in plain locals and flush once in the
+        # ``finally`` — attribute increments per scheduler event would
+        # roughly double the cost of having metrics attached
+        m_activations = 0
+        m_delta_cycles = 0
+        m_signal_updates = 0
+        m_signal_changes = 0
+        m_wakeups = 0
+        m_bus = 0
+        try:
+            while True:
+                while ready:
+                    process = ready.pop()
+                    if process.finished:
+                        continue  # killed while queued as ready
+                    steps += 1
+                    if max_steps is not None and steps > max_steps:
+                        raise SimulationLimitExceeded(
+                            f"simulation exceeded max_steps={max_steps} "
+                            f"at t={self.now}",
+                            limit="max_steps",
+                            trace=self.format_trace(),
+                        )
+                    if (
+                        wall_clock is not None
+                        and steps % 1024 == 0
+                        and _time.monotonic() - started > wall_clock
+                    ):
+                        raise SimulationLimitExceeded(
+                            f"simulation exceeded wall_clock={wall_clock}s "
+                            f"after {steps} steps at t={self.now}",
+                            limit="wall_clock",
+                            trace=self.format_trace(),
+                        )
+                    if injector is not None:
+                        self._activate(process)
+                        continue
+                    # inlined fault-free _activate
+                    m_activations += 1
+                    trace_append(("run", process.name, self.now))
+                    if tracer is not None:
+                        tracer.record("run", process.name, self.now)
+                    try:
+                        request = process._step()
+                    except StopIteration:
+                        process.finished = True
+                        self._notify_joiners(process)
+                        continue
+                    except SimulationError:
+                        raise
+                    except Exception as exc:  # surface interpreter bugs
+                        process.failed = exc
+                        raise SimulationError(
+                            f"process {process.name!r} failed "
+                            f"at t={self.now}: {exc}"
+                        ) from exc
+                    if type(request) is WaitCondition:
+                        # inlined _suspend for the dominant request kind;
+                        # level-sensitive, so continue if already true
+                        if request.predicate():
+                            ready.append(process)
+                            continue
+                        process._waiting_on = request
+                        process._wait_seq = next(seq)
+                        cond_waiters[process] = request
+                        buckets = request._index_sets
+                        if (
+                            buckets is None
+                            or request._index_kernel is not self
+                        ):
+                            resolved = []
+                            for name in request.sensitivity:
+                                waiters = sensitivity.get(name)
+                                if waiters is None:
+                                    waiters = sensitivity[name] = set()
+                                resolved.append(waiters)
+                            buckets = request._index_sets = tuple(resolved)
+                            request._index_kernel = self
+                        for waiters in buckets:
+                            waiters.add(process)
+                    else:
+                        suspend(process, request)
+
+                # -- delta cycle (the historical _apply_delta, inlined).
+                # Apply pending signal updates; only processes indexed
+                # under a signal that actually *changed value* have
+                # their predicate re-checked (a write of the current
+                # value wakes nobody); candidates are examined in
+                # suspension order so scheduling matches the historical
+                # full-scan kernel.
+                changed: Optional[Iterable[str]] = None
+                candidates: Iterable[Process] = ()
+                if pending:
+                    m_signal_updates += len(pending)
+                    if len(pending) == 1:
+                        # the overwhelmingly common shape: one update
+                        name, value = pending.popitem()
+                        if signals[name] != value:
+                            signals[name] = value
+                            changed = (name,)
+                            candidates = sensitivity.get(name, ())
+                    else:
+                        changed_set: Set[str] = set()
+                        for name, value in pending.items():
+                            if signals[name] != value:
+                                signals[name] = value
+                                changed_set.add(name)
+                        pending.clear()
+                        if changed_set:
+                            changed = changed_set
+                            candidate_set: Set[Process] = set()
+                            for name in changed_set:
+                                waiters = sensitivity.get(name)
+                                if waiters:
+                                    candidate_set.update(waiters)
+                            candidates = candidate_set
+                if changed is not None:
+                    trace_append(("delta", changed, self.now))
+                    if tracer is not None:
+                        tracer.record(
+                            "delta", _format_detail(changed), self.now
+                        )
+                    if not candidates:
+                        woken: Sequence[Process] = ()
+                    elif len(candidates) == 1:
+                        # ordering is moot for a single waiter
+                        (process,) = candidates
+                        woken = (
+                            (process,)
+                            if cond_waiters[process].predicate()
+                            else ()
+                        )
+                    else:
+                        woken = [
+                            process
+                            for process in sorted(
+                                candidates, key=_wait_seq_of
+                            )
+                            if cond_waiters[process].predicate()
+                        ]
+                    for process in woken:
+                        condition = cond_waiters.pop(process)
+                        self._unindex(process, condition)
+                        process._waiting_on = None
+                        ready.append(process)
+                    if metrics is not None:
+                        m_delta_cycles += 1
+                        m_signal_changes += len(changed)
+                        m_wakeups += len(woken)
+                        for name in changed:
+                            if name in strobes and signals[name]:
+                                m_bus += 1
+                    delta_streak += 1
+                    if max_delta is not None and delta_streak > max_delta:
+                        raise SimulationLimitExceeded(
+                            f"delta-cycle storm: more than "
+                            f"max_delta={max_delta} delta cycles without "
+                            f"time advancing at t={self.now}",
+                            limit="max_delta",
+                            trace=self.format_trace(),
+                        )
+                    continue
+                if self._advance_time():
+                    if metrics is not None:
+                        metrics.note_streak(delta_streak)
+                    delta_streak = 0
+                    continue
+                break  # quiescent
+        finally:
+            self.steps = steps
+            self._delta_streak = delta_streak
+            if metrics is not None:
+                metrics.activations += m_activations
+                metrics.delta_cycles += m_delta_cycles
+                metrics.signal_updates += m_signal_updates
+                metrics.signal_changes += m_signal_changes
+                metrics.wakeups += m_wakeups
+                metrics.bus_transactions += m_bus
+
     def _activate(self, process: Process) -> None:
         if self.injector is not None:
             action, arg = self.injector.on_activation(self.now, process.name)
             if action == "kill":
                 self._record("fault", f"killed process {process.name}")
-                process.finished = True
-                process.killed = True
-                process.generator.close()
-                self._notify_joiners(process)
+                if self.metrics is not None:
+                    self.metrics.faults += 1
+                self.kill(process, reason="fault injection")
                 return
             if action == "stall":
                 self._record(
                     "fault", f"stalled process {process.name} for {arg}"
                 )
+                if self.metrics is not None:
+                    self.metrics.faults += 1
                 heapq.heappush(
                     self._timed, (self.now + arg, next(self._seq), process)
                 )
                 return
+        if self.metrics is not None:
+            self.metrics.activations += 1
         self._record("run", process.name)
         try:
-            request = next(process.generator)
+            request = process._step()
         except StopIteration:
             process.finished = True
             self._notify_joiners(process)
@@ -410,7 +712,21 @@ class Kernel:
                 self._ready.append(process)
                 return
             process._waiting_on = request
+            process._wait_seq = next(self._seq)
             self._cond_waiters[process] = request
+            buckets = request._index_sets
+            if buckets is None or request._index_kernel is not self:
+                index = self._sensitivity
+                resolved = []
+                for name in request.sensitivity:
+                    waiters = index.get(name)
+                    if waiters is None:
+                        waiters = index[name] = set()
+                    resolved.append(waiters)
+                buckets = request._index_sets = tuple(resolved)
+                request._index_kernel = self
+            for waiters in buckets:
+                waiters.add(process)
         elif isinstance(request, WaitDelay):
             process._waiting_on = request
             heapq.heappush(
@@ -439,30 +755,24 @@ class Kernel:
             waiter._waiting_on = None
             self._ready.append(waiter)
 
-    def _apply_delta(self) -> bool:
-        """Apply pending signal updates; wake sensitive waiters.
-        Returns True when anything happened."""
-        if not self._pending:
-            return False
-        changed: Set[str] = set()
-        for name, value in self._pending.items():
-            if self._signals[name] != value:
-                self._signals[name] = value
-                changed.add(name)
-        self._pending.clear()
-        if not changed:
-            return False
-        self._record("delta", ",".join(sorted(changed)))
-        woken = [
-            process
-            for process, cond in self._cond_waiters.items()
-            if cond.sensitivity & changed and cond.predicate()
-        ]
-        for process in woken:
-            del self._cond_waiters[process]
-            process._waiting_on = None
-            self._ready.append(process)
-        return True
+    def _unindex(self, process: Process, condition: WaitCondition) -> None:
+        """Drop one waiter's sensitivity-index entries.
+
+        Empty buckets are kept: conditions cache their resolved bucket
+        sets (``WaitCondition._index_sets``), so deleting a bucket would
+        orphan those cached references.  The index is bounded by the
+        number of distinct signal names, so the empties cost nothing.
+        """
+        buckets = condition._index_sets
+        if buckets is not None and condition._index_kernel is self:
+            for waiters in buckets:
+                waiters.discard(process)
+            return
+        index = self._sensitivity
+        for name in condition.sensitivity:
+            waiters = index.get(name)
+            if waiters is not None:
+                waiters.discard(process)
 
     def _advance_time(self) -> bool:
         """Jump to the earliest timed wake-up or fault-delayed signal
@@ -473,13 +783,17 @@ class Kernel:
             return False
         candidates = [t for t in (next_proc, next_write) if t is not None]
         self.now = max(self.now, min(candidates))
-        self._record("advance", f"{self.now:g}")
+        self._record("advance", self.now)
+        if self.metrics is not None:
+            self.metrics.timesteps += 1
         while self._delayed_writes and self._delayed_writes[0][0] <= self.now:
             _, _, name, value = heapq.heappop(self._delayed_writes)
             self._pending[name] = value
         # release everything scheduled for this instant
         while self._timed and self._timed[0][0] <= self.now:
             _, _, process = heapq.heappop(self._timed)
+            if process.finished:
+                continue  # killed while in the timed heap
             process._waiting_on = None
             self._ready.append(process)
         return True

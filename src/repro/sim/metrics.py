@@ -1,0 +1,288 @@
+"""Simulation metrics and tracing — the observability layer.
+
+Runtime-validation work (Jain & Manolios's refinement-based framework,
+Kolano's real-time verification) treats an instrumented simulator as a
+*measurement instrument*: the counts of process activations, delta
+cycles and bus transactions are themselves evidence about a refined
+design, not just progress indicators.  This module supplies that
+instrumentation for the delta-cycle kernel:
+
+* :class:`SimMetrics` — a bag of plain integer counters the kernel
+  increments inline (process activations, delta cycles, timesteps,
+  signal writes/updates/changes, wakeups, bus transactions, injected
+  faults).  Attaching one costs a single ``is not None`` check per
+  scheduler event; a kernel without metrics pays nothing.
+* :class:`Tracer` — a structured event recorder fed from the kernel's
+  existing event stream (``run``/``delta``/``advance``/``fault``/
+  ``kill``), optionally bounded and kind-filtered, exportable as JSON.
+* :class:`PhaseTimer` — wall-clock accounting for the
+  refine → simulate → verify pipeline phases, used by ``repro profile``.
+
+Attach via ``Kernel(metrics=..., tracer=...)`` or
+``Simulator.run(metrics=..., tracer=...)``.  One :class:`SimMetrics`
+may be shared across several runs — counters accumulate — or reset
+between runs with :meth:`SimMetrics.reset`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from contextlib import contextmanager
+from fnmatch import fnmatchcase
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BUS_SIGNAL_PATTERNS",
+    "SimMetrics",
+    "TraceRecord",
+    "Tracer",
+    "PhaseTimer",
+]
+
+#: Glob patterns identifying bus transfer strobes.  Refinement names
+#: buses ``b1``, ``b2``, ... and each bus's strobe ``<bus>_start``
+#: (see :func:`repro.arch.protocols.bus_signal_names`); a transaction
+#: is counted whenever such a strobe *changes to* a truthy value.
+DEFAULT_BUS_SIGNAL_PATTERNS: Tuple[str, ...] = ("b*_start",)
+
+
+class SimMetrics:
+    """Counters the kernel maintains while it schedules.
+
+    All counters are plain ``int`` attributes (``wall_seconds`` is a
+    float) incremented inline by :class:`repro.sim.kernel.Kernel`; read
+    them directly, or use :meth:`as_dict` / :meth:`describe`.
+
+    ================== =================================================
+    counter             meaning
+    ================== =================================================
+    activations         process activations (generator resumes)
+    delta_cycles        delta cycles that applied at least one change
+    timesteps           times simulated time advanced
+    max_delta_streak    most delta cycles between two time advances
+    signal_writes       ``write_signal`` calls that scheduled an update
+    signal_updates      pending updates applied (incl. unchanged values)
+    signal_changes      applied updates that changed the signal's value
+    wakeups             processes woken from condition waits
+    bus_transactions    strobe signals (``bus_patterns``) going truthy
+    faults              fault-injector interventions (all kinds)
+    processes_spawned   processes created
+    processes_killed    processes terminated by :meth:`Kernel.kill`
+    wall_seconds        real time spent inside :meth:`Kernel.run`
+    ================== =================================================
+    """
+
+    __slots__ = (
+        "activations",
+        "delta_cycles",
+        "timesteps",
+        "max_delta_streak",
+        "signal_writes",
+        "signal_updates",
+        "signal_changes",
+        "wakeups",
+        "bus_transactions",
+        "faults",
+        "processes_spawned",
+        "processes_killed",
+        "wall_seconds",
+        "bus_patterns",
+        "_strobe_cache",
+    )
+
+    def __init__(
+        self, bus_patterns: Sequence[str] = DEFAULT_BUS_SIGNAL_PATTERNS
+    ):
+        self.bus_patterns = tuple(bus_patterns)
+        #: signal name -> bool, memoised glob matches (hot path)
+        self._strobe_cache: Dict[str, bool] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (pattern match cache survives)."""
+        self.activations = 0
+        self.delta_cycles = 0
+        self.timesteps = 0
+        self.max_delta_streak = 0
+        self.signal_writes = 0
+        self.signal_updates = 0
+        self.signal_changes = 0
+        self.wakeups = 0
+        self.bus_transactions = 0
+        self.faults = 0
+        self.processes_spawned = 0
+        self.processes_killed = 0
+        self.wall_seconds = 0.0
+
+    # -- kernel-facing helpers ------------------------------------------------
+
+    def is_bus_strobe(self, name: str) -> bool:
+        """Whether ``name`` is a bus transfer strobe (memoised)."""
+        cached = self._strobe_cache.get(name)
+        if cached is None:
+            cached = any(
+                fnmatchcase(name, pattern) for pattern in self.bus_patterns
+            )
+            self._strobe_cache[name] = cached
+        return cached
+
+    def note_streak(self, streak: int) -> None:
+        """Record a completed delta-cycle streak (kernel internal)."""
+        if streak > self.max_delta_streak:
+            self.max_delta_streak = streak
+
+    # -- reporting ------------------------------------------------------------
+
+    #: (attribute, human label) in display order.
+    FIELDS: Tuple[Tuple[str, str], ...] = (
+        ("activations", "process activations"),
+        ("delta_cycles", "delta cycles"),
+        ("timesteps", "timesteps"),
+        ("max_delta_streak", "max delta cycles/timestep"),
+        ("signal_writes", "signal writes scheduled"),
+        ("signal_updates", "signal updates applied"),
+        ("signal_changes", "signal value changes"),
+        ("wakeups", "condition wakeups"),
+        ("bus_transactions", "bus transactions"),
+        ("faults", "faults injected"),
+        ("processes_spawned", "processes spawned"),
+        ("processes_killed", "processes killed"),
+    )
+
+    def as_dict(self) -> Dict[str, object]:
+        """All counters as a JSON-serialisable mapping."""
+        out: Dict[str, object] = {name: getattr(self, name) for name, _ in self.FIELDS}
+        out["wall_seconds"] = self.wall_seconds
+        return out
+
+    def describe(self) -> str:
+        """Counters as aligned ``label: value`` lines."""
+        width = max(len(label) for _, label in self.FIELDS)
+        lines = [
+            f"{label:<{width}}  {getattr(self, name)}"
+            for name, label in self.FIELDS
+        ]
+        lines.append(f"{'wall seconds':<{width}}  {self.wall_seconds:.6f}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimMetrics activations={self.activations} "
+            f"delta_cycles={self.delta_cycles} "
+            f"bus_transactions={self.bus_transactions}>"
+        )
+
+
+class TraceRecord(NamedTuple):
+    """One structured scheduler event."""
+
+    time: float
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"t={self.time:g} {self.kind}: {self.detail}"
+
+
+class Tracer:
+    """Records the kernel's event stream as structured records.
+
+    The kernel already keeps a short diagnostic ring buffer for error
+    reports; a :class:`Tracer` is the long-form counterpart for
+    analysis: every ``run`` / ``delta`` / ``advance`` / ``fault`` /
+    ``kill`` event (optionally filtered by ``kinds``) is appended as a
+    :class:`TraceRecord`, up to ``limit`` records (``None`` keeps
+    everything).  Zero-cost when not attached.
+    """
+
+    __slots__ = ("events", "limit", "kinds", "dropped")
+
+    def __init__(
+        self,
+        limit: Optional[int] = None,
+        kinds: Optional[Iterable[str]] = None,
+    ):
+        self.events: List[TraceRecord] = []
+        self.limit = limit
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        #: events suppressed after ``limit`` filled up
+        self.dropped = 0
+
+    def record(self, kind: str, detail, time: float) -> None:
+        """Append one event (called by the kernel)."""
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        if self.limit is not None and len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(TraceRecord(time, kind, str(detail)))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        """Events as JSON-serialisable mappings."""
+        return [
+            {"time": e.time, "kind": e.kind, "detail": e.detail}
+            for e in self.events
+        ]
+
+    def describe(self, last: Optional[int] = None) -> str:
+        """The (optionally last ``last``) events, one per line."""
+        events = self.events if last is None else self.events[-last:]
+        return "\n".join(str(e) for e in events)
+
+
+class PhaseTimer:
+    """Wall-clock accounting for named pipeline phases.
+
+    Used by ``repro profile`` to time the refine → simulate → verify
+    flow::
+
+        timer = PhaseTimer()
+        with timer.phase("refine"):
+            design = Refiner(...).run()
+
+    Re-entering a phase name accumulates into the same bucket; phase
+    order of first entry is preserved.
+    """
+
+    __slots__ = ("_seconds", "_order")
+
+    def __init__(self):
+        self._seconds: Dict[str, float] = {}
+        self._order: List[str] = []
+
+    @contextmanager
+    def phase(self, name: str):
+        started = _time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = _time.perf_counter() - started
+            if name not in self._seconds:
+                self._seconds[name] = 0.0
+                self._order.append(name)
+            self._seconds[name] += elapsed
+
+    def seconds(self, name: str) -> float:
+        return self._seconds.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self._seconds.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Phase -> seconds, in first-entry order."""
+        return {name: self._seconds[name] for name in self._order}
+
+    def describe(self) -> str:
+        if not self._order:
+            return "no phases recorded"
+        width = max(len(name) for name in self._order)
+        lines = [
+            f"{name:<{width}}  {self._seconds[name] * 1e3:10.3f} ms"
+            for name in self._order
+        ]
+        lines.append(f"{'total':<{width}}  {self.total * 1e3:10.3f} ms")
+        return "\n".join(lines)

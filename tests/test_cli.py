@@ -180,3 +180,33 @@ class TestRobustness:
         assert main(["robustness", "--design", "Design1",
                      "--model", "Model1", "-o", ""]) == 0
         assert "written to" not in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_table_and_json(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "profile.json"
+        assert main(["profile", "--design", "Design1",
+                     "--model", "Model2", "-o", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "repro profile: MedicalBVM Design1 Model2" in out
+        assert "bus transactions" in out
+        assert "simulate-refined" in out
+        assert "verify: EQUIVALENT" in out
+        data = json.loads(out_file.read_text())
+        assert data["equivalent"] is True
+        assert data["refined_metrics"]["bus_transactions"] > 0
+        assert set(data["phases_seconds"]) == {
+            "refine", "simulate-original", "simulate-refined", "verify"
+        }
+
+    def test_no_verify_skips_phase(self, capsys):
+        assert main(["profile", "--design", "Design1", "--no-verify",
+                     "-o", ""]) == 0
+        out = capsys.readouterr().out
+        assert "verify: not run" in out
+        assert "written to" not in out
+
+    def test_unknown_design(self, capsys):
+        assert main(["profile", "--design", "Design9", "-o", ""]) == 2

@@ -1,0 +1,155 @@
+"""Cached (compiled) evaluation must be indistinguishable from the
+reference tree walker: same values, same error messages, same designs.
+
+The compiled fast path (``Simulator(compile_cache=True)``, the default)
+closes every expression/statement into a Python closure once; these
+tests pin its behavior to the interpretive walker
+(``compile_cache=False``), including the constant-operand fusions and
+boolean refinements in :class:`repro.sim.eval.ExprCompiler`.
+"""
+
+import pytest
+
+from repro.apps.medical import MEDICAL_INPUTS, all_designs, medical_specification
+from repro.errors import SimulationError
+from repro.models.impl_models import ALL_MODELS
+from repro.refine.refiner import Refiner
+from repro.sim import Simulator
+from repro.sim.eval import Env, ExprCompiler, Frame, evaluate
+from repro.sim.kernel import Kernel
+from repro.spec.builder import assign, leaf, spec
+from repro.spec.expr import BINARY_OPS, BinOp, Const, Index, UnaryOp, VarRef, var
+from repro.spec.types import int_type
+from repro.spec.variable import variable
+
+
+def make_env():
+    kernel = Kernel()
+    kernel.register_signal("sig", 3)
+    frame = Frame("test")
+    frame.declare_raw("x", 7)
+    frame.declare_raw("y", -2)
+    frame.declare_raw("zero", 0)
+    frame.declare_raw("flag", True)
+    frame.declare_raw("arr", (10, 20, 30))
+    return Env(kernel, (frame,))
+
+
+def parity_cases():
+    x, y, sig, flag = VarRef("x"), VarRef("y"), VarRef("sig"), VarRef("flag")
+    cases = []
+    # every binary operator, variable and constant operand shapes
+    for op in BINARY_OPS:
+        if op in ("and", "or"):
+            cases += [
+                BinOp(op, flag, BinOp("<", y, Const(0))),
+                BinOp(op, BinOp("=", x, Const(7)), flag),
+            ]
+        else:
+            cases += [
+                BinOp(op, x, y),  # both variable
+                BinOp(op, x, Const(3)),  # fused constant right
+                BinOp(op, Const(3), x),  # constant left
+            ]
+    cases += [
+        UnaryOp("-", x),
+        UnaryOp("abs", y),
+        UnaryOp("not", flag),
+        UnaryOp("not", BinOp("<", x, Const(0))),  # boolean-typed operand
+        Index(VarRef("arr"), BinOp("-", x, Const(6))),
+        BinOp("+", sig, Const(1)),  # signal read
+        Const(True),
+        Const(42),
+    ]
+    return cases
+
+
+class TestExpressionParity:
+    @pytest.mark.parametrize("expr", parity_cases(), ids=str)
+    def test_compiled_matches_walker(self, expr):
+        env = make_env()
+        compiled = ExprCompiler().compile(expr)
+        assert compiled(env) == evaluate(expr, env)
+
+    def test_compile_is_memoized_by_node(self):
+        compiler = ExprCompiler()
+        expr = BinOp("+", VarRef("x"), Const(1))
+        assert compiler.compile(expr) is compiler.compile(expr)
+
+    @pytest.mark.parametrize("op", ["/", "mod"])
+    def test_zero_division_message_parity(self, op):
+        expr = BinOp(op, VarRef("x"), VarRef("zero"))
+        with pytest.raises(SimulationError) as compiled_error:
+            ExprCompiler().compile(expr)(make_env())
+        with pytest.raises(SimulationError) as walker_error:
+            evaluate(expr, make_env())
+        assert str(compiled_error.value) == str(walker_error.value)
+
+    def test_unbound_name_message_parity(self):
+        expr = VarRef("missing")
+        with pytest.raises(SimulationError) as compiled_error:
+            ExprCompiler().compile(expr)(make_env())
+        with pytest.raises(SimulationError) as walker_error:
+            evaluate(expr, make_env())
+        assert str(compiled_error.value) == str(walker_error.value)
+
+    def test_resolution_cache_is_per_env(self):
+        compiled = ExprCompiler().compile(VarRef("x"))
+        env_a, env_b = make_env(), make_env()
+        assert compiled(env_a) == 7
+        env_b.frames[0].slots["x"][1] = 100
+        assert compiled(env_b) == 100  # no cross-env leakage
+        assert compiled(env_a) == 7
+
+
+def run_both_modes(design_spec, inputs=None):
+    cached = Simulator(design_spec, compile_cache=True).run(inputs=inputs)
+    walked = Simulator(design_spec, compile_cache=False).run(inputs=inputs)
+    return cached, walked
+
+
+class TestSimulatorParity:
+    def test_refined_medical_designs_match(self):
+        source = medical_specification()
+        source.validate()
+        partition = all_designs(source)["Design1"]
+        for model in (ALL_MODELS[0], ALL_MODELS[-1]):  # Model1 and Model4
+            refined = Refiner(source, partition, model).run()
+            cached, walked = run_both_modes(
+                refined.spec, inputs=dict(MEDICAL_INPUTS)
+            )
+            assert cached.completed and walked.completed
+            assert cached.output_values() == walked.output_values()
+            assert cached.time == walked.time
+
+    def test_runtime_error_message_parity(self):
+        design = spec(
+            "T",
+            leaf("A", assign("q", var("x") / var("z"))),
+            variables=[
+                variable("x", int_type(), init=1),
+                variable("z", int_type(), init=0),
+                variable("q", int_type()),
+            ],
+        )
+        design.validate()
+        with pytest.raises(SimulationError) as cached_error:
+            Simulator(design, compile_cache=True).run()
+        with pytest.raises(SimulationError) as walker_error:
+            Simulator(design, compile_cache=False).run()
+        assert str(cached_error.value) == str(walker_error.value)
+
+    def test_rerun_reuses_statement_cache(self):
+        design = spec(
+            "T",
+            leaf("A", assign("x", var("x") + 1)),
+            variables=[variable("x", int_type(), init=0)],
+        )
+        design.validate()
+        simulator = Simulator(design)
+        first = simulator.run()
+        cached_size = len(simulator._stmt_cache)
+        assert cached_size > 0
+        second = simulator.run()
+        assert len(simulator._stmt_cache) == cached_size  # no recompile
+        assert first.value_of("x") == second.value_of("x") == 1

@@ -1,0 +1,279 @@
+"""Tests for the observability layer: SimMetrics / Tracer / PhaseTimer,
+their kernel wiring, and the sensitivity-index wakeup edge cases."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.faults import FaultInjector, FaultScenario
+from repro.sim.kernel import Kernel, WaitCondition, WaitDelay
+from repro.sim.metrics import PhaseTimer, SimMetrics, TraceRecord, Tracer
+from repro.spec.builder import assign, leaf, spec
+from repro.spec.expr import var
+from repro.spec.types import int_type
+from repro.spec.variable import variable
+
+
+def waiting_kernel(metrics=None, initial=0):
+    """A kernel with signal ``s`` and one process waiting for s == 1."""
+    k = Kernel(metrics=metrics)
+    k.register_signal("s", initial)
+    woken = []
+
+    def waiter():
+        yield WaitCondition(
+            lambda: k.read_signal("s") == 1, sensitivity=("s",), label="s = 1"
+        )
+        woken.append(k.now)
+
+    process = k.spawn("waiter", waiter())
+    return k, process, woken
+
+
+class TestCounters:
+    def test_activation_and_timestep_counts(self):
+        m = SimMetrics()
+        k = Kernel(metrics=m)
+
+        def proc():
+            yield WaitDelay(1)
+            yield WaitDelay(1)
+
+        k.spawn("p", proc())
+        k.run()
+        # initial activation plus one resume per delay expiry
+        assert m.activations == 3
+        assert m.timesteps == 2
+        assert m.processes_spawned == 1
+        assert m.wall_seconds > 0.0
+
+    def test_write_update_change_distinction(self):
+        m = SimMetrics()
+        k = Kernel(metrics=m)
+        k.register_signal("s", 0)
+
+        def proc():
+            k.write_signal("s", 0)  # scheduled, applied, but no change
+            yield WaitDelay(1)
+            k.write_signal("s", 1)
+            yield WaitDelay(1)
+
+        k.spawn("p", proc())
+        k.run()
+        assert m.signal_writes == 2
+        assert m.signal_updates == 2
+        assert m.signal_changes == 1
+
+    def test_unchanged_write_wakes_nobody(self):
+        m = SimMetrics()
+        k, process, woken = waiting_kernel(metrics=m)
+
+        def writer():
+            k.write_signal("s", 0)  # current value: no delta, no wakeup
+            yield WaitDelay(1)
+            k.write_signal("s", 1)
+
+        k.spawn("writer", writer())
+        k.run()
+        assert woken == [1]
+        assert m.wakeups == 1
+        assert m.delta_cycles == 1  # only the 0 -> 1 update applied one
+
+    def test_kill_while_indexed(self):
+        m = SimMetrics()
+        k, process, woken = waiting_kernel(metrics=m)
+        k.kill(process)
+
+        def writer():
+            k.write_signal("s", 1)
+            yield WaitDelay(1)
+
+        k.spawn("writer", writer())
+        k.run()  # the change must not wake (or crash on) the dead waiter
+        assert woken == []
+        assert process.killed
+        assert m.processes_killed == 1
+        assert m.wakeups == 0
+
+    def test_max_delta_streak(self):
+        m = SimMetrics()
+        k = Kernel(metrics=m)
+        k.register_signal("s", 0)
+
+        def proc():
+            for value in (1, 2, 3):
+                k.write_signal("s", value)
+                yield WaitCondition(
+                    lambda v=value: k.read_signal("s") == v, ("s",)
+                )
+            yield WaitDelay(1)
+
+        k.spawn("p", proc())
+        k.run()
+        assert m.delta_cycles == 3
+        assert m.max_delta_streak == 3
+        assert m.timesteps == 1
+
+    def test_accumulate_across_runs_and_reset(self):
+        design = spec(
+            "T",
+            leaf("A", assign("x", var("x") + 1)),
+            variables=[variable("x", int_type(), init=0)],
+        )
+        design.validate()
+        simulator = Simulator(design)
+        m = SimMetrics()
+        simulator.run(metrics=m)
+        after_one = m.activations
+        simulator.run(metrics=m)
+        assert m.activations == 2 * after_one
+        m.reset()
+        assert m.activations == 0 and m.wall_seconds == 0.0
+
+    def test_as_dict_matches_fields(self):
+        m = SimMetrics()
+        data = m.as_dict()
+        assert set(data) == {name for name, _ in SimMetrics.FIELDS} | {
+            "wall_seconds"
+        }
+        assert "delta cycles" in m.describe()
+
+
+class TestBusTransactions:
+    def run_strobe(self, values, initial=0, patterns=None):
+        m = SimMetrics(**({"bus_patterns": patterns} if patterns else {}))
+        k = Kernel(metrics=m)
+        k.register_signal("b1_start", initial)
+
+        def proc():
+            for value in values:
+                k.write_signal("b1_start", value)
+                yield WaitDelay(1)
+
+        k.spawn("p", proc())
+        k.run()
+        return m
+
+    def test_rising_strobe_counts(self):
+        assert self.run_strobe([1, 0, 1]).bus_transactions == 2
+
+    def test_falling_edge_does_not_count(self):
+        assert self.run_strobe([0], initial=1).bus_transactions == 0
+
+    def test_unchanged_truthy_write_does_not_count(self):
+        assert self.run_strobe([1, 1, 1]).bus_transactions == 1
+
+    def test_custom_patterns(self):
+        m = self.run_strobe([1], patterns=("other_*",))
+        assert m.bus_transactions == 0
+        assert m.is_bus_strobe("other_x") and not m.is_bus_strobe("b1_start")
+
+
+class TestFaultMetrics:
+    def test_dropped_write_counts_fault_not_write(self):
+        scenario = FaultScenario(
+            name="drop-s", kind="drop", target="s", expect="detect"
+        )
+        m = SimMetrics()
+        k = Kernel(injector=FaultInjector([scenario]), metrics=m)
+        k.register_signal("s", 0)
+
+        def proc():
+            k.write_signal("s", 1)
+            yield WaitDelay(1)
+
+        k.spawn("p", proc())
+        k.run()
+        assert m.faults == 1
+        assert m.signal_writes == 0  # the dropped write never scheduled
+        assert k.read_signal("s") == 0
+
+    def test_kill_fault_counts(self):
+        scenario = FaultScenario(
+            name="kill-p", kind="kill", target="p", expect="detect"
+        )
+        m = SimMetrics()
+        k = Kernel(injector=FaultInjector([scenario]), metrics=m)
+
+        def proc():
+            yield WaitDelay(1)
+
+        k.spawn("p", proc())
+        k.run()
+        assert m.faults == 1
+        assert m.processes_killed == 1
+
+
+class TestTracer:
+    def run_traced(self, tracer):
+        k = Kernel(tracer=tracer)
+        k.register_signal("s", 0)
+
+        def proc():
+            k.write_signal("s", 1)
+            yield WaitDelay(1)
+
+        k.spawn("p", proc())
+        k.run()
+        return tracer
+
+    def test_records_scheduler_events(self):
+        tracer = self.run_traced(Tracer())
+        kinds = {event.kind for event in tracer.events}
+        assert {"run", "delta", "advance"} <= kinds
+        first = tracer.events[0]
+        assert isinstance(first, TraceRecord)
+        assert first.kind == "run" and first.detail == "p"
+        assert "t=" in str(first)
+
+    def test_limit_and_dropped(self):
+        tracer = self.run_traced(Tracer(limit=2))
+        assert len(tracer) == 2
+        assert tracer.dropped > 0
+
+    def test_kind_filter(self):
+        tracer = self.run_traced(Tracer(kinds=("delta",)))
+        assert {event.kind for event in tracer.events} == {"delta"}
+        assert tracer.as_dicts()[0]["detail"] == "s"
+
+    def test_describe_last(self):
+        tracer = self.run_traced(Tracer())
+        assert tracer.describe(last=1).count("\n") == 0
+
+
+class TestPhaseTimer:
+    def test_accumulates_and_orders(self):
+        timer = PhaseTimer()
+        with timer.phase("b"):
+            pass
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        assert list(timer.as_dict()) == ["b", "a"]
+        assert timer.seconds("b") >= 0.0
+        assert timer.total == pytest.approx(
+            timer.seconds("a") + timer.seconds("b")
+        )
+        assert "total" in timer.describe()
+
+    def test_empty(self):
+        assert PhaseTimer().describe() == "no phases recorded"
+        assert PhaseTimer().total == 0.0
+
+
+class TestSimulatorIntegration:
+    def test_runs_are_deterministic(self):
+        design = spec(
+            "T",
+            leaf("A", assign("x", var("x") + 1)),
+            variables=[variable("x", int_type(), init=0)],
+        )
+        design.validate()
+        first, second = SimMetrics(), SimMetrics()
+        Simulator(design).run(metrics=first)
+        Simulator(design).run(metrics=second)
+        counters = lambda m: {
+            k: v for k, v in m.as_dict().items() if k != "wall_seconds"
+        }
+        assert counters(first) == counters(second)
+        assert first.activations > 0
