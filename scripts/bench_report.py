@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Machine-readable pipeline benchmark: ``benchmarks/output/BENCH_pipeline.json``.
+
+Runs the three benchmarks future PRs diff against — the Figure 9 sweep,
+the Figure 10 sweep (with its per-procedure refinement breakdown from
+:attr:`RefinedDesign.procedure_seconds`), and the kernel hot-path
+benchmark — plus one fully traced parse → refine → simulate pipeline,
+and writes every wall time and span breakdown as one JSON document.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py [-o OUT.json] [--reps N]
+
+The JSON layout (``schema`` pins it) is append-only: later PRs may add
+keys but must not rename existing ones, so ``diff`` and dashboards stay
+meaningful across the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+DEFAULT_OUTPUT = REPO_ROOT / "benchmarks" / "output" / "BENCH_pipeline.json"
+
+SCHEMA = "repro-bench-pipeline/1"
+
+
+def bench_figure9() -> dict:
+    from repro.experiments import run_figure9
+
+    started = time.perf_counter()
+    result = run_figure9()
+    wall = time.perf_counter() - started
+    return {
+        "wall_seconds": wall,
+        "designs": sorted(result.cells),
+    }
+
+
+def bench_figure10() -> dict:
+    from repro.experiments import run_figure10
+
+    started = time.perf_counter()
+    result = run_figure10()
+    wall = time.perf_counter() - started
+    cells = {}
+    for design, row in result.cells.items():
+        for model, cell in row.items():
+            cells[f"{design}/{model}"] = {
+                "refined_lines": cell.refined_lines,
+                "refinement_seconds": cell.refinement_seconds,
+                "ratio": cell.ratio,
+                "procedure_seconds": dict(cell.refined.procedure_seconds),
+            }
+    return {
+        "wall_seconds": wall,
+        "original_lines": result.original_lines,
+        "cells": cells,
+    }
+
+
+def bench_hotpath(reps: int) -> dict:
+    from bench_kernel_hotpath import run_hotpath_benchmark
+
+    started = time.perf_counter()
+    report = run_hotpath_benchmark(reps=reps)
+    report["wall_seconds"] = time.perf_counter() - started
+    return report
+
+
+def bench_traced_pipeline(design: str = "Design1", model: str = "Model2") -> dict:
+    """One parse → refine → simulate run under the span tracer."""
+    from repro.apps.medical import MEDICAL_INPUTS, all_designs, medical_specification
+    from repro.models import resolve_model
+    from repro.obs.trace import SpanTracer, validate_chrome_trace
+    from repro.refine import Refiner
+    from repro.sim import Simulator
+
+    tracer = SpanTracer()
+    with tracer.span("pipeline", design=design, model=model):
+        with tracer.span("parse"):
+            spec = medical_specification()
+        with tracer.span("validate"):
+            spec.validate()
+        with tracer.span("partition"):
+            partition = all_designs(spec)[design]
+        with tracer.span("refine"):
+            refined = Refiner(
+                spec, partition, resolve_model(model), tracer=tracer
+            ).run()
+        with tracer.span("simulate-refined") as span:
+            run = Simulator(refined.spec).run(inputs=dict(MEDICAL_INPUTS))
+            span.set("steps", run.steps)
+    chrome = json.loads(tracer.to_chrome_json())
+    return {
+        "design": design,
+        "model": model,
+        "span_seconds": tracer.aggregate(),
+        "refine_procedure_seconds": dict(refined.procedure_seconds),
+        "chrome_events": validate_chrome_trace(chrome),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default=str(DEFAULT_OUTPUT))
+    parser.add_argument("--reps", type=int, default=3,
+                        help="hot-path benchmark repetitions (default 3; "
+                             "the bench's own default is 8)")
+    args = parser.parse_args(argv)
+
+    report = {"schema": SCHEMA}
+    started = time.perf_counter()
+    print("running figure9 sweep ...", flush=True)
+    report["figure9"] = bench_figure9()
+    print("running figure10 sweep ...", flush=True)
+    report["figure10"] = bench_figure10()
+    print(f"running kernel hot-path ({args.reps} reps) ...", flush=True)
+    report["hotpath"] = bench_hotpath(args.reps)
+    print("running traced pipeline ...", flush=True)
+    report["trace"] = bench_traced_pipeline()
+    report["total_wall_seconds"] = time.perf_counter() - started
+
+    out = pathlib.Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    print(
+        f"figure9 {report['figure9']['wall_seconds']:.2f}s  "
+        f"figure10 {report['figure10']['wall_seconds']:.2f}s  "
+        f"hotpath speedup {report['hotpath']['speedup']:.2f}x  "
+        f"trace events {report['trace']['chrome_events']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,18 @@ Subcommands mirror the library's main flows:
   designs x models) against the timeout-and-retry protocol;
 * ``repro profile --design D --model M`` — the instrumented
   refine → simulate → verify pipeline: kernel counters and per-phase
-  wall-clock as a table plus JSON under ``benchmarks/output/``.
+  wall-clock as a table plus JSON under ``benchmarks/output/``
+  (``--json`` prints the JSON to stdout instead);
+* ``repro trace --design D --model M [-o trace.json]`` — run the whole
+  parse → validate → partition → refine → estimate → export → simulate
+  pipeline under a hierarchical span tracer and export Chrome
+  trace-event JSON (loadable in Perfetto / ``chrome://tracing``);
+* ``repro explain LINE --design D --model M`` — refinement provenance:
+  which refinement procedure and rule produced a given line of the
+  refined specification (``--all`` summarises every line, ``--check``
+  asserts completeness);
+* ``repro simulate --vcd out.vcd`` — additionally dump every signal
+  change of the run as a GTKWave-compatible VCD waveform.
 """
 
 from __future__ import annotations
@@ -116,13 +127,29 @@ def _cmd_simulate(args) -> int:
     from repro.sim import Simulator
 
     spec = _load_spec(args.file)
+    observer = None
+    if args.vcd:
+        from repro.obs.vcd import VCDWriter
+
+        observer = VCDWriter()
     result = Simulator(spec).run(
-        inputs=_parse_inputs(args.input), limits=_parse_limits(args)
+        inputs=_parse_inputs(args.input),
+        limits=_parse_limits(args),
+        observer=observer,
     )
     status = "completed" if result.completed else "DID NOT COMPLETE"
     print(f"simulation {status} ({result.steps} scheduler steps)")
     for name, value in result.output_values().items():
         print(f"  {name} = {value}")
+    if observer is not None:
+        import os
+
+        os.makedirs(os.path.dirname(args.vcd) or ".", exist_ok=True)
+        observer.write(args.vcd)
+        print(
+            f"VCD waveform written to {args.vcd} "
+            f"({len(observer.changes)} signal changes)"
+        )
     return 0 if result.completed else 1
 
 
@@ -236,6 +263,9 @@ def _cmd_figure10(args) -> int:
 
     result = run_figure10(check_equivalence=args.check)
     print(result.render(include_paper=not args.no_paper))
+    if args.breakdown:
+        print()
+        print(result.render_breakdown())
     return 0
 
 
@@ -275,15 +305,150 @@ def _cmd_profile(args) -> int:
         limits=_parse_limits(args),
         verify=not args.no_verify,
     )
-    print(report.render())
+    if args.json:
+        print(report.as_json())
+    else:
+        print(report.render())
     if args.output:
         import os
 
         os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
         with open(args.output, "w") as handle:
             handle.write(report.as_json() + "\n")
-        print(f"\nprofile JSON written to {args.output}")
+        if not args.json:
+            print(f"\nprofile JSON written to {args.output}")
     return 0 if report.equivalent in (True, None) else 1
+
+
+def _default_inputs(spec, args) -> Dict[str, object]:
+    """--input pairs, falling back to the medical stimulus if it fits."""
+    inputs: Dict[str, object] = dict(_parse_inputs(args.input))
+    if not inputs:
+        from repro.apps.medical import MEDICAL_INPUTS
+
+        port_names = {v.name for v in spec.variables}
+        inputs = {
+            name: value
+            for name, value in MEDICAL_INPUTS.items()
+            if name in port_names
+        }
+    return inputs
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.estimate import profile_specification
+    from repro.export import export_c, export_vhdl
+    from repro.models import resolve_model
+    from repro.obs.trace import SpanTracer, validate_chrome_trace
+    from repro.refine import Refiner
+    from repro.sim import Simulator
+
+    tracer = SpanTracer()
+    source = args.file or "<bundled medical system>"
+    with tracer.span("pipeline", source=source, design=args.design,
+                     model=args.model):
+        with tracer.span("parse") as span:
+            if args.file is None:
+                from repro.apps.medical import medical_specification
+
+                spec = medical_specification()
+            else:
+                from repro.lang.parser import parse
+
+                with open(args.file) as handle:
+                    spec = parse(handle.read())
+            span.set("lines", spec.line_count())
+        with tracer.span("validate"):
+            spec.validate()
+        with tracer.span("partition") as span:
+            partition = _resolve_partition(spec, args)
+            span.set("components", partition.p)
+        # the Refiner shares the tracer, so its per-procedure spans
+        # (category "refine") nest under this one
+        with tracer.span("refine") as span:
+            design = Refiner(
+                spec,
+                partition,
+                resolve_model(args.model),
+                protocol=args.protocol,
+                tracer=tracer,
+            ).run()
+            span.set("refined_lines", design.spec.line_count())
+        inputs = _default_inputs(spec, args)
+        with tracer.span("estimate") as span:
+            profile = profile_specification(
+                spec, partition, inputs=dict(inputs)
+            )
+            span.set("behaviors", len(profile.lifetimes))
+        with tracer.span("export-c") as span:
+            span.set("bytes", len(export_c(spec)))
+        with tracer.span("export-vhdl") as span:
+            span.set("bytes", len(export_vhdl(design.spec)))
+        limits = _parse_limits(args)
+        with tracer.span("simulate-original") as span:
+            run = Simulator(spec).run(inputs=dict(inputs), limits=limits)
+            span.set("steps", run.steps)
+        with tracer.span("simulate-refined") as span:
+            run = Simulator(design.spec).run(inputs=dict(inputs), limits=limits)
+            span.set("steps", run.steps)
+
+    print(tracer.describe())
+    payload = tracer.to_chrome_json()
+    events = validate_chrome_trace(json.loads(payload))
+    if args.output:
+        import os
+
+        os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+        with open(args.output, "w") as handle:
+            handle.write(payload + "\n")
+        print(
+            f"\nChrome trace ({events} events) written to {args.output} "
+            "- load it in Perfetto or chrome://tracing"
+        )
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.models import resolve_model
+    from repro.obs.explain import SpecExplainer
+    from repro.obs.provenance import provenance_report
+    from repro.refine import Refiner
+
+    spec = _load_spec(args.file)
+    partition = _resolve_partition(spec, args)
+    design = Refiner(
+        spec, partition, resolve_model(args.model), protocol=args.protocol
+    ).run()
+    explainer = SpecExplainer(design.spec, spec)
+
+    if args.check:
+        unresolved = explainer.unresolved()
+        report = provenance_report(design.spec, spec)
+        print(report.describe())
+        if unresolved:
+            print(f"\nUNRESOLVED lines ({len(unresolved)}):")
+            for item in unresolved:
+                print(f"  {item.line_no}: {item.text}")
+            return 1
+        total = len(explainer.text.splitlines())
+        print(f"\nall {total} refined lines resolve to a refinement step")
+        return 0
+    if args.all:
+        print(explainer.summary())
+        return 0
+    if not args.line:
+        raise ReproError("a LINE argument is required (or use --all/--check)")
+    token = args.line
+    if ":" in token:
+        _, _, token = token.rpartition(":")
+    try:
+        line_no = int(token)
+    except ValueError:
+        raise ReproError(f"LINE must be an integer or file:line, got {args.line!r}")
+    print(explainer.explain(line_no).describe())
+    return 0
 
 
 # -- parser ----------------------------------------------------------------------
@@ -324,6 +489,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_file(p)
     p.add_argument("--input", action="append", metavar="NAME=VALUE")
     add_limits(p)
+    p.add_argument("--vcd", metavar="PATH",
+                   help="dump signal changes as a VCD waveform (GTKWave)")
     p.set_defaults(handler=_cmd_simulate)
 
     p = sub.add_parser("partition", help="run a baseline partitioner")
@@ -388,6 +555,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="co-simulate every refined design (slower)")
     p.add_argument("--no-paper", action="store_true")
+    p.add_argument("--breakdown", action="store_true",
+                   help="also decompose each cell's CPU time per "
+                        "refinement procedure")
     p.set_defaults(handler=_cmd_figure10)
 
     p = sub.add_parser(
@@ -426,7 +596,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output",
                    default="benchmarks/output/profile.json",
                    help="write the profile JSON here ('' to skip)")
+    p.add_argument("--json", action="store_true",
+                   help="print the profile JSON to stdout instead of tables")
     p.set_defaults(handler=_cmd_profile)
+
+    p = sub.add_parser(
+        "trace",
+        help="run the whole pipeline under a span tracer; export "
+             "Chrome trace-event JSON",
+    )
+    add_file(p)
+    p.add_argument("--design", required=True,
+                   help="Design1, Design2 or Design3 (medical system)")
+    p.add_argument("--model", default="Model1",
+                   help="Model1..Model4 (default Model1)")
+    p.add_argument("--protocol", default="handshake",
+                   choices=("handshake", "strobe", "handshake-timeout"))
+    p.add_argument("--input", action="append", metavar="NAME=VALUE")
+    add_limits(p)
+    p.add_argument("-o", "--output",
+                   default="benchmarks/output/trace.json",
+                   help="write Chrome trace-event JSON here ('' to skip)")
+    p.set_defaults(handler=_cmd_trace)
+
+    p = sub.add_parser(
+        "explain",
+        help="which refinement step produced a line of the refined spec",
+    )
+    p.add_argument("line", nargs="?", metavar="LINE",
+                   help="1-based line number (or file:line) of the "
+                        "refined specification")
+    add_file(p)
+    p.add_argument("--design", required=True,
+                   help="Design1, Design2 or Design3 (medical system)")
+    p.add_argument("--model", default="Model1",
+                   help="Model1..Model4 (default Model1)")
+    p.add_argument("--protocol", default="handshake",
+                   choices=("handshake", "strobe", "handshake-timeout"))
+    p.add_argument("--all", action="store_true",
+                   help="summarise the provenance of every line")
+    p.add_argument("--check", action="store_true",
+                   help="verify every refined line resolves to a "
+                        "refinement step (exit 1 otherwise)")
+    p.set_defaults(handler=_cmd_explain)
 
     return parser
 

@@ -104,6 +104,36 @@ class Figure10Result:
         )
         return render_table(headers, rows, title=title)
 
+    def render_breakdown(self) -> str:
+        """The refinement CPU time of every cell decomposed per
+        refinement procedure (the provenance of the Figure 10
+        seconds)."""
+        procedures: list = []
+        for row in self.cells.values():
+            for cell in row.values():
+                for name in cell.refined.procedure_seconds:
+                    if name not in procedures:
+                        procedures.append(name)
+        if not procedures:
+            return "no per-procedure timings recorded"
+        headers = ["Design / Model"] + procedures + ["total"]
+        rows = []
+        for design, row in self.cells.items():
+            for model in ("Model1", "Model2", "Model3", "Model4"):
+                cell = row[model]
+                seconds = cell.refined.procedure_seconds
+                total = sum(seconds.values())
+                rows.append(
+                    [f"{design} {model}"]
+                    + [f"{seconds.get(p, 0.0) * 1e3:.2f}" for p in procedures]
+                    + [f"{total * 1e3:.2f}"]
+                )
+        return render_table(
+            headers,
+            rows,
+            title="Figure 10 breakdown: refinement milliseconds per procedure",
+        )
+
 
 def run_figure10(
     spec: Optional[Specification] = None,

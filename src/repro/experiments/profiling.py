@@ -60,6 +60,8 @@ class ProfileReport:
         self.refined_lines: int = 0
         #: simulated seconds of the refined run
         self.simulated_time: float = 0.0
+        #: the refine phase decomposed per refinement procedure
+        self.procedure_seconds: Dict[str, float] = {}
 
     # -- reporting ------------------------------------------------------------
 
@@ -86,6 +88,14 @@ class ProfileReport:
             ]
             + [["total", f"{self.phases.total:.4f}"]],
         )
+        if self.procedure_seconds:
+            timing += "\n" + render_table(
+                ["refine procedure", "ms"],
+                [
+                    [name, f"{seconds * 1e3:.2f}"]
+                    for name, seconds in self.procedure_seconds.items()
+                ],
+            )
         verdict = (
             "verify: not run"
             if self.equivalent is None
@@ -110,6 +120,7 @@ class ProfileReport:
             "refined_lines": self.refined_lines,
             "simulated_time": self.simulated_time,
             "phases_seconds": self.phases.as_dict(),
+            "refine_procedure_seconds": dict(self.procedure_seconds),
             "original_metrics": self.original_metrics.as_dict(),
             "refined_metrics": self.refined_metrics.as_dict(),
         }
@@ -148,10 +159,14 @@ def run_profile(
     phases = report.phases
 
     with phases.phase("refine"):
+        # sharing the phase timer's tracer nests the per-procedure
+        # refinement spans under the "refine" phase span
         refined = Refiner(
-            spec, partition, resolve_model(model), protocol=protocol
+            spec, partition, resolve_model(model), protocol=protocol,
+            tracer=phases.tracer,
         ).run()
     report.refined_lines = refined.spec.line_count()
+    report.procedure_seconds = dict(refined.procedure_seconds)
 
     with phases.phase("simulate-original"):
         Simulator(spec).run(

@@ -11,7 +11,7 @@ or statement per line — so sizes are comparable across refinements.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, NamedTuple, Tuple
 
 from repro.errors import SpecError
 from repro.spec.behavior import Behavior, CompositeBehavior, LeafBehavior
@@ -40,9 +40,103 @@ from repro.spec.types import (
 )
 from repro.spec.variable import Role, Variable
 
-__all__ = ["print_specification", "print_expr", "print_behavior", "print_type"]
+__all__ = [
+    "print_specification",
+    "print_specification_with_map",
+    "print_expr",
+    "print_behavior",
+    "print_type",
+    "LineRecord",
+    "LineMap",
+]
 
 _INDENT = "  "
+
+
+# -- line map -----------------------------------------------------------------
+
+
+class LineRecord(NamedTuple):
+    """Attribution of one printed source line.
+
+    ``node`` is the most specific IR object the line renders (a
+    statement, declaration, behavior, subprogram or transition — or
+    ``None`` for blanks); ``owner`` is the enclosing behavior or
+    subprogram, if any.
+    """
+
+    line_no: int
+    text: str
+    kind: str
+    node: object
+    owner: object
+
+
+class LineMap:
+    """line number (1-based) -> :class:`LineRecord` for one rendering."""
+
+    def __init__(self, records: List[LineRecord]):
+        self.records = records
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def record(self, line_no: int) -> LineRecord:
+        if not 1 <= line_no <= len(self.records):
+            raise SpecError(
+                f"line {line_no} out of range (1..{len(self.records)})"
+            )
+        return self.records[line_no - 1]
+
+
+class _Sink(list):
+    """Plain output target: a list of lines with no-op attribution."""
+
+    def mark(self, node, kind: str) -> None:
+        pass
+
+    def push_owner(self, owner) -> None:
+        pass
+
+    def pop_owner(self) -> None:
+        pass
+
+
+class _MapSink(_Sink):
+    """Output target that records per-line attribution as it appends."""
+
+    def __init__(self):
+        super().__init__()
+        self._node = None
+        self._kind = "text"
+        self._owners: List[object] = []
+        #: (node, kind, owner) parallel to the line list
+        self.marks: List[Tuple[object, str, object]] = []
+
+    def mark(self, node, kind: str) -> None:
+        self._node = node
+        self._kind = kind
+
+    def push_owner(self, owner) -> None:
+        self._owners.append(owner)
+
+    def pop_owner(self) -> None:
+        self._owners.pop()
+
+    def append(self, text: str) -> None:
+        super().append(text)
+        owner = self._owners[-1] if self._owners else None
+        if not text.strip():
+            self.marks.append((None, "blank", owner))
+        else:
+            self.marks.append((self._node, self._kind, owner))
+
+    def line_map(self) -> LineMap:
+        records = [
+            LineRecord(i + 1, text, kind, node, owner)
+            for i, (text, (node, kind, owner)) in enumerate(zip(self, self.marks))
+        ]
+        return LineMap(records)
 
 
 # -- expressions --------------------------------------------------------------
@@ -150,7 +244,7 @@ def _decl_line(var: Variable) -> str:
 # -- statements -------------------------------------------------------------------
 
 
-def _emit_body(lines: List[str], stmts: Body, depth: int) -> None:
+def _emit_body(lines: _Sink, stmts: Body, depth: int) -> None:
     if not stmts:
         lines.append(_INDENT * depth + "null;")
         return
@@ -158,8 +252,9 @@ def _emit_body(lines: List[str], stmts: Body, depth: int) -> None:
         _emit_stmt(lines, stmt, depth)
 
 
-def _emit_stmt(lines: List[str], stmt: Stmt, depth: int) -> None:
+def _emit_stmt(lines: _Sink, stmt: Stmt, depth: int) -> None:
     pad = _INDENT * depth
+    lines.mark(stmt, "stmt")
     if isinstance(stmt, Assign):
         lines.append(f"{pad}{print_expr(stmt.target)} := {print_expr(stmt.value)};")
     elif isinstance(stmt, SignalAssign):
@@ -168,11 +263,14 @@ def _emit_stmt(lines: List[str], stmt: Stmt, depth: int) -> None:
         lines.append(f"{pad}if {print_expr(stmt.cond)} then")
         _emit_body(lines, stmt.then_body, depth + 1)
         for cond, arm in stmt.elifs:
+            lines.mark(stmt, "stmt")
             lines.append(f"{pad}elsif {print_expr(cond)} then")
             _emit_body(lines, arm, depth + 1)
         if stmt.else_body:
+            lines.mark(stmt, "stmt")
             lines.append(f"{pad}else")
             _emit_body(lines, stmt.else_body, depth + 1)
+        lines.mark(stmt, "stmt")
         lines.append(f"{pad}end if;")
     elif isinstance(stmt, While):
         expect = (
@@ -182,6 +280,7 @@ def _emit_stmt(lines: List[str], stmt: Stmt, depth: int) -> None:
         )
         lines.append(f"{pad}while {print_expr(stmt.cond)}{expect} loop")
         _emit_body(lines, stmt.loop_body, depth + 1)
+        lines.mark(stmt, "stmt")
         lines.append(f"{pad}end loop;")
     elif isinstance(stmt, For):
         lines.append(
@@ -189,6 +288,7 @@ def _emit_stmt(lines: List[str], stmt: Stmt, depth: int) -> None:
             f"to {print_expr(stmt.stop)} loop"
         )
         _emit_body(lines, stmt.loop_body, depth + 1)
+        lines.mark(stmt, "stmt")
         lines.append(f"{pad}end loop;")
     elif isinstance(stmt, Wait):
         if stmt.until is not None:
@@ -211,21 +311,27 @@ def _emit_stmt(lines: List[str], stmt: Stmt, depth: int) -> None:
 
 def print_behavior(behavior: Behavior, depth: int = 0) -> str:
     """Render one behavior subtree."""
-    lines: List[str] = []
+    lines = _Sink()
     _emit_behavior(lines, behavior, depth)
     return "\n".join(lines)
 
 
-def _emit_behavior(lines: List[str], behavior: Behavior, depth: int) -> None:
+def _emit_behavior(lines: _Sink, behavior: Behavior, depth: int) -> None:
     pad = _INDENT * depth
     daemon = "daemon " if behavior.daemon else ""
+    lines.push_owner(behavior)
+    lines.mark(behavior, "behavior")
     if isinstance(behavior, LeafBehavior):
         lines.append(f"{pad}behavior {behavior.name} is {daemon}leaf")
         for decl in behavior.decls:
+            lines.mark(decl, "decl")
             lines.append(_INDENT * (depth + 1) + _decl_line(decl))
+        lines.mark(behavior, "behavior")
         lines.append(f"{pad}begin")
         _emit_body(lines, behavior.stmt_body, depth + 1)
+        lines.mark(behavior, "behavior")
         lines.append(f"{pad}end behavior;")
+        lines.pop_owner()
         return
     if not isinstance(behavior, CompositeBehavior):
         raise SpecError(f"cannot print behavior {behavior!r}")
@@ -233,10 +339,13 @@ def _emit_behavior(lines: List[str], behavior: Behavior, depth: int) -> None:
     lines.append(f"{pad}behavior {behavior.name} is {daemon}{mode}")
     inner = depth + 1
     for decl in behavior.decls:
+        lines.mark(decl, "decl")
         lines.append(_INDENT * inner + _decl_line(decl))
     if behavior.is_sequential and behavior.initial != behavior.subs[0].name:
+        lines.mark(behavior, "behavior")
         lines.append(_INDENT * inner + f"initial {behavior.initial};")
     if behavior.transitions:
+        lines.mark(behavior, "behavior")
         lines.append(_INDENT * inner + "transitions")
         for t in behavior.transitions:
             target = t.target if t.target is not None else "complete"
@@ -244,26 +353,35 @@ def _emit_behavior(lines: List[str], behavior: Behavior, depth: int) -> None:
                 arc = f"{t.source} : ({print_expr(t.condition)}) -> {target};"
             else:
                 arc = f"{t.source} -> {target};"
+            lines.mark(t, "transition")
             lines.append(_INDENT * (inner + 1) + arc)
     for sub in behavior.subs:
         _emit_behavior(lines, sub, inner)
+    lines.mark(behavior, "behavior")
     lines.append(f"{pad}end behavior;")
+    lines.pop_owner()
 
 
 # -- subprograms ----------------------------------------------------------------------
 
 
-def _emit_subprogram(lines: List[str], sub: Subprogram, depth: int) -> None:
+def _emit_subprogram(lines: _Sink, sub: Subprogram, depth: int) -> None:
     pad = _INDENT * depth
     params = ", ".join(
         f"{p.name} : {p.direction.value} {print_type(p.dtype)}" for p in sub.params
     )
+    lines.push_owner(sub)
+    lines.mark(sub, "subprogram")
     lines.append(f"{pad}procedure {sub.name}({params}) is")
     for decl in sub.decls:
+        lines.mark(decl, "decl")
         lines.append(_INDENT * (depth + 1) + _decl_line(decl))
+    lines.mark(sub, "subprogram")
     lines.append(f"{pad}begin")
     _emit_body(lines, sub.stmt_body, depth + 1)
+    lines.mark(sub, "subprogram")
     lines.append(f"{pad}end procedure;")
+    lines.pop_owner()
 
 
 # -- specifications ----------------------------------------------------------------------
@@ -271,7 +389,20 @@ def _emit_subprogram(lines: List[str], sub: Subprogram, depth: int) -> None:
 
 def print_specification(spec: Specification) -> str:
     """Render the whole specification as source text."""
-    lines: List[str] = []
+    return _print_specification(spec, _Sink())
+
+
+def print_specification_with_map(spec: Specification) -> Tuple[str, LineMap]:
+    """Render a specification *and* attribute every line to the IR node
+    it prints — the substrate of ``repro explain``.  The text is
+    byte-identical to :func:`print_specification`."""
+    sink = _MapSink()
+    text = _print_specification(spec, sink)
+    return text, sink.line_map()
+
+
+def _print_specification(spec: Specification, lines: _Sink) -> str:
+    lines.mark(spec, "spec")
     if spec.doc:
         for doc_line in spec.doc.strip().splitlines():
             lines.append(f"-- {doc_line.strip()}")
@@ -280,9 +411,11 @@ def print_specification(spec: Specification) -> str:
     enums = _collect_enums(spec)
     for enum in enums:
         literals = ", ".join(f"'{lit}'" for lit in enum.literals)
+        lines.mark(enum, "type")
         lines.append(_INDENT + f"type {enum.name} is ({literals});")
 
     for var in spec.variables:
+        lines.mark(var, "decl")
         lines.append(_INDENT + _decl_line(var))
     if spec.variables or enums:
         lines.append("")
@@ -290,6 +423,7 @@ def print_specification(spec: Specification) -> str:
         _emit_subprogram(lines, sub, 1)
         lines.append("")
     _emit_behavior(lines, spec.top, 1)
+    lines.mark(spec, "spec")
     lines.append("end specification;")
     return "\n".join(lines) + "\n"
 

@@ -1,0 +1,53 @@
+"""Cross-cutting observability: pipeline spans, refinement provenance,
+and waveform export.
+
+Three pillars (ROADMAP's observability direction, applied end-to-end):
+
+* :mod:`repro.obs.trace` — hierarchical :class:`SpanTracer` threaded
+  through parse → validate → partition → refine (one span per
+  refinement procedure) → estimate → export → simulate, exported as
+  Chrome trace-event JSON (``repro trace``);
+* :mod:`repro.obs.provenance` / :mod:`repro.obs.explain` — every
+  refinement pass stamps the IR nodes it creates; combined with the
+  pretty-printer's line map, ``repro explain`` resolves any line of
+  refined source to the step that produced it;
+* :mod:`repro.obs.vcd` — the kernel's signal-change stream as a
+  GTKWave-compatible VCD file (``repro simulate --vcd``), with a
+  minimal parser for round-trip testing.
+"""
+
+from repro.obs.explain import Explanation, SpecExplainer
+from repro.obs.provenance import (
+    Provenance,
+    ProvenanceReport,
+    copy_provenance,
+    provenance_of,
+    provenance_report,
+    stamp,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    Span,
+    SpanTracer,
+    validate_chrome_trace,
+)
+from repro.obs.vcd import VCDData, VCDSignal, VCDWriter, parse_vcd
+
+__all__ = [
+    "Span",
+    "SpanTracer",
+    "NULL_TRACER",
+    "validate_chrome_trace",
+    "Provenance",
+    "ProvenanceReport",
+    "stamp",
+    "provenance_of",
+    "copy_provenance",
+    "provenance_report",
+    "Explanation",
+    "SpecExplainer",
+    "VCDWriter",
+    "VCDSignal",
+    "VCDData",
+    "parse_vcd",
+]

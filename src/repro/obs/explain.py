@@ -1,0 +1,148 @@
+"""``repro explain`` — resolve refined source lines to refinement steps.
+
+Combines the pretty-printer's line map
+(:func:`repro.lang.printer.print_specification_with_map`) with the
+provenance stamps the refinement passes leave on the IR
+(:mod:`repro.obs.provenance`): for any line of the printed refined
+specification, :class:`SpecExplainer` answers *which refinement
+procedure and rule produced it*, falling back from the line's own node
+to its enclosing behavior/subprogram, and finally to a synthesized
+``source`` record for constructs inherited unchanged from the original
+specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.lang.printer import LineRecord, print_specification_with_map
+from repro.obs.provenance import Provenance, _source_names, provenance_of
+from repro.spec.behavior import Behavior, Transition
+from repro.spec.specification import Specification
+from repro.spec.stmt import Stmt
+from repro.spec.subprogram import Subprogram
+from repro.spec.types import EnumType
+from repro.spec.variable import Variable
+
+__all__ = ["Explanation", "SpecExplainer"]
+
+
+@dataclass
+class Explanation:
+    """Provenance resolution of one refined source line."""
+
+    line_no: int
+    text: str
+    kind: str
+    node: str
+    owner: str
+    provenance: Optional[Provenance]
+
+    def describe(self) -> str:
+        lines = [f"line {self.line_no}: {self.text.strip()}"]
+        lines.append(f"  node:  {self.node}" + (f" (in {self.owner})" if self.owner else ""))
+        if self.provenance is None:
+            lines.append("  origin: UNRESOLVED")
+        else:
+            lines.append(f"  origin: {self.provenance.describe()}")
+        return "\n".join(lines)
+
+
+def _describe_node(node) -> str:
+    if node is None:
+        return "(blank)"
+    if isinstance(node, Behavior):
+        return f"behavior {node.name}"
+    if isinstance(node, Variable):
+        keyword = "signal" if node.is_signal else "variable"
+        return f"{keyword} {node.name}"
+    if isinstance(node, Subprogram):
+        return f"procedure {node.name}"
+    if isinstance(node, Stmt):
+        return f"{type(node).__name__} statement"
+    if isinstance(node, Transition):
+        return f"transition {node!r}"
+    if isinstance(node, Specification):
+        return f"specification {node.name}"
+    if isinstance(node, EnumType):
+        return f"type {node.name}"
+    return type(node).__name__
+
+
+class SpecExplainer:
+    """Line-by-line provenance of one refined specification."""
+
+    def __init__(self, refined: Specification, original: Specification):
+        self.refined = refined
+        self.original = original
+        self.text, self.line_map = print_specification_with_map(refined)
+        self._known = _source_names(original)
+
+    def __len__(self) -> int:
+        return len(self.line_map)
+
+    # -- resolution ---------------------------------------------------------
+
+    def _name_in_source(self, node) -> Optional[str]:
+        if isinstance(node, Behavior) and node.name in self._known["behavior"]:
+            return node.name
+        if isinstance(node, Variable) and node.name in self._known["variable"]:
+            return node.name
+        if isinstance(node, Subprogram) and node.name in self._known["subprogram"]:
+            return node.name
+        return None
+
+    def _resolve(self, record: LineRecord) -> Optional[Provenance]:
+        for candidate in (record.node, record.owner):
+            if candidate is None:
+                continue
+            stamped = provenance_of(candidate)
+            if stamped is not None:
+                return stamped
+            name = self._name_in_source(candidate)
+            if name is not None:
+                return Provenance("source", "unchanged", name)
+        if record.kind in ("blank", "spec"):
+            # layout and the specification frame itself: the refiner's
+            # rendering, rooted at the original specification
+            return Provenance("refiner", "layout", self.original.name)
+        if record.kind == "type":
+            # refinement introduces no enum types
+            return Provenance("source", "type", getattr(record.node, "name", ""))
+        return None
+
+    def explain(self, line_no: int) -> Explanation:
+        """Resolve one (1-based) line of the printed refined source."""
+        record = self.line_map.record(line_no)
+        return Explanation(
+            line_no=record.line_no,
+            text=record.text,
+            kind=record.kind,
+            node=_describe_node(record.node),
+            owner=getattr(record.owner, "name", ""),
+            provenance=self._resolve(record),
+        )
+
+    def explain_all(self) -> List[Explanation]:
+        return [self.explain(i + 1) for i in range(len(self.line_map))]
+
+    def unresolved(self) -> List[Explanation]:
+        """Lines with no provenance answer (empty = completeness)."""
+        return [e for e in self.explain_all() if e.provenance is None]
+
+    def summary(self) -> str:
+        """Per-procedure line counts over the whole refined source."""
+        counts = {}
+        for explanation in self.explain_all():
+            key = (
+                explanation.provenance.procedure
+                if explanation.provenance is not None
+                else "UNRESOLVED"
+            )
+            counts[key] = counts.get(key, 0) + 1
+        total = len(self.line_map)
+        lines = [f"{self.refined.name}: {total} lines"]
+        for procedure, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {procedure:<14} {count:5d}  ({100.0 * count / total:.1f}%)")
+        return "\n".join(lines)

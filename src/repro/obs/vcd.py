@@ -1,0 +1,276 @@
+"""VCD (Value Change Dump) waveform export and a minimal parser.
+
+The simulation kernel applies signal updates in delta cycles; with an
+observer attached (``Kernel(observer=...)`` /
+``Simulator.run(observer=...)``) every applied *change* is reported as
+``(time, name, value)``.  :class:`VCDWriter` collects that stream and
+renders an IEEE-1364-style VCD file that GTKWave opens directly — the
+waveform-level view the SpecC case studies use to debug codesign
+results.
+
+Value encoding is chosen per signal from the values actually observed:
+
+* booleans and 0/1 integers — 1-bit ``wire``, scalar dumps;
+* non-negative integers — ``wire`` of the minimal observed width,
+  ``b<binary>`` dumps;
+* integers with negative values — 32-bit ``integer``, two's-complement
+  ``b<binary>`` dumps;
+* anything else (enum literals, tuples) — ``string`` vars with ``s``
+  dumps.
+
+:func:`parse_vcd` is the matching reader used by the round-trip tests
+and the CI smoke job; it decodes exactly what the writer emits (plus
+the common scalar/vector/string subset of hand-written VCD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["VCDWriter", "VCDSignal", "VCDData", "parse_vcd"]
+
+#: Identifier-code alphabet of the VCD format (printable ASCII).
+_ID_FIRST, _ID_LAST = 33, 126  # '!' .. '~'
+
+_TIMESCALES = {
+    "1s": 1.0,
+    "1ms": 1e-3,
+    "1us": 1e-6,
+    "1ns": 1e-9,
+    "1ps": 1e-12,
+    "1fs": 1e-15,
+}
+
+_INTEGER_WIDTH = 32
+
+
+def _id_code(position: int) -> str:
+    """The ``position``-th shortest identifier code ('!', '"', ...)."""
+    span = _ID_LAST - _ID_FIRST + 1
+    out = []
+    position += 1
+    while position > 0:
+        position -= 1
+        out.append(chr(_ID_FIRST + position % span))
+        position //= span
+    return "".join(reversed(out))
+
+
+class VCDWriter:
+    """Collects a signal-change stream and renders it as VCD text.
+
+    Acts as the kernel observer: :meth:`on_register` receives every
+    signal declaration (with its time-zero value), :meth:`on_change`
+    every applied change.  Call :meth:`dump` / :meth:`write` after the
+    run.  Times are converted to integer timestamps in ``timescale``
+    units (default ``1ns``, matching the simulator's default time
+    unit).
+    """
+
+    def __init__(self, timescale: str = "1ns", module: str = "repro"):
+        if timescale not in _TIMESCALES:
+            raise ReproError(
+                f"unsupported timescale {timescale!r}; "
+                f"choose from {sorted(_TIMESCALES)}"
+            )
+        self.timescale = timescale
+        self.module = module
+        self._unit = _TIMESCALES[timescale]
+        #: signal name -> initial value, in registration order
+        self._initial: Dict[str, object] = {}
+        #: (tick, name, value) in observation order
+        self.changes: List[Tuple[int, str, object]] = []
+
+    # -- kernel observer interface ------------------------------------------
+
+    def on_register(self, name: str, initial) -> None:
+        self._initial[name] = initial
+
+    def on_change(self, time: float, name: str, value) -> None:
+        self.changes.append((int(round(time / self._unit)), name, value))
+
+    # -- rendering ----------------------------------------------------------
+
+    def _kind_of(self, name: str) -> Tuple[str, int]:
+        """(var type, width) for one signal, from its observed values."""
+        values = [self._initial.get(name)]
+        values.extend(v for _, n, v in self.changes if n == name)
+        ints: List[int] = []
+        for value in values:
+            if isinstance(value, bool):
+                ints.append(int(value))
+            elif isinstance(value, int):
+                ints.append(value)
+            else:
+                return "string", 1
+        if any(v < 0 for v in ints):
+            return "integer", _INTEGER_WIDTH
+        peak = max(ints) if ints else 0
+        width = max(1, peak.bit_length())
+        return "wire", width
+
+    @staticmethod
+    def _encode(value, var_type: str, width: int, code: str) -> str:
+        if var_type == "string":
+            text = str(value).replace(" ", "_")
+            return f"s{text} {code}"
+        number = int(value)
+        if var_type == "integer" and number < 0:
+            number &= (1 << width) - 1
+        if width == 1 and var_type == "wire":
+            return f"{number}{code}"
+        return f"b{number:b} {code}"
+
+    def dump(self) -> str:
+        """The complete VCD document as text."""
+        codes = {name: _id_code(i) for i, name in enumerate(self._initial)}
+        kinds = {name: self._kind_of(name) for name in self._initial}
+        lines = [
+            "$version repro waveform export $end",
+            f"$timescale {self.timescale[1:]} $end",
+            f"$scope module {self.module} $end",
+        ]
+        for name, code in codes.items():
+            var_type, width = kinds[name]
+            lines.append(f"$var {var_type} {width} {code} {name} $end")
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+        lines.append("$dumpvars")
+        for name, code in codes.items():
+            var_type, width = kinds[name]
+            lines.append(self._encode(self._initial[name], var_type, width, code))
+        lines.append("$end")
+        current_tick: Optional[int] = None
+        for tick, name, value in self.changes:
+            if name not in codes:
+                continue  # registered after the run started; not declared
+            if tick != current_tick:
+                lines.append(f"#{tick}")
+                current_tick = tick
+            var_type, width = kinds[name]
+            lines.append(self._encode(value, var_type, width, codes[name]))
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.dump())
+
+
+# -- parsing -----------------------------------------------------------------
+
+
+@dataclass
+class VCDSignal:
+    """One declared signal and its decoded change history."""
+
+    name: str
+    var_type: str
+    width: int
+    code: str
+    #: initial value from the ``$dumpvars`` block
+    initial: object = None
+    #: (tick, decoded value) in file order
+    changes: List[Tuple[int, object]] = field(default_factory=list)
+
+    def edges(self) -> List[Tuple[int, object]]:
+        """The change list (without the initial value)."""
+        return list(self.changes)
+
+
+@dataclass
+class VCDData:
+    """A parsed VCD document."""
+
+    timescale: str
+    signals: Dict[str, VCDSignal] = field(default_factory=dict)
+
+    def changes_of(self, name: str) -> List[Tuple[int, object]]:
+        if name not in self.signals:
+            raise ReproError(f"VCD declares no signal {name!r}")
+        return self.signals[name].edges()
+
+
+def _decode(token: str, signal: VCDSignal):
+    if token[0] in "01xzXZ":
+        return 0 if token[0] in "xzXZ" else int(token[0])
+    if token[0] in "bB":
+        bits = token[1:].replace("x", "0").replace("z", "0")
+        value = int(bits, 2) if bits else 0
+        if (
+            signal.var_type == "integer"
+            and len(bits) == signal.width
+            and bits[0] == "1"
+        ):
+            value -= 1 << signal.width
+        return value
+    if token[0] in "sS":
+        return token[1:]
+    if token[0] in "rR":
+        return float(token[1:])
+    raise ReproError(f"cannot decode VCD value {token!r}")
+
+
+def parse_vcd(text: str) -> VCDData:
+    """Parse VCD text into signal change histories.
+
+    Covers the subset :class:`VCDWriter` emits — ``$var`` declarations,
+    ``$dumpvars``, scalar/vector/string/real value changes — which is
+    also the common core of tool-written VCD files.
+    """
+    data = VCDData(timescale="1ns")
+    by_code: Dict[str, VCDSignal] = {}
+    tick = 0
+    in_header = True
+    tokens = text.split("\n")
+    for raw in tokens:
+        line = raw.strip()
+        if not line:
+            continue
+        if in_header:
+            if line.startswith("$timescale"):
+                parts = line.replace("$end", "").split()
+                unit = "".join(parts[1:3]) if len(parts) > 1 else "1ns"
+                data.timescale = unit if unit.startswith("1") else f"1{unit}"
+                continue
+            if line.startswith("$var"):
+                parts = line.split()
+                if len(parts) < 5:
+                    raise ReproError(f"malformed $var line: {line!r}")
+                var_type, width, code, name = (
+                    parts[1],
+                    int(parts[2]),
+                    parts[3],
+                    parts[4],
+                )
+                signal = VCDSignal(name, var_type, width, code)
+                data.signals[name] = signal
+                by_code[code] = signal
+                continue
+            if line.startswith("$enddefinitions"):
+                in_header = False
+            continue
+        if line.startswith("#"):
+            tick = int(line[1:])
+            continue
+        if line.startswith("$dumpvars"):
+            continue
+        if line.startswith("$"):
+            continue  # $end, $comment ... blocks the writer emits
+        # a value change: scalar "0!" or vector/string "b101 !" / "sX !"
+        if line[0] in "bBsSrR":
+            value_token, _, code = line.partition(" ")
+            code = code.strip()
+        else:
+            value_token, code = line[0], line[1:].strip()
+        signal = by_code.get(code)
+        if signal is None:
+            raise ReproError(f"value change for undeclared code {code!r}")
+        value = _decode(value_token, signal)
+        if signal.initial is None and tick == 0 and not signal.changes:
+            signal.initial = value
+        else:
+            signal.changes.append((tick, value))
+    return data

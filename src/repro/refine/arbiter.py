@@ -19,6 +19,7 @@ from typing import List, Optional
 
 from repro.arch.protocols import RecoveryPolicy
 from repro.errors import RefinementError
+from repro.obs.provenance import stamp
 from repro.refine.emitter import arbiter_signal_names
 from repro.refine.naming import NamePool
 from repro.spec.behavior import LeafBehavior
@@ -47,8 +48,8 @@ def build_arbiter(
     if not masters:
         raise RefinementError(f"bus {bus!r}: an arbiter needs at least one master")
 
-    reqs = [var(arbiter_signal_names(bus, master)[0]) for master in masters]
-    acks = [var(arbiter_signal_names(bus, master)[1]) for master in masters]
+    reqs = [var(arbiter_signal_names(bus, master, pool)[0]) for master in masters]
+    acks = [var(arbiter_signal_names(bus, master, pool)[1]) for master in masters]
 
     any_request: Expr = reqs[0].eq(1)
     for req in reqs[1:]:
@@ -67,7 +68,12 @@ def build_arbiter(
     else:
         ticks = pool.fresh(f"{bus}_arb_ticks")
         decls.append(
-            variable(ticks, int_type(16), init=0, doc="grant tenure counter")
+            stamp(
+                variable(ticks, int_type(16), init=0, doc="grant tenure counter"),
+                "arbiter",
+                "tenure-counter",
+                source=bus,
+            )
         )
         bound = recovery.grant_timeout_ticks
 
@@ -103,4 +109,10 @@ def build_arbiter(
         ),
     )
     arbiter.daemon = True
-    return arbiter
+    return stamp(
+        arbiter,
+        "arbiter",
+        "priority-arbiter",
+        source=bus,
+        detail="priority order: " + " > ".join(masters),
+    )

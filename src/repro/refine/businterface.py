@@ -37,6 +37,7 @@ from repro.arch.protocols import bus_error_name, bus_signal_names
 from repro.errors import RefinementError
 from repro.graph.analysis import VariableClassification
 from repro.models.plan import BusRole, ModelPlan
+from repro.obs.provenance import stamp
 from repro.refine.emitter import ProtocolEmitter
 from repro.refine.naming import NamePool
 from repro.spec.behavior import LeafBehavior
@@ -171,8 +172,14 @@ def _outbound(
         name,
         [loop_forever(loop_body)],
         decls=[
-            make_variable(tmp, int_type(width), doc="forwarded word"),
-            make_variable(scratch, int_type(width), doc="handshake discard"),
+            stamp(
+                make_variable(tmp, int_type(width), doc="forwarded word"),
+                "businterface", "forward-tmp", source=component,
+            ),
+            stamp(
+                make_variable(scratch, int_type(width), doc="handshake discard"),
+                "businterface", "handshake-scratch", source=component,
+            ),
         ],
         doc=(
             f"outbound bus interface of {component}: forwards non-resident "
@@ -180,7 +187,13 @@ def _outbound(
         ),
     )
     behavior.daemon = True
-    return behavior
+    return stamp(
+        behavior,
+        "businterface",
+        "outbound-interface",
+        source=component,
+        detail=f"{iface} -> {interchange} forwarding (Figure 8)",
+    )
 
 
 def _inbound(
@@ -219,8 +232,14 @@ def _inbound(
         name,
         [loop_forever(loop_body)],
         decls=[
-            make_variable(tmp, int_type(width), doc="forwarded word"),
-            make_variable(scratch, int_type(width), doc="handshake discard"),
+            stamp(
+                make_variable(tmp, int_type(width), doc="forwarded word"),
+                "businterface", "forward-tmp", source=component,
+            ),
+            stamp(
+                make_variable(scratch, int_type(width), doc="handshake discard"),
+                "businterface", "handshake-scratch", source=component,
+            ),
         ],
         doc=(
             f"inbound bus interface of {component}: serves resident "
@@ -228,4 +247,10 @@ def _inbound(
         ),
     )
     behavior.daemon = True
-    return behavior
+    return stamp(
+        behavior,
+        "businterface",
+        "inbound-interface",
+        source=component,
+        detail=f"{interchange} -> {iface} serving (Figure 8)",
+    )

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.errors import RefinementError
+from repro.obs.provenance import stamp
 from repro.partition.partition import Partition
 from repro.refine.naming import NamePool
 from repro.spec.behavior import (
@@ -199,10 +200,20 @@ def _move_child(
     start = pool.fresh(f"{child.name}_start")
     done = pool.fresh(f"{child.name}_done")
     result.signals.append(
-        signal(start, BIT, init=0, doc=f"start handshake for moved {child.name}")
+        stamp(
+            signal(start, BIT, init=0, doc=f"start handshake for moved {child.name}"),
+            "control",
+            "start-signal",
+            source=child.name,
+        )
     )
     result.signals.append(
-        signal(done, BIT, init=0, doc=f"done handshake for moved {child.name}")
+        stamp(
+            signal(done, BIT, init=0, doc=f"done handshake for moved {child.name}"),
+            "control",
+            "done-signal",
+            source=child.name,
+        )
     )
 
     ctrl_name = pool.fresh(f"{child.name}_CTRL")
@@ -213,6 +224,13 @@ def _move_child(
         sassign(start, 0),
         wait_until(var(done).eq(0)),
         doc=f"starts {child.name} on {target_component} and awaits completion",
+    )
+    stamp(
+        ctrl,
+        "control",
+        "ctrl-leaf",
+        source=child.name,
+        detail=f"sequencing stub on {home} for moved {child.name} (Figure 4)",
     )
     composite.replace_child(child.name, ctrl)
     result.leaf_component[ctrl_name] = home
@@ -228,6 +246,13 @@ def _move_child(
         wrapper = _wrap_wrapper(wrapper_name, child, start, done, pool)
         scheme_used = "wrap"
     wrapper.daemon = True
+    stamp(
+        wrapper,
+        "control",
+        f"{scheme_used}-wrapper",
+        source=child.name,
+        detail=f"server wrapper on {target_component} (Figure 4)",
+    )
     result.daemons.append(wrapper)
     return MovedBehavior(
         original=child.name,
@@ -270,15 +295,25 @@ def _wrap_wrapper(
 ) -> CompositeBehavior:
     """Figure 4c: [wait-start, B, set-done] sequenced in an endless
     loop."""
-    wait_leaf = leaf(
-        pool.fresh(f"{child.name}_wait_start"),
-        wait_until(var(start).eq(1)),
+    wait_leaf = stamp(
+        leaf(
+            pool.fresh(f"{child.name}_wait_start"),
+            wait_until(var(start).eq(1)),
+        ),
+        "control",
+        "wait-start-leaf",
+        source=child.name,
     )
-    done_leaf = leaf(
-        pool.fresh(f"{child.name}_set_done"),
-        sassign(done, 1),
-        wait_until(var(start).eq(0)),
-        sassign(done, 0),
+    done_leaf = stamp(
+        leaf(
+            pool.fresh(f"{child.name}_set_done"),
+            sassign(done, 1),
+            wait_until(var(start).eq(0)),
+            sassign(done, 0),
+        ),
+        "control",
+        "set-done-leaf",
+        source=child.name,
     )
     return seq(
         name,

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.errors import RefinementError
 from repro.models.plan import ModelPlan
+from repro.obs.provenance import stamp
 from repro.refine.emitter import ProtocolEmitter
 from repro.refine.naming import NamePool
 from repro.spec.behavior import Behavior, CompositeBehavior, LeafBehavior
@@ -111,7 +112,12 @@ class _LeafRewriter:
             dtype = dtype.element
         name = self.pool.fresh(f"tmp_{variable}")
         self.leaf.add_decl(
-            make_variable(name, dtype, doc=f"fetched copy of {variable}")
+            stamp(
+                make_variable(name, dtype, doc=f"fetched copy of {variable}"),
+                "data",
+                "fetch-tmp",
+                source=variable,
+            )
         )
         self._tmp_names[variable] = name
         return name
@@ -126,7 +132,7 @@ class _LeafRewriter:
 
     def _receive(self, variable: str, index: Optional[Expr], target: Expr) -> CallStmt:
         self.result.calls_inserted += 1
-        return self.emitter.master_call(
+        fetch = self.emitter.master_call(
             self.leaf.name,
             self.component,
             variable,
@@ -134,10 +140,11 @@ class _LeafRewriter:
             target,
             send=False,
         )
+        return stamp(fetch, "data", "fetch-call", source=variable)
 
     def _send(self, variable: str, index: Optional[Expr], value: Expr) -> CallStmt:
         self.result.calls_inserted += 1
-        return self.emitter.master_call(
+        store = self.emitter.master_call(
             self.leaf.name,
             self.component,
             variable,
@@ -145,6 +152,7 @@ class _LeafRewriter:
             value,
             send=True,
         )
+        return stamp(store, "data", "store-call", source=variable)
 
     # -- expression rewriting --------------------------------------------------------
 
@@ -175,7 +183,14 @@ class _LeafRewriter:
                     decl.dtype, ArrayType
                 ) else decl.dtype
                 self.leaf.add_decl(
-                    make_variable(tmp, element, doc=f"element of {expr.base.name}")
+                    stamp(
+                        make_variable(
+                            tmp, element, doc=f"element of {expr.base.name}"
+                        ),
+                        "data",
+                        "element-tmp",
+                        source=expr.base.name,
+                    )
                 )
                 prelude.append(self._receive(expr.base.name, index, var(tmp)))
                 return var(tmp)
@@ -414,8 +429,14 @@ def _refine_composite_transitions(
             )
         tmp = pool.fresh(f"tmp_{variable}")
         composite.add_decl(
-            make_variable(tmp, dtype, doc=f"fetched copy of {variable} "
-                                          f"for {composite.name}'s transitions")
+            stamp(
+                make_variable(tmp, dtype, doc=f"fetched copy of {variable} "
+                                              f"for {composite.name}'s transitions"),
+                "data",
+                "transition-tmp",
+                source=variable,
+                detail=f"Figure 6b fetch target for {composite.name}",
+            )
         )
         tmp_of[variable] = tmp
 
@@ -464,7 +485,14 @@ def _append_fetches(
     child = composite.child(source)
     if isinstance(child, LeafBehavior):
         calls = [
-            emitter.master_call(child.name, home, variable, addr, target, send=False)
+            stamp(
+                emitter.master_call(
+                    child.name, home, variable, addr, target, send=False
+                ),
+                "data",
+                "transition-fetch",
+                source=variable,
+            )
             for variable, addr, target in fetches
         ]
         result.calls_inserted += len(calls)
@@ -473,26 +501,51 @@ def _append_fetches(
 
     original_name = child.name
     child.name = pool.fresh(f"{original_name}_body")
+    stamp(
+        child,
+        "data",
+        "renamed-body",
+        source=original_name,
+        detail="renamed so the fetch wrapper can take its place",
+    )
     if composite_component is not None and original_name in composite_component:
         # the renamed composite keeps its home; the wrapper inherits it
         composite_component[child.name] = composite_component[original_name]
     fetch_leaf_name = pool.fresh(f"{original_name}_fetch")
     calls = [
-        emitter.master_call(fetch_leaf_name, home, variable, addr, target, send=False)
+        stamp(
+            emitter.master_call(
+                fetch_leaf_name, home, variable, addr, target, send=False
+            ),
+            "data",
+            "transition-fetch",
+            source=variable,
+        )
         for variable, addr, target in fetches
     ]
     result.calls_inserted += len(calls)
-    fetch_leaf = make_leaf(
-        fetch_leaf_name,
-        *calls,
-        doc=f"fetches transition-condition variables after {original_name}",
+    fetch_leaf = stamp(
+        make_leaf(
+            fetch_leaf_name,
+            *calls,
+            doc=f"fetches transition-condition variables after {original_name}",
+        ),
+        "data",
+        "fetch-leaf",
+        source=original_name,
+        detail="trailing transition-condition fetch (Figure 6b)",
     )
     leaf_component[fetch_leaf_name] = home
-    wrapper = seq(
-        original_name,
-        [child, fetch_leaf],
-        transitions=[make_transition(child.name, None, fetch_leaf_name)],
-        doc=f"{original_name} plus its trailing condition fetch",
+    wrapper = stamp(
+        seq(
+            original_name,
+            [child, fetch_leaf],
+            transitions=[make_transition(child.name, None, fetch_leaf_name)],
+            doc=f"{original_name} plus its trailing condition fetch",
+        ),
+        "data",
+        "body-wrapper",
+        source=original_name,
     )
     for position, sub in enumerate(composite.subs):
         if sub is child:

@@ -34,6 +34,7 @@ from repro.arch.protocols import (
 )
 from repro.errors import RefinementError
 from repro.models.plan import BusPlan, BusRole, ModelPlan
+from repro.obs.provenance import stamp
 from repro.refine.naming import NamePool
 from repro.spec.builder import assign, call, if_, sassign, wait_for, wait_until, while_
 from repro.spec.expr import Expr, var
@@ -46,9 +47,19 @@ from repro.spec.variable import Variable, signal, variable
 __all__ = ["ProtocolEmitter", "arbiter_signal_names"]
 
 
-def arbiter_signal_names(bus: str, master: str) -> Tuple[str, str]:
-    """(req, ack) signal names of one master's arbitration lines."""
-    return (f"{bus}_req_{master}", f"{bus}_ack_{master}")
+def arbiter_signal_names(
+    bus: str, master: str, pool: NamePool = None
+) -> Tuple[str, str]:
+    """(req, ack) signal names of one master's arbitration lines.
+
+    With a ``pool`` the conventional names are resolved through
+    :meth:`NameAllocator.fixed`, so every refinement procedure deriving
+    them agrees on the resolution even when a user name collides.
+    """
+    req, ack = f"{bus}_req_{master}", f"{bus}_ack_{master}"
+    if pool is not None:
+        return pool.fixed(req), pool.fixed(ack)
+    return req, ack
 
 
 @dataclass
@@ -129,7 +140,7 @@ class ProtocolEmitter:
         from repro.arch.protocols import slave_receive_name, slave_send_name
 
         name = slave_send_name(bus) if send else slave_receive_name(bus)
-        return call(name, payload)
+        return call(self.pool.fixed(name), payload)
 
     def core_master_call(
         self, bus: str, addr_expr: Expr, payload: Expr, send: bool
@@ -139,7 +150,7 @@ class ProtocolEmitter:
         originator's interchange lock."""
         self._core_used.add(bus)
         name = master_send_name(bus) if send else master_receive_name(bus)
-        return call(name, addr_expr, payload)
+        return call(self.pool.fixed(name), addr_expr, payload)
 
     def arbitrated_master_call(
         self, bus: str, leaf: str, addr_expr: Expr, payload: Expr, send: bool
@@ -171,15 +182,13 @@ class ProtocolEmitter:
             )
         return buses[0]
 
-    @staticmethod
-    def _wrapper_name(bus: str, leaf: str, send: bool) -> str:
+    def _wrapper_name(self, bus: str, leaf: str, send: bool) -> str:
         op = "send" if send else "receive"
-        return f"MST_{op}_{bus}_{leaf}"
+        return self.pool.fixed(f"MST_{op}_{bus}_{leaf}")
 
-    @staticmethod
-    def _remote_name(leaf: str, send: bool) -> str:
+    def _remote_name(self, leaf: str, send: bool) -> str:
         op = "send" if send else "receive"
-        return f"REMOTE_{op}_{leaf}"
+        return self.pool.fixed(f"REMOTE_{op}_{leaf}")
 
     # -- queries ------------------------------------------------------------------
 
@@ -193,19 +202,21 @@ class ProtocolEmitter:
         out: List[Variable] = []
         for bus in self.arbitrated_buses():
             for master in self.masters[bus]:
-                req, ack = arbiter_signal_names(bus, master)
+                req, ack = arbiter_signal_names(bus, master, self.pool)
                 out.append(signal(req, BIT, init=0, doc=f"{master} requests {bus}"))
                 out.append(signal(ack, BIT, init=0, doc=f"{bus} granted to {master}"))
         if self.lock_clients:
             interchange = self._interchange_bus().name
             for client in self.lock_clients:
-                req, ack = arbiter_signal_names(interchange, client)
+                req, ack = arbiter_signal_names(interchange, client, self.pool)
                 out.append(
                     signal(req, BIT, init=0, doc=f"{client} requests remote lock")
                 )
                 out.append(
                     signal(ack, BIT, init=0, doc=f"remote lock granted to {client}")
                 )
+        for decl in out:
+            stamp(decl, "emitter", "arbitration-signal")
         return out
 
     # -- finalisation ---------------------------------------------------------------
@@ -223,6 +234,14 @@ class ProtocolEmitter:
                 protocol=self.protocol.name,
             )
             for sub in self.protocol.subprograms(net):
+                sub.name = self.pool.fixed(sub.name)
+                stamp(
+                    sub,
+                    "emitter",
+                    "core-protocol",
+                    source=bus_name,
+                    detail=f"{self.protocol.name} core routine on {bus_name}",
+                )
                 refined.ensure_subprogram(sub)
 
         arbitrated = set(self.arbitrated_buses())
@@ -318,21 +337,28 @@ class ProtocolEmitter:
         self, bus: str, leaf: str, send: bool, arbitrated: bool
     ) -> Subprogram:
         core = master_send_name(bus) if send else master_receive_name(bus)
-        inner = call(core, var("addr"), var("data"))
+        inner = call(self.pool.fixed(core), var("addr"), var("data"))
         decls = []
         if not arbitrated:
             stmts = [inner]
             doc = f"{leaf}'s unarbitrated access to {bus}"
         else:
-            req, ack = arbiter_signal_names(bus, leaf)
+            req, ack = arbiter_signal_names(bus, leaf, self.pool)
             stmts, decls = self._acquire_release(bus, req, ack, inner)
             doc = f"{leaf}'s arbitrated access to {bus} (Req/Ack, Figure 7)"
-        return Subprogram(
+        sub = Subprogram(
             self._wrapper_name(bus, leaf, send),
             params=self._params(bus, send),
             stmt_body=stmts,
             decls=decls,
             doc=doc,
+        )
+        return stamp(
+            sub,
+            "emitter",
+            "master-wrapper",
+            source=leaf,
+            detail=f"{'arbitrated' if arbitrated else 'direct'} access to {bus}",
         )
 
     def _make_remote(self, leaf: str, send: bool) -> Subprogram:
@@ -340,7 +366,7 @@ class ProtocolEmitter:
         transaction (deadlock-freedom: lock > iface in the global
         resource order)."""
         interchange = self._interchange_bus().name
-        req, ack = arbiter_signal_names(interchange, leaf)
+        req, ack = arbiter_signal_names(interchange, leaf, self.pool)
         # the iface wrapper this leaf already registered is found by name
         iface_bus = None
         for bus, masters in self.masters.items():
@@ -355,7 +381,7 @@ class ProtocolEmitter:
             self._wrapper_name(iface_bus, leaf, send), var("addr"), var("data")
         )
         stmts, decls = self._acquire_release(interchange, req, ack, inner)
-        return Subprogram(
+        sub = Subprogram(
             self._remote_name(leaf, send),
             params=self._params(iface_bus, send),
             stmt_body=stmts,
@@ -364,6 +390,13 @@ class ProtocolEmitter:
                 f"{leaf}'s cross-partition access: global remote lock, then "
                 f"the {iface_bus} transaction (message passing, Figure 8)"
             ),
+        )
+        return stamp(
+            sub,
+            "emitter",
+            "remote-wrapper",
+            source=leaf,
+            detail=f"interchange lock + {iface_bus} transaction",
         )
 
 

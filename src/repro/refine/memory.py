@@ -26,6 +26,7 @@ from typing import List, Tuple
 from repro.arch.protocols import bus_signal_names
 from repro.errors import RefinementError
 from repro.models.plan import MemoryPlan, ModelPlan
+from repro.obs.provenance import stamp
 from repro.refine.emitter import ProtocolEmitter
 from repro.refine.naming import NamePool
 from repro.spec.behavior import Behavior, LeafBehavior
@@ -60,7 +61,13 @@ def build_memory_behavior(
             f"{memory.kind} memory {memory.name} "
             f"({len(memory.variables)} variable(s), 1 port)"
         )
-        return server
+        return stamp(
+            server,
+            "memory",
+            "memory-server",
+            source=memory.name,
+            detail=f"single-port {memory.kind} memory (Figure 5c)",
+        )
 
     ports = [
         _port_server(
@@ -85,7 +92,13 @@ def build_memory_behavior(
         ),
     )
     composite.daemon = True
-    return composite
+    return stamp(
+        composite,
+        "memory",
+        "memory-server",
+        source=memory.name,
+        detail=f"{len(ports)}-port {memory.kind} memory",
+    )
 
 
 def _port_server(
@@ -116,10 +129,16 @@ def _port_server(
             [wait_until(start.eq(0))],
         ),
     ]
-    return LeafBehavior(
-        name,
-        [loop_forever(body)],
-        doc=f"serves addresses {lo}..{hi} on {bus}",
+    return stamp(
+        LeafBehavior(
+            name,
+            [loop_forever(body)],
+            doc=f"serves addresses {lo}..{hi} on {bus}",
+        ),
+        "memory",
+        "port-server",
+        source=memory.name,
+        detail=f"addresses {lo}..{hi} on {bus}",
     )
 
 

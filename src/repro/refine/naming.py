@@ -2,38 +2,70 @@
 
 Refinement introduces many named objects (``B_CTRL``, ``B_NEW``,
 ``B_start``/``B_done`` signals, ``tmp`` variables, memory/arbiter/
-interface behaviors).  A :class:`NamePool` guarantees they never
-collide with user names or each other while keeping the paper's
-naming conventions readable.
+interface behaviors, protocol wrapper subprograms).  A single
+spec-wide :class:`NameAllocator` guarantees they never collide with
+user names or each other while keeping the paper's naming conventions
+readable.
+
+Two allocation modes exist:
+
+* :meth:`NameAllocator.fresh` — every call yields a new unique name
+  (``base``, ``base_2``, ``base_3``, ...);
+* :meth:`NameAllocator.fixed` — the first call resolves ``base``
+  (uniquifying it against user names if needed) and every later call
+  for the same ``base`` returns the *same* resolved name.  This is how
+  conventional derived names (``MST_send_b1_B1``, ``b1_req_B1``) are
+  routed through the allocator: several refinement procedures can
+  independently derive the same conventional name and agree on its
+  resolution, yet a user specification that already uses the name can
+  never be shadowed.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Set
+from typing import Dict, Iterable, Set
 
 from repro.spec.specification import Specification
 
-__all__ = ["NamePool"]
+__all__ = ["NameAllocator", "NamePool"]
 
 
-class NamePool:
+class NameAllocator:
     """Allocates unique identifiers against a taken-set."""
 
     def __init__(self, taken: Iterable[str] = ()):
         self._taken: Set[str] = set(taken)
+        #: base -> resolved name handed out by :meth:`fixed`
+        self._fixed: Dict[str, str] = {}
 
     @classmethod
-    def for_specification(cls, spec: Specification) -> "NamePool":
+    def for_specification(cls, spec: Specification) -> "NameAllocator":
         """Seed with every name visible anywhere in ``spec``."""
+        from repro.spec.stmt import For
+        from repro.spec.types import EnumType
+        from repro.spec.visitor import walk_statements
+
         taken: Set[str] = set()
         taken.update(b.name for b in spec.behaviors())
         taken.update(v.name for v in spec.variables)
         taken.update(spec.subprograms)
-        for _, decl in spec.all_declared_variables():
+        bodies = []
+        for behavior, decl in spec.all_declared_variables():
             taken.add(decl.name)
+            if isinstance(decl.dtype, EnumType):
+                taken.add(decl.dtype.name)
+        for behavior in spec.behaviors():
+            if behavior.is_leaf:
+                bodies.append(behavior.stmt_body)
         for sub in spec.subprograms.values():
             taken.update(p.name for p in sub.params)
             taken.update(d.name for d in sub.decls)
+            bodies.append(sub.stmt_body)
+        # loop variables are implicitly declared scope names too
+        for body in bodies:
+            for stmt in walk_statements(body):
+                if isinstance(stmt, For):
+                    taken.add(stmt.variable)
         return cls(taken)
 
     def fresh(self, base: str) -> str:
@@ -48,9 +80,27 @@ class NamePool:
         self._taken.add(name)
         return name
 
+    def fixed(self, base: str) -> str:
+        """The stable resolution of a conventional derived name.
+
+        The first caller allocates (uniquifying against the taken-set);
+        every subsequent call with the same ``base`` returns the same
+        resolved name, so independent refinement procedures deriving
+        the same conventional name always agree.
+        """
+        resolved = self._fixed.get(base)
+        if resolved is None:
+            resolved = self.fresh(base)
+            self._fixed[base] = resolved
+        return resolved
+
     def reserve(self, name: str) -> None:
         """Mark an externally chosen name as taken."""
         self._taken.add(name)
 
     def is_taken(self, name: str) -> bool:
         return name in self._taken
+
+
+#: Backward-compatible alias (the pre-allocator name).
+NamePool = NameAllocator

@@ -23,6 +23,7 @@ emits an inconsistent model.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from typing import Dict, List, Optional
 
 from repro.arch.allocation import Allocation, default_allocation_for
@@ -41,6 +42,8 @@ from repro.graph.access_graph import AccessGraph
 from repro.graph.analysis import classify_variables
 from repro.models.impl_models import ImplementationModel
 from repro.models.plan import BusRole, ModelPlan
+from repro.obs.provenance import stamp
+from repro.obs.trace import NULL_TRACER, SpanTracer
 from repro.partition.partition import Partition
 from repro.refine.arbiter import build_arbiter
 from repro.refine.businterface import build_bus_interfaces
@@ -71,6 +74,7 @@ class RefinedDesign:
         data: DataResult,
         observation_map: Dict[str, str],
         refinement_seconds: float,
+        procedure_seconds: Optional[Dict[str, float]] = None,
     ):
         self.original = original
         self.spec = spec
@@ -84,6 +88,9 @@ class RefinedDesign:
         self.observation_map = observation_map
         #: wall-clock CPU time of the refinement itself (Figure 10)
         self.refinement_seconds = refinement_seconds
+        #: per-procedure breakdown of that time (control, data, memory,
+        #: businterface, arbiter, emitter, ...), first-run order
+        self.procedure_seconds: Dict[str, float] = dict(procedure_seconds or {})
 
     def line_counts(self) -> Dict[str, int]:
         """Original vs refined size in printed source lines (the
@@ -95,6 +102,19 @@ class RefinedDesign:
             "refined": refined,
             "ratio": round(refined / max(original, 1), 1),
         }
+
+    def procedure_table(self) -> str:
+        """The Figure 10 CPU time decomposed per refinement procedure."""
+        if not self.procedure_seconds:
+            return "no per-procedure timings recorded"
+        width = max(len(name) for name in self.procedure_seconds)
+        total = sum(self.procedure_seconds.values())
+        lines = [f"{'procedure':<{width}}  ms      share"]
+        for name, seconds in self.procedure_seconds.items():
+            share = seconds / total if total else 0.0
+            lines.append(f"{name:<{width}}  {seconds * 1e3:7.2f} {share:6.1%}")
+        lines.append(f"{'total':<{width}}  {total * 1e3:7.2f} {1:6.1%}")
+        return "\n".join(lines)
 
     def describe(self) -> str:
         sizes = self.line_counts()
@@ -130,6 +150,9 @@ class Refiner:
         handshake.
     control_scheme:
         Figure 4b vs 4c for moved leaf behaviors.
+    tracer:
+        Optional :class:`repro.obs.trace.SpanTracer`; each refinement
+        procedure runs inside its own span (category ``"refine"``).
     """
 
     def __init__(
@@ -140,6 +163,7 @@ class Refiner:
         allocation: Optional[Allocation] = None,
         protocol="handshake",
         control_scheme: ControlScheme = ControlScheme.AUTO,
+        tracer: Optional[SpanTracer] = None,
     ):
         self.spec = spec
         self.partition = partition
@@ -149,15 +173,38 @@ class Refiner:
         ).ensure(partition.components())
         self.protocol: Protocol = resolve_protocol(protocol)
         self.control_scheme = control_scheme
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    @contextmanager
+    def _procedure(self, seconds: Dict[str, float], name: str, **attrs):
+        """One refinement procedure: a tracer span plus a wall-clock
+        entry in the Figure 10 per-procedure breakdown."""
+        t0 = time.perf_counter()
+        with self.tracer.span(name, category="refine", **attrs) as span:
+            try:
+                yield span
+            finally:
+                seconds[name] = (
+                    seconds.get(name, 0.0) + time.perf_counter() - t0
+                )
 
     def run(self) -> RefinedDesign:
         started = time.perf_counter()
-        self.spec.validate()
-        graph = AccessGraph.from_specification(self.spec)
-        classification = classify_variables(graph, self.partition)
-        plan = self.model.build_plan(
-            self.spec, self.partition, classification=classification, graph=graph
-        )
+        seconds: Dict[str, float] = {}
+
+        with self._procedure(seconds, "validate"):
+            self.spec.validate()
+        with self._procedure(
+            seconds, "plan", model=self.model.name
+        ) as span:
+            graph = AccessGraph.from_specification(self.spec)
+            classification = classify_variables(graph, self.partition)
+            plan = self.model.build_plan(
+                self.spec, self.partition,
+                classification=classification, graph=graph,
+            )
+            span.set("buses", len(plan.buses))
+            span.set("memories", len(plan.memories))
 
         if (
             plan.buses_with_role(BusRole.INTERCHANGE)
@@ -176,84 +223,116 @@ class Refiner:
         self._reserve_generated_names(plan, pool)
 
         # 1. control-related refinement (§4.1)
-        control = control_refine(
-            refined, self.partition, pool, scheme=self.control_scheme
-        )
+        with self._procedure(seconds, "control") as span:
+            control = control_refine(
+                refined, self.partition, pool, scheme=self.control_scheme
+            )
+            span.set("moved", len(control.moved))
 
         # 2. data-related refinement (§4.2)
         emitter = ProtocolEmitter(plan, self.protocol, pool)
-        data = data_refine(
-            refined,
-            plan,
-            emitter,
-            pool,
-            control.leaf_component,
-            control.composite_component,
-            extra_roots=control.daemons,
-        )
+        with self._procedure(seconds, "data") as span:
+            data = data_refine(
+                refined,
+                plan,
+                emitter,
+                pool,
+                control.leaf_component,
+                control.composite_component,
+                extra_roots=control.daemons,
+            )
+            span.set("calls_inserted", data.calls_inserted)
+            span.set("rewritten_leaves", len(data.rewritten_leaves))
 
         # 3. architecture-related refinement (§4.3)
-        memories = [
-            build_memory_behavior(memory, plan, emitter, pool)
-            for memory in plan.memories.values()
-        ]
-        interfaces = build_bus_interfaces(plan, emitter, pool)
+        with self._procedure(seconds, "memory") as span:
+            memories = [
+                build_memory_behavior(memory, plan, emitter, pool)
+                for memory in plan.memories.values()
+            ]
+            span.set("memories", len(memories))
+        with self._procedure(seconds, "businterface") as span:
+            interfaces = build_bus_interfaces(plan, emitter, pool)
+            span.set("interfaces", len(interfaces))
         recovery = getattr(self.protocol, "recovery", None)
-        arbiters = []
-        for bus in sorted(emitter.arbitrated_buses()):
-            arbiters.append(
-                build_arbiter(
-                    bus, emitter.masters[bus], pool, recovery=recovery
+        with self._procedure(seconds, "arbiter") as span:
+            arbiters = []
+            for bus in sorted(emitter.arbitrated_buses()):
+                arbiters.append(
+                    build_arbiter(
+                        bus, emitter.masters[bus], pool, recovery=recovery
+                    )
                 )
-            )
-        if emitter.lock_clients:
-            interchange = plan.buses_with_role(BusRole.INTERCHANGE)[0]
-            arbiters.append(
-                build_arbiter(
-                    interchange.name,
-                    emitter.lock_clients,
-                    pool,
-                    recovery=recovery,
+            if emitter.lock_clients:
+                interchange = plan.buses_with_role(BusRole.INTERCHANGE)[0]
+                arbiters.append(
+                    build_arbiter(
+                        interchange.name,
+                        emitter.lock_clients,
+                        pool,
+                        recovery=recovery,
+                    )
                 )
-            )
+            span.set("arbiters", len(arbiters))
 
         # materialise protocol subprograms, signals, and storage moves
-        emitter.finalize(refined)
-        for bus_plan in plan.buses.values():
-            net = BusNet(
-                bus_plan.name,
-                data_width=bus_plan.data_width,
-                addr_width=bus_plan.addr_width,
-                protocol=self.protocol.name,
-            )
-            refined.variables.extend(bus_signals(net))
-            refined.variables.extend(self.protocol.extra_signals(net))
-        refined.variables.extend(emitter.arbitration_signals())
-        placed = set(plan.placement)
-        refined.variables = [
-            v for v in refined.variables if v.name not in placed
-        ]
+        with self._procedure(seconds, "emitter") as span:
+            emitter.finalize(refined)
+            for bus_plan in plan.buses.values():
+                net = BusNet(
+                    bus_plan.name,
+                    data_width=bus_plan.data_width,
+                    addr_width=bus_plan.addr_width,
+                    protocol=self.protocol.name,
+                )
+                for decl in bus_signals(net):
+                    refined.variables.append(
+                        stamp(decl, "emitter", "bus-signal",
+                              source=bus_plan.name)
+                    )
+                for decl in self.protocol.extra_signals(net):
+                    refined.variables.append(
+                        stamp(decl, "emitter", "protocol-signal",
+                              source=bus_plan.name)
+                    )
+            refined.variables.extend(emitter.arbitration_signals())
+            placed = set(plan.placement)
+            refined.variables = [
+                v for v in refined.variables if v.name not in placed
+            ]
+            span.set("subprograms", len(refined.subprograms))
 
         # assemble the simulatable system top
-        system_children: List[Behavior] = [refined.top]
-        system_children.extend(control.daemons)
-        system_children.extend(memories)
-        system_children.extend(interfaces)
-        system_children.extend(arbiters)
-        system = CompositeBehavior(
-            pool.fresh(f"{self.spec.name}_system"),
-            system_children,
-            mode=CompositionMode.CONCURRENT,
-            doc=(
-                "refined system: home partition, moved-behavior servers, "
-                "memories, bus interfaces and arbiters"
-            ),
-        )
-        refined.top = system
-        refined.link()
-        refined.validate()
+        with self._procedure(seconds, "assemble") as span:
+            system_children: List[Behavior] = [refined.top]
+            system_children.extend(control.daemons)
+            system_children.extend(memories)
+            system_children.extend(interfaces)
+            system_children.extend(arbiters)
+            system = CompositeBehavior(
+                pool.fresh(f"{self.spec.name}_system"),
+                system_children,
+                mode=CompositionMode.CONCURRENT,
+                doc=(
+                    "refined system: home partition, moved-behavior servers, "
+                    "memories, bus interfaces and arbiters"
+                ),
+            )
+            stamp(
+                system,
+                "refiner",
+                "system-top",
+                source=self.spec.top.name,
+                detail="concurrent composition of the refined system",
+            )
+            refined.top = system
+            refined.link()
+            refined.validate()
+            netlist = self._build_netlist(
+                plan, emitter, memories, interfaces, arbiters
+            )
+            span.set("behaviors", sum(1 for _ in system.iter_tree()))
 
-        netlist = self._build_netlist(plan, emitter, memories, interfaces, arbiters)
         observation_map = {
             variable: memory_name
             for variable, memory_name in plan.placement.items()
@@ -270,6 +349,7 @@ class Refiner:
             data=data,
             observation_map=observation_map,
             refinement_seconds=elapsed,
+            procedure_seconds=seconds,
         )
 
     # -- helpers -----------------------------------------------------------------

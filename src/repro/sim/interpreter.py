@@ -273,6 +273,7 @@ class Simulator:
         require_completion: bool = False,
         metrics=None,
         tracer=None,
+        observer=None,
     ) -> SimulationResult:
         """Execute the specification to quiescence.
 
@@ -286,12 +287,17 @@ class Simulator:
         ``metrics`` / ``tracer`` attach a
         :class:`repro.sim.metrics.SimMetrics` counter bag / a
         :class:`repro.sim.metrics.Tracer` event recorder to the run's
-        kernel; with ``require_completion=True`` a quiescent run whose
+        kernel; ``observer`` attaches a signal-change observer such as
+        :class:`repro.obs.vcd.VCDWriter` (waveform export); with
+        ``require_completion=True`` a quiescent run whose
         root process never finished raises a structured
         :class:`repro.errors.DeadlockError` instead of returning an
         incomplete result.
         """
-        kernel = Kernel(injector=injector, metrics=metrics, tracer=tracer)
+        kernel = Kernel(
+            injector=injector, metrics=metrics, tracer=tracer,
+            observer=observer,
+        )
         self._kernel = kernel
         self._frames = {}
         self._trace = []

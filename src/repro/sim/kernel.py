@@ -225,6 +225,13 @@ class Kernel:
     ``tracer`` a :class:`repro.sim.metrics.Tracer` event recorder —
     both cost one ``is not None`` check per scheduler event when
     absent.
+
+    ``observer`` taps the signal-change stream: it must provide
+    ``on_register(name, initial)`` (called as signals are declared) and
+    ``on_change(time, name, value)`` (called for every applied update
+    that changed a signal's value).  :class:`repro.obs.vcd.VCDWriter`
+    is one such observer; like metrics, a detached observer costs one
+    ``is not None`` check per delta cycle.
     """
 
     def __init__(
@@ -233,6 +240,7 @@ class Kernel:
         trace_depth: int = DEFAULT_TRACE_DEPTH,
         metrics=None,
         tracer=None,
+        observer=None,
     ):
         self.now: float = 0.0
         self._signals: Dict[str, object] = {}
@@ -255,6 +263,7 @@ class Kernel:
         self.injector = injector
         self.metrics = metrics
         self.tracer = tracer
+        self.observer = observer
         #: ring buffer of (kind, detail, time) scheduler events
         self._trace: deque = deque(maxlen=max(1, trace_depth))
         #: delta cycles since time last advanced (storm detection)
@@ -268,6 +277,8 @@ class Kernel:
         if name in self._signals:
             raise SimulationError(f"signal {name!r} registered twice")
         self._signals[name] = initial
+        if self.observer is not None:
+            self.observer.on_register(name, initial)
 
     def has_signal(self, name: str) -> bool:
         return name in self._signals
@@ -472,6 +483,7 @@ class Kernel:
         metrics = self.metrics
         injector = self.injector
         tracer = self.tracer
+        observer = self.observer
         ready = self._ready
         trace_append = self._trace.append
         suspend = self._suspend
@@ -611,6 +623,9 @@ class Kernel:
                         tracer.record(
                             "delta", _format_detail(changed), self.now
                         )
+                    if observer is not None:
+                        for name in changed:
+                            observer.on_change(self.now, name, signals[name])
                     if not candidates:
                         woken: Sequence[Process] = ()
                     elif len(candidates) == 1:

@@ -26,10 +26,11 @@ between runs with :meth:`SimMetrics.reset`.
 
 from __future__ import annotations
 
-import time as _time
 from contextlib import contextmanager
 from fnmatch import fnmatchcase
 from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.obs.trace import SpanTracer
 
 __all__ = [
     "DEFAULT_BUS_SIGNAL_PATTERNS",
@@ -245,44 +246,44 @@ class PhaseTimer:
 
     Re-entering a phase name accumulates into the same bucket; phase
     order of first entry is preserved.
+
+    A PhaseTimer is an adapter over :class:`repro.obs.trace.SpanTracer`
+    — each phase is a span of category ``"phase"``, so anything traced
+    *inside* a phase (e.g. the Refiner's per-procedure spans when it is
+    handed the same ``tracer``) nests under it and the whole run can be
+    exported as Chrome trace-event JSON.  The phase accounting itself
+    only aggregates root phase spans, keeping the historical contract.
     """
 
-    __slots__ = ("_seconds", "_order")
+    __slots__ = ("tracer",)
 
-    def __init__(self):
-        self._seconds: Dict[str, float] = {}
-        self._order: List[str] = []
+    def __init__(self, tracer: Optional[SpanTracer] = None):
+        self.tracer = tracer if tracer is not None else SpanTracer()
 
     @contextmanager
     def phase(self, name: str):
-        started = _time.perf_counter()
-        try:
+        with self.tracer.span(name, category="phase"):
             yield self
-        finally:
-            elapsed = _time.perf_counter() - started
-            if name not in self._seconds:
-                self._seconds[name] = 0.0
-                self._order.append(name)
-            self._seconds[name] += elapsed
 
     def seconds(self, name: str) -> float:
-        return self._seconds.get(name, 0.0)
+        return self.as_dict().get(name, 0.0)
 
     @property
     def total(self) -> float:
-        return sum(self._seconds.values())
+        return sum(self.as_dict().values())
 
     def as_dict(self) -> Dict[str, float]:
         """Phase -> seconds, in first-entry order."""
-        return {name: self._seconds[name] for name in self._order}
+        return self.tracer.aggregate(category="phase")
 
     def describe(self) -> str:
-        if not self._order:
+        phases = self.as_dict()
+        if not phases:
             return "no phases recorded"
-        width = max(len(name) for name in self._order)
+        width = max(len(name) for name in phases)
         lines = [
-            f"{name:<{width}}  {self._seconds[name] * 1e3:10.3f} ms"
-            for name in self._order
+            f"{name:<{width}}  {seconds * 1e3:10.3f} ms"
+            for name, seconds in phases.items()
         ]
         lines.append(f"{'total':<{width}}  {self.total * 1e3:10.3f} ms")
         return "\n".join(lines)

@@ -160,6 +160,15 @@ class Behavior:
         """Deep copy of this subtree (parent links left unset)."""
         raise NotImplementedError
 
+    def _copy_marks(self, clone: "Behavior") -> "Behavior":
+        """Carry the daemon flag and any provenance stamp (see
+        :mod:`repro.obs.provenance`) onto ``clone``."""
+        clone.daemon = self.daemon
+        record = getattr(self, "_provenance", None)
+        if record is not None:
+            clone._provenance = record
+        return clone
+
     def __repr__(self) -> str:
         kind = "leaf" if self.is_leaf else "composite"
         return f"<{kind} behavior {self.name!r}>"
@@ -189,7 +198,7 @@ class LeafBehavior(Behavior):
             [decl.copy() for decl in self.decls],
             self.doc,
         )
-        clone.daemon = self.daemon
+        self._copy_marks(clone)
         return clone
 
 
@@ -304,5 +313,5 @@ class CompositeBehavior(Behavior):
             [decl.copy() for decl in self.decls],
             self.doc,
         )
-        clone.daemon = self.daemon
+        self._copy_marks(clone)
         return clone

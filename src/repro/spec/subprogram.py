@@ -92,14 +92,19 @@ class Subprogram:
         )
 
     def copy(self) -> "Subprogram":
-        """An independent copy (bodies are immutable and shared)."""
-        return Subprogram(
+        """An independent copy (bodies are immutable and shared);
+        carries any provenance stamp (:mod:`repro.obs.provenance`)."""
+        clone = Subprogram(
             self.name,
             self.params,
             self.stmt_body,
             tuple(decl.copy() for decl in self.decls),
             self.doc,
         )
+        record = getattr(self, "_provenance", None)
+        if record is not None:
+            clone._provenance = record
+        return clone
 
     def __str__(self) -> str:
         rendered = ", ".join(str(param) for param in self.params)

@@ -89,8 +89,13 @@ class Variable:
         )
 
     def copy(self) -> "Variable":
-        """An independent copy (variables are mutable containers)."""
-        return self.renamed(self.name)
+        """An independent copy (variables are mutable containers);
+        carries any provenance stamp (:mod:`repro.obs.provenance`)."""
+        clone = self.renamed(self.name)
+        record = getattr(self, "_provenance", None)
+        if record is not None:
+            clone._provenance = record
+        return clone
 
     def __str__(self) -> str:
         keyword = "signal" if self.is_signal else "variable"

@@ -210,3 +210,94 @@ class TestProfile:
 
     def test_unknown_design(self, capsys):
         assert main(["profile", "--design", "Design9", "-o", ""]) == 2
+
+    def test_json_flag_prints_json(self, capsys):
+        import json
+
+        assert main(["profile", "--design", "Design1", "--json",
+                     "-o", ""]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["design"] == "Design1"
+        assert "refine_procedure_seconds" in data
+
+
+class TestTrace:
+    def test_trace_writes_valid_chrome_json(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.trace import validate_chrome_trace
+
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", "--design", "Design1", "--model", "Model2",
+                     "-o", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        # one span per pipeline stage and per refinement procedure
+        for name in ("parse", "validate", "partition", "refine",
+                     "estimate", "export-c", "export-vhdl",
+                     "simulate-original", "simulate-refined",
+                     "control", "data", "memory", "businterface",
+                     "arbiter", "emitter", "assemble"):
+            assert name in out, f"missing span {name}"
+        data = json.loads(out_file.read_text())
+        assert validate_chrome_trace(data) >= 16
+        names = {e["name"] for e in data["traceEvents"] if e["ph"] == "X"}
+        assert "emitter" in names and "simulate-refined" in names
+
+    def test_trace_without_output_file(self, capsys):
+        assert main(["trace", "--design", "Design1", "-o", ""]) == 0
+        assert "written to" not in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_explain_single_line(self, capsys):
+        assert main(["explain", "1", "--design", "Design1"]) == 0
+        out = capsys.readouterr().out
+        assert "line 1:" in out
+        assert "origin:" in out
+
+    def test_explain_file_colon_line(self, capsys):
+        assert main(["explain", "refined.sp:3", "--design", "Design1"]) == 0
+        assert "line 3:" in capsys.readouterr().out
+
+    def test_explain_all_summary(self, capsys):
+        assert main(["explain", "--design", "Design1", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "lines" in out and "emitter" in out
+
+    def test_explain_check_passes(self, capsys):
+        assert main(["explain", "--design", "Design1", "--model", "Model3",
+                     "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "resolve to a refinement step" in out
+        assert "provenance:" in out
+
+    def test_explain_requires_a_line(self, capsys):
+        assert main(["explain", "--design", "Design1"]) == 2
+
+    def test_explain_rejects_bad_line(self, capsys):
+        assert main(["explain", "abc", "--design", "Design1"]) == 2
+
+
+class TestSimulateVcd:
+    def test_vcd_of_refined_design_round_trips(self, capsys, tmp_path):
+        from repro.obs.vcd import parse_vcd
+
+        refined_file = tmp_path / "refined.sp"
+        assert main(["refine", "--design", "Design1", "--model", "Model1",
+                     "-o", str(refined_file)]) == 0
+        vcd_file = tmp_path / "waves.vcd"
+        assert main(["simulate", str(refined_file),
+                     "--vcd", str(vcd_file)]) == 0
+        out = capsys.readouterr().out
+        assert "VCD waveform written" in out
+        data = parse_vcd(vcd_file.read_text())
+        assert data.signals
+        assert sum(len(s.changes) for s in data.signals.values()) > 0
+
+
+class TestFigure10Breakdown:
+    def test_breakdown_table(self, capsys):
+        assert main(["figure10", "--breakdown", "--no-paper"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10 breakdown" in out
+        assert "emitter" in out and "assemble" in out

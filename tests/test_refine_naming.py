@@ -1,0 +1,194 @@
+"""Spec-wide name allocation: no composed refinement emits duplicates.
+
+The regression the ISSUE names: generated names used to be uniquified
+per-pass, so two passes could independently emit the same identifier.
+All fresh-name generation now routes through one spec-wide
+:class:`repro.refine.naming.NameAllocator`; these tests pin the
+allocator semantics and assert the global no-duplicate invariant over
+composed control+data+memory+arbiter refinement — including an
+adversarial specification whose *user* names squat on the generator's
+conventional names.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.apps.medical import all_designs, medical_specification
+from repro.models import ALL_MODELS
+from repro.partition import Partition
+from repro.refine import Refiner
+from repro.refine.naming import NameAllocator, NamePool
+from repro.sim.equivalence import check_equivalence
+from repro.spec.builder import assign, leaf, on_complete, seq, spec, transition
+from repro.spec.expr import var
+from repro.spec.types import int_type
+from repro.spec.variable import Role, variable
+
+
+def scope_problems(s):
+    """Name-collision violations of one specification.
+
+    The refined language has one global namespace for behaviors,
+    spec-level variables/signals and subprograms; behavior-local decls
+    and subprogram params/decls are scoped but must neither repeat
+    within their scope nor shadow a global name.
+    """
+    glob = Counter()
+    for behavior in s.behaviors():
+        glob[behavior.name] += 1
+    for v in s.variables:
+        glob[v.name] += 1
+    for name in s.subprograms:
+        glob[name] += 1
+    problems = {name: count for name, count in glob.items() if count > 1}
+    for behavior in s.behaviors():
+        local = Counter(d.name for d in behavior.decls)
+        for name, count in local.items():
+            if count > 1 or name in glob:
+                problems[f"{behavior.name}.{name}"] = count
+    for sub in s.subprograms.values():
+        local = Counter(
+            [p.name for p in sub.params] + [d.name for d in sub.decls]
+        )
+        for name, count in local.items():
+            if count > 1 or name in glob:
+                problems[f"{sub.name}({name})"] = count
+    return problems
+
+
+class TestNameAllocator:
+    def test_fresh_uniquifies(self):
+        pool = NameAllocator(["tmp"])
+        assert pool.fresh("tmp") == "tmp_2"
+        assert pool.fresh("tmp") == "tmp_3"
+        assert pool.fresh("other") == "other"
+        assert pool.is_taken("tmp_2")
+
+    def test_fixed_is_memoized(self):
+        pool = NameAllocator(["MST_send_b1_A"])
+        first = pool.fixed("MST_send_b1_A")
+        assert first == "MST_send_b1_A_2"  # user name never shadowed
+        # independent callers deriving the same conventional name agree
+        assert pool.fixed("MST_send_b1_A") == first
+        assert pool.fixed("free") == "free"
+        assert pool.fixed("free") == "free"
+
+    def test_fresh_after_fixed_stays_unique(self):
+        pool = NameAllocator()
+        fixed = pool.fixed("req")
+        assert pool.fresh("req") != fixed
+
+    def test_reserve(self):
+        pool = NameAllocator()
+        pool.reserve("held")
+        assert pool.is_taken("held")
+        assert pool.fresh("held") == "held_2"
+
+    def test_namepool_alias(self):
+        assert NamePool is NameAllocator
+
+    def test_for_specification_seeds_every_scope(self):
+        source = medical_specification()
+        source.validate()
+        pool = NameAllocator.for_specification(source)
+        # behavior, spec variable and subprogram names are all taken
+        assert pool.fresh("Acquire") == "Acquire_2"
+        assert pool.fresh("display_out") == "display_out_2"
+
+
+@pytest.fixture(scope="module")
+def medical():
+    source = medical_specification()
+    source.validate()
+    return source
+
+
+class TestComposedRefinementNeverCollides:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    @pytest.mark.parametrize("design", ["Design1", "Design2", "Design3"])
+    def test_medical_cells(self, medical, design, model):
+        refined = Refiner(
+            medical, all_designs(medical)[design], model
+        ).run()
+        assert scope_problems(refined.spec) == {}
+
+
+@pytest.fixture(scope="module")
+def adversarial_design():
+    """User names squat on the conventional generated names:
+    ``MST_send_b1_A`` (master-wrapper subprogram) and ``b1_req_A``
+    (arbitration signal) are ordinary user variables here, and both are
+    live across the cut so data refinement must traffic them too."""
+    a = leaf(
+        "A",
+        assign("x", var("inp") + 2),
+        assign("MST_send_b1_A", var("x")),
+    )
+    b = leaf("B", assign("y", var("x") * 3))
+    c = leaf(
+        "C",
+        assign("out", var("y") + var("MST_send_b1_A") + var("b1_req_A")),
+    )
+    top = seq(
+        "Main",
+        [a, b, c],
+        transitions=[
+            transition("A", None, "B"),
+            transition("B", None, "C"),
+            on_complete("C"),
+        ],
+    )
+    design = spec(
+        "Adversarial",
+        top,
+        variables=[
+            variable("inp", int_type(), init=3, role=Role.INPUT),
+            variable("out", int_type(), init=0, role=Role.OUTPUT),
+            variable("x", int_type(), init=0),
+            variable("y", int_type(), init=0),
+            variable("MST_send_b1_A", int_type(), init=0),
+            variable("b1_req_A", int_type(), init=7),
+        ],
+    )
+    design.validate()
+    partition = Partition.from_mapping(
+        design,
+        {
+            "A": "P1",
+            "B": "P2",
+            "C": "P1",
+            "x": "P1",
+            "y": "P2",
+            "MST_send_b1_A": "P1",
+            "b1_req_A": "P1",
+        },
+        name="adversarial",
+    )
+    return design, partition
+
+
+class TestAdversarialUserNames:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_no_duplicates_and_still_equivalent(
+        self, adversarial_design, model
+    ):
+        design, partition = adversarial_design
+        refined = Refiner(design, partition, model).run()
+        assert scope_problems(refined.spec) == {}
+        # the user's variables survive under their own names (possibly
+        # localized into a memory behavior) ...
+        everywhere = {v.name for v in refined.spec.variables}
+        for behavior in refined.spec.behaviors():
+            everywhere.update(d.name for d in behavior.decls)
+        assert {"MST_send_b1_A", "b1_req_A"} <= everywhere
+        # ... the generator's conventional names stepped aside instead
+        # of shadowing them ...
+        generated = set(refined.spec.subprograms) | {
+            v.name for v in refined.spec.variables
+        }
+        assert "MST_send_b1_A" not in refined.spec.subprograms
+        assert any(name.startswith("MST_send_b1_A_") for name in generated)
+        # ... and the refinement still computes the same outputs
+        report = check_equivalence(refined, inputs={"inp": 5})
+        report.raise_if_mismatched()
