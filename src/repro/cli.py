@@ -32,7 +32,11 @@ Subcommands mirror the library's main flows:
   refined specification (``--all`` summarises every line, ``--check``
   asserts completeness);
 * ``repro simulate --vcd out.vcd`` — additionally dump every signal
-  change of the run as a GTKWave-compatible VCD waveform.
+  change of the run as a GTKWave-compatible VCD waveform;
+* ``repro fuzz --seed 0 --count 200`` — the differential fuzzing
+  campaign: seeded random specifications judged by the round-trip,
+  walker-parity and refinement-equivalence oracles, with the
+  regression corpus replayed first (exit 1 on any surviving failure).
 """
 
 from __future__ import annotations
@@ -410,6 +414,54 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.experiments.fuzzing import run_fuzz
+
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import SpanTracer
+
+        tracer = SpanTracer()
+    corpus = args.corpus if args.corpus else None
+    if tracer is not None:
+        with tracer.span("fuzz", seed=args.seed, count=args.count):
+            report = run_fuzz(
+                seed=args.seed,
+                count=args.count,
+                models=args.model or None,
+                budget=args.budget,
+                vectors=args.vectors,
+                corpus=corpus,
+                tracer=tracer,
+            )
+    else:
+        report = run_fuzz(
+            seed=args.seed,
+            count=args.count,
+            models=args.model or None,
+            budget=args.budget,
+            vectors=args.vectors,
+            corpus=corpus,
+        )
+    rendered = report.as_json() if args.json else report.render()
+    print(rendered)
+    if args.output:
+        import os
+
+        os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"\ncampaign report written to {args.output}")
+    if tracer is not None:
+        import os
+
+        os.makedirs(os.path.dirname(args.trace) or ".", exist_ok=True)
+        with open(args.trace, "w") as handle:
+            handle.write(tracer.to_chrome_json() + "\n")
+        print(f"Chrome trace written to {args.trace}")
+    return 0 if report.ok else 1
+
+
 def _cmd_explain(args) -> int:
     from repro.models import resolve_model
     from repro.obs.explain import SpecExplainer
@@ -618,6 +670,33 @@ def build_parser() -> argparse.ArgumentParser:
                    default="benchmarks/output/trace.json",
                    help="write Chrome trace-event JSON here ('' to skip)")
     p.set_defaults(handler=_cmd_trace)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing campaign: generated specs x oracles",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (default 0)")
+    p.add_argument("--count", type=int, default=50,
+                   help="number of generated cases (default 50)")
+    p.add_argument("--budget", type=int, default=None,
+                   help="generator statement budget (default 40)")
+    p.add_argument("--vectors", type=int, default=3,
+                   help="random input vectors per case (default 3)")
+    p.add_argument("--model", action="append",
+                   help="restrict refinement oracle to a model "
+                        "(repeatable; default all four)")
+    p.add_argument("--corpus", default="tests/corpus",
+                   help="regression corpus to replay first ('' to skip)")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON instead of a table")
+    p.add_argument("-o", "--output",
+                   default="benchmarks/output/fuzz_campaign.txt",
+                   help="write the report here ('' to skip)")
+    p.add_argument("--trace", metavar="PATH",
+                   help="also run under a span tracer and write Chrome "
+                        "trace-event JSON here")
+    p.set_defaults(handler=_cmd_fuzz)
 
     p = sub.add_parser(
         "explain",

@@ -16,7 +16,12 @@ from typing import Callable, Dict, Optional
 
 from repro.arch.allocation import Allocation
 from repro.arch.components import Component, ComponentKind
-from repro.errors import EstimationError
+from repro.errors import (
+    AllocationError,
+    EstimationError,
+    PartitionError,
+    SpecError,
+)
 from repro.partition.partition import Partition
 from repro.spec.stmt import (
     Assign,
@@ -115,9 +120,19 @@ def cost_function(
             return found
         try:
             name = partition.effective_component_of_behavior(behavior)
-        except Exception:
+        except (PartitionError, SpecError):
+            # Only the two lookup failures mean "not a partitioned
+            # behavior" (refinement-inserted servers, subprogram bodies
+            # attributed to their caller); anything else is a real bug
+            # and must propagate.
             name = components[0]
-        component = allocation.get(name)
+        try:
+            component = allocation.get(name)
+        except AllocationError as exc:
+            raise EstimationError(
+                f"behavior {behavior!r} is priced on component {name!r}, "
+                "which has no allocation"
+            ) from exc
         cache[behavior] = component
         return component
 

@@ -8,6 +8,12 @@ from repro.experiments.figure9 import (
     run_figure9,
 )
 from repro.experiments.figure10 import Figure10Cell, Figure10Result, run_figure10
+from repro.experiments.fuzzing import (
+    FuzzReport,
+    SliceStats,
+    replay_corpus,
+    run_fuzz,
+)
 from repro.experiments.paperdata import (
     PAPER_FIGURE9,
     PAPER_FIGURE10_LINES,
@@ -38,6 +44,10 @@ __all__ = [
     "Figure10Cell",
     "Figure10Result",
     "run_figure10",
+    "FuzzReport",
+    "SliceStats",
+    "replay_corpus",
+    "run_fuzz",
     "PAPER_FIGURE9",
     "PAPER_FIGURE10_LINES",
     "PAPER_FIGURE10_SECONDS",

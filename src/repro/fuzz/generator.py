@@ -1,0 +1,571 @@
+"""Seeded random SpecCharts generator.
+
+Emits *valid* hierarchical specifications — nested sequential and
+concurrent composites, forward-only transition arcs, behavior-local
+declarations (ints, booleans, arrays, enums), subprogram calls with
+``in``/``out``/``inout`` parameters, and the full expression grammar
+including division/mod edge operands — together with a matching
+two-component partition, so every generated case can be pushed through
+the parser/printer, both evaluation strategies, and the whole
+refinement pipeline.
+
+Design constraints baked into the generator (each one mirrors a
+documented property of the stack, so that every oracle failure is a
+real bug rather than generator noise):
+
+* **Termination.** Transition arcs only point *forward* (to a later
+  sibling or to completion), ``for`` bounds are constants, and every
+  ``while`` is a counted loop over a dedicated local that the loop body
+  never reassigns.  A run of a default-profile spec therefore always
+  quiesces with ``completed=True``.
+* **Race freedom.** Children of a concurrent composite receive
+  pairwise-disjoint slices of the writable variable pool (inputs are
+  shared read-only), so original and refined schedules cannot observe
+  different interleavings.
+* **Refinable subprograms.** Subprogram bodies only touch their own
+  parameters and locals — the refiner rejects bodies that reach into
+  partitioned globals by design.
+* **Division safety.** Divisors are non-zero constants or ``abs(e)+k``
+  unless :attr:`GeneratorConfig.div_zero_probability` says otherwise
+  (the error-parity slice of a campaign turns it on deliberately).
+* **Feature slices.** Signals and wait statements make observable
+  traces schedule-dependent, so they are opt-in
+  (:attr:`GeneratorConfig.signals` / :attr:`GeneratorConfig.waits`) and
+  a campaign only routes such specs through the round-trip and
+  walker-parity oracles, never the refinement oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.partition.partition import Partition
+from repro.spec.behavior import Behavior, Transition
+from repro.spec.builder import (
+    assign,
+    call,
+    conc,
+    for_,
+    if_,
+    leaf,
+    on_complete,
+    sassign,
+    seq,
+    skip,
+    spec as make_spec,
+    transition,
+    wait_for,
+    wait_until,
+    while_,
+)
+from repro.spec.expr import BinOp, Const, Expr, Index, UnaryOp, VarRef
+from repro.spec.specification import Specification
+from repro.spec.stmt import Stmt
+from repro.spec.subprogram import Direction, Param, Subprogram
+from repro.spec.types import BOOL, EnumType, array_of, int_type
+from repro.spec.variable import Role, StorageClass, Variable, signal, variable
+
+__all__ = ["GeneratorConfig", "GeneratedCase", "generate_case", "generate_input_vectors"]
+
+_INT = int_type(16)
+_BYTE = int_type(8)
+
+#: Interesting integer constants (edge operands for arithmetic).
+_EDGE_INTS = (0, 1, -1, 2, 7, -8, 255, -256, 32767, -32768)
+
+#: Non-zero divisor constants.
+_DIVISORS = (1, -1, 2, 3, -3, 7, 16)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunable knobs of the random generator.
+
+    ``budget`` is an approximate statement budget for the whole spec;
+    bigger budgets mean more behaviors, deeper nesting, and longer
+    bodies.
+    """
+
+    budget: int = 40
+    max_depth: int = 3
+    max_children: int = 3
+    subprograms: bool = True
+    arrays: bool = True
+    enums: bool = True
+    #: Allow signal declarations + ``<=`` assignments (parity/round-trip
+    #: slices only: signal update collapsing is schedule-dependent).
+    signals: bool = False
+    #: Allow wait statements (same caveat as ``signals``).
+    waits: bool = False
+    #: Probability that a ``/`` or ``mod`` right operand is the literal
+    #: zero (exercises error-message parity between eval strategies).
+    div_zero_probability: float = 0.0
+    #: Probability the partition collapses to a single component.
+    single_component_probability: float = 0.1
+
+
+@dataclass
+class GeneratedCase:
+    """One fuzzing case: a specification plus a matching partition."""
+
+    seed: int
+    config: GeneratorConfig
+    spec: Specification
+    partition: Partition
+
+    @property
+    def refinable(self) -> bool:
+        """True when the case may go through the refinement oracle."""
+        return not (self.config.signals or self.config.waits or
+                    self.config.div_zero_probability > 0)
+
+
+@dataclass
+class _Scope:
+    """Names visible to the statement generator at one program point."""
+
+    int_read: List[str] = field(default_factory=list)
+    int_write: List[str] = field(default_factory=list)
+    bool_read: List[str] = field(default_factory=list)
+    bool_write: List[str] = field(default_factory=list)
+    arrays: List[Tuple[str, int]] = field(default_factory=list)
+    enums: List[Tuple[str, EnumType]] = field(default_factory=list)
+    sig_write: List[str] = field(default_factory=list)
+
+    def child(self) -> "_Scope":
+        return _Scope(
+            list(self.int_read), list(self.int_write),
+            list(self.bool_read), list(self.bool_write),
+            list(self.arrays), list(self.enums), list(self.sig_write),
+        )
+
+
+class _Generator:
+    def __init__(self, seed: int, config: GeneratorConfig):
+        self.rng = random.Random(seed)
+        self.config = config
+        self.budget = config.budget
+        self._behavior_n = 0
+        self._local_n = 0
+        self._loop_n = 0
+        self._enum = EnumType("mode", ("r", "g", "b"))
+        self._subprograms: List[Subprogram] = []
+
+    # -- naming ----------------------------------------------------------
+
+    def _behavior_name(self) -> str:
+        self._behavior_n += 1
+        return f"b{self._behavior_n}"
+
+    def _local_name(self) -> str:
+        self._local_n += 1
+        return f"l{self._local_n}"
+
+    def _loop_name(self) -> str:
+        self._loop_n += 1
+        return f"i{self._loop_n}"
+
+    # -- expressions -----------------------------------------------------
+
+    def _int_leaf(self, scope: _Scope) -> Expr:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.45 and scope.int_read:
+            return VarRef(rng.choice(scope.int_read))
+        if roll < 0.55 and scope.arrays:
+            name, length = rng.choice(scope.arrays)
+            return Index(VarRef(name), Const(rng.randrange(length)))
+        if roll < 0.8:
+            return Const(rng.choice(_EDGE_INTS))
+        return Const(rng.randint(-40, 40))
+
+    def _divisor(self, scope: _Scope, depth: int) -> Expr:
+        rng = self.rng
+        if rng.random() < self.config.div_zero_probability:
+            return Const(0)
+        if rng.random() < 0.7 or depth <= 0:
+            return Const(rng.choice(_DIVISORS))
+        # abs(e) + k is always >= k > 0
+        return BinOp(
+            "+",
+            UnaryOp("abs", self._int_expr(scope, depth - 1)),
+            Const(rng.randint(1, 5)),
+        )
+
+    def _int_expr(self, scope: _Scope, depth: int) -> Expr:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.35:
+            return self._int_leaf(scope)
+        roll = rng.random()
+        if roll < 0.15:
+            op = rng.choice(("-", "abs"))
+            return UnaryOp(op, self._int_expr(scope, depth - 1))
+        op = rng.choice(("+", "-", "*", "+", "-", "/", "mod"))
+        left = self._int_expr(scope, depth - 1)
+        if op in ("/", "mod"):
+            return BinOp(op, left, self._divisor(scope, depth))
+        return BinOp(op, left, self._int_expr(scope, depth - 1))
+
+    def _bool_expr(self, scope: _Scope, depth: int) -> Expr:
+        rng = self.rng
+        roll = rng.random()
+        if depth <= 0 or roll < 0.35:
+            if scope.bool_read and rng.random() < 0.5:
+                return VarRef(rng.choice(scope.bool_read))
+            if scope.enums and rng.random() < 0.3:
+                name, enum = rng.choice(scope.enums)
+                op = rng.choice(("=", "/="))
+                return BinOp(op, VarRef(name), Const(rng.choice(enum.literals)))
+            op = rng.choice(("=", "/=", "<", "<=", ">", ">="))
+            return BinOp(op, self._int_expr(scope, 1), self._int_expr(scope, 1))
+        if roll < 0.5:
+            return UnaryOp("not", self._bool_expr(scope, depth - 1))
+        if roll < 0.6:
+            return Const(rng.random() < 0.5)
+        op = rng.choice(("and", "or"))
+        return BinOp(
+            op, self._bool_expr(scope, depth - 1), self._bool_expr(scope, depth - 1)
+        )
+
+    # -- statements ------------------------------------------------------
+
+    def _statement(self, scope: _Scope, depth: int) -> Optional[Stmt]:
+        rng = self.rng
+        self.budget -= 1
+        choices: List[str] = []
+        if scope.int_write:
+            choices += ["assign"] * 5
+        if scope.bool_write:
+            choices += ["bassign"] * 2
+        if scope.arrays:
+            choices += ["aassign", "aggregate"]
+        if scope.enums:
+            choices += ["eassign"]
+        if scope.sig_write and self.config.signals:
+            choices += ["sassign"] * 2
+        if self.config.waits:
+            choices += ["wait"]
+        if depth > 0 and self.budget > 3:
+            choices += ["if", "if", "for"]
+            if scope.int_write:
+                choices += ["while"]
+        if self._subprograms and scope.int_write:
+            choices += ["call", "call"]
+        choices += ["null"]
+        kind = rng.choice(choices)
+
+        if kind == "assign":
+            return assign(rng.choice(scope.int_write), self._int_expr(scope, 2))
+        if kind == "bassign":
+            return assign(rng.choice(scope.bool_write), self._bool_expr(scope, 2))
+        if kind == "aassign":
+            name, length = rng.choice(scope.arrays)
+            target = Index(VarRef(name), Const(rng.randrange(length)))
+            return assign(target, self._int_expr(scope, 1))
+        if kind == "aggregate":
+            name, length = rng.choice(scope.arrays)
+            values = tuple(rng.randint(-100, 100) for _ in range(length))
+            return assign(name, Const(values))
+        if kind == "eassign":
+            name, enum = rng.choice(scope.enums)
+            return assign(name, Const(rng.choice(enum.literals)))
+        if kind == "sassign":
+            return sassign(rng.choice(scope.sig_write), self._int_expr(scope, 1))
+        if kind == "wait":
+            if rng.random() < 0.7:
+                return wait_for(rng.randint(1, 3))
+            return wait_until(self._bool_expr(scope, 1))
+        if kind == "if":
+            then = self._statements(scope, depth - 1, rng.randint(1, 2))
+            orelse = (
+                self._statements(scope, depth - 1, rng.randint(1, 2))
+                if rng.random() < 0.5
+                else ()
+            )
+            return if_(self._bool_expr(scope, 2), then, orelse)
+        if kind == "for":
+            var_name = self._loop_name()
+            if scope.arrays and rng.random() < 0.4:
+                # in-bounds array walk
+                arr, length = rng.choice(scope.arrays)
+                inner = scope.child()
+                inner.int_read.append(var_name)
+                body = list(self._statements(inner, depth - 1, rng.randint(1, 2)))
+                target = Index(VarRef(arr), VarRef(var_name))
+                body.append(assign(target, self._int_expr(inner, 1)))
+                return for_(var_name, 0, length - 1, body)
+            start = rng.randint(-1, 2)
+            stop = start + rng.randint(-1, 3)  # stop < start: zero trips
+            inner = scope.child()
+            inner.int_read.append(var_name)
+            body = self._statements(inner, depth - 1, rng.randint(1, 2))
+            return for_(var_name, start, stop, body)
+        if kind == "while":
+            counter = rng.choice(scope.int_write)
+            trips = rng.randint(1, 3)
+            inner = scope.child()
+            # the body must never touch the counter
+            inner.int_write = [n for n in inner.int_write if n != counter]
+            body = list(self._statements(inner, depth - 1, rng.randint(1, 2)))
+            body.append(assign(counter, VarRef(counter) - 1))
+            loop = while_(VarRef(counter) > 0, body, expected=trips)
+            return _StmtPair(assign(counter, trips), loop)
+        if kind == "call":
+            return self._call(scope)
+        return skip()
+
+    def _statements(self, scope: _Scope, depth: int, count: int) -> Tuple[Stmt, ...]:
+        out: List[Stmt] = []
+        for _ in range(count):
+            if self.budget <= 0:
+                break
+            stmt = self._statement(scope, depth)
+            if isinstance(stmt, _StmtPair):
+                out.extend(stmt.stmts)
+            elif stmt is not None:
+                out.append(stmt)
+        if not out:
+            out.append(skip())
+        return tuple(out)
+
+    # -- subprograms -----------------------------------------------------
+
+    def _make_subprograms(self) -> List[Subprogram]:
+        rng = self.rng
+        subs: List[Subprogram] = []
+        if not self.config.subprograms:
+            return subs
+        for n in range(rng.randint(0, 2)):
+            name = f"p{n + 1}"
+            shape = rng.choice(("in_out", "in_in_out", "inout"))
+            if shape == "in_out":
+                params = (
+                    Param("a", _INT, Direction.IN),
+                    Param("r", _INT, Direction.OUT),
+                )
+            elif shape == "in_in_out":
+                params = (
+                    Param("a", _INT, Direction.IN),
+                    Param("b", _INT, Direction.IN),
+                    Param("r", _INT, Direction.OUT),
+                )
+            else:
+                params = (Param("a", _INT, Direction.INOUT),)
+            local = variable(self._local_name(), _INT, init=0)
+            scope = _Scope(
+                int_read=[p.name for p in params if p.direction is not Direction.OUT]
+                + [local.name],
+                int_write=[local.name],
+            )
+            body = list(self._statements(scope, 1, rng.randint(1, 2)))
+            result = "r" if shape != "inout" else "a"
+            body.append(assign(result, self._int_expr(scope, 2)))
+            subs.append(Subprogram(name, params, tuple(body), decls=(local,)))
+        return subs
+
+    def _call(self, scope: _Scope) -> Stmt:
+        rng = self.rng
+        sub = rng.choice(self._subprograms)
+        args = []
+        for param in sub.params:
+            if param.direction is Direction.IN:
+                args.append(self._int_expr(scope, 1))
+            else:
+                args.append(VarRef(rng.choice(scope.int_write)))
+        return call(sub.name, *args)
+
+    # -- behaviors -------------------------------------------------------
+
+    def _leaf_behavior(self, scope: _Scope, depth: int) -> Behavior:
+        rng = self.rng
+        scope = scope.child()
+        decls: List[Variable] = []
+        if rng.random() < 0.5:
+            name = self._local_name()
+            decls.append(variable(name, _INT, init=rng.choice((0, 1, -1))))
+            scope.int_read.append(name)
+            scope.int_write.append(name)
+        if rng.random() < 0.25:
+            name = self._local_name()
+            decls.append(variable(name, BOOL, init=rng.random() < 0.5))
+            scope.bool_read.append(name)
+            scope.bool_write.append(name)
+        if self.config.arrays and rng.random() < 0.3:
+            name = self._local_name()
+            length = rng.randint(2, 4)
+            decls.append(
+                variable(name, array_of(_BYTE, length), init=(0,) * length)
+            )
+            scope.arrays.append((name, length))
+        if self.config.enums and rng.random() < 0.2:
+            name = self._local_name()
+            decls.append(
+                variable(name, self._enum, init=rng.choice(self._enum.literals))
+            )
+            scope.enums.append((name, self._enum))
+        stmts = self._statements(scope, min(depth, 2), rng.randint(1, 4))
+        return leaf(self._behavior_name(), *stmts, decls=decls)
+
+    def _behavior(self, scope: _Scope, depth: int) -> Behavior:
+        rng = self.rng
+        if depth >= self.config.max_depth or self.budget < 6 or rng.random() < 0.4:
+            return self._leaf_behavior(scope, 2)
+        n = rng.randint(2, self.config.max_children)
+        if rng.random() < 0.6:
+            children = [self._behavior(scope, depth + 1) for _ in range(n)]
+            return self._sequential(children, scope)
+        return self._concurrent(scope, depth, n)
+
+    def _sequential(self, children: Sequence[Behavior], scope: _Scope) -> Behavior:
+        rng = self.rng
+        arcs: List[Transition] = []
+        names = [c.name for c in children]
+        for i, name in enumerate(names):
+            if rng.random() < 0.4:
+                # conditional forward skip (or early completion)
+                j = rng.randint(i + 1, len(names))
+                cond = self._bool_expr(scope, 2)
+                if j == len(names):
+                    arcs.append(on_complete(name, cond))
+                else:
+                    arcs.append(transition(name, cond, names[j]))
+            if i + 1 < len(names):
+                arcs.append(transition(name, None, names[i + 1]))
+            elif rng.random() < 0.7:
+                arcs.append(on_complete(name))
+            # else: no arc from the last child — implicit completion
+        initial = None
+        if rng.random() < 0.1 and len(names) > 1:
+            initial = rng.choice(names[1:])
+        return seq(self._behavior_name(), children, transitions=arcs, initial=initial)
+
+    def _concurrent(self, scope: _Scope, depth: int, n: int) -> Behavior:
+        rng = self.rng
+        # split every writable resource disjointly among the children;
+        # inputs (int_read minus int_write) stay shared.
+        shared_reads = [v for v in scope.int_read if v not in scope.int_write]
+        writables = list(scope.int_write)
+        bools = list(scope.bool_write)
+        sigs = list(scope.sig_write)
+        rng.shuffle(writables)
+        children: List[Behavior] = []
+        for k in range(n):
+            share = writables[k::n]
+            child_scope = _Scope(
+                int_read=shared_reads + share,
+                int_write=share,
+                bool_read=bools[k::n],
+                bool_write=bools[k::n],
+                sig_write=sigs[k::n],
+            )
+            children.append(self._behavior(child_scope, depth + 1))
+        return conc(self._behavior_name(), children)
+
+    # -- whole specification ---------------------------------------------
+
+    def generate(self) -> Tuple[Specification, Dict[str, str]]:
+        rng = self.rng
+        self._subprograms = self._make_subprograms()
+
+        n_inputs = rng.randint(1, 2)
+        n_globals = rng.randint(2, 4)
+        variables: List[Variable] = []
+        inputs = [f"in{i + 1}" for i in range(n_inputs)]
+        globals_ = [f"g{i + 1}" for i in range(n_globals)]
+        outputs = ["out1", "out2"]
+        for name in inputs:
+            variables.append(
+                variable(name, _INT, init=rng.randint(-8, 8), role=Role.INPUT)
+            )
+        for name in globals_:
+            variables.append(variable(name, _INT, init=rng.choice((0, 1, -1, 5))))
+        for name in outputs:
+            variables.append(variable(name, _INT, init=0, role=Role.OUTPUT))
+        sigs: List[str] = []
+        if self.config.signals:
+            sigs = ["sig1"]
+            variables.append(
+                Variable(
+                    "sig1", _INT, init=0,
+                    kind=StorageClass.SIGNAL, role=Role.OUTPUT,
+                )
+            )
+
+        scope = _Scope(
+            int_read=inputs + globals_ + outputs,
+            int_write=globals_ + outputs,
+            sig_write=sigs,
+        )
+
+        n = rng.randint(2, self.config.max_children)
+        if rng.random() < 0.5:
+            children = [self._behavior(scope, 1) for _ in range(n)]
+            top = self._sequential(children, scope)
+        else:
+            top = self._concurrent(scope, 0, n)
+
+        specification = make_spec(
+            "fuzz_case",
+            top,
+            variables=variables,
+            subprograms=self._subprograms,
+        )
+        specification.validate()
+
+        components = ("PROC", "ASIC")
+        single = rng.random() < self.config.single_component_probability
+        assignment: Dict[str, str] = {}
+        for child in top.subs:
+            assignment[child.name] = (
+                components[0] if single else rng.choice(components)
+            )
+        for name in globals_:
+            assignment[name] = components[0] if single else rng.choice(components)
+        return specification, assignment
+
+
+class _StmtPair:
+    """A statement expanding to a two-statement sequence (counted
+    loops need their counter initialised immediately before)."""
+
+    def __init__(self, *stmts: Stmt):
+        self.stmts = stmts
+
+
+def generate_case(
+    seed: int, config: Optional[GeneratorConfig] = None
+) -> GeneratedCase:
+    """Generate one validated specification + partition for ``seed``.
+
+    The same ``(seed, config)`` always yields a byte-identical case.
+    """
+    config = config or GeneratorConfig()
+    gen = _Generator(seed, config)
+    specification, assignment = gen.generate()
+    partition = Partition.from_mapping(
+        specification, assignment, name=f"fuzz_{seed}"
+    )
+    return GeneratedCase(seed, config, specification, partition)
+
+
+def generate_input_vectors(
+    spec: Specification, seed: int, count: int = 3
+) -> List[Dict[str, int]]:
+    """``count`` deterministic random input assignments for ``spec``."""
+    rng = random.Random(seed ^ 0x5EED)
+    names = [v.name for v in spec.inputs()]
+    vectors: List[Dict[str, int]] = []
+    for _ in range(count):
+        vector: Dict[str, int] = {}
+        for name in names:
+            roll = rng.random()
+            if roll < 0.4:
+                vector[name] = rng.choice(_EDGE_INTS)
+            elif roll < 0.9:
+                vector[name] = rng.randint(-40, 40)
+            else:
+                vector[name] = rng.randint(-32768, 32767)
+        vectors.append(vector)
+    return vectors

@@ -1,0 +1,640 @@
+"""Automatic shrinking of failing specifications, plus the regression
+corpus they are persisted to.
+
+:func:`shrink_spec` greedily minimizes a specification against a
+caller-supplied *predicate* (``predicate(candidate) -> True`` when the
+candidate still exhibits the failure).  Each round tries candidate
+edits from the most to the least aggressive:
+
+1. drop a whole behavior from a composite (arcs touching it go too);
+2. promote a composite's child over the composite itself;
+3. delete a single statement anywhere (leaf bodies, subprogram bodies,
+   nested ``if``/loop bodies);
+4. unwrap a compound statement (replace an ``if`` by its then-branch, a
+   loop by its body);
+5. drop a transition arc, an uncalled subprogram, an unreferenced
+   variable;
+6. replace an expression by one of its direct subexpressions or a
+   small constant.
+
+Only *valid* candidates (``candidate.validate()`` passes) reach the
+predicate, and a candidate is accepted only when it is strictly smaller
+in printed form, so shrinking always terminates.
+
+The regression corpus lives in ``tests/corpus/``: one ``.spec`` file
+per fixed bug, holding directive comments (bug description, optional
+partition and input vectors) followed by the shrunk specification text.
+:func:`load_corpus_entry` / :func:`iter_corpus` read them back for the
+pytest replay and the ``repro fuzz --corpus`` CLI path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.lang.parser import parse
+from repro.lang.printer import print_specification
+from repro.partition.partition import Partition
+from repro.spec.behavior import (
+    Behavior,
+    CompositeBehavior,
+    LeafBehavior,
+    Transition,
+)
+from repro.spec.expr import BinOp, Const, Expr, Index, UnaryOp, VarRef
+from repro.spec.specification import Specification
+from repro.spec.stmt import (
+    Assign,
+    CallStmt,
+    For,
+    If,
+    Null,
+    SignalAssign,
+    Stmt,
+    Wait,
+    While,
+    body as make_body,
+)
+from repro.spec.subprogram import Subprogram
+
+__all__ = [
+    "shrink_spec",
+    "restricted_assignment",
+    "CorpusEntry",
+    "save_corpus_entry",
+    "load_corpus_entry",
+    "iter_corpus",
+]
+
+
+# -- tree copying ------------------------------------------------------------
+
+
+def _copy_behavior(behavior: Behavior) -> Behavior:
+    """A structurally fresh behavior tree (bodies/decls are immutable or
+    never mutated here, so they are shared)."""
+    if isinstance(behavior, LeafBehavior):
+        copy: Behavior = LeafBehavior(
+            behavior.name, behavior.stmt_body, list(behavior.decls), behavior.doc
+        )
+    else:
+        composite = behavior
+        copy = CompositeBehavior(
+            composite.name,
+            [_copy_behavior(sub) for sub in composite.subs],
+            mode=composite.mode,
+            transitions=list(composite.transitions),
+            initial=composite.initial,
+            decls=list(composite.decls),
+            doc=composite.doc,
+        )
+    copy.daemon = behavior.daemon
+    return copy
+
+
+def _rebuild(spec: Specification, top: Behavior,
+             subprograms: Optional[Sequence[Subprogram]] = None,
+             variables: Optional[Sequence] = None) -> Specification:
+    return Specification(
+        spec.name,
+        top,
+        list(spec.variables) if variables is None else list(variables),
+        list(spec.subprograms.values()) if subprograms is None
+        else list(subprograms),
+        spec.doc,
+    )
+
+
+# -- candidate enumeration ---------------------------------------------------
+
+
+def _composites(behavior: Behavior) -> Iterator[CompositeBehavior]:
+    if isinstance(behavior, CompositeBehavior):
+        yield behavior
+        for sub in behavior.subs:
+            yield from _composites(sub)
+
+
+def _replace_node(
+    behavior: Behavior, name: str, build: Callable[[Behavior], Optional[Behavior]]
+) -> Optional[Behavior]:
+    """Copy ``behavior`` with the node called ``name`` rebuilt by
+    ``build`` (returning ``None`` drops the node)."""
+    if behavior.name == name:
+        return build(behavior)
+    if not isinstance(behavior, CompositeBehavior):
+        return _copy_behavior(behavior)
+    subs: List[Behavior] = []
+    for sub in behavior.subs:
+        replaced = _replace_node(sub, name, build)
+        if replaced is not None:
+            subs.append(replaced)
+    if not subs:
+        return None
+    names = {s.name for s in subs}
+    transitions = [
+        t
+        for t in behavior.transitions
+        if t.source in names and (t.target is None or t.target in names)
+    ]
+    initial = behavior.initial if behavior.initial in names else None
+    return CompositeBehavior(
+        behavior.name,
+        subs,
+        mode=behavior.mode,
+        transitions=transitions,
+        initial=initial,
+        decls=list(behavior.decls),
+        doc=behavior.doc,
+    )
+
+
+def _drop_behavior_candidates(spec: Specification) -> Iterator[Specification]:
+    for composite in _composites(spec.top):
+        if len(composite.subs) < 2:
+            continue
+        for child in composite.subs:
+            top = _replace_node(spec.top, child.name, lambda _b: None)
+            if top is not None:
+                yield _rebuild(spec, top)
+
+
+def _promote_candidates(spec: Specification) -> Iterator[Specification]:
+    if isinstance(spec.top, CompositeBehavior):
+        for child in spec.top.subs:
+            yield _rebuild(spec, _copy_behavior(child))
+    for composite in _composites(spec.top):
+        if composite is spec.top:
+            continue
+        for child in composite.subs:
+            promoted = _copy_behavior(child)
+            top = _replace_node(spec.top, composite.name, lambda _b: promoted)
+            if top is not None:
+                yield _rebuild(spec, top)
+
+
+def _drop_transition_candidates(spec: Specification) -> Iterator[Specification]:
+    for composite in _composites(spec.top):
+        for k in range(len(composite.transitions)):
+            def build(node: Behavior, k=k) -> Behavior:
+                arcs = list(node.transitions)
+                del arcs[k]
+                return CompositeBehavior(
+                    node.name,
+                    [_copy_behavior(s) for s in node.subs],
+                    mode=node.mode,
+                    transitions=arcs,
+                    initial=node.initial,
+                    decls=list(node.decls),
+                    doc=node.doc,
+                )
+
+            top = _replace_node(spec.top, composite.name, build)
+            if top is not None:
+                yield _rebuild(spec, top)
+
+
+# statement-level edits: enumerate bodies generically
+
+
+def _bodies_of_stmt(stmt: Stmt) -> List[Tuple[str, tuple]]:
+    if isinstance(stmt, If):
+        bodies = [("then_body", stmt.then_body)]
+        for i, (_c, b) in enumerate(stmt.elifs):
+            bodies.append((f"elif:{i}", b))
+        bodies.append(("else_body", stmt.else_body))
+        return bodies
+    if isinstance(stmt, (While, For)):
+        return [("loop_body", stmt.loop_body)]
+    return []
+
+
+def _with_body(stmt: Stmt, slot: str, new_body: tuple) -> Stmt:
+    if isinstance(stmt, If):
+        if slot == "then_body":
+            return If(stmt.cond, new_body, stmt.elifs, stmt.else_body)
+        if slot == "else_body":
+            return If(stmt.cond, stmt.then_body, stmt.elifs, new_body)
+        index = int(slot.split(":")[1])
+        elifs = tuple(
+            (c, new_body if i == index else b)
+            for i, (c, b) in enumerate(stmt.elifs)
+        )
+        return If(stmt.cond, stmt.then_body, elifs, stmt.else_body)
+    if isinstance(stmt, While):
+        return While(stmt.cond, new_body, stmt.expected_iterations)
+    if isinstance(stmt, For):
+        return For(stmt.variable, stmt.start, stmt.stop, new_body)
+    raise AssertionError(slot)
+
+
+def _body_edits(stmts: tuple) -> Iterator[tuple]:
+    """All single-edit variants of a statement sequence: one statement
+    deleted, one compound statement unwrapped, or the edit applied
+    inside a nested body."""
+    for i, stmt in enumerate(stmts):
+        rest = stmts[:i] + stmts[i + 1 :]
+        yield rest if rest else (Null(),)
+        if isinstance(stmt, If):
+            spliced = stmts[:i] + stmt.then_body + stmts[i + 1 :]
+            yield spliced if spliced else (Null(),)
+        if isinstance(stmt, (While, For)):
+            spliced = stmts[:i] + stmt.loop_body + stmts[i + 1 :]
+            yield spliced if spliced else (Null(),)
+        for slot, inner in _bodies_of_stmt(stmt):
+            for edited in _body_edits(inner):
+                yield stmts[:i] + (_with_body(stmt, slot, make_body(edited)),) + stmts[i + 1 :]
+
+
+def _leaves(behavior: Behavior) -> Iterator[LeafBehavior]:
+    if isinstance(behavior, LeafBehavior):
+        yield behavior
+    else:
+        for sub in behavior.subs:
+            yield from _leaves(sub)
+
+
+def _stmt_candidates(spec: Specification) -> Iterator[Specification]:
+    for leaf in _leaves(spec.top):
+        for edited in _body_edits(leaf.stmt_body):
+            def build(node: Behavior, edited=edited) -> Behavior:
+                return LeafBehavior(
+                    node.name, make_body(edited), list(node.decls), node.doc
+                )
+
+            top = _replace_node(spec.top, leaf.name, build)
+            if top is not None:
+                yield _rebuild(spec, top)
+    for sub in spec.subprograms.values():
+        for edited in _body_edits(sub.stmt_body):
+            replacement = Subprogram(
+                sub.name, sub.params, make_body(edited), tuple(sub.decls), sub.doc
+            )
+            subprograms = [
+                replacement if s.name == sub.name else s
+                for s in spec.subprograms.values()
+            ]
+            yield _rebuild(spec, _copy_behavior(spec.top), subprograms=subprograms)
+
+
+# expression-level edits
+
+
+def _expr_shrinks(expr: Expr) -> List[Expr]:
+    """Strictly simpler replacements for one expression node."""
+    out: List[Expr] = []
+    if isinstance(expr, BinOp):
+        out += [expr.left, expr.right]
+    elif isinstance(expr, UnaryOp):
+        out.append(expr.operand)
+    elif isinstance(expr, Index):
+        out.append(Const(0))
+    if not isinstance(expr, Const):
+        out += [Const(0), Const(True)]
+    return out
+
+
+def _exprs_of_stmt(stmt: Stmt) -> List[Tuple[str, Expr]]:
+    if isinstance(stmt, Assign):
+        return [("value", stmt.value)]
+    if isinstance(stmt, SignalAssign):
+        return [("value", stmt.value)]
+    if isinstance(stmt, If):
+        return [("cond", stmt.cond)]
+    if isinstance(stmt, While):
+        return [("cond", stmt.cond)]
+    if isinstance(stmt, For):
+        return [("start", stmt.start), ("stop", stmt.stop)]
+    if isinstance(stmt, Wait) and stmt.until is not None:
+        return [("until", stmt.until)]
+    if isinstance(stmt, CallStmt):
+        return [(f"arg:{i}", a) for i, a in enumerate(stmt.args)]
+    return []
+
+
+def _with_expr(stmt: Stmt, slot: str, expr: Expr) -> Stmt:
+    if isinstance(stmt, Assign):
+        return Assign(stmt.target, expr)
+    if isinstance(stmt, SignalAssign):
+        return SignalAssign(stmt.target, expr)
+    if isinstance(stmt, If):
+        return If(expr, stmt.then_body, stmt.elifs, stmt.else_body)
+    if isinstance(stmt, While):
+        return While(expr, stmt.loop_body, stmt.expected_iterations)
+    if isinstance(stmt, For):
+        if slot == "start":
+            return For(stmt.variable, expr, stmt.stop, stmt.loop_body)
+        return For(stmt.variable, stmt.start, expr, stmt.loop_body)
+    if isinstance(stmt, Wait):
+        return Wait(until=expr, on=stmt.on, delay=stmt.delay)
+    if isinstance(stmt, CallStmt):
+        index = int(slot.split(":")[1])
+        args = tuple(expr if i == index else a for i, a in enumerate(stmt.args))
+        return CallStmt(stmt.callee, args)
+    raise AssertionError(slot)
+
+
+def _expr_body_edits(stmts: tuple) -> Iterator[tuple]:
+    for i, stmt in enumerate(stmts):
+        for slot, expr in _exprs_of_stmt(stmt):
+            for smaller in _expr_shrinks(expr):
+                yield stmts[:i] + (_with_expr(stmt, slot, smaller),) + stmts[i + 1 :]
+        for slot, inner in _bodies_of_stmt(stmt):
+            for edited in _expr_body_edits(inner):
+                yield stmts[:i] + (_with_body(stmt, slot, make_body(edited)),) + stmts[i + 1 :]
+
+
+def _expr_candidates(spec: Specification) -> Iterator[Specification]:
+    for leaf in _leaves(spec.top):
+        for edited in _expr_body_edits(leaf.stmt_body):
+            def build(node: Behavior, edited=edited) -> Behavior:
+                return LeafBehavior(
+                    node.name, make_body(edited), list(node.decls), node.doc
+                )
+
+            top = _replace_node(spec.top, leaf.name, build)
+            if top is not None:
+                yield _rebuild(spec, top)
+    # transition conditions
+    for composite in _composites(spec.top):
+        for k, arc in enumerate(composite.transitions):
+            if arc.condition is None:
+                shrinks: List[Optional[Expr]] = []
+            else:
+                shrinks = [None] + [
+                    e for e in _expr_shrinks(arc.condition)
+                ]
+            for smaller in shrinks:
+                def build(node: Behavior, k=k, smaller=smaller) -> Behavior:
+                    arcs = list(node.transitions)
+                    arcs[k] = Transition(arcs[k].source, smaller, arcs[k].target)
+                    return CompositeBehavior(
+                        node.name,
+                        [_copy_behavior(s) for s in node.subs],
+                        mode=node.mode,
+                        transitions=arcs,
+                        initial=node.initial,
+                        decls=list(node.decls),
+                        doc=node.doc,
+                    )
+
+                top = _replace_node(spec.top, composite.name, build)
+                if top is not None:
+                    yield _rebuild(spec, top)
+
+
+def _drop_subprogram_candidates(spec: Specification) -> Iterator[Specification]:
+    for name in spec.subprograms:
+        remaining = [s for s in spec.subprograms.values() if s.name != name]
+        yield _rebuild(spec, _copy_behavior(spec.top), subprograms=remaining)
+
+
+def _drop_variable_candidates(spec: Specification) -> Iterator[Specification]:
+    for k in range(len(spec.variables)):
+        variables = list(spec.variables)
+        del variables[k]
+        yield _rebuild(spec, _copy_behavior(spec.top), variables=variables)
+
+
+def _drop_local_decl_candidates(spec: Specification) -> Iterator[Specification]:
+    def walk(behavior: Behavior) -> Iterator[Behavior]:
+        if behavior.decls:
+            yield behavior
+        if isinstance(behavior, CompositeBehavior):
+            for sub in behavior.subs:
+                yield from walk(sub)
+
+    for owner in walk(spec.top):
+        for k in range(len(owner.decls)):
+            def build(node: Behavior, k=k) -> Behavior:
+                copy = _copy_behavior(node)
+                del copy.decls[k]
+                return copy
+
+            top = _replace_node(spec.top, owner.name, build)
+            if top is not None:
+                yield _rebuild(spec, top)
+    for sub in spec.subprograms.values():
+        for k in range(len(sub.decls)):
+            decls = list(sub.decls)
+            del decls[k]
+            replacement = Subprogram(
+                sub.name, sub.params, sub.stmt_body, tuple(decls), sub.doc
+            )
+            subprograms = [
+                replacement if s.name == sub.name else s
+                for s in spec.subprograms.values()
+            ]
+            yield _rebuild(spec, _copy_behavior(spec.top), subprograms=subprograms)
+
+
+def _candidates(spec: Specification) -> Iterator[Specification]:
+    yield from _drop_behavior_candidates(spec)
+    yield from _promote_candidates(spec)
+    yield from _stmt_candidates(spec)
+    yield from _drop_transition_candidates(spec)
+    yield from _drop_subprogram_candidates(spec)
+    yield from _drop_variable_candidates(spec)
+    yield from _drop_local_decl_candidates(spec)
+    yield from _expr_candidates(spec)
+
+
+# -- the greedy loop ---------------------------------------------------------
+
+
+def _size(spec: Specification) -> int:
+    return len(print_specification(spec))
+
+
+def shrink_spec(
+    spec: Specification,
+    predicate: Callable[[Specification], bool],
+    max_rounds: int = 400,
+) -> Specification:
+    """Greedily minimize ``spec`` while ``predicate`` holds.
+
+    ``predicate`` receives structurally fresh, validated candidates and
+    must return True when the candidate still fails.  The original is
+    returned unchanged if no smaller failing candidate exists (the
+    original itself is never re-judged)."""
+    current = spec
+    current_size = _size(spec)
+    for _ in range(max_rounds):
+        improved = False
+        for candidate in _candidates(current):
+            try:
+                candidate.validate()
+            except ReproError:
+                continue
+            if _size(candidate) >= current_size:
+                continue
+            try:
+                still_fails = predicate(candidate)
+            except ReproError:
+                continue
+            if still_fails:
+                current = candidate
+                current_size = _size(candidate)
+                improved = True
+                break
+        if not improved:
+            return current
+    return current
+
+
+def restricted_assignment(
+    spec: Specification,
+    assignment: Dict[str, str],
+    default_component: Optional[str] = None,
+) -> Dict[str, str]:
+    """Project a partition assignment onto a shrunk specification:
+    entries whose object vanished are dropped, and orphaned leaves /
+    unassigned internal variables fall back to ``default_component``
+    (first component of the original assignment when omitted)."""
+    from repro.spec.variable import Role, StorageClass
+
+    components: List[str] = []
+    for component in assignment.values():
+        if component not in components:
+            components.append(component)
+    fallback = default_component or (components[0] if components else "PROC")
+    restricted = {
+        obj: comp
+        for obj, comp in assignment.items()
+        if spec.has_behavior(obj)
+        or any(v.name == obj for v in spec.variables)
+    }
+
+    def resolved(leaf_name: str) -> bool:
+        node = spec.find_behavior(leaf_name)
+        while node is not None:
+            if node.name in restricted:
+                return True
+            node = node.parent
+        return False
+
+    spec.link()
+    for leaf in spec.leaf_behaviors():
+        if not resolved(leaf.name):
+            restricted[leaf.name] = fallback
+    for v in spec.variables:
+        if (
+            v.kind is StorageClass.VARIABLE
+            and v.role is Role.INTERNAL
+            and v.name not in restricted
+        ):
+            restricted[v.name] = fallback
+    return restricted
+
+
+# -- the regression corpus ---------------------------------------------------
+
+
+@dataclass
+class CorpusEntry:
+    """One persisted regression case."""
+
+    name: str
+    bug: str
+    spec_text: str
+    partition: Optional[Dict[str, str]] = None
+    input_vectors: List[Dict[str, int]] = field(default_factory=list)
+
+    def load_spec(self) -> Specification:
+        spec = parse(self.spec_text)
+        spec.validate()
+        return spec
+
+    def load_partition(self, spec: Specification) -> Optional[Partition]:
+        if not self.partition:
+            return None
+        return Partition.from_mapping(spec, self.partition, name=self.name)
+
+
+def _format_mapping(mapping: Dict[str, object]) -> str:
+    return ", ".join(f"{k}={v}" for k, v in mapping.items())
+
+
+def _parse_mapping(text: str) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, _, value = item.partition("=")
+        out[key.strip()] = value.strip()
+    return out
+
+
+def save_corpus_entry(directory: str, entry: CorpusEntry) -> str:
+    """Write ``entry`` as ``<directory>/<name>.spec`` and return the
+    path."""
+    lines = ["-- fuzz-corpus: v1", f"-- bug: {entry.bug}"]
+    if entry.partition:
+        lines.append(f"-- partition: {_format_mapping(entry.partition)}")
+    seen = set()
+    for vector in entry.input_vectors:
+        if not vector:
+            continue
+        formatted = _format_mapping(vector)
+        if formatted not in seen:
+            seen.add(formatted)
+            lines.append(f"-- inputs: {formatted}")
+    text = "\n".join(lines) + "\n" + entry.spec_text
+    if not text.endswith("\n"):
+        text += "\n"
+    path = os.path.join(directory, f"{entry.name}.spec")
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return path
+
+
+def load_corpus_entry(path: str) -> CorpusEntry:
+    """Read one ``.spec`` corpus file."""
+    with open(path) as handle:
+        text = handle.read()
+    name = os.path.splitext(os.path.basename(path))[0]
+    bug = ""
+    partition: Optional[Dict[str, str]] = None
+    vectors: List[Dict[str, int]] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped.startswith("--"):
+            continue
+        directive = stripped[2:].strip()
+        if directive.startswith("bug:"):
+            bug = directive[len("bug:"):].strip()
+        elif directive.startswith("partition:"):
+            partition = _parse_mapping(directive[len("partition:"):])
+        elif directive.startswith("inputs:"):
+            vectors.append(
+                {
+                    k: int(v)
+                    for k, v in _parse_mapping(
+                        directive[len("inputs:"):]
+                    ).items()
+                }
+            )
+    return CorpusEntry(
+        name=name,
+        bug=bug,
+        spec_text=text,
+        partition=partition,
+        input_vectors=vectors,
+    )
+
+
+def iter_corpus(directory: str) -> List[CorpusEntry]:
+    """All corpus entries under ``directory``, name-sorted (stable
+    replay order)."""
+    if not os.path.isdir(directory):
+        return []
+    return [
+        load_corpus_entry(os.path.join(directory, filename))
+        for filename in sorted(os.listdir(directory))
+        if filename.endswith(".spec")
+    ]

@@ -533,6 +533,11 @@ class _Parser:
 
     def _unary(self) -> Expr:
         if self._accept(TokenKind.SYMBOL, "-"):
+            token = self._accept(TokenKind.INT)
+            if token is not None:
+                # fold '- INT' into a negative literal so that printing
+                # and re-parsing a negative Const is the identity
+                return Const(-token.value)
             return UnaryOp("-", self._unary())
         if self._accept(TokenKind.KEYWORD, "not"):
             return UnaryOp("not", self._unary())
@@ -561,6 +566,28 @@ class _Parser:
             return expr
         if self._accept(TokenKind.SYMBOL, "("):
             expr = self._expression()
+            if self._current.matches(TokenKind.SYMBOL, ","):
+                items = [self._aggregate_element(expr)]
+                while self._accept(TokenKind.SYMBOL, ","):
+                    items.append(self._aggregate_element(self._expression()))
+                self._symbol(")")
+                return Const(tuple(items))
             self._symbol(")")
             return expr
         raise self._error("expected an expression")
+
+    def _aggregate_element(self, expr: Expr):
+        """Fold one element of an aggregate literal ``(e1, e2, ...)``
+        down to its constant value (the printer only ever emits
+        literal elements)."""
+        if isinstance(expr, Const):
+            return expr.value
+        if (
+            isinstance(expr, UnaryOp)
+            and expr.op == "-"
+            and isinstance(expr.operand, Const)
+            and isinstance(expr.operand.value, int)
+            and not isinstance(expr.operand.value, bool)
+        ):
+            return -expr.operand.value
+        raise self._error("aggregate elements must be literals")

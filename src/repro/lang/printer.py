@@ -164,14 +164,49 @@ def print_expr(expr: Expr) -> str:
     return _expr(expr, 0)
 
 
+def _fold_negation(expr: Expr) -> Expr:
+    """Collapse negation chains over non-negative integer literals:
+    ``-(c)`` becomes the literal ``-c`` and ``-(-0)`` becomes ``0``.
+    The parser folds ``- INT`` the same way, so without this a printed
+    negation of a literal would re-parse to a different tree ('-0' in
+    particular must print as '0' to re-parse stably)."""
+    if not (isinstance(expr, UnaryOp) and expr.op == "-"):
+        return expr
+    operand = _fold_negation(expr.operand)
+    if (
+        isinstance(operand, Const)
+        and isinstance(operand.value, int)
+        and not isinstance(operand.value, bool)
+        and operand.value >= 0
+    ):
+        return Const(-operand.value)
+    if operand is not expr.operand:
+        return UnaryOp("-", operand)
+    return expr
+
+
 def _expr(expr: Expr, parent_level: int) -> str:
     if isinstance(expr, Const):
-        return _literal(expr.value)
+        text = _literal(expr.value)
+        if (
+            isinstance(expr.value, int)
+            and not isinstance(expr.value, bool)
+            and expr.value < 0
+        ):
+            # a negative literal binds like a unary minus: '-(-12)' and
+            # 'abs (-17)' need the parentheses ('--12' would lex as a
+            # comment, 'abs -17' re-parses as abs applied to a unary op)
+            return f"({text})" if parent_level > 6 else text
+        return text
     if isinstance(expr, VarRef):
         return expr.name
     if isinstance(expr, Index):
         return f"{_expr(expr.base, 99)}[{_expr(expr.index_expr, 0)}]"
     if isinstance(expr, UnaryOp):
+        folded = _fold_negation(expr)
+        if not isinstance(folded, UnaryOp):
+            return _expr(folded, parent_level)
+        expr = folded
         # operand at level 7 so a nested unary/binary is parenthesised;
         # '-(-x)' in particular must never print as '--x' (a comment)
         inner = _expr(expr.operand, 7)

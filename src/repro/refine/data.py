@@ -45,6 +45,7 @@ from repro.spec.expr import (
     var,
 )
 from repro.spec.specification import Specification
+from repro.spec.subprogram import Direction
 from repro.spec.stmt import (
     Assign,
     Body,
@@ -283,23 +284,55 @@ class _LeafRewriter:
     def _rewrite_call(self, stmt: CallStmt, prelude: List[Stmt]) -> List[Stmt]:
         callee = self.refined.subprograms.get(stmt.callee)
         out_indices = set(callee.out_param_indices()) if callee else set()
+        inout_indices = (
+            {
+                i
+                for i, param in enumerate(callee.params)
+                if param.direction is Direction.INOUT
+            }
+            if callee
+            else set()
+        )
         postlude: List[Stmt] = []
         new_args: List[Expr] = []
         for position, arg in enumerate(stmt.args):
             if position in out_indices:
+                # an inout argument is read by the callee, so the
+                # temporary must carry the *current* memory value into
+                # the call (rewrite_expr emits the fetch); a pure out
+                # argument only needs the write-back
                 if isinstance(arg, VarRef) and self._is_placed(arg.name):
-                    tmp = self._tmp_for(arg.name)
-                    new_args.append(var(tmp))
-                    postlude.append(self._send(arg.name, None, var(tmp)))
+                    if position in inout_indices:
+                        fetched = self.rewrite_expr(arg, prelude)
+                        new_args.append(fetched)
+                        postlude.append(self._send(arg.name, None, fetched))
+                    else:
+                        tmp = self._tmp_for(arg.name)
+                        new_args.append(var(tmp))
+                        postlude.append(self._send(arg.name, None, var(tmp)))
                 elif (
                     isinstance(arg, Index)
                     and isinstance(arg.base, VarRef)
                     and self._is_placed(arg.base.name)
                 ):
                     index = self.rewrite_expr(arg.index_expr, prelude)
-                    tmp = self._tmp_for(arg.base.name)
-                    new_args.append(var(tmp))
-                    postlude.append(self._send(arg.base.name, index, var(tmp)))
+                    if position in inout_indices:
+                        fetched = self.rewrite_expr(arg, prelude)
+                        new_args.append(fetched)
+                        postlude.append(
+                            self._send(arg.base.name, index, fetched)
+                        )
+                    else:
+                        tmp = self._tmp_for(arg.base.name)
+                        new_args.append(var(tmp))
+                        postlude.append(
+                            self._send(arg.base.name, index, var(tmp))
+                        )
+                elif isinstance(arg, Index):
+                    # local-array lvalue: its index may still read
+                    # placed variables
+                    index = self.rewrite_expr(arg.index_expr, prelude)
+                    new_args.append(Index(arg.base, index))
                 else:
                     new_args.append(arg)
             else:

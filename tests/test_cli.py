@@ -301,3 +301,40 @@ class TestFigure10Breakdown:
         out = capsys.readouterr().out
         assert "Figure 10 breakdown" in out
         assert "emitter" in out and "assemble" in out
+
+
+class TestFuzz:
+    def test_small_campaign_passes(self, capsys, tmp_path):
+        report_file = tmp_path / "fuzz.txt"
+        assert main(["fuzz", "--seed", "0", "--count", "4",
+                     "--model", "Model1", "--corpus", "",
+                     "-o", str(report_file)]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz campaign" in out
+        assert "all oracles passed" in out
+        assert "fuzz campaign" in report_file.read_text()
+
+    def test_fuzz_json_report(self, capsys):
+        import json
+
+        assert main(["fuzz", "--seed", "1", "--count", "2", "--json",
+                     "--model", "Model1", "--corpus", "", "-o", ""]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["count"] == 2
+
+    def test_corpus_replay_via_cli(self, capsys):
+        assert main(["fuzz", "--count", "0", "--model", "Model1",
+                     "-o", ""]) == 0
+        assert "corpus replay" in capsys.readouterr().out
+
+    def test_trace_export(self, capsys, tmp_path):
+        import json
+
+        trace_file = tmp_path / "fuzz_trace.json"
+        assert main(["fuzz", "--count", "2", "--model", "Model1",
+                     "--corpus", "", "-o", "",
+                     "--trace", str(trace_file)]) == 0
+        events = json.loads(trace_file.read_text())
+        assert any(e.get("name", "").startswith("case-")
+                   for e in events.get("traceEvents", events))

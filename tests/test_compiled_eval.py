@@ -51,12 +51,24 @@ def parity_cases():
                 BinOp(op, x, Const(3)),  # fused constant right
                 BinOp(op, Const(3), x),  # constant left
             ]
+    for op in BINARY_OPS:
+        if op in ("and", "or"):
+            cases += [
+                BinOp(op, Const(True), flag),  # constant boolean left
+                BinOp(op, flag, Const(False)),  # constant boolean right
+            ]
+        else:
+            cases += [BinOp(op, Const(3), Const(2))]  # both constant
     cases += [
         UnaryOp("-", x),
         UnaryOp("abs", y),
         UnaryOp("not", flag),
         UnaryOp("not", BinOp("<", x, Const(0))),  # boolean-typed operand
+        UnaryOp("-", Const(5)),  # constant unary operands
+        UnaryOp("abs", Const(-3)),
+        UnaryOp("not", Const(False)),
         Index(VarRef("arr"), BinOp("-", x, Const(6))),
+        Index(VarRef("arr"), Const(1)),  # constant index
         BinOp("+", sig, Const(1)),  # signal read
         Const(True),
         Const(42),
@@ -79,6 +91,46 @@ class TestExpressionParity:
     @pytest.mark.parametrize("op", ["/", "mod"])
     def test_zero_division_message_parity(self, op):
         expr = BinOp(op, VarRef("x"), VarRef("zero"))
+        with pytest.raises(SimulationError) as compiled_error:
+            ExprCompiler().compile(expr)(make_env())
+        with pytest.raises(SimulationError) as walker_error:
+            evaluate(expr, make_env())
+        assert str(compiled_error.value) == str(walker_error.value)
+
+    @pytest.mark.parametrize("op", ["/", "mod"])
+    def test_const_zero_divisor_message_parity(self, op):
+        # '/' and 'mod' have no constant-operand fast path precisely so
+        # a literal zero divisor raises the walker's exact runtime error
+        expr = BinOp(op, VarRef("x"), Const(0))
+        with pytest.raises(SimulationError) as compiled_error:
+            ExprCompiler().compile(expr)(make_env())
+        with pytest.raises(SimulationError) as walker_error:
+            evaluate(expr, make_env())
+        assert str(compiled_error.value) == str(walker_error.value)
+
+    @pytest.mark.parametrize("op", ["/", "mod"])
+    def test_const_zero_divisor_not_folded_at_compile_time(self, op):
+        # compiling must not evaluate the division: the error is a
+        # runtime property of the expression, not a compile-time one
+        expr = BinOp(op, VarRef("x"), Const(0))
+        compiled = ExprCompiler().compile(expr)  # must not raise
+        with pytest.raises(SimulationError):
+            compiled(make_env())
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            # bools are not numbers: the constant-operand fusion must
+            # not treat a boolean literal as a numeric constant (Python
+            # would happily compute x + True), and both strategies must
+            # reject it with the same runtime type error
+            BinOp("+", VarRef("x"), Const(True)),
+            BinOp("+", VarRef("flag"), Const(1)),
+            BinOp("*", Const(False), VarRef("x")),
+        ],
+        ids=str,
+    )
+    def test_bool_arithmetic_rejected_identically(self, expr):
         with pytest.raises(SimulationError) as compiled_error:
             ExprCompiler().compile(expr)(make_env())
         with pytest.raises(SimulationError) as walker_error:

@@ -8,8 +8,8 @@ from repro.errors import EquivalenceError
 from repro.models import MODEL1
 from repro.refine import Refiner
 from repro.sim.equivalence import Mismatch, check_equivalence
-from repro.spec.builder import assign
-from repro.spec.expr import var
+from repro.spec.builder import assign, wait_until
+from repro.spec.expr import Const, var
 from repro.spec.stmt import body
 
 
@@ -93,3 +93,72 @@ class TestDivergenceDetection:
         report = check_equivalence(design, inputs={"seed": -5})
         assert "MISMATCH" in report.describe()
         assert "memory-value" in report.describe()
+
+
+class TestEveryMismatchKind:
+    """Each of the four ``Mismatch.kind`` values, provoked by a
+    deliberately broken refinement."""
+
+    @staticmethod
+    def _extend_server_loop(design, extra):
+        """Insert ``extra`` at the end of the moved-B daemon's serve
+        loop (B_NEW is ``while true ... end loop``; code appended after
+        the loop would be dead)."""
+        from repro.spec.stmt import While
+
+        b_new = design.spec.find_behavior("B_NEW")
+        loop = b_new.stmt_body[0]
+        b_new.stmt_body = body(
+            [While(loop.cond, body(list(loop.loop_body) + list(extra)))]
+        )
+
+    def test_completion_kind(self, design):
+        # the refined B_CTRL blocks forever on an unsatisfiable wait,
+        # so the refined run goes quiescent without completing
+        b_ctrl = design.spec.find_behavior("B_CTRL")
+        b_ctrl.stmt_body = body([wait_until(Const(False))])
+        report = check_equivalence(design, inputs={"seed": 3})
+        assert not report.equivalent
+        kinds = {m.kind for m in report.mismatches}
+        assert kinds == {"completion"}  # reported alone, nothing else
+        assert report.original_run.completed
+        assert not report.refined_run.completed
+
+    def test_output_value_kind(self, design):
+        # an off-by-one after the server's result write: both the last
+        # value and the write trace of the output diverge
+        self._extend_server_loop(
+            design, [assign("result", var("result") + 1)]
+        )
+        report = check_equivalence(design, inputs={"seed": 3})
+        kinds = {m.kind for m in report.mismatches}
+        assert "output-value" in kinds
+
+    def test_output_trace_kind_with_matching_final_value(self, design):
+        # a transient glitch: the refined design writes result+1 and
+        # then writes the correct value back, so the final value (and
+        # the memory image) match while the write trace does not
+        self._extend_server_loop(
+            design,
+            [
+                assign("result", var("result") + 1),
+                assign("result", var("result") - 1),
+            ],
+        )
+        report = check_equivalence(design, inputs={"seed": 3})
+        kinds = {m.kind for m in report.mismatches}
+        assert "output-trace" in kinds
+        assert "output-value" not in kinds
+
+    def test_memory_value_kind(self, design):
+        from repro.spec.stmt import CallStmt
+
+        c = design.spec.find_behavior("C")
+        new_stmts = []
+        for stmt in c.stmt_body:
+            if isinstance(stmt, CallStmt) and "MST_send" in stmt.callee:
+                stmt = CallStmt(stmt.callee, (stmt.args[0], Const(55)))
+            new_stmts.append(stmt)
+        c.stmt_body = body(new_stmts)
+        report = check_equivalence(design, inputs={"seed": -5})
+        assert "memory-value" in {m.kind for m in report.mismatches}

@@ -4,6 +4,7 @@ import pytest
 
 from repro.apps.figures import figure2_partition, figure2_specification
 from repro.arch import Allocation, asic, processor
+from repro.errors import EstimationError
 from repro.estimate import (
     CostWeights,
     TimingModel,
@@ -61,6 +62,44 @@ class TestTimingModel:
         stmt = assign("v1", 1)
         # B1 runs on the processor (slow), B3 on the ASIC (fast)
         assert fn("B1", stmt) > fn("B3", stmt)
+
+    def test_unknown_behavior_priced_on_first_component(self, setting):
+        # refinement-inserted servers and subprogram bodies are not in
+        # the partition; they fall back to the first component's rate
+        spec, partition, allocation, _ = setting
+        fn = cost_function(partition, allocation)
+        stmt = assign("v1", 1)
+        first = partition.components()[0]
+        known_on_first = next(
+            b for b in partition.assignment
+            if partition.assignment[b] == first
+        )
+        assert fn("Gmem_server", stmt) == fn(known_on_first, stmt)
+
+    def test_missing_allocation_raises_estimation_error(self, setting):
+        # a partitioned behavior whose component has no allocation is a
+        # configuration error, not a silent fallback
+        spec, partition, _, _ = setting
+        partial = Allocation([processor("PROC")], name="half")
+        fn = cost_function(partition, partial)
+        stmt = assign("v1", 1)
+        with pytest.raises(EstimationError) as error:
+            fn("B3", stmt)  # B3 lives on the unallocated ASIC
+        assert "B3" in str(error.value)
+        assert "ASIC" in str(error.value)
+
+    def test_unknown_behavior_with_missing_first_allocation_raises(
+        self, setting
+    ):
+        spec, partition, _, _ = setting
+        first = partition.components()[0]
+        others = [c for c in partition.components() if c != first]
+        partial = Allocation(
+            [asic(name) for name in others], name="no-first"
+        )
+        fn = cost_function(partition, partial)
+        with pytest.raises(EstimationError):
+            fn("not_a_partitioned_behavior", assign("v1", 1))
 
 
 class TestDynamicProfile:

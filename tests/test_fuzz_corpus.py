@@ -1,0 +1,33 @@
+"""Replay the persisted fuzzing regression corpus.
+
+Every ``tests/corpus/*.spec`` entry is a shrunk reproduction of a bug
+the fuzzer once caught (the ``-- bug:`` directive says which).  Each
+must now sail through every oracle its directives enable — a failure
+here means a fixed bug regressed."""
+
+import os
+
+import pytest
+
+from repro.experiments.fuzzing import replay_corpus_entry
+from repro.fuzz import iter_corpus
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+ENTRIES = iter_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_populated():
+    assert len(ENTRIES) >= 3
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+def test_corpus_entry_stays_fixed(entry):
+    failures = replay_corpus_entry(entry)
+    assert not failures, "\n".join(f.describe() for f in failures)
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+def test_corpus_entry_documents_its_bug(entry):
+    assert entry.bug.strip(), "corpus entries must carry a -- bug: line"
+    entry.load_spec().validate()

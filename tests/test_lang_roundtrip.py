@@ -228,10 +228,33 @@ class TestParseErrors:
 
 
 _expr_leaves = st.one_of(
-    st.integers(min_value=0, max_value=999).map(Const),
+    st.integers(min_value=-999, max_value=999).map(Const),
     st.sampled_from(["a", "b", "c"]).map(VarRef),
     st.booleans().map(Const),
 )
+
+
+def _normalized(expr):
+    """The printer's canonical form: a unary minus over a non-negative
+    integer literal folds into a negative literal (and the parser folds
+    the text the same way), so the print/parse identity holds modulo
+    this normalisation."""
+    if isinstance(expr, UnaryOp):
+        operand = _normalized(expr.operand)
+        if (
+            expr.op == "-"
+            and isinstance(operand, Const)
+            and isinstance(operand.value, int)
+            and not isinstance(operand.value, bool)
+            and operand.value >= 0
+        ):
+            return Const(-operand.value)
+        return UnaryOp(expr.op, operand)
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _normalized(expr.left), _normalized(expr.right))
+    if isinstance(expr, Index):
+        return Index(_normalized(expr.base), _normalized(expr.index_expr))
+    return expr
 
 
 @st.composite
@@ -260,4 +283,71 @@ class TestExpressionRoundTripProperty:
     @given(_exprs())
     @settings(max_examples=200)
     def test_print_parse_is_identity(self, expr):
-        assert parse_expression(print_expr(expr)) == expr
+        assert parse_expression(print_expr(expr)) == _normalized(expr)
+
+    @given(_exprs())
+    @settings(max_examples=200)
+    def test_printed_text_is_a_fixpoint(self, expr):
+        text = print_expr(expr)
+        assert print_expr(parse_expression(text)) == text
+
+
+class TestFuzzRegressions:
+    """Shrunk reproductions of parser/printer bugs the differential
+    fuzzer caught (see tests/corpus/ for the spec-level versions)."""
+
+    def test_negative_literal_parses_as_const(self):
+        assert parse_expression("-17") == Const(-17)
+
+    def test_negated_negative_const_roundtrips(self):
+        # used to print as '--12', which lexes as a comment
+        expr = UnaryOp("-", Const(-12))
+        text = print_expr(expr)
+        assert text == "-(-12)"
+        assert parse_expression(text) == expr
+
+    def test_abs_of_negative_const_roundtrips(self):
+        # used to print as 'abs -17', which re-parses as abs applied to
+        # a unary op instead of a literal
+        expr = UnaryOp("abs", Const(-17))
+        text = print_expr(expr)
+        assert text == "abs (-17)"
+        assert parse_expression(text) == expr
+
+    def test_negated_zero_prints_as_zero(self):
+        assert print_expr(UnaryOp("-", Const(0))) == "0"
+        assert parse_expression("-0") == Const(0)
+
+    def test_negative_const_in_binop_roundtrips(self):
+        expr = BinOp("-", Const(1), Const(-5))
+        text = print_expr(expr)
+        assert parse_expression(text) == expr
+
+    def test_aggregate_literal_parses(self):
+        # whole-array aggregates printed as '(22, 25, 77, 28)' used to
+        # be rejected by the expression parser
+        assert parse_expression("(22, 25, 77, 28)") == Const((22, 25, 77, 28))
+
+    def test_aggregate_with_negative_elements(self):
+        assert parse_expression("(-1, 0, -256)") == Const((-1, 0, -256))
+
+    def test_aggregate_requires_literal_elements(self):
+        with pytest.raises(ParseError):
+            parse_expression("(1, x, 2)")
+
+    def test_spec_with_aggregate_assignment_roundtrips(self):
+        source = (
+            "specification agg is\n"
+            "  behavior b is leaf\n"
+            "    variable buf : array<integer<8>, 3> := (0, 0, 0);\n"
+            "  begin\n"
+            "    buf := (22, -25, 77);\n"
+            "  end behavior;\n"
+            "end specification;\n"
+        )
+        parsed = parse(source)
+        parsed.validate()
+        text = print_specification(parsed)
+        reparsed = parse(text)
+        reparsed.validate()
+        assert print_specification(reparsed) == text
