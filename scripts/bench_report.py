@@ -58,7 +58,7 @@ def bench_figure10() -> dict:
                 "refined_lines": cell.refined_lines,
                 "refinement_seconds": cell.refinement_seconds,
                 "ratio": cell.ratio,
-                "procedure_seconds": dict(cell.refined.procedure_seconds),
+                "procedure_seconds": dict(cell.procedure_seconds),
             }
     return {
         "wall_seconds": wall,

@@ -36,7 +36,18 @@ Subcommands mirror the library's main flows:
 * ``repro fuzz --seed 0 --count 200`` — the differential fuzzing
   campaign: seeded random specifications judged by the round-trip,
   walker-parity and refinement-equivalence oracles, with the
-  regression corpus replayed first (exit 1 on any surviving failure).
+  regression corpus replayed first (exit 1 on any surviving failure);
+* ``repro sweep --design Design1 --model Model1 --protocol handshake
+  --seed 0`` — cross-product campaign (every flag repeatable) that
+  refines and verifies each combination under a seeded stimulus.
+
+The campaign commands (``figure9``, ``figure10``, ``robustness``,
+``fuzz``, ``sweep``) share the execution-engine flags: ``--executor
+serial|process``, ``--workers N``, ``--job-timeout S``, ``--shards N``,
+plus the result cache (``--cache DIR`` to enable, ``--no-cache``,
+``--refresh``).  Campaign tables print to stdout; engine/cache
+statistics print to stderr, so stdout stays byte-comparable across
+executors.  See ``docs/EXECUTION.md``.
 """
 
 from __future__ import annotations
@@ -100,6 +111,64 @@ def _parse_limits(args):
         max_steps=max_steps if max_steps is not None else defaults.max_steps,
         max_delta=max_delta if max_delta is not None else defaults.max_delta,
     )
+
+
+def _add_exec_options(p) -> None:
+    """The shared execution-engine flags of every campaign command."""
+    group = p.add_argument_group("execution engine")
+    group.add_argument("--executor", choices=("serial", "process"),
+                       default="serial",
+                       help="job executor (default serial; process = "
+                            "multiprocessing pool)")
+    group.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="process-pool size (default: min(4, CPUs))")
+    group.add_argument("--job-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job wall-clock budget (process executor)")
+    group.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="jobs bundled per worker round-trip (default 1)")
+    group.add_argument("--cache", nargs="?", const="", default=None,
+                       metavar="DIR",
+                       help="enable the result cache (default dir: "
+                            "$REPRO_CACHE_DIR or .repro_cache)")
+    group.add_argument("--no-cache", action="store_true",
+                       help="bypass the cache entirely")
+    group.add_argument("--refresh", action="store_true",
+                       help="recompute every job but refill the cache")
+
+
+def _build_engine(args, tracer=None):
+    """An :class:`repro.exec.ExecutionEngine` from the shared flags."""
+    from repro.exec import (
+        ExecutionEngine,
+        ResultCache,
+        default_cache_dir,
+        resolve_executor,
+    )
+
+    options = {}
+    if args.executor == "process":
+        if args.workers is not None:
+            options["workers"] = args.workers
+        options["timeout"] = args.job_timeout
+        options["shard_size"] = args.shards
+    executor = resolve_executor(args.executor, **options)
+    cache = None
+    if args.cache is not None:
+        cache = ResultCache(args.cache or default_cache_dir())
+    return ExecutionEngine(
+        executor=executor,
+        cache=cache,
+        tracer=tracer,
+        no_cache=args.no_cache,
+        refresh=args.refresh,
+    )
+
+
+def _print_exec_stats(engine) -> None:
+    """Engine counters to stderr — stdout carries only the campaign
+    report, so it stays byte-comparable across executors."""
+    print(engine.describe(), file=sys.stderr)
 
 
 # -- subcommand handlers -------------------------------------------------------
@@ -258,29 +327,35 @@ def _cmd_export_vhdl(args) -> int:
 def _cmd_figure9(args) -> int:
     from repro.experiments import run_figure9
 
-    print(run_figure9().render(include_paper=not args.no_paper))
+    engine = _build_engine(args)
+    print(run_figure9(engine=engine).render(include_paper=not args.no_paper))
+    _print_exec_stats(engine)
     return 0
 
 
 def _cmd_figure10(args) -> int:
     from repro.experiments import run_figure10
 
-    result = run_figure10(check_equivalence=args.check)
+    engine = _build_engine(args)
+    result = run_figure10(check_equivalence=args.check, engine=engine)
     print(result.render(include_paper=not args.no_paper))
     if args.breakdown:
         print()
         print(result.render_breakdown())
+    _print_exec_stats(engine)
     return 0
 
 
 def _cmd_robustness(args) -> int:
     from repro.experiments.robustness import run_robustness
 
+    engine = _build_engine(args)
     result = run_robustness(
         seed=args.seed,
         protocol=args.protocol,
         designs=args.design or None,
         models=args.model or None,
+        engine=engine,
     )
     rendered = result.render()
     print(rendered)
@@ -291,6 +366,7 @@ def _cmd_robustness(args) -> int:
         with open(args.output, "w") as handle:
             handle.write(rendered + "\n")
         print(f"\ncampaign table written to {args.output}")
+    _print_exec_stats(engine)
     return 1 if result.unexpected() else 0
 
 
@@ -423,6 +499,7 @@ def _cmd_fuzz(args) -> int:
 
         tracer = SpanTracer()
     corpus = args.corpus if args.corpus else None
+    engine = _build_engine(args, tracer=tracer)
     if tracer is not None:
         with tracer.span("fuzz", seed=args.seed, count=args.count):
             report = run_fuzz(
@@ -432,7 +509,7 @@ def _cmd_fuzz(args) -> int:
                 budget=args.budget,
                 vectors=args.vectors,
                 corpus=corpus,
-                tracer=tracer,
+                engine=engine,
             )
     else:
         report = run_fuzz(
@@ -442,6 +519,7 @@ def _cmd_fuzz(args) -> int:
             budget=args.budget,
             vectors=args.vectors,
             corpus=corpus,
+            engine=engine,
         )
     rendered = report.as_json() if args.json else report.render()
     print(rendered)
@@ -459,7 +537,53 @@ def _cmd_fuzz(args) -> int:
         with open(args.trace, "w") as handle:
             handle.write(tracer.to_chrome_json() + "\n")
         print(f"Chrome trace written to {args.trace}")
+    _print_exec_stats(engine)
     return 0 if report.ok else 1
+
+
+def _cmd_sweep(args) -> int:
+    import json
+
+    from repro.experiments.sweep import run_sweep
+
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import SpanTracer
+
+        tracer = SpanTracer()
+    engine = _build_engine(args, tracer=tracer)
+    result = run_sweep(
+        spec=_load_spec(args.file),
+        designs=args.design or None,
+        models=args.model or None,
+        protocols=args.protocol or None,
+        seeds=[int(s) for s in args.seed] if args.seed else None,
+        inputs=_parse_inputs(args.input) or None,
+        limits=_parse_limits(args),
+        engine=engine,
+    )
+    rendered = result.render()
+    print(rendered)
+    if args.output:
+        import os
+
+        os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"\nsweep table written to {args.output}")
+    if tracer is not None:
+        import os
+
+        from repro.obs.trace import validate_chrome_trace
+
+        payload = tracer.to_chrome_json()
+        validate_chrome_trace(json.loads(payload))
+        os.makedirs(os.path.dirname(args.trace) or ".", exist_ok=True)
+        with open(args.trace, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"Chrome trace written to {args.trace}")
+    _print_exec_stats(engine)
+    return 0 if result.ok else 1
 
 
 def _cmd_explain(args) -> int:
@@ -601,6 +725,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure9", help="regenerate the Figure 9 table")
     p.add_argument("--no-paper", action="store_true",
                    help="omit the paper's reference rows")
+    _add_exec_options(p)
     p.set_defaults(handler=_cmd_figure9)
 
     p = sub.add_parser("figure10", help="regenerate the Figure 10 table")
@@ -610,6 +735,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--breakdown", action="store_true",
                    help="also decompose each cell's CPU time per "
                         "refinement procedure")
+    _add_exec_options(p)
     p.set_defaults(handler=_cmd_figure10)
 
     p = sub.add_parser(
@@ -628,6 +754,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output",
                    default="benchmarks/output/robustness_campaign.txt",
                    help="write the campaign table here ('' to skip)")
+    _add_exec_options(p)
     p.set_defaults(handler=_cmd_robustness)
 
     p = sub.add_parser(
@@ -696,7 +823,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", metavar="PATH",
                    help="also run under a span tracer and write Chrome "
                         "trace-event JSON here")
+    _add_exec_options(p)
     p.set_defaults(handler=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "sweep",
+        help="cross-product campaign: designs x models x protocols x seeds",
+    )
+    add_file(p)
+    p.add_argument("--design", action="append",
+                   help="design to include (repeatable; default all three)")
+    p.add_argument("--model", action="append",
+                   help="model to include (repeatable; default all four)")
+    p.add_argument("--protocol", action="append",
+                   choices=("handshake", "strobe", "handshake-timeout"),
+                   help="protocol to include (repeatable; default handshake)")
+    p.add_argument("--seed", action="append", metavar="N",
+                   help="stimulus seed to include (repeatable; default 0 = "
+                        "the baseline input vector)")
+    p.add_argument("--input", action="append", metavar="NAME=VALUE",
+                   help="override the baseline stimulus")
+    add_limits(p)
+    p.add_argument("-o", "--output",
+                   default="benchmarks/output/sweep_campaign.txt",
+                   help="write the sweep table here ('' to skip)")
+    p.add_argument("--trace", metavar="PATH",
+                   help="run under a span tracer and write Chrome "
+                        "trace-event JSON here")
+    _add_exec_options(p)
+    p.set_defaults(handler=_cmd_sweep)
 
     p = sub.add_parser(
         "explain",

@@ -1,0 +1,206 @@
+"""Content-addressed on-disk result cache.
+
+Each entry is one JSON file ``<root>/<key[:2]>/<key>.json`` holding the
+job's payload plus enough metadata to detect corruption::
+
+    {"version": 1, "key": ..., "task": ..., "salt": ..., "payload": ...}
+
+Design points:
+
+* **content addressing** — the key (see :func:`repro.exec.job.job_key`)
+  digests the canonical spec text, partition, model, protocol, seed and
+  a code-version salt, so a lookup can only ever return a result
+  computed from identical inputs by identical code;
+* **corruption tolerance** — a truncated, unparsable or mislabelled
+  entry is deleted and reported as a miss (``stats.errors``), never
+  served;
+* **atomic writes** — entries are written to a temp file and renamed,
+  so a crashed writer leaves no half-entry behind;
+* **capacity floor** — when the entry count exceeds ``capacity`` the
+  oldest entries (by mtime, name-tiebroken) are evicted *down to
+  exactly* ``capacity``: eviction never drops the population below the
+  configured floor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["CacheStats", "ResultCache", "DEFAULT_CACHE_DIR", "default_cache_dir"]
+
+#: Entry-file schema version.
+_VERSION = 1
+
+#: Default cache location (overridable via ``REPRO_CACHE_DIR``).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` or ``.repro_cache`` under the cwd."""
+    return os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+
+
+@dataclass
+class CacheStats:
+    """Cumulative counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    errors: int = 0
+    evictions: int = 0
+    puts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "errors": self.errors,
+            "evictions": self.evictions,
+            "puts": self.puts,
+        }
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(**self.as_dict())
+
+
+@dataclass
+class ResultCache:
+    """The on-disk store.  ``capacity`` bounds the number of entries
+    (and is the floor eviction never undercuts); ``salt`` is stamped
+    into entries for debuggability only — the key already encodes it."""
+
+    root: str
+    capacity: int = 4096
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self):
+        if self.capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {self.capacity}")
+
+    # -- paths ---------------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def entries(self) -> List[str]:
+        """Every stored key (unordered)."""
+        if not os.path.isdir(self.root):
+            return []
+        found = []
+        for dirpath, _, filenames in os.walk(self.root):
+            for filename in filenames:
+                if filename.endswith(".json"):
+                    found.append(filename[:-5])
+        return found
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, key: str, task: Optional[str] = None) -> Optional[Dict[str, object]]:
+        """The payload stored under ``key``, or ``None``.
+
+        A present-but-unusable entry (truncated file, JSON damage, a
+        key or task label that does not match its address) is deleted
+        and counted in ``stats.errors`` — a corrupt entry degrades to a
+        recompute, never to a wrong result.
+        """
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, UnicodeDecodeError):
+            self._discard(path)
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != _VERSION
+            or data.get("key") != key
+            or (task is not None and data.get("task") != task)
+            or "payload" not in data
+        ):
+            self._discard(path)
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return data["payload"]
+
+    # -- store ---------------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        task: str,
+        payload: Dict[str, object],
+        salt: Optional[str] = None,
+    ) -> None:
+        """Store ``payload`` under ``key`` (atomic), then enforce the
+        capacity bound."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "version": _VERSION,
+            "key": key,
+            "task": task,
+            "salt": salt,
+            "payload": payload,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            self._discard(tmp)
+            raise
+        self.stats.puts += 1
+        self._enforce_capacity()
+
+    # -- eviction ------------------------------------------------------------
+
+    def _aged_entries(self) -> List[Tuple[int, str, str]]:
+        """(mtime_ns, key, path) of every entry, oldest first."""
+        aged = []
+        for key in self.entries():
+            path = self._path(key)
+            try:
+                mtime = os.stat(path).st_mtime_ns
+            except OSError:
+                continue
+            aged.append((mtime, key, path))
+        aged.sort()
+        return aged
+
+    def _enforce_capacity(self) -> None:
+        aged = self._aged_entries()
+        excess = len(aged) - self.capacity
+        for mtime, key, path in aged[: max(excess, 0)]:
+            self._discard(path)
+            self.stats.evictions += 1
+
+    def _discard(self, path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for key in self.entries():
+            self._discard(self._path(key))
+            removed += 1
+        return removed

@@ -1,0 +1,390 @@
+"""Registered campaign tasks — the work a grid job performs.
+
+Every task is a plain function ``params_dict -> payload_dict`` living
+behind a string name, so a job can be pickled to a worker process (the
+name travels, the registry resolves it on the other side) and its
+payload can be stored verbatim in the JSON result cache.  Parameters
+and payloads are therefore restricted to JSON-serialisable values;
+specifications travel as canonical printed text, partitions as plain
+``object -> component`` mappings, allocations and kernel limits as the
+small helper encodings below.
+
+The four paper/campaign drivers (:mod:`repro.experiments`) build grids
+over these tasks:
+
+=================  ==========================================================
+task               one job computes
+=================  ==========================================================
+``figure9-cell``   refine + execute one (design, model), returning the
+                   kernel counters behind the Figure 9 activity table
+``figure10-cell``  refine one (design, model): line counts, per-procedure
+                   CPU seconds, optional equivalence verdict
+``robustness-cell`` refine one (design, model), then classify every fault
+                   scenario against it
+``fuzz-case``      generate one seeded case and run every applicable oracle
+``fuzz-corpus``    replay one persisted regression-corpus entry
+``sweep-cell``     refine one (design, model, protocol), derive a seeded
+                   stimulus, verify equivalence — ``repro sweep``'s unit
+=================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "register",
+    "get_task",
+    "task_names",
+    "allocation_to_params",
+    "allocation_from_params",
+    "limits_to_params",
+    "limits_from_params",
+    "scenario_to_params",
+    "scenario_from_params",
+    "sweep_inputs",
+]
+
+_TASKS: Dict[str, Callable[[Dict[str, object]], Dict[str, object]]] = {}
+
+
+def register(name: str):
+    """Decorator: expose a task function to the engine under ``name``."""
+
+    def wrap(fn):
+        _TASKS[name] = fn
+        return fn
+
+    return wrap
+
+
+def get_task(name: str):
+    """The registered task, or a ``KeyError`` naming the known ones."""
+    try:
+        return _TASKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown task {name!r}; registered: {sorted(_TASKS)}"
+        ) from None
+
+
+def task_names() -> List[str]:
+    return sorted(_TASKS)
+
+
+# -- parameter encodings -----------------------------------------------------
+
+_SPEC_MEMO: Dict[int, object] = {}
+
+
+def _spec_from_text(text: str):
+    """Parse + validate ``text``, memoised per worker process (grids
+    repeat the same specification across every job)."""
+    key = hash(text)
+    spec = _SPEC_MEMO.get(key)
+    if spec is None:
+        from repro.lang.parser import parse
+
+        spec = parse(text)
+        spec.validate()
+        _SPEC_MEMO.clear()  # grids share one spec; keep the memo tiny
+        _SPEC_MEMO[key] = spec
+    return spec
+
+
+def _partition_from_params(spec, assignment, name: str):
+    """``assignment`` is the order-preserving pair list produced by
+    :func:`repro.exec.job.canonical_partition` (a plain mapping is
+    accepted too) — order matters, it steers refinement topology."""
+    from repro.partition.partition import Partition
+
+    if not isinstance(assignment, dict):
+        assignment = {key: value for key, value in assignment}
+    return Partition.from_mapping(spec, assignment, name=name)
+
+
+def allocation_to_params(allocation) -> Optional[List[Dict[str, object]]]:
+    """An :class:`repro.arch.allocation.Allocation` as JSON data
+    (``None`` stays ``None`` — tasks then use the paper default)."""
+    if allocation is None:
+        return None
+    return [
+        {
+            "name": component.name,
+            "kind": component.kind.value,
+            "clock_hz": component.clock_hz,
+            "attrs": dict(component.attrs),
+        }
+        for component in allocation.components.values()
+    ]
+
+
+def allocation_from_params(data) :
+    if data is None:
+        from repro.experiments.figure9 import default_allocation
+
+        return default_allocation()
+    from repro.arch.allocation import Allocation
+    from repro.arch.components import Component, ComponentKind
+
+    return Allocation(
+        [
+            Component(
+                item["name"],
+                ComponentKind(item["kind"]),
+                item["clock_hz"],
+                dict(item.get("attrs") or {}),
+            )
+            for item in data
+        ],
+        name="allocation",
+    )
+
+
+def limits_to_params(limits) -> Optional[Dict[str, object]]:
+    if limits is None:
+        return None
+    return {
+        "max_steps": limits.max_steps,
+        "max_delta": limits.max_delta,
+        "wall_clock": limits.wall_clock,
+    }
+
+
+def limits_from_params(data):
+    if data is None:
+        return None
+    from repro.sim.kernel import KernelLimits
+
+    return KernelLimits(**data)
+
+
+def scenario_to_params(scenario) -> Dict[str, object]:
+    from dataclasses import asdict
+
+    return asdict(scenario)
+
+
+def scenario_from_params(data: Dict[str, object]):
+    from repro.sim.faults import FaultScenario
+
+    return FaultScenario(**data)
+
+
+# -- figure 9 ----------------------------------------------------------------
+
+
+@register("figure9-cell")
+def figure9_cell(params: Dict[str, object]) -> Dict[str, object]:
+    """Refine one (design, model) and execute it with kernel counters
+    attached — the measured half of a Figure 9 cell."""
+    from repro.models import resolve_model
+    from repro.refine.refiner import Refiner
+    from repro.sim.interpreter import Simulator
+    from repro.sim.metrics import SimMetrics
+
+    spec = _spec_from_text(params["spec"])
+    partition = _partition_from_params(
+        spec, params["partition"], params["design"]
+    )
+    model = resolve_model(params["model"])
+    refined = Refiner(spec, partition, model).run()
+    metrics = SimMetrics()
+    Simulator(refined.spec).run(
+        inputs=dict(params["inputs"]), metrics=metrics
+    )
+    return {"metrics": metrics.as_dict()}
+
+
+# -- figure 10 ---------------------------------------------------------------
+
+
+@register("figure10-cell")
+def figure10_cell(params: Dict[str, object]) -> Dict[str, object]:
+    """Refine one (design, model); measure size, per-procedure CPU time
+    and (optionally) functional equivalence."""
+    from repro.models import resolve_model
+    from repro.refine.refiner import Refiner
+
+    spec = _spec_from_text(params["spec"])
+    partition = _partition_from_params(
+        spec, params["partition"], params["design"]
+    )
+    allocation = allocation_from_params(params.get("allocation"))
+    model = resolve_model(params["model"])
+    refined = Refiner(spec, partition, model, allocation=allocation).run()
+    sizes = refined.line_counts()
+    equivalent: Optional[bool] = None
+    if params.get("check_equivalence"):
+        from repro.sim.equivalence import check_equivalence
+
+        equivalent = check_equivalence(
+            refined, inputs=dict(params["inputs"])
+        ).equivalent
+    return {
+        "refined_lines": sizes["refined"],
+        "refinement_seconds": refined.refinement_seconds,
+        "procedure_seconds": dict(refined.procedure_seconds),
+        "equivalent": equivalent,
+    }
+
+
+# -- robustness --------------------------------------------------------------
+
+
+@register("robustness-cell")
+def robustness_cell(params: Dict[str, object]) -> Dict[str, object]:
+    """Refine one (design, model) under the campaign protocol and
+    classify every fault scenario against it."""
+    from repro.experiments.robustness import _classify
+    from repro.models import resolve_model
+    from repro.refine.refiner import Refiner
+
+    spec = _spec_from_text(params["spec"])
+    partition = _partition_from_params(
+        spec, params["partition"], params["design"]
+    )
+    allocation = allocation_from_params(params.get("allocation"))
+    limits = limits_from_params(params.get("limits"))
+    refined = Refiner(
+        spec,
+        partition,
+        resolve_model(params["model"]),
+        allocation=allocation,
+        protocol=params["protocol"],
+    ).run()
+    cells = []
+    for data in params["scenarios"]:
+        scenario = scenario_from_params(data)
+        cell = _classify(
+            refined, dict(params["inputs"]), scenario, params["seed"], limits
+        )
+        cells.append(
+            {
+                "scenario": scenario.name,
+                "outcome": cell.outcome,
+                "fired": cell.fired,
+                "detail": cell.detail,
+            }
+        )
+    return {"cells": cells}
+
+
+# -- fuzzing -----------------------------------------------------------------
+
+
+def _failures_to_params(failures) -> List[Dict[str, object]]:
+    return [
+        {
+            "oracle": f.oracle,
+            "detail": f.detail,
+            "spec_text": f.spec_text,
+            "inputs": f.inputs,
+            "model": f.model,
+        }
+        for f in failures
+    ]
+
+
+@register("fuzz-case")
+def fuzz_case(params: Dict[str, object]) -> Dict[str, object]:
+    """Generate one seeded case and run every applicable oracle."""
+    from repro.experiments.fuzzing import _slice_config
+    from repro.fuzz.generator import generate_case, generate_input_vectors
+    from repro.fuzz.oracle import run_all_oracles
+    from repro.models import resolve_model
+
+    config = _slice_config(params["slice"], params.get("budget"))
+    case_seed = params["case_seed"]
+    case = generate_case(case_seed, config)
+    inputs = generate_input_vectors(case.spec, case_seed, params["vectors"])
+    models = [resolve_model(m) for m in params["models"]]
+    result = run_all_oracles(case, inputs, models, params["max_steps"])
+    return {
+        "checks": result.checks,
+        "failures": _failures_to_params(result.failures),
+    }
+
+
+@register("fuzz-corpus")
+def fuzz_corpus(params: Dict[str, object]) -> Dict[str, object]:
+    """Replay one persisted regression-corpus entry."""
+    from repro.experiments.fuzzing import replay_corpus_entry
+    from repro.fuzz.shrink import CorpusEntry
+    from repro.models import resolve_model
+
+    entry = CorpusEntry(
+        name=params["name"],
+        bug=params["bug"],
+        spec_text=params["spec_text"],
+        partition=params.get("partition"),
+        input_vectors=list(params.get("input_vectors") or []),
+    )
+    models = [resolve_model(m) for m in params["models"]]
+    failures = replay_corpus_entry(entry, models, params["max_steps"])
+    return {"failures": _failures_to_params(failures)}
+
+
+# -- sweep -------------------------------------------------------------------
+
+
+#: Input ports matching these globs keep their baseline value across
+#: sweep seeds — they bound iteration (``num_cycles``-style), and a
+#: random bound would change the workload size, not just the stimulus.
+PINNED_INPUT_PATTERNS = ("*cycles*", "*count*")
+
+
+def sweep_inputs(
+    spec, seed: int, base: Optional[Dict[str, int]] = None
+) -> Dict[str, int]:
+    """The deterministic stimulus of sweep seed ``seed``.
+
+    Seed 0 is the baseline vector (``base``, e.g. the bundled medical
+    stimulus).  Other seeds re-roll every *data* input port from a
+    seeded RNG; ports matching :data:`PINNED_INPUT_PATTERNS` keep their
+    baseline so runtime stays bounded.
+    """
+    import random
+    from fnmatch import fnmatchcase
+
+    base = dict(base or {})
+    if seed == 0:
+        return base
+    rng = random.Random(seed * 0x5EEDC0DE + 11)
+    out: Dict[str, int] = {}
+    for port in spec.inputs():
+        name = port.name
+        if any(fnmatchcase(name, pat) for pat in PINNED_INPUT_PATTERNS):
+            out[name] = base.get(name, 1)
+        else:
+            out[name] = rng.randint(0, 99)
+    return out
+
+
+@register("sweep-cell")
+def sweep_cell(params: Dict[str, object]) -> Dict[str, object]:
+    """One ``repro sweep`` cell: refine (design, model, protocol),
+    derive the seeded stimulus, co-simulate original vs refined."""
+    from repro.models import resolve_model
+    from repro.refine.refiner import Refiner
+    from repro.sim.equivalence import check_equivalence
+
+    spec = _spec_from_text(params["spec"])
+    partition = _partition_from_params(
+        spec, params["partition"], params["design"]
+    )
+    refined = Refiner(
+        spec,
+        partition,
+        resolve_model(params["model"]),
+        protocol=params["protocol"],
+    ).run()
+    inputs = sweep_inputs(spec, params["seed"], params.get("inputs"))
+    limits = limits_from_params(params.get("limits"))
+    report = check_equivalence(refined, inputs=inputs, limits=limits)
+    return {
+        "refined_lines": refined.line_counts()["refined"],
+        "equivalent": report.equivalent,
+        "inputs": inputs,
+        "steps": report.refined_run.steps,
+    }

@@ -1,0 +1,169 @@
+"""The campaign execution engine: grid in, ordered results out.
+
+``ExecutionEngine.run`` takes a job grid (see
+:class:`repro.exec.job.Job`), answers what it can from the
+content-addressed result cache, hands the misses to the configured
+executor, stores fresh results back, and returns one
+:class:`repro.exec.job.JobResult` per job **in grid order** — results
+are keyed by job identity, never by completion order, which is what
+makes serial and parallel campaign reports byte-identical.
+
+Observability plugs into the existing layers:
+
+* an :class:`repro.sim.metrics.ExecMetrics` counts jobs, cache
+  hits/misses/evictions, failures and fallbacks;
+* a :class:`repro.obs.trace.SpanTracer` receives one ``exec`` span per
+  grid and one child span per job (cache hits included, flagged
+  ``cached=True``), so ``repro sweep --trace`` / ``repro fuzz --trace``
+  show the scheduler's work next to the pipeline spans.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from repro.exec.cache import ResultCache
+from repro.exec.executors import SerialExecutor
+from repro.exec.job import Job, JobResult, code_version_salt
+from repro.obs.trace import NULL_TRACER
+from repro.sim.metrics import ExecMetrics
+
+__all__ = ["ExecutionEngine"]
+
+
+class ExecutionEngine:
+    """Runs job grids through a cache + executor pair.
+
+    ``executor``
+        Any object with ``run(items) -> outcomes`` — see
+        :mod:`repro.exec.executors`.  Default: the serial reference.
+    ``cache``
+        A :class:`repro.exec.cache.ResultCache`, or ``None`` to run
+        uncached (the default — campaign drivers opt in).
+    ``no_cache``
+        Bypass the cache entirely (neither read nor write).
+    ``refresh``
+        Recompute every job but store the fresh results (a cache
+        warm-up that distrusts current contents).
+    """
+
+    def __init__(
+        self,
+        executor=None,
+        cache: Optional[ResultCache] = None,
+        metrics: Optional[ExecMetrics] = None,
+        tracer=None,
+        no_cache: bool = False,
+        refresh: bool = False,
+    ):
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache = cache
+        self.metrics = metrics if metrics is not None else ExecMetrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.no_cache = no_cache
+        self.refresh = refresh
+
+    # -- main entry ----------------------------------------------------------
+
+    def run(self, jobs: Sequence[Job]) -> List[JobResult]:
+        started = time.perf_counter()
+        salt = code_version_salt()
+        executor_name = getattr(self.executor, "name", "custom")
+        use_cache = self.cache is not None and not self.no_cache
+        read_cache = use_cache and not self.refresh
+
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        pending: List[int] = []
+        # explicit None-check: ResultCache defines __len__, so an empty
+        # cache is falsy and a bare `if self.cache` would skip accounting
+        cache_before = (
+            self.cache.stats.snapshot() if self.cache is not None else None
+        )
+
+        with self.tracer.span(
+            "exec-grid", category="exec", jobs=len(jobs),
+            executor=executor_name,
+        ) as grid_span:
+            for index, job in enumerate(jobs):
+                key = job.key(salt)
+                if read_cache:
+                    payload = self.cache.get(key, task=job.task)
+                    if payload is not None:
+                        results[index] = JobResult(
+                            job=job, key=key, payload=payload,
+                            cached=True, executor="cache",
+                        )
+                        self.tracer.record_span(
+                            job.describe(), 0.0, cached=True
+                        )
+                        continue
+                pending.append(index)
+
+            degraded_before = getattr(self.executor, "degraded", 0)
+            retries_before = getattr(self.executor, "retries", 0)
+            if pending:
+                outcomes = self.executor.run(
+                    [(jobs[i].task, jobs[i].params) for i in pending]
+                )
+                for index, outcome in zip(pending, outcomes):
+                    job = jobs[index]
+                    key = job.key(salt)
+                    seconds = float(outcome.get("seconds", 0.0))
+                    error = outcome.get("error")
+                    payload = outcome.get("payload")
+                    results[index] = JobResult(
+                        job=job, key=key, payload=payload, error=error,
+                        cached=False, seconds=seconds, executor=executor_name,
+                    )
+                    self.tracer.record_span(
+                        job.describe(), seconds, cached=False,
+                        **({"error": error["kind"]} if error else {}),
+                    )
+                    if error is None and use_cache:
+                        self.cache.put(key, job.task, payload, salt=salt)
+
+            done = [r for r in results if r is not None]
+            self._account(
+                jobs, done, cache_before, grid_span,
+                degraded_before, retries_before,
+            )
+        self.metrics.wall_seconds += time.perf_counter() - started
+        return done
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _account(
+        self, jobs, results, cache_before, grid_span,
+        degraded_before, retries_before,
+    ) -> None:
+        hits = sum(1 for r in results if r.cached)
+        failed = sum(1 for r in results if not r.ok)
+        executed = len(results) - hits
+        self.metrics.jobs += len(jobs)
+        self.metrics.executed += executed
+        self.metrics.failed += failed
+        self.metrics.timeouts += sum(
+            1 for r in results if r.error and r.error.get("kind") == "timeout"
+        )
+        self.metrics.degraded += (
+            getattr(self.executor, "degraded", 0) - degraded_before
+        )
+        self.metrics.retries += (
+            getattr(self.executor, "retries", 0) - retries_before
+        )
+        if cache_before is not None:
+            after = self.cache.stats
+            self.metrics.cache_hits += after.hits - cache_before.hits
+            self.metrics.cache_misses += after.misses - cache_before.misses
+            self.metrics.cache_errors += after.errors - cache_before.errors
+            self.metrics.cache_evictions += (
+                after.evictions - cache_before.evictions
+            )
+        grid_span.set("cache_hits", hits)
+        grid_span.set("executed", executed)
+        grid_span.set("failed", failed)
+
+    def describe(self) -> str:
+        """The engine's cumulative counters (for CLI stderr summaries)."""
+        return self.metrics.describe()

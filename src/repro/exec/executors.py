@@ -1,0 +1,281 @@
+"""Pluggable job executors: ``serial`` (reference) and ``process``.
+
+An executor takes an ordered list of ``(task, params)`` pairs and
+returns one *outcome* mapping per job, in the same order::
+
+    {"payload": {...}, "seconds": 0.12}            # success
+    {"error": {"kind": ..., "type": ..., "message": ...}, "seconds": ...}
+
+Jobs never raise out of an executor — every failure mode is folded
+into a structured error so campaign reports stay deterministic:
+
+``error``
+    The task raised; ``type``/``message`` carry the exception.
+``timeout``
+    The job exceeded the per-job wall-clock budget.  The worker that
+    ran it is poisoned (it may still be computing), so the process
+    pool is recycled before the remaining jobs continue.
+``crash``
+    A worker process died mid-job (killed, segfaulted, OOMed).  The
+    process executor *degrades gracefully*: the in-flight and
+    remaining jobs are recomputed serially in the parent process, so
+    a flaky pool can slow a campaign down but never lose results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["SerialExecutor", "ProcessExecutor", "resolve_executor"]
+
+Outcome = Dict[str, object]
+Item = Tuple[str, Dict[str, object]]
+
+
+def _structured_error(kind: str, exc: Optional[BaseException], message: str = "") -> Dict[str, object]:
+    return {
+        "kind": kind,
+        "type": type(exc).__name__ if exc is not None else kind,
+        "message": message or (str(exc).splitlines()[0] if exc is not None and str(exc) else ""),
+    }
+
+
+def _execute_one(task: str, params: Dict[str, object]) -> Outcome:
+    """Run one job to an outcome mapping (never raises)."""
+    from repro.exec.campaigns import get_task
+
+    started = time.perf_counter()
+    try:
+        fn = get_task(task)
+        payload = fn(dict(params))
+        if not isinstance(payload, dict):
+            raise TypeError(
+                f"task {task!r} returned {type(payload).__name__}, "
+                "expected a JSON-serialisable dict"
+            )
+        return {"payload": payload, "seconds": time.perf_counter() - started}
+    except BaseException as exc:  # noqa: BLE001 — folded into the report
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        return {
+            "error": {
+                **_structured_error("error", exc),
+                "traceback": traceback.format_exc(limit=4),
+            },
+            "seconds": time.perf_counter() - started,
+        }
+
+
+def _run_shard(shard: List[Item]) -> List[Outcome]:
+    """Worker entry point: run a shard of jobs sequentially."""
+    return [_execute_one(task, params) for task, params in shard]
+
+
+class SerialExecutor:
+    """The reference executor: everything in-process, in order."""
+
+    name = "serial"
+
+    def run(self, items: Sequence[Item]) -> List[Outcome]:
+        return [_execute_one(task, params) for task, params in items]
+
+
+class ProcessExecutor:
+    """A multiprocessing pool with shards, timeouts and degradation.
+
+    ``workers``
+        Pool size (default: all schedulable CPUs, capped at 4 so the
+        default matches the benchmark gate's configuration).
+    ``timeout``
+        Per-job wall-clock budget in seconds (``None``: unlimited).
+        Shards multiply it by their length.
+    ``shard_size``
+        Jobs bundled per worker round-trip.  1 (the default) maximises
+        load balance; larger shards amortise IPC for very short jobs.
+    ``serial_fallback``
+        On a worker crash, recompute the unfinished jobs serially in
+        the parent instead of raising (default on).
+
+    Instances are reusable; ``degraded``/``timeouts``/``restarts``
+    accumulate over runs for the engine's metrics.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        shard_size: int = 1,
+        serial_fallback: bool = True,
+        mp_context: Optional[str] = None,
+    ):
+        if workers is None:
+            workers = min(4, _available_cpus())
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        self.workers = workers
+        self.timeout = timeout
+        self.shard_size = shard_size
+        self.serial_fallback = serial_fallback
+        self._mp_context = mp_context
+        self.degraded = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.restarts = 0
+
+    # -- pool plumbing -------------------------------------------------------
+
+    def _context(self):
+        if self._mp_context is not None:
+            return multiprocessing.get_context(self._mp_context)
+        try:
+            # fork keeps worker start-up to milliseconds and inherits
+            # the task registry (tests register ad-hoc tasks)
+            return multiprocessing.get_context("fork")
+        except ValueError:
+            return multiprocessing.get_context()
+
+    def _new_pool(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=self._context()
+        )
+
+    @staticmethod
+    def _kill_pool(pool) -> None:
+        """Tear a pool down *now*, stuck workers included."""
+        # _processes is internal, but it is the only way to reap a
+        # worker that is still executing an abandoned (timed-out) job;
+        # shutdown() alone would block on it.
+        try:
+            for process in list(getattr(pool, "_processes", {}).values()):
+                process.terminate()
+        except Exception:
+            pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, items: Sequence[Item]) -> List[Outcome]:
+        outcomes: Dict[int, Outcome] = {}
+        shards = self._make_shards(items)
+        pending: List[Tuple[List[int], List[Item]]] = list(shards)
+        while pending:
+            pending = self._run_wave(pending, outcomes)
+        return [outcomes[i] for i in range(len(items))]
+
+    def _make_shards(
+        self, items: Sequence[Item]
+    ) -> List[Tuple[List[int], List[Item]]]:
+        shards = []
+        for start in range(0, len(items), self.shard_size):
+            indices = list(range(start, min(start + self.shard_size, len(items))))
+            shards.append((indices, [items[i] for i in indices]))
+        return shards
+
+    def _run_wave(
+        self,
+        shards: List[Tuple[List[int], List[Item]]],
+        outcomes: Dict[int, Outcome],
+    ) -> List[Tuple[List[int], List[Item]]]:
+        """Submit every shard, collect in order; returns shards that
+        must be resubmitted (after a timeout recycled the pool)."""
+        from concurrent.futures import BrokenExecutor
+        from concurrent.futures import TimeoutError as FutureTimeout
+
+        pool = self._new_pool()
+        futures = [
+            (pool.submit(_run_shard, shard), indices, shard)
+            for indices, shard in shards
+        ]
+        requeue: List[Tuple[List[int], List[Item]]] = []
+        pool_dead = False
+        crashed: List[Tuple[List[int], List[Item]]] = []
+        for future, indices, shard in futures:
+            if pool_dead:
+                # pool already recycled: salvage finished shards, requeue the rest
+                if future.done() and not future.cancelled():
+                    try:
+                        self._absorb(future.result(0), indices, outcomes)
+                        continue
+                    except Exception:
+                        pass
+                requeue.append((indices, shard))
+                continue
+            budget = None if self.timeout is None else self.timeout * len(shard)
+            try:
+                self._absorb(future.result(budget), indices, outcomes)
+            except FutureTimeout:
+                self.timeouts += 1
+                for i in indices:
+                    outcomes[i] = {
+                        "error": _structured_error(
+                            "timeout",
+                            None,
+                            f"job exceeded its {self.timeout}s budget",
+                        ),
+                        "seconds": budget or 0.0,
+                    }
+                # the worker is still grinding on the abandoned job —
+                # recycle the pool so the rest get clean workers
+                self._kill_pool(pool)
+                self.restarts += 1
+                pool_dead = True
+            except (BrokenExecutor, EnvironmentError) as exc:
+                crashed.append((indices, shard))
+                self._kill_pool(pool)
+                pool_dead = True
+                if not self.serial_fallback:
+                    for i in indices:
+                        outcomes[i] = {
+                            "error": _structured_error("crash", exc),
+                            "seconds": 0.0,
+                        }
+        if not pool_dead:
+            pool.shutdown(wait=True)
+        if crashed and self.serial_fallback:
+            # graceful degradation: a worker died mid-job; recompute the
+            # in-flight shard and everything still queued in-process
+            self.degraded += 1
+            for indices, shard in crashed + requeue:
+                self.retries += len(indices)
+                self._absorb(_run_shard(shard), indices, outcomes)
+            return []
+        return requeue
+
+    @staticmethod
+    def _absorb(
+        results: List[Outcome], indices: List[int], outcomes: Dict[int, Outcome]
+    ) -> None:
+        for i, outcome in zip(indices, results):
+            outcomes[i] = outcome
+
+
+def _available_cpus() -> int:
+    try:
+        import os
+
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        import os
+
+        return max(1, os.cpu_count() or 1)
+
+
+def resolve_executor(name: str, **options):
+    """``"serial"`` / ``"process"`` (or an executor instance) to an
+    executor object; keyword options feed the constructor."""
+    if hasattr(name, "run"):
+        return name
+    if name == "serial":
+        return SerialExecutor()
+    if name == "process":
+        return ProcessExecutor(**options)
+    raise ValueError(f"unknown executor {name!r}; choose serial or process")

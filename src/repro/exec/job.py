@@ -1,0 +1,176 @@
+"""Jobs and content-addressed job keys.
+
+A campaign — a Figure 9 sweep, a robustness matrix, a fuzzing run — is
+a *grid* of independent jobs.  Each :class:`Job` names a registered
+task (see :mod:`repro.exec.campaigns`) and carries a JSON-serialisable
+parameter mapping, so the same job can be executed in-process, shipped
+to a worker process, or answered from the on-disk result cache.
+
+The cache key of a job is a SHA-256 digest over the *canonical* form
+of everything that determines its result:
+
+* the task name and its parameters (canonical JSON: sorted keys, no
+  whitespace) — parameters embed the canonically printed specification
+  text, the partition assignment, the model, protocol and seed;
+* a **code-version salt**: a digest of every ``repro`` source file.
+  Any change to the package silently invalidates every cached result —
+  a stale entry can never be returned against new code.
+
+Canonicalisation guarantees the key is invariant under re-printing: a
+specification parsed from its own printed text produces the same text
+again (the printer is a fixpoint, enforced by the fuzzing oracles), so
+``job_key`` sees identical bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+__all__ = [
+    "Job",
+    "JobResult",
+    "canonical_params",
+    "canonical_partition",
+    "canonical_spec_text",
+    "code_version_salt",
+    "job_key",
+]
+
+
+def canonical_spec_text(spec_or_text) -> str:
+    """The canonical printed form of a specification.
+
+    Accepts a :class:`repro.spec.specification.Specification` or source
+    text; either way the result is ``print_specification`` output, so
+    two textual variants of the same specification key identically.
+    """
+    from repro.lang.printer import print_specification
+
+    if isinstance(spec_or_text, str):
+        from repro.lang.parser import parse
+
+        return print_specification(parse(spec_or_text))
+    return print_specification(spec_or_text)
+
+
+def canonical_partition(partition) -> List[List[str]]:
+    """A partition as an *order-preserving* list of
+    ``[object, component]`` pairs (accepts a
+    :class:`repro.partition.partition.Partition` or a plain mapping).
+
+    Assignment order is semantically significant — it steers topology
+    construction during refinement, so two partitions with equal
+    mappings in different orders refine to different designs.  A list
+    keeps that order through JSON (and through the sorted-key
+    canonical form used for cache keys, which only reorders mappings),
+    so such partitions correctly get *different* cache keys.
+    """
+    assignment = getattr(partition, "assignment", partition)
+    return [[name, assignment[name]] for name in assignment]
+
+
+def canonical_params(params: Mapping) -> str:
+    """Parameters as canonical JSON (sorted keys, minimal separators)."""
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+_SALT_CACHE: Dict[str, str] = {}
+
+
+def code_version_salt() -> str:
+    """A digest of every ``repro`` source file.
+
+    Computed once per process and memoised.  Because the salt is part
+    of every job key, editing any module orphans all previous cache
+    entries instead of ever serving a result computed by old code; the
+    orphans age out through normal capacity eviction.
+    """
+    cached = _SALT_CACHE.get("salt")
+    if cached is not None:
+        return cached
+    import repro
+
+    digest = hashlib.sha256()
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            digest.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    salt = digest.hexdigest()
+    _SALT_CACHE["salt"] = salt
+    return salt
+
+
+def job_key(task: str, params: Mapping, salt: Optional[str] = None) -> str:
+    """The SHA-256 cache key of one job."""
+    if salt is None:
+        salt = code_version_salt()
+    material = canonical_params({"task": task, "params": params, "salt": salt})
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable unit of a campaign grid.
+
+    ``params`` must be JSON-serialisable — it crosses process
+    boundaries and is hashed into the cache key.  ``label`` is only
+    for humans (progress spans, error reports); it does not affect
+    the key.
+    """
+
+    task: str
+    params: Dict[str, object] = field(default_factory=dict)
+    label: str = ""
+
+    def key(self, salt: Optional[str] = None) -> str:
+        return job_key(self.task, self.params, salt)
+
+    def describe(self) -> str:
+        return self.label or f"{self.task}({canonical_params(self.params)[:60]})"
+
+
+@dataclass
+class JobResult:
+    """What the engine hands back for one job, in grid order.
+
+    Exactly one of ``payload``/``error`` is set.  ``error`` is a
+    structured mapping — ``{"kind": "timeout"|"crash"|"error",
+    "type": ..., "message": ...}`` — never a bare exception, so a
+    campaign report can embed it deterministically.
+    """
+
+    job: Job
+    key: str
+    payload: Optional[Dict[str, object]] = None
+    error: Optional[Dict[str, object]] = None
+    cached: bool = False
+    seconds: float = 0.0
+    executor: str = "serial"
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def require(self) -> Dict[str, object]:
+        """The payload, or a :class:`repro.errors.ReproError` carrying
+        the structured failure."""
+        if self.error is not None:
+            from repro.errors import ReproError
+
+            raise ReproError(
+                f"job {self.job.describe()} failed: "
+                f"{self.error.get('kind', 'error')}: "
+                f"{self.error.get('message', '')}"
+            )
+        assert self.payload is not None
+        return self.payload

@@ -28,6 +28,7 @@ from repro.experiments.robustness import (
     default_scenarios,
     run_robustness,
 )
+from repro.experiments.sweep import SweepCell, SweepResult, run_sweep
 from repro.experiments.tables import render_table
 
 __all__ = [
@@ -48,6 +49,9 @@ __all__ = [
     "SliceStats",
     "replay_corpus",
     "run_fuzz",
+    "SweepCell",
+    "SweepResult",
+    "run_sweep",
     "PAPER_FIGURE9",
     "PAPER_FIGURE10_LINES",
     "PAPER_FIGURE10_SECONDS",

@@ -19,8 +19,7 @@ is executable.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.apps.medical import MEDICAL_INPUTS, all_designs, medical_specification
@@ -33,7 +32,7 @@ from repro.experiments.paperdata import (
 )
 from repro.experiments.tables import render_table
 from repro.models.impl_models import ALL_MODELS
-from repro.refine.refiner import RefinedDesign, Refiner
+from repro.refine.refiner import RefinedDesign
 from repro.spec.specification import Specification
 
 __all__ = ["Figure10Cell", "Figure10Result", "run_figure10"]
@@ -41,7 +40,14 @@ __all__ = ["Figure10Cell", "Figure10Result", "run_figure10"]
 
 @dataclass
 class Figure10Cell:
-    """One (design, model) cell of Figure 10."""
+    """One (design, model) cell of Figure 10.
+
+    ``procedure_seconds`` carries the per-procedure breakdown of
+    ``refinement_seconds``; ``refined`` holds the full
+    :class:`RefinedDesign` only when the cell was computed in-process
+    (a job dispatched to a worker or answered from the result cache
+    returns measurements, not the refined object).
+    """
 
     design: str
     model: str
@@ -49,7 +55,8 @@ class Figure10Cell:
     refinement_seconds: float
     ratio: float
     equivalent: Optional[bool]
-    refined: RefinedDesign
+    procedure_seconds: Dict[str, float] = field(default_factory=dict)
+    refined: Optional[RefinedDesign] = None
 
 
 class Figure10Result:
@@ -111,7 +118,7 @@ class Figure10Result:
         procedures: list = []
         for row in self.cells.values():
             for cell in row.values():
-                for name in cell.refined.procedure_seconds:
+                for name in cell.procedure_seconds:
                     if name not in procedures:
                         procedures.append(name)
         if not procedures:
@@ -121,7 +128,7 @@ class Figure10Result:
         for design, row in self.cells.items():
             for model in ("Model1", "Model2", "Model3", "Model4"):
                 cell = row[model]
-                seconds = cell.refined.procedure_seconds
+                seconds = cell.procedure_seconds
                 total = sum(seconds.values())
                 rows.append(
                     [f"{design} {model}"]
@@ -140,36 +147,66 @@ def run_figure10(
     allocation: Optional[Allocation] = None,
     check_equivalence: bool = False,
     inputs: Optional[Dict[str, int]] = None,
+    engine=None,
 ) -> Figure10Result:
     """Run the full Figure 10 sweep.
 
     ``check_equivalence=True`` additionally co-simulates each refined
     design against the original (slower; used by the test suite and the
-    benchmark harness rather than quick looks)."""
+    benchmark harness rather than quick looks).
+
+    The twelve cells are dispatched as ``figure10-cell`` jobs through
+    ``engine`` (an :class:`repro.exec.ExecutionEngine`; default: the
+    serial, uncached reference).  Note the report embeds wall-clock
+    refinement times, so two *cold* runs differ in the timing digits;
+    byte-reproducibility across executors comes from a shared result
+    cache (the second run replays the first run's measurements).
+    """
+    from repro.exec import ExecutionEngine, Job, canonical_partition
+    from repro.exec import canonical_spec_text
+    from repro.exec.campaigns import allocation_to_params
+
     spec = spec or medical_specification()
     spec.validate()
     allocation = allocation or default_allocation()
     inputs = dict(inputs or MEDICAL_INPUTS)
     original_lines = spec.line_count()
+    engine = engine if engine is not None else ExecutionEngine()
+
+    spec_text = canonical_spec_text(spec)
+    allocation_data = allocation_to_params(allocation)
+    designs = all_designs(spec)
+    jobs = [
+        Job(
+            "figure10-cell",
+            {
+                "spec": spec_text,
+                "partition": canonical_partition(partition),
+                "design": design_name,
+                "model": model.name,
+                "allocation": allocation_data,
+                "check_equivalence": bool(check_equivalence),
+                "inputs": inputs,
+            },
+            label=f"figure10:{design_name}:{model.name}",
+        )
+        for design_name, partition in designs.items()
+        for model in ALL_MODELS
+    ]
+    measured = iter(engine.run(jobs))
 
     result = Figure10Result(original_lines)
-    for design_name, partition in all_designs(spec).items():
+    for design_name in designs:
         result.cells[design_name] = {}
         for model in ALL_MODELS:
-            refined = Refiner(spec, partition, model, allocation=allocation).run()
-            sizes = refined.line_counts()
-            equivalent: Optional[bool] = None
-            if check_equivalence:
-                from repro.sim.equivalence import check_equivalence as check
-
-                equivalent = check(refined, inputs=inputs).equivalent
+            payload = next(measured).require()
             result.cells[design_name][model.name] = Figure10Cell(
                 design=design_name,
                 model=model.name,
-                refined_lines=sizes["refined"],
-                refinement_seconds=refined.refinement_seconds,
-                ratio=sizes["refined"] / max(original_lines, 1),
-                equivalent=equivalent,
-                refined=refined,
+                refined_lines=payload["refined_lines"],
+                refinement_seconds=payload["refinement_seconds"],
+                ratio=payload["refined_lines"] / max(original_lines, 1),
+                equivalent=payload["equivalent"],
+                procedure_seconds=dict(payload["procedure_seconds"]),
             )
     return result

@@ -177,6 +177,7 @@ def run_figure9(
     inputs: Optional[Dict[str, int]] = None,
     allocation: Optional[Allocation] = None,
     count_transfers: bool = True,
+    engine=None,
 ) -> Figure9Result:
     """Run the full Figure 9 sweep on the medical system (or another
     spec exposing the same design set).
@@ -186,9 +187,16 @@ def run_figure9(
     attached, so the table is backed by counted bus transactions rather
     than bookkeeping alone; pass ``False`` to skip the twelve extra
     simulations.
+
+    The rate analytics (profiling, channel rates, topology plans) stay
+    in-process — they cost milliseconds.  The twelve refine+execute
+    measurements are dispatched as ``figure9-cell`` jobs through
+    ``engine`` (an :class:`repro.exec.ExecutionEngine`; default: the
+    serial, uncached reference), so a process executor parallelises
+    them and a result cache makes warm re-runs free.
     """
-    from repro.refine.refiner import Refiner
-    from repro.sim.interpreter import Simulator
+    from repro.exec import ExecutionEngine, Job, canonical_partition
+    from repro.exec import canonical_spec_text
 
     spec = spec or medical_specification()
     spec.validate()
@@ -196,8 +204,29 @@ def run_figure9(
     allocation = allocation or default_allocation()
     graph = AccessGraph.from_specification(spec)
     designs = all_designs(spec)
+    engine = engine if engine is not None else ExecutionEngine()
 
     result = Figure9Result(spec, graph, {})
+    jobs = []
+    if count_transfers:
+        spec_text = canonical_spec_text(spec)
+        jobs = [
+            Job(
+                "figure9-cell",
+                {
+                    "spec": spec_text,
+                    "partition": canonical_partition(partition),
+                    "design": design_name,
+                    "model": model.name,
+                    "inputs": inputs,
+                },
+                label=f"figure9:{design_name}:{model.name}",
+            )
+            for design_name, partition in designs.items()
+            for model in ALL_MODELS
+        ]
+    measured = iter(engine.run(jobs))
+
     for design_name, partition in designs.items():
         profile = profile_specification(
             spec, partition, allocation, inputs=inputs, graph=graph
@@ -213,11 +242,8 @@ def run_figure9(
             report = bus_transfer_rates(plan, graph, profile, rates=rates)
             metrics: Optional[SimMetrics] = None
             if count_transfers:
-                refined = Refiner(spec, partition, model).run()
-                metrics = SimMetrics()
-                Simulator(refined.spec).run(
-                    inputs=dict(inputs), metrics=metrics
-                )
+                payload = next(measured).require()
+                metrics = SimMetrics.from_dict(payload["metrics"])
             result.cells[design_name][model.name] = Figure9Cell(
                 design_name, model.name, report, metrics
             )

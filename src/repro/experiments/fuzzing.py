@@ -29,18 +29,13 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.experiments.tables import render_table
-from repro.fuzz.generator import (
-    GeneratorConfig,
-    generate_case,
-    generate_input_vectors,
-)
+from repro.fuzz.generator import GeneratorConfig
 from repro.fuzz.oracle import (
     DEFAULT_MAX_STEPS,
     OracleFailure,
     check_refinement,
     check_roundtrip,
     check_walker_parity,
-    run_all_oracles,
 )
 from repro.fuzz.shrink import CorpusEntry, iter_corpus
 from repro.models import ALL_MODELS, ImplementationModel, resolve_model
@@ -187,6 +182,7 @@ def run_fuzz(
     max_steps: int = DEFAULT_MAX_STEPS,
     corpus: Optional[str] = DEFAULT_CORPUS_DIR,
     tracer=None,
+    engine=None,
 ) -> FuzzReport:
     """Run ``count`` generated cases through every applicable oracle.
 
@@ -194,54 +190,103 @@ def run_fuzz(
     ``budget`` overrides the generator's statement budget; ``corpus``
     names a regression-corpus directory to replay first (``None``
     skips it).  Same arguments, same report — byte for byte.
+
+    Each corpus entry and each generated case is one job (``fuzz-corpus``
+    / ``fuzz-case``) dispatched through ``engine`` (an
+    :class:`repro.exec.ExecutionEngine`; default: serial, uncached).
+    The report is assembled in grid order — corpus entries first, then
+    case indexes ascending — regardless of executor completion order,
+    so serial and parallel campaigns render byte-identically.
+    ``tracer`` (when no explicit ``engine`` is passed) attaches a
+    :class:`repro.obs.trace.SpanTracer` that receives one span per job.
     """
+    from repro.exec import ExecutionEngine, Job
+
     resolved = _resolve_models(models)
-    report = FuzzReport(
-        seed=seed, count=count, models=[m.name for m in resolved]
-    )
+    if engine is None:
+        engine = ExecutionEngine(tracer=tracer)
+    model_names = [m.name for m in resolved]
+    report = FuzzReport(seed=seed, count=count, models=model_names)
     by_slice: Dict[str, SliceStats] = {}
 
-    if corpus is not None:
-        entries = iter_corpus(corpus)
-        report.corpus_entries = len(entries)
-        for entry in entries:
-            found = replay_corpus_entry(entry, resolved, max_steps)
-            report.corpus_failures += len(found)
-            report.failures += found
-
+    jobs: List[Job] = []
+    entries = iter_corpus(corpus) if corpus is not None else []
+    report.corpus_entries = len(entries)
+    for entry in entries:
+        jobs.append(
+            Job(
+                "fuzz-corpus",
+                {
+                    "name": entry.name,
+                    "bug": entry.bug,
+                    "spec_text": entry.spec_text,
+                    "partition": entry.partition,
+                    "input_vectors": entry.input_vectors,
+                    "models": model_names,
+                    "max_steps": max_steps,
+                },
+                label=f"corpus:{entry.name}",
+            )
+        )
+    case_plan = []
     for index in range(count):
         slice_name = _SLICE_RING[index % len(_SLICE_RING)]
+        case_seed = seed * _SEED_STRIDE + index
+        case_plan.append((slice_name, case_seed))
+        jobs.append(
+            Job(
+                "fuzz-case",
+                {
+                    "slice": slice_name,
+                    "budget": budget,
+                    "case_seed": case_seed,
+                    "vectors": vectors,
+                    "models": model_names,
+                    "max_steps": max_steps,
+                },
+                label=f"case-{case_seed}",
+            )
+        )
+
+    results = engine.run(jobs)
+    corpus_results = results[: len(entries)]
+    case_results = results[len(entries):]
+
+    for job_result in corpus_results:
+        found = _failures_from_params(job_result.require()["failures"])
+        report.corpus_failures += len(found)
+        report.failures += found
+
+    for (slice_name, case_seed), job_result in zip(case_plan, case_results):
         stats = by_slice.get(slice_name)
         if stats is None:
             stats = by_slice[slice_name] = SliceStats(slice_name)
             report.slices.append(stats)
-        case_seed = seed * _SEED_STRIDE + index
-        config = _slice_config(slice_name, budget)
-
-        def _one_case():
-            case = generate_case(case_seed, config)
-            inputs = generate_input_vectors(case.spec, case_seed, vectors)
-            return run_all_oracles(case, inputs, resolved, max_steps)
-
-        if tracer is not None:
-            with tracer.span(
-                f"case-{case_seed}", slice=slice_name
-            ) as span:
-                result = _one_case()
-                span.set("checks", result.checks)
-                span.set("failures", len(result.failures))
-        else:
-            result = _one_case()
-
+        payload = job_result.require()
+        failures = _failures_from_params(payload["failures"])
         stats.cases += 1
-        stats.checks += result.checks
-        stats.failures += len(result.failures)
-        report.failures += result.failures
-        if result.failures:
+        stats.checks += payload["checks"]
+        stats.failures += len(failures)
+        report.failures += failures
+        if failures:
             report.failing_seeds.append(case_seed)
 
     report.slices.sort(key=lambda s: s.name)
     return report
+
+
+def _failures_from_params(items: Sequence[Dict[str, object]]) -> List[OracleFailure]:
+    """Rebuild :class:`OracleFailure` objects from a job payload."""
+    return [
+        OracleFailure(
+            oracle=item["oracle"],
+            detail=item["detail"],
+            spec_text=item.get("spec_text") or "",
+            inputs=item.get("inputs"),
+            model=item.get("model"),
+        )
+        for item in items
+    ]
 
 
 def replay_corpus_entry(

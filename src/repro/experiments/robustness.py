@@ -35,7 +35,6 @@ from repro.errors import (
 from repro.experiments.figure9 import default_allocation
 from repro.experiments.tables import render_table
 from repro.models.impl_models import ALL_MODELS
-from repro.refine.refiner import Refiner
 from repro.sim.equivalence import check_equivalence
 from repro.sim.faults import FaultInjector, FaultScenario
 from repro.sim.interpreter import DEFAULT_TIME_UNIT
@@ -250,6 +249,7 @@ def run_robustness(
     limits: Optional[KernelLimits] = None,
     designs: Optional[Sequence[str]] = None,
     models: Optional[Sequence[str]] = None,
+    engine=None,
 ) -> RobustnessResult:
     """Sweep ``scenarios`` x all medical designs x all four models.
 
@@ -258,13 +258,28 @@ def run_robustness(
     from ``seed``, so cells are independent and the whole campaign is
     reproducible.  ``designs``/``models`` restrict the sweep (names like
     ``"Design1"`` / ``"Model4"``).
+
+    One ``robustness-cell`` job covers one (design, model) — the refine
+    plus every scenario run against it — dispatched through ``engine``
+    (an :class:`repro.exec.ExecutionEngine`; default: the serial,
+    uncached reference).  The report carries no wall-clock, so serial
+    and parallel campaigns render byte-identically.
     """
+    from repro.exec import ExecutionEngine, Job, canonical_partition
+    from repro.exec import canonical_spec_text
+    from repro.exec.campaigns import (
+        allocation_to_params,
+        limits_to_params,
+        scenario_to_params,
+    )
+
     spec = spec or medical_specification()
     spec.validate()
     allocation = allocation or default_allocation()
     inputs = dict(inputs or MEDICAL_INPUTS)
     scenarios = list(scenarios if scenarios is not None else default_scenarios())
     limits = limits or KernelLimits()
+    engine = engine if engine is not None else ExecutionEngine()
 
     catalog = all_designs(spec)
     if designs is not None:
@@ -281,20 +296,49 @@ def run_robustness(
                 f"unknown model(s) {unknown}; choose from {sorted(known_models)}"
             )
 
+    spec_text = canonical_spec_text(spec)
+    allocation_data = allocation_to_params(allocation)
+    scenario_data = [scenario_to_params(s) for s in scenarios]
+    by_name = {scenario.name: scenario for scenario in scenarios}
+    grid = [
+        (design_name, partition, model)
+        for design_name, partition in catalog.items()
+        if designs is None or design_name in designs
+        for model in ALL_MODELS
+        if models is None or model.name in models
+    ]
+    jobs = [
+        Job(
+            "robustness-cell",
+            {
+                "spec": spec_text,
+                "partition": canonical_partition(partition),
+                "design": design_name,
+                "model": model.name,
+                "allocation": allocation_data,
+                "protocol": protocol,
+                "seed": seed,
+                "limits": limits_to_params(limits),
+                "scenarios": scenario_data,
+                "inputs": inputs,
+            },
+            label=f"robustness:{design_name}:{model.name}",
+        )
+        for design_name, partition, model in grid
+    ]
+
     result = RobustnessResult(seed=seed, protocol=protocol)
-    for design_name, partition in catalog.items():
-        if designs is not None and design_name not in designs:
-            continue
-        for model in ALL_MODELS:
-            if models is not None and model.name not in models:
-                continue
-            refined = Refiner(
-                spec, partition, model, allocation=allocation,
-                protocol=protocol,
-            ).run()
-            for scenario in scenarios:
-                cell = _classify(refined, inputs, scenario, seed, limits)
-                cell.design = design_name
-                cell.model = model.name
-                result.add(cell)
+    for (design_name, _, model), job_result in zip(grid, engine.run(jobs)):
+        payload = job_result.require()
+        for item in payload["cells"]:
+            result.add(
+                RobustnessCell(
+                    design=design_name,
+                    model=model.name,
+                    scenario=by_name[item["scenario"]],
+                    outcome=item["outcome"],
+                    fired=item["fired"],
+                    detail=item["detail"],
+                )
+            )
     return result

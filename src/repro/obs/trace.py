@@ -115,6 +115,11 @@ class _NullTracer:
     def span(self, name: str, category: str = "pipeline", **attrs) -> _NullSpan:
         return self._SPAN
 
+    def record_span(
+        self, name: str, seconds: float, category: str = "exec", **attrs
+    ) -> _NullSpan:
+        return self._SPAN
+
 
 #: What pipeline code holds when no one is watching.
 NULL_TRACER = _NullTracer()
@@ -150,6 +155,29 @@ class SpanTracer:
     def _pop(self, span: Span) -> None:
         if self._stack and self._stack[-1] is span:
             self._stack.pop()
+
+    def record_span(
+        self, name: str, seconds: float, category: str = "exec", **attrs
+    ) -> Span:
+        """Attach an already-completed span of known duration.
+
+        The execution engine uses this for work that was *not* timed by
+        this tracer's clock: jobs that ran in a worker process (their
+        duration comes back over the result channel) and cache hits
+        (duration ~0).  The span is closed on arrival — it nests under
+        :attr:`current` but never joins the open stack.
+        """
+        span = Span(name, category, self)
+        now = _time.perf_counter()
+        span.start = now - max(float(seconds), 0.0)
+        span.end = now
+        if attrs:
+            span.attrs.update(attrs)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
 
     @property
     def current(self) -> Optional[Span]:

@@ -14,6 +14,7 @@ from repro.sim.kernel import (
 )
 from repro.sim.metrics import (
     DEFAULT_BUS_SIGNAL_PATTERNS,
+    ExecMetrics,
     PhaseTimer,
     SimMetrics,
     TraceRecord,
@@ -40,6 +41,7 @@ __all__ = [
     "WaitCondition",
     "WaitDelay",
     "DEFAULT_BUS_SIGNAL_PATTERNS",
+    "ExecMetrics",
     "PhaseTimer",
     "SimMetrics",
     "TraceRecord",

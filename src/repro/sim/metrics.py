@@ -34,6 +34,7 @@ from repro.obs.trace import SpanTracer
 
 __all__ = [
     "DEFAULT_BUS_SIGNAL_PATTERNS",
+    "ExecMetrics",
     "SimMetrics",
     "TraceRecord",
     "Tracer",
@@ -156,6 +157,22 @@ class SimMetrics:
         out["wall_seconds"] = self.wall_seconds
         return out
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimMetrics":
+        """Rebuild a counter bag from :meth:`as_dict` output.
+
+        The execution engine ships kernel counters between processes
+        (and through the on-disk result cache) as plain mappings;
+        unknown keys are ignored so old cache entries stay loadable.
+        """
+        metrics = cls()
+        for name, _ in cls.FIELDS:
+            if name in data:
+                setattr(metrics, name, data[name])
+        if "wall_seconds" in data:
+            metrics.wall_seconds = float(data["wall_seconds"])
+        return metrics
+
     def describe(self) -> str:
         """Counters as aligned ``label: value`` lines."""
         width = max(len(label) for _, label in self.FIELDS)
@@ -171,6 +188,96 @@ class SimMetrics:
             f"<SimMetrics activations={self.activations} "
             f"delta_cycles={self.delta_cycles} "
             f"bus_transactions={self.bus_transactions}>"
+        )
+
+
+class ExecMetrics:
+    """Counters of the campaign execution engine (:mod:`repro.exec`).
+
+    Mirrors the :class:`SimMetrics` pattern one layer up: where
+    :class:`SimMetrics` counts scheduler events inside one simulation,
+    an :class:`ExecMetrics` counts *jobs* across a campaign grid — how
+    many were served from the content-addressed result cache, how many
+    were executed (and where), and how the executor degraded under
+    faults.  Attach one via ``ExecutionEngine(metrics=...)``; counters
+    accumulate across ``run()`` calls until :meth:`reset`.
+
+    ================== =================================================
+    counter             meaning
+    ================== =================================================
+    jobs                jobs submitted to the engine
+    cache_hits          jobs served from the result cache
+    cache_misses        cache lookups that found nothing usable
+    cache_errors        corrupt/unreadable cache entries discarded
+    cache_evictions     entries evicted to honour the cache capacity
+    executed            jobs actually computed (serial or worker)
+    failed              jobs that ended with a structured error
+    timeouts            jobs abandoned after exceeding their timeout
+    retries             jobs re-run after a worker crash
+    degraded            times an executor fell back to serial
+    wall_seconds        real time spent inside ``ExecutionEngine.run``
+    ================== =================================================
+    """
+
+    __slots__ = (
+        "jobs",
+        "cache_hits",
+        "cache_misses",
+        "cache_errors",
+        "cache_evictions",
+        "executed",
+        "failed",
+        "timeouts",
+        "retries",
+        "degraded",
+        "wall_seconds",
+    )
+
+    #: (attribute, human label) in display order.
+    FIELDS: Tuple[Tuple[str, str], ...] = (
+        ("jobs", "jobs submitted"),
+        ("cache_hits", "cache hits"),
+        ("cache_misses", "cache misses"),
+        ("cache_errors", "cache entries discarded"),
+        ("cache_evictions", "cache evictions"),
+        ("executed", "jobs executed"),
+        ("failed", "jobs failed"),
+        ("timeouts", "job timeouts"),
+        ("retries", "jobs retried"),
+        ("degraded", "serial fallbacks"),
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name, _ in self.FIELDS:
+            setattr(self, name, 0)
+        self.wall_seconds = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """All counters as a JSON-serialisable mapping."""
+        out: Dict[str, object] = {
+            name: getattr(self, name) for name, _ in self.FIELDS
+        }
+        out["wall_seconds"] = self.wall_seconds
+        return out
+
+    def describe(self) -> str:
+        """Counters as aligned ``label: value`` lines."""
+        width = max(len(label) for _, label in self.FIELDS)
+        lines = [
+            f"{label:<{width}}  {getattr(self, name)}"
+            for name, label in self.FIELDS
+        ]
+        lines.append(f"{'wall seconds':<{width}}  {self.wall_seconds:.6f}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ExecMetrics jobs={self.jobs} hits={self.cache_hits} "
+            f"executed={self.executed} failed={self.failed}>"
         )
 
 

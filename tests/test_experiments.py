@@ -3,23 +3,12 @@ assertions from DESIGN.md's pass criteria."""
 
 import pytest
 
-from repro.experiments import (
-    PAPER_FIGURE9,
-    run_figure9,
-    run_figure10,
-    render_table,
-)
+from repro.experiments import PAPER_FIGURE9, render_table
 from repro.models.plan import BusRole
 
 
-@pytest.fixture(scope="module")
-def fig9():
-    return run_figure9()
-
-
-@pytest.fixture(scope="module")
-def fig10():
-    return run_figure10(check_equivalence=False)
+# fig9/fig10 are session-scoped fixtures in tests/conftest.py — the
+# full sweeps are computed once and shared with the rest of the suite
 
 
 class TestFigure9Shape:

@@ -9,10 +9,9 @@ from repro.apps.medical import (
     design1_partition,
     design2_partition,
     design3_partition,
-    medical_specification,
 )
 from repro.experiments.paperdata import PAPER_SPEC_STATS
-from repro.graph import AccessGraph, classify_variables
+from repro.graph import classify_variables
 from repro.lang.parser import parse
 from repro.lang.printer import print_specification
 from repro.models import ALL_MODELS
@@ -22,16 +21,16 @@ from repro.sim.equivalence import check_equivalence
 from repro.spec.variable import Role
 
 
-@pytest.fixture(scope="module")
-def medical():
-    spec = medical_specification()
-    spec.validate()
-    return spec
+# the expensive objects are built once per session in tests/conftest.py;
+# these aliases keep this module's historical fixture names
+@pytest.fixture
+def medical(medical_spec):
+    return medical_spec
 
 
-@pytest.fixture(scope="module")
-def graph(medical):
-    return AccessGraph.from_specification(medical)
+@pytest.fixture
+def graph(medical_graph):
+    return medical_graph
 
 
 class TestPaperStatistics:

@@ -61,8 +61,9 @@ class TestCampaignSlice:
     slice; the full sweep runs from the CLI/benchmark harness."""
 
     @pytest.fixture(scope="class")
-    def result(self):
+    def result(self, medical_spec):
         return run_robustness(
+            spec=medical_spec,
             scenarios=[
                 FaultScenario(
                     name="drop-done", kind="drop", target="b*_done",
@@ -92,8 +93,9 @@ class TestCampaignSlice:
         assert "| Design1" in text
         assert "unexpected: 0" in text
 
-    def test_same_seed_is_byte_identical(self, result):
+    def test_same_seed_is_byte_identical(self, result, medical_spec):
         again = run_robustness(
+            spec=medical_spec,
             scenarios=[
                 FaultScenario(
                     name="drop-done", kind="drop", target="b*_done",
@@ -108,3 +110,16 @@ class TestCampaignSlice:
             models=("Model4",),
         )
         assert again.render() == result.render()
+
+
+@pytest.mark.campaign
+class TestFullCampaign:
+    """Tier 2: the complete scenarios x 3 designs x 4 models sweep.
+    Deselected by the default addopts; CI's scheduled job runs it with
+    ``pytest -m campaign``."""
+
+    def test_full_sweep_has_no_unexpected_cells(self, medical_spec):
+        result = run_robustness(spec=medical_spec)
+        assert result.unexpected() == []
+        assert len(result.all_cells()) == 72
+        assert "unexpected: 0" in result.render()
