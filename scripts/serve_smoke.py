@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the ``repro serve`` daemon as a real OS
+process — what the CI ``serve-smoke`` job runs.
+
+Boots the daemon as a subprocess and walks the service contract:
+
+1. readiness flips once the daemon is up (and back off when draining);
+2. a cold submission computes, a warm resubmission is a cache hit,
+   and both bodies are byte-identical;
+3. a full admission queue yields 429 with both ``Retry-After``
+   headers;
+4. a SIGKILLed worker is a structured 500 on that request only —
+   the daemon keeps serving;
+5. SIGTERM drains gracefully: in-flight work finishes, exit code 0.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+
+Exits non-zero on the first violated expectation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import ReproClient  # noqa: E402
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"  ok: {message}")
+
+
+def main() -> int:
+    print("booting repro serve (ephemeral port, 1 worker, queue limit 1)")
+    cache_dir = tempfile.mkdtemp(prefix="serve_smoke_cache_")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--workers", "1", "--queue-limit", "1",
+            "--cache", cache_dir, "--chaos",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=REPO_ROOT,
+        env={**os.environ,
+             "PYTHONPATH": os.pathsep.join(
+                 p for p in (str(REPO_ROOT / "src"),
+                             os.environ.get("PYTHONPATH")) if p)},
+    )
+    try:
+        banner = proc.stdout.readline().strip()
+        match = re.search(r"http://[\d.]+:(\d+)$", banner)
+        check(match is not None, f"daemon announced itself: {banner!r}")
+        port = int(match.group(1))
+        client = ReproClient(port=port, retries=0)
+
+        # 1. readiness flips on
+        check(client.wait_ready(10.0), "readiness flipped to 200 after boot")
+
+        # 2. cold compute, warm cache hit, byte-identical bodies
+        params = {"seconds": 0.0, "nonce": "smoke"}
+        cold = client.submit("chaos-sleep", params, deadline=10)
+        check(cold.ok and not cold.cached, "cold submission computed (200, uncached)")
+        warm = client.submit("chaos-sleep", params, deadline=10)
+        check(warm.ok and warm.cached, "warm resubmission was a cache hit")
+        check(
+            json.dumps(cold.body, sort_keys=True)
+            == json.dumps(warm.body, sort_keys=True),
+            "cold and warm bodies are byte-identical",
+        )
+
+        # 3. fill the worker, then the queue, then expect 429
+        def occupy(nonce: int, seconds: float) -> None:
+            ReproClient(port=port, retries=0).submit(
+                "chaos-sleep", {"seconds": seconds, "nonce": nonce}, deadline=30
+            )
+
+        def poll_until(probe, message: str, timeout: float = 10.0) -> None:
+            ends = time.monotonic() + timeout
+            while not probe():
+                if time.monotonic() >= ends:
+                    check(False, message)
+                time.sleep(0.02)
+            check(True, message)
+
+        first = threading.Thread(target=occupy, args=(1, 2.0))
+        first.start()
+        poll_until(lambda: client.stats()["server"]["in_flight"] >= 1,
+                   "worker became busy")
+        second = threading.Thread(target=occupy, args=(2, 0.0))
+        second.start()
+        poll_until(lambda: client.stats()["server"]["queue_depth"] >= 1,
+                   "queue slot filled")
+        rejected = client.submit("chaos-sleep", {"seconds": 0.0, "nonce": 3},
+                                 deadline=10)
+        check(rejected.status == 429, "overflow submission got 429")
+        check(rejected.error_kind() == "queue-full",
+              "429 carries the queue-full taxonomy")
+        check(int(rejected.headers.get("retry-after", 0)) >= 1,
+              "429 carries Retry-After")
+        check(float(rejected.headers.get("x-repro-retry-after", 0)) > 0,
+              "429 carries the fractional X-Repro-Retry-After")
+        first.join()
+        second.join()
+
+        # 4. a crashed worker is one structured 500, not a dead server
+        crashed = client.submit("chaos-crash", {"nonce": 4}, deadline=10)
+        check(crashed.status == 500 and crashed.error_kind() == "crash",
+              "SIGKILLed worker surfaced as a structured 500 crash")
+        alive = client.submit("chaos-sleep", {"seconds": 0.0, "nonce": 5},
+                              deadline=10)
+        check(alive.ok, "daemon kept serving after the worker crash")
+
+        # 5. SIGTERM drains: readiness off, in-flight completes, exit 0
+        in_flight: dict = {}
+
+        def slow() -> None:
+            in_flight["response"] = ReproClient(port=port, retries=0).submit(
+                "chaos-sleep", {"seconds": 1.0, "nonce": 6}, deadline=30
+            )
+
+        drainee = threading.Thread(target=slow)
+        drainee.start()
+        poll_until(lambda: client.stats()["server"]["in_flight"] >= 1,
+                   "drainee request went in flight")
+        proc.send_signal(signal.SIGTERM)
+        poll_until(lambda: not client.ready(),
+                   "readiness flipped off on SIGTERM")
+        drainee.join()
+        check(in_flight["response"].ok,
+              "in-flight request completed during the drain")
+        proc.wait(timeout=30)
+        check(proc.returncode == 0, "daemon exited 0 after the drain")
+        print("serve smoke OK")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

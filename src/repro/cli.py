@@ -39,7 +39,13 @@ Subcommands mirror the library's main flows:
   regression corpus replayed first (exit 1 on any surviving failure);
 * ``repro sweep --design Design1 --model Model1 --protocol handshake
   --seed 0`` — cross-product campaign (every flag repeatable) that
-  refines and verifies each combination under a seeded stimulus.
+  refines and verifies each combination under a seeded stimulus;
+* ``repro serve`` — the refinement-as-a-service daemon: HTTP/JSON jobs
+  on the execution engine with deadlines, backpressure, a circuit
+  breaker and graceful drain (see ``docs/SERVICE.md``);
+* ``repro loadgen`` — the seeded load harness against a running (or
+  ``--serve`` self-hosted) daemon; writes a byte-stable report under
+  ``benchmarks/output/``.
 
 The campaign commands (``figure9``, ``figure10``, ``robustness``,
 ``fuzz``, ``sweep``) share the execution-engine flags: ``--executor
@@ -48,11 +54,17 @@ plus the result cache (``--cache DIR`` to enable, ``--no-cache``,
 ``--refresh``).  Campaign tables print to stdout; engine/cache
 statistics print to stderr, so stdout stays byte-comparable across
 executors.  See ``docs/EXECUTION.md``.
+
+SIGINT/SIGTERM during a campaign is graceful: pool workers are
+terminated, cache scratch files removed, a partial-campaign note goes
+to stderr, and the process exits 130 — never a raw traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
 from typing import Dict, List, Optional
 
@@ -169,6 +181,41 @@ def _print_exec_stats(engine) -> None:
     """Engine counters to stderr — stdout carries only the campaign
     report, so it stays byte-comparable across executors."""
     print(engine.describe(), file=sys.stderr)
+
+
+@contextlib.contextmanager
+def _campaign_guard(engine, command: str):
+    """Graceful SIGINT/SIGTERM for a campaign command.
+
+    SIGTERM is converted to :class:`KeyboardInterrupt` so both signals
+    take one path: terminate the engine's pool workers, remove cache
+    scratch files, print a partial-campaign note to stderr, and let
+    :func:`main` exit 130 — never a raw traceback, never an orphaned
+    worker or ``.tmp-*`` file.
+    """
+
+    def _terminate(signum, frame):  # noqa: ARG001 — signal contract
+        raise KeyboardInterrupt
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:
+        pass  # not the main thread (embedded use); SIGINT still works
+    try:
+        yield
+    except KeyboardInterrupt:
+        engine.abort()
+        print(
+            f"repro {command}: interrupted - campaign stopped early "
+            "(workers terminated, cache scratch files removed); "
+            "partial results were not written",
+            file=sys.stderr,
+        )
+        raise
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
 
 
 # -- subcommand handlers -------------------------------------------------------
@@ -328,8 +375,9 @@ def _cmd_figure9(args) -> int:
     from repro.experiments import run_figure9
 
     engine = _build_engine(args)
-    print(run_figure9(engine=engine).render(include_paper=not args.no_paper))
-    _print_exec_stats(engine)
+    with _campaign_guard(engine, "figure9"):
+        print(run_figure9(engine=engine).render(include_paper=not args.no_paper))
+        _print_exec_stats(engine)
     return 0
 
 
@@ -337,12 +385,13 @@ def _cmd_figure10(args) -> int:
     from repro.experiments import run_figure10
 
     engine = _build_engine(args)
-    result = run_figure10(check_equivalence=args.check, engine=engine)
-    print(result.render(include_paper=not args.no_paper))
-    if args.breakdown:
-        print()
-        print(result.render_breakdown())
-    _print_exec_stats(engine)
+    with _campaign_guard(engine, "figure10"):
+        result = run_figure10(check_equivalence=args.check, engine=engine)
+        print(result.render(include_paper=not args.no_paper))
+        if args.breakdown:
+            print()
+            print(result.render_breakdown())
+        _print_exec_stats(engine)
     return 0
 
 
@@ -350,23 +399,24 @@ def _cmd_robustness(args) -> int:
     from repro.experiments.robustness import run_robustness
 
     engine = _build_engine(args)
-    result = run_robustness(
-        seed=args.seed,
-        protocol=args.protocol,
-        designs=args.design or None,
-        models=args.model or None,
-        engine=engine,
-    )
-    rendered = result.render()
-    print(rendered)
-    if args.output:
-        import os
+    with _campaign_guard(engine, "robustness"):
+        result = run_robustness(
+            seed=args.seed,
+            protocol=args.protocol,
+            designs=args.design or None,
+            models=args.model or None,
+            engine=engine,
+        )
+        rendered = result.render()
+        print(rendered)
+        if args.output:
+            import os
 
-        os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
-        with open(args.output, "w") as handle:
-            handle.write(rendered + "\n")
-        print(f"\ncampaign table written to {args.output}")
-    _print_exec_stats(engine)
+            os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+            with open(args.output, "w") as handle:
+                handle.write(rendered + "\n")
+            print(f"\ncampaign table written to {args.output}")
+        _print_exec_stats(engine)
     return 1 if result.unexpected() else 0
 
 
@@ -500,8 +550,19 @@ def _cmd_fuzz(args) -> int:
         tracer = SpanTracer()
     corpus = args.corpus if args.corpus else None
     engine = _build_engine(args, tracer=tracer)
-    if tracer is not None:
-        with tracer.span("fuzz", seed=args.seed, count=args.count):
+    with _campaign_guard(engine, "fuzz"):
+        if tracer is not None:
+            with tracer.span("fuzz", seed=args.seed, count=args.count):
+                report = run_fuzz(
+                    seed=args.seed,
+                    count=args.count,
+                    models=args.model or None,
+                    budget=args.budget,
+                    vectors=args.vectors,
+                    corpus=corpus,
+                    engine=engine,
+                )
+        else:
             report = run_fuzz(
                 seed=args.seed,
                 count=args.count,
@@ -511,33 +572,23 @@ def _cmd_fuzz(args) -> int:
                 corpus=corpus,
                 engine=engine,
             )
-    else:
-        report = run_fuzz(
-            seed=args.seed,
-            count=args.count,
-            models=args.model or None,
-            budget=args.budget,
-            vectors=args.vectors,
-            corpus=corpus,
-            engine=engine,
-        )
-    rendered = report.as_json() if args.json else report.render()
-    print(rendered)
-    if args.output:
-        import os
+        rendered = report.as_json() if args.json else report.render()
+        print(rendered)
+        if args.output:
+            import os
 
-        os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
-        with open(args.output, "w") as handle:
-            handle.write(rendered + "\n")
-        print(f"\ncampaign report written to {args.output}")
-    if tracer is not None:
-        import os
+            os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+            with open(args.output, "w") as handle:
+                handle.write(rendered + "\n")
+            print(f"\ncampaign report written to {args.output}")
+        if tracer is not None:
+            import os
 
-        os.makedirs(os.path.dirname(args.trace) or ".", exist_ok=True)
-        with open(args.trace, "w") as handle:
-            handle.write(tracer.to_chrome_json() + "\n")
-        print(f"Chrome trace written to {args.trace}")
-    _print_exec_stats(engine)
+            os.makedirs(os.path.dirname(args.trace) or ".", exist_ok=True)
+            with open(args.trace, "w") as handle:
+                handle.write(tracer.to_chrome_json() + "\n")
+            print(f"Chrome trace written to {args.trace}")
+        _print_exec_stats(engine)
     return 0 if report.ok else 1
 
 
@@ -552,37 +603,117 @@ def _cmd_sweep(args) -> int:
 
         tracer = SpanTracer()
     engine = _build_engine(args, tracer=tracer)
-    result = run_sweep(
-        spec=_load_spec(args.file),
-        designs=args.design or None,
-        models=args.model or None,
-        protocols=args.protocol or None,
-        seeds=[int(s) for s in args.seed] if args.seed else None,
-        inputs=_parse_inputs(args.input) or None,
-        limits=_parse_limits(args),
-        engine=engine,
+    with _campaign_guard(engine, "sweep"):
+        result = run_sweep(
+            spec=_load_spec(args.file),
+            designs=args.design or None,
+            models=args.model or None,
+            protocols=args.protocol or None,
+            seeds=[int(s) for s in args.seed] if args.seed else None,
+            inputs=_parse_inputs(args.input) or None,
+            limits=_parse_limits(args),
+            engine=engine,
+        )
+        rendered = result.render()
+        print(rendered)
+        if args.output:
+            import os
+
+            os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+            with open(args.output, "w") as handle:
+                handle.write(rendered + "\n")
+            print(f"\nsweep table written to {args.output}")
+        if tracer is not None:
+            import os
+
+            from repro.obs.trace import validate_chrome_trace
+
+            payload = tracer.to_chrome_json()
+            validate_chrome_trace(json.loads(payload))
+            os.makedirs(os.path.dirname(args.trace) or ".", exist_ok=True)
+            with open(args.trace, "w") as handle:
+                handle.write(payload + "\n")
+            print(f"Chrome trace written to {args.trace}")
+        _print_exec_stats(engine)
+    return 0 if result.ok else 1
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        executor=args.executor,
+        default_deadline=args.default_deadline,
+        max_deadline=args.max_deadline,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        cache_dir=args.cache or None,
+        cache_capacity=args.cache_capacity,
+        no_cache=args.no_cache,
+        drain_grace=args.drain_grace,
+        trace=args.trace,
+        chaos=args.chaos,
+        verbose=args.verbose,
     )
-    rendered = result.render()
-    print(rendered)
+    return run_server(config)
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.serve import LoadgenConfig, run_loadgen
+
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        seed=args.seed,
+        clients=args.clients,
+        requests=args.requests,
+        cases=args.cases,
+        vectors=args.vectors,
+        budget=args.budget,
+        deadline=args.deadline,
+        retries=args.retries,
+    )
+    server = None
+    if args.serve:
+        from repro.serve import ReproServer, ServeConfig
+
+        server = ReproServer(
+            ServeConfig(
+                host=args.host,
+                port=0,
+                workers=args.serve_workers,
+                queue_limit=args.serve_queue_limit,
+                no_cache=True,
+            )
+        ).start()
+        config.port = server.port
+        print(f"loadgen: self-hosted daemon on {server.url}", file=sys.stderr)
+    try:
+        result = run_loadgen(config)
+    finally:
+        if server is not None:
+            server.begin_drain("loadgen finished")
+            server.wait(timeout=10.0)
+    print(result.report, end="")
     if args.output:
         import os
 
         os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
         with open(args.output, "w") as handle:
-            handle.write(rendered + "\n")
-        print(f"\nsweep table written to {args.output}")
-    if tracer is not None:
+            handle.write(result.report)
+        print(f"report written to {args.output}", file=sys.stderr)
+    if args.timings:
+        import json as _json
         import os
 
-        from repro.obs.trace import validate_chrome_trace
-
-        payload = tracer.to_chrome_json()
-        validate_chrome_trace(json.loads(payload))
-        os.makedirs(os.path.dirname(args.trace) or ".", exist_ok=True)
-        with open(args.trace, "w") as handle:
-            handle.write(payload + "\n")
-        print(f"Chrome trace written to {args.trace}")
-    _print_exec_stats(engine)
+        os.makedirs(os.path.dirname(args.timings) or ".", exist_ok=True)
+        with open(args.timings, "w") as handle:
+            handle.write(_json.dumps(result.timings, indent=2, sort_keys=True) + "\n")
+        print(f"timing sidecar written to {args.timings}", file=sys.stderr)
     return 0 if result.ok else 1
 
 
@@ -854,6 +985,95 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=_cmd_sweep)
 
     p = sub.add_parser(
+        "serve",
+        help="refinement-as-a-service daemon: HTTP/JSON jobs on the "
+             "execution engine with deadlines, backpressure and "
+             "graceful drain",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8736,
+                   help="listen port (0 = ephemeral; default 8736)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker slots = max concurrent jobs (default 2)")
+    p.add_argument("--queue-limit", type=int, default=8,
+                   help="admitted requests allowed to wait for a slot "
+                        "before 429 (default 8)")
+    p.add_argument("--executor", choices=("serial", "process"),
+                   default="process",
+                   help="process (isolated workers; default) or serial "
+                        "(in-process, no crash isolation)")
+    p.add_argument("--default-deadline", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="deadline granted when a request names none")
+    p.add_argument("--max-deadline", type=float, default=300.0,
+                   metavar="SECONDS",
+                   help="ceiling any requested deadline is clamped to")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="consecutive worker crashes that quarantine a "
+                        "job spec (default 3)")
+    p.add_argument("--breaker-cooldown", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="quarantine duration before a probe (default 30)")
+    p.add_argument("--cache", metavar="DIR", default=None,
+                   help="result-cache directory (default: "
+                        "$REPRO_CACHE_DIR or .repro_cache)")
+    p.add_argument("--cache-capacity", type=int, default=4096)
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without a result cache")
+    p.add_argument("--drain-grace", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="how long a drain waits for in-flight requests")
+    p.add_argument("--trace", action="store_true",
+                   help="per-slot span tracing + the /v1/trace endpoint")
+    p.add_argument("--chaos", action="store_true",
+                   help="register the chaos fault-injection tasks "
+                        "(testing only)")
+    p.add_argument("--verbose", action="store_true",
+                   help="access-log lines on stderr")
+    p.set_defaults(handler=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="seeded load harness against a repro serve daemon; writes "
+             "a byte-stable report",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8736,
+                   help="daemon port (ignored with --serve)")
+    p.add_argument("--serve", action="store_true",
+                   help="self-host a daemon on an ephemeral port for "
+                        "the duration of the run")
+    p.add_argument("--serve-workers", type=int, default=2,
+                   help="worker slots of the self-hosted daemon")
+    p.add_argument("--serve-queue-limit", type=int, default=8,
+                   help="queue limit of the self-hosted daemon")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (default 0)")
+    p.add_argument("--clients", type=int, default=4,
+                   help="concurrent client threads (default 4)")
+    p.add_argument("--requests", type=int, default=25,
+                   help="logical requests per client (default 25)")
+    p.add_argument("--cases", type=int, default=6,
+                   help="distinct generated specifications (default 6)")
+    p.add_argument("--vectors", type=int, default=3,
+                   help="input vectors per specification (default 3)")
+    p.add_argument("--budget", type=int, default=8,
+                   help="spec-generator statement budget (default 8)")
+    p.add_argument("--deadline", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="per-request deadline (default 30)")
+    p.add_argument("--retries", type=int, default=12,
+                   help="per-request retry budget (default 12)")
+    p.add_argument("-o", "--output",
+                   default="benchmarks/output/loadgen_report.txt",
+                   help="write the byte-stable report here ('' to skip)")
+    p.add_argument("--timings",
+                   default="benchmarks/output/loadgen_timings.json",
+                   help="write the machine-dependent timing sidecar "
+                        "here ('' to skip)")
+    p.set_defaults(handler=_cmd_loadgen)
+
+    p = sub.add_parser(
         "explain",
         help="which refinement step produced a line of the refined spec",
     )
@@ -888,6 +1108,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # campaign guards have already cleaned up and printed their
+        # note; the conventional interrupted-exit code, no traceback
+        return 130
     except BrokenPipeError:
         # output piped into a pager/head that closed early: not an error
         try:

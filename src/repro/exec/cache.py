@@ -19,13 +19,19 @@ Design points:
 * **capacity floor** — when the entry count exceeds ``capacity`` the
   oldest entries (by mtime, name-tiebroken) are evicted *down to
   exactly* ``capacity``: eviction never drops the population below the
-  configured floor.
+  configured floor;
+* **pass-through degradation** — an unwritable cache directory
+  (read-only filesystem, permissions, a file squatting on the path)
+  turns ``put`` into a warned-once no-op instead of failing the
+  campaign: reads still serve whatever is already there, writes are
+  dropped and counted in ``stats.write_errors``.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sys
 import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -53,6 +59,7 @@ class CacheStats:
     errors: int = 0
     evictions: int = 0
     puts: int = 0
+    write_errors: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -61,6 +68,7 @@ class CacheStats:
             "errors": self.errors,
             "evictions": self.evictions,
             "puts": self.puts,
+            "write_errors": self.write_errors,
         }
 
     def snapshot(self) -> "CacheStats":
@@ -76,6 +84,8 @@ class ResultCache:
     root: str
     capacity: int = 4096
     stats: CacheStats = field(default_factory=CacheStats)
+    #: set once ``put`` hits an unwritable directory; further puts no-op
+    read_only: bool = field(default=False, compare=False)
 
     def __post_init__(self):
         if self.capacity < 1:
@@ -146,9 +156,18 @@ class ResultCache:
         salt: Optional[str] = None,
     ) -> None:
         """Store ``payload`` under ``key`` (atomic), then enforce the
-        capacity bound."""
+        capacity bound.
+
+        On an unwritable cache directory this *degrades to
+        pass-through* instead of raising mid-campaign: the first
+        failure warns once on stderr, marks the cache ``read_only``
+        and every later ``put`` becomes a counted no-op.  Lookups keep
+        working against whatever the directory already holds.
+        """
+        if self.read_only:
+            self.stats.write_errors += 1
+            return
         path = self._path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
         entry = {
             "version": _VERSION,
             "key": key,
@@ -156,15 +175,29 @@ class ResultCache:
             "salt": salt,
             "payload": payload,
         }
-        fd, tmp = tempfile.mkstemp(
-            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
-        )
+        tmp = None
         try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+            )
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(entry, handle)
             os.replace(tmp, path)
+        except OSError as exc:
+            if tmp is not None:
+                self._discard(tmp)
+            self.stats.write_errors += 1
+            self.read_only = True
+            print(
+                f"repro: result cache at {self.root!r} is unwritable "
+                f"({exc}); continuing without caching",
+                file=sys.stderr,
+            )
+            return
         except BaseException:
-            self._discard(tmp)
+            if tmp is not None:
+                self._discard(tmp)
             raise
         self.stats.puts += 1
         self._enforce_capacity()
@@ -196,6 +229,20 @@ class ResultCache:
             os.remove(path)
         except OSError:
             pass
+
+    def remove_temp_files(self) -> int:
+        """Delete abandoned ``.tmp-*`` scratch files (left behind only
+        by an interrupted writer); returns how many were removed.  The
+        campaign CLIs call this from their SIGINT/SIGTERM cleanup."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return removed
+        for dirpath, _, filenames in os.walk(self.root):
+            for filename in filenames:
+                if filename.startswith(".tmp-"):
+                    self._discard(os.path.join(dirpath, filename))
+                    removed += 1
+        return removed
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

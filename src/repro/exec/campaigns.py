@@ -25,6 +25,9 @@ task               one job computes
 ``fuzz-corpus``    replay one persisted regression-corpus entry
 ``sweep-cell``     refine one (design, model, protocol), derive a seeded
                    stimulus, verify equivalence — ``repro sweep``'s unit
+``simulate-cell``  parse a spec and execute its functional model under a
+                   given stimulus — the unit ``repro serve`` clients and
+                   the ``repro loadgen`` harness submit
 =================  ==========================================================
 """
 
@@ -323,6 +326,28 @@ def fuzz_corpus(params: Dict[str, object]) -> Dict[str, object]:
     models = [resolve_model(m) for m in params["models"]]
     failures = replay_corpus_entry(entry, models, params["max_steps"])
     return {"failures": _failures_to_params(failures)}
+
+
+# -- simulate ----------------------------------------------------------------
+
+
+@register("simulate-cell")
+def simulate_cell(params: Dict[str, object]) -> Dict[str, object]:
+    """Parse + validate a specification and execute its functional
+    model under the given stimulus.  The smallest servable unit: the
+    serving layer and the load-generation harness submit these."""
+    from repro.sim.interpreter import Simulator
+
+    spec = _spec_from_text(params["spec"])
+    limits = limits_from_params(params.get("limits"))
+    result = Simulator(spec).run(
+        inputs=dict(params.get("inputs") or {}), limits=limits
+    )
+    return {
+        "completed": result.completed,
+        "steps": result.steps,
+        "outputs": result.output_values(),
+    }
 
 
 # -- sweep -------------------------------------------------------------------

@@ -66,7 +66,21 @@ class ExecutionEngine:
 
     # -- main entry ----------------------------------------------------------
 
-    def run(self, jobs: Sequence[Job]) -> List[JobResult]:
+    def run(
+        self,
+        jobs: Sequence[Job],
+        timeout: Optional[float] = None,
+        cancel=None,
+    ) -> List[JobResult]:
+        """Run ``jobs``; see the class docstring.
+
+        ``timeout`` overrides the executor's per-job budget for this
+        call only (the serving layer passes a request's remaining
+        deadline here); ``cancel`` is a :class:`threading.Event` —
+        once set, jobs that have not started yet come back with a
+        structured ``cancelled`` error instead of running.  Cache hits
+        are always served, even with ``cancel`` set.
+        """
         started = time.perf_counter()
         salt = code_version_salt()
         executor_name = getattr(self.executor, "name", "custom")
@@ -103,8 +117,10 @@ class ExecutionEngine:
             degraded_before = getattr(self.executor, "degraded", 0)
             retries_before = getattr(self.executor, "retries", 0)
             if pending:
-                outcomes = self.executor.run(
-                    [(jobs[i].task, jobs[i].params) for i in pending]
+                outcomes = self._dispatch(
+                    [(jobs[i].task, jobs[i].params) for i in pending],
+                    timeout,
+                    cancel,
                 )
                 for index, outcome in zip(pending, outcomes):
                     job = jobs[index]
@@ -131,6 +147,32 @@ class ExecutionEngine:
         self.metrics.wall_seconds += time.perf_counter() - started
         return done
 
+    def _dispatch(self, items, timeout, cancel):
+        """Hand the cache misses to the executor, forwarding the
+        per-call ``timeout``/``cancel`` overrides only when given —
+        custom executors with a plain ``run(items)`` keep working."""
+        if timeout is None and cancel is None:
+            return self.executor.run(items)
+        try:
+            return self.executor.run(items, timeout=timeout, cancel=cancel)
+        except TypeError:
+            import inspect
+
+            parameters = inspect.signature(self.executor.run).parameters
+            if "timeout" in parameters or "cancel" in parameters:
+                raise  # genuine TypeError from inside the executor
+            return self.executor.run(items)
+
+    def abort(self) -> None:
+        """Best-effort cleanup after an interrupt: tear down any live
+        worker pools and remove half-written cache temp files.  The
+        campaign CLIs call this on SIGINT/SIGTERM before exiting."""
+        terminate = getattr(self.executor, "terminate", None)
+        if callable(terminate):
+            terminate()
+        if self.cache is not None:
+            self.cache.remove_temp_files()
+
     # -- bookkeeping ---------------------------------------------------------
 
     def _account(
@@ -145,6 +187,9 @@ class ExecutionEngine:
         self.metrics.failed += failed
         self.metrics.timeouts += sum(
             1 for r in results if r.error and r.error.get("kind") == "timeout"
+        )
+        self.metrics.cancelled += sum(
+            1 for r in results if r.error and r.error.get("kind") == "cancelled"
         )
         self.metrics.degraded += (
             getattr(self.executor, "degraded", 0) - degraded_before

@@ -20,11 +20,22 @@ into a structured error so campaign reports stay deterministic:
     process executor *degrades gracefully*: the in-flight and
     remaining jobs are recomputed serially in the parent process, so
     a flaky pool can slow a campaign down but never lose results.
+``cancelled``
+    A caller-supplied cancellation event was set before the job
+    started; jobs already running finish normally.
+
+Both executors accept per-call overrides — ``run(items, timeout=...,
+cancel=...)`` — which is how the serving layer (:mod:`repro.serve`)
+propagates one request's deadline into exactly that request's jobs
+without touching the executor's configured default, and
+:meth:`ProcessExecutor.terminate` tears down any live pool, which is
+what the campaign CLIs call on SIGINT/SIGTERM.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 import traceback
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -74,13 +85,38 @@ def _run_shard(shard: List[Item]) -> List[Outcome]:
     return [_execute_one(task, params) for task, params in shard]
 
 
+def _cancelled_outcome() -> Outcome:
+    return {
+        "error": _structured_error(
+            "cancelled", None, "job cancelled before it started"
+        ),
+        "seconds": 0.0,
+    }
+
+
 class SerialExecutor:
-    """The reference executor: everything in-process, in order."""
+    """The reference executor: everything in-process, in order.
+
+    ``timeout`` is accepted for interface parity but cannot preempt a
+    running job in-process; ``cancel`` (a :class:`threading.Event`)
+    skips jobs that have not started yet.
+    """
 
     name = "serial"
 
-    def run(self, items: Sequence[Item]) -> List[Outcome]:
-        return [_execute_one(task, params) for task, params in items]
+    def run(
+        self,
+        items: Sequence[Item],
+        timeout: Optional[float] = None,
+        cancel: Optional[threading.Event] = None,
+    ) -> List[Outcome]:
+        outcomes: List[Outcome] = []
+        for task, params in items:
+            if cancel is not None and cancel.is_set():
+                outcomes.append(_cancelled_outcome())
+            else:
+                outcomes.append(_execute_one(task, params))
+        return outcomes
 
 
 class ProcessExecutor:
@@ -128,6 +164,9 @@ class ProcessExecutor:
         self.timeouts = 0
         self.retries = 0
         self.restarts = 0
+        #: pools currently executing (terminate() reaps them)
+        self._live_pools: set = set()
+        self._pool_lock = threading.Lock()
 
     # -- pool plumbing -------------------------------------------------------
 
@@ -161,14 +200,36 @@ class ProcessExecutor:
             pass
         pool.shutdown(wait=False, cancel_futures=True)
 
+    def terminate(self) -> None:
+        """Kill every live pool *now* (SIGINT/SIGTERM cleanup path).
+
+        Safe to call from a signal handler's aftermath or another
+        thread; a run interrupted this way raises out of ``run`` as
+        usual, but no worker process is left behind."""
+        with self._pool_lock:
+            pools = list(self._live_pools)
+        for pool in pools:
+            self._kill_pool(pool)
+
     # -- execution -----------------------------------------------------------
 
-    def run(self, items: Sequence[Item]) -> List[Outcome]:
+    def run(
+        self,
+        items: Sequence[Item],
+        timeout: Optional[float] = None,
+        cancel: Optional[threading.Event] = None,
+    ) -> List[Outcome]:
+        effective = timeout if timeout is not None else self.timeout
         outcomes: Dict[int, Outcome] = {}
         shards = self._make_shards(items)
         pending: List[Tuple[List[int], List[Item]]] = list(shards)
         while pending:
-            pending = self._run_wave(pending, outcomes)
+            if cancel is not None and cancel.is_set():
+                for indices, _ in pending:
+                    for i in indices:
+                        outcomes[i] = _cancelled_outcome()
+                break
+            pending = self._run_wave(pending, outcomes, effective, cancel)
         return [outcomes[i] for i in range(len(items))]
 
     def _make_shards(
@@ -184,6 +245,8 @@ class ProcessExecutor:
         self,
         shards: List[Tuple[List[int], List[Item]]],
         outcomes: Dict[int, Outcome],
+        timeout: Optional[float],
+        cancel: Optional[threading.Event] = None,
     ) -> List[Tuple[List[int], List[Item]]]:
         """Submit every shard, collect in order; returns shards that
         must be resubmitted (after a timeout recycled the pool)."""
@@ -191,60 +254,75 @@ class ProcessExecutor:
         from concurrent.futures import TimeoutError as FutureTimeout
 
         pool = self._new_pool()
-        futures = [
-            (pool.submit(_run_shard, shard), indices, shard)
-            for indices, shard in shards
-        ]
-        requeue: List[Tuple[List[int], List[Item]]] = []
+        with self._pool_lock:
+            self._live_pools.add(pool)
         pool_dead = False
-        crashed: List[Tuple[List[int], List[Item]]] = []
-        for future, indices, shard in futures:
-            if pool_dead:
-                # pool already recycled: salvage finished shards, requeue the rest
-                if future.done() and not future.cancelled():
-                    try:
-                        self._absorb(future.result(0), indices, outcomes)
-                        continue
-                    except Exception:
-                        pass
-                requeue.append((indices, shard))
-                continue
-            budget = None if self.timeout is None else self.timeout * len(shard)
-            try:
-                self._absorb(future.result(budget), indices, outcomes)
-            except FutureTimeout:
-                self.timeouts += 1
-                for i in indices:
-                    outcomes[i] = {
-                        "error": _structured_error(
-                            "timeout",
-                            None,
-                            f"job exceeded its {self.timeout}s budget",
-                        ),
-                        "seconds": budget or 0.0,
-                    }
-                # the worker is still grinding on the abandoned job —
-                # recycle the pool so the rest get clean workers
-                self._kill_pool(pool)
-                self.restarts += 1
-                pool_dead = True
-            except (BrokenExecutor, EnvironmentError) as exc:
-                crashed.append((indices, shard))
-                self._kill_pool(pool)
-                pool_dead = True
-                if not self.serial_fallback:
+        try:
+            futures = [
+                (pool.submit(_run_shard, shard), indices, shard)
+                for indices, shard in shards
+            ]
+            requeue: List[Tuple[List[int], List[Item]]] = []
+            crashed: List[Tuple[List[int], List[Item]]] = []
+            for future, indices, shard in futures:
+                if pool_dead:
+                    # pool already recycled: salvage finished shards, requeue the rest
+                    if future.done() and not future.cancelled():
+                        try:
+                            self._absorb(future.result(0), indices, outcomes)
+                            continue
+                        except Exception:
+                            pass
+                    requeue.append((indices, shard))
+                    continue
+                budget = None if timeout is None else timeout * len(shard)
+                try:
+                    self._absorb(future.result(budget), indices, outcomes)
+                except FutureTimeout:
+                    self.timeouts += 1
                     for i in indices:
                         outcomes[i] = {
-                            "error": _structured_error("crash", exc),
-                            "seconds": 0.0,
+                            "error": _structured_error(
+                                "timeout",
+                                None,
+                                f"job exceeded its {timeout}s budget",
+                            ),
+                            "seconds": budget or 0.0,
                         }
-        if not pool_dead:
-            pool.shutdown(wait=True)
+                    # the worker is still grinding on the abandoned job —
+                    # recycle the pool so the rest get clean workers
+                    self._kill_pool(pool)
+                    self.restarts += 1
+                    pool_dead = True
+                except (BrokenExecutor, EnvironmentError) as exc:
+                    crashed.append((indices, shard))
+                    self._kill_pool(pool)
+                    pool_dead = True
+                    if not self.serial_fallback:
+                        for i in indices:
+                            outcomes[i] = {
+                                "error": _structured_error("crash", exc),
+                                "seconds": 0.0,
+                            }
+            if not pool_dead:
+                pool.shutdown(wait=True)
+        except BaseException:
+            # interrupted (KeyboardInterrupt/SIGTERM): never leave
+            # worker processes grinding behind the raise
+            self._kill_pool(pool)
+            raise
+        finally:
+            with self._pool_lock:
+                self._live_pools.discard(pool)
         if crashed and self.serial_fallback:
             # graceful degradation: a worker died mid-job; recompute the
             # in-flight shard and everything still queued in-process
             self.degraded += 1
             for indices, shard in crashed + requeue:
+                if cancel is not None and cancel.is_set():
+                    for i in indices:
+                        outcomes[i] = _cancelled_outcome()
+                    continue
                 self.retries += len(indices)
                 self._absorb(_run_shard(shard), indices, outcomes)
             return []

@@ -1,0 +1,58 @@
+"""Refinement-as-a-service (`repro.serve`).
+
+``repro serve`` turns the refinement/simulation pipeline into a
+long-running HTTP/JSON daemon built only on the stdlib: requests
+become content-addressed jobs on the existing
+:class:`repro.exec.engine.ExecutionEngine` (so identical submissions —
+from any client, or from the campaign CLIs — share one cached,
+byte-identical result).  The serving layer adds what a *service*
+needs and a CLI does not:
+
+* per-request **deadlines** that propagate into per-job execution
+  timeouts;
+* a bounded admission queue with explicit **backpressure** (429 +
+  ``Retry-After`` derived from observed service time);
+* a per-spec **circuit breaker** quarantining jobs that repeatedly
+  crash workers;
+* health/readiness/stats/trace endpoints;
+* **graceful drain** on SIGTERM/SIGINT — stop admitting, finish
+  in-flight work, flush cache scratch files, exit 0.
+
+Companions: :mod:`repro.serve.client` (a retrying, backoff-polite
+client), :mod:`repro.serve.loadgen` (the seeded ``repro loadgen``
+harness) and :mod:`repro.serve.chaos` (opt-in fault-injection tasks
+for the chaos test suite).  See ``docs/SERVICE.md``.
+"""
+
+from repro.serve.breaker import BreakerDecision, CircuitBreaker
+from repro.serve.client import ClientError, ReproClient, Response
+from repro.serve.loadgen import (
+    LoadgenConfig,
+    LoadgenResult,
+    build_job_pool,
+    run_loadgen,
+)
+from repro.serve.server import (
+    ERROR_STATUS,
+    ReproServer,
+    ServeConfig,
+    ServeMetrics,
+    run_server,
+)
+
+__all__ = [
+    "ERROR_STATUS",
+    "BreakerDecision",
+    "CircuitBreaker",
+    "ClientError",
+    "LoadgenConfig",
+    "LoadgenResult",
+    "ReproClient",
+    "ReproServer",
+    "Response",
+    "ServeConfig",
+    "ServeMetrics",
+    "build_job_pool",
+    "run_loadgen",
+    "run_server",
+]

@@ -1,0 +1,78 @@
+"""Chaos tasks: deliberately hostile jobs for torturing the daemon.
+
+These are the fault injectors behind ``tests/test_serve_chaos.py`` and
+the CI ``serve-smoke`` job.  They are **not** registered by default —
+a production-ish daemon must not offer a "please SIGKILL your worker"
+endpoint — only when the server is started with ``--chaos`` (or a test
+calls :func:`register_chaos_tasks` directly).
+
+``chaos-sleep``
+    Sleep ``seconds`` then return; occupies a worker slot for a known
+    duration (queue-overflow and deadline tests).
+``chaos-crash``
+    SIGKILL the executing worker process mid-job.  Through a
+    :class:`repro.exec.executors.ProcessExecutor` this surfaces as a
+    structured ``crash`` outcome; through ``SerialExecutor`` it would
+    kill the server itself, which is exactly why the daemon keeps
+    serial fallback off.
+``chaos-spin``
+    Busy-loop forever (ignoring everything); only a per-job timeout
+    stops it (deadline-preemption tests).
+``chaos-flaky``
+    Crash like ``chaos-crash`` while ``os.path.exists(trip_file)``,
+    succeed afterwards — lets tests walk a circuit through
+    open → half-open → closed.
+
+Every task takes a ``nonce`` parameter it never reads: it exists so
+tests can mint fresh content-addressed job keys at will (and defeat
+the result cache / circuit breaker when they want a cold run).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Dict
+
+from repro.exec.campaigns import register, task_names
+
+__all__ = ["CHAOS_TASKS", "register_chaos_tasks"]
+
+CHAOS_TASKS = ["chaos-crash", "chaos-flaky", "chaos-sleep", "chaos-spin"]
+
+
+def _chaos_sleep(params: Dict[str, object]) -> Dict[str, object]:
+    seconds = float(params.get("seconds", 0.1))
+    time.sleep(seconds)
+    return {"slept": seconds, "nonce": params.get("nonce")}
+
+
+def _chaos_crash(params: Dict[str, object]) -> Dict[str, object]:
+    os.kill(os.getpid(), signal.SIGKILL)
+    raise AssertionError("unreachable: SIGKILL did not take")  # pragma: no cover
+
+
+def _chaos_spin(params: Dict[str, object]) -> Dict[str, object]:
+    while True:  # pragma: no cover — only ever exits via SIGKILL
+        pass
+
+
+def _chaos_flaky(params: Dict[str, object]) -> Dict[str, object]:
+    trip_file = str(params.get("trip_file", ""))
+    if trip_file and os.path.exists(trip_file):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"recovered": True, "nonce": params.get("nonce")}
+
+
+def register_chaos_tasks() -> None:
+    """Idempotently add the chaos tasks to the campaign registry."""
+    existing = set(task_names())
+    for name, fn in (
+        ("chaos-sleep", _chaos_sleep),
+        ("chaos-crash", _chaos_crash),
+        ("chaos-spin", _chaos_spin),
+        ("chaos-flaky", _chaos_flaky),
+    ):
+        if name not in existing:
+            register(name)(fn)

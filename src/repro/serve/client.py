@@ -1,0 +1,234 @@
+"""A small, retrying client for the ``repro serve`` daemon.
+
+Built on :mod:`http.client` (stdlib only).  The headline behaviour is
+*polite* retry: transient outcomes — 429 queue-full, 503
+draining/circuit-open, refused/dropped connections — are retried with
+jittered exponential backoff, honouring the server's ``Retry-After``
+hint (preferring the fractional ``X-Repro-Retry-After`` header when
+present, since HTTP's ``Retry-After`` is whole seconds).  Final
+outcomes — 200, 400, 404, 500, 504 — are returned to the caller
+immediately; retrying a deterministic failure would only add load.
+
+All randomness flows from an injectable seeded ``random.Random`` so a
+fleet of clients (see :mod:`repro.serve.loadgen`) behaves reproducibly.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import time
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ClientError", "ReproClient", "Response"]
+
+#: HTTP statuses worth retrying (the server said "later", not "no").
+RETRYABLE_STATUS = frozenset({429, 503})
+
+
+class ClientError(Exception):
+    """Raised when retries are exhausted without reaching a final
+    outcome (the server stayed unreachable or kept shedding load)."""
+
+
+class Response:
+    """One final HTTP exchange, parsed."""
+
+    __slots__ = ("status", "headers", "body", "attempts", "seconds")
+
+    def __init__(
+        self,
+        status: int,
+        headers: Dict[str, str],
+        body: Dict[str, object],
+        attempts: int,
+        seconds: float,
+    ):
+        self.status = status
+        self.headers = headers
+        self.body = body
+        #: total HTTP exchanges it took to get this final outcome
+        self.attempts = attempts
+        #: wall-clock seconds from first attempt to final outcome
+        self.seconds = seconds
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+    @property
+    def cached(self) -> bool:
+        return self.headers.get("x-repro-cached") == "true"
+
+    def error_kind(self) -> Optional[str]:
+        """The structured error kind, or ``None`` on success."""
+        error = self.body.get("error")
+        if isinstance(error, dict):
+            return str(error.get("kind"))
+        return None if self.status == 200 else f"http-{self.status}"
+
+    def __repr__(self) -> str:
+        return (
+            f"<Response {self.status} kind={self.error_kind()!r} "
+            f"attempts={self.attempts}>"
+        )
+
+
+class ReproClient:
+    """Talks to one daemon.  Not thread-safe; give each client thread
+    its own instance (and its own seeded ``rng``)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8736,
+        retries: int = 5,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        timeout: float = 60.0,
+        rng: Optional[random.Random] = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ):
+        self.host = host
+        self.port = port
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.timeout = timeout
+        self.rng = rng or random.Random(0)
+        self._clock = clock
+        self._sleep = sleep
+
+    # -- transport -----------------------------------------------------------
+
+    def _exchange(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, Dict[str, str], Dict[str, object]]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            raw = connection.getresponse()
+            data = raw.read()
+            header_map = {k.lower(): v for k, v in raw.getheaders()}
+            try:
+                parsed = json.loads(data) if data else {}
+            except ValueError:
+                parsed = {"raw": data.decode(errors="replace")}
+            if not isinstance(parsed, dict):
+                parsed = {"value": parsed}
+            return raw.status, header_map, parsed
+        finally:
+            connection.close()
+
+    def _backoff(
+        self, attempt: int, headers: Optional[Dict[str, str]]
+    ) -> float:
+        """Seconds to wait before attempt ``attempt + 1``."""
+        hinted = None
+        if headers is not None:
+            fractional = headers.get("x-repro-retry-after")
+            coarse = headers.get("retry-after")
+            try:
+                hinted = float(fractional if fractional is not None else coarse)
+            except (TypeError, ValueError):
+                hinted = None
+        computed = min(self.backoff_base * (2**attempt), self.backoff_cap)
+        base = hinted if hinted is not None else computed
+        # full jitter on the computed part keeps a retrying fleet from
+        # stampeding the queue in lockstep
+        return min(base + self.rng.uniform(0, computed), self.backoff_cap * 2)
+
+    def request(
+        self, method: str, path: str, payload: Optional[Dict[str, object]] = None
+    ) -> Response:
+        """One logical request: retries transient outcomes, returns the
+        first final one.  Raises :class:`ClientError` if every attempt
+        was transient."""
+        body = (
+            json.dumps(payload, sort_keys=True).encode()
+            if payload is not None
+            else None
+        )
+        started = self._clock()
+        last: Optional[Tuple[int, Dict[str, str], Dict[str, object]]] = None
+        failure = "no attempts made"
+        for attempt in range(self.retries + 1):
+            try:
+                status, headers, parsed = self._exchange(method, path, body)
+            except (ConnectionError, socket.timeout, http.client.HTTPException, OSError) as exc:
+                failure = f"{type(exc).__name__}: {exc}"
+                last = None
+                if attempt < self.retries:
+                    self._sleep(self._backoff(attempt, None))
+                continue
+            if status not in RETRYABLE_STATUS:
+                return Response(
+                    status, headers, parsed, attempt + 1, self._clock() - started
+                )
+            failure = f"http {status} ({parsed.get('error')})"
+            last = (status, headers, parsed)
+            if attempt < self.retries:
+                self._sleep(self._backoff(attempt, headers))
+        if last is not None:
+            # exhausted retries against a live but shedding server:
+            # surface the last transient response as the outcome
+            status, headers, parsed = last
+            return Response(
+                status, headers, parsed, self.retries + 1, self._clock() - started
+            )
+        raise ClientError(
+            f"{method} {path} failed after {self.retries + 1} attempts: {failure}"
+        )
+
+    # -- convenience ---------------------------------------------------------
+
+    def submit(
+        self,
+        task: str,
+        params: Dict[str, object],
+        deadline: Optional[float] = None,
+    ) -> Response:
+        payload: Dict[str, object] = {"task": task, "params": params}
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return self.request("POST", "/v1/jobs", payload)
+
+    def lookup(self, key: str) -> Response:
+        return self.request("GET", f"/v1/jobs/{key}")
+
+    def stats(self) -> Dict[str, object]:
+        return self.request("GET", "/v1/stats").body
+
+    def tasks(self) -> List[str]:
+        names = self.request("GET", "/v1/tasks").body.get("tasks", [])
+        return list(names) if isinstance(names, list) else []
+
+    def healthy(self) -> bool:
+        try:
+            return self._exchange("GET", "/healthz", None)[0] == 200
+        except OSError:
+            return False
+
+    def ready(self) -> bool:
+        try:
+            return self._exchange("GET", "/readyz", None)[0] == 200
+        except OSError:
+            return False
+
+    def drain(self) -> Response:
+        return self.request("POST", "/v1/drain", {})
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> bool:
+        """Poll ``/readyz`` until it answers 200 (or time runs out)."""
+        ends = self._clock() + timeout
+        while self._clock() < ends:
+            if self.ready():
+                return True
+            self._sleep(interval)
+        return False

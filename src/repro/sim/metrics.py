@@ -213,6 +213,7 @@ class ExecMetrics:
     executed            jobs actually computed (serial or worker)
     failed              jobs that ended with a structured error
     timeouts            jobs abandoned after exceeding their timeout
+    cancelled           jobs skipped because a cancel event was set
     retries             jobs re-run after a worker crash
     degraded            times an executor fell back to serial
     wall_seconds        real time spent inside ``ExecutionEngine.run``
@@ -228,6 +229,7 @@ class ExecMetrics:
         "executed",
         "failed",
         "timeouts",
+        "cancelled",
         "retries",
         "degraded",
         "wall_seconds",
@@ -243,6 +245,7 @@ class ExecMetrics:
         ("executed", "jobs executed"),
         ("failed", "jobs failed"),
         ("timeouts", "job timeouts"),
+        ("cancelled", "jobs cancelled"),
         ("retries", "jobs retried"),
         ("degraded", "serial fallbacks"),
     )

@@ -1,0 +1,328 @@
+"""The serving layer under normal operation: the circuit breaker's
+state machine, the HTTP surface (health, readiness, stats, submit,
+lookup), deadline propagation, response byte-identity against the
+engine, the retrying client, and loadgen's deterministic report."""
+
+import json
+import threading
+
+import pytest
+
+from repro.exec import ExecutionEngine, Job, SerialExecutor, code_version_salt, register
+from repro.serve import (
+    CircuitBreaker,
+    LoadgenConfig,
+    ReproClient,
+    ReproServer,
+    Response,
+    ServeConfig,
+    build_job_pool,
+)
+from repro.serve.chaos import register_chaos_tasks
+
+
+@register("test-serve-echo")
+def _echo(params):
+    return {"value": params["value"]}
+
+
+@register("test-serve-boom")
+def _boom(params):
+    raise ValueError(f"boom {params['value']}")
+
+
+@pytest.fixture
+def server(tmp_path):
+    """An in-process daemon on an ephemeral port, chaos tasks on,
+    cache under the test's tmp dir; closed at teardown."""
+    instance = ReproServer(
+        ServeConfig(
+            port=0,
+            workers=2,
+            queue_limit=4,
+            cache_dir=str(tmp_path / "cache"),
+            chaos=True,
+            breaker_cooldown=0.2,
+        )
+    ).start()
+    try:
+        yield instance
+    finally:
+        instance.close()
+
+
+def _client(server, **kw):
+    kw.setdefault("retries", 0)
+    return ReproClient(port=server.port, **kw)
+
+
+# -- circuit breaker ----------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_closed_until_threshold(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=10.0, clock=lambda: 0.0)
+        for _ in range(2):
+            assert breaker.admit("k").allowed
+            breaker.record("k", ok=False)
+        assert breaker.state("k") == "closed"
+        breaker.record("k", ok=False)
+        assert breaker.state("k") == "open"
+        decision = breaker.admit("k")
+        assert not decision.allowed
+        assert decision.retry_after == pytest.approx(10.0)
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=10.0)
+        breaker.record("k", ok=False)
+        breaker.record("k", ok=True)
+        breaker.record("k", ok=False)
+        assert breaker.state("k") == "closed"
+
+    def test_half_open_single_probe(self):
+        now = [0.0]
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=lambda: now[0])
+        breaker.record("k", ok=False)
+        assert not breaker.admit("k").allowed
+        now[0] = 5.1
+        probe = breaker.admit("k")
+        assert probe.allowed and probe.state == "half-open"
+        # while the probe is outstanding nobody else gets in
+        assert not breaker.admit("k").allowed
+        breaker.record("k", ok=True)
+        assert breaker.state("k") == "closed"
+        assert breaker.admit("k").allowed
+
+    def test_failed_probe_reopens_for_fresh_cooldown(self):
+        now = [0.0]
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=lambda: now[0])
+        breaker.record("k", ok=False)
+        now[0] = 6.0
+        assert breaker.admit("k").allowed
+        breaker.record("k", ok=False)
+        assert breaker.state("k") == "open"
+        now[0] = 10.0  # only 4s into the new cooldown
+        assert not breaker.admit("k").allowed
+        assert breaker.snapshot()["trips"] == 2
+
+    def test_keys_are_independent(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0)
+        breaker.record("bad", ok=False)
+        assert not breaker.admit("bad").allowed
+        assert breaker.admit("good").allowed
+        assert breaker.snapshot()["open"] == ["bad"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=0.0)
+
+
+# -- HTTP surface -------------------------------------------------------------
+
+
+class TestEndpoints:
+    def test_health_and_readiness(self, server):
+        client = _client(server)
+        assert client.healthy()
+        assert client.ready()
+        server.begin_drain("test")
+        assert client.healthy()  # alive while draining
+        assert not client.ready()  # but no longer ready
+
+    def test_submit_roundtrip(self, server):
+        response = _client(server).submit("test-serve-echo", {"value": 7})
+        assert response.ok
+        assert response.body["payload"] == {"value": 7}
+        assert len(response.body["key"]) == 64
+        assert not response.cached
+
+    def test_task_error_is_500_with_taxonomy(self, server):
+        response = _client(server).submit("test-serve-boom", {"value": 1})
+        assert response.status == 500
+        assert response.error_kind() == "error"
+        assert "boom 1" in response.body["error"]["message"]
+
+    def test_unknown_task_and_bad_bodies(self, server):
+        client = _client(server)
+        assert client.submit("no-such-task", {}).error_kind() == "unknown-task"
+        assert client.request("POST", "/v1/jobs", {"task": 3}).status == 400
+        assert client.request("POST", "/v1/jobs", [1, 2]).status == 400
+        bad_deadline = client.request(
+            "POST", "/v1/jobs",
+            {"task": "test-serve-echo", "params": {}, "deadline": -1},
+        )
+        assert bad_deadline.error_kind() == "bad-request"
+
+    def test_unknown_route_404(self, server):
+        assert _client(server).request("GET", "/nope").status == 404
+
+    def test_tasks_endpoint_lists_registry(self, server):
+        names = _client(server).tasks()
+        assert "test-serve-echo" in names
+        assert "chaos-sleep" in names
+
+    def test_stats_shape(self, server):
+        client = _client(server)
+        client.submit("test-serve-echo", {"value": 1})
+        stats = client.stats()
+        assert stats["server"]["ok"] == 1
+        assert stats["server"]["ready"] is True
+        assert stats["server"]["workers"] == 2
+        assert stats["exec"]["jobs"] >= 1
+        assert stats["cache"]["puts"] == 1
+        assert stats["breaker"]["open"] == []
+
+    def test_lookup_hits_cache(self, server):
+        client = _client(server)
+        submitted = client.submit("test-serve-echo", {"value": 9})
+        found = client.lookup(submitted.body["key"])
+        assert found.ok and found.cached
+        assert found.body == submitted.body
+        assert client.lookup("0" * 64).status == 404
+
+    def test_trace_404_when_disabled(self, server):
+        assert _client(server).request("GET", "/v1/trace").status == 404
+
+
+class TestTraceEndpoint:
+    def test_trace_collects_slot_spans(self):
+        server = ReproServer(
+            ServeConfig(port=0, workers=1, no_cache=True, trace=True)
+        ).start()
+        try:
+            client = _client(server)
+            client.submit("test-serve-echo", {"value": 1})
+            trace = client.request("GET", "/v1/trace").body
+            names = {e.get("name") for e in trace["traceEvents"]}
+            assert "engine.run" in names or len(trace["traceEvents"]) > 1
+        finally:
+            server.close()
+
+
+# -- determinism / byte identity ----------------------------------------------
+
+
+class TestByteIdentity:
+    def test_warm_hit_body_is_byte_identical(self, server):
+        client = _client(server)
+        cold = client.submit("test-serve-echo", {"value": 3})
+        warm = client.submit("test-serve-echo", {"value": 3})
+        assert not cold.cached and warm.cached
+        assert json.dumps(cold.body, sort_keys=True) == json.dumps(
+            warm.body, sort_keys=True
+        )
+
+    def test_served_payload_matches_engine(self, server):
+        job = Job("test-serve-echo", {"value": 42})
+        response = _client(server).submit("test-serve-echo", {"value": 42})
+        engine = ExecutionEngine(executor=SerialExecutor(), cache=None)
+        (local,) = engine.run([job])
+        assert response.body["payload"] == local.payload
+        assert response.body["key"] == job.key(code_version_salt())
+
+
+# -- deadlines ----------------------------------------------------------------
+
+
+class TestDeadlines:
+    def test_slow_job_times_out_with_504(self, server):
+        response = _client(server).submit(
+            "chaos-sleep", {"seconds": 5.0, "nonce": "dl"}, deadline=0.3
+        )
+        assert response.status == 504
+        assert response.error_kind() == "deadline"
+
+    def test_deadline_clamped_to_max(self):
+        server = ReproServer(
+            ServeConfig(port=0, workers=1, no_cache=True, max_deadline=0.3,
+                        chaos=True)
+        ).start()
+        try:
+            response = _client(server).submit(
+                "chaos-sleep", {"seconds": 5.0, "nonce": "clamp"}, deadline=60.0
+            )
+            assert response.status == 504
+        finally:
+            server.close()
+
+
+# -- the client ---------------------------------------------------------------
+
+
+class TestClient:
+    def test_backoff_prefers_fractional_hint(self):
+        client = ReproClient(retries=3, backoff_base=0.1, backoff_cap=1.0)
+        client.rng = __import__("random").Random(0)
+        wait = client._backoff(0, {"x-repro-retry-after": "0.25",
+                                   "retry-after": "7"})
+        assert 0.25 <= wait < 0.25 + 0.1 + 1e-9
+
+    def test_backoff_grows_without_hint(self):
+        client = ReproClient(retries=5, backoff_base=0.1, backoff_cap=10.0)
+
+        class _NoJitter:
+            def uniform(self, a, b):
+                return 0.0
+
+        client.rng = _NoJitter()
+        assert client._backoff(0, None) == pytest.approx(0.1)
+        assert client._backoff(3, None) == pytest.approx(0.8)
+
+    def test_retries_transient_then_returns_final(self, server):
+        # draining server answers 503; a 0-retry client surfaces it,
+        # a retrying client keeps trying and then surfaces the last
+        server.begin_drain("test")
+        slept = []
+        client = ReproClient(
+            port=server.port, retries=2, sleep=slept.append
+        )
+        response = client.submit("test-serve-echo", {"value": 1})
+        assert response.status == 503
+        assert response.attempts == 3
+        assert len(slept) == 2
+
+    def test_unreachable_raises_client_error(self):
+        from repro.serve import ClientError
+
+        client = ReproClient(port=1, retries=1, sleep=lambda s: None,
+                             timeout=0.5)
+        with pytest.raises(ClientError):
+            client.request("GET", "/healthz")
+
+    def test_response_error_kind_helpers(self):
+        ok = Response(200, {}, {"key": "k", "payload": {}}, 1, 0.0)
+        assert ok.ok and ok.error_kind() is None
+        err = Response(429, {}, {"error": {"kind": "queue-full"}}, 1, 0.0)
+        assert err.error_kind() == "queue-full"
+
+
+# -- loadgen ------------------------------------------------------------------
+
+
+class TestLoadgen:
+    def test_job_pool_is_deterministic(self):
+        config = LoadgenConfig(seed=3, cases=2, vectors=2)
+        assert build_job_pool(config) == build_job_pool(config)
+        other = build_job_pool(LoadgenConfig(seed=4, cases=2, vectors=2))
+        assert other != build_job_pool(config)
+
+    def test_loadgen_report_stable_across_runs(self):
+        from repro.serve import run_loadgen
+
+        server = ReproServer(
+            ServeConfig(port=0, workers=2, no_cache=True)
+        ).start()
+        try:
+            config = LoadgenConfig(
+                port=server.port, seed=1, clients=2, requests=4,
+                cases=2, vectors=1,
+            )
+            first = run_loadgen(config)
+            second = run_loadgen(config)
+        finally:
+            server.close()
+        assert first.ok and second.ok
+        assert first.report == second.report
+        assert "verdict: PASS" in first.report
