@@ -1,0 +1,185 @@
+"""P7 — Batched multi-lane simulation: SoA lanes + amortized compilation.
+
+Runs the full production sweep unit for the 3-designs x 4-models
+medical grid with ``LANES`` seeds per cell, two ways:
+
+* ``serial`` — the status-quo exec path: one job per (cell, seed),
+  each job refining the design and running :func:`check_equivalence`
+  with fresh single-lane compiled :class:`Simulator`\\ s (exactly what
+  a ``sweep-cell`` task does today);
+* ``batched`` — the ``batch-cell`` path: refine once per cell, then
+  :func:`check_equivalence_batch` advances all seeds as lanes of one
+  :class:`BatchSimulator` pair (original + refined), sharing compiled
+  closures across lanes.
+
+Before timing, every lane's outputs, traces, steps and equivalence
+verdicts are checked byte-identical to the serial runs — the speedup
+only counts if the results are exactly the work the serial path
+produces.  Timing uses ``time.process_time`` (CPU seconds) and
+interleaves the two modes over ``REPS`` repetitions; the speedup is
+min-serial over min-batched.
+
+Acceptance floor (ISSUE 7): >= 3x at >= 8 lanes, enforced on >= 4-CPU
+runners; on smaller machines (or with ``REPRO_BENCH_INFORMATIONAL=1``)
+the result is reported but not enforced.  Writes ``kernel_batch.txt``
+and ``kernel_batch.json`` under ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List
+
+from repro.apps.medical import MEDICAL_INPUTS, all_designs, medical_specification
+from repro.exec.campaigns import sweep_inputs
+from repro.models.impl_models import ALL_MODELS
+from repro.refine.refiner import Refiner
+from repro.sim.equivalence import check_equivalence, check_equivalence_batch
+
+#: Lanes per (design, model) cell-family (the gate's ">= 8 lanes").
+LANES = 8
+
+#: Interleaved repetitions per mode; min-of-REPS is reported.
+REPS = 5
+
+MIN_SPEEDUP = 3.0
+
+
+def _cells():
+    spec = medical_specification()
+    spec.validate()
+    return spec, [
+        (design_name, model, partition)
+        for design_name, partition in all_designs(spec).items()
+        for model in ALL_MODELS
+    ]
+
+
+def _vectors(spec) -> List[Dict[str, object]]:
+    return [
+        sweep_inputs(spec, seed, dict(MEDICAL_INPUTS)) for seed in range(LANES)
+    ]
+
+
+def _report_key(report):
+    """Everything a sweep report derives from one equivalence check."""
+    refined = report.refined_run
+    return (
+        report.equivalent,
+        tuple(str(m) for m in report.mismatches),
+        report.original_run.steps,
+        refined.steps,
+        refined.completed,
+        tuple(sorted(refined.output_values().items())),
+        tuple(
+            (event.step, event.variable, event.value)
+            for event in refined.trace
+        ),
+    )
+
+
+def _serial_sweep(spec, cells):
+    """One job per (cell, seed): refine + single-lane equivalence."""
+    out = []
+    for design_name, model, partition in cells:
+        for seed in range(LANES):
+            design = Refiner(spec, partition, model).run()
+            vector = sweep_inputs(design.spec, seed, dict(MEDICAL_INPUTS))
+            report = check_equivalence(design, vector)
+            out.append((design_name, model.name, seed, _report_key(report)))
+    return out
+
+
+def _batched_sweep(spec, cells):
+    """One job per cell-family: refine once, all seeds as lanes."""
+    out = []
+    for design_name, model, partition in cells:
+        design = Refiner(spec, partition, model).run()
+        reports = check_equivalence_batch(design, _vectors(design.spec))
+        for seed, report in enumerate(reports):
+            out.append((design_name, model.name, seed, _report_key(report)))
+    return out
+
+
+def run_batch_benchmark(reps: int = REPS) -> Dict[str, object]:
+    """Time the two sweep modes; verify per-lane byte-identity first."""
+    spec, cells = _cells()
+
+    # correctness first: every lane byte-identical to its serial run
+    # (this also warms allocator/caches for the timed section)
+    serial_results = _serial_sweep(spec, cells)
+    batched_results = _batched_sweep(spec, cells)
+    lanes_identical = serial_results == batched_results
+
+    serial_times: List[float] = []
+    batched_times: List[float] = []
+    for _ in range(reps):
+        started = time.process_time()
+        _serial_sweep(spec, cells)
+        serial_times.append(time.process_time() - started)
+        started = time.process_time()
+        _batched_sweep(spec, cells)
+        batched_times.append(time.process_time() - started)
+
+    best_serial = min(serial_times)
+    best_batched = min(batched_times)
+    return {
+        "cells": len(cells),
+        "lanes": LANES,
+        "jobs": len(cells) * LANES,
+        "reps": reps,
+        "lanes_identical": lanes_identical,
+        "serial_cpu_seconds": best_serial,
+        "batched_cpu_seconds": best_batched,
+        "speedup": best_serial / best_batched,
+        "samples": {"serial": serial_times, "batched": batched_times},
+    }
+
+
+def _enforced() -> bool:
+    """Gate enforcement: >= 4 CPUs and not explicitly informational."""
+    if os.environ.get("REPRO_BENCH_INFORMATIONAL"):
+        return False
+    return (os.cpu_count() or 1) >= 4
+
+
+def render_report(report: Dict[str, object]) -> str:
+    mode = "enforced" if report["enforced"] else "informational"
+    return "\n".join(
+        [
+            f"batched kernel: {report['cells']} cells x {report['lanes']} "
+            f"lanes, min CPU seconds of {report['reps']} interleaved sweeps",
+            f"  serial  (job = refine + 1-lane equivalence)  "
+            f"{report['serial_cpu_seconds']:.3f}s",
+            f"  batched (job = refine + {report['lanes']}-lane batch)      "
+            f"{report['batched_cpu_seconds']:.3f}s",
+            f"  speedup                  {report['speedup']:.2f}x "
+            f"(floor {MIN_SPEEDUP}x, {mode})",
+            f"  lanes byte-identical     {report['lanes_identical']}",
+        ]
+    )
+
+
+def bench_kernel_batch(write_artifact):
+    report = run_batch_benchmark()
+    report["enforced"] = _enforced()
+    write_artifact("kernel_batch.txt", render_report(report))
+    write_artifact("kernel_batch.json", json.dumps(report, indent=2))
+    assert report["lanes_identical"], "batched lanes diverged from serial runs"
+    if report["enforced"]:
+        assert report["speedup"] >= MIN_SPEEDUP, (
+            f"batched speedup {report['speedup']:.2f}x below the "
+            f"{MIN_SPEEDUP}x floor"
+        )
+
+
+if __name__ == "__main__":
+    result = run_batch_benchmark()
+    result["enforced"] = _enforced()
+    print(render_report(result))
+    ok = result["lanes_identical"] and (
+        not result["enforced"] or result["speedup"] >= MIN_SPEEDUP
+    )
+    raise SystemExit(0 if ok else 1)

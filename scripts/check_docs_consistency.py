@@ -1,21 +1,26 @@
 #!/usr/bin/env python
 """Fail if the public API has drifted from the docs.
 
-Walks every ``repro`` package with an ``__all__`` and checks that each
-exported name is mentioned in ``docs/API.md``.  The check is textual on
-purpose: the reference is a curated prose document, not generated
-stubs, so "mentioned anywhere in the file" is the contract — a name can
-be documented in a table row, a sentence, or a grouped entry like
-``MODEL1..MODEL4``.
+Two checks:
+
+* every name exported by a ``repro`` package ``__all__`` must be
+  mentioned in ``docs/API.md``.  The check is textual on purpose: the
+  reference is a curated prose document, not generated stubs, so
+  "mentioned anywhere in the file" is the contract — a name can be
+  documented in a table row, a sentence, or a grouped entry like
+  ``MODEL1..MODEL4``;
+* every file under ``docs/`` must be linked (as ``docs/<name>.md``)
+  from the README's documentation index, so no guide can silently
+  drop out of the front door.
 
 Run from the repo root (CI does)::
 
     PYTHONPATH=src python scripts/check_docs_consistency.py
 
-Exits non-zero listing the undocumented names, if any.  Names can be
-grouped with ``..`` ranges only if every member is spelled out
-somewhere; add the literal name to the doc instead of widening this
-check.
+Exits non-zero listing the undocumented names / unlinked files, if
+any.  Names can be grouped with ``..`` ranges only if every member is
+spelled out somewhere; add the literal name to the doc instead of
+widening this check.
 """
 
 from __future__ import annotations
@@ -27,6 +32,8 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 API_DOC = REPO_ROOT / "docs" / "API.md"
+DOCS_DIR = REPO_ROOT / "docs"
+README = REPO_ROOT / "README.md"
 
 #: Exported names that are intentionally undocumented.
 ALLOWED_UNDOCUMENTED = {
@@ -61,6 +68,15 @@ def undocumented_names(doc_text: str):
     return missing
 
 
+def unlinked_docs(readme_text: str):
+    """Return the ``docs/*.md`` files the README never links to."""
+    return sorted(
+        f"docs/{path.name}"
+        for path in DOCS_DIR.glob("*.md")
+        if f"docs/{path.name}" not in readme_text
+    )
+
+
 def main() -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     doc_text = API_DOC.read_text(encoding="utf-8")
@@ -72,8 +88,19 @@ def main() -> int:
         print("\nDocument them in docs/API.md (or add to ALLOWED_UNDOCUMENTED")
         print("in scripts/check_docs_consistency.py with a justification).")
         return 1
+    orphans = unlinked_docs(README.read_text(encoding="utf-8"))
+    if orphans:
+        print(f"README.md's documentation index is missing {len(orphans)} file(s):")
+        for name in orphans:
+            print(f"  {name}")
+        print("\nLink them from the README so every guide stays reachable.")
+        return 1
     total = sum(len(getattr(m, "__all__", ())) for _, m in public_packages())
-    print(f"docs/API.md covers all {total} exported names. OK")
+    docs = len(list(DOCS_DIR.glob("*.md")))
+    print(
+        f"docs/API.md covers all {total} exported names; README links "
+        f"all {docs} docs/ files. OK"
+    )
     return 0
 
 

@@ -551,27 +551,22 @@ def _cmd_fuzz(args) -> int:
     corpus = args.corpus if args.corpus else None
     engine = _build_engine(args, tracer=tracer)
     with _campaign_guard(engine, "fuzz"):
+        kwargs = dict(
+            seed=args.seed,
+            count=args.count,
+            models=args.model or None,
+            budget=args.budget,
+            vectors=args.vectors,
+            corpus=corpus,
+            engine=engine,
+            batch=args.batch,
+            lanes=args.lanes,
+        )
         if tracer is not None:
             with tracer.span("fuzz", seed=args.seed, count=args.count):
-                report = run_fuzz(
-                    seed=args.seed,
-                    count=args.count,
-                    models=args.model or None,
-                    budget=args.budget,
-                    vectors=args.vectors,
-                    corpus=corpus,
-                    engine=engine,
-                )
+                report = run_fuzz(**kwargs)
         else:
-            report = run_fuzz(
-                seed=args.seed,
-                count=args.count,
-                models=args.model or None,
-                budget=args.budget,
-                vectors=args.vectors,
-                corpus=corpus,
-                engine=engine,
-            )
+            report = run_fuzz(**kwargs)
         rendered = report.as_json() if args.json else report.render()
         print(rendered)
         if args.output:
@@ -613,8 +608,10 @@ def _cmd_sweep(args) -> int:
             inputs=_parse_inputs(args.input) or None,
             limits=_parse_limits(args),
             engine=engine,
+            batch=args.batch,
+            lanes=args.lanes,
         )
-        rendered = result.render()
+        rendered = result.as_json() if args.json else result.render()
         print(rendered)
         if args.output:
             import os
@@ -656,6 +653,8 @@ def _cmd_serve(args) -> int:
         no_cache=args.no_cache,
         drain_grace=args.drain_grace,
         trace=args.trace,
+        batch=args.batch,
+        lanes=args.lanes,
         chaos=args.chaos,
         verbose=args.verbose,
     )
@@ -946,6 +945,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "(repeatable; default all four)")
     p.add_argument("--corpus", default="tests/corpus",
                    help="regression corpus to replay first ('' to skip)")
+    p.add_argument("--batch", action="store_true",
+                   help="also run the batch-parity oracle (each case's "
+                        "vectors as lanes of one batched run)")
+    p.add_argument("--lanes", type=int, default=8, metavar="N",
+                   help="max lanes per batched run (default 8; "
+                        "with --batch)")
     p.add_argument("--json", action="store_true",
                    help="print the report as JSON instead of a table")
     p.add_argument("-o", "--output",
@@ -975,6 +980,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--input", action="append", metavar="NAME=VALUE",
                    help="override the baseline stimulus")
     add_limits(p)
+    p.add_argument("--batch", action="store_true",
+                   help="group seeds of one (design, model, protocol) "
+                        "into batched multi-lane jobs (same table, "
+                        "fewer refinements)")
+    p.add_argument("--lanes", type=int, default=8, metavar="N",
+                   help="max seeds per batched job (default 8; "
+                        "with --batch)")
+    p.add_argument("--json", action="store_true",
+                   help="print a JSON report (cells + kernel-variant "
+                        "counts) instead of the table")
     p.add_argument("-o", "--output",
                    default="benchmarks/output/sweep_campaign.txt",
                    help="write the sweep table here ('' to skip)")
@@ -1025,6 +1040,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="how long a drain waits for in-flight requests")
     p.add_argument("--trace", action="store_true",
                    help="per-slot span tracing + the /v1/trace endpoint")
+    p.add_argument("--batch", action="store_true",
+                   help="accept batched simulate-cell jobs (a 'stimuli' "
+                        "list advancing as one multi-lane simulation)")
+    p.add_argument("--lanes", type=int, default=8, metavar="N",
+                   help="max lanes a batched submission may request "
+                        "(default 8; with --batch)")
     p.add_argument("--chaos", action="store_true",
                    help="register the chaos fault-injection tasks "
                         "(testing only)")

@@ -25,10 +25,19 @@ task               one job computes
 ``fuzz-corpus``    replay one persisted regression-corpus entry
 ``sweep-cell``     refine one (design, model, protocol), derive a seeded
                    stimulus, verify equivalence — ``repro sweep``'s unit
+``batch-cell``     refine one (design, model, protocol) once and verify
+                   *many* seeds as lanes of one batched co-simulation —
+                   ``repro sweep --batch``'s unit; per-seed cells are
+                   byte-identical to the ``sweep-cell`` payloads
 ``simulate-cell``  parse a spec and execute its functional model under a
                    given stimulus — the unit ``repro serve`` clients and
-                   the ``repro loadgen`` harness submit
+                   the ``repro loadgen`` harness submit; accepts a
+                   ``stimuli`` list to batch several vectors in one job
 =================  ==========================================================
+
+Payloads that carry simulation results also carry a ``kernel`` tag
+naming the variant that produced them (``walker`` / ``compiled`` /
+``batched``), so cached results from different kernels stay auditable.
 """
 
 from __future__ import annotations
@@ -302,7 +311,13 @@ def fuzz_case(params: Dict[str, object]) -> Dict[str, object]:
     case = generate_case(case_seed, config)
     inputs = generate_input_vectors(case.spec, case_seed, params["vectors"])
     models = [resolve_model(m) for m in params["models"]]
-    result = run_all_oracles(case, inputs, models, params["max_steps"])
+    result = run_all_oracles(
+        case,
+        inputs,
+        models,
+        params["max_steps"],
+        batch_lanes=params.get("batch_lanes"),
+    )
     return {
         "checks": result.checks,
         "failures": _failures_to_params(result.failures),
@@ -335,15 +350,44 @@ def fuzz_corpus(params: Dict[str, object]) -> Dict[str, object]:
 def simulate_cell(params: Dict[str, object]) -> Dict[str, object]:
     """Parse + validate a specification and execute its functional
     model under the given stimulus.  The smallest servable unit: the
-    serving layer and the load-generation harness submit these."""
+    serving layer and the load-generation harness submit these.
+
+    Two forms:
+
+    * ``inputs`` (one stimulus) — a single compiled single-lane run;
+    * ``stimuli`` (a list of stimulus dicts) — every vector advances
+      as one lane of a :class:`repro.sim.batch.BatchSimulator`; the
+      payload carries one entry per lane, byte-identical to what the
+      single-stimulus form reports for the same vector.
+    """
     from repro.sim.interpreter import Simulator
 
     spec = _spec_from_text(params["spec"])
     limits = limits_from_params(params.get("limits"))
+    stimuli = params.get("stimuli")
+    if stimuli is not None:
+        from repro.sim.batch import BatchSimulator
+
+        batch = BatchSimulator(spec).run_batch(
+            [dict(stimulus or {}) for stimulus in stimuli], limits=limits
+        )
+        batch.raise_first_error()
+        return {
+            "kernel": "batched",
+            "lanes": [
+                {
+                    "completed": lane.result.completed,
+                    "steps": lane.result.steps,
+                    "outputs": lane.result.output_values(),
+                }
+                for lane in batch
+            ],
+        }
     result = Simulator(spec).run(
         inputs=dict(params.get("inputs") or {}), limits=limits
     )
     return {
+        "kernel": "compiled",
         "completed": result.completed,
         "steps": result.steps,
         "outputs": result.output_values(),
@@ -412,4 +456,68 @@ def sweep_cell(params: Dict[str, object]) -> Dict[str, object]:
         "equivalent": report.equivalent,
         "inputs": inputs,
         "steps": report.refined_run.steps,
+        "kernel": "compiled",
     }
+
+
+@register("batch-cell")
+def batch_cell(params: Dict[str, object]) -> Dict[str, object]:
+    """Many ``repro sweep`` seeds of one (design, model, protocol)
+    cell-family as a single batched job: refine *once*, then verify
+    every seed as one lane of a batched original-vs-refined
+    co-simulation.
+
+    The payload's ``cells`` list carries, per seed and in seed order,
+    exactly the fields a ``sweep-cell`` job reports for that seed
+    (plus ``seed`` and the ``batched`` kernel tag).  A lane that
+    faults carries an ``error`` entry instead — its text replayed
+    through the single-lane kernel, so it reads byte-identically to
+    the serial job's failure.
+    """
+    from repro.models import resolve_model
+    from repro.refine.refiner import Refiner
+    from repro.sim.batch import BatchSimulator
+    from repro.sim.equivalence import compare_runs
+
+    spec = _spec_from_text(params["spec"])
+    partition = _partition_from_params(
+        spec, params["partition"], params["design"]
+    )
+    refined = Refiner(
+        spec,
+        partition,
+        resolve_model(params["model"]),
+        protocol=params["protocol"],
+    ).run()
+    limits = limits_from_params(params.get("limits"))
+    seeds = list(params["seeds"])
+    vectors = [
+        sweep_inputs(spec, seed, params.get("inputs")) for seed in seeds
+    ]
+    original_batch = BatchSimulator(refined.original).run_batch(
+        vectors, limits=limits
+    )
+    refined_batch = BatchSimulator(refined.spec).run_batch(
+        vectors, limits=limits
+    )
+    refined_lines = refined.line_counts()["refined"]
+    cells: List[Dict[str, object]] = []
+    for seed, inputs, original, lane in zip(
+        seeds, vectors, original_batch, refined_batch
+    ):
+        faulted = original if not original.ok else lane
+        if not faulted.ok:
+            cells.append({"seed": seed, "error": faulted.error_text})
+            continue
+        report = compare_runs(refined, inputs, original.result, lane.result)
+        cells.append(
+            {
+                "seed": seed,
+                "refined_lines": refined_lines,
+                "equivalent": report.equivalent,
+                "inputs": inputs,
+                "steps": report.refined_run.steps,
+                "kernel": "batched",
+            }
+        )
+    return {"cells": cells}

@@ -41,6 +41,9 @@ class SweepCell:
     refined_lines: int
     steps: int
     equivalent: bool
+    #: which simulation kernel produced this cell's verdict
+    #: ("compiled" for sweep-cell jobs, "batched" for batch-cell lanes)
+    kernel: str = "compiled"
 
 
 @dataclass
@@ -79,6 +82,44 @@ class SweepResult:
         ]
         return "\n".join(lines)
 
+    def kernel_counts(self) -> Dict[str, int]:
+        """How many cells each kernel variant produced — the audit
+        trail for mixed batched/serial (or cache-hit) campaigns."""
+        counts: Dict[str, int] = {}
+        for cell in self.cells:
+            counts[cell.kernel] = counts.get(cell.kernel, 0) + 1
+        return counts
+
+    def as_json(self) -> str:
+        """The machine-readable report (``repro sweep --json``): every
+        cell with its kernel variant, plus per-variant counts.  The
+        cell list is byte-identical between serial and batched runs
+        except for the ``kernel`` tags themselves."""
+        import json
+
+        return json.dumps(
+            {
+                "cells": [
+                    {
+                        "design": cell.design,
+                        "model": cell.model,
+                        "protocol": cell.protocol,
+                        "seed": cell.seed,
+                        "refined_lines": cell.refined_lines,
+                        "steps": cell.steps,
+                        "equivalent": cell.equivalent,
+                        "kernel": cell.kernel,
+                    }
+                    for cell in self.cells
+                ],
+                "kernels": self.kernel_counts(),
+                "equivalent": len(self.cells) - len(self.failures()),
+                "mismatched": len(self.failures()),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
 
 def run_sweep(
     spec: Optional[Specification] = None,
@@ -89,6 +130,8 @@ def run_sweep(
     inputs: Optional[Dict[str, int]] = None,
     limits: Optional[KernelLimits] = None,
     engine=None,
+    batch: bool = False,
+    lanes: int = 8,
 ) -> SweepResult:
     """Cross-product sweep; every cell is one ``sweep-cell`` job.
 
@@ -97,6 +140,13 @@ def run_sweep(
     the baseline stimulus (seed 0).  Jobs are dispatched through
     ``engine`` (an :class:`repro.exec.ExecutionEngine`; default: the
     serial, uncached reference).
+
+    With ``batch=True`` the grid's seeds are grouped per (design,
+    model, protocol) cell-family into ``batch-cell`` jobs of up to
+    ``lanes`` seeds each — one refinement and one batched
+    co-simulation per job instead of one per seed.  The resulting
+    cells (and the rendered table) are byte-identical to the serial
+    sweep; only the :attr:`SweepCell.kernel` tags differ.
     """
     from repro.exec import ExecutionEngine, Job, canonical_partition
     from repro.exec import canonical_spec_text
@@ -126,6 +176,66 @@ def run_sweep(
 
     spec_text = canonical_spec_text(spec)
     limits_data = limits_to_params(limits)
+
+    if batch:
+        if lanes < 1:
+            raise ReproError(f"--lanes must be >= 1, got {lanes}")
+        families = [
+            (design, model, protocol)
+            for design in design_names
+            for model in model_names
+            for protocol in protocol_names
+        ]
+        chunks = [
+            seed_list[i : i + lanes]
+            for i in range(0, len(seed_list), lanes)
+        ]
+        jobs = [
+            Job(
+                "batch-cell",
+                {
+                    "spec": spec_text,
+                    "partition": canonical_partition(catalog[design]),
+                    "design": design,
+                    "model": model,
+                    "protocol": protocol,
+                    "seeds": chunk,
+                    "inputs": inputs,
+                    "limits": limits_data,
+                },
+                label=(
+                    f"sweep:{design}:{model}:{protocol}:"
+                    f"s{chunk[0]}-s{chunk[-1]}x{len(chunk)}"
+                ),
+            )
+            for design, model, protocol in families
+            for chunk in chunks
+        ]
+        result = SweepResult()
+        job_results = iter(engine.run(jobs))
+        for design, model, protocol in families:
+            for chunk in chunks:
+                payload = next(job_results).require()
+                for seed, cell in zip(chunk, payload["cells"]):
+                    if "error" in cell:
+                        raise ReproError(
+                            f"sweep:{design}:{model}:{protocol}:s{seed} "
+                            f"failed: {cell['error']}"
+                        )
+                    result.cells.append(
+                        SweepCell(
+                            design=design,
+                            model=model,
+                            protocol=protocol,
+                            seed=seed,
+                            refined_lines=cell["refined_lines"],
+                            steps=cell["steps"],
+                            equivalent=cell["equivalent"],
+                            kernel=cell["kernel"],
+                        )
+                    )
+        return result
+
     grid = [
         (design, model, protocol, seed)
         for design in design_names
@@ -165,6 +275,7 @@ def run_sweep(
                 refined_lines=payload["refined_lines"],
                 steps=payload["steps"],
                 equivalent=payload["equivalent"],
+                kernel=payload.get("kernel", "compiled"),
             )
         )
     return result

@@ -23,6 +23,7 @@ from repro.fuzz.generator import (
 from repro.fuzz.oracle import (
     CaseResult,
     OracleFailure,
+    check_batch_parity,
     check_refinement,
     check_roundtrip,
     check_walker_parity,
@@ -44,6 +45,7 @@ __all__ = [
     "generate_input_vectors",
     "CaseResult",
     "OracleFailure",
+    "check_batch_parity",
     "check_refinement",
     "check_roundtrip",
     "check_walker_parity",

@@ -16,6 +16,12 @@ Three independent oracles judge every generated case:
    partition and :func:`repro.sim.equivalence.check_equivalence` must
    find the refined design observationally equal to the original on
    every input vector.
+4. **Batch parity** (opt-in, ``repro fuzz --batch``) — advancing all
+   of a case's input vectors as lanes of one
+   :class:`repro.sim.batch.BatchSimulator` must be indistinguishable,
+   lane for lane, from the same vectors run through independent
+   single-lane compiled simulations — same outputs, traces, globals,
+   completion, or the *same* error text.
 
 Failures carry enough context (oracle name, detail, printed spec,
 inputs, model) to be reported, shrunk, and persisted to the regression
@@ -43,6 +49,7 @@ __all__ = [
     "CaseResult",
     "check_roundtrip",
     "check_walker_parity",
+    "check_batch_parity",
     "check_refinement",
     "run_all_oracles",
 ]
@@ -215,6 +222,51 @@ def check_walker_parity(
     return failures
 
 
+def check_batch_parity(
+    spec: Specification,
+    input_vectors: Sequence[Dict[str, int]],
+    max_steps: int = DEFAULT_MAX_STEPS,
+    lanes: int = 8,
+) -> List[OracleFailure]:
+    """Batched multi-lane execution must be indistinguishable, lane
+    for lane, from independent single-lane compiled runs.
+
+    Vectors are grouped ``lanes`` at a time into one
+    :class:`repro.sim.batch.BatchSimulator` batch; every lane's
+    outcome (outputs, traces, globals, completion — or error text) is
+    diffed against the single-lane run of the same vector.
+    """
+    from repro.sim.batch import BatchSimulator
+    from repro.sim.kernel import KernelLimits
+
+    failures: List[OracleFailure] = []
+    text = None
+    vectors = [dict(v) for v in input_vectors]
+    limits = KernelLimits(max_steps=max_steps)
+    for start in range(0, len(vectors), max(lanes, 1)):
+        chunk = vectors[start : start + max(lanes, 1)]
+        batch = BatchSimulator(spec).run_batch(chunk, limits=limits)
+        for inputs, lane in zip(chunk, batch):
+            batched = _Outcome(
+                spec,
+                lane.result if lane.ok else None,
+                lane.error,
+            )
+            single = _run(spec, inputs, True, max_steps)
+            for delta in batched.diff(single):
+                if text is None:
+                    text = print_specification(spec)
+                failures.append(
+                    OracleFailure(
+                        "batch",
+                        f"batched vs single-lane: {delta}",
+                        spec_text=text,
+                        inputs=dict(inputs),
+                    )
+                )
+    return failures
+
+
 def check_refinement(
     spec: Specification,
     partition: Partition,
@@ -280,14 +332,21 @@ def run_all_oracles(
     input_vectors: Sequence[Dict[str, int]],
     models: Sequence[ImplementationModel] = ALL_MODELS,
     max_steps: int = DEFAULT_MAX_STEPS,
+    batch_lanes: Optional[int] = None,
 ) -> CaseResult:
     """Judge one :class:`repro.fuzz.generator.GeneratedCase` with every
-    applicable oracle."""
+    applicable oracle.  ``batch_lanes`` (``repro fuzz --batch``) adds
+    the batch-parity oracle with that many lanes per batch."""
     result = CaseResult(seed=case.seed)
     result.failures += check_roundtrip(case.spec)
     result.checks += 1
     result.failures += check_walker_parity(case.spec, input_vectors, max_steps)
     result.checks += len(input_vectors)
+    if batch_lanes:
+        result.failures += check_batch_parity(
+            case.spec, input_vectors, max_steps, lanes=batch_lanes
+        )
+        result.checks += len(input_vectors)
     if case.refinable:
         result.failures += check_refinement(
             case.spec, case.partition, input_vectors, models, max_steps

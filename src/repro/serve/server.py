@@ -122,6 +122,11 @@ class ServeConfig:
     drain_grace: float = 30.0
     #: per-slot SpanTracers + the /v1/trace endpoint
     trace: bool = False
+    #: accept batched ``simulate-cell`` jobs (a ``stimuli`` list of up
+    #: to ``lanes`` vectors advancing as one multi-lane simulation)
+    batch: bool = False
+    #: max lanes a batched ``simulate-cell`` submission may request
+    lanes: int = 8
     #: register the chaos tasks (sleep/crash/spin) — testing only
     chaos: bool = False
     #: access-log lines on stderr
@@ -427,6 +432,25 @@ class ReproServer:
                 "unknown-task",
                 f"unknown task {task!r}; GET /v1/tasks lists the registry",
             )
+        stimuli = params.get("stimuli")
+        if stimuli is not None:
+            if not self.config.batch:
+                return self._error(
+                    "bad-request",
+                    'batched submissions ("stimuli") need a daemon '
+                    "started with --batch",
+                )
+            if not isinstance(stimuli, list) or not stimuli:
+                return self._error(
+                    "bad-request", '"stimuli" must be a non-empty list'
+                )
+            if len(stimuli) > self.config.lanes:
+                return self._error(
+                    "bad-request",
+                    f'"stimuli" carries {len(stimuli)} vectors; this '
+                    f"daemon allows at most {self.config.lanes} lanes "
+                    "(--lanes)",
+                )
         deadline = data.get("deadline", self.config.default_deadline)
         if not isinstance(deadline, (int, float)) or deadline <= 0:
             return self._error(
@@ -534,6 +558,11 @@ class ReproServer:
                 "X-Repro-Cached": "true" if result.cached else "false",
                 "X-Repro-Seconds": f"{result.seconds:.6f}",
             }
+            # audit trail: which kernel variant computed this payload
+            # (walker / compiled / batched) — present on simulation
+            # tasks, absent on purely structural ones
+            if isinstance(result.payload, dict) and "kernel" in result.payload:
+                headers["X-Repro-Kernel"] = str(result.payload["kernel"])
             # the body carries only deterministic members, so for one
             # job key every 200 body is byte-identical — cold, warm,
             # or computed by the campaign CLIs

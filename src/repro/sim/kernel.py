@@ -116,19 +116,39 @@ class WaitCondition:
     of the named signals changes.  The predicate is checked immediately
     on suspension (level-sensitive), so a condition that already holds
     does not deadlock the process.  ``label`` is a human-readable
-    rendering of the condition used in deadlock reports."""
+    rendering of the condition used in deadlock reports.
 
-    __slots__ = ("predicate", "sensitivity", "label", "_index_sets", "_index_kernel")
+    ``probe`` is an optional *wake probe*: a tuple describing a
+    condition shape the batched kernel (:mod:`repro.sim.batch`) can
+    check by direct signal-store lookup instead of calling
+    ``predicate`` — ``("eq", name, const)`` for ``until name = const``
+    over a single-signal sensitivity, ``("truthy", name)`` for
+    ``until name``, and ``("edge",)`` for edge waits (``on s1, s2``),
+    which by construction are satisfied by any change of a watched
+    signal.  A probe is only attached when it is provably equivalent
+    to the predicate; the single-lane kernel ignores it.
+    """
+
+    __slots__ = (
+        "predicate",
+        "sensitivity",
+        "label",
+        "probe",
+        "_index_sets",
+        "_index_kernel",
+    )
 
     def __init__(
         self,
         predicate: Callable[[], bool],
         sensitivity: Iterable[str],
         label: str = "",
+        probe: Optional[tuple] = None,
     ):
         self.predicate = predicate
         self.sensitivity = frozenset(sensitivity)
         self.label = label
+        self.probe = probe
         #: cached sensitivity-index buckets of ``_index_kernel``
         #: (filled on first suspension; buckets are never replaced, so
         #: they stay valid for that kernel's whole run)

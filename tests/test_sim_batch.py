@@ -1,0 +1,400 @@
+"""Batched multi-lane engine: per-lane parity with the single-lane
+kernel, early exit, error replay, determinism, metrics and wiring.
+
+The contract under test is absolute: every lane of a
+:class:`repro.sim.batch.BatchSimulator` batch must be bit-identical —
+outputs, traces, step counts, simulated time, completion, metrics
+counters, VCD change streams, and error messages — to a single-lane
+:class:`repro.sim.interpreter.Simulator` run of the same stimulus.
+"""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError, SimulationLimitExceeded
+from repro.models.impl_models import ALL_MODELS
+from repro.refine.refiner import Refiner
+from repro.sim import KernelLimits, SimMetrics, Simulator
+from repro.sim.batch import BatchMetrics, BatchSimulator
+from repro.spec.builder import (
+    assign,
+    conc,
+    leaf,
+    sassign,
+    seq,
+    spec,
+    wait_until,
+    while_,
+)
+from repro.spec.expr import var
+from repro.spec.types import int_type
+from repro.spec.variable import Role, signal, variable
+
+
+def _single_runs(design, stimuli, **kwargs):
+    sim = Simulator(design)
+    return [sim.run(inputs=dict(s), **kwargs) for s in stimuli]
+
+
+def _assert_result_parity(batch, singles):
+    assert len(batch) == len(singles)
+    for lane, single in zip(batch, singles):
+        assert lane.ok, lane.error_text
+        result = lane.result
+        assert result.completed == single.completed
+        assert result.steps == single.steps
+        assert result.time == single.time
+        assert result.output_values() == single.output_values()
+        assert [
+            (e.step, e.variable, e.value) for e in result.trace
+        ] == [(e.step, e.variable, e.value) for e in single.trace]
+
+
+def _loop_spec():
+    """Root loops ``n`` times through a signal wait: runtime, step count
+    and trace length all scale with the ``n`` input, so lanes finish at
+    different times (early exit) and trip limits independently."""
+    return spec(
+        "Loopy",
+        leaf(
+            "Main",
+            while_(
+                var("i") < var("n"),
+                [
+                    sassign("s", var("i") + 1),
+                    wait_until(var("s").eq(var("i") + 1)),
+                    assign("i", var("i") + 1),
+                    assign("out", var("out") + var("i")),
+                ],
+            ),
+        ),
+        variables=[
+            variable("n", int_type(), role=Role.INPUT, init=1),
+            variable("i", int_type(), init=0),
+            variable("out", int_type(), role=Role.OUTPUT, init=0),
+            signal("s", int_type(), init=0),
+        ],
+    )
+
+
+def _gate_spec():
+    """Completes only when the ``go`` input is 1: the producer writes
+    ``go`` onto a signal the waiter blocks on, so ``go=0`` lanes go
+    quiescent with the root unfinished (a per-lane deadlock under
+    ``require_completion``)."""
+    return spec(
+        "Gated",
+        conc(
+            "Top",
+            [
+                leaf("Producer", sassign("gate", var("go"))),
+                leaf("Waiter", wait_until(var("gate").eq(1))),
+            ],
+        ),
+        variables=[
+            variable("go", int_type(), role=Role.INPUT, init=0),
+            signal("gate", int_type(), init=0),
+        ],
+    )
+
+
+class TestLaneParity:
+    def test_builder_spec_lanes_match_single_runs(self):
+        design = _loop_spec()
+        design.validate()
+        stimuli = [{"n": n} for n in (0, 1, 5, 2, 9, 3)]
+        batch = BatchSimulator(design).run_batch(stimuli)
+        _assert_result_parity(batch, _single_runs(design, stimuli))
+
+    def test_medical_refined_lanes_match_single_runs(
+        self, medical_spec, medical_designs
+    ):
+        from repro.apps.medical import MEDICAL_INPUTS
+        from repro.exec.campaigns import sweep_inputs
+
+        partition = medical_designs["Design2"]
+        design = Refiner(medical_spec, partition, ALL_MODELS[0]).run()
+        stimuli = [
+            sweep_inputs(design.spec, seed, dict(MEDICAL_INPUTS))
+            for seed in range(4)
+        ]
+        batch = BatchSimulator(design.spec).run_batch(stimuli)
+        _assert_result_parity(batch, _single_runs(design.spec, stimuli))
+
+    def test_walker_mode_batch_matches_walker_single(self):
+        design = _loop_spec()
+        design.validate()
+        stimuli = [{"n": n} for n in (2, 4, 1)]
+        batch = BatchSimulator(design, compile_cache=False).run_batch(stimuli)
+        singles = [
+            Simulator(design, compile_cache=False).run(inputs=dict(s))
+            for s in stimuli
+        ]
+        _assert_result_parity(batch, singles)
+
+    def test_determinism_across_quantum_and_order(self):
+        design = _loop_spec()
+        design.validate()
+        stimuli = [{"n": n} for n in (7, 0, 3, 5)]
+
+        def snapshot(batch):
+            return [
+                (
+                    lane.result.steps,
+                    lane.result.output_values(),
+                    [(e.step, e.variable, e.value) for e in lane.result.trace],
+                )
+                for lane in batch
+            ]
+
+        reference = snapshot(BatchSimulator(design).run_batch(stimuli))
+        for quantum in (1, 3, 64):
+            assert (
+                snapshot(BatchSimulator(design).run_batch(stimuli, quantum=quantum))
+                == reference
+            )
+        # lane order is per-lane state only: permuting stimuli permutes
+        # outcomes with them
+        rev = BatchSimulator(design).run_batch(list(reversed(stimuli)))
+        assert snapshot(rev) == list(reversed(reference))
+
+    def test_one_simulator_many_batches(self):
+        design = _loop_spec()
+        design.validate()
+        batcher = BatchSimulator(design)
+        first = batcher.run_batch([{"n": 3}, {"n": 1}])
+        second = batcher.run_batch([{"n": 3}, {"n": 1}])
+        _assert_result_parity(second, [lane.result for lane in first])
+
+
+class TestErrorLanes:
+    def test_limit_trips_per_lane_with_exact_message(self):
+        design = _loop_spec()
+        design.validate()
+        limits = KernelLimits(max_steps=20)
+        stimuli = [{"n": 2}, {"n": 500}, {"n": 3}]
+        batch = BatchSimulator(design).run_batch(stimuli, limits=limits)
+        sim = Simulator(design)
+
+        healthy = [0, 2]
+        for index in healthy:
+            single = sim.run(inputs=dict(stimuli[index]), limits=limits)
+            assert batch[index].ok
+            assert batch[index].result.output_values() == single.output_values()
+
+        assert not batch[1].ok
+        assert batch[1].replayed
+        with pytest.raises(SimulationLimitExceeded) as excinfo:
+            sim.run(inputs=dict(stimuli[1]), limits=limits)
+        assert batch[1].error_text == (
+            f"{type(excinfo.value).__name__}: {excinfo.value}"
+        )
+        assert batch.metrics.lanes_faulted == 1
+        assert batch.metrics.lanes_completed == 2
+        assert batch.metrics.lanes_replayed == 1
+
+    def test_deadlocked_lane_matches_single_lane_deadlock(self):
+        design = _gate_spec()
+        design.validate()
+        stimuli = [{"go": 1}, {"go": 0}, {"go": 1}]
+        batch = BatchSimulator(design).run_batch(
+            stimuli, require_completion=True
+        )
+        assert batch[0].ok and batch[2].ok
+        assert not batch[1].ok
+        assert isinstance(batch[1].error, DeadlockError)
+        with pytest.raises(DeadlockError) as excinfo:
+            Simulator(design).run(inputs={"go": 0}, require_completion=True)
+        assert batch[1].error_text == (
+            f"{type(excinfo.value).__name__}: {excinfo.value}"
+        )
+
+    def test_setup_error_is_exact_and_lane_local(self):
+        design = _loop_spec()
+        design.validate()
+        batch = BatchSimulator(design).run_batch(
+            [{"n": 2}, {"bogus": 1}, {"out": 3}]
+        )
+        assert batch[0].ok
+        assert batch[1].error_text == "SimulationError: unknown inputs: ['bogus']"
+        assert batch[2].error_text == (
+            "SimulationError: 'out' is not an input variable"
+        )
+
+    def test_raise_first_error(self):
+        design = _loop_spec()
+        design.validate()
+        batch = BatchSimulator(design).run_batch([{"n": 1}, {"bogus": 1}])
+        with pytest.raises(SimulationError):
+            batch.raise_first_error()
+
+
+class TestMetricsAndObservers:
+    def test_lane_metrics_match_single_lane_counters(self):
+        design = _loop_spec()
+        design.validate()
+        stimuli = [{"n": n} for n in (4, 0, 6)]
+        batch = BatchSimulator(design).run_batch(stimuli, collect_metrics=True)
+        for lane, stimulus in zip(batch, stimuli):
+            single = SimMetrics()
+            Simulator(design).run(inputs=dict(stimulus), metrics=single)
+            for name, _ in SimMetrics.FIELDS:
+                if name == "wall_seconds":
+                    continue  # machine-dependent by definition
+                assert getattr(lane.metrics, name) == getattr(single, name), name
+
+    def test_batch_metrics_totals_aggregate_lanes(self):
+        design = _loop_spec()
+        design.validate()
+        batch = BatchSimulator(design).run_batch(
+            [{"n": 2}, {"n": 5}], collect_metrics=True
+        )
+        metrics = batch.metrics
+        assert isinstance(metrics, BatchMetrics)
+        assert metrics.lanes == 2
+        assert metrics.lanes_completed == 2
+        assert metrics.lane_switches >= 2
+        assert metrics.totals.activations == sum(
+            lane.metrics.activations for lane in batch
+        )
+        assert metrics.totals.max_delta_streak == max(
+            lane.metrics.max_delta_streak for lane in batch
+        )
+        described = metrics.describe()
+        assert "lanes" in described and "lane switches" in described
+        assert metrics.as_dict()["totals"]["activations"] > 0
+
+    def test_vcd_observer_streams_match_single_lane(self):
+        from repro.obs.vcd import VCDWriter
+
+        design = _loop_spec()
+        design.validate()
+        stimuli = [{"n": 3}, {"n": 1}]
+        writers = [VCDWriter(), VCDWriter()]
+        BatchSimulator(design).run_batch(stimuli, observers=writers)
+        for stimulus, writer in zip(stimuli, writers):
+            solo = VCDWriter()
+            Simulator(design).run(inputs=dict(stimulus), observer=solo)
+            assert writer.dump() == solo.dump()
+
+    def test_observer_count_mismatch_rejected(self):
+        design = _loop_spec()
+        design.validate()
+        with pytest.raises(ValueError):
+            BatchSimulator(design).run_batch([{"n": 1}], observers=[])
+
+    def test_tracer_gets_lane_and_batch_spans(self):
+        from repro.obs.trace import SpanTracer
+
+        design = _loop_spec()
+        design.validate()
+        tracer = SpanTracer()
+        BatchSimulator(design).run_batch(
+            [{"n": 1}, {"n": 2}], tracer=tracer
+        )
+        names = [span.name for span in tracer.iter_spans()]
+        assert "lane0" in names and "lane1" in names and "batch" in names
+
+
+class TestEquivalenceBatch:
+    def test_reports_match_serial_equivalence(
+        self, medical_spec, medical_designs
+    ):
+        from repro.apps.medical import MEDICAL_INPUTS
+        from repro.exec.campaigns import sweep_inputs
+        from repro.sim.equivalence import (
+            check_equivalence,
+            check_equivalence_batch,
+        )
+
+        design = Refiner(
+            medical_spec, medical_designs["Design1"], ALL_MODELS[1]
+        ).run()
+        vectors = [
+            sweep_inputs(design.spec, seed, dict(MEDICAL_INPUTS))
+            for seed in range(3)
+        ]
+        reports = check_equivalence_batch(design, vectors)
+        for vector, report in zip(vectors, reports):
+            serial = check_equivalence(design, vector)
+            assert report.equivalent == serial.equivalent
+            assert [str(m) for m in report.mismatches] == [
+                str(m) for m in serial.mismatches
+            ]
+            assert report.refined_run.steps == serial.refined_run.steps
+            assert report.describe() == serial.describe()
+
+
+class TestExecWiring:
+    def test_batch_cell_payload_matches_sweep_cells(self, medical_spec):
+        from repro.apps.medical import MEDICAL_INPUTS, all_designs
+        from repro.exec import canonical_partition, canonical_spec_text
+        from repro.exec.campaigns import get_task
+
+        catalog = all_designs(medical_spec)
+        base = {
+            "spec": canonical_spec_text(medical_spec),
+            "partition": canonical_partition(catalog["Design1"]),
+            "design": "Design1",
+            "model": "Model3",
+            "protocol": "handshake",
+            "inputs": dict(MEDICAL_INPUTS),
+            "limits": None,
+        }
+        seeds = [0, 1, 2]
+        batched = get_task("batch-cell")(dict(base, seeds=seeds))
+        assert [cell["seed"] for cell in batched["cells"]] == seeds
+        for seed, cell in zip(seeds, batched["cells"]):
+            serial = get_task("sweep-cell")(dict(base, seed=seed))
+            assert cell["kernel"] == "batched"
+            assert serial["kernel"] == "compiled"
+            for key in ("refined_lines", "equivalent", "inputs", "steps"):
+                assert cell[key] == serial[key], key
+
+    def test_run_sweep_batched_table_is_byte_identical(self, medical_spec):
+        from repro.experiments.sweep import run_sweep
+
+        kwargs = dict(
+            spec=medical_spec,
+            designs=["Design1"],
+            models=["Model1", "Model2"],
+            seeds=[0, 1, 2],
+        )
+        serial = run_sweep(**kwargs)
+        batched = run_sweep(batch=True, lanes=2, **kwargs)
+        assert batched.render() == serial.render()
+        assert serial.kernel_counts() == {"compiled": 6}
+        assert batched.kernel_counts() == {"batched": 6}
+        assert '"kernel": "batched"' in batched.as_json()
+
+    def test_code_version_salt_covers_batch_module(self):
+        import hashlib
+        import os
+
+        import repro
+        from repro.exec.job import code_version_salt
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+
+        def digest(skip=None):
+            value = hashlib.sha256()
+            for dirpath, dirnames, filenames in sorted(os.walk(root)):
+                dirnames.sort()
+                for filename in sorted(filenames):
+                    if not filename.endswith(".py"):
+                        continue
+                    path = os.path.join(dirpath, filename)
+                    rel = os.path.relpath(path, root)
+                    if rel == skip:
+                        continue
+                    value.update(rel.encode())
+                    with open(path, "rb") as handle:
+                        value.update(handle.read())
+            return value.hexdigest()
+
+        batch_rel = os.path.join("sim", "batch.py")
+        assert os.path.exists(os.path.join(root, batch_rel))
+        # the salt is exactly the all-files digest, and dropping the
+        # batch module changes it: editing batch.py orphans every
+        # cached batched result
+        assert code_version_salt() == digest()
+        assert digest(skip=batch_rel) != digest()
