@@ -10,8 +10,13 @@ Boots the daemon as a subprocess and walks the service contract:
 3. a full admission queue yields 429 with both ``Retry-After``
    headers;
 4. a SIGKILLed worker is a structured 500 on that request only —
-   the daemon keeps serving;
-5. SIGTERM drains gracefully: in-flight work finishes, exit code 0.
+   the daemon keeps serving — and the flight recorder dumps a ring
+   file naming the crashing request ID;
+5. ``GET /metrics`` under the load above passes the in-repo
+   exposition validator with non-zero latency-histogram counts;
+6. SIGTERM drains gracefully: in-flight work finishes, exit code 0 —
+   and the ``--journal`` file validates, carrying the crash request's
+   lifecycle.
 
 Run from the repo root::
 
@@ -37,6 +42,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.obs.events import read_journal, validate_journal  # noqa: E402
+from repro.obs.metrics import parse_exposition, validate_exposition  # noqa: E402
 from repro.serve import ReproClient  # noqa: E402
 
 
@@ -50,11 +57,15 @@ def check(condition: bool, message: str) -> None:
 def main() -> int:
     print("booting repro serve (ephemeral port, 1 worker, queue limit 1)")
     cache_dir = tempfile.mkdtemp(prefix="serve_smoke_cache_")
+    telemetry_dir = tempfile.mkdtemp(prefix="serve_smoke_obs_")
+    journal_path = os.path.join(telemetry_dir, "serve.jsonl")
+    flight_dir = os.path.join(telemetry_dir, "flight")
     proc = subprocess.Popen(
         [
             sys.executable, "-m", "repro", "serve",
             "--port", "0", "--workers", "1", "--queue-limit", "1",
             "--cache", cache_dir, "--chaos",
+            "--journal", journal_path, "--flight-dir", flight_dir,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
@@ -121,15 +132,50 @@ def main() -> int:
         first.join()
         second.join()
 
-        # 4. a crashed worker is one structured 500, not a dead server
-        crashed = client.submit("chaos-crash", {"nonce": 4}, deadline=10)
+        # 4. a crashed worker is one structured 500, not a dead server,
+        #    and the flight recorder names the crashing request
+        crashed = client.submit("chaos-crash", {"nonce": 4}, deadline=10,
+                                request_id="smoke-crash-1")
         check(crashed.status == 500 and crashed.error_kind() == "crash",
               "SIGKILLed worker surfaced as a structured 500 crash")
+        check(crashed.request_id == "smoke-crash-1",
+              "crash response echoed the request ID")
         alive = client.submit("chaos-sleep", {"seconds": 0.0, "nonce": 5},
                               deadline=10)
         check(alive.ok, "daemon kept serving after the worker crash")
+        dumps = [name for name in os.listdir(flight_dir)
+                 if "smoke-crash-1" in name]
+        check(bool(dumps),
+              "flight dump names the crashing request ID")
+        dump = json.load(open(os.path.join(flight_dir, dumps[0])))
+        check(dump["reason"] == "crash"
+              and dump["request_id"] == "smoke-crash-1"
+              and any(e["request_id"] == "smoke-crash-1"
+                      for e in dump["events"]),
+              "flight dump carries the crash request's journal ring")
 
-        # 5. SIGTERM drains: readiness off, in-flight completes, exit 0
+        # 5. /metrics under load validates with non-zero histogram counts
+        text = client.metrics_text()
+        samples = validate_exposition(text)
+        check(samples > 0, f"/metrics passed the validator ({samples} samples)")
+        parsed = parse_exposition(text)
+
+        def histogram_count(family: str) -> float:
+            return [value for name, _, value in parsed[family]["samples"]
+                    if name == f"{family}_count"][0]
+
+        check(histogram_count("repro_serve_request_seconds") > 0,
+              "request latency histogram has observations")
+        check(histogram_count("repro_exec_job_seconds") > 0,
+              "engine job latency histogram has observations")
+        check(any(
+            value >= 1
+            for _, labels, value in
+            parsed["repro_serve_flight_dumps_total"]["samples"]
+            if labels.get("reason") == "crash"),
+            "flight-dump counter counted the crash dump")
+
+        # 6. SIGTERM drains: readiness off, in-flight completes, exit 0
         in_flight: dict = {}
 
         def slow() -> None:
@@ -149,6 +195,15 @@ def main() -> int:
               "in-flight request completed during the drain")
         proc.wait(timeout=30)
         check(proc.returncode == 0, "daemon exited 0 after the drain")
+
+        # the journal file validates and carries the crash lifecycle
+        records = read_journal(journal_path)
+        check(validate_journal(records) == len(records) and records,
+              f"journal validates ({len(records)} records)")
+        crash_kinds = {r["kind"] for r in records
+                       if r["request_id"] == "smoke-crash-1"}
+        check({"request-received", "request-failed"} <= crash_kinds,
+              "journal carries the crash request's lifecycle by ID")
         print("serve smoke OK")
         return 0
     finally:
@@ -156,6 +211,7 @@ def main() -> int:
             proc.kill()
             proc.wait()
         shutil.rmtree(cache_dir, ignore_errors=True)
+        shutil.rmtree(telemetry_dir, ignore_errors=True)
 
 
 if __name__ == "__main__":

@@ -4,7 +4,10 @@ Subcommands mirror the library's main flows:
 
 * ``repro stats [FILE]`` — structural statistics and the derived
   channel count of a specification (the bundled medical system when no
-  file is given);
+  file is given); ``--daemon HOST:PORT`` instead prints a running
+  daemon's ``/v1/stats`` snapshot (``--metrics`` for the raw
+  Prometheus exposition), ``--journal PATH`` summarises — or with
+  ``--follow`` tails — a JSONL event journal;
 * ``repro print [FILE]`` — pretty-print a specification (round-trips
   the concrete syntax);
 * ``repro simulate [FILE] [--input name=value ...]`` — execute the
@@ -51,7 +54,9 @@ The campaign commands (``figure9``, ``figure10``, ``robustness``,
 ``fuzz``, ``sweep``) share the execution-engine flags: ``--executor
 serial|process``, ``--workers N``, ``--job-timeout S``, ``--shards N``,
 plus the result cache (``--cache DIR`` to enable, ``--no-cache``,
-``--refresh``).  Campaign tables print to stdout; engine/cache
+``--refresh``) and ``--journal PATH`` (structured campaign/job events
+with a shared run ID; see ``docs/OBSERVABILITY.md``).  Campaign tables
+print to stdout; engine/cache
 statistics print to stderr, so stdout stays byte-comparable across
 executors.  See ``docs/EXECUTION.md``.
 
@@ -147,6 +152,9 @@ def _add_exec_options(p) -> None:
                        help="bypass the cache entirely")
     group.add_argument("--refresh", action="store_true",
                        help="recompute every job but refill the cache")
+    group.add_argument("--journal", metavar="PATH", default=None,
+                       help="append campaign/engine events to this JSONL "
+                            "journal (see docs/OBSERVABILITY.md)")
 
 
 def _build_engine(args, tracer=None):
@@ -168,12 +176,18 @@ def _build_engine(args, tracer=None):
     cache = None
     if args.cache is not None:
         cache = ResultCache(args.cache or default_cache_dir())
+    journal = None
+    if getattr(args, "journal", None):
+        from repro.obs.events import EventJournal
+
+        journal = EventJournal(path=args.journal)
     return ExecutionEngine(
         executor=executor,
         cache=cache,
         tracer=tracer,
         no_cache=args.no_cache,
         refresh=args.refresh,
+        journal=journal,
     )
 
 
@@ -214,6 +228,7 @@ def _campaign_guard(engine, command: str):
         )
         raise
     finally:
+        engine.journal.close()
         if previous is not None:
             signal.signal(signal.SIGTERM, previous)
 
@@ -221,9 +236,81 @@ def _campaign_guard(engine, command: str):
 # -- subcommand handlers -------------------------------------------------------
 
 
+def _stats_daemon(args) -> int:
+    """``repro stats --daemon HOST:PORT``: a live telemetry snapshot."""
+    import json
+
+    from repro.serve.client import ClientError, ReproClient
+
+    host, _, port = args.daemon.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError(f"--daemon expects HOST:PORT, got {args.daemon!r}")
+    client = ReproClient(host=host, port=int(port), retries=1)
+    try:
+        if args.metrics:
+            from repro.obs.metrics import validate_exposition
+
+            text = client.metrics_text()
+            if not text:
+                print(
+                    "error: daemon runs with telemetry off (no /metrics)",
+                    file=sys.stderr,
+                )
+                return 1
+            validate_exposition(text)
+            sys.stdout.write(text)
+            return 0
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        return 0
+    except ClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _stats_journal(args) -> int:
+    """``repro stats --journal PATH [--follow]``: summarise or tail a
+    JSONL event journal."""
+    import time
+
+    from repro.obs.events import read_journal, validate_journal
+
+    if args.follow:
+        with open(args.journal) as handle:
+            try:
+                while True:
+                    line = handle.readline()
+                    if line:
+                        sys.stdout.write(line)
+                        sys.stdout.flush()
+                    else:
+                        time.sleep(0.2)
+            except KeyboardInterrupt:
+                return 0
+    records = read_journal(args.journal)
+    validate_journal(records)
+    by_kind: Dict[str, int] = {}
+    request_ids = set()
+    for record in records:
+        kind = str(record["kind"])
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        if record["request_id"]:
+            request_ids.add(record["request_id"])
+    print(
+        f"journal {args.journal}: {len(records)} records, "
+        f"{len(request_ids)} request/run ids"
+    )
+    for kind in sorted(by_kind):
+        print(f"  {kind:<20} {by_kind[kind]:>6}")
+    return 0
+
+
 def _cmd_stats(args) -> int:
     from repro.graph import AccessGraph
 
+    if args.daemon:
+        return _stats_daemon(args)
+    if args.journal:
+        return _stats_journal(args)
     spec = _load_spec(args.file)
     stats = spec.stats()
     graph = AccessGraph.from_specification(spec)
@@ -657,6 +744,10 @@ def _cmd_serve(args) -> int:
         lanes=args.lanes,
         chaos=args.chaos,
         verbose=args.verbose,
+        telemetry=not args.no_telemetry,
+        journal_path=args.journal,
+        flight_dir=args.flight_dir,
+        flight_capacity=args.flight_capacity,
     )
     return run_server(config)
 
@@ -675,6 +766,7 @@ def _cmd_loadgen(args) -> int:
         budget=args.budget,
         deadline=args.deadline,
         retries=args.retries,
+        journal_path=args.journal,
     )
     server = None
     if args.serve:
@@ -777,8 +869,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="specification source file (default: the bundled medical system)",
         )
 
-    p = sub.add_parser("stats", help="structural statistics and channel count")
+    p = sub.add_parser(
+        "stats",
+        help="specification statistics; or a daemon telemetry snapshot "
+             "(--daemon) / an event-journal summary (--journal)",
+    )
     add_file(p)
+    p.add_argument("--daemon", metavar="HOST:PORT",
+                   help="print a running daemon's /v1/stats snapshot "
+                        "as JSON instead")
+    p.add_argument("--metrics", action="store_true",
+                   help="with --daemon: print the raw (locally "
+                        "validated) Prometheus exposition instead")
+    p.add_argument("--journal", metavar="PATH",
+                   help="summarise a JSONL event journal instead")
+    p.add_argument("--follow", action="store_true",
+                   help="with --journal: tail the journal, printing "
+                        "records as they are appended")
     p.set_defaults(handler=_cmd_stats)
 
     p = sub.add_parser("print", help="pretty-print a specification")
@@ -1051,6 +1158,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "(testing only)")
     p.add_argument("--verbose", action="store_true",
                    help="access-log lines on stderr")
+    p.add_argument("--journal", metavar="PATH", default=None,
+                   help="append every request/job/breaker event to this "
+                        "JSONL journal")
+    p.add_argument("--flight-dir", metavar="DIR",
+                   default="benchmarks/output",
+                   help="where flight-recorder dumps land on crash/"
+                        "deadline/circuit-open (default benchmarks/output)")
+    p.add_argument("--flight-capacity", type=int, default=512, metavar="N",
+                   help="flight-recorder ring size in records "
+                        "(default 512)")
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="disable the metrics registry, event journal and "
+                        "flight recorder entirely")
     p.set_defaults(handler=_cmd_serve)
 
     p = sub.add_parser(
@@ -1092,6 +1212,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default="benchmarks/output/loadgen_timings.json",
                    help="write the machine-dependent timing sidecar "
                         "here ('' to skip)")
+    p.add_argument("--journal", metavar="PATH", default=None,
+                   help="append client-side request events (shared "
+                        "correlation IDs) to this JSONL journal")
     p.set_defaults(handler=_cmd_loadgen)
 
     p = sub.add_parser(

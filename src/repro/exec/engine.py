@@ -15,7 +15,16 @@ Observability plugs into the existing layers:
 * a :class:`repro.obs.trace.SpanTracer` receives one ``exec`` span per
   grid and one child span per job (cache hits included, flagged
   ``cached=True``), so ``repro sweep --trace`` / ``repro fuzz --trace``
-  show the scheduler's work next to the pipeline spans.
+  show the scheduler's work next to the pipeline spans;
+* an :class:`repro.obs.events.EventJournal` receives ``grid-start`` /
+  ``job-cache-hit`` / ``job-complete`` / ``grid-complete`` records,
+  and a :class:`repro.obs.metrics.MetricsRegistry` job/cache counters
+  plus an execution-latency histogram.  Every journal record and span
+  carries the request/run correlation ID: the serving layer binds the
+  HTTP request's ID (:func:`repro.obs.events.bind_request_id`) before
+  calling :meth:`ExecutionEngine.run`; standalone campaigns get a
+  generated ``run-...`` ID per grid.  Both default to the shared
+  no-op singletons, costing nothing when unused.
 """
 
 from __future__ import annotations
@@ -26,6 +35,8 @@ from typing import List, Optional, Sequence
 from repro.exec.cache import ResultCache
 from repro.exec.executors import SerialExecutor
 from repro.exec.job import Job, JobResult, code_version_salt
+from repro.obs.events import NULL_JOURNAL, current_request_id, new_request_id
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, NULL_REGISTRY
 from repro.obs.trace import NULL_TRACER
 from repro.sim.metrics import ExecMetrics
 
@@ -46,6 +57,10 @@ class ExecutionEngine:
     ``refresh``
         Recompute every job but store the fresh results (a cache
         warm-up that distrusts current contents).
+    ``journal`` / ``registry``
+        An :class:`repro.obs.events.EventJournal` and a
+        :class:`repro.obs.metrics.MetricsRegistry` (both default to
+        the no-op singletons; see the module docstring).
     """
 
     def __init__(
@@ -56,6 +71,8 @@ class ExecutionEngine:
         tracer=None,
         no_cache: bool = False,
         refresh: bool = False,
+        journal=None,
+        registry=None,
     ):
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
@@ -63,6 +80,25 @@ class ExecutionEngine:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.no_cache = no_cache
         self.refresh = refresh
+        self.journal = journal if journal is not None else NULL_JOURNAL
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        # shared no-ops when the registry is disabled; get-or-create,
+        # so engines sharing a registry share these families
+        self._jobs_total = self.registry.counter(
+            "repro_exec_jobs_total",
+            "Engine jobs by final outcome (cache hits count as ok).",
+            ("outcome",),
+        )
+        self._cache_total = self.registry.counter(
+            "repro_exec_cache_total",
+            "Result-cache lookups by event.",
+            ("event",),
+        )
+        self._job_seconds = self.registry.histogram(
+            "repro_exec_job_seconds",
+            "Executed (non-cached) job duration in seconds.",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
 
     # -- main entry ----------------------------------------------------------
 
@@ -86,6 +122,13 @@ class ExecutionEngine:
         executor_name = getattr(self.executor, "name", "custom")
         use_cache = self.cache is not None and not self.no_cache
         read_cache = use_cache and not self.refresh
+        # the correlation ID every event/span of this grid carries:
+        # the serving layer's bound request ID when present, else a
+        # generated run ID (only worth minting when someone listens)
+        run_id = current_request_id()
+        if not run_id and self.journal.enabled:
+            run_id = "run-" + new_request_id()
+        span_id = {"request_id": run_id} if run_id else {}
 
         results: List[Optional[JobResult]] = [None] * len(jobs)
         pending: List[int] = []
@@ -95,9 +138,13 @@ class ExecutionEngine:
             self.cache.stats.snapshot() if self.cache is not None else None
         )
 
+        self.journal.emit(
+            "grid-start", request_id=run_id, jobs=len(jobs),
+            executor=executor_name,
+        )
         with self.tracer.span(
             "exec-grid", category="exec", jobs=len(jobs),
-            executor=executor_name,
+            executor=executor_name, **span_id,
         ) as grid_span:
             for index, job in enumerate(jobs):
                 key = job.key(salt)
@@ -109,9 +156,16 @@ class ExecutionEngine:
                             cached=True, executor="cache",
                         )
                         self.tracer.record_span(
-                            job.describe(), 0.0, cached=True
+                            job.describe(), 0.0, cached=True, **span_id
+                        )
+                        self._cache_total.labels("hit").inc()
+                        self._jobs_total.labels("ok").inc()
+                        self.journal.emit(
+                            "job-cache-hit", request_id=run_id,
+                            task=job.task, key=key,
                         )
                         continue
+                    self._cache_total.labels("miss").inc()
                 pending.append(index)
 
             degraded_before = getattr(self.executor, "degraded", 0)
@@ -135,6 +189,14 @@ class ExecutionEngine:
                     self.tracer.record_span(
                         job.describe(), seconds, cached=False,
                         **({"error": error["kind"]} if error else {}),
+                        **span_id,
+                    )
+                    kind = "ok" if error is None else error.get("kind", "error")
+                    self._jobs_total.labels(kind).inc()
+                    self._job_seconds.observe(seconds)
+                    self.journal.emit(
+                        "job-complete", request_id=run_id, task=job.task,
+                        key=key, outcome=kind, seconds=round(seconds, 6),
                     )
                     if error is None and use_cache:
                         self.cache.put(key, job.task, payload, salt=salt)
@@ -144,6 +206,14 @@ class ExecutionEngine:
                 jobs, done, cache_before, grid_span,
                 degraded_before, retries_before,
             )
+        self.journal.emit(
+            "grid-complete", request_id=run_id, jobs=len(jobs),
+            cache_hits=sum(1 for r in done if r.cached),
+            failed=sum(1 for r in done if not r.ok),
+            retries=getattr(self.executor, "retries", 0) - retries_before,
+            degraded=getattr(self.executor, "degraded", 0) - degraded_before,
+            seconds=round(time.perf_counter() - started, 6),
+        )
         self.metrics.wall_seconds += time.perf_counter() - started
         return done
 

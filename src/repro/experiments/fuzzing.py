@@ -39,6 +39,12 @@ from repro.fuzz.oracle import (
 )
 from repro.fuzz.shrink import CorpusEntry, iter_corpus
 from repro.models import ALL_MODELS, ImplementationModel, resolve_model
+from repro.obs.events import (
+    NULL_JOURNAL,
+    bind_request_id,
+    current_request_id,
+    new_request_id,
+)
 
 __all__ = [
     "DEFAULT_CORPUS_DIR",
@@ -254,7 +260,18 @@ def run_fuzz(
             params["batch_lanes"] = lanes
         jobs.append(Job("fuzz-case", params, label=f"case-{case_seed}"))
 
-    results = engine.run(jobs)
+    # Campaign correlation (same pattern as run_sweep): inherit the
+    # bound request ID or mint a "fuzz-" run ID for the whole grid.
+    journal = getattr(engine, "journal", NULL_JOURNAL)
+    run_id = current_request_id()
+    if not run_id and journal.enabled:
+        run_id = "fuzz-" + new_request_id()
+    with bind_request_id(run_id):
+        journal.emit(
+            "campaign-start", campaign="fuzz", jobs=len(jobs),
+            corpus_entries=len(entries), cases=count,
+        )
+        results = engine.run(jobs)
     corpus_results = results[: len(entries)]
     case_results = results[len(entries):]
 
@@ -278,6 +295,11 @@ def run_fuzz(
             report.failing_seeds.append(case_seed)
 
     report.slices.sort(key=lambda s: s.name)
+    journal.emit(
+        "campaign-complete", request_id=run_id, campaign="fuzz",
+        checks=report.checks, failures=len(report.failures),
+        corpus_failures=report.corpus_failures,
+    )
     return report
 
 

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 from repro.apps.medical import MEDICAL_INPUTS
 from repro.experiments.tables import render_table
 from repro.models import resolve_model
+from repro.obs.metrics import MetricsRegistry
 from repro.refine.refiner import Refiner
 from repro.sim.equivalence import check_equivalence
 from repro.sim.interpreter import Simulator
@@ -62,6 +63,10 @@ class ProfileReport:
         self.simulated_time: float = 0.0
         #: the refine phase decomposed per refinement procedure
         self.procedure_seconds: Dict[str, float] = {}
+        #: registry snapshot — the same counters as above, but in the
+        #: shape ``GET /metrics`` / ``/v1/stats`` use (see
+        #: :meth:`repro.obs.metrics.MetricsRegistry.snapshot`)
+        self.telemetry: Dict[str, object] = {}
 
     # -- reporting ------------------------------------------------------------
 
@@ -123,6 +128,7 @@ class ProfileReport:
             "refine_procedure_seconds": dict(self.procedure_seconds),
             "original_metrics": self.original_metrics.as_dict(),
             "refined_metrics": self.refined_metrics.as_dict(),
+            "telemetry": self.telemetry,
         }
 
     def as_json(self) -> str:
@@ -139,6 +145,7 @@ def run_profile(
     limits=None,
     max_steps: Optional[int] = None,
     verify: bool = True,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ProfileReport:
     """Run refine → simulate → verify once, fully instrumented.
 
@@ -146,6 +153,11 @@ def run_profile(
     to components (``design`` is just the label reported).  ``inputs``
     defaults to the medical stimulus when the spec defines those ports,
     else to no inputs.  ``verify=False`` skips the co-simulation phase.
+
+    ``registry`` is an optional :class:`repro.obs.metrics.MetricsRegistry`
+    the run publishes into (kernel counters per run, phase seconds).  A
+    private registry is used when none is given, so
+    :attr:`ProfileReport.telemetry` is always populated.
     """
     if inputs is None:
         input_names = {v.name for v in spec.variables}
@@ -190,4 +202,16 @@ def run_profile(
                 refined, inputs=dict(inputs), limits=limits, max_steps=max_steps
             )
         report.equivalent = outcome.equivalent
+
+    registry = registry if registry is not None else MetricsRegistry()
+    report.original_metrics.publish(registry, run="original")
+    report.refined_metrics.publish(registry, run="refined")
+    phase_gauge = registry.gauge(
+        "repro_profile_phase_seconds",
+        "Wall-clock seconds per pipeline phase of the last profile run.",
+        ("phase",),
+    )
+    for name, seconds in phases.as_dict().items():
+        phase_gauge.labels(name).set(seconds)
+    report.telemetry = registry.snapshot()
     return report

@@ -21,6 +21,12 @@ from repro.apps.medical import MEDICAL_INPUTS, all_designs, medical_specificatio
 from repro.errors import ReproError
 from repro.experiments.tables import render_table
 from repro.models.impl_models import ALL_MODELS
+from repro.obs.events import (
+    NULL_JOURNAL,
+    bind_request_id,
+    current_request_id,
+    new_request_id,
+)
 from repro.sim.kernel import KernelLimits
 from repro.spec.specification import Specification
 
@@ -177,6 +183,30 @@ def run_sweep(
     spec_text = canonical_spec_text(spec)
     limits_data = limits_to_params(limits)
 
+    # Campaign correlation: reuse the bound request ID when running
+    # inside a daemon request, else mint a "sweep-" run ID so the
+    # grid's job events and campaign events share one spine.
+    journal = getattr(engine, "journal", NULL_JOURNAL)
+    run_id = current_request_id()
+    if not run_id and journal.enabled:
+        run_id = "sweep-" + new_request_id()
+
+    def _dispatch(jobs):
+        with bind_request_id(run_id):
+            journal.emit(
+                "campaign-start", campaign="sweep", jobs=len(jobs),
+                designs=len(design_names), models=len(model_names),
+                protocols=len(protocol_names), seeds=len(seed_list),
+            )
+            return engine.run(jobs)
+
+    def _finish(result: SweepResult) -> SweepResult:
+        journal.emit(
+            "campaign-complete", request_id=run_id, campaign="sweep",
+            cells=len(result.cells), mismatched=len(result.failures()),
+        )
+        return result
+
     if batch:
         if lanes < 1:
             raise ReproError(f"--lanes must be >= 1, got {lanes}")
@@ -212,7 +242,7 @@ def run_sweep(
             for chunk in chunks
         ]
         result = SweepResult()
-        job_results = iter(engine.run(jobs))
+        job_results = iter(_dispatch(jobs))
         for design, model, protocol in families:
             for chunk in chunks:
                 payload = next(job_results).require()
@@ -234,7 +264,7 @@ def run_sweep(
                             kernel=cell["kernel"],
                         )
                     )
-        return result
+        return _finish(result)
 
     grid = [
         (design, model, protocol, seed)
@@ -263,7 +293,7 @@ def run_sweep(
 
     result = SweepResult()
     for (design, model, protocol, seed), job_result in zip(
-        grid, engine.run(jobs)
+        grid, _dispatch(jobs)
     ):
         payload = job_result.require()
         result.cells.append(
@@ -278,4 +308,4 @@ def run_sweep(
                 kernel=payload.get("kernel", "compiled"),
             )
         )
-    return result
+    return _finish(result)

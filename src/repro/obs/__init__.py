@@ -1,12 +1,21 @@
 """Cross-cutting observability: pipeline spans, refinement provenance,
-and waveform export.
+waveform export, and the unified telemetry layer.
 
-Three pillars (ROADMAP's observability direction, applied end-to-end):
+Pillars (ROADMAP's observability direction, applied end-to-end):
 
 * :mod:`repro.obs.trace` — hierarchical :class:`SpanTracer` threaded
   through parse → validate → partition → refine (one span per
   refinement procedure) → estimate → export → simulate, exported as
   Chrome trace-event JSON (``repro trace``);
+* :mod:`repro.obs.metrics` — process-wide typed metric registry
+  (Counter/Gauge/Histogram with label sets) rendered in Prometheus
+  text format on the daemon's ``GET /metrics``, with an in-repo
+  exposition parser/validator;
+* :mod:`repro.obs.events` — structured JSONL event journal where
+  every record carries a request/run correlation ID, plus the flight
+  recorder dumped on worker crash / deadline / circuit-open;
+* :mod:`repro.obs.stats` — shared percentile/EWMA summary maths used
+  by loadgen, the server and histogram snapshots;
 * :mod:`repro.obs.provenance` / :mod:`repro.obs.explain` — every
   refinement pass stamps the IR nodes it creates; combined with the
   pretty-printer's line map, ``repro explain`` resolves any line of
@@ -16,7 +25,28 @@ Three pillars (ROADMAP's observability direction, applied end-to-end):
   minimal parser for round-trip testing.
 """
 
+from repro.obs.events import (
+    EventJournal,
+    FlightRecorder,
+    NULL_JOURNAL,
+    bind_request_id,
+    current_request_id,
+    new_request_id,
+    read_journal,
+    validate_journal,
+)
 from repro.obs.explain import Explanation, SpecExplainer
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    parse_exposition,
+    validate_exposition,
+)
+from repro.obs.stats import Ewma, percentile, summarize
 from repro.obs.provenance import (
     Provenance,
     ProvenanceReport,
@@ -38,6 +68,25 @@ __all__ = [
     "SpanTracer",
     "NULL_TRACER",
     "validate_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "parse_exposition",
+    "validate_exposition",
+    "EventJournal",
+    "FlightRecorder",
+    "NULL_JOURNAL",
+    "bind_request_id",
+    "current_request_id",
+    "new_request_id",
+    "read_journal",
+    "validate_journal",
+    "Ewma",
+    "percentile",
+    "summarize",
     "Provenance",
     "ProvenanceReport",
     "stamp",

@@ -1,0 +1,286 @@
+"""Structured event journal with end-to-end request correlation.
+
+Every interesting thing the system does — a request admitted, a job
+dispatched, a worker crash, a breaker trip — becomes one JSONL record
+``{"ts": ..., "kind": ..., "request_id": ..., **fields}``.  The
+``request_id`` is the correlation spine: :class:`repro.serve.client`
+mints one per logical request and sends it as ``X-Repro-Request-Id``,
+the server echoes it and binds it (via :func:`bind_request_id`, a
+:mod:`contextvars` context manager) around execution, so the engine's
+per-job events and span attributes inherit it without any signature
+threading.  Campaigns that run outside the daemon get a generated
+run ID instead — every record carries *some* ID, always.
+
+Three sinks compose:
+
+* a **file** (``--journal PATH``) — append-only JSONL, one record per
+  line, flushed per write so ``repro stats --journal PATH --follow``
+  can tail a live daemon or campaign;
+* a **flight recorder** — a bounded ring of the most recent records,
+  dumped to a JSON file on worker crash, deadline preemption or
+  circuit-open so every 5xx is diagnosable after the fact;
+* **memory** (``keep=True``) — tests inspect ``journal.records``.
+
+:data:`NULL_JOURNAL` is the disabled mode: ``emit`` on it is a no-op
+method on a shared singleton (the ``NULL_TRACER`` discipline), so
+instrumented call sites cost nothing when journaling is off.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+import uuid
+from collections import deque
+from typing import Dict, List, Optional
+
+__all__ = [
+    "EventJournal",
+    "FlightRecorder",
+    "NULL_JOURNAL",
+    "bind_request_id",
+    "current_request_id",
+    "new_request_id",
+    "read_journal",
+    "validate_journal",
+]
+
+_REQUEST_ID: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_request_id", default=""
+)
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex-char correlation ID."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_request_id() -> str:
+    """The request/run ID bound to this context (``""`` when none)."""
+    return _REQUEST_ID.get()
+
+
+class bind_request_id:
+    """Context manager binding ``request_id`` for the dynamic extent.
+
+    Everything that emits journal records or spans inside the block —
+    however many call frames down — picks the ID up via
+    :func:`current_request_id`.  Bindings nest and restore on exit;
+    each thread (and each ``contextvars`` context) sees its own.
+    """
+
+    __slots__ = ("request_id", "_token")
+
+    def __init__(self, request_id: str):
+        self.request_id = request_id
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> str:
+        self._token = _REQUEST_ID.set(self.request_id)
+        return self.request_id
+
+    def __exit__(self, *exc_info) -> None:
+        if self._token is not None:
+            _REQUEST_ID.reset(self._token)
+            self._token = None
+
+
+class FlightRecorder:
+    """Bounded ring of recent journal records, dumpable post-mortem.
+
+    ``capacity`` bounds memory; :meth:`dump` writes the current ring
+    to ``directory`` as a small JSON file named after the trigger
+    reason and the implicated request ID, and returns the path.
+    Thread-safe; feeding it is the journal's job.
+    """
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=capacity)
+        #: completed dump files written so far
+        self.dumps = 0
+
+    def note(self, record: Dict[str, object]) -> None:
+        with self._lock:
+            self._ring.append(record)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return list(self._ring)
+
+    def dump(
+        self, directory: str, reason: str, request_id: str = ""
+    ) -> str:
+        """Write the ring to ``directory`` and return the file path."""
+        os.makedirs(directory, exist_ok=True)
+        with self._lock:
+            events = list(self._ring)
+            self.dumps += 1
+            sequence = self.dumps
+        slug = "".join(
+            ch if ch.isalnum() or ch in "._-" else "-" for ch in reason
+        )
+        rid = request_id or "unknown"
+        path = os.path.join(
+            directory,
+            f"flight_{slug}_{rid}_{os.getpid()}_{sequence}.json",
+        )
+        payload = {
+            "reason": reason,
+            "request_id": request_id,
+            "events": events,
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        return path
+
+
+class EventJournal:
+    """Thread-safe structured event sink; see the module docstring.
+
+    ``path``
+        Append-target JSONL file (opened lazily, flushed per record).
+    ``recorder``
+        A :class:`FlightRecorder` fed every record.
+    ``keep``
+        Keep records in :attr:`records` (tests; unbounded — do not
+        enable on a long-running daemon).
+    ``clock``
+        Injectable wall clock for the ``ts`` field.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        recorder: Optional[FlightRecorder] = None,
+        keep: bool = False,
+        clock=time.time,
+    ):
+        self.path = path
+        self.recorder = recorder
+        self.records: List[Dict[str, object]] = []
+        self._keep = keep
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._handle = None
+        #: total records emitted through this journal
+        self.emitted = 0
+
+    def emit(
+        self, kind: str, request_id: Optional[str] = None, **fields
+    ) -> Dict[str, object]:
+        """Record one event; returns the record.
+
+        ``request_id=None`` (the default) picks up the bound
+        :func:`current_request_id`; pass an explicit string (possibly
+        empty) to override.
+        """
+        if request_id is None:
+            request_id = current_request_id()
+        record: Dict[str, object] = {
+            "ts": round(self._clock(), 6),
+            "kind": kind,
+            "request_id": request_id,
+        }
+        for name, value in fields.items():
+            record[name] = value
+        with self._lock:
+            self.emitted += 1
+            if self._keep:
+                self.records.append(record)
+            if self.path is not None:
+                if self._handle is None:
+                    directory = os.path.dirname(self.path)
+                    if directory:
+                        os.makedirs(directory, exist_ok=True)
+                    self._handle = open(self.path, "a")
+                self._handle.write(
+                    json.dumps(record, sort_keys=True, default=str) + "\n"
+                )
+                self._handle.flush()
+        if self.recorder is not None:
+            self.recorder.note(record)
+        return record
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "EventJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _NullJournal:
+    """Journaling disabled: shared, allocation-free no-op."""
+
+    enabled = False
+    records: List[Dict[str, object]] = []
+    emitted = 0
+    recorder = None
+    path = None
+
+    __slots__ = ()
+
+    def emit(self, kind, request_id=None, **fields):
+        return None
+
+    def close(self) -> None:
+        pass
+
+
+NULL_JOURNAL = _NullJournal()
+
+
+# -- journal reading / validation -------------------------------------------
+
+def read_journal(path: str) -> List[Dict[str, object]]:
+    """Load every record of a JSONL journal file."""
+    records: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def validate_journal(records) -> int:
+    """Validate journal schema; returns the record count.
+
+    ``records`` is a list of dicts or a JSONL string.  Every record
+    must be an object with a numeric ``ts``, a non-empty string
+    ``kind`` and a string ``request_id`` (possibly empty).  Raises
+    :class:`ValueError` naming the first offending record.
+    """
+    if isinstance(records, str):
+        records = [
+            json.loads(line)
+            for line in records.splitlines()
+            if line.strip()
+        ]
+    for number, record in enumerate(records, start=1):
+        where = f"record {number}"
+        if not isinstance(record, dict):
+            raise ValueError(f"{where}: not a JSON object")
+        if not isinstance(record.get("ts"), (int, float)):
+            raise ValueError(f"{where}: missing numeric 'ts'")
+        kind = record.get("kind")
+        if not isinstance(kind, str) or not kind:
+            raise ValueError(f"{where}: missing non-empty 'kind'")
+        if not isinstance(record.get("request_id"), str):
+            raise ValueError(f"{where}: missing string 'request_id'")
+    return len(records)

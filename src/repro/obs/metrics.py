@@ -1,0 +1,660 @@
+"""A process-wide, thread-safe metrics registry with Prometheus
+text-format exposition.
+
+Three typed instruments — :class:`Counter`, :class:`Gauge`,
+:class:`Histogram` — are created through a :class:`MetricsRegistry`
+and identified by a metric name plus an optional tuple of label
+names; ``.labels(...)`` materialises one time series per label-value
+combination.  Histogram bucket boundaries are fixed at creation
+(:data:`DEFAULT_LATENCY_BUCKETS` by default) so renderings are
+deterministic across runs and machines.
+
+The registry follows the ``NULL_TRACER`` discipline from
+:mod:`repro.obs.trace`: a disabled registry (``enabled=False``, or the
+shared :data:`NULL_REGISTRY`) hands out shared no-op instruments, so
+instrumented call sites cost a method call on a singleton and nothing
+else — no allocation, no locking, no branches at the call site.
+
+Exposition is the Prometheus text format (``# HELP`` / ``# TYPE``
+comments, escaped label values, cumulative ``_bucket``/``_sum``/
+``_count`` histogram series).  :func:`parse_exposition` and
+:func:`validate_exposition` are the in-repo consumers — the CI smoke
+scrapes the daemon's ``GET /metrics`` and validates it the same way
+:func:`repro.obs.trace.validate_chrome_trace` validates trace exports,
+keeping the contract testable without any external scraper.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "parse_exposition",
+    "validate_exposition",
+]
+
+#: Deterministic histogram boundaries (seconds) spanning microsecond
+#: cache hits to multi-second refinement jobs.  Fixed here — never
+#: derived from observed data — so two deployments' histograms are
+#: always bucket-compatible.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+_METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _render_labels(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+class _Family:
+    """One named metric and all of its label-set children.
+
+    Subclasses provide ``kind`` and ``_make_child``; the family lock
+    guards child creation, each child guards its own values.
+    """
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str]):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def labels(self, *values, **by_name):
+        """The child series for one label-value combination."""
+        if by_name:
+            if values:
+                raise ValueError(
+                    f"{self.name}: pass label values positionally or by "
+                    "name, not both"
+                )
+            if set(by_name) != set(self.labelnames):
+                raise ValueError(
+                    f"{self.name}: expected labels {self.labelnames}, "
+                    f"got {tuple(sorted(by_name))}"
+                )
+            values = tuple(str(by_name[name]) for name in self.labelnames)
+        else:
+            values = tuple(str(value) for value in values)
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected {len(self.labelnames)} label "
+                f"value(s) {self.labelnames}, got {len(values)}"
+            )
+        with self._lock:
+            child = self._children.get(values)
+            if child is None:
+                child = self._children[values] = self._make_child()
+        return child
+
+    def _default(self):
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} carries labels {self.labelnames}; "
+                "use .labels(...)"
+            )
+        return self.labels()
+
+    def _sorted_children(self):
+        with self._lock:
+            return sorted(self._children.items())
+
+    def _make_child(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class _Value:
+    """A single numeric series (counter or gauge child)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value -= amount
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+
+class _CounterValue(_Value):
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; inc({amount})")
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        raise ValueError("counters only go up; use a Gauge")
+
+    def set(self, value: float) -> None:
+        raise ValueError("counters only go up; use a Gauge")
+
+
+class Counter(_Family):
+    """Monotonically increasing count (requests, jobs, faults)."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterValue:
+        return _CounterValue()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+    def render_into(self, lines: List[str]) -> int:
+        count = 0
+        for values, child in self._sorted_children():
+            labels = _render_labels(self.labelnames, values)
+            lines.append(f"{self.name}{labels} {_fmt(child.value)}")
+            count += 1
+        return count
+
+    def snapshot_series(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "labels": dict(zip(self.labelnames, values)),
+                "value": child.value,
+            }
+            for values, child in self._sorted_children()
+        ]
+
+
+class Gauge(Counter):
+    """A value that goes up and down (queue depth, in-flight)."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _Value:
+        return _Value()
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+
+class _HistogramValue:
+    """One histogram series: per-bucket counts plus sum and count."""
+
+    __slots__ = ("_lock", "_bounds", "buckets", "sum", "count")
+
+    def __init__(self, bounds: Tuple[float, ...]):
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        #: non-cumulative counts; index ``len(bounds)`` is the overflow
+        self.buckets = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self.buckets[index] += 1
+            self.sum += value
+            self.count += 1
+
+    def cumulative(self) -> List[int]:
+        with self._lock:
+            counts = list(self.buckets)
+        total = 0
+        out = []
+        for count in counts:
+            total += count
+            out.append(total)
+        return out
+
+
+class Histogram(_Family):
+    """Distribution with fixed bucket boundaries (latencies)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"{name}: at least one bucket boundary needed")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"{name}: bucket boundaries must be strictly increasing"
+            )
+        self.buckets = bounds
+
+    def _make_child(self) -> _HistogramValue:
+        return _HistogramValue(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    def render_into(self, lines: List[str]) -> int:
+        count = 0
+        for values, child in self._sorted_children():
+            cumulative = child.cumulative()
+            for bound, running in zip(self.buckets, cumulative):
+                labels = _render_labels(
+                    self.labelnames + ("le",), values + (_fmt(bound),)
+                )
+                lines.append(f"{self.name}_bucket{labels} {running}")
+            labels = _render_labels(
+                self.labelnames + ("le",), values + ("+Inf",)
+            )
+            lines.append(f"{self.name}_bucket{labels} {cumulative[-1]}")
+            plain = _render_labels(self.labelnames, values)
+            lines.append(f"{self.name}_sum{plain} {_fmt(child.sum)}")
+            lines.append(f"{self.name}_count{plain} {child.count}")
+            count += len(cumulative) + 3
+        return count
+
+    def snapshot_series(self) -> List[Dict[str, object]]:
+        series = []
+        for values, child in self._sorted_children():
+            cumulative = child.cumulative()
+            buckets = {
+                _fmt(bound): running
+                for bound, running in zip(self.buckets, cumulative)
+            }
+            buckets["+Inf"] = cumulative[-1]
+            series.append(
+                {
+                    "labels": dict(zip(self.labelnames, values)),
+                    "count": child.count,
+                    "sum": child.sum,
+                    "buckets": buckets,
+                }
+            )
+        return series
+
+
+class _NullMetric:
+    """Shared no-op instrument handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def labels(self, *values, **by_name) -> "_NullMetric":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create registry of metric families.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the existing family
+    when one with the same name is already registered — re-registering
+    with a different type, label set or buckets is a hard error, so
+    two subsystems can safely share one registry.  With
+    ``enabled=False`` every accessor returns the shared no-op
+    instrument (see :data:`NULL_REGISTRY`).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    # -- instrument creation -------------------------------------------------
+
+    def _get_or_create(self, cls, name, help, labelnames, **extra):
+        if not _METRIC_NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_NAME_RE.match(label) or label == "le":
+                raise ValueError(
+                    f"{name}: invalid label name {label!r}"
+                )
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(name, help, labelnames, **extra)
+                self._families[name] = family
+                return family
+        if not isinstance(family, cls) or type(family) is not cls:
+            raise ValueError(
+                f"{name} already registered as {family.kind}"
+            )
+        if family.labelnames != tuple(labelnames):
+            raise ValueError(
+                f"{name} already registered with labels "
+                f"{family.labelnames}, not {tuple(labelnames)}"
+            )
+        if extra.get("buckets") is not None and tuple(
+            float(b) for b in extra["buckets"]
+        ) != getattr(family, "buckets", None):
+            raise ValueError(f"{name} already registered with other buckets")
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        if not self.enabled:
+            return _NULL_METRIC  # type: ignore[return-value]
+        return self._get_or_create(Counter, name, help, tuple(labelnames))
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        if not self.enabled:
+            return _NULL_METRIC  # type: ignore[return-value]
+        return self._get_or_create(Gauge, name, help, tuple(labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        if not self.enabled:
+            return _NULL_METRIC  # type: ignore[return-value]
+        return self._get_or_create(
+            Histogram, name, help, tuple(labelnames), buckets=buckets
+        )
+
+    # -- export --------------------------------------------------------------
+
+    def render(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        if not self.enabled:
+            return ""
+        with self._lock:
+            families = sorted(self._families.items())
+        lines: List[str] = []
+        for name, family in families:
+            lines.append(f"# HELP {name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            family.render_into(lines)
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly view (``/v1/stats`` and ``repro profile``)."""
+        if not self.enabled:
+            return {}
+        with self._lock:
+            families = sorted(self._families.items())
+        return {
+            name: {
+                "type": family.kind,
+                "help": family.help,
+                "series": family.snapshot_series(),
+            }
+            for name, family in families
+        }
+
+
+#: The disabled registry: every instrument accessor returns one shared
+#: no-op object, mirroring ``NULL_TRACER``.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+# -- exposition parsing ------------------------------------------------------
+
+def _parse_label_block(line: str, start: int, where: str):
+    """Parse ``{name="value",...}`` starting at ``line[start] == '{'``;
+    returns ``(labels, position_after_closing_brace)``."""
+    labels: Dict[str, str] = {}
+    pos = start + 1
+    try:
+        while True:
+            if line[pos] == "}":
+                return labels, pos + 1
+            match = re.match(r"[a-zA-Z_][a-zA-Z0-9_]*", line[pos:])
+            if not match:
+                raise ValueError(f"{where}: bad label name at column {pos}")
+            name = match.group(0)
+            pos += len(name)
+            if line[pos] != "=" or line[pos + 1] != '"':
+                raise ValueError(f'{where}: expected =" after {name!r}')
+            pos += 2
+            chars: List[str] = []
+            while line[pos] != '"':
+                ch = line[pos]
+                if ch == "\\":
+                    escape = line[pos + 1]
+                    if escape == "n":
+                        chars.append("\n")
+                    elif escape in ('"', "\\"):
+                        chars.append(escape)
+                    else:
+                        raise ValueError(
+                            f"{where}: unknown escape \\{escape}"
+                        )
+                    pos += 2
+                else:
+                    chars.append(ch)
+                    pos += 1
+            labels[name] = "".join(chars)
+            pos += 1
+            if line[pos] == ",":
+                pos += 1
+            elif line[pos] != "}":
+                raise ValueError(
+                    f"{where}: expected , or }} at column {pos}"
+                )
+    except IndexError:
+        raise ValueError(f"{where}: unterminated label block") from None
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse Prometheus text format into
+    ``{family: {"type", "help", "samples": [(name, labels, value)]}}``.
+
+    Histogram ``_bucket``/``_sum``/``_count`` samples are attributed
+    to their base family.  Raises :class:`ValueError` on any line that
+    is neither a comment, blank, nor a well-formed sample.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+
+    def family(name: str) -> Dict[str, object]:
+        return families.setdefault(
+            name, {"type": None, "help": None, "samples": []}
+        )
+
+    histogram_names = set()
+    for number, line in enumerate(text.splitlines(), start=1):
+        where = f"line {number}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                kind = parts[3] if len(parts) > 3 else ""
+                if kind not in ("counter", "gauge", "histogram", "summary",
+                                "untyped"):
+                    raise ValueError(f"{where}: unknown TYPE {kind!r}")
+                family(parts[2])["type"] = kind
+                if kind == "histogram":
+                    histogram_names.add(parts[2])
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                family(parts[2])["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        match = re.match(r"([a-zA-Z_:][a-zA-Z0-9_:]*)", line)
+        if not match:
+            raise ValueError(f"{where}: bad sample name in {line!r}")
+        sample_name = match.group(1)
+        pos = len(sample_name)
+        labels: Dict[str, str] = {}
+        if pos < len(line) and line[pos] == "{":
+            labels, pos = _parse_label_block(line, pos, where)
+        value_text = line[pos:].strip()
+        if not value_text:
+            raise ValueError(f"{where}: sample {sample_name!r} has no value")
+        value_token = value_text.split()[0]
+        try:
+            value = float(value_token)
+        except ValueError:
+            raise ValueError(
+                f"{where}: bad sample value {value_token!r}"
+            ) from None
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            candidate = sample_name[: -len(suffix)]
+            if sample_name.endswith(suffix) and candidate in histogram_names:
+                base = candidate
+                break
+        family(base)["samples"].append((sample_name, labels, value))
+    return families
+
+
+def validate_exposition(text: str) -> int:
+    """Validate a ``GET /metrics`` body; returns the sample count.
+
+    Checks, beyond line-level syntax (delegated to
+    :func:`parse_exposition`): every sample belongs to a family with a
+    declared ``# TYPE``; counter samples are finite and non-negative;
+    histogram series have monotonically non-decreasing bucket counts,
+    a ``+Inf`` bucket equal to ``_count``, and a ``_sum`` sample.
+    Raises :class:`ValueError` with a precise message on violation.
+    """
+    families = parse_exposition(text)
+    samples = 0
+    for name, data in sorted(families.items()):
+        kind = data["type"]
+        if kind is None:
+            raise ValueError(f"{name}: samples without a # TYPE line")
+        samples += len(data["samples"])
+        if kind == "counter":
+            for sample_name, _, value in data["samples"]:
+                if sample_name != name:
+                    raise ValueError(
+                        f"{name}: stray counter sample {sample_name!r}"
+                    )
+                if not math.isfinite(value) or value < 0:
+                    raise ValueError(
+                        f"{name}: counter value {value} out of range"
+                    )
+        elif kind == "histogram":
+            _validate_histogram(name, data["samples"])
+    return samples
+
+
+def _validate_histogram(
+    name: str, samples: List[Tuple[str, Dict[str, str], float]]
+) -> None:
+    """Bucket/count/sum invariants for every series of one family."""
+    series: Dict[Tuple[Tuple[str, str], ...], Dict[str, object]] = {}
+
+    def entry(labels: Dict[str, str]) -> Dict[str, object]:
+        key = tuple(
+            sorted((k, v) for k, v in labels.items() if k != "le")
+        )
+        return series.setdefault(
+            key, {"buckets": [], "sum": None, "count": None}
+        )
+
+    for sample_name, labels, value in samples:
+        if sample_name == f"{name}_bucket":
+            if "le" not in labels:
+                raise ValueError(f"{name}: bucket sample without le")
+            bound = (
+                math.inf if labels["le"] == "+Inf" else float(labels["le"])
+            )
+            entry(labels)["buckets"].append((bound, value))
+        elif sample_name == f"{name}_sum":
+            entry(labels)["sum"] = value
+        elif sample_name == f"{name}_count":
+            entry(labels)["count"] = value
+        else:
+            raise ValueError(
+                f"{name}: stray histogram sample {sample_name!r}"
+            )
+    for key, data in sorted(series.items()):
+        label_text = dict(key) or "{}"
+        buckets = sorted(data["buckets"])
+        if not buckets or buckets[-1][0] != math.inf:
+            raise ValueError(f"{name}{label_text}: no +Inf bucket")
+        counts = [count for _, count in buckets]
+        if any(
+            later < earlier for earlier, later in zip(counts, counts[1:])
+        ):
+            raise ValueError(
+                f"{name}{label_text}: bucket counts not monotone"
+            )
+        if data["count"] is None:
+            raise ValueError(f"{name}{label_text}: missing _count")
+        if data["sum"] is None:
+            raise ValueError(f"{name}{label_text}: missing _sum")
+        if counts[-1] != data["count"]:
+            raise ValueError(
+                f"{name}{label_text}: +Inf bucket {counts[-1]} != "
+                f"_count {data['count']}"
+            )

@@ -1,0 +1,80 @@
+"""Shared summary statistics for the telemetry layer.
+
+Before this module existed, ``repro.serve.loadgen`` carried a private
+nearest-rank percentile and ``repro.serve.server`` a private EWMA —
+two copies of maths that histogram snapshots (:mod:`repro.obs.metrics`)
+also need.  This module is the single home for all three consumers.
+
+The functions are deliberately tiny and exactly reproduce the
+historical behaviour: :func:`percentile` is the loadgen nearest-rank
+rule (so the committed byte-stable loadgen reports do not move), and
+:class:`Ewma` is the serving layer's smoothing rule (first sample sets
+the value outright; later samples blend with factor ``alpha``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+__all__ = ["Ewma", "percentile", "summarize"]
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted sequence.
+
+    ``fraction`` is in ``[0, 1]``; an empty sequence yields ``0.0``.
+    This is the exact rule ``repro loadgen`` has always used for its
+    timing sidecar, moved here verbatim.
+    """
+    if not sorted_values:
+        return 0.0
+    index = min(
+        int(fraction * (len(sorted_values) - 1) + 0.5), len(sorted_values) - 1
+    )
+    return sorted_values[index]
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """p50/p90/p99/max over an unsorted sequence (zeros when empty)."""
+    ordered = sorted(values)
+    return {
+        "p50": percentile(ordered, 0.50),
+        "p90": percentile(ordered, 0.90),
+        "p99": percentile(ordered, 0.99),
+        "max": ordered[-1] if ordered else 0.0,
+    }
+
+
+class Ewma:
+    """Exponentially-weighted moving average, serving-layer flavour.
+
+    The first observed sample sets :attr:`value` directly (an EWMA
+    that has seen nothing should not be dragged toward zero); every
+    later sample blends in with ``value += alpha * (x - value)``.
+    These are exactly the semantics the daemon's ``Retry-After``
+    estimate has always had.
+    """
+
+    __slots__ = ("alpha", "value", "samples")
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.value = 0.0
+        self.samples = 0
+
+    def update(self, sample: float) -> float:
+        """Fold one sample in; returns the new value."""
+        if self.value == 0.0:
+            self.value = sample
+        else:
+            self.value += self.alpha * (sample - self.value)
+        self.samples += 1
+        return self.value
+
+    def __repr__(self) -> str:
+        return (
+            f"<Ewma alpha={self.alpha} value={self.value:.6f} "
+            f"samples={self.samples}>"
+        )

@@ -69,6 +69,10 @@ class CircuitBreaker:
         half-open probe.
     ``clock``
         Injectable monotonic clock (tests freeze it).
+    ``journal``
+        An :class:`repro.obs.events.EventJournal`; state transitions
+        become ``breaker-open`` / ``breaker-close`` records carrying
+        the bound request ID (default: the no-op journal).
     """
 
     def __init__(
@@ -76,6 +80,7 @@ class CircuitBreaker:
         threshold: int = 3,
         cooldown: float = 30.0,
         clock=time.monotonic,
+        journal=None,
     ):
         if threshold < 1:
             raise ValueError(f"threshold must be >= 1, got {threshold}")
@@ -84,6 +89,11 @@ class CircuitBreaker:
         self.threshold = threshold
         self.cooldown = cooldown
         self._clock = clock
+        if journal is None:
+            from repro.obs.events import NULL_JOURNAL
+
+            journal = NULL_JOURNAL
+        self._journal = journal
         self._lock = threading.Lock()
         self._circuits: Dict[str, _Circuit] = {}
 
@@ -116,20 +126,39 @@ class CircuitBreaker:
         crash-class outcomes (worker crash, timeout) push a circuit
         toward open.
         """
+        closed = opened = None
         with self._lock:
             circuit = self._circuits.get(key)
             if ok:
                 if circuit is not None:
                     self._circuits.pop(key, None)
-                return
-            if circuit is None:
-                circuit = self._circuits.setdefault(key, _Circuit())
-            circuit.probing = False
-            circuit.failures += 1
-            if circuit.state == "half-open" or circuit.failures >= self.threshold:
-                circuit.state = "open"
-                circuit.opened_at = self._clock()
-                circuit.trips += 1
+                    if circuit.state != "closed":
+                        closed = circuit
+            else:
+                if circuit is None:
+                    circuit = self._circuits.setdefault(key, _Circuit())
+                was = circuit.state
+                circuit.probing = False
+                circuit.failures += 1
+                if (
+                    circuit.state == "half-open"
+                    or circuit.failures >= self.threshold
+                ):
+                    circuit.state = "open"
+                    circuit.opened_at = self._clock()
+                    circuit.trips += 1
+                    if was != "open":
+                        opened = circuit
+        # journal outside the lock: the sink may do file I/O
+        if closed is not None:
+            self._journal.emit(
+                "breaker-close", key=key, trips=closed.trips
+            )
+        if opened is not None:
+            self._journal.emit(
+                "breaker-open", key=key, failures=opened.failures,
+                trips=opened.trips,
+            )
 
     def reset(self, key: Optional[str] = None) -> None:
         """Forget one circuit (or all of them)."""

@@ -11,6 +11,16 @@ immediately; retrying a deterministic failure would only add load.
 
 All randomness flows from an injectable seeded ``random.Random`` so a
 fleet of clients (see :mod:`repro.serve.loadgen`) behaves reproducibly.
+
+Every logical request carries a correlation ID: the client mints one
+(:func:`repro.obs.events.new_request_id`) unless the caller supplies
+its own, sends it as ``X-Repro-Request-Id`` on every attempt (retries
+share the ID — they are one logical request), and exposes the server's
+echo as :attr:`Response.request_id`.  An optional
+:class:`repro.obs.events.EventJournal` receives ``client-send`` /
+``client-final`` records per logical request, which is what lets a
+loadgen request be traced from the client log through the server
+journal into engine job events and spans by one ID.
 """
 
 from __future__ import annotations
@@ -21,6 +31,8 @@ import random
 import socket
 import time
 from typing import Dict, List, Optional, Tuple
+
+from repro.obs.events import NULL_JOURNAL, new_request_id
 
 __all__ = ["ClientError", "ReproClient", "Response"]
 
@@ -62,6 +74,11 @@ class Response:
     def cached(self) -> bool:
         return self.headers.get("x-repro-cached") == "true"
 
+    @property
+    def request_id(self) -> str:
+        """The correlation ID the server echoed (``""`` if none)."""
+        return self.headers.get("x-repro-request-id", "")
+
     def error_kind(self) -> Optional[str]:
         """The structured error kind, or ``None`` on success."""
         error = self.body.get("error")
@@ -91,6 +108,7 @@ class ReproClient:
         rng: Optional[random.Random] = None,
         clock=time.monotonic,
         sleep=time.sleep,
+        journal=None,
     ):
         self.host = host
         self.port = port
@@ -101,17 +119,26 @@ class ReproClient:
         self.rng = rng or random.Random(0)
         self._clock = clock
         self._sleep = sleep
+        #: an :class:`repro.obs.events.EventJournal` receiving
+        #: ``client-send``/``client-final`` records (default: no-op)
+        self.journal = journal if journal is not None else NULL_JOURNAL
 
     # -- transport -----------------------------------------------------------
 
     def _exchange(
-        self, method: str, path: str, body: Optional[bytes]
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        request_id: str = "",
     ) -> Tuple[int, Dict[str, str], Dict[str, object]]:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
             headers = {"Content-Type": "application/json"} if body else {}
+            if request_id:
+                headers["X-Repro-Request-Id"] = request_id
             connection.request(method, path, body=body, headers=headers)
             raw = connection.getresponse()
             data = raw.read()
@@ -145,22 +172,35 @@ class ReproClient:
         return min(base + self.rng.uniform(0, computed), self.backoff_cap * 2)
 
     def request(
-        self, method: str, path: str, payload: Optional[Dict[str, object]] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+        request_id: Optional[str] = None,
     ) -> Response:
         """One logical request: retries transient outcomes, returns the
         first final one.  Raises :class:`ClientError` if every attempt
-        was transient."""
+        was transient.  ``request_id`` (minted when not given) is sent
+        as ``X-Repro-Request-Id`` on every attempt — retries share it,
+        because they are the same logical request."""
         body = (
             json.dumps(payload, sort_keys=True).encode()
             if payload is not None
             else None
         )
+        rid = request_id or new_request_id()
         started = self._clock()
         last: Optional[Tuple[int, Dict[str, str], Dict[str, object]]] = None
         failure = "no attempts made"
         for attempt in range(self.retries + 1):
+            self.journal.emit(
+                "client-send", request_id=rid, method=method, path=path,
+                attempt=attempt + 1,
+            )
             try:
-                status, headers, parsed = self._exchange(method, path, body)
+                status, headers, parsed = self._exchange(
+                    method, path, body, request_id=rid
+                )
             except (ConnectionError, socket.timeout, http.client.HTTPException, OSError) as exc:
                 failure = f"{type(exc).__name__}: {exc}"
                 last = None
@@ -168,6 +208,10 @@ class ReproClient:
                     self._sleep(self._backoff(attempt, None))
                 continue
             if status not in RETRYABLE_STATUS:
+                self.journal.emit(
+                    "client-final", request_id=rid, method=method,
+                    path=path, status=status, attempts=attempt + 1,
+                )
                 return Response(
                     status, headers, parsed, attempt + 1, self._clock() - started
                 )
@@ -179,9 +223,17 @@ class ReproClient:
             # exhausted retries against a live but shedding server:
             # surface the last transient response as the outcome
             status, headers, parsed = last
+            self.journal.emit(
+                "client-final", request_id=rid, method=method, path=path,
+                status=status, attempts=self.retries + 1,
+            )
             return Response(
                 status, headers, parsed, self.retries + 1, self._clock() - started
             )
+        self.journal.emit(
+            "client-unreachable", request_id=rid, method=method, path=path,
+            attempts=self.retries + 1,
+        )
         raise ClientError(
             f"{method} {path} failed after {self.retries + 1} attempts: {failure}"
         )
@@ -193,17 +245,25 @@ class ReproClient:
         task: str,
         params: Dict[str, object],
         deadline: Optional[float] = None,
+        request_id: Optional[str] = None,
     ) -> Response:
         payload: Dict[str, object] = {"task": task, "params": params}
         if deadline is not None:
             payload["deadline"] = deadline
-        return self.request("POST", "/v1/jobs", payload)
+        return self.request("POST", "/v1/jobs", payload, request_id=request_id)
 
     def lookup(self, key: str) -> Response:
         return self.request("GET", f"/v1/jobs/{key}")
 
     def stats(self) -> Dict[str, object]:
         return self.request("GET", "/v1/stats").body
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition from ``GET /metrics``
+        (``""`` when the daemon runs with telemetry off)."""
+        response = self.request("GET", "/metrics")
+        raw = response.body.get("raw")
+        return raw if isinstance(raw, str) else ""
 
     def tasks(self) -> List[str]:
         names = self.request("GET", "/v1/tasks").body.get("tasks", [])

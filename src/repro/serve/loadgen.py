@@ -45,6 +45,8 @@ from repro.fuzz.generator import (
     generate_case,
     generate_input_vectors,
 )
+from repro.obs.events import EventJournal, NULL_JOURNAL
+from repro.obs.stats import percentile
 from repro.serve.client import ClientError, ReproClient
 
 __all__ = ["LoadgenConfig", "LoadgenResult", "build_job_pool", "run_loadgen"]
@@ -75,6 +77,9 @@ class LoadgenConfig:
     #: per-request retry budget (patient by design; see module doc)
     retries: int = 12
     timings_path: Optional[str] = None
+    #: JSONL client-side event journal shared by the fleet (the IDs it
+    #: records match the daemon's journal — see docs/OBSERVABILITY.md)
+    journal_path: Optional[str] = None
 
 
 @dataclass
@@ -126,6 +131,7 @@ def _client_worker(
     log: _ClientLog,
     payloads: Dict[str, Dict[str, object]],
     payload_lock: threading.Lock,
+    journal=NULL_JOURNAL,
 ) -> None:
     rng = random.Random((config.seed << 8) ^ index)
     client = ReproClient(
@@ -135,6 +141,7 @@ def _client_worker(
         backoff_base=0.02,
         backoff_cap=1.0,
         rng=random.Random((config.seed << 16) ^ index),
+        journal=journal,
     )
     for _ in range(config.requests):
         params = rng.choice(pool)
@@ -194,26 +201,25 @@ def _verify_locally(
     return problems
 
 
-def _percentile(sorted_values: List[float], fraction: float) -> float:
-    if not sorted_values:
-        return 0.0
-    index = min(
-        int(fraction * (len(sorted_values) - 1) + 0.5), len(sorted_values) - 1
-    )
-    return sorted_values[index]
-
-
 def run_loadgen(config: LoadgenConfig) -> LoadgenResult:
     """Run the campaign against an already-listening daemon."""
     pool = build_job_pool(config)
     logs = [_ClientLog() for _ in range(config.clients)]
     payloads: Dict[str, Dict[str, object]] = {}
     payload_lock = threading.Lock()
+    journal = (
+        EventJournal(path=config.journal_path)
+        if config.journal_path
+        else NULL_JOURNAL
+    )
     started = time.monotonic()
     threads = [
         threading.Thread(
             target=_client_worker,
-            args=(index, config, pool, logs[index], payloads, payload_lock),
+            args=(
+                index, config, pool, logs[index], payloads, payload_lock,
+                journal,
+            ),
             name=f"loadgen-client-{index}",
         )
         for index in range(config.clients)
@@ -223,6 +229,7 @@ def run_loadgen(config: LoadgenConfig) -> LoadgenResult:
     for thread in threads:
         thread.join()
     elapsed = time.monotonic() - started
+    journal.close()
 
     # -- deterministic aggregation ------------------------------------------
     taxonomy: Dict[str, int] = {}
@@ -284,9 +291,9 @@ def run_loadgen(config: LoadgenConfig) -> LoadgenResult:
         "elapsed_seconds": round(elapsed, 3),
         "throughput_rps": round(total_requests / elapsed, 2) if elapsed else 0.0,
         "latency_seconds": {
-            "p50": round(_percentile(latencies, 0.50), 4),
-            "p90": round(_percentile(latencies, 0.90), 4),
-            "p99": round(_percentile(latencies, 0.99), 4),
+            "p50": round(percentile(latencies, 0.50), 4),
+            "p90": round(percentile(latencies, 0.90), 4),
+            "p99": round(percentile(latencies, 0.99), 4),
             "max": round(latencies[-1], 4) if latencies else 0.0,
         },
         "http_attempts": sum(log.attempts for log in logs),

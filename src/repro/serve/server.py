@@ -30,11 +30,26 @@ Robustness is the headline:
   ``draining``, readiness flips), let in-flight requests finish,
   flush cache scratch files, and exit 0.
 
+Telemetry is unified (see ``docs/OBSERVABILITY.md``): every request
+carries a correlation ID — the client's ``X-Repro-Request-Id`` header
+when present, a generated one otherwise — which is echoed on the
+response, stamped on every journal record the request produces
+(admission, queueing, dispatch, completion, rejection), bound via
+:func:`repro.obs.events.bind_request_id` around engine execution so
+per-job events and spans inherit it, and fed into per-request latency
+histograms in the process-wide
+:class:`repro.obs.metrics.MetricsRegistry`.  A flight recorder keeps
+the most recent journal records in a bounded ring and dumps them to
+``flight_dir`` whenever a request ends in a worker crash, deadline
+preemption or circuit-open rejection, so every 5xx is diagnosable
+after the fact.
+
 Endpoints (see ``docs/SERVICE.md`` for the full contract)::
 
     GET  /healthz        liveness (200 while the process runs)
     GET  /readyz         readiness (503 while starting or draining)
-    GET  /v1/stats       serve/exec/cache/breaker counters (JSON)
+    GET  /metrics        Prometheus text-format telemetry snapshot
+    GET  /v1/stats       serve/exec/cache/breaker/telemetry counters
     GET  /v1/tasks       registered task names
     GET  /v1/trace       merged Chrome trace of recent jobs (--trace)
     GET  /v1/jobs/<key>  cached result lookup by job key
@@ -47,6 +62,7 @@ from __future__ import annotations
 import json
 import math
 import queue
+import re
 import sys
 import threading
 import time
@@ -65,6 +81,19 @@ from repro.exec import (
     get_task,
     task_names,
 )
+from repro.obs.events import (
+    EventJournal,
+    FlightRecorder,
+    NULL_JOURNAL,
+    bind_request_id,
+    new_request_id,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.stats import Ewma
 from repro.obs.trace import SpanTracer
 from repro.serve.breaker import CircuitBreaker
 
@@ -92,6 +121,21 @@ ERROR_STATUS: Dict[str, int] = {
     "cancelled": 503,
     "deadline": 504,
 }
+
+#: Outcome kinds that trigger a flight-recorder dump: each represents
+#: a request the server could not serve normally and a human will want
+#: to reconstruct after the fact.
+FLIGHT_DUMP_KINDS = frozenset({"crash", "deadline", "circuit-open"})
+
+_REQUEST_ID_RE = re.compile(r"[A-Za-z0-9._:-]{1,64}$")
+
+
+def _clean_request_id(value: Optional[str]) -> str:
+    """A client-supplied correlation ID, or ``""`` if unusable (too
+    long, funny characters — IDs land in filenames and log lines)."""
+    if value and _REQUEST_ID_RE.match(value):
+        return value
+    return ""
 
 
 @dataclass
@@ -131,6 +175,15 @@ class ServeConfig:
     chaos: bool = False
     #: access-log lines on stderr
     verbose: bool = False
+    #: metrics registry + event journal + ``GET /metrics``; off turns
+    #: the whole telemetry layer into shared no-ops
+    telemetry: bool = True
+    #: JSONL event-journal file (``None`` = ring buffer only)
+    journal_path: Optional[str] = None
+    #: where flight-recorder dumps land on crash/deadline/circuit-open
+    flight_dir: str = "benchmarks/output"
+    #: journal records the flight recorder retains
+    flight_capacity: int = 512
 
 
 class ServeMetrics:
@@ -148,7 +201,7 @@ class ServeMetrics:
         "in_flight",
         "peak_queue_depth",
         "peak_in_flight",
-        "ewma_service_seconds",
+        "_service_ewma",
         "started_at",
     )
 
@@ -167,16 +220,15 @@ class ServeMetrics:
         self.in_flight = 0
         self.peak_queue_depth = 0
         self.peak_in_flight = 0
-        self.ewma_service_seconds = 0.0
+        self._service_ewma = Ewma(alpha=self.ALPHA)
         self.started_at = time.monotonic()
 
+    @property
+    def ewma_service_seconds(self) -> float:
+        return self._service_ewma.value
+
     def note_service(self, seconds: float) -> None:
-        if self.ewma_service_seconds == 0.0:
-            self.ewma_service_seconds = seconds
-        else:
-            self.ewma_service_seconds += self.ALPHA * (
-                seconds - self.ewma_service_seconds
-            )
+        self._service_ewma.update(seconds)
 
     def count_error(self, kind: str, rejected: bool) -> None:
         bucket = self.rejected if rejected else self.errors
@@ -209,7 +261,14 @@ class _Slot:
     #: trace roots kept per slot (older spans are trimmed)
     TRACE_KEEP = 256
 
-    def __init__(self, index: int, config: ServeConfig, cache: Optional[ResultCache]):
+    def __init__(
+        self,
+        index: int,
+        config: ServeConfig,
+        cache: Optional[ResultCache],
+        journal=NULL_JOURNAL,
+        registry=NULL_REGISTRY,
+    ):
         self.index = index
         if config.executor == "process":
             executor = ProcessExecutor(workers=1, serial_fallback=False)
@@ -222,7 +281,8 @@ class _Slot:
             )
         self.tracer = SpanTracer() if config.trace else None
         self.engine = ExecutionEngine(
-            executor=executor, cache=cache, tracer=self.tracer
+            executor=executor, cache=cache, tracer=self.tracer,
+            journal=journal, registry=registry,
         )
 
     def trim_trace(self) -> None:
@@ -259,9 +319,45 @@ class ReproServer:
                 capacity=self.config.cache_capacity,
             )
         self.metrics = ServeMetrics()
+        # -- unified telemetry: registry + journal + flight recorder
+        if self.config.telemetry:
+            self.registry = MetricsRegistry()
+            self.recorder = FlightRecorder(
+                capacity=self.config.flight_capacity
+            )
+            self.journal = EventJournal(
+                path=self.config.journal_path, recorder=self.recorder
+            )
+        else:
+            self.registry = NULL_REGISTRY
+            self.recorder = None
+            self.journal = NULL_JOURNAL
+        self._m_requests = self.registry.counter(
+            "repro_serve_requests_total",
+            "Submissions by final outcome (ok, or the error kind).",
+            ("outcome",),
+        )
+        self._m_request_seconds = self.registry.histogram(
+            "repro_serve_request_seconds",
+            "Request latency from admission to final outcome, by task.",
+            ("task",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._m_queue_depth = self.registry.gauge(
+            "repro_serve_queue_depth", "Admitted requests awaiting a slot."
+        )
+        self._m_in_flight = self.registry.gauge(
+            "repro_serve_in_flight", "Requests currently executing."
+        )
+        self._m_flight_dumps = self.registry.counter(
+            "repro_serve_flight_dumps_total",
+            "Flight-recorder dumps written, by trigger reason.",
+            ("reason",),
+        )
         self.breaker = CircuitBreaker(
             threshold=self.config.breaker_threshold,
             cooldown=self.config.breaker_cooldown,
+            journal=self.journal,
         )
         self._slots: "queue.Queue[_Slot]" = queue.Queue()
         self._all_slots: List[_Slot] = []
@@ -290,7 +386,10 @@ class ReproServer:
         # compute the code salt once, before any request races to
         self._salt = code_version_salt()
         for index in range(self.config.workers):
-            slot = _Slot(index, self.config, self.cache)
+            slot = _Slot(
+                index, self.config, self.cache,
+                journal=self.journal, registry=self.registry,
+            )
             self._all_slots.append(slot)
             self._slots.put(slot)
         self._httpd = _HTTPServer(
@@ -378,6 +477,8 @@ class ReproServer:
                 terminate()
         if self.cache is not None:
             self.cache.remove_temp_files()
+        self.journal.emit("server-closed")
+        self.journal.close()
 
     # -- request handling ----------------------------------------------------
 
@@ -389,10 +490,15 @@ class ReproServer:
         retry_after: Optional[float] = None,
         key: Optional[str] = None,
         count: bool = True,
+        request_id: str = "",
     ) -> Tuple[int, Dict[str, str], Dict[str, object]]:
         if count:
             with self._lock:
                 self.metrics.count_error(kind, rejected)
+        if request_id:
+            # only submissions carry an ID; read-only lookups skip the
+            # journal, counters and flight recorder entirely
+            self._note_failure(kind, message, rejected, key, request_id)
         headers: Dict[str, str] = {}
         body: Dict[str, object] = {
             "error": {"kind": kind, "message": message}
@@ -404,6 +510,34 @@ class ReproServer:
             headers["X-Repro-Retry-After"] = f"{max(retry_after, 0.001):.3f}"
         return ERROR_STATUS[kind], headers, body
 
+    def _note_failure(
+        self,
+        kind: str,
+        message: str,
+        rejected: bool,
+        key: Optional[str],
+        request_id: str,
+    ) -> None:
+        """Telemetry for one failed/rejected submission: outcome
+        counter, journal record, and — for the post-mortem-worthy
+        kinds — a flight-recorder dump naming the request."""
+        self._m_requests.labels(kind).inc()
+        self.journal.emit(
+            "request-rejected" if rejected else "request-failed",
+            request_id=request_id,
+            error=kind,
+            key=key or "",
+            message=message,
+        )
+        if kind in FLIGHT_DUMP_KINDS and self.recorder is not None:
+            path = self.recorder.dump(
+                self.config.flight_dir, kind, request_id
+            )
+            self._m_flight_dumps.labels(kind).inc()
+            self.journal.emit(
+                "flight-dump", request_id=request_id, reason=kind, path=path
+            )
+
     def _retry_after_seconds(self) -> float:
         """Backpressure hint from observed service time and occupancy:
         roughly how long until a queue slot frees up."""
@@ -412,18 +546,44 @@ class ReproServer:
         return min(max(ewma * (waiting + 1) / self.config.workers, 0.05), 60.0)
 
     def submit(
-        self, data: object
+        self, data: object, request_id: str = ""
     ) -> Tuple[int, Dict[str, str], Dict[str, object]]:
-        """Handle one POST /v1/jobs body; returns (status, headers, body)."""
+        """Handle one POST /v1/jobs body; returns (status, headers, body).
+
+        ``request_id`` is the client's ``X-Repro-Request-Id`` (or
+        ``""``); an unusable or absent one is replaced by a generated
+        ID.  The ID is bound for the whole submission — journal
+        records, engine job events and spans inherit it — and echoed
+        in the response headers.
+        """
         received = time.monotonic()
+        rid = _clean_request_id(request_id) or new_request_id()
+        with bind_request_id(rid):
+            status, headers, body = self._submit(data, rid, received)
+        task = data.get("task") if isinstance(data, dict) else None
+        if isinstance(task, str):
+            self._m_request_seconds.labels(task).observe(
+                time.monotonic() - received
+            )
+        headers = dict(headers)
+        headers.setdefault("X-Repro-Request-Id", rid)
+        return status, headers, body
+
+    def _submit(
+        self, data: object, rid: str, received: float
+    ) -> Tuple[int, Dict[str, str], Dict[str, object]]:
         if not isinstance(data, dict):
-            return self._error("bad-request", "request body must be a JSON object")
+            return self._error(
+                "bad-request", "request body must be a JSON object",
+                request_id=rid,
+            )
         task = data.get("task")
         params = data.get("params")
         if not isinstance(task, str) or not isinstance(params, dict):
             return self._error(
                 "bad-request",
                 'body must carry a string "task" and an object "params"',
+                request_id=rid,
             )
         try:
             get_task(task)
@@ -431,6 +591,7 @@ class ReproServer:
             return self._error(
                 "unknown-task",
                 f"unknown task {task!r}; GET /v1/tasks lists the registry",
+                request_id=rid,
             )
         stimuli = params.get("stimuli")
         if stimuli is not None:
@@ -439,10 +600,12 @@ class ReproServer:
                     "bad-request",
                     'batched submissions ("stimuli") need a daemon '
                     "started with --batch",
+                    request_id=rid,
                 )
             if not isinstance(stimuli, list) or not stimuli:
                 return self._error(
-                    "bad-request", '"stimuli" must be a non-empty list'
+                    "bad-request", '"stimuli" must be a non-empty list',
+                    request_id=rid,
                 )
             if len(stimuli) > self.config.lanes:
                 return self._error(
@@ -450,11 +613,14 @@ class ReproServer:
                     f'"stimuli" carries {len(stimuli)} vectors; this '
                     f"daemon allows at most {self.config.lanes} lanes "
                     "(--lanes)",
+                    request_id=rid,
                 )
         deadline = data.get("deadline", self.config.default_deadline)
         if not isinstance(deadline, (int, float)) or deadline <= 0:
             return self._error(
-                "bad-request", '"deadline" must be a positive number of seconds'
+                "bad-request",
+                '"deadline" must be a positive number of seconds',
+                request_id=rid,
             )
         deadline = min(float(deadline), self.config.max_deadline)
         job = Job(task, params, label=f"serve:{task}")
@@ -462,8 +628,13 @@ class ReproServer:
             key = job.key(self._salt)
         except TypeError:
             return self._error(
-                "bad-request", '"params" must be JSON-serialisable'
+                "bad-request", '"params" must be JSON-serialisable',
+                request_id=rid,
             )
+        self.journal.emit(
+            "request-received", request_id=rid, task=task, key=key,
+            deadline=round(deadline, 3),
+        )
 
         # -- admission ------------------------------------------------------
         with self._lock:
@@ -475,6 +646,7 @@ class ReproServer:
                     rejected=True,
                     retry_after=self.config.drain_grace,
                     key=key,
+                    request_id=rid,
                 )
             decision = self.breaker.admit(key)
             if not decision.allowed:
@@ -485,6 +657,7 @@ class ReproServer:
                     rejected=True,
                     retry_after=decision.retry_after,
                     key=key,
+                    request_id=rid,
                 )
             if self.metrics.queue_depth >= self.config.queue_limit:
                 return self._error_locked(
@@ -494,11 +667,17 @@ class ReproServer:
                     rejected=True,
                     retry_after=self._retry_after_seconds(),
                     key=key,
+                    request_id=rid,
                 )
             self.metrics.queue_depth += 1
             self.metrics.peak_queue_depth = max(
                 self.metrics.peak_queue_depth, self.metrics.queue_depth
             )
+            self._m_queue_depth.set(self.metrics.queue_depth)
+        self.journal.emit(
+            "request-queued", request_id=rid, key=key,
+            depth=self.metrics.queue_depth,
+        )
 
         # -- wait for a worker slot (bounded by the deadline) ---------------
         slot: Optional[_Slot] = None
@@ -512,11 +691,13 @@ class ReproServer:
         finally:
             with self._lock:
                 self.metrics.queue_depth -= 1
+                self._m_queue_depth.set(self.metrics.queue_depth)
                 if slot is not None:
                     self.metrics.in_flight += 1
                     self.metrics.peak_in_flight = max(
                         self.metrics.peak_in_flight, self.metrics.in_flight
                     )
+                    self._m_in_flight.set(self.metrics.in_flight)
                 else:
                     self._idle.notify_all()
         if slot is None:
@@ -524,7 +705,11 @@ class ReproServer:
                 "deadline",
                 f"deadline of {deadline:g}s exhausted while queued",
                 key=key,
+                request_id=rid,
             )
+        self.journal.emit(
+            "request-dispatched", request_id=rid, key=key, slot=slot.index,
+        )
 
         # -- execute with the remaining deadline ----------------------------
         try:
@@ -534,15 +719,20 @@ class ReproServer:
                     "deadline",
                     f"deadline of {deadline:g}s exhausted before execution",
                     key=key,
+                    request_id=rid,
                 )
             result = slot.engine.run([job], timeout=remaining)[0]
         except Exception as exc:  # noqa: BLE001 — a 500, never a hang
-            return self._error("internal", f"{type(exc).__name__}: {exc}", key=key)
+            return self._error(
+                "internal", f"{type(exc).__name__}: {exc}", key=key,
+                request_id=rid,
+            )
         finally:
             slot.trim_trace()
             self._slots.put(slot)
             with self._lock:
                 self.metrics.in_flight -= 1
+                self._m_in_flight.set(self.metrics.in_flight)
                 self._idle.notify_all()
 
         # -- outcome --------------------------------------------------------
@@ -554,6 +744,11 @@ class ReproServer:
                     self.metrics.cached += 1
                 else:
                     self.metrics.note_service(result.seconds)
+            self._m_requests.labels("ok").inc()
+            self.journal.emit(
+                "request-complete", request_id=rid, key=key,
+                cached=result.cached, seconds=round(result.seconds, 6),
+            )
             headers = {
                 "X-Repro-Cached": "true" if result.cached else "false",
                 "X-Repro-Seconds": f"{result.seconds:.6f}",
@@ -575,22 +770,30 @@ class ReproServer:
                 "deadline",
                 f"execution exceeded the deadline: {message}",
                 key=key,
+                request_id=rid,
             )
         if kind == "crash":
             return self._error(
                 "crash",
                 f"worker process died executing this job: {message}",
                 key=key,
+                request_id=rid,
             )
         if kind == "cancelled":
-            return self._error("cancelled", message or "job cancelled", key=key)
+            return self._error(
+                "cancelled", message or "job cancelled", key=key,
+                request_id=rid,
+            )
         return self._error(
             "error",
             f"{result.error.get('type', 'Exception')}: {message}",
             key=key,
+            request_id=rid,
         )
 
-    def _error_locked(self, kind, message, rejected, retry_after, key):
+    def _error_locked(
+        self, kind, message, rejected, retry_after, key, request_id=""
+    ):
         """:meth:`_error` for callers already holding the lock."""
         self.metrics.count_error(kind, rejected)
         status, headers, body = self._error(
@@ -600,6 +803,7 @@ class ReproServer:
             retry_after=retry_after,
             key=key,
             count=False,
+            request_id=request_id,
         )
         return status, headers, body
 
@@ -635,11 +839,19 @@ class ReproServer:
             cache = dict(self.cache.stats.as_dict())
             cache["read_only"] = self.cache.read_only
             cache["root"] = self.cache.root
+        telemetry: Dict[str, object] = {
+            "enabled": self.config.telemetry,
+            "events_emitted": self.journal.emitted,
+            "journal_path": self.journal.path,
+            "flight_dumps": self.recorder.dumps if self.recorder else 0,
+            "metrics": self.registry.snapshot(),
+        }
         return {
             "server": server,
             "exec": exec_totals,
             "cache": cache,
             "breaker": self.breaker.snapshot(),
+            "telemetry": telemetry,
         }
 
     def trace_events(self) -> Optional[Dict[str, object]]:
@@ -689,6 +901,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------------
 
+    def _request_id(self) -> str:
+        return _clean_request_id(self.headers.get("X-Repro-Request-Id"))
+
     def _send(
         self,
         status: int,
@@ -696,11 +911,34 @@ class _Handler(BaseHTTPRequestHandler):
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
         data = (json.dumps(body, sort_keys=True) + "\n").encode()
+        self._send_bytes(status, data, "application/json", headers)
+
+    def _send_text(
+        self,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        self._send_bytes(status, text.encode(), content_type, None)
+
+    def _send_bytes(
+        self,
+        status: int,
+        data: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]],
+    ) -> None:
+        headers = headers or {}
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
-        for name, value in (headers or {}).items():
+        for name, value in headers.items():
             self.send_header(name, value)
+        # echo the client's correlation ID on every response (submit
+        # already placed the authoritative — possibly generated — one)
+        rid = self._request_id()
+        if rid and "X-Repro-Request-Id" not in headers:
+            self.send_header("X-Repro-Request-Id", rid)
         self.end_headers()
         self.wfile.write(data)
 
@@ -741,6 +979,20 @@ class _Handler(BaseHTTPRequestHandler):
                     503,
                     {"error": {"kind": "draining", "message": state},
                      "status": state},
+                )
+        elif path == "/metrics":
+            if not self.rs.config.telemetry:
+                self._send(
+                    404,
+                    {"error": {"kind": "not-found",
+                               "message": "telemetry disabled; start the "
+                                          "server without --no-telemetry"}},
+                )
+            else:
+                self._send_text(
+                    200,
+                    self.rs.registry.render(),
+                    "text/plain; version=0.0.4; charset=utf-8",
                 )
         elif path == "/v1/stats":
             self._send(200, self.rs.stats())
@@ -793,7 +1045,9 @@ class _Handler(BaseHTTPRequestHandler):
                                "message": f"invalid JSON: {exc}"}},
                 )
                 return
-            status, headers, body = self.rs.submit(data)
+            status, headers, body = self.rs.submit(
+                data, request_id=self._request_id()
+            )
             self._send(status, body, headers)
         elif path == "/v1/drain":
             self.rs.begin_drain("POST /v1/drain")
@@ -816,7 +1070,9 @@ def run_server(config: ServeConfig) -> int:
     print(
         f"  workers={config.workers} queue_limit={config.queue_limit} "
         f"executor={config.executor} "
-        f"cache={'off' if server.cache is None else server.cache.root}",
+        f"cache={'off' if server.cache is None else server.cache.root} "
+        f"telemetry={'on' if config.telemetry else 'off'}"
+        + (f" journal={config.journal_path}" if config.journal_path else ""),
         file=sys.stderr,
         flush=True,
     )

@@ -165,6 +165,21 @@ class BatchMetrics:
         out["totals"] = self.totals.as_dict()
         return out
 
+    def publish(self, registry, **labels) -> None:
+        """Bridge lane counters (``repro_batch_<name>_total``) and the
+        aggregated kernel ``totals`` (via
+        :meth:`repro.sim.metrics.SimMetrics.publish`) into a telemetry
+        registry.  No-op on a disabled registry."""
+        names = tuple(sorted(labels))
+        values = tuple(str(labels[name]) for name in names)
+        for name, label in self.FIELDS:
+            registry.counter(
+                f"repro_batch_{name}_total",
+                f"Batched simulation counter: {label}.",
+                names,
+            ).labels(*values).inc(getattr(self, name))
+        self.totals.publish(registry, **labels)
+
     def describe(self) -> str:
         width = max(len(label) for _, label in self.FIELDS)
         return "\n".join(
@@ -339,6 +354,7 @@ class BatchSimulator:
         observers: Optional[Sequence] = None,
         tracer=NULL_TRACER,
         quantum: int = DEFAULT_QUANTUM,
+        registry=None,
     ) -> BatchResult:
         """Run every stimulus vector to quiescence, sharing compilation.
 
@@ -359,7 +375,10 @@ class BatchSimulator:
         :class:`repro.obs.vcd.VCDWriter`, one per lane); ``tracer``
         receives one completed span per retired lane plus one for the
         batch; ``quantum`` is the lockstep rotation budget in scheduler
-        events.
+        events; ``registry`` (a
+        :class:`repro.obs.metrics.MetricsRegistry`, optional) receives
+        the finished batch's lane and kernel totals via
+        :meth:`BatchMetrics.publish`.
         """
         if metrics is None:
             metrics = BatchMetrics()
@@ -526,6 +545,8 @@ class BatchSimulator:
             lanes=len(lanes),
             faulted=metrics.lanes_faulted,
         )
+        if registry is not None:
+            metrics.publish(registry)
         return BatchResult(self.spec, tuple(outcomes), metrics)
 
     # -- context swap -------------------------------------------------------

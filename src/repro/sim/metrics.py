@@ -183,6 +183,21 @@ class SimMetrics:
         lines.append(f"{'wall seconds':<{width}}  {self.wall_seconds:.6f}")
         return "\n".join(lines)
 
+    def publish(self, registry, **labels) -> None:
+        """Bridge the counters into a telemetry registry.
+
+        Each counter becomes ``repro_sim_<name>_total`` (incremented
+        by the current value — publish once per run, not per poll);
+        ``labels`` distinguishes runs sharing a registry, e.g.
+        ``run="refined"``.  A disabled registry makes this a no-op.
+        """
+        names = tuple(sorted(labels))
+        values = tuple(str(labels[name]) for name in names)
+        for name, label in self.FIELDS:
+            registry.counter(
+                f"repro_sim_{name}_total", f"Kernel counter: {label}.", names
+            ).labels(*values).inc(getattr(self, name))
+
     def __repr__(self) -> str:
         return (
             f"<SimMetrics activations={self.activations} "
