@@ -1,0 +1,133 @@
+"""E2 — Exploration campaign: quality-cache seeding vs the exhaustive grid.
+
+``repro explore`` searches allocation x partitioner x model x protocol
+with a layered strategy: only the quality-cache top-K candidates earn
+a KL refinement pass, only Pareto-frontier members are re-annealed,
+duplicate design points are never dispatched, and the campaign stops
+as soon as a seeded layer stops moving the frontier.  The claim worth
+gating is that all of this *narrowing* evaluates strictly fewer cells
+than the equivalent exhaustive grid while still producing a
+reproducible frontier.
+
+Two configurations run back to back against one cache:
+
+1. **serial, cold** — the default campaign (every allocation, every
+   model), populating the cache;
+2. **serial, warm** — the same campaign against the warm cache (every
+   cell must hit).
+
+Gates:
+
+* ``cells_evaluated`` is **strictly less** than the exhaustive grid
+  count recorded in the report (the seeding claim);
+* the campaign stopped with a structured reason, never silently;
+* cold and warm rendered reports are **byte-identical** and the warm
+  run executes nothing;
+* the machine-readable report passes ``validate_explore_report``.
+
+Regenerates ``explore_seeding.txt`` / ``explore_seeding.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+
+from repro.exec import ExecutionEngine, ResultCache
+from repro.experiments.explore import run_explore, validate_explore_report
+
+
+def run_explore_benchmark() -> dict:
+    cache_root = tempfile.mkdtemp(prefix="repro-bench-explore-")
+    try:
+        started = time.perf_counter()
+        cold_engine = ExecutionEngine(cache=ResultCache(cache_root))
+        cold = run_explore(engine=cold_engine)
+        cold_seconds = time.perf_counter() - started
+
+        warm_engine = ExecutionEngine(cache=ResultCache(cache_root))
+        started = time.perf_counter()
+        warm = run_explore(engine=warm_engine)
+        warm_seconds = time.perf_counter() - started
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    report = json.loads(cold.as_json())
+    return {
+        "cells_evaluated": cold.cells_evaluated,
+        "exhaustive_cells": cold.exhaustive_cells,
+        "dedup_skipped": cold.dedup_skipped,
+        "savings_ratio": cold.exhaustive_cells / max(cold.cells_evaluated, 1),
+        "layers_run": cold.layers_run,
+        "layers_total": cold.layers_total,
+        "stop": cold.stop.as_dict(),
+        "frontier_size": len(cold.frontier),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_table": cold.render(),
+        "warm_table": warm.render(),
+        "report": report,
+        "warm_metrics": warm_engine.metrics.as_dict(),
+    }
+
+
+def render_report(data: dict) -> str:
+    stop = data["stop"]
+    lines = [
+        "Exploration: quality-cache seeding vs exhaustive grid",
+        "",
+        f"  cells evaluated       {data['cells_evaluated']:6d}",
+        f"  exhaustive grid       {data['exhaustive_cells']:6d}",
+        f"  duplicates skipped    {data['dedup_skipped']:6d}",
+        f"  savings               {data['savings_ratio']:6.2f}x fewer cells",
+        f"  layers run            {data['layers_run']} of {data['layers_total']}",
+        f"  frontier size         {data['frontier_size']:6d}",
+        f"  stopped               {stop['reason']} - {stop['detail']}",
+        "",
+        f"  warm cache hits: {data['warm_metrics']['cache_hits']}, "
+        f"executed: {data['warm_metrics']['executed']}",
+        f"  reports byte-identical: "
+        f"{data['cold_table'] == data['warm_table']}",
+        "",
+        data["cold_table"],
+    ]
+    return "\n".join(lines)
+
+
+def check_gates(data: dict) -> None:
+    assert data["cells_evaluated"] < data["exhaustive_cells"], (
+        f"seeded search evaluated {data['cells_evaluated']} cells, not "
+        f"fewer than the exhaustive grid's {data['exhaustive_cells']}"
+    )
+    assert data["stop"]["reason"] in (
+        "frontier-converged", "cell-budget", "layers-exhausted"
+    ), f"unstructured stop: {data['stop']}"
+    assert data["frontier_size"] >= 1, "empty Pareto frontier"
+    assert data["cold_table"] == data["warm_table"], (
+        "cold and warm-cache explore reports differ"
+    )
+    warm = data["warm_metrics"]
+    assert warm["executed"] == 0 and warm["cache_hits"] > 0, (
+        f"warm run was not hit-only: {warm}"
+    )
+    validate_explore_report(data["report"])
+
+
+def bench_explore(write_artifact):
+    data = run_explore_benchmark()
+    report = render_report(data)
+    write_artifact("explore_seeding.txt", report)
+    payload = {k: v for k, v in data.items()
+               if k not in ("cold_table", "warm_table", "report")}
+    write_artifact("explore_seeding.json", json.dumps(payload, indent=2,
+                                                      sort_keys=True))
+    check_gates(data)
+
+
+if __name__ == "__main__":
+    data = run_explore_benchmark()
+    print(render_report(data))
+    check_gates(data)
+    raise SystemExit(0)

@@ -43,6 +43,12 @@ Subcommands mirror the library's main flows:
 * ``repro sweep --design Design1 --model Model1 --protocol handshake
   --seed 0`` — cross-product campaign (every flag repeatable) that
   refines and verifies each combination under a seeded stimulus;
+* ``repro explore`` — multi-objective design-space exploration:
+  layered partitioner search (greedy/annealed, then KL seeded from the
+  quality cache, then re-annealed frontier members) over allocations x
+  models x protocols, keeping a Pareto frontier over (bus traffic,
+  refined lines, estimated cost) with dominance-based early stopping
+  (see ``docs/EXPLORATION.md``);
 * ``repro serve`` — the refinement-as-a-service daemon: HTTP/JSON jobs
   on the execution engine with deadlines, backpressure, a circuit
   breaker and graceful drain (see ``docs/SERVICE.md``);
@@ -51,7 +57,7 @@ Subcommands mirror the library's main flows:
   ``benchmarks/output/``.
 
 The campaign commands (``figure9``, ``figure10``, ``robustness``,
-``fuzz``, ``sweep``) share the execution-engine flags: ``--executor
+``fuzz``, ``sweep``, ``explore``) share the execution-engine flags: ``--executor
 serial|process``, ``--workers N``, ``--job-timeout S``, ``--shards N``,
 plus the result cache (``--cache DIR`` to enable, ``--no-cache``,
 ``--refresh``) and ``--journal PATH`` (structured campaign/job events
@@ -722,6 +728,63 @@ def _cmd_sweep(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_explore(args) -> int:
+    import json
+
+    from repro.experiments.explore import run_explore
+
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import SpanTracer
+
+        tracer = SpanTracer()
+    engine = _build_engine(args, tracer=tracer)
+    with _campaign_guard(engine, "explore"):
+        result = run_explore(
+            spec=_load_spec(args.file),
+            allocations=args.allocation or None,
+            models=args.model or None,
+            protocols=args.protocol or None,
+            inputs=_parse_inputs(args.input) or None,
+            **(
+                {"anneal_seeds": tuple(int(s) for s in args.anneal_seed)}
+                if args.anneal_seed else {}
+            ),
+            **(
+                {"reanneal_seeds": tuple(int(s) for s in args.reanneal_seed)}
+                if args.reanneal_seed else {}
+            ),
+            top_k=args.top_k,
+            frontier_seed_cap=args.frontier_seeds,
+            max_cells=args.max_cells,
+            limits=_parse_limits(args),
+            engine=engine,
+            batch=args.batch,
+        )
+        rendered = result.as_json() if args.json else result.render()
+        print(rendered)
+        if args.output:
+            import os
+
+            os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+            with open(args.output, "w") as handle:
+                handle.write(rendered + "\n")
+            print(f"\nexplore report written to {args.output}")
+        if tracer is not None:
+            import os
+
+            from repro.obs.trace import validate_chrome_trace
+
+            payload = tracer.to_chrome_json()
+            validate_chrome_trace(json.loads(payload))
+            os.makedirs(os.path.dirname(args.trace) or ".", exist_ok=True)
+            with open(args.trace, "w") as handle:
+                handle.write(payload + "\n")
+            print(f"Chrome trace written to {args.trace}")
+        _print_exec_stats(engine)
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.serve import ServeConfig, run_server
 
@@ -1105,6 +1168,54 @@ def build_parser() -> argparse.ArgumentParser:
                         "trace-event JSON here")
     _add_exec_options(p)
     p.set_defaults(handler=_cmd_sweep)
+
+    p = sub.add_parser(
+        "explore",
+        help="multi-objective design-space exploration: layered "
+             "partitioner search with a Pareto frontier over "
+             "(traffic, refined lines, cost)",
+    )
+    add_file(p)
+    p.add_argument("--allocation", action="append",
+                   help="allocation to include (repeatable; default all "
+                        "named alternatives — see docs/EXPLORATION.md)")
+    p.add_argument("--model", action="append",
+                   help="model to include (repeatable; default all four)")
+    p.add_argument("--protocol", action="append",
+                   choices=("handshake", "strobe", "handshake-timeout"),
+                   help="protocol to include (repeatable; default handshake)")
+    p.add_argument("--input", action="append", metavar="NAME=VALUE",
+                   help="override the baseline stimulus")
+    p.add_argument("--anneal-seed", action="append", metavar="N",
+                   help="layer-1 annealing seed (repeatable; "
+                        "default 1996 and 2023)")
+    p.add_argument("--reanneal-seed", action="append", metavar="N",
+                   help="layer-3 re-annealing seed (repeatable; default 7)")
+    p.add_argument("--top-k", type=int, default=2, metavar="K",
+                   help="quality-cache width: candidates per allocation "
+                        "that seed the KL layer (default 2)")
+    p.add_argument("--frontier-seeds", type=int, default=2, metavar="N",
+                   help="frontier members per allocation re-annealed in "
+                        "layer 3 (default 2)")
+    p.add_argument("--max-cells", type=int, default=None, metavar="N",
+                   help="hard cell budget; the campaign stops "
+                        "deterministically when it is reached")
+    add_limits(p)
+    p.add_argument("--batch", action="store_true",
+                   help="group a candidate's model x protocol points into "
+                        "one job sharing a single profiling run (same "
+                        "report, fewer simulations)")
+    p.add_argument("--json", action="store_true",
+                   help="print the JSON report (frontier + every evaluated "
+                        "point + stop reason) instead of the table")
+    p.add_argument("-o", "--output",
+                   default="benchmarks/output/explore_frontier.txt",
+                   help="write the frontier report here ('' to skip)")
+    p.add_argument("--trace", metavar="PATH",
+                   help="run under a span tracer and write Chrome "
+                        "trace-event JSON here")
+    _add_exec_options(p)
+    p.set_defaults(handler=_cmd_explore)
 
     p = sub.add_parser(
         "serve",

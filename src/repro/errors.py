@@ -44,7 +44,18 @@ class GraphError(ReproError):
 
 
 class PartitionError(ReproError):
-    """A partition is inconsistent with the specification or allocation."""
+    """A partition is inconsistent with the specification or allocation.
+
+    ``objects`` optionally carries the offending object names as
+    structured data — the automatic partitioners set it when the move
+    space is ambiguous (a variable shadowing a behavior name) so
+    callers can report or repair the exact collisions instead of
+    parsing the message.
+    """
+
+    def __init__(self, message: str, objects=()):
+        self.objects = tuple(objects)
+        super().__init__(message)
 
 
 class AllocationError(ReproError):

@@ -1,6 +1,11 @@
 """Quality-metric estimation: timing, profiling, transfer rates, cost."""
 
-from repro.estimate.cost import CostReport, CostWeights, design_cost
+from repro.estimate.cost import (
+    CostReport,
+    CostWeights,
+    design_cost,
+    estimate_design_point,
+)
 from repro.estimate.profile import (
     ProfileResult,
     profile_specification,
@@ -23,6 +28,7 @@ __all__ = [
     "CostReport",
     "CostWeights",
     "design_cost",
+    "estimate_design_point",
     "ProfileResult",
     "profile_specification",
     "static_profile",

@@ -17,7 +17,8 @@ from typing import Dict, Optional
 from repro.estimate.rates import BusRateReport
 from repro.models.plan import BusRole, ModelPlan
 
-__all__ = ["CostWeights", "CostReport", "design_cost"]
+__all__ = ["CostWeights", "CostReport", "design_cost",
+           "estimate_design_point"]
 
 
 @dataclass
@@ -101,3 +102,36 @@ def design_cost(
     if rates is not None:
         report.apply_rates(rates)
     return report
+
+
+def estimate_design_point(
+    spec,
+    partition,
+    model,
+    allocation=None,
+    inputs=None,
+    graph=None,
+    weights: Optional[CostWeights] = None,
+) -> CostReport:
+    """The full estimation chain for one design point, in one call:
+    profile the original specification under ``partition``, plan the
+    model's topology, derive the bus rates the plan implies, and price
+    the result.  ``model`` may be a model object or its registry name.
+    This is what each exploration cell (``repro explore``) charges a
+    candidate with.
+    """
+    from repro.estimate.profile import profile_specification
+    from repro.estimate.rates import bus_transfer_rates
+    from repro.graph.access_graph import AccessGraph
+
+    if isinstance(model, str):
+        from repro.models import resolve_model
+
+        model = resolve_model(model)
+    graph = graph or AccessGraph.from_specification(spec)
+    profile = profile_specification(
+        spec, partition, allocation, inputs=inputs, graph=graph
+    )
+    plan = model.build_plan(spec, partition, graph=graph)
+    rates = bus_transfer_rates(plan, graph, profile)
+    return design_cost(plan, rates=rates, weights=weights)

@@ -33,6 +33,17 @@ task               one job computes
                    given stimulus — the unit ``repro serve`` clients and
                    the ``repro loadgen`` harness submit; accepts a
                    ``stimuli`` list to batch several vectors in one job
+``explore-cell``   evaluate one design point of the ``repro explore``
+                   campaign: refine (partition, model, protocol) under an
+                   allocation, execute the refined design with kernel
+                   counters (the Figure 9 counted-transfer metric), and
+                   price it through the estimation chain — returning the
+                   (traffic, size, cost) objective vector
+``explore-batch``  evaluate several design points sharing one candidate
+                   partition as a single job: profile the original once,
+                   then refine and price every (model, protocol) against
+                   that shared profile — per-point payloads are
+                   byte-identical to ``explore-cell``'s
 =================  ==========================================================
 
 Payloads that carry simulation results also carry a ``kernel`` tag
@@ -521,3 +532,127 @@ def batch_cell(params: Dict[str, object]) -> Dict[str, object]:
             }
         )
     return {"cells": cells}
+
+
+# -- explore -----------------------------------------------------------------
+
+
+@register("explore-cell")
+def explore_cell(params: Dict[str, object]) -> Dict[str, object]:
+    """Evaluate one ``repro explore`` design point.
+
+    Refines (partition, model, protocol) under the given allocation,
+    executes the refined design with kernel counters attached (bus
+    transactions are the Figure 9 counted-transfer metric) and prices
+    the point through :func:`repro.estimate.estimate_design_point`.
+    The payload is the candidate's objective vector — bus ``traffic``,
+    ``refined_lines`` and estimated ``cost`` — plus the itemised cost
+    terms for the report.
+    """
+    from repro.estimate import estimate_design_point
+    from repro.graph.access_graph import AccessGraph
+    from repro.models import resolve_model
+    from repro.refine.refiner import Refiner
+    from repro.sim.interpreter import Simulator
+    from repro.sim.metrics import SimMetrics
+
+    spec = _spec_from_text(params["spec"])
+    partition = _partition_from_params(
+        spec, params["partition"], params["design"]
+    )
+    allocation = allocation_from_params(params.get("allocation"))
+    model = resolve_model(params["model"])
+    graph = AccessGraph.from_specification(spec)
+    refined = Refiner(
+        spec,
+        partition,
+        model,
+        allocation=allocation,
+        protocol=params["protocol"],
+    ).run()
+    metrics = SimMetrics()
+    run = Simulator(refined.spec).run(
+        inputs=dict(params["inputs"]),
+        limits=limits_from_params(params.get("limits")),
+        metrics=metrics,
+    )
+    cost = estimate_design_point(
+        spec,
+        partition,
+        model,
+        allocation=allocation,
+        inputs=dict(params["inputs"]),
+        graph=graph,
+    )
+    return {
+        "traffic": metrics.bus_transactions,
+        "refined_lines": refined.line_counts()["refined"],
+        "cost": round(cost.total, 1),
+        "cost_detail": cost.as_dict(),
+        "steps": run.steps,
+        "kernel": "compiled",
+    }
+
+
+@register("explore-batch")
+def explore_batch(params: Dict[str, object]) -> Dict[str, object]:
+    """Several ``repro explore`` design points sharing one candidate
+    partition, as a single job.
+
+    The profiling simulation of the original specification depends
+    only on (partition, allocation, inputs), so it runs *once*; every
+    (model, protocol) point in ``params["points"]`` then refines,
+    executes and prices against that shared profile.  Profiling is
+    deterministic, so each entry of the payload's ``points`` list is
+    byte-identical to what an ``explore-cell`` job reports for the
+    same design point.
+    """
+    from repro.estimate.cost import design_cost
+    from repro.estimate.profile import profile_specification
+    from repro.estimate.rates import bus_transfer_rates
+    from repro.graph.access_graph import AccessGraph
+    from repro.models import resolve_model
+    from repro.refine.refiner import Refiner
+    from repro.sim.interpreter import Simulator
+    from repro.sim.metrics import SimMetrics
+
+    spec = _spec_from_text(params["spec"])
+    partition = _partition_from_params(
+        spec, params["partition"], params["design"]
+    )
+    allocation = allocation_from_params(params.get("allocation"))
+    graph = AccessGraph.from_specification(spec)
+    limits = limits_from_params(params.get("limits"))
+    inputs = dict(params["inputs"])
+    profile = profile_specification(
+        spec, partition, allocation, inputs=inputs, graph=graph
+    )
+    points: List[Dict[str, object]] = []
+    for point in params["points"]:
+        model = resolve_model(point["model"])
+        refined = Refiner(
+            spec,
+            partition,
+            model,
+            allocation=allocation,
+            protocol=point["protocol"],
+        ).run()
+        metrics = SimMetrics()
+        run = Simulator(refined.spec).run(
+            inputs=inputs, limits=limits, metrics=metrics
+        )
+        plan = model.build_plan(spec, partition, graph=graph)
+        cost = design_cost(
+            plan, rates=bus_transfer_rates(plan, graph, profile)
+        )
+        points.append(
+            {
+                "traffic": metrics.bus_transactions,
+                "refined_lines": refined.line_counts()["refined"],
+                "cost": round(cost.total, 1),
+                "cost_detail": cost.as_dict(),
+                "steps": run.steps,
+                "kernel": "compiled",
+            }
+        )
+    return {"points": points}

@@ -7,6 +7,17 @@ from repro.experiments.figure9 import (
     default_allocation,
     run_figure9,
 )
+from repro.experiments.explore import (
+    DesignPoint,
+    ExploreResult,
+    ParetoFrontier,
+    QualityCache,
+    QualityEvaluator,
+    StopReport,
+    explore_allocations,
+    run_explore,
+    validate_explore_report,
+)
 from repro.experiments.figure10 import Figure10Cell, Figure10Result, run_figure10
 from repro.experiments.fuzzing import (
     FuzzReport,
@@ -52,6 +63,15 @@ __all__ = [
     "SweepCell",
     "SweepResult",
     "run_sweep",
+    "DesignPoint",
+    "ExploreResult",
+    "ParetoFrontier",
+    "QualityCache",
+    "QualityEvaluator",
+    "StopReport",
+    "explore_allocations",
+    "run_explore",
+    "validate_explore_report",
     "PAPER_FIGURE9",
     "PAPER_FIGURE10_LINES",
     "PAPER_FIGURE10_SECONDS",

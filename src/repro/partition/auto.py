@@ -34,11 +34,50 @@ __all__ = ["movable_objects", "greedy_partition", "kl_partition",
 
 
 def movable_objects(spec: Specification, graph: Optional[AccessGraph] = None):
-    """The move space: every leaf behavior and partitionable variable."""
+    """The move space: every leaf behavior and partitionable variable.
+
+    ``Partition.assignment`` keys objects by bare name, so a variable
+    that shares a name with a behavior would collapse into one key and
+    silently co-assign both.  Rather than guess which one the caller
+    meant, refuse with a structured :class:`PartitionError` whose
+    ``objects`` attribute lists the colliding names.
+    """
     graph = graph or AccessGraph.from_specification(spec)
     leaves = [leaf.name for leaf in spec.leaf_behaviors()]
     variables = sorted(graph.variable_names)
+    behavior_names = {behavior.name for behavior in spec.behaviors()}
+    collisions = sorted(behavior_names & set(variables))
+    if collisions:
+        raise PartitionError(
+            "ambiguous move space: variable name(s) "
+            f"{collisions} shadow behavior names; partition assignment "
+            "keys are flat, so these objects cannot be assigned "
+            "independently — rename one side",
+            objects=collisions,
+        )
     return leaves + variables
+
+
+def _move_space(spec: Specification, graph: AccessGraph) -> List[str]:
+    """``movable_objects`` plus the empty-space guard shared by all
+    three algorithms: an empty move space previously crashed annealing
+    with a bare ``IndexError`` and let greedy/KL return an invalid
+    empty-assignment partition."""
+    objects = movable_objects(spec, graph)
+    if not objects:
+        raise PartitionError(
+            "specification has no movable objects (no leaf behaviors "
+            "and no partitionable variables); nothing to partition"
+        )
+    return objects
+
+
+def _named(partition: Partition, name: str) -> Partition:
+    """A renamed clone.  The partitioners return this instead of
+    mutating ``partition.name`` so a caller-supplied seed partition is
+    never modified in place (the no-improvement path used to hand back
+    the seed object itself, renamed)."""
+    return Partition(partition.spec, partition.assignment, name=name)
 
 
 def _initial(spec: Specification, objects: Sequence[str], components) -> Partition:
@@ -71,7 +110,7 @@ def greedy_partition(
     if len(components) < 2:
         raise PartitionError("need at least two components to partition")
     graph = graph or AccessGraph.from_specification(spec)
-    objects = movable_objects(spec, graph)
+    objects = _move_space(spec, graph)
     current = _initial(spec, objects, components)
     current_cost = _cost(graph, current, balance_weight, len(components))
 
@@ -92,8 +131,7 @@ def greedy_partition(
             break
         current = current.moved(*best_move)
         current_cost = best_cost
-    current.name = "greedy"
-    return current
+    return _named(current, "greedy")
 
 
 def kl_partition(
@@ -109,7 +147,7 @@ def kl_partition(
     if len(components) < 2:
         raise PartitionError("need at least two components to partition")
     graph = graph or AccessGraph.from_specification(spec)
-    objects = movable_objects(spec, graph)
+    objects = _move_space(spec, graph)
     current = seed_partition or _initial(spec, objects, components)
     current_cost = _cost(graph, current, balance_weight, len(components))
 
@@ -146,8 +184,7 @@ def kl_partition(
             current, current_cost = prefix_best
         else:
             break
-    current.name = "kl"
-    return current
+    return _named(current, "kl")
 
 
 def annealed_partition(
@@ -159,15 +196,18 @@ def annealed_partition(
     steps: int = 2000,
     start_temperature: float = 0.25,
     cooling: float = 0.995,
+    seed_partition: Optional[Partition] = None,
 ) -> Partition:
     """Simulated annealing over the same move space (seeded,
-    reproducible)."""
+    reproducible).  ``seed_partition`` starts the walk from an
+    existing partition instead of the round-robin initial — the
+    exploration campaign uses this to re-anneal frontier members."""
     if len(components) < 2:
         raise PartitionError("need at least two components to partition")
     graph = graph or AccessGraph.from_specification(spec)
-    objects = movable_objects(spec, graph)
+    objects = _move_space(spec, graph)
     rng = random.Random(seed)
-    current = _initial(spec, objects, components)
+    current = seed_partition or _initial(spec, objects, components)
     current_cost = _cost(graph, current, balance_weight, len(components))
     best, best_cost = current, current_cost
     temperature = start_temperature
@@ -184,5 +224,4 @@ def annealed_partition(
             if cost < best_cost:
                 best, best_cost = candidate, cost
         temperature *= cooling
-    best.name = "annealed"
-    return best
+    return _named(best, "annealed")

@@ -19,6 +19,10 @@ from repro.partition import (
 )
 from repro.refine import Refiner
 from repro.sim.equivalence import check_equivalence
+from repro.spec.builder import assign, leaf, seq, spec as build_spec
+from repro.spec.expr import var
+from repro.spec.types import int_type
+from repro.spec.variable import variable
 
 
 @pytest.fixture(scope="module")
@@ -128,6 +132,111 @@ class TestAnnealing:
         lopsided = lopsided.moved(objects[-1], "HW")
         annealed = annealed_partition(spec, graph=graph, steps=800)
         assert partition_cost(graph, annealed) < partition_cost(graph, lopsided)
+
+
+class TestSeedAliasingRegression:
+    """The partitioners must never mutate a caller's partition: the
+    no-improvement path used to hand back the seed object itself with
+    its ``name`` clobbered in place."""
+
+    def test_kl_does_not_mutate_caller_seed(self, fig2):
+        spec, graph = fig2
+        # a KL fixpoint: re-running KL from it improves nothing, which
+        # is exactly the path that used to return the seed renamed
+        fixpoint = kl_partition(spec, graph=graph)
+        seed = Partition(spec, fixpoint.assignment, name="caller-seed")
+        result = kl_partition(spec, graph=graph, seed_partition=seed)
+        assert seed.name == "caller-seed"
+        assert result is not seed
+        assert result.name == "kl"
+        assert result.assignment == seed.assignment
+
+    def test_annealed_does_not_mutate_caller_seed(self, fig2):
+        spec, graph = fig2
+        base = annealed_partition(spec, graph=graph, seed=3, steps=50)
+        seed = Partition(spec, base.assignment, name="caller-seed")
+        # zero steps: the walk never leaves the seed, so the returned
+        # best IS the seed unless the partitioner clones it
+        result = annealed_partition(
+            spec, graph=graph, seed=3, steps=0, seed_partition=seed
+        )
+        assert seed.name == "caller-seed"
+        assert result is not seed
+        assert result.name == "annealed"
+        assert result.assignment == seed.assignment
+
+    def test_greedy_returns_named_clone(self, fig2):
+        spec, graph = fig2
+        assert greedy_partition(spec, graph=graph).name == "greedy"
+
+
+class TestNamespaceCollision:
+    """A variable named identically to a behavior used to collapse to
+    one assignment key, silently co-assigning both objects."""
+
+    def _collision_spec(self):
+        design = build_spec(
+            "T",
+            seq(
+                "Top",
+                [
+                    leaf("A", assign("A", var("A") + 1)),
+                    leaf("B", assign("A", var("A") + 2)),
+                ],
+            ),
+            variables=[variable("A", int_type(), init=0)],
+        )
+        # precondition of the bug: the validator accepts this spec
+        design.validate()
+        return design
+
+    def test_movable_objects_rejects_shadowed_name(self):
+        design = self._collision_spec()
+        with pytest.raises(PartitionError) as err:
+            movable_objects(design)
+        assert err.value.objects == ("A",)
+        assert "A" in str(err.value)
+
+    @pytest.mark.parametrize(
+        "algorithm", [greedy_partition, kl_partition, annealed_partition]
+    )
+    def test_partitioners_refuse_shadowed_names(self, algorithm):
+        design = self._collision_spec()
+        with pytest.raises(PartitionError) as err:
+            algorithm(design)
+        assert err.value.objects == ("A",)
+
+
+class _NoLeafSpec:
+    """Degenerate specification view: no leaves, no behaviors.  The
+    builder cannot produce one (composites require children), but the
+    partitioners only consume these two iterators, so this pins the
+    guard for any caller that hands over an emptied move space."""
+
+    def leaf_behaviors(self):
+        return iter(())
+
+    def behaviors(self):
+        return iter(())
+
+
+class _NoVariableGraph:
+    variable_names = frozenset()
+
+
+class TestEmptyMoveSpace:
+    """An empty move space used to crash annealing with a bare
+    ``IndexError`` from ``rng.choice`` and let greedy/KL return an
+    invalid empty-assignment partition; all three now refuse with a
+    structured error."""
+
+    @pytest.mark.parametrize(
+        "algorithm", [greedy_partition, kl_partition, annealed_partition]
+    )
+    def test_raises_structured_partition_error(self, algorithm):
+        with pytest.raises(PartitionError) as err:
+            algorithm(_NoLeafSpec(), graph=_NoVariableGraph())
+        assert "no movable objects" in str(err.value)
 
 
 class TestAutoPartitionFeedsRefinement:
