@@ -1,10 +1,26 @@
-"""Example applications: the paper's figures, the medical system and
-the answering machine."""
+"""Example applications: the paper's figures, the medical system, the
+answering machine, the PCM/PWM converter and the workload registry
+binding them (plus generator-synthesized families) to the campaign
+drivers."""
 
 from repro.apps.answering import (
     TAM_INPUTS,
     answering_machine_specification,
     tam_partition,
+)
+from repro.apps.pcm_pwm import (
+    PCM_PWM_INPUTS,
+    pcm_all_designs,
+    pcm_design1_partition,
+    pcm_design2_partition,
+    pcm_pwm_specification,
+)
+from repro.apps.workloads import (
+    Workload,
+    WorkloadError,
+    WorkloadRegistry,
+    default_registry,
+    resolve_workload,
 )
 from repro.apps.figures import (
     figure1_partition,
@@ -21,6 +37,16 @@ from repro.apps.figures import (
 
 __all__ = [
     "TAM_INPUTS",
+    "PCM_PWM_INPUTS",
+    "pcm_all_designs",
+    "pcm_design1_partition",
+    "pcm_design2_partition",
+    "pcm_pwm_specification",
+    "Workload",
+    "WorkloadError",
+    "WorkloadRegistry",
+    "default_registry",
+    "resolve_workload",
     "answering_machine_specification",
     "tam_partition",
     "figure1_partition",

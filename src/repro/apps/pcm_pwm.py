@@ -1,0 +1,396 @@
+"""PCM-to-PWM audio converter — the SpecC methodology case study.
+
+The SpecC papers ground their methodology in a PCM/PWM converter: a
+pulse-code-modulated sample stream is fetched frame by frame, upsampled
+and noise-shaped, mapped to pulse-width duty cycles and emitted to a
+one-bit power stage.  The original sources are not public, so this
+module reconstructs a synthetic equivalent with the same pipeline
+shape, written in the exact style of :mod:`repro.apps.medical` so the
+whole campaign stack (refinement, estimation, robustness, export)
+applies unchanged.
+
+System sketch (10 behaviors)::
+
+    PCM2PWM (top)
+      Setup               scale/bias decode from the config word
+      FrameLoop           repeated per audio frame
+        Fetch             decode PCM_LEN samples into pcm_buf
+        Upsample
+          Interp          2x linear interpolation into up_buf
+          Shape           first-order noise shaping + dither
+        Duty              map samples to PWM duty widths, clip
+        Emit              duty checksum accumulation (the PWM stream)
+        Status            clip/frame telemetry, frame counter
+
+Environment ports: ``stream_profile`` (PCM source character),
+``config_word`` (volume/bias configuration) and ``frame_count``
+(frames to convert) in; ``pwm_out``, ``clip_out`` and ``status_out``
+out.  Internal state: scale, bias, dither, pcm_buf, up_buf, duty_buf,
+clip_count, frame, checksum, period.
+
+Two evaluation partitions: ``Design1`` cuts at the natural pipeline
+boundary (sample datapath on the ASIC, control and telemetry on the
+processor); ``Design2`` interleaves producers and consumers so nearly
+every buffer crosses the cut.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.partition.partition import Partition
+from repro.spec.builder import (
+    assign,
+    for_,
+    if_,
+    leaf,
+    on_complete,
+    seq,
+    spec,
+    transition,
+)
+from repro.spec.expr import var
+from repro.spec.specification import Specification
+from repro.spec.types import array_of, int_type
+from repro.spec.variable import Role, variable
+
+__all__ = [
+    "pcm_pwm_specification",
+    "pcm_design1_partition",
+    "pcm_design2_partition",
+    "pcm_all_designs",
+    "PCM_PWM_INPUTS",
+]
+
+_I16 = int_type(16)
+
+#: PCM samples fetched per frame.
+PCM_LEN = 4
+
+#: Upsampled samples per frame (2x interpolation).
+UP_LEN = 2 * PCM_LEN
+
+#: PWM carrier period in timer ticks.
+PWM_PERIOD = 32
+
+#: Default stimulus: a mid-range stream, moderate volume, two frames.
+PCM_PWM_INPUTS: Dict[str, int] = {
+    "stream_profile": 55,
+    "config_word": 25,
+    "frame_count": 2,
+}
+
+
+def pcm_pwm_specification() -> Specification:
+    """The PCM/PWM converter (10 behaviors, 10 internal variables)."""
+
+    setup = leaf(
+        "Setup",
+        assign("scale", var("config_word") / 16 + 2),
+        if_(
+            var("scale") > 12,
+            [assign("scale", 12)],
+        ),
+        if_(
+            var("scale") < 2,
+            [assign("scale", 2)],
+        ),
+        assign("bias", var("config_word") % 8),
+        assign("dither", 0),
+        assign("clip_count", 0),
+        assign("frame", 0),
+        assign("checksum", 0),
+        assign("pwm_out", 0),
+        assign("clip_out", 0),
+        assign("status_out", 0),
+        doc="decode the volume/bias configuration, reset telemetry",
+    )
+
+    fetch = leaf(
+        "Fetch",
+        for_(
+            "i",
+            0,
+            PCM_LEN - 1,
+            [
+                assign(
+                    var("pcm_buf").index(var("i")),
+                    var("stream_profile") / 2
+                    + var("i") * (var("stream_profile") % 11)
+                    + var("frame") * 3,
+                ),
+            ],
+        ),
+        if_(
+            var("pcm_buf").index(0) > 96,
+            [
+                for_(
+                    "i",
+                    0,
+                    PCM_LEN - 1,
+                    [
+                        assign(
+                            var("pcm_buf").index(var("i")),
+                            var("pcm_buf").index(var("i")) / 2,
+                        ),
+                    ],
+                )
+            ],
+        ),
+        doc="decode one PCM frame; hot streams are fetched at half level",
+    )
+
+    interp = leaf(
+        "Interp",
+        for_(
+            "i",
+            0,
+            PCM_LEN - 1,
+            [
+                assign(
+                    var("up_buf").index(var("i") * 2),
+                    var("pcm_buf").index(var("i")),
+                ),
+            ],
+        ),
+        for_(
+            "i",
+            0,
+            PCM_LEN - 2,
+            [
+                assign(
+                    var("up_buf").index(var("i") * 2 + 1),
+                    (
+                        var("pcm_buf").index(var("i"))
+                        + var("pcm_buf").index(var("i") + 1)
+                    )
+                    / 2,
+                ),
+            ],
+        ),
+        assign(
+            var("up_buf").index(UP_LEN - 1),
+            var("pcm_buf").index(PCM_LEN - 1),
+        ),
+        doc="2x linear interpolation of the PCM frame",
+    )
+
+    shape = leaf(
+        "Shape",
+        for_(
+            "i",
+            0,
+            UP_LEN - 1,
+            [
+                assign(
+                    var("up_buf").index(var("i")),
+                    var("up_buf").index(var("i")) * var("scale") / 4
+                    + var("bias")
+                    + var("dither"),
+                ),
+                assign("dither", var("up_buf").index(var("i")) % 3 - 1),
+                if_(
+                    var("up_buf").index(var("i")) > 127,
+                    [assign(var("up_buf").index(var("i")), 127)],
+                ),
+                if_(
+                    var("up_buf").index(var("i")) < 0,
+                    [assign(var("up_buf").index(var("i")), 0)],
+                ),
+            ],
+        ),
+        doc="volume scaling, bias and first-order dither, saturated",
+    )
+
+    upsample = seq(
+        "Upsample",
+        [interp, shape],
+        transitions=[
+            transition("Interp", None, "Shape"),
+            on_complete("Shape"),
+        ],
+        doc="interpolate then noise-shape one frame",
+    )
+
+    duty = leaf(
+        "Duty",
+        for_(
+            "i",
+            0,
+            UP_LEN - 1,
+            [
+                assign(
+                    var("duty_buf").index(var("i")),
+                    var("up_buf").index(var("i")) * PWM_PERIOD / 128,
+                ),
+                if_(
+                    var("duty_buf").index(var("i")) > PWM_PERIOD - 2,
+                    [
+                        assign(var("duty_buf").index(var("i")), PWM_PERIOD - 2),
+                        assign("clip_count", var("clip_count") + 1),
+                    ],
+                ),
+                if_(
+                    var("duty_buf").index(var("i")) < 1,
+                    [assign(var("duty_buf").index(var("i")), 1)],
+                ),
+            ],
+        ),
+        doc="map samples to PWM duty widths with clip accounting",
+    )
+
+    emit = leaf(
+        "Emit",
+        for_(
+            "i",
+            0,
+            UP_LEN - 1,
+            [
+                assign(
+                    "checksum",
+                    var("checksum")
+                    + var("duty_buf").index(var("i")) * (var("i") + 1),
+                ),
+            ],
+        ),
+        assign("checksum", var("checksum") % 9973),
+        assign("pwm_out", var("checksum")),
+        doc="emit the frame: position-weighted duty checksum",
+    )
+
+    status = leaf(
+        "Status",
+        assign("frame", var("frame") + 1),
+        assign("clip_out", var("clip_count")),
+        assign("status_out", var("frame") * 100 + var("checksum") % 100),
+        if_(
+            var("status_out") < 0,
+            [assign("status_out", 0)],
+        ),
+        doc="clip/frame telemetry record",
+    )
+
+    frame_loop = seq(
+        "FrameLoop",
+        [fetch, upsample, duty, emit, status],
+        transitions=[
+            transition("Fetch", None, "Upsample"),
+            transition("Upsample", None, "Duty"),
+            transition("Duty", None, "Emit"),
+            transition("Emit", None, "Status"),
+            on_complete("Status"),
+        ],
+        doc="one complete audio frame conversion",
+    )
+
+    top = seq(
+        "PCM2PWM",
+        [setup, frame_loop],
+        transitions=[
+            transition("Setup", None, "FrameLoop"),
+            transition("FrameLoop", var("frame") < var("frame_count"),
+                       "FrameLoop"),
+            on_complete("FrameLoop", var("frame") >= var("frame_count")),
+        ],
+        doc="PCM-to-PWM converter top",
+    )
+
+    return spec(
+        "PCM2PWM",
+        top,
+        variables=[
+            # environment interface (ports; not partitionable)
+            variable("stream_profile", _I16, init=55, role=Role.INPUT,
+                     doc="character of the incoming PCM stream"),
+            variable("config_word", _I16, init=25, role=Role.INPUT,
+                     doc="packed volume/bias configuration"),
+            variable("frame_count", _I16, init=2, role=Role.INPUT,
+                     doc="audio frames to convert"),
+            variable("pwm_out", _I16, init=0, role=Role.OUTPUT,
+                     doc="PWM stream checksum"),
+            variable("clip_out", _I16, init=0, role=Role.OUTPUT,
+                     doc="saturated-sample count"),
+            variable("status_out", _I16, init=0, role=Role.OUTPUT,
+                     doc="frame/checksum telemetry"),
+            # internal converter state
+            variable("scale", _I16, init=0, doc="volume scale factor"),
+            variable("bias", _I16, init=0, doc="DC bias"),
+            variable("dither", _I16, init=0, doc="noise-shaping residue"),
+            variable("pcm_buf", array_of(_I16, PCM_LEN),
+                     doc="fetched PCM frame"),
+            variable("up_buf", array_of(_I16, UP_LEN),
+                     doc="upsampled samples"),
+            variable("duty_buf", array_of(_I16, UP_LEN),
+                     doc="PWM duty widths"),
+            variable("clip_count", _I16, init=0, doc="clip counter"),
+            variable("frame", _I16, init=0, doc="frame counter"),
+            variable("checksum", _I16, init=0, doc="duty checksum"),
+        ],
+        doc=(
+            "PCM-to-PWM audio converter - synthetic reconstruction of "
+            "the SpecC methodology case study."
+        ),
+    )
+
+
+def pcm_design1_partition(spec_: Specification) -> Partition:
+    """Design1 — pipeline cut: the per-sample datapath (fetch,
+    upsample, duty mapping) on the ASIC, control and telemetry on the
+    processor; only stage-boundary values cross."""
+    return Partition.from_mapping(
+        spec_,
+        {
+            "Setup": "PROC",
+            "Emit": "PROC",
+            "Status": "PROC",
+            "Fetch": "ASIC",
+            "Upsample": "ASIC",
+            "Duty": "ASIC",
+            # datapath state on the ASIC, telemetry on the processor
+            "scale": "ASIC",
+            "bias": "ASIC",
+            "dither": "ASIC",
+            "pcm_buf": "ASIC",
+            "up_buf": "ASIC",
+            "duty_buf": "ASIC",
+            "clip_count": "ASIC",
+            "frame": "PROC",
+            "checksum": "PROC",
+        },
+        name="Design1",
+    )
+
+
+def pcm_design2_partition(spec_: Specification) -> Partition:
+    """Design2 — adversarial interleaving: alternate pipeline stages
+    across the cut so every buffer is produced on one side and
+    consumed on the other."""
+    return Partition.from_mapping(
+        spec_,
+        {
+            "Setup": "PROC",
+            "Fetch": "PROC",
+            "Upsample": "ASIC",
+            "Duty": "PROC",
+            "Emit": "ASIC",
+            "Status": "PROC",
+            "scale": "ASIC",
+            "bias": "PROC",
+            "dither": "ASIC",
+            "pcm_buf": "PROC",
+            "up_buf": "ASIC",
+            "duty_buf": "PROC",
+            "clip_count": "PROC",
+            "frame": "PROC",
+            "checksum": "ASIC",
+        },
+        name="Design2",
+    )
+
+
+def pcm_all_designs(spec_: Specification) -> Dict[str, Partition]:
+    """The two evaluation partitions keyed by design name."""
+    return {
+        "Design1": pcm_design1_partition(spec_),
+        "Design2": pcm_design2_partition(spec_),
+    }

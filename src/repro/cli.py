@@ -84,31 +84,34 @@ from repro.errors import ReproError
 __all__ = ["main", "build_parser"]
 
 
-def _load_spec(path: Optional[str]):
-    from repro.apps.medical import medical_specification
+def _load_spec(path: Optional[str], workload: Optional[str] = None):
     from repro.lang.parser import parse
 
-    if path is None:
-        spec = medical_specification()
-    else:
+    if path is not None:
         with open(path) as handle:
             spec = parse(handle.read())
+    else:
+        from repro.apps.workloads import resolve_workload
+
+        spec = resolve_workload(workload).spec()
     spec.validate()
     return spec
 
 
 def _resolve_partition(spec, args):
-    """Partition from --design (medical only) or a mapping file."""
-    from repro.apps.medical import all_designs
+    """Partition from --design, looked up in the registry workload's
+    design catalog (default: the medical system's Design1/2/3)."""
+    from repro.apps.workloads import resolve_workload
 
+    workload = resolve_workload(getattr(args, "workload", None))
+    designs = workload.designs(spec)
     if getattr(args, "design", None):
-        designs = all_designs(spec)
         if args.design not in designs:
             raise ReproError(
                 f"unknown design {args.design!r}; choose from {sorted(designs)}"
             )
         return designs[args.design]
-    raise ReproError("a --design is required (Design1, Design2 or Design3)")
+    raise ReproError(f"a --design is required (choose from {sorted(designs)})")
 
 
 def _parse_inputs(pairs: List[str]) -> Dict[str, int]:
@@ -134,6 +137,13 @@ def _parse_limits(args):
         max_steps=max_steps if max_steps is not None else defaults.max_steps,
         max_delta=max_delta if max_delta is not None else defaults.max_delta,
     )
+
+
+def _add_workload_option(p) -> None:
+    p.add_argument("--workload", default=None, metavar="ID",
+                   help="registry workload supplying the specification, "
+                        "design catalog and default stimulus (default "
+                        "medical; see 'repro workloads')")
 
 
 def _add_exec_options(p) -> None:
@@ -469,7 +479,8 @@ def _cmd_figure9(args) -> int:
 
     engine = _build_engine(args)
     with _campaign_guard(engine, "figure9"):
-        print(run_figure9(engine=engine).render(include_paper=not args.no_paper))
+        result = run_figure9(engine=engine, workload=args.workload)
+        print(result.render(include_paper=not args.no_paper))
         _print_exec_stats(engine)
     return 0
 
@@ -479,7 +490,9 @@ def _cmd_figure10(args) -> int:
 
     engine = _build_engine(args)
     with _campaign_guard(engine, "figure10"):
-        result = run_figure10(check_equivalence=args.check, engine=engine)
+        result = run_figure10(
+            check_equivalence=args.check, engine=engine, workload=args.workload
+        )
         print(result.render(include_paper=not args.no_paper))
         if args.breakdown:
             print()
@@ -499,6 +512,7 @@ def _cmd_robustness(args) -> int:
             designs=args.design or None,
             models=args.model or None,
             engine=engine,
+            workload=args.workload,
         )
         rendered = result.render()
         print(rendered)
@@ -693,7 +707,8 @@ def _cmd_sweep(args) -> int:
     engine = _build_engine(args, tracer=tracer)
     with _campaign_guard(engine, "sweep"):
         result = run_sweep(
-            spec=_load_spec(args.file),
+            spec=_load_spec(args.file) if args.file else None,
+            workload=args.workload,
             designs=args.design or None,
             models=args.model or None,
             protocols=args.protocol or None,
@@ -741,7 +756,8 @@ def _cmd_explore(args) -> int:
     engine = _build_engine(args, tracer=tracer)
     with _campaign_guard(engine, "explore"):
         result = run_explore(
-            spec=_load_spec(args.file),
+            spec=_load_spec(args.file) if args.file else None,
+            workload=args.workload,
             allocations=args.allocation or None,
             models=args.model or None,
             protocols=args.protocol or None,
@@ -869,6 +885,93 @@ def _cmd_loadgen(args) -> int:
             handle.write(_json.dumps(result.timings, indent=2, sort_keys=True) + "\n")
         print(f"timing sidecar written to {args.timings}", file=sys.stderr)
     return 0 if result.ok else 1
+
+
+def _cmd_workloads(args) -> int:
+    from repro.apps.workloads import default_registry
+    from repro.experiments.tables import render_table
+
+    registry = default_registry()
+    if args.describe:
+        workload = registry.get(args.describe)
+        spec = workload.spec()
+        print(f"workload {workload.id}: {workload.title}")
+        print(f"  category:   {workload.category}")
+        print(f"  spec:       {spec.name} "
+              f"({len(list(spec.top.iter_tree()))} behaviors, "
+              f"{spec.line_count()} lines)")
+        designs = workload.designs(spec)
+        marks = [
+            name + (" (default)" if name == workload.default_design else "")
+            for name in sorted(designs)
+        ]
+        print(f"  designs:    {', '.join(marks)}")
+        stimulus = ", ".join(
+            f"{k}={v}" for k, v in sorted(workload.default_inputs.items())
+        ) or "(port defaults)"
+        print(f"  stimulus:   {stimulus}")
+        if workload.invariants:
+            ranges = ", ".join(
+                f"{name} in [{lo}, {hi}]"
+                for name, (lo, hi) in sorted(workload.invariants.items())
+            )
+            print(f"  invariants: {ranges}")
+        print(f"  {workload.description}")
+        return 0
+    if args.validate:
+        failed = 0
+        for workload, summary, error in registry.validate_all():
+            if error is not None:
+                failed += 1
+                print(f"{workload.id}: FAIL - {error}")
+            else:
+                print(f"{workload.id}: {summary}")
+        print(f"\n{len(registry) - failed}/{len(registry)} workloads valid")
+        return 1 if failed else 0
+    rows = []
+    for workload in registry:
+        spec = workload.spec()
+        rows.append(
+            [
+                workload.id,
+                workload.category,
+                str(len(workload.designs(spec))),
+                str(spec.line_count()),
+                workload.title,
+            ]
+        )
+    print(render_table(
+        ["Workload", "Category", "Designs", "Lines", "Title"],
+        rows,
+        title="Registered workloads (see docs/WORKLOADS.md)",
+    ))
+    return 0
+
+
+def _cmd_validate_hdl(args) -> int:
+    from repro.export.validate import detect_toolchain, validate_workloads
+
+    toolchain = detect_toolchain()
+    print(f"toolchain: {toolchain.describe()}", file=sys.stderr)
+    reports = validate_workloads(
+        workloads=args.workload or None,
+        models=tuple(args.model) if args.model else ("Model1",),
+        toolchain=toolchain,
+    )
+    failed = 0
+    for index, report in enumerate(reports):
+        if index:
+            print()
+        print(report.render())
+        if not report.ok:
+            failed += 1
+    if failed:
+        print(f"\nvalidation FAILED for {failed} workload(s)", file=sys.stderr)
+        return 1
+    if toolchain.ghdl is None:
+        print("\nnotice: ghdl not found - VHDL co-simulation was skipped",
+              file=sys.stderr)
+    return 0
 
 
 def _cmd_explain(args) -> int:
@@ -1025,6 +1128,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure9", help="regenerate the Figure 9 table")
     p.add_argument("--no-paper", action="store_true",
                    help="omit the paper's reference rows")
+    _add_workload_option(p)
     _add_exec_options(p)
     p.set_defaults(handler=_cmd_figure9)
 
@@ -1035,6 +1139,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--breakdown", action="store_true",
                    help="also decompose each cell's CPU time per "
                         "refinement procedure")
+    _add_workload_option(p)
     _add_exec_options(p)
     p.set_defaults(handler=_cmd_figure10)
 
@@ -1054,6 +1159,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output",
                    default="benchmarks/output/robustness_campaign.txt",
                    help="write the campaign table here ('' to skip)")
+    _add_workload_option(p)
     _add_exec_options(p)
     p.set_defaults(handler=_cmd_robustness)
 
@@ -1166,6 +1272,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", metavar="PATH",
                    help="run under a span tracer and write Chrome "
                         "trace-event JSON here")
+    _add_workload_option(p)
     _add_exec_options(p)
     p.set_defaults(handler=_cmd_sweep)
 
@@ -1214,6 +1321,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", metavar="PATH",
                    help="run under a span tracer and write Chrome "
                         "trace-event JSON here")
+    _add_workload_option(p)
     _add_exec_options(p)
     p.set_defaults(handler=_cmd_explore)
 
@@ -1327,6 +1435,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="append client-side request events (shared "
                         "correlation IDs) to this JSONL journal")
     p.set_defaults(handler=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "workloads",
+        help="list, describe or validate the workload registry",
+    )
+    p.add_argument("--describe", metavar="ID",
+                   help="print one workload's full card instead of the list")
+    p.add_argument("--validate", action="store_true",
+                   help="run every registry entry's self-checks "
+                        "(termination, designs, invariants); exit 1 on "
+                        "any failure")
+    p.set_defaults(handler=_cmd_workloads)
+
+    p = sub.add_parser(
+        "validate-hdl",
+        help="compile/co-simulate exported workloads with the external "
+             "toolchain (cc, ghdl) against the kernel",
+    )
+    p.add_argument("--workload", action="append", metavar="ID",
+                   help="workload to validate (repeatable; default "
+                        "medical and pcm_pwm)")
+    p.add_argument("--model", action="append", metavar="M",
+                   help="implementation model for the refined-design "
+                        "export sweep (repeatable; default Model1)")
+    p.set_defaults(handler=_cmd_validate_hdl)
 
     p = sub.add_parser(
         "explain",

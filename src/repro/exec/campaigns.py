@@ -115,6 +115,27 @@ def _spec_from_text(text: str):
     return spec
 
 
+def _spec_from_params(params: Dict[str, object]):
+    """The specification a job's params designate.
+
+    ``params["spec"]`` (canonical text) wins when present; otherwise
+    ``params["workload"]`` resolves through the default workload
+    registry — the form ``repro serve`` clients use to submit jobs
+    against a bundled application without shipping spec text.  The
+    campaign drivers send both: the text pins the exact spec, the
+    workload id lands in the cache key.
+    """
+    text = params.get("spec")
+    if text is not None:
+        return _spec_from_text(text)
+    workload = params.get("workload")
+    if workload is not None:
+        from repro.apps.workloads import resolve_workload
+
+        return resolve_workload(workload).spec()
+    raise KeyError("job params carry neither 'spec' nor 'workload'")
+
+
 def _partition_from_params(spec, assignment, name: str):
     """``assignment`` is the order-preserving pair list produced by
     :func:`repro.exec.job.canonical_partition` (a plain mapping is
@@ -124,6 +145,27 @@ def _partition_from_params(spec, assignment, name: str):
     if not isinstance(assignment, dict):
         assignment = {key: value for key, value in assignment}
     return Partition.from_mapping(spec, assignment, name=name)
+
+
+def _partition_for(spec, params: Dict[str, object]):
+    """The partition a job's params designate: an explicit
+    ``partition`` assignment, or — for workload-form submissions —
+    the named design of the workload's registry entry."""
+    assignment = params.get("partition")
+    if assignment is None and params.get("workload") is not None:
+        from repro.apps.workloads import resolve_workload
+
+        workload = resolve_workload(params["workload"])
+        designs = workload.designs(spec)
+        design = params.get("design") or workload.default_design
+        try:
+            return designs[design]
+        except KeyError:
+            raise KeyError(
+                f"workload {workload.id!r} has no design {design!r}; "
+                f"choose from {sorted(designs)}"
+            ) from None
+    return _partition_from_params(spec, assignment, params["design"])
 
 
 def allocation_to_params(allocation) -> Optional[List[Dict[str, object]]]:
@@ -206,10 +248,8 @@ def figure9_cell(params: Dict[str, object]) -> Dict[str, object]:
     from repro.sim.interpreter import Simulator
     from repro.sim.metrics import SimMetrics
 
-    spec = _spec_from_text(params["spec"])
-    partition = _partition_from_params(
-        spec, params["partition"], params["design"]
-    )
+    spec = _spec_from_params(params)
+    partition = _partition_for(spec, params)
     model = resolve_model(params["model"])
     refined = Refiner(spec, partition, model).run()
     metrics = SimMetrics()
@@ -229,10 +269,8 @@ def figure10_cell(params: Dict[str, object]) -> Dict[str, object]:
     from repro.models import resolve_model
     from repro.refine.refiner import Refiner
 
-    spec = _spec_from_text(params["spec"])
-    partition = _partition_from_params(
-        spec, params["partition"], params["design"]
-    )
+    spec = _spec_from_params(params)
+    partition = _partition_for(spec, params)
     allocation = allocation_from_params(params.get("allocation"))
     model = resolve_model(params["model"])
     refined = Refiner(spec, partition, model, allocation=allocation).run()
@@ -263,10 +301,8 @@ def robustness_cell(params: Dict[str, object]) -> Dict[str, object]:
     from repro.models import resolve_model
     from repro.refine.refiner import Refiner
 
-    spec = _spec_from_text(params["spec"])
-    partition = _partition_from_params(
-        spec, params["partition"], params["design"]
-    )
+    spec = _spec_from_params(params)
+    partition = _partition_for(spec, params)
     allocation = allocation_from_params(params.get("allocation"))
     limits = limits_from_params(params.get("limits"))
     refined = Refiner(
@@ -373,7 +409,7 @@ def simulate_cell(params: Dict[str, object]) -> Dict[str, object]:
     """
     from repro.sim.interpreter import Simulator
 
-    spec = _spec_from_text(params["spec"])
+    spec = _spec_from_params(params)
     limits = limits_from_params(params.get("limits"))
     stimuli = params.get("stimuli")
     if stimuli is not None:
@@ -411,7 +447,7 @@ def simulate_cell(params: Dict[str, object]) -> Dict[str, object]:
 #: Input ports matching these globs keep their baseline value across
 #: sweep seeds — they bound iteration (``num_cycles``-style), and a
 #: random bound would change the workload size, not just the stimulus.
-PINNED_INPUT_PATTERNS = ("*cycles*", "*count*")
+PINNED_INPUT_PATTERNS = ("*cycles*", "*count*", "*calls*")
 
 
 def sweep_inputs(
@@ -449,10 +485,8 @@ def sweep_cell(params: Dict[str, object]) -> Dict[str, object]:
     from repro.refine.refiner import Refiner
     from repro.sim.equivalence import check_equivalence
 
-    spec = _spec_from_text(params["spec"])
-    partition = _partition_from_params(
-        spec, params["partition"], params["design"]
-    )
+    spec = _spec_from_params(params)
+    partition = _partition_for(spec, params)
     refined = Refiner(
         spec,
         partition,
@@ -490,10 +524,8 @@ def batch_cell(params: Dict[str, object]) -> Dict[str, object]:
     from repro.sim.batch import BatchSimulator
     from repro.sim.equivalence import compare_runs
 
-    spec = _spec_from_text(params["spec"])
-    partition = _partition_from_params(
-        spec, params["partition"], params["design"]
-    )
+    spec = _spec_from_params(params)
+    partition = _partition_for(spec, params)
     refined = Refiner(
         spec,
         partition,
@@ -556,10 +588,8 @@ def explore_cell(params: Dict[str, object]) -> Dict[str, object]:
     from repro.sim.interpreter import Simulator
     from repro.sim.metrics import SimMetrics
 
-    spec = _spec_from_text(params["spec"])
-    partition = _partition_from_params(
-        spec, params["partition"], params["design"]
-    )
+    spec = _spec_from_params(params)
+    partition = _partition_for(spec, params)
     allocation = allocation_from_params(params.get("allocation"))
     model = resolve_model(params["model"])
     graph = AccessGraph.from_specification(spec)
@@ -616,10 +646,8 @@ def explore_batch(params: Dict[str, object]) -> Dict[str, object]:
     from repro.sim.interpreter import Simulator
     from repro.sim.metrics import SimMetrics
 
-    spec = _spec_from_text(params["spec"])
-    partition = _partition_from_params(
-        spec, params["partition"], params["design"]
-    )
+    spec = _spec_from_params(params)
+    partition = _partition_for(spec, params)
     allocation = allocation_from_params(params.get("allocation"))
     graph = AccessGraph.from_specification(spec)
     limits = limits_from_params(params.get("limits"))

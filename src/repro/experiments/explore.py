@@ -43,7 +43,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.apps.medical import MEDICAL_INPUTS, medical_specification
 from repro.errors import ReproError
 from repro.experiments.tables import render_table
 from repro.models.impl_models import ALL_MODELS
@@ -393,8 +392,13 @@ def run_explore(
     limits: Optional[KernelLimits] = None,
     engine=None,
     batch: bool = False,
+    workload=None,
 ) -> ExploreResult:
     """Run the layered exploration campaign; see the module docstring.
+
+    ``workload`` names a :mod:`repro.apps.workloads` registry entry
+    (default ``medical``) supplying the specification and the default
+    stimulus; its id lands in every job's cache key.
 
     ``allocations`` names entries of :func:`explore_allocations`
     (default: all of them); ``models``/``protocols`` default to all
@@ -417,9 +421,12 @@ def run_explore(
         kl_partition,
     )
 
-    spec = spec or medical_specification()
+    from repro.apps.workloads import resolve_workload
+
+    workload = resolve_workload(workload)
+    spec = spec or workload.spec()
     spec.validate()
-    inputs = dict(inputs or MEDICAL_INPUTS)
+    inputs = dict(inputs if inputs is not None else workload.default_inputs)
     engine = engine if engine is not None else ExecutionEngine()
 
     catalog = explore_allocations()
@@ -529,6 +536,7 @@ def run_explore(
                 Job(
                     "explore-batch",
                     {
+                        "workload": workload.id,
                         "spec": spec_text,
                         "partition": group[0][4],
                         "design": recipe,
@@ -549,6 +557,7 @@ def run_explore(
                 Job(
                     "explore-cell",
                     {
+                        "workload": workload.id,
                         "spec": spec_text,
                         "partition": pairs,
                         "design": recipe,

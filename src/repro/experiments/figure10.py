@@ -22,7 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.apps.medical import MEDICAL_INPUTS, all_designs, medical_specification
 from repro.arch.allocation import Allocation
 from repro.experiments.figure9 import default_allocation
 from repro.experiments.paperdata import (
@@ -94,7 +93,8 @@ class Figure10Result:
                     f" ({cell.ratio:.1f}x){eq}"
                 )
             rows.append([design] + cells)
-            if include_paper:
+            # paper reference rows exist only for the medical designs
+            if include_paper and design in PAPER_FIGURE10_LINES:
                 rows.append(
                     ["  (paper)"]
                     + [
@@ -148,8 +148,13 @@ def run_figure10(
     check_equivalence: bool = False,
     inputs: Optional[Dict[str, int]] = None,
     engine=None,
+    workload=None,
 ) -> Figure10Result:
     """Run the full Figure 10 sweep.
+
+    ``workload`` names a :mod:`repro.apps.workloads` registry entry
+    (default ``medical``) supplying the specification, design set and
+    default stimulus; its id lands in every job's cache key.
 
     ``check_equivalence=True`` additionally co-simulates each refined
     design against the original (slower; used by the test suite and the
@@ -166,20 +171,24 @@ def run_figure10(
     from repro.exec import canonical_spec_text
     from repro.exec.campaigns import allocation_to_params
 
-    spec = spec or medical_specification()
+    from repro.apps.workloads import resolve_workload
+
+    workload = resolve_workload(workload)
+    spec = spec or workload.spec()
     spec.validate()
     allocation = allocation or default_allocation()
-    inputs = dict(inputs or MEDICAL_INPUTS)
+    inputs = dict(inputs if inputs is not None else workload.default_inputs)
     original_lines = spec.line_count()
     engine = engine if engine is not None else ExecutionEngine()
 
     spec_text = canonical_spec_text(spec)
     allocation_data = allocation_to_params(allocation)
-    designs = all_designs(spec)
+    designs = workload.designs(spec)
     jobs = [
         Job(
             "figure10-cell",
             {
+                "workload": workload.id,
                 "spec": spec_text,
                 "partition": canonical_partition(partition),
                 "design": design_name,

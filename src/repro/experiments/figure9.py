@@ -26,7 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.apps.medical import MEDICAL_INPUTS, all_designs, medical_specification
 from repro.arch.allocation import Allocation
 from repro.arch.components import asic, processor
 from repro.estimate.profile import ProfileResult, profile_specification
@@ -158,7 +157,9 @@ class Figure9Result:
                 cells = self.cell(design, model).paper_style_cells()
                 row.append(", ".join(f"{value:.0f}" for value in cells))
             rows.append(row)
-            if include_paper:
+            # paper reference rows exist only for the medical designs;
+            # other workloads print the measured row alone
+            if include_paper and design in PAPER_FIGURE9:
                 paper_row = ["  (paper)"]
                 for model in ("Model1", "Model2", "Model3", "Model4"):
                     paper_row.append(
@@ -178,9 +179,16 @@ def run_figure9(
     allocation: Optional[Allocation] = None,
     count_transfers: bool = True,
     engine=None,
+    workload=None,
 ) -> Figure9Result:
-    """Run the full Figure 9 sweep on the medical system (or another
-    spec exposing the same design set).
+    """Run the full Figure 9 sweep on a registry workload.
+
+    ``workload`` names a :mod:`repro.apps.workloads` registry entry
+    (default ``medical``); it supplies the specification, the design
+    set and the default stimulus, and its id lands in every job's
+    cache key.  An explicit ``spec``/``inputs`` overrides the
+    workload's (the designs still come from the workload's catalog,
+    built against that spec).
 
     With ``count_transfers`` (the default) each cell's refined design is
     also *executed* with a :class:`repro.sim.metrics.SimMetrics`
@@ -195,15 +203,17 @@ def run_figure9(
     serial, uncached reference), so a process executor parallelises
     them and a result cache makes warm re-runs free.
     """
+    from repro.apps.workloads import resolve_workload
     from repro.exec import ExecutionEngine, Job, canonical_partition
     from repro.exec import canonical_spec_text
 
-    spec = spec or medical_specification()
+    workload = resolve_workload(workload)
+    spec = spec or workload.spec()
     spec.validate()
-    inputs = dict(inputs or MEDICAL_INPUTS)
+    inputs = dict(inputs if inputs is not None else workload.default_inputs)
     allocation = allocation or default_allocation()
     graph = AccessGraph.from_specification(spec)
-    designs = all_designs(spec)
+    designs = workload.designs(spec)
     engine = engine if engine is not None else ExecutionEngine()
 
     result = Figure9Result(spec, graph, {})
@@ -214,6 +224,7 @@ def run_figure9(
             Job(
                 "figure9-cell",
                 {
+                    "workload": workload.id,
                     "spec": spec_text,
                     "partition": canonical_partition(partition),
                     "design": design_name,

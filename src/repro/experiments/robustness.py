@@ -24,7 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.apps.medical import MEDICAL_INPUTS, all_designs, medical_specification
 from repro.arch.allocation import Allocation
 from repro.errors import (
     DeadlockError,
@@ -250,8 +249,13 @@ def run_robustness(
     designs: Optional[Sequence[str]] = None,
     models: Optional[Sequence[str]] = None,
     engine=None,
+    workload=None,
 ) -> RobustnessResult:
-    """Sweep ``scenarios`` x all medical designs x all four models.
+    """Sweep ``scenarios`` x a workload's designs x all four models.
+
+    ``workload`` names a :mod:`repro.apps.workloads` registry entry
+    (default ``medical``) supplying the specification, design catalog
+    and default stimulus; its id lands in every job's cache key.
 
     Each cell refines once (per design x model) and re-simulates per
     scenario with a fresh single-scenario :class:`FaultInjector` seeded
@@ -273,15 +277,18 @@ def run_robustness(
         scenario_to_params,
     )
 
-    spec = spec or medical_specification()
+    from repro.apps.workloads import resolve_workload
+
+    workload = resolve_workload(workload)
+    spec = spec or workload.spec()
     spec.validate()
     allocation = allocation or default_allocation()
-    inputs = dict(inputs or MEDICAL_INPUTS)
+    inputs = dict(inputs if inputs is not None else workload.default_inputs)
     scenarios = list(scenarios if scenarios is not None else default_scenarios())
     limits = limits or KernelLimits()
     engine = engine if engine is not None else ExecutionEngine()
 
-    catalog = all_designs(spec)
+    catalog = workload.designs(spec)
     if designs is not None:
         unknown = sorted(set(designs) - set(catalog))
         if unknown:
@@ -311,6 +318,7 @@ def run_robustness(
         Job(
             "robustness-cell",
             {
+                "workload": workload.id,
                 "spec": spec_text,
                 "partition": canonical_partition(partition),
                 "design": design_name,

@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.apps.medical import MEDICAL_INPUTS, all_designs, medical_specification
 from repro.errors import ReproError
 from repro.experiments.tables import render_table
 from repro.models.impl_models import ALL_MODELS
@@ -138,14 +137,18 @@ def run_sweep(
     engine=None,
     batch: bool = False,
     lanes: int = 8,
+    workload=None,
 ) -> SweepResult:
     """Cross-product sweep; every cell is one ``sweep-cell`` job.
 
-    ``designs``/``models``/``protocols``/``seeds`` default to all three
-    medical designs, all four models, the plain handshake protocol and
-    the baseline stimulus (seed 0).  Jobs are dispatched through
-    ``engine`` (an :class:`repro.exec.ExecutionEngine`; default: the
-    serial, uncached reference).
+    ``workload`` names a :mod:`repro.apps.workloads` registry entry
+    (default ``medical``) supplying the specification, design catalog
+    and baseline stimulus; its id lands in every job's cache key.
+    ``designs``/``models``/``protocols``/``seeds`` default to all of
+    the workload's designs, all four models, the plain handshake
+    protocol and the baseline stimulus (seed 0).  Jobs are dispatched
+    through ``engine`` (an :class:`repro.exec.ExecutionEngine`;
+    default: the serial, uncached reference).
 
     With ``batch=True`` the grid's seeds are grouped per (design,
     model, protocol) cell-family into ``batch-cell`` jobs of up to
@@ -158,12 +161,15 @@ def run_sweep(
     from repro.exec import canonical_spec_text
     from repro.exec.campaigns import limits_to_params
 
-    spec = spec or medical_specification()
+    from repro.apps.workloads import resolve_workload
+
+    workload = resolve_workload(workload)
+    spec = spec or workload.spec()
     spec.validate()
-    inputs = dict(inputs or MEDICAL_INPUTS)
+    inputs = dict(inputs if inputs is not None else workload.default_inputs)
     engine = engine if engine is not None else ExecutionEngine()
 
-    catalog = all_designs(spec)
+    catalog = workload.designs(spec)
     design_names = list(designs) if designs else sorted(catalog)
     unknown = sorted(set(design_names) - set(catalog))
     if unknown:
@@ -224,6 +230,7 @@ def run_sweep(
             Job(
                 "batch-cell",
                 {
+                    "workload": workload.id,
                     "spec": spec_text,
                     "partition": canonical_partition(catalog[design]),
                     "design": design,
@@ -277,6 +284,7 @@ def run_sweep(
         Job(
             "sweep-cell",
             {
+                "workload": workload.id,
                 "spec": spec_text,
                 "partition": canonical_partition(catalog[design]),
                 "design": design,

@@ -1,6 +1,25 @@
 """Back ends: hand-off of refined specifications to downstream tools."""
 
 from repro.export.c_backend import CExportError, export_c
+from repro.export.validate import (
+    ToolchainStatus,
+    ValidationCheck,
+    ValidationReport,
+    detect_toolchain,
+    validate_workload,
+    validate_workloads,
+)
 from repro.export.vhdl_backend import VhdlExportError, export_vhdl
 
-__all__ = ["CExportError", "export_c", "VhdlExportError", "export_vhdl"]
+__all__ = [
+    "CExportError",
+    "export_c",
+    "VhdlExportError",
+    "export_vhdl",
+    "ToolchainStatus",
+    "ValidationCheck",
+    "ValidationReport",
+    "detect_toolchain",
+    "validate_workload",
+    "validate_workloads",
+]

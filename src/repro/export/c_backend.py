@@ -230,7 +230,9 @@ class _Emitter:
                 return f"(!{operand})"
             if node.op == "abs":
                 return f"({operand} < 0 ? -({operand}) : ({operand}))"
-            return f"(-{operand})"
+            # parenthesise the operand: a leading '-' (negative literal
+            # or nested negation) would otherwise fuse into C's '--'
+            return f"(-({operand}))"
         if isinstance(node, BinOp):
             left = self.expr(node.left)
             right = self.expr(node.right)

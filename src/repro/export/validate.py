@@ -1,0 +1,527 @@
+"""External validation: run the exported backends through *real*
+toolchains and check them against the discrete-event kernel.
+
+The paper positions the refined specification as a hand-off to
+"functional verification, behavioral synthesis or software compilation
+tools".  The backends in this package emit that hand-off; this module
+closes the loop with whatever toolchain the host actually has:
+
+* **C** — the functional model is exported standalone
+  (:func:`repro.export.export_c`), compiled with the system C compiler
+  and executed; the ``name=value`` lines it prints must match the
+  kernel's final output values for the same stimulus.
+* **VHDL** — the functional model is exported
+  (:func:`repro.export.export_vhdl`) together with a generated
+  testbench that drives the workload's default stimulus and asserts
+  the kernel's outputs; when GHDL is on ``PATH`` the pair is analyzed,
+  elaborated and simulated.  Every refined design x model is exported
+  and (with GHDL) analyzed as a compile check — refined system tops
+  drive bus signals from several processes and would need resolved
+  types to *simulate*, so co-simulation stays on the functional model
+  (the per-partition hand-off the VHDL backend documents).
+
+Missing tools and unsupported constructs (e.g. a concurrent spec on
+the sequential-only C backend) degrade to ``skipped`` checks with the
+reason recorded, never to failures: the harness is CI-optional by
+design.  Only a genuine disagreement between a toolchain and the
+kernel (``mismatch``) or a broken export (``error``) fails a report.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ToolchainStatus",
+    "ValidationCheck",
+    "ValidationReport",
+    "detect_toolchain",
+    "validate_workload",
+    "validate_workloads",
+]
+
+#: scheduler step budget for the kernel reference runs
+VALIDATE_MAX_STEPS = 200_000
+
+#: how long the testbench lets the DUT settle before asserting outputs
+#: (generated waits are ns-scale, so this is orders of magnitude spare)
+_SETTLE = "1 ms"
+
+#: wall-clock budget per external tool invocation
+_TOOL_TIMEOUT = 120.0
+
+
+@dataclass(frozen=True)
+class ToolchainStatus:
+    """Which external tools ``PATH`` offers (absolute paths or None)."""
+
+    cc: Optional[str] = None
+    ghdl: Optional[str] = None
+    iverilog: Optional[str] = None
+
+    def describe(self) -> str:
+        def show(name, path):
+            return f"{name}={path or 'not found'}"
+
+        return ", ".join(
+            (show("cc", self.cc), show("ghdl", self.ghdl),
+             show("iverilog", self.iverilog))
+        )
+
+
+def detect_toolchain() -> ToolchainStatus:
+    """Probe ``PATH`` for the compilers the harness can use."""
+    cc = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    return ToolchainStatus(
+        cc=cc, ghdl=shutil.which("ghdl"), iverilog=shutil.which("iverilog")
+    )
+
+
+@dataclass
+class ValidationCheck:
+    """One external-validation step of one workload.
+
+    ``status`` is ``ok`` (toolchain agrees with the kernel), ``mismatch``
+    (it does not), ``error`` (a tool or export failed outright) or
+    ``skipped`` (tool missing / construct unsupported; ``detail`` says
+    why).
+    """
+
+    workload: str
+    backend: str          # kernel | c | vhdl
+    stage: str            # reference | export | analyze | co-simulate
+    design: str = "-"
+    model: str = "-"
+    status: str = "ok"
+    detail: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return self.status in ("ok", "skipped")
+
+
+@dataclass
+class ValidationReport:
+    """Every check of one workload's validation run."""
+
+    workload: str
+    checks: List[ValidationCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for check in self.checks:
+            out[check.status] = out.get(check.status, 0) + 1
+        return out
+
+    def render(self) -> str:
+        from repro.experiments.tables import render_table
+
+        rows = [
+            [c.backend, c.stage, c.design, c.model, c.status, c.detail]
+            for c in self.checks
+        ]
+        counts = self.counts()
+        summary = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+        return "\n".join(
+            [
+                render_table(
+                    ["Backend", "Stage", "Design", "Model", "Status", "Detail"],
+                    rows,
+                    title=f"External validation: workload {self.workload}",
+                ),
+                "",
+                f"checks: {len(self.checks)} ({summary})",
+            ]
+        )
+
+
+def _run_tool(cmd: Sequence[str], cwd: str) -> "subprocess.CompletedProcess":
+    return subprocess.run(
+        list(cmd),
+        cwd=cwd,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        timeout=_TOOL_TIMEOUT,
+    )
+
+
+def _first_line(text: str) -> str:
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            return line[:120]
+    return ""
+
+
+def _reference_outputs(spec, inputs: Dict[str, int], max_steps: int):
+    """The kernel's final output values — the golden trace endpoint."""
+    from repro.sim import KernelLimits, Simulator
+
+    result = Simulator(spec).run(
+        inputs=dict(inputs), limits=KernelLimits(max_steps=max_steps)
+    )
+    if not result.completed:
+        raise ReproError(
+            f"kernel reference run of {spec.name!r} did not complete "
+            f"within {max_steps} steps"
+        )
+    return result.output_values()
+
+
+def _as_int(value) -> int:
+    return int(value) if not isinstance(value, bool) else int(value)
+
+
+def _diff_outputs(reference: Dict[str, object], observed: Dict[str, int]) -> str:
+    """Human-readable disagreement list ('' when everything matches)."""
+    diffs = []
+    for name in sorted(observed):
+        if name not in reference:
+            continue
+        want = _as_int(reference[name])
+        got = observed[name]
+        if want != got:
+            diffs.append(f"{name}: kernel={want} toolchain={got}")
+    return "; ".join(diffs)
+
+
+# -- C co-simulation -------------------------------------------------------------
+
+
+def _validate_c(
+    workload_id: str,
+    spec,
+    inputs: Dict[str, int],
+    reference: Dict[str, object],
+    toolchain: ToolchainStatus,
+    workdir: str,
+) -> ValidationCheck:
+    from repro.export.c_backend import CExportError, export_c
+
+    check = ValidationCheck(workload_id, "c", "co-simulate")
+    try:
+        source = export_c(spec, inputs=dict(inputs))
+    except CExportError as exc:
+        check.status = "skipped"
+        check.detail = f"C backend: {exc}"
+        return check
+    if toolchain.cc is None:
+        check.status = "skipped"
+        check.detail = "no C compiler on PATH"
+        return check
+
+    c_path = os.path.join(workdir, f"{workload_id}_model.c")
+    exe_path = os.path.join(workdir, f"{workload_id}_model")
+    with open(c_path, "w") as handle:
+        handle.write(source)
+    compiled = _run_tool([toolchain.cc, "-O1", "-o", exe_path, c_path], workdir)
+    if compiled.returncode != 0:
+        check.status = "error"
+        check.detail = f"cc failed: {_first_line(compiled.stdout)}"
+        return check
+    ran = _run_tool([exe_path], workdir)
+    if ran.returncode != 0:
+        check.status = "error"
+        check.detail = f"program exited {ran.returncode}"
+        return check
+    observed: Dict[str, int] = {}
+    for line in ran.stdout.splitlines():
+        name, sep, value = line.strip().partition("=")
+        if sep and value.lstrip("-").isdigit():
+            observed[name] = int(value)
+    if not observed:
+        check.status = "error"
+        check.detail = "program printed no name=value outputs"
+        return check
+    diff = _diff_outputs(reference, observed)
+    if diff:
+        check.status = "mismatch"
+        check.detail = diff
+    else:
+        check.detail = f"{len(observed)} outputs match the kernel"
+    return check
+
+
+# -- VHDL export / analysis / co-simulation ----------------------------------------
+
+
+def _vhdl_literal(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(int(value))
+
+
+def _vhdl_testbench(
+    spec, entity: str, inputs: Dict[str, int], expected: Dict[str, object]
+) -> str:
+    """A testbench driving ``inputs`` and asserting ``expected``.
+
+    Input ports are driven through testbench signals *initialised* to
+    the stimulus, so the DUT (which starts executing at time 0) already
+    sees the values on its first read.  The checker waits well past the
+    DUT's completion, asserts every expected output port and reports
+    ``REPRO_VALIDATE_OK`` so a log grep can double-check the run got
+    there.
+    """
+    from repro.export.vhdl_backend import _ident
+    from repro.spec.types import BoolType
+    from repro.spec.variable import Role, StorageClass
+
+    ports = [
+        v
+        for v in spec.variables
+        if v.role is not Role.INTERNAL and v.kind is StorageClass.VARIABLE
+    ]
+    lines = ["entity tb is", "end entity tb;", "",
+             "architecture test of tb is"]
+    for port in ports:
+        vtype = "boolean" if isinstance(port.dtype, BoolType) else "integer"
+        if port.role is Role.INPUT:
+            value = inputs.get(port.name, port.initial_value)
+            lines.append(
+                f"  signal {_ident(port.name)} : {vtype}"
+                f" := {_vhdl_literal(value)};"
+            )
+        else:
+            lines.append(f"  signal {_ident(port.name)} : {vtype};")
+    lines.append("begin")
+    lines.append(f"  dut : entity work.{_ident(entity)}(behavioral)")
+    if ports:
+        lines.append("    port map (")
+        maps = [
+            f"      {_ident(p.name)} => {_ident(p.name)}" for p in ports
+        ]
+        lines.append(",\n".join(maps))
+        lines.append("    );")
+    lines.append("  check : process")
+    lines.append("  begin")
+    lines.append(f"    wait for {_SETTLE};")
+    for port in ports:
+        if port.role is Role.INPUT or port.name not in expected:
+            continue
+        want = expected[port.name]
+        literal = (
+            _vhdl_literal(bool(want))
+            if isinstance(port.dtype, BoolType)
+            else _vhdl_literal(want)
+        )
+        lines.append(f"    assert {_ident(port.name)} = {literal}")
+        lines.append(
+            f"      report \"mismatch: {port.name} /= {literal}\""
+            " severity failure;"
+        )
+    lines.append("    report \"REPRO_VALIDATE_OK\" severity note;")
+    lines.append("    wait;")
+    lines.append("  end process check;")
+    lines.append("end architecture test;")
+    return "\n".join(lines) + "\n"
+
+
+_GHDL_FLAGS = ["--std=93c", "-frelaxed"]
+
+
+def _ghdl_analyze(
+    toolchain: ToolchainStatus, workdir: str, *files: str
+) -> "subprocess.CompletedProcess":
+    return _run_tool(
+        [toolchain.ghdl, "-a", *_GHDL_FLAGS, *files], workdir
+    )
+
+
+def _validate_vhdl_functional(
+    workload_id: str,
+    spec,
+    inputs: Dict[str, int],
+    reference: Dict[str, object],
+    toolchain: ToolchainStatus,
+    workdir: str,
+) -> List[ValidationCheck]:
+    from repro.export.vhdl_backend import VhdlExportError, export_vhdl
+
+    export_check = ValidationCheck(workload_id, "vhdl", "export")
+    try:
+        source = export_vhdl(spec)
+    except VhdlExportError as exc:
+        export_check.status = "skipped"
+        export_check.detail = f"VHDL backend: {exc}"
+        return [export_check]
+    export_check.detail = f"{len(source.splitlines())} lines"
+    sim_check = ValidationCheck(workload_id, "vhdl", "co-simulate")
+    if toolchain.ghdl is None:
+        sim_check.status = "skipped"
+        sim_check.detail = "ghdl not on PATH"
+        return [export_check, sim_check]
+
+    dut_path = os.path.join(workdir, f"{workload_id}_dut.vhd")
+    tb_path = os.path.join(workdir, f"{workload_id}_tb.vhd")
+    with open(dut_path, "w") as handle:
+        handle.write(source)
+    with open(tb_path, "w") as handle:
+        handle.write(_vhdl_testbench(spec, spec.name, inputs, reference))
+    analyzed = _ghdl_analyze(toolchain, workdir, dut_path, tb_path)
+    if analyzed.returncode != 0:
+        sim_check.status = "error"
+        sim_check.detail = f"ghdl -a failed: {_first_line(analyzed.stdout)}"
+        return [export_check, sim_check]
+    elaborated = _run_tool(
+        [toolchain.ghdl, "-e", *_GHDL_FLAGS, "tb"], workdir
+    )
+    if elaborated.returncode != 0:
+        sim_check.status = "error"
+        sim_check.detail = f"ghdl -e failed: {_first_line(elaborated.stdout)}"
+        return [export_check, sim_check]
+    ran = _run_tool([toolchain.ghdl, "-r", *_GHDL_FLAGS, "tb"], workdir)
+    if ran.returncode != 0 or "REPRO_VALIDATE_OK" not in ran.stdout:
+        sim_check.status = (
+            "mismatch" if "mismatch" in ran.stdout else "error"
+        )
+        sim_check.detail = _first_line(ran.stdout) or f"exit {ran.returncode}"
+        return [export_check, sim_check]
+    sim_check.detail = "testbench assertions passed under ghdl"
+    return [export_check, sim_check]
+
+
+def _validate_vhdl_refined(
+    workload_id: str,
+    spec,
+    designs,
+    models: Sequence[str],
+    toolchain: ToolchainStatus,
+    workdir: str,
+) -> List[ValidationCheck]:
+    from repro.export.vhdl_backend import VhdlExportError, export_vhdl
+    from repro.models import resolve_model
+    from repro.refine import Refiner
+
+    checks: List[ValidationCheck] = []
+    for design_name in sorted(designs):
+        for model_name in models:
+            check = ValidationCheck(
+                workload_id, "vhdl", "export",
+                design=design_name, model=model_name,
+            )
+            checks.append(check)
+            try:
+                refined = Refiner(
+                    spec, designs[design_name], resolve_model(model_name)
+                ).run()
+                source = export_vhdl(
+                    refined.spec,
+                    entity_name=f"{spec.name}_{design_name}_{model_name}",
+                )
+            except VhdlExportError as exc:
+                check.status = "skipped"
+                check.detail = f"VHDL backend: {exc}"
+                continue
+            check.detail = f"{len(source.splitlines())} lines"
+            analyze = ValidationCheck(
+                workload_id, "vhdl", "analyze",
+                design=design_name, model=model_name,
+            )
+            checks.append(analyze)
+            if toolchain.ghdl is None:
+                analyze.status = "skipped"
+                analyze.detail = "ghdl not on PATH"
+                continue
+            path = os.path.join(
+                workdir, f"{workload_id}_{design_name}_{model_name}.vhd"
+            )
+            with open(path, "w") as handle:
+                handle.write(source)
+            result = _ghdl_analyze(toolchain, workdir, path)
+            if result.returncode != 0:
+                analyze.status = "error"
+                analyze.detail = f"ghdl -a failed: {_first_line(result.stdout)}"
+            else:
+                analyze.detail = "refined design analyzes cleanly"
+    return checks
+
+
+# -- entry points ----------------------------------------------------------------
+
+
+def validate_workload(
+    workload=None,
+    models: Sequence[str] = ("Model1",),
+    toolchain: Optional[ToolchainStatus] = None,
+    max_steps: int = VALIDATE_MAX_STEPS,
+) -> ValidationReport:
+    """Validate one registry workload against the external toolchains.
+
+    Runs the kernel reference simulation, the C co-simulation (system C
+    compiler), the functional-model VHDL co-simulation (GHDL) and a
+    per-``models`` refined-design VHDL export/analyze sweep.  Returns a
+    :class:`ValidationReport`; missing tools yield ``skipped`` checks,
+    so the report only fails on real disagreements or broken exports.
+    """
+    from repro.apps.workloads import resolve_workload
+
+    workload = resolve_workload(workload)
+    toolchain = toolchain or detect_toolchain()
+    report = ValidationReport(workload.id)
+
+    spec = workload.spec()
+    inputs = dict(workload.default_inputs)
+    reference_check = ValidationCheck(workload.id, "kernel", "reference")
+    report.checks.append(reference_check)
+    try:
+        reference = _reference_outputs(spec, inputs, max_steps)
+    except ReproError as exc:
+        reference_check.status = "error"
+        reference_check.detail = str(exc)
+        return report
+    reference_check.detail = ", ".join(
+        f"{name}={_as_int(value)}" for name, value in sorted(reference.items())
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-validate-") as workdir:
+        report.checks.append(
+            _validate_c(
+                workload.id, workload.spec(), inputs, reference, toolchain,
+                workdir,
+            )
+        )
+        report.checks.extend(
+            _validate_vhdl_functional(
+                workload.id, workload.spec(), inputs, reference, toolchain,
+                workdir,
+            )
+        )
+        fresh = workload.spec()
+        report.checks.extend(
+            _validate_vhdl_refined(
+                workload.id, fresh, workload.designs(fresh), models,
+                toolchain, workdir,
+            )
+        )
+    return report
+
+
+def validate_workloads(
+    workloads: Optional[Sequence[str]] = None,
+    models: Sequence[str] = ("Model1",),
+    toolchain: Optional[ToolchainStatus] = None,
+    max_steps: int = VALIDATE_MAX_STEPS,
+) -> List[ValidationReport]:
+    """Validate several workloads (default: medical and pcm_pwm — the
+    hand-written case studies the HDL smoke job exercises)."""
+    names = list(workloads) if workloads else ["medical", "pcm_pwm"]
+    toolchain = toolchain or detect_toolchain()
+    return [
+        validate_workload(
+            name, models=models, toolchain=toolchain, max_steps=max_steps
+        )
+        for name in names
+    ]

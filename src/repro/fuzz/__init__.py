@@ -18,7 +18,10 @@ from repro.fuzz.generator import (
     GeneratedCase,
     GeneratorConfig,
     generate_case,
+    generate_controller_case,
     generate_input_vectors,
+    generate_mesh_case,
+    generate_pipeline_case,
 )
 from repro.fuzz.oracle import (
     CaseResult,
@@ -42,7 +45,10 @@ __all__ = [
     "GeneratedCase",
     "GeneratorConfig",
     "generate_case",
+    "generate_controller_case",
     "generate_input_vectors",
+    "generate_mesh_case",
+    "generate_pipeline_case",
     "CaseResult",
     "OracleFailure",
     "check_batch_parity",

@@ -67,7 +67,15 @@ from repro.spec.subprogram import Direction, Param, Subprogram
 from repro.spec.types import BOOL, EnumType, array_of, int_type
 from repro.spec.variable import Role, StorageClass, Variable, signal, variable
 
-__all__ = ["GeneratorConfig", "GeneratedCase", "generate_case", "generate_input_vectors"]
+__all__ = [
+    "GeneratorConfig",
+    "GeneratedCase",
+    "generate_case",
+    "generate_input_vectors",
+    "generate_pipeline_case",
+    "generate_mesh_case",
+    "generate_controller_case",
+]
 
 _INT = int_type(16)
 _BYTE = int_type(8)
@@ -548,6 +556,289 @@ def generate_case(
         specification, assignment, name=f"fuzz_{seed}"
     )
     return GeneratedCase(seed, config, specification, partition)
+
+
+# -- app families ------------------------------------------------------------
+#
+# Topology-constrained generators for the workload registry
+# (:mod:`repro.apps.workloads`): each family fixes the architecture of
+# the application — the behavior tree, the dataflow variables and the
+# partition cut — and fills the leaf bodies from the seeded statement
+# generator.  All family invariants of :func:`generate_case` hold
+# (forward arcs, counted loops, disjoint concurrent writes, no
+# signals/waits), so every family case is refinable and deterministic.
+
+
+def _family_config(budget: int) -> GeneratorConfig:
+    return GeneratorConfig(
+        budget=budget,
+        max_depth=2,
+        enums=False,
+        single_component_probability=0.0,
+    )
+
+
+def _family_leaf(
+    gen: _Generator,
+    name: str,
+    reads: Sequence[str],
+    writes: Sequence[str],
+) -> Behavior:
+    """A named leaf whose body is generated over (``reads``,
+    ``writes``) and is guaranteed to drive every ``writes`` target."""
+    rng = gen.rng
+    local = gen._local_name()
+    decls = [variable(local, _INT, init=rng.choice((0, 1, -1)))]
+    scope = _Scope(
+        int_read=list(dict.fromkeys(list(reads) + list(writes) + [local])),
+        int_write=list(writes) + [local],
+    )
+    stmts = list(gen._statements(scope, 2, rng.randint(2, 3)))
+    for target in writes:
+        stmts.append(assign(target, gen._int_expr(scope, 2)))
+    return leaf(name, *stmts, decls=decls)
+
+
+def _family_case(
+    gen: _Generator,
+    seed: int,
+    family: str,
+    top: Behavior,
+    variables: Sequence[Variable],
+    assignment: Dict[str, str],
+) -> GeneratedCase:
+    specification = make_spec(
+        f"{family}_{seed}",
+        top,
+        variables=list(variables),
+        subprograms=gen._subprograms,
+    )
+    specification.validate()
+    partition = Partition.from_mapping(
+        specification, assignment, name=f"{family}_{seed}"
+    )
+    return GeneratedCase(seed, gen.config, specification, partition)
+
+
+def generate_pipeline_case(
+    seed: int, stages: int = 4, config: Optional[GeneratorConfig] = None
+) -> GeneratedCase:
+    """A linear ``stages``-stage pipeline application.
+
+    Stage *k* reads the (k-1)-th stage-boundary variable and drives the
+    k-th; the final stage drives the outputs.  The partition cuts the
+    pipeline in half — front half on the processor, back half on the
+    ASIC — with each boundary variable homed at its producer.
+    """
+    config = config or _family_config(budget=6 * stages)
+    gen = _Generator(seed, config)
+    gen._subprograms = gen._make_subprograms()
+    rng = gen.rng
+
+    inputs = ["in1", "in2"]
+    bounds = [f"s{i}" for i in range(1, stages)]
+    variables = [
+        variable(name, _INT, init=rng.randint(-8, 8), role=Role.INPUT)
+        for name in inputs
+    ]
+    variables += [variable(name, _INT, init=0) for name in bounds]
+    variables += [
+        variable(name, _INT, init=0, role=Role.OUTPUT)
+        for name in ("out1", "out2")
+    ]
+
+    children: List[Behavior] = []
+    for k in range(stages):
+        reads = inputs + ([bounds[k - 1]] if k else [])
+        writes = [bounds[k]] if k < stages - 1 else ["out1", "out2"]
+        children.append(_family_leaf(gen, f"stage{k + 1}", reads, writes))
+    arcs: List[Transition] = [
+        transition(children[i].name, None, children[i + 1].name)
+        for i in range(stages - 1)
+    ]
+    arcs.append(on_complete(children[-1].name))
+    top = seq("pipe", children, transitions=arcs)
+
+    cut = max(1, stages // 2)
+    assignment = {
+        child.name: "PROC" if k < cut else "ASIC"
+        for k, child in enumerate(children)
+    }
+    for k, name in enumerate(bounds):
+        # boundary k is produced by stage k (0-based child index)
+        assignment[name] = assignment[children[k].name]
+    return _family_case(gen, seed, "pipeline", top, variables, assignment)
+
+
+def generate_mesh_case(
+    seed: int, workers: int = 3, config: Optional[GeneratorConfig] = None
+) -> GeneratedCase:
+    """A producer/consumer mesh application.
+
+    A producer fills one feed variable per worker, ``workers`` children
+    of a concurrent composite consume the (now read-only) feeds and
+    drive pairwise-disjoint result variables, and a combiner reduces
+    the results into the outputs.  The partition puts the mesh on the
+    ASIC and the producer/combiner on the processor.
+    """
+    config = config or _family_config(budget=8 * workers)
+    gen = _Generator(seed, config)
+    gen._subprograms = gen._make_subprograms()
+    rng = gen.rng
+
+    inputs = ["in1", "in2"]
+    feeds = [f"p{j + 1}" for j in range(workers)]
+    results = [f"r{j + 1}" for j in range(workers)]
+    variables = [
+        variable(name, _INT, init=rng.randint(-8, 8), role=Role.INPUT)
+        for name in inputs
+    ]
+    variables += [variable(name, _INT, init=0) for name in feeds + results]
+    variables += [
+        variable(name, _INT, init=0, role=Role.OUTPUT)
+        for name in ("out1", "out2")
+    ]
+
+    produce = _family_leaf(gen, "produce", inputs, feeds)
+    mesh = conc(
+        "mesh",
+        [
+            _family_leaf(gen, f"worker{j + 1}", inputs + feeds, [results[j]])
+            for j in range(workers)
+        ],
+    )
+    combine = _family_leaf(gen, "combine", results, ["out1", "out2"])
+    top = seq(
+        "mesh_top",
+        [produce, mesh, combine],
+        transitions=[
+            transition("produce", None, "mesh"),
+            transition("mesh", None, "combine"),
+            on_complete("combine"),
+        ],
+    )
+
+    assignment = {"produce": "PROC", "mesh": "ASIC", "combine": "PROC"}
+    for name in feeds:
+        assignment[name] = "PROC"
+    for name in results:
+        assignment[name] = "ASIC"
+    return _family_case(gen, seed, "mesh", top, variables, assignment)
+
+
+def generate_controller_case(
+    seed: int, handlers: int = 3, config: Optional[GeneratorConfig] = None
+) -> GeneratedCase:
+    """An interrupt-driven controller application.
+
+    A dispatch loop polls an event code derived from the IRQ profile
+    and the service counter, takes a conditional arc to exactly one of
+    ``handlers`` handler behaviors, and acknowledges — repeating until
+    ``event_count`` events are served (the port name matches the
+    campaign's pinned-input patterns, so sweep seeds never unbound the
+    loop).  The partition keeps poll/ack control on the processor and
+    every handler on the ASIC.
+    """
+    config = config or _family_config(budget=8 * handlers)
+    gen = _Generator(seed, config)
+    gen._subprograms = gen._make_subprograms()
+    rng = gen.rng
+
+    states = [f"h{j + 1}_state" for j in range(handlers)]
+    variables = [
+        variable("irq_profile", _INT, init=rng.randint(0, 40),
+                 role=Role.INPUT),
+        variable("event_count", _INT, init=3, role=Role.INPUT),
+    ]
+    variables += [variable("evt", _INT, init=0),
+                  variable("served", _INT, init=0)]
+    variables += [variable(name, _INT, init=0) for name in states]
+    variables += [
+        variable(name, _INT, init=0, role=Role.OUTPUT)
+        for name in ("out1", "out2")
+    ]
+
+    init = leaf(
+        "boot",
+        assign("served", Const(0)),
+        assign("evt", Const(0)),
+        *(
+            assign(name, Const(rng.randint(-4, 4)))
+            for name in states
+        ),
+    )
+    poll = leaf(
+        "poll",
+        assign(
+            "evt",
+            BinOp(
+                "mod",
+                UnaryOp(
+                    "abs",
+                    BinOp(
+                        "+",
+                        VarRef("irq_profile"),
+                        BinOp("*", VarRef("served"), Const(5)),
+                    ),
+                ),
+                Const(handlers),
+            ),
+        ),
+    )
+    handler_behaviors = [
+        _family_leaf(
+            gen,
+            f"handler{j + 1}",
+            ["irq_profile", "evt", "served"],
+            [states[j]],
+        )
+        for j in range(handlers)
+    ]
+    total = VarRef("evt")
+    for name in states:
+        total = BinOp("+", total, VarRef(name))
+    ack = leaf(
+        "ack",
+        assign("served", BinOp("+", VarRef("served"), Const(1))),
+        assign("out1", BinOp("+", VarRef("out1"), total)),
+        assign("out2", VarRef("served")),
+    )
+
+    arcs = [
+        transition("poll", BinOp("=", VarRef("evt"), Const(j)),
+                   f"handler{j + 1}")
+        for j in range(handlers - 1)
+    ]
+    arcs.append(
+        transition("poll", BinOp(">=", VarRef("evt"), Const(handlers - 1)),
+                   f"handler{handlers}")
+    )
+    arcs += [
+        transition(f"handler{j + 1}", None, "ack") for j in range(handlers)
+    ]
+    arcs.append(on_complete("ack"))
+    dispatch = seq("dispatch", [poll] + handler_behaviors + [ack],
+                   transitions=arcs)
+    top = seq(
+        "ctrl",
+        [init, dispatch],
+        transitions=[
+            transition("boot", None, "dispatch"),
+            transition("dispatch",
+                       BinOp("<", VarRef("served"), VarRef("event_count")),
+                       "dispatch"),
+            on_complete("dispatch",
+                        BinOp(">=", VarRef("served"),
+                              VarRef("event_count"))),
+        ],
+    )
+
+    assignment = {"boot": "PROC", "poll": "PROC", "ack": "PROC",
+                  "evt": "PROC", "served": "PROC"}
+    for j in range(handlers):
+        assignment[f"handler{j + 1}"] = "ASIC"
+        assignment[states[j]] = "ASIC"
+    return _family_case(gen, seed, "controller", top, variables, assignment)
 
 
 def generate_input_vectors(

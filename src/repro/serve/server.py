@@ -615,6 +615,23 @@ class ReproServer:
                     "(--lanes)",
                     request_id=rid,
                 )
+        workload = params.get("workload")
+        if workload is not None:
+            # reject unknown registry ids at admission rather than
+            # burning a worker slot on a job that can only fail
+            from repro.apps.workloads import WorkloadError, default_registry
+
+            if not isinstance(workload, str):
+                return self._error(
+                    "bad-request", '"workload" must be a registry id string',
+                    request_id=rid,
+                )
+            try:
+                default_registry().get(workload)
+            except WorkloadError as exc:
+                return self._error(
+                    "bad-request", str(exc), request_id=rid,
+                )
         deadline = data.get("deadline", self.config.default_deadline)
         if not isinstance(deadline, (int, float)) or deadline <= 0:
             return self._error(

@@ -18,6 +18,49 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the per-workload golden reports under tests/golden/ "
+             "instead of comparing against them",
+    )
+
+
+def _workload_ids():
+    from repro.apps.workloads import default_registry
+
+    return default_registry().names()
+
+
+@pytest.fixture(scope="session", params=_workload_ids())
+def workload(request):
+    """Every registry workload in turn — tests taking this fixture run
+    once per entry (medical, answering, pcm_pwm, pipeline, mesh,
+    controller)."""
+    from repro.apps.workloads import default_registry
+
+    return default_registry().get(request.param)
+
+
+@pytest.fixture(scope="session")
+def workload_fig9(workload):
+    """The (cheap, unmeasured) Figure 9 sweep of one workload — shared
+    between the shape tests and the golden-report comparison."""
+    from repro.experiments import run_figure9
+
+    return run_figure9(workload=workload.id, count_transfers=False)
+
+
+@pytest.fixture(scope="session")
+def workload_fig10(workload):
+    """The Figure 10 sweep of one workload (no equivalence pass)."""
+    from repro.experiments import run_figure10
+
+    return run_figure10(workload=workload.id, check_equivalence=False)
+
+
 @pytest.fixture(scope="session")
 def medical_spec():
     """The validated medical bladder-volume specification."""

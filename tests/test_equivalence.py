@@ -162,3 +162,19 @@ class TestEveryMismatchKind:
         c.stmt_body = body(new_stmts)
         report = check_equivalence(design, inputs={"seed": -5})
         assert "memory-value" in {m.kind for m in report.mismatches}
+
+
+class TestWorkloadEquivalence:
+    """The default design of every registry workload refines to an
+    equivalent implementation under Model1 (runs once per entry via the
+    session-scoped ``workload`` fixture)."""
+
+    def test_default_design_model1_equivalent(self, workload):
+        spec = workload.spec()
+        spec.validate()
+        partition = workload.designs(spec)[workload.default_design]
+        refined = Refiner(spec, partition, MODEL1).run()
+        report = check_equivalence(
+            refined, inputs=dict(workload.default_inputs)
+        )
+        assert report.equivalent, report.describe()

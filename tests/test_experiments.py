@@ -173,3 +173,47 @@ class TestTableRenderer:
     def test_title(self):
         table = render_table(["x"], [["1"]], title="T")
         assert table.splitlines()[0] == "T"
+
+
+class TestWorkloadFigure9:
+    """Every registry workload, not just medical, must drive a full
+    Figure 9 grid (the ``workload``/``workload_fig9`` fixtures run this
+    class once per entry)."""
+
+    def test_grid_covers_design_catalog(self, workload, workload_fig9):
+        spec = workload.spec()
+        assert set(workload_fig9.cells) == set(workload.designs(spec))
+        for row in workload_fig9.cells.values():
+            assert set(row) == {"Model1", "Model2", "Model3", "Model4"}
+
+    def test_rates_are_nonnegative(self, workload_fig9):
+        for row in workload_fig9.cells.values():
+            for cell in row.values():
+                assert all(rate >= 0.0 for rate in cell.rates_mbits.values())
+
+    def test_model1_funnels_into_one_bus(self, workload_fig9):
+        """Model1 keeps every variable in global memory, so exactly one
+        bus carries traffic — for any workload, not just the paper's."""
+        for row in workload_fig9.cells.values():
+            assert len(row["Model1"].rates_mbits) == 1
+
+    def test_render_lists_every_design(self, workload, workload_fig9):
+        text = workload_fig9.render()
+        for design in workload.designs(workload.spec()):
+            assert design in text
+
+
+class TestWorkloadFigure10:
+    def test_refinement_always_grows_the_spec(self, workload_fig10):
+        """Model refinement adds protocol machinery; no workload's
+        refined spec may come out smaller than its source."""
+        assert workload_fig10.min_ratio() >= 1.0
+
+    def test_original_lines_positive(self, workload_fig10):
+        assert workload_fig10.original_lines > 0
+
+    def test_every_cell_measured(self, workload_fig10):
+        for row in workload_fig10.cells.values():
+            for cell in row.values():
+                assert cell.refined_lines > 0
+                assert cell.refinement_seconds >= 0.0

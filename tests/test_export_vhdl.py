@@ -146,3 +146,38 @@ class TestKeywordEscaping:
         design.validate()
         text = export_vhdl(design)
         assert "\\map\\" in text
+
+
+class TestWorkloadExports:
+    """Structural export coverage for every registry workload — the
+    executable cross-check lives in repro.export.validate."""
+
+    def test_functional_export_is_balanced(self, workload):
+        spec = workload.spec()
+        spec.validate()
+        try:
+            text = export_vhdl(spec)
+        except VhdlExportError as exc:
+            # mesh-style nested concurrency is a documented rejection,
+            # not a backend bug
+            assert "nested concurrency" in str(exc)
+            pytest.skip(f"{workload.id}: {exc}")
+        assert f"entity {spec.name} is" in text
+        assert text.count("process") >= 2  # open + matching end
+        assert text.count("end if;") == len(
+            re.findall(r"^\s*if .* then$", text, re.M)
+        )
+
+    def test_refined_default_design_exports(self, workload):
+        spec = workload.spec()
+        spec.validate()
+        partition = workload.designs(spec)[workload.default_design]
+        refined = Refiner(spec, partition, MODEL2).run()
+        try:
+            text = export_vhdl(
+                refined.spec, entity_name=f"{spec.name}_refined"
+            )
+        except VhdlExportError as exc:
+            assert "nested concurrency" in str(exc)
+            pytest.skip(f"{workload.id}: {exc}")
+        assert f"entity {spec.name}_refined is" in text
